@@ -1,0 +1,84 @@
+// Command hp4c is the HyPer4 compiler front end: it compiles a target P4_14
+// program into the persona artifacts (the paper's "commands file" flow,
+// §5.2), emitting the human-readable intermediate form with symbolic tokens
+// that the DPMU substitutes at load time.
+//
+// Usage:
+//
+//	hp4c [-stages N] [-primitives N] [-o out.txt] foo.p4
+//	hp4c -builtin l2_switch            # compile one of the paper's functions
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"hyper4/internal/core/hp4c"
+	"hyper4/internal/core/persona"
+	"hyper4/internal/functions"
+	"hyper4/internal/p4/hlir"
+	"hyper4/internal/p4/parser"
+)
+
+func main() {
+	stages := flag.Int("stages", persona.Reference.Stages, "persona stages")
+	prims := flag.Int("primitives", persona.Reference.Primitives, "persona primitives per action")
+	out := flag.String("o", "", "output file (default stdout)")
+	builtin := flag.String("builtin", "", "compile a built-in function: "+strings.Join(functions.Names(), ", "))
+	flag.Parse()
+
+	cfg := persona.Reference
+	cfg.Stages = *stages
+	cfg.Primitives = *prims
+
+	var prog *hlir.Program
+	var err error
+	switch {
+	case *builtin != "":
+		prog, err = functions.Load(*builtin)
+	case flag.NArg() == 1:
+		var src []byte
+		src, err = os.ReadFile(flag.Arg(0))
+		if err == nil {
+			var parsed, resolveErr = parseAndResolve(flag.Arg(0), string(src))
+			prog, err = parsed, resolveErr
+		}
+	default:
+		fmt.Fprintln(os.Stderr, "usage: hp4c [flags] foo.p4 | hp4c -builtin <name>")
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hp4c:", err)
+		os.Exit(1)
+	}
+
+	comp, err := hp4c.Compile(prog, cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hp4c:", err)
+		os.Exit(1)
+	}
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "hp4c:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := comp.WriteIntermediate(w); err != nil {
+		fmt.Fprintln(os.Stderr, "hp4c:", err)
+		os.Exit(1)
+	}
+}
+
+func parseAndResolve(name, src string) (*hlir.Program, error) {
+	parsed, err := parser.Parse(name, src)
+	if err != nil {
+		return nil, err
+	}
+	return hlir.Resolve(parsed)
+}

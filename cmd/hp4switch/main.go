@@ -1,0 +1,212 @@
+// Command hp4switch runs a software P4 switch interactively: load a program
+// (a .p4 file, a built-in function, or the generated persona), feed it
+// runtime commands and packets, and observe the outputs.
+//
+// Usage:
+//
+//	hp4switch -builtin l2_switch [-commands file.txt]
+//	hp4switch -persona [-commands file.txt]
+//	hp4switch foo.p4
+//
+// The interactive prompt accepts every command of internal/sim/runtime plus:
+//
+//	packet <port> <hex bytes>   inject a packet; outputs are printed
+//	trace <port> <hex bytes>    inject and print the full table trace
+//	tables                      list tables and entry counts
+//	stats                       print switch counters
+//	quit
+//
+// In -persona mode the prompt additionally accepts every DPMU management
+// command (load/assign/map/link/snapshot_…, see internal/core/dpmu) and
+// virtual table operations of the form "<vdev> table_add …", so a whole
+// virtualized configuration can be driven interactively or from a
+// -commands script.
+package main
+
+import (
+	"bufio"
+	"encoding/hex"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"hyper4/internal/core/dpmu"
+	"hyper4/internal/core/persona"
+	"hyper4/internal/functions"
+	"hyper4/internal/p4/hlir"
+	"hyper4/internal/p4/parser"
+	"hyper4/internal/pkt"
+	"hyper4/internal/sim"
+	"hyper4/internal/sim/runtime"
+)
+
+func main() {
+	builtin := flag.String("builtin", "", "run a built-in function: "+strings.Join(functions.Names(), ", "))
+	usePersona := flag.Bool("persona", false, "run the HyPer4 persona (reference configuration)")
+	commands := flag.String("commands", "", "runtime command file to execute at startup")
+	flag.Parse()
+
+	var prog *hlir.Program
+	var pers *persona.Persona
+	var err error
+	switch {
+	case *usePersona:
+		pers, err = persona.Generate(persona.Reference)
+		if err == nil {
+			prog = pers.Program
+		}
+	case *builtin != "":
+		prog, err = functions.Load(*builtin)
+	case flag.NArg() == 1:
+		var src []byte
+		if src, err = os.ReadFile(flag.Arg(0)); err == nil {
+			var parsed, perr = parser.Parse(flag.Arg(0), string(src))
+			if perr != nil {
+				err = perr
+			} else {
+				prog, err = hlir.Resolve(parsed)
+			}
+		}
+	default:
+		fmt.Fprintln(os.Stderr, "usage: hp4switch -builtin <fn> | -persona | foo.p4")
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hp4switch:", err)
+		os.Exit(1)
+	}
+
+	sw, err := sim.New("sw0", prog)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hp4switch:", err)
+		os.Exit(1)
+	}
+	rt := runtime.New(sw)
+	var mgmt *dpmu.CLI
+	if pers != nil {
+		d, err := dpmu.New(sw, pers)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "hp4switch:", err)
+			os.Exit(1)
+		}
+		mgmt = dpmu.NewCLI(d, "operator")
+		fmt.Println("persona loaded; DPMU management commands available")
+	}
+	if *commands != "" {
+		script, err := os.ReadFile(*commands)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "hp4switch:", err)
+			os.Exit(1)
+		}
+		var execErr error
+		if mgmt != nil {
+			execErr = mgmt.ExecAll(string(script))
+		} else {
+			execErr = rt.ExecAll(string(script))
+		}
+		if execErr != nil {
+			fmt.Fprintln(os.Stderr, "hp4switch:", execErr)
+			os.Exit(1)
+		}
+		fmt.Printf("executed %s\n", *commands)
+	}
+
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	fmt.Print("hp4> ")
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line != "" {
+			if line == "quit" || line == "exit" {
+				return
+			}
+			handle(sw, rt, mgmt, line)
+		}
+		fmt.Print("hp4> ")
+	}
+}
+
+func handle(sw *sim.Switch, rt *runtime.Runtime, mgmt *dpmu.CLI, line string) {
+	fields := strings.Fields(line)
+	switch fields[0] {
+	case "packet", "trace":
+		if len(fields) < 3 {
+			fmt.Println("usage: packet <port> <hexbytes>")
+			return
+		}
+		port, err := strconv.Atoi(fields[1])
+		if err != nil {
+			fmt.Println("bad port:", fields[1])
+			return
+		}
+		data, err := hex.DecodeString(strings.Join(fields[2:], ""))
+		if err != nil {
+			fmt.Println("bad hex:", err)
+			return
+		}
+		outs, tr, err := sw.Process(data, port)
+		if err != nil {
+			fmt.Println("error:", err)
+			return
+		}
+		if fields[0] == "trace" {
+			fmt.Printf("passes=%d resubmits=%d recirculates=%d applies=%d\n",
+				tr.Passes, tr.Resubmits, tr.Recirculates, tr.Applies)
+			for _, ap := range tr.ApplyLog {
+				pipe := "ingress"
+				if ap.Egress {
+					pipe = "egress"
+				}
+				result := "miss"
+				if ap.Hit {
+					result = "hit"
+				}
+				fmt.Printf("  %-7s %-24s %s\n", pipe, ap.Table, result)
+			}
+		}
+		if len(outs) == 0 {
+			fmt.Println("dropped")
+		}
+		for _, o := range outs {
+			fmt.Printf("port %d <- %x\n", o.Port, o.Data)
+			fmt.Printf("          %s\n", pkt.Summary(o.Data))
+		}
+	case "tables":
+		for _, name := range sw.TableNames() {
+			n, _ := sw.TableEntryCount(name)
+			if n > 0 {
+				fmt.Printf("%-28s %d entries\n", name, n)
+			}
+		}
+	case "stats":
+		s := sw.Stats()
+		fmt.Printf("in=%d out=%d dropped=%d resubmits=%d recirculates=%d applies=%d\n",
+			s.PacketsIn, s.PacketsOut, s.PacketsDropped, s.Resubmits, s.Recirculates, s.TableApplies)
+	default:
+		if mgmt != nil {
+			out, err := mgmt.Exec(line)
+			if err == nil {
+				if out != "" {
+					fmt.Println(out)
+				}
+				return
+			}
+			// Fall through to raw switch commands for anything the DPMU
+			// does not understand.
+			if !strings.Contains(err.Error(), "unknown dpmu command") {
+				fmt.Println("error:", err)
+				return
+			}
+		}
+		out, err := rt.Exec(line)
+		if err != nil {
+			fmt.Println("error:", err)
+			return
+		}
+		if out != "" {
+			fmt.Println(out)
+		}
+	}
+}

@@ -1,0 +1,211 @@
+// Multi-tenant virtual networking: the paper's Example Three (§3.4,
+// Figure 5). A single HyPer4 device hosts EIGHT virtual devices — a router
+// per host (r1–r4), firewalls for the tenants that want them (f1, f2), and
+// two internal L2 switches (l2_s1, l2_s2) — wired together with virtual
+// links. Tenants provide service to each other under their own security
+// controls, all inside one physical switch.
+//
+// Virtual topology (virtual links drawn as ===):
+//
+//	h1 --- r1 === f1 === l2_s1 ====== l2_s2 === r3 --- h3
+//	h2 --- r2 === f2 ===/                   \=== r4 --- h4
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"hyper4/internal/core/dpmu"
+	"hyper4/internal/core/hp4c"
+	"hyper4/internal/core/persona"
+	"hyper4/internal/functions"
+	"hyper4/internal/netsim"
+	"hyper4/internal/pkt"
+	"hyper4/internal/sim"
+)
+
+var (
+	hostMAC = []pkt.MAC{
+		pkt.MustMAC("00:00:00:00:00:01"), pkt.MustMAC("00:00:00:00:00:02"),
+		pkt.MustMAC("00:00:00:00:00:03"), pkt.MustMAC("00:00:00:00:00:04"),
+	}
+	hostIP = []pkt.IP4{
+		pkt.MustIP4("10.0.1.1"), pkt.MustIP4("10.0.2.1"),
+		pkt.MustIP4("10.0.3.1"), pkt.MustIP4("10.0.4.1"),
+	}
+	subnet = []pkt.IP4{
+		pkt.MustIP4("10.0.1.0"), pkt.MustIP4("10.0.2.0"),
+		pkt.MustIP4("10.0.3.0"), pkt.MustIP4("10.0.4.0"),
+	}
+	// Each router's MAC on the internal network; hosts use it as gateway.
+	rtrMAC = []pkt.MAC{
+		pkt.MustMAC("aa:aa:aa:aa:aa:01"), pkt.MustMAC("aa:aa:aa:aa:aa:02"),
+		pkt.MustMAC("aa:aa:aa:aa:aa:03"), pkt.MustMAC("aa:aa:aa:aa:aa:04"),
+	}
+)
+
+// Virtual port conventions: port (i+1) of router i faces its host; port 10
+// faces the internal network. Firewalls use 10 toward the router and 11
+// toward the switch fabric. Switches use one port per attached device.
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}
+
+func main() {
+	p, err := persona.Generate(persona.Reference)
+	must(err)
+	sw, err := sim.New("s1", p.Program)
+	must(err)
+	d, err := dpmu.New(sw, p)
+	must(err)
+
+	// Each tenant owns its devices; the fabric operator owns the switches —
+	// the DPMU enforces this split (§4.5).
+	load := func(owner, name, fn string) {
+		prog, err := functions.Load(fn)
+		must(err)
+		comp, err := hp4c.Compile(prog, persona.Reference)
+		must(err)
+		_, err = d.Load(name, comp, owner, 0)
+		must(err)
+	}
+	tenants := []string{"tenant1", "tenant2", "tenant3", "tenant4"}
+	for i, t := range tenants {
+		load(t, fmt.Sprintf("r%d", i+1), functions.Router)
+	}
+	load("tenant1", "f1", functions.Firewall)
+	load("tenant2", "f2", functions.Firewall)
+	load("fabric", "l2_s1", functions.L2Switch)
+	load("fabric", "l2_s2", functions.L2Switch)
+	fmt.Println("eight virtual devices on one switch:", d.VDevs())
+
+	// --- routers ---
+	for i, t := range tenants {
+		name := fmt.Sprintf("r%d", i+1)
+		rc := functions.NewRouterControllerFunc(d.Installer(t, name))
+		must(rc.Init())
+		// Local subnet out the host-facing port.
+		must(rc.AddRoute(subnet[i], 24, hostIP[i], i+1))
+		must(rc.AddNextHop(hostIP[i], hostMAC[i]))
+		must(rc.AddPortMAC(i+1, rtrMAC[i]))
+		// Everything else toward the internal network, next hop = the
+		// target tenant's router.
+		for j := range tenants {
+			if j == i {
+				continue
+			}
+			gw := pkt.IP4{10, 0, byte(j + 1), 254}
+			must(rc.AddRoute(subnet[j], 24, gw, 10))
+			must(rc.AddNextHop(gw, rtrMAC[j]))
+		}
+		must(rc.AddPortMAC(10, rtrMAC[i]))
+		// The host-facing virtual port maps to the physical port.
+		must(d.AssignPort(t, dpmu.Assignment{PhysPort: i + 1, VDev: name, VIngress: i + 1}))
+		must(d.MapVPort(t, name, i+1, i+1))
+	}
+
+	// --- firewalls (tenants 1 and 2) ---
+	for _, f := range []struct {
+		owner, name string
+		blocked     uint16
+	}{{"tenant1", "f1", 2222}, {"tenant2", "f2", 8080}} {
+		fc := functions.NewFirewallControllerFunc(d.Installer(f.owner, f.name))
+		must(fc.BlockTCPDstPort(f.blocked))
+		// L2 forwarding inside the firewall: traffic for the tenant's own
+		// router goes to virtual port 10, everything else to 11.
+		idx := 0
+		if f.owner == "tenant2" {
+			idx = 1
+		}
+		must(fc.AddHost(rtrMAC[idx], 10))
+		for j, mac := range rtrMAC {
+			if j != idx {
+				must(fc.AddHost(mac, 11))
+			}
+		}
+	}
+
+	// --- internal switches ---
+	s1fab := functions.NewL2ControllerFunc(d.Installer("fabric", "l2_s1"))
+	must(s1fab.AddHost(rtrMAC[0], 1)) // toward f1
+	must(s1fab.AddHost(rtrMAC[1], 2)) // toward f2
+	must(s1fab.AddHost(rtrMAC[2], 3)) // toward l2_s2
+	must(s1fab.AddHost(rtrMAC[3], 3))
+	s2fab := functions.NewL2ControllerFunc(d.Installer("fabric", "l2_s2"))
+	must(s2fab.AddHost(rtrMAC[2], 1)) // toward r3
+	must(s2fab.AddHost(rtrMAC[3], 2)) // toward r4
+	must(s2fab.AddHost(rtrMAC[0], 3)) // toward l2_s1
+	must(s2fab.AddHost(rtrMAC[1], 3))
+
+	// --- virtual links (both directions each; each side is installed by
+	// the device's own tenant, as the DPMU requires) ---
+	link := func(ownerA, a string, ap int, ownerB, b string, bp int) {
+		must(d.LinkVPorts(ownerA, a, ap, b, bp))
+		must(d.LinkVPorts(ownerB, b, bp, a, ap))
+	}
+	link("tenant1", "r1", 10, "tenant1", "f1", 10)
+	link("tenant2", "r2", 10, "tenant2", "f2", 10)
+	link("tenant1", "f1", 11, "fabric", "l2_s1", 1)
+	link("tenant2", "f2", 11, "fabric", "l2_s1", 2)
+	link("fabric", "l2_s1", 3, "fabric", "l2_s2", 3)
+	link("tenant3", "r3", 10, "fabric", "l2_s2", 1)
+	link("tenant4", "r4", 10, "fabric", "l2_s2", 2)
+
+	// Attach real hosts and exercise the fabric end to end.
+	n := netsim.New()
+	n.AddSwitch("s1", sw)
+	for i := range hostMAC {
+		name := fmt.Sprintf("h%d", i+1)
+		n.AddHost(name, hostMAC[i], hostIP[i])
+		must(n.Connect("s1", i+1, name))
+	}
+	n.Start()
+	defer n.Stop()
+
+	fmt.Println("\nping h1 -> h3 (crosses r1, f1, l2_s1, l2_s2, r3):")
+	send := func(src, dst int, proto uint8, dstPort uint16) {
+		var l4 pkt.Layer
+		label := ""
+		switch proto {
+		case pkt.IPProtoICMP:
+			l4 = &pkt.ICMP{Type: pkt.ICMPEchoRequest, ID: 1, Seq: 1}
+			label = "icmp"
+		case pkt.IPProtoTCP:
+			l4 = &pkt.TCP{SrcPort: 40000, DstPort: dstPort}
+			label = fmt.Sprintf("tcp:%d", dstPort)
+		}
+		frame := pkt.Pad(pkt.Serialize(
+			&pkt.Ethernet{Dst: rtrMAC[src-1], Src: hostMAC[src-1], EtherType: pkt.EtherTypeIPv4},
+			&pkt.IPv4{TTL: 64, Protocol: proto, Src: hostIP[src-1], Dst: hostIP[dst-1]},
+			l4,
+		))
+		outs, tr, err := sw.Process(frame, src)
+		must(err)
+		if len(outs) == 0 {
+			fmt.Printf("  h%d -> h%d %-9s dropped (recirculations: %d)\n", src, dst, label, tr.Recirculates)
+			return
+		}
+		for _, o := range outs {
+			fmt.Printf("  h%d -> h%d %-9s -> port %d: %s (recirculations: %d)\n",
+				src, dst, label, o.Port, pkt.Summary(o.Data), tr.Recirculates)
+		}
+	}
+	send(1, 3, pkt.IPProtoICMP, 0)
+	fmt.Println("\ntenant-to-tenant with security controls:")
+	send(3, 1, pkt.IPProtoTCP, 80)   // inbound to tenant1, allowed port
+	send(3, 1, pkt.IPProtoTCP, 2222) // inbound to tenant1, f1 blocks
+	send(1, 2, pkt.IPProtoTCP, 8080) // inbound to tenant2, f2 blocks
+	send(4, 2, pkt.IPProtoTCP, 443)  // inbound to tenant2, allowed
+
+	fmt.Println("\nisolation: tenant3 may not touch tenant1's devices:")
+	if _, err := d.TableAdd("tenant3", "f1", "tcp_filter", "_nop", nil, nil, 0); err != nil {
+		fmt.Println("  DPMU refused:", err)
+	}
+
+	fmt.Println("\nlive ping through the whole virtual network:")
+	res, err := n.PingFlood("h1", "h4", 10)
+	must(err)
+	fmt.Printf("  10 pings h1 -> h4: mean %v per echo across 5 virtual devices each way\n", res.PerPing())
+}

@@ -1,0 +1,153 @@
+// Snapshots: the paper's Example One (§3.2). One HyPer4 device logically
+// stores three configurations — (A) an L2 switch, (B) a firewall, (C) the
+// composition arp_proxy → firewall → router — and hot-swaps between them at
+// runtime. The swap is a handful of assignment-table updates; no device is
+// reloaded and no other device's entries are touched.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"hyper4/internal/core/dpmu"
+	"hyper4/internal/core/hp4c"
+	"hyper4/internal/core/persona"
+	"hyper4/internal/functions"
+	"hyper4/internal/pkt"
+	"hyper4/internal/sim"
+)
+
+var (
+	h1MAC = pkt.MustMAC("00:00:00:00:00:01")
+	h2MAC = pkt.MustMAC("00:00:00:00:00:02")
+	h1IP  = pkt.MustIP4("10.0.0.1")
+	h2IP  = pkt.MustIP4("10.0.0.2")
+	s1MAC = pkt.MustMAC("aa:aa:aa:aa:aa:01")
+)
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}
+
+func load(d *dpmu.DPMU, name, fn string) {
+	prog, err := functions.Load(fn)
+	must(err)
+	comp, err := hp4c.Compile(prog, persona.Reference)
+	must(err)
+	_, err = d.Load(name, comp, "operator", 0)
+	must(err)
+}
+
+func main() {
+	p, err := persona.Generate(persona.Reference)
+	must(err)
+	sw, err := sim.New("s1", p.Program)
+	must(err)
+	d, err := dpmu.New(sw, p)
+	must(err)
+
+	// Logically store every program (Figure 2(b)): the device holds five
+	// virtual devices at once; snapshots pick which ones see traffic.
+	load(d, "l2", functions.L2Switch)
+	load(d, "fw", functions.Firewall)
+	load(d, "arp", functions.ARPProxy)
+	load(d, "cfw", functions.Firewall)
+	load(d, "rtr", functions.Router)
+	fmt.Println("loaded virtual devices:", d.VDevs())
+
+	// Populate each device's tables through the DPMU.
+	l2 := functions.NewL2ControllerFunc(d.Installer("operator", "l2"))
+	must(l2.AddHost(h1MAC, 1))
+	must(l2.AddHost(h2MAC, 2))
+
+	fw := functions.NewFirewallControllerFunc(d.Installer("operator", "fw"))
+	must(fw.AddHost(h1MAC, 1))
+	must(fw.AddHost(h2MAC, 2))
+	must(fw.BlockTCPDstPort(5201))
+
+	// Configuration C: arp → cfw → rtr chained over the virtual network.
+	arp := functions.NewARPControllerFunc(d.Installer("operator", "arp"))
+	must(arp.Init())
+	must(arp.AddProxiedHost(h2IP, h2MAC))
+	for _, mac := range []pkt.MAC{h1MAC, h2MAC, s1MAC} {
+		must(arp.AddHost(mac, 10))
+	}
+	cfw := functions.NewFirewallControllerFunc(d.Installer("operator", "cfw"))
+	must(cfw.BlockTCPDstPort(5201))
+	for _, mac := range []pkt.MAC{h1MAC, h2MAC, s1MAC} {
+		must(cfw.AddHost(mac, 10))
+	}
+	rtr := functions.NewRouterControllerFunc(d.Installer("operator", "rtr"))
+	must(rtr.Init())
+	for _, r := range []struct {
+		ip   pkt.IP4
+		port int
+		mac  pkt.MAC
+	}{{h1IP, 1, h1MAC}, {h2IP, 2, h2MAC}} {
+		must(rtr.AddRoute(r.ip, 32, r.ip, r.port))
+		must(rtr.AddNextHop(r.ip, r.mac))
+		must(rtr.AddPortMAC(r.port, s1MAC))
+	}
+
+	// Virtual port wiring used by every configuration.
+	for _, dev := range []string{"l2", "fw", "arp", "rtr"} {
+		for _, port := range []int{1, 2} {
+			must(d.MapVPort("operator", dev, port, port))
+		}
+	}
+	must(d.LinkVPorts("operator", "arp", 10, "cfw", 1))
+	must(d.LinkVPorts("operator", "cfw", 10, "rtr", 1))
+
+	// Store the three snapshots.
+	both := func(dev string) []dpmu.Assignment {
+		return []dpmu.Assignment{
+			{PhysPort: 1, VDev: dev, VIngress: 1},
+			{PhysPort: 2, VDev: dev, VIngress: 2},
+		}
+	}
+	must(d.SaveSnapshot("A", both("l2")))
+	must(d.SaveSnapshot("B", both("fw")))
+	must(d.SaveSnapshot("C", both("arp")))
+
+	// Probe traffic: a TCP flow to the filtered port, an ARP request, and
+	// an innocuous TCP flow.
+	blocked := pkt.Pad(pkt.Serialize(
+		&pkt.Ethernet{Dst: h2MAC, Src: h1MAC, EtherType: pkt.EtherTypeIPv4},
+		&pkt.IPv4{TTL: 64, Protocol: pkt.IPProtoTCP, Src: h1IP, Dst: h2IP},
+		&pkt.TCP{SrcPort: 4000, DstPort: 5201},
+	))
+	allowed := pkt.Pad(pkt.Serialize(
+		&pkt.Ethernet{Dst: h2MAC, Src: h1MAC, EtherType: pkt.EtherTypeIPv4},
+		&pkt.IPv4{TTL: 64, Protocol: pkt.IPProtoTCP, Src: h1IP, Dst: h2IP},
+		&pkt.TCP{SrcPort: 4000, DstPort: 80},
+	))
+	arpReq := pkt.Pad(pkt.Serialize(
+		&pkt.Ethernet{Dst: pkt.Broadcast, Src: h1MAC, EtherType: pkt.EtherTypeARP},
+		&pkt.ARP{Op: pkt.ARPRequest, SenderHW: h1MAC, SenderIP: h1IP, TargetIP: h2IP},
+	))
+
+	probe := func(name string, data []byte) {
+		outs, _, err := sw.Process(data, 1)
+		must(err)
+		if len(outs) == 0 {
+			fmt.Printf("  %-12s dropped\n", name)
+			return
+		}
+		for _, o := range outs {
+			fmt.Printf("  %-12s -> port %d: %s\n", name, o.Port, pkt.Summary(o.Data))
+		}
+	}
+
+	for _, snap := range []string{"A", "B", "C", "A"} {
+		must(d.ActivateSnapshot(snap))
+		fmt.Printf("\nactive configuration %q:\n", snap)
+		probe("tcp:5201", blocked)
+		probe("tcp:80", allowed)
+		probe("arp-request", arpReq)
+	}
+
+	fmt.Println("\nEach swap touched only the port-assignment entries; all five")
+	fmt.Println("virtual devices stayed loaded and populated throughout (§3.2).")
+}

@@ -1,0 +1,3 @@
+module hyper4
+
+go 1.22

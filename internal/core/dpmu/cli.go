@@ -1,0 +1,379 @@
+package dpmu
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"hyper4/internal/bitfield"
+	"hyper4/internal/core/hp4c"
+	"hyper4/internal/functions"
+	"hyper4/internal/sim"
+	"hyper4/internal/sim/runtime"
+)
+
+// CLI is the DPMU's textual management interface — the command path of
+// Figure 2(c): a controller keeps speaking its program's native bmv2-style
+// dialect, prefixed with the virtual device name, and the DPMU translates
+// each virtual operation into persona operations.
+//
+// Management commands:
+//
+//	load <vdev> <builtin-function> [quota]
+//	unload <vdev>
+//	assign <port|any> <vdev> <vingress>
+//	clear_assignments
+//	map <vdev> <vport> <physport>
+//	link <vdevA> <vportA> <vdevB> <vingressB>
+//	mcast <vdev> <vport> <vdev:vingress>...
+//	ratelimit <vdev> <yellowAt> <redAt>
+//	meter_tick
+//	stats <vdev>
+//	snapshot_save <name> <port:vdev:vingress>...
+//	snapshot_activate <name>
+//	vdevs
+//
+// Virtual table operations (translated, §3.1):
+//
+//	<vdev> table_add <table> <action> <match>... => <arg>... [priority]
+//	<vdev> table_delete <table> <handle>
+//	<vdev> table_modify <table> <handle> <action> <match>... => <arg>... [priority]
+//	<vdev> table_set_default <table> <action> [<arg>...]
+//
+// Match tokens use the emulated program's own field widths and kinds, in
+// the same syntax as internal/sim/runtime.
+type CLI struct {
+	D *DPMU
+	// Owner is stamped on every operation; the DPMU's authorization checks
+	// apply (§4.5).
+	Owner string
+}
+
+// NewCLI builds a command interface acting as owner.
+func NewCLI(d *DPMU, owner string) *CLI { return &CLI{D: d, Owner: owner} }
+
+// Exec runs one command line and returns its textual result.
+func (c *CLI) Exec(line string) (string, error) {
+	fields := strings.Fields(line)
+	if len(fields) == 0 {
+		return "", nil
+	}
+	cmd, args := fields[0], fields[1:]
+	switch cmd {
+	case "load":
+		if len(args) < 2 || len(args) > 3 {
+			return "", fmt.Errorf("load wants <vdev> <function> [quota]")
+		}
+		quota := 0
+		if len(args) == 3 {
+			q, err := strconv.Atoi(args[2])
+			if err != nil {
+				return "", fmt.Errorf("bad quota %q", args[2])
+			}
+			quota = q
+		}
+		prog, err := functions.Load(args[1])
+		if err != nil {
+			return "", err
+		}
+		comp, err := hp4c.Compile(prog, c.D.Config())
+		if err != nil {
+			return "", err
+		}
+		v, err := c.D.Load(args[0], comp, c.Owner, quota)
+		if err != nil {
+			return "", err
+		}
+		return fmt.Sprintf("loaded %s as program %d", v.Name, v.PID), nil
+
+	case "unload":
+		if len(args) != 1 {
+			return "", fmt.Errorf("unload wants <vdev>")
+		}
+		return "", c.D.Unload(c.Owner, args[0])
+
+	case "assign":
+		if len(args) != 3 {
+			return "", fmt.Errorf("assign wants <port|any> <vdev> <vingress>")
+		}
+		port := -1
+		if args[0] != "any" {
+			p, err := strconv.Atoi(args[0])
+			if err != nil {
+				return "", fmt.Errorf("bad port %q", args[0])
+			}
+			port = p
+		}
+		ving, err := strconv.Atoi(args[2])
+		if err != nil {
+			return "", fmt.Errorf("bad vingress %q", args[2])
+		}
+		return "", c.D.AssignPort(c.Owner, Assignment{PhysPort: port, VDev: args[1], VIngress: ving})
+
+	case "clear_assignments":
+		c.D.ClearAssignments()
+		return "", nil
+
+	case "map":
+		if len(args) != 3 {
+			return "", fmt.Errorf("map wants <vdev> <vport> <physport>")
+		}
+		vport, err1 := strconv.Atoi(args[1])
+		phys, err2 := strconv.Atoi(args[2])
+		if err1 != nil || err2 != nil {
+			return "", fmt.Errorf("bad ports %v", args[1:])
+		}
+		return "", c.D.MapVPort(c.Owner, args[0], vport, phys)
+
+	case "link":
+		if len(args) != 4 {
+			return "", fmt.Errorf("link wants <vdevA> <vportA> <vdevB> <vingressB>")
+		}
+		pa, err1 := strconv.Atoi(args[1])
+		pb, err2 := strconv.Atoi(args[3])
+		if err1 != nil || err2 != nil {
+			return "", fmt.Errorf("bad ports")
+		}
+		return "", c.D.LinkVPorts(c.Owner, args[0], pa, args[2], pb)
+
+	case "mcast":
+		if len(args) < 3 {
+			return "", fmt.Errorf("mcast wants <vdev> <vport> <vdev:vingress>...")
+		}
+		vport, err := strconv.Atoi(args[1])
+		if err != nil {
+			return "", fmt.Errorf("bad vport %q", args[1])
+		}
+		var targets []VPortRef
+		for _, spec := range args[2:] {
+			dev, ving, ok := strings.Cut(spec, ":")
+			if !ok {
+				return "", fmt.Errorf("bad target %q (want vdev:vingress)", spec)
+			}
+			v, err := strconv.Atoi(ving)
+			if err != nil {
+				return "", fmt.Errorf("bad target %q", spec)
+			}
+			targets = append(targets, VPortRef{VDev: dev, VIngress: v})
+		}
+		return "", c.D.MulticastGroup(c.Owner, args[0], vport, targets)
+
+	case "ratelimit":
+		if len(args) != 3 {
+			return "", fmt.Errorf("ratelimit wants <vdev> <yellowAt> <redAt>")
+		}
+		y, err1 := strconv.ParseUint(args[1], 0, 64)
+		r, err2 := strconv.ParseUint(args[2], 0, 64)
+		if err1 != nil || err2 != nil {
+			return "", fmt.Errorf("bad thresholds")
+		}
+		return "", c.D.SetRateLimit(c.Owner, args[0], y, r)
+
+	case "meter_tick":
+		return "", c.D.TickMeters()
+
+	case "stats":
+		if len(args) != 1 {
+			return "", fmt.Errorf("stats wants <vdev>")
+		}
+		pkts, bytes, err := c.D.TrafficStats(c.Owner, args[0])
+		if err != nil {
+			return "", err
+		}
+		return fmt.Sprintf("passes=%d bytes=%d", pkts, bytes), nil
+
+	case "snapshot_save":
+		if len(args) < 2 {
+			return "", fmt.Errorf("snapshot_save wants <name> <port:vdev:vingress>...")
+		}
+		var as []Assignment
+		for _, spec := range args[1:] {
+			parts := strings.Split(spec, ":")
+			if len(parts) != 3 {
+				return "", fmt.Errorf("bad assignment %q (want port:vdev:vingress)", spec)
+			}
+			port := -1
+			if parts[0] != "any" {
+				p, err := strconv.Atoi(parts[0])
+				if err != nil {
+					return "", fmt.Errorf("bad port in %q", spec)
+				}
+				port = p
+			}
+			ving, err := strconv.Atoi(parts[2])
+			if err != nil {
+				return "", fmt.Errorf("bad vingress in %q", spec)
+			}
+			as = append(as, Assignment{PhysPort: port, VDev: parts[1], VIngress: ving})
+		}
+		return "", c.D.SaveSnapshot(args[0], as)
+
+	case "snapshot_activate":
+		if len(args) != 1 {
+			return "", fmt.Errorf("snapshot_activate wants <name>")
+		}
+		return "", c.D.ActivateSnapshot(args[0])
+
+	case "vdevs":
+		return strings.Join(c.D.VDevs(), " "), nil
+	}
+
+	// Virtual table operations: "<vdev> table_add ...".
+	if _, err := c.D.VDev(cmd); err == nil && len(args) > 0 {
+		return c.vdevOp(cmd, args[0], args[1:])
+	}
+	return "", fmt.Errorf("unknown dpmu command %q", cmd)
+}
+
+// ExecAll runs a script of commands, reporting the first failing line.
+func (c *CLI) ExecAll(script string) error {
+	for i, line := range strings.Split(script, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if _, err := c.Exec(line); err != nil {
+			return fmt.Errorf("line %d: %w", i+1, err)
+		}
+	}
+	return nil
+}
+
+// vdevOp translates one virtual table operation.
+func (c *CLI) vdevOp(vdev, op string, args []string) (string, error) {
+	v, err := c.D.VDev(vdev)
+	if err != nil {
+		return "", err
+	}
+	switch op {
+	case "table_add":
+		if len(args) < 2 {
+			return "", fmt.Errorf("table_add wants <table> <action> <match>... => <args>...")
+		}
+		table, action := args[0], args[1]
+		params, actionArgs, prio, err := c.parseEntry(v, table, action, args[2:])
+		if err != nil {
+			return "", err
+		}
+		h, err := c.D.TableAdd(c.Owner, vdev, table, action, params, actionArgs, prio)
+		if err != nil {
+			return "", err
+		}
+		return fmt.Sprintf("handle %d", h), nil
+	case "table_delete":
+		if len(args) != 2 {
+			return "", fmt.Errorf("table_delete wants <table> <handle>")
+		}
+		h, err := strconv.Atoi(args[1])
+		if err != nil {
+			return "", fmt.Errorf("bad handle %q", args[1])
+		}
+		return "", c.D.TableDelete(c.Owner, vdev, args[0], h)
+	case "table_modify":
+		if len(args) < 3 {
+			return "", fmt.Errorf("table_modify wants <table> <handle> <action> <match>... => <args>...")
+		}
+		table := args[0]
+		h, err := strconv.Atoi(args[1])
+		if err != nil {
+			return "", fmt.Errorf("bad handle %q", args[1])
+		}
+		action := args[2]
+		params, actionArgs, prio, err := c.parseEntry(v, table, action, args[3:])
+		if err != nil {
+			return "", err
+		}
+		return "", c.D.TableModify(c.Owner, vdev, table, h, action, params, actionArgs, prio)
+	case "table_set_default":
+		if len(args) < 2 {
+			return "", fmt.Errorf("table_set_default wants <table> <action> [args...]")
+		}
+		actionArgs, err := parseValueList(args[2:])
+		if err != nil {
+			return "", err
+		}
+		return "", c.D.SetDefault(c.Owner, vdev, args[0], args[1], actionArgs)
+	}
+	return "", fmt.Errorf("unknown virtual operation %q", op)
+}
+
+// parseEntry parses "<match>... => <args>... [priority]" against the
+// emulated table's reads.
+func (c *CLI) parseEntry(v *VDev, table, action string, rest []string) ([]sim.MatchParam, []bitfield.Value, int, error) {
+	tbl, ok := v.Comp.Prog.Tables[table]
+	if !ok {
+		return nil, nil, 0, fmt.Errorf("program %s has no table %q", v.Comp.Name, table)
+	}
+	act, ok := v.Comp.Actions[action]
+	if !ok {
+		return nil, nil, 0, fmt.Errorf("program %s has no action %q", v.Comp.Name, action)
+	}
+	sep := -1
+	for i, a := range rest {
+		if a == "=>" {
+			sep = i
+			break
+		}
+	}
+	var matchToks, argToks []string
+	if sep < 0 {
+		matchToks = rest
+	} else {
+		matchToks = rest[:sep]
+		argToks = rest[sep+1:]
+	}
+	if len(matchToks) != len(tbl.Reads) {
+		return nil, nil, 0, fmt.Errorf("table %s wants %d match fields, got %d", table, len(tbl.Reads), len(matchToks))
+	}
+	params := make([]sim.MatchParam, len(tbl.Reads))
+	needsPriority := false
+	for i, r := range tbl.Reads {
+		spec := sim.ReadSpec{Kind: r.Match}
+		if r.Field != nil {
+			w, err := v.Comp.Prog.FieldWidth(*r.Field)
+			if err != nil {
+				return nil, nil, 0, err
+			}
+			spec.Width = w
+		} else {
+			spec.Width = 1
+		}
+		p, err := runtime.ParseMatchToken(matchToks[i], spec)
+		if err != nil {
+			return nil, nil, 0, fmt.Errorf("match %d: %w", i, err)
+		}
+		params[i] = p
+		if r.Match == "ternary" || r.Match == "lpm" || r.Match == "range" {
+			needsPriority = true
+		}
+	}
+	priority := 0
+	if needsPriority && len(argToks) == len(act.Params)+1 {
+		p, err := strconv.Atoi(argToks[len(argToks)-1])
+		if err != nil {
+			return nil, nil, 0, fmt.Errorf("bad priority %q", argToks[len(argToks)-1])
+		}
+		priority = p
+		argToks = argToks[:len(argToks)-1]
+	}
+	if len(argToks) != len(act.Params) {
+		return nil, nil, 0, fmt.Errorf("action %s wants %d args, got %d", action, len(act.Params), len(argToks))
+	}
+	actionArgs, err := parseValueList(argToks)
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	return params, actionArgs, priority, nil
+}
+
+func parseValueList(toks []string) ([]bitfield.Value, error) {
+	out := make([]bitfield.Value, len(toks))
+	for i, tok := range toks {
+		v, err := runtime.ParseValueToken(tok, 0)
+		if err != nil {
+			return nil, fmt.Errorf("arg %d: %w", i, err)
+		}
+		out[i] = v
+	}
+	return out, nil
+}

@@ -1,0 +1,165 @@
+package dpmu
+
+import (
+	"strings"
+	"testing"
+
+	"hyper4/internal/pkt"
+)
+
+// TestCLIFullScenario drives the whole Figure 2(c) flow through text
+// commands: load two devices, populate them in their native dialect, wire
+// the virtual network, snapshot, and verify traffic at each step.
+func TestCLIFullScenario(t *testing.T) {
+	d := newPersonaDPMU(t)
+	cli := NewCLI(d, "op")
+
+	script := `
+# two virtual devices
+load l2 l2_switch
+load fw firewall
+
+# native-dialect population, prefixed by the device name
+l2 table_add smac _nop 00:00:00:00:00:01 =>
+l2 table_add dmac forward 00:00:00:00:00:01 => 1
+l2 table_add smac _nop 00:00:00:00:00:02 =>
+l2 table_add dmac forward 00:00:00:00:00:02 => 2
+fw table_add dmac forward 00:00:00:00:00:02 => 2
+fw table_add tcp_filter _drop 0&&&0 5201&&&0xffff => 1
+
+# wiring
+map l2 1 1
+map l2 2 2
+map fw 2 2
+snapshot_save A 1:l2:1 2:l2:2
+snapshot_save B 1:fw:1 2:fw:2
+snapshot_activate A
+`
+	if err := cli.ExecAll(script); err != nil {
+		t.Fatal(err)
+	}
+	out, err := cli.Exec("vdevs")
+	if err != nil || out != "fw l2" {
+		t.Errorf("vdevs = %q, %v", out, err)
+	}
+
+	blocked := tcpFrame(5201)
+	outs, _, err := d.SW.Process(blocked, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(outs) != 1 {
+		t.Fatalf("under A (l2) the frame passes: %+v", outs)
+	}
+	if _, err := cli.Exec("snapshot_activate B"); err != nil {
+		t.Fatal(err)
+	}
+	outs, _, err = d.SW.Process(blocked, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(outs) != 0 {
+		t.Fatalf("under B (fw) the frame drops: %+v", outs)
+	}
+
+	// Traffic stats via CLI.
+	statsOut, err := cli.Exec("stats fw")
+	if err != nil || !strings.HasPrefix(statsOut, "passes=") {
+		t.Errorf("stats = %q, %v", statsOut, err)
+	}
+
+	// Virtual delete via handle.
+	h, err := cli.Exec("l2 table_add dmac forward 00:00:00:00:00:09 => 1")
+	if err != nil || !strings.HasPrefix(h, "handle ") {
+		t.Fatalf("add = %q, %v", h, err)
+	}
+	if _, err := cli.Exec("l2 table_delete dmac " + strings.TrimPrefix(h, "handle ")); err != nil {
+		t.Fatal(err)
+	}
+
+	// Modify through the CLI.
+	h2cmd, err := cli.Exec("l2 table_add dmac forward 00:00:00:00:00:0a => 1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	handle := strings.TrimPrefix(h2cmd, "handle ")
+	if _, err := cli.Exec("l2 table_modify dmac " + handle + " _drop 00:00:00:00:00:0a"); err != nil {
+		t.Fatal(err)
+	}
+
+	// Unload through the CLI.
+	if _, err := cli.Exec("unload fw"); err != nil {
+		t.Fatal(err)
+	}
+	if out, _ := cli.Exec("vdevs"); out != "l2" {
+		t.Errorf("after unload: %q", out)
+	}
+}
+
+func TestCLILinkAndMcast(t *testing.T) {
+	d := newPersonaDPMU(t)
+	cli := NewCLI(d, "op")
+	script := `
+load src l2_switch
+load a l2_switch
+load b l2_switch
+src table_add dmac forward 00:00:00:00:00:02 => 10
+a table_add dmac forward 00:00:00:00:00:02 => 5
+b table_add dmac forward 00:00:00:00:00:02 => 6
+assign 1 src 1
+map a 5 5
+map b 6 6
+mcast src 10 a:1 b:1
+`
+	if err := cli.ExecAll(script); err != nil {
+		t.Fatal(err)
+	}
+	frame := pkt.Pad(pkt.Serialize(&pkt.Ethernet{Dst: mac2, Src: mac1, EtherType: 0x0800}))
+	outs, _, err := d.SW.Process(frame, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(outs) != 2 {
+		t.Fatalf("multicast copies: %+v", outs)
+	}
+}
+
+func TestCLIErrors(t *testing.T) {
+	d := newPersonaDPMU(t)
+	cli := NewCLI(d, "op")
+	if _, err := cli.Exec("load l2 l2_switch"); err != nil {
+		t.Fatal(err)
+	}
+	bad := []string{
+		"bogus",
+		"load x",
+		"load x nosuchfn",
+		"assign one l2 1",
+		"map l2 x 1",
+		"link l2 x l2 1",
+		"mcast l2 10 junk",
+		"ratelimit l2 x y",
+		"stats ghost",
+		"snapshot_save",
+		"snapshot_save A port-vdev",
+		"snapshot_activate ghost",
+		"l2 table_add ghost _nop =>",
+		"l2 table_add dmac ghost 1 =>",
+		"l2 table_add dmac forward =>",
+		"l2 table_delete dmac x",
+		"l2 bogus_op",
+	}
+	for _, cmd := range bad {
+		if _, err := cli.Exec(cmd); err == nil {
+			t.Errorf("command %q should fail", cmd)
+		}
+	}
+	// Ownership enforcement through the CLI.
+	mallory := NewCLI(d, "mallory")
+	if _, err := mallory.Exec("unload l2"); err == nil {
+		t.Error("foreign unload should fail")
+	}
+	if _, err := mallory.Exec("l2 table_add dmac forward 00:00:00:00:00:02 => 1"); err == nil {
+		t.Error("foreign table_add should fail")
+	}
+}

@@ -1,0 +1,193 @@
+// Package dpmu implements HyPer4's Data Plane Management Unit (§3.1, §4.5).
+// Like the MMU it is named after, the DPMU translates virtual operations —
+// table adds and deletes addressed to an emulated program — into physical
+// persona table operations, and enforces isolation: it allocates program
+// IDs, stamps them into every translated entry (code isolation), checks that
+// the requester owns the virtual device it addresses (authorization), and
+// enforces per-device entry quotas (memory isolation).
+package dpmu
+
+import (
+	"fmt"
+	"sort"
+
+	"hyper4/internal/bitfield"
+	"hyper4/internal/core/hp4c"
+	"hyper4/internal/core/persona"
+	"hyper4/internal/sim"
+	"hyper4/internal/sim/runtime"
+)
+
+// DPMU manages one persona switch.
+type DPMU struct {
+	SW  *sim.Switch
+	cfg persona.Config
+
+	vdevs       map[string]*VDev
+	nextPID     int
+	nextMatchID int
+	nextMcast   int
+	nextSession int
+	snapshots   map[string][]Assignment
+	active      string
+	assignPEs   []pentry // installed t_assign entries
+}
+
+// VDev is one loaded virtual device: a compiled program bound to a program
+// ID on the persona.
+type VDev struct {
+	Name  string
+	PID   int
+	Owner string
+	Comp  *hp4c.Compiled
+	// Quota bounds installed virtual entries (0 = unlimited), the memory
+	// isolation mechanism of §4.5.
+	Quota int
+
+	entries    map[int]*ventry
+	nextHandle int
+	static     []pentry            // parse/virtnet/csum rows
+	defaults   map[string][]pentry // per-table catch-all rows
+	links      []pentry            // virtual network rows
+}
+
+// EntryCount returns the number of installed virtual entries.
+func (v *VDev) EntryCount() int { return len(v.entries) }
+
+// ventry is one virtual entry and the persona rows realizing it.
+type ventry struct {
+	table string
+	rows  []pentry
+}
+
+// pentry identifies one persona row.
+type pentry struct {
+	table  string
+	handle int
+}
+
+// Assignment binds a physical ingress port (-1 = every port) to a virtual
+// device and virtual ingress port.
+type Assignment struct {
+	PhysPort int
+	VDev     string
+	VIngress int
+}
+
+// New creates a DPMU over a freshly loaded persona switch. It installs the
+// persona's base entries.
+func New(sw *sim.Switch, p *persona.Persona) (*DPMU, error) {
+	if err := runtime.New(sw).ExecAll(p.BaseCommands); err != nil {
+		return nil, fmt.Errorf("dpmu: persona base entries: %w", err)
+	}
+	return &DPMU{
+		SW:          sw,
+		cfg:         p.Config,
+		vdevs:       map[string]*VDev{},
+		nextPID:     0,
+		nextMatchID: 0,
+		snapshots:   map[string][]Assignment{},
+	}, nil
+}
+
+// Config returns the persona configuration the DPMU manages.
+func (d *DPMU) Config() persona.Config { return d.cfg }
+
+// VDevs returns the loaded virtual device names, sorted.
+func (d *DPMU) VDevs() []string {
+	out := make([]string, 0, len(d.vdevs))
+	for name := range d.vdevs {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// VDev returns a loaded virtual device.
+func (d *DPMU) VDev(name string) (*VDev, error) {
+	v, ok := d.vdevs[name]
+	if !ok {
+		return nil, fmt.Errorf("dpmu: no virtual device %q", name)
+	}
+	return v, nil
+}
+
+// Load instantiates a compiled program as a new virtual device owned by
+// owner. quota bounds its virtual entries (0 = unlimited).
+func (d *DPMU) Load(name string, comp *hp4c.Compiled, owner string, quota int) (*VDev, error) {
+	if _, dup := d.vdevs[name]; dup {
+		return nil, fmt.Errorf("dpmu: virtual device %q already loaded", name)
+	}
+	if comp.Cfg != d.cfg {
+		return nil, fmt.Errorf("dpmu: program compiled for persona config %+v, switch runs %+v", comp.Cfg, d.cfg)
+	}
+	d.nextPID++
+	v := &VDev{
+		Name:     name,
+		PID:      d.nextPID,
+		Owner:    owner,
+		Comp:     comp,
+		Quota:    quota,
+		entries:  map[int]*ventry{},
+		defaults: map[string][]pentry{},
+	}
+	if err := d.installStatic(v); err != nil {
+		d.removeRows(v.static)
+		for _, rows := range v.defaults {
+			d.removeRows(rows)
+		}
+		return nil, err
+	}
+	d.vdevs[name] = v
+	return v, nil
+}
+
+// Unload removes a virtual device and every persona row it owns. Live
+// traffic of other devices is unaffected — this is the paper's
+// modify-the-program-set-at-runtime property.
+func (d *DPMU) Unload(owner, name string) error {
+	v, err := d.auth(owner, name)
+	if err != nil {
+		return err
+	}
+	for _, e := range v.entries {
+		d.removeRows(e.rows)
+	}
+	for _, rows := range v.defaults {
+		d.removeRows(rows)
+	}
+	d.removeRows(v.links)
+	d.removeRows(v.static)
+	delete(d.vdevs, name)
+	return nil
+}
+
+// auth checks that owner may manage the named device (§4.5: "The DPMU
+// monitors requests ... and ensures the program IDs in the entries are
+// authorized for the requester").
+func (d *DPMU) auth(owner, name string) (*VDev, error) {
+	v, ok := d.vdevs[name]
+	if !ok {
+		return nil, fmt.Errorf("dpmu: no virtual device %q", name)
+	}
+	if v.Owner != "" && owner != v.Owner {
+		return nil, fmt.Errorf("dpmu: %q is not authorized for virtual device %q", owner, name)
+	}
+	return v, nil
+}
+
+func (d *DPMU) removeRows(rows []pentry) {
+	for _, r := range rows {
+		// Best effort: rows may already be gone during unload cleanup.
+		_ = d.SW.TableDelete(r.table, r.handle)
+	}
+}
+
+func (d *DPMU) addRow(dst *[]pentry, table, action string, params []sim.MatchParam, args []bitfield.Value, prio int) error {
+	h, err := d.SW.TableAdd(table, action, params, args, prio)
+	if err != nil {
+		return fmt.Errorf("dpmu: %s: %w", table, err)
+	}
+	*dst = append(*dst, pentry{table: table, handle: h})
+	return nil
+}

@@ -1,0 +1,549 @@
+package dpmu
+
+import (
+	"fmt"
+	"math/big"
+
+	"hyper4/internal/bitfield"
+	"hyper4/internal/core/hp4c"
+	"hyper4/internal/core/persona"
+	"hyper4/internal/p4/ast"
+	"hyper4/internal/p4/hlir"
+	"hyper4/internal/sim"
+)
+
+// Priority scheme: rows from more-constrained parse paths must beat rows
+// from less-constrained ones, so a TCP packet prefers the tcp-path replica
+// of an entry over the generic-IP replica. Within a path band, user ternary
+// priorities and LPM prefix lengths order rows, and the per-slot catch-all
+// sits at the bottom of the band.
+const (
+	pathBand     = 100000
+	maxPathDepth = 32
+	catchAllOff  = pathBand - 10
+)
+
+func pathBase(p *hp4c.ParsePath) int {
+	depth := len(p.Constraints)
+	if depth > maxPathDepth {
+		depth = maxPathDepth
+	}
+	return (maxPathDepth - depth) * pathBand
+}
+
+// wideFromConstraints folds ternary constraints into an existing value/mask
+// pair over a wide field.
+func wideFromConstraints(value, mask bitfield.Value, cons []hp4c.Constraint) (bitfield.Value, bitfield.Value) {
+	for _, c := range cons {
+		v := bitfield.FromBig(c.Width, c.Value)
+		m := bitfield.Ones(c.Width)
+		if c.Mask != nil {
+			m = bitfield.FromBig(c.Width, c.Mask)
+		}
+		// Only masked bits participate.
+		value.Insert(c.BitOff, v.And(m))
+		cur := mask.Slice(c.BitOff, c.Width)
+		mask.Insert(c.BitOff, cur.Or(m))
+	}
+	return value, mask
+}
+
+// installStatic installs a device's parse-control rows, virtual-network drop
+// rows, and checksum row.
+func (d *DPMU) installStatic(v *VDev) error {
+	ew := d.cfg.ExtractedWidth()
+	pid := bitfield.FromUint(persona.ProgramWidth, uint64(v.PID))
+	for _, pe := range v.Comp.ParseEntries {
+		value, mask := wideFromConstraints(bitfield.New(ew), bitfield.New(ew), pe.Constraints)
+		params := []sim.MatchParam{
+			sim.Exact(pid),
+			sim.ExactUint(persona.StateWidth, uint64(pe.State)),
+			sim.Ternary(value, mask),
+		}
+		if pe.More {
+			args := []bitfield.Value{
+				bitfield.FromUint(persona.NumBytesWidth, uint64(pe.NumBytes)),
+				bitfield.FromUint(persona.StateWidth, uint64(pe.NextState)),
+			}
+			if err := d.addRow(&v.static, persona.TblParseCtrl, persona.ActParseMore, params, args, pe.Priority); err != nil {
+				return err
+			}
+			continue
+		}
+		csum := uint64(0)
+		if pe.Path.Csum {
+			csum = 1
+		}
+		args := []bitfield.Value{
+			bitfield.FromUint(persona.NextTblWidth, uint64(pe.Path.First.Kind)),
+			bitfield.FromUint(persona.SlotWidth, uint64(pe.Path.First.ID)),
+			bitfield.FromUint(8, csum),
+		}
+		if err := d.addRow(&v.static, persona.TblParseCtrl, persona.ActParseDone, params, args, pe.Priority); err != nil {
+			return err
+		}
+	}
+	// Virtual drops: an unset virtual egress port (0) and an explicit
+	// virtual drop (VPortDrop) both drop.
+	for _, vp := range []uint64{0, persona.VPortDrop} {
+		params := []sim.MatchParam{sim.Exact(pid), sim.ExactUint(persona.VPortWidth, vp)}
+		if err := d.addRow(&v.static, persona.TblVirtnet, persona.ActVDrop, params, nil, 0); err != nil {
+			return err
+		}
+	}
+	// Every slot gets a catch-all miss row: it runs the table's declared
+	// default action (zero-argument defaults only; others need SetDefault)
+	// or nothing, and — critically — primes next_table/next_slot so a miss
+	// falls through to the correct successor stage.
+	for table, slots := range v.Comp.Slots {
+		if len(slots) == 0 {
+			continue
+		}
+		ca := &hp4c.CompiledAction{Name: "(fall-through)"}
+		if ma := slots[0].MissAction; ma != "" {
+			if compiled := v.Comp.Actions[ma]; compiled != nil && len(compiled.Params) == 0 {
+				ca = compiled
+			}
+		}
+		var rows []pentry
+		for _, slot := range slots {
+			prio := pathBase(slot.Path) + catchAllOff
+			if err := d.installSlotRow(v, slot, ca, nil, prio, slot.Miss, &rows); err != nil {
+				d.removeRows(rows)
+				return err
+			}
+		}
+		v.defaults[table] = rows
+	}
+	if v.Comp.NeedsIPv4Csum {
+		hoff := v.Comp.HeaderOffsets[v.Comp.CsumHeader]
+		csumBit := hoff*8 + 80
+		ncmask := bitfield.MaskRange(ew, csumBit, 16).Not()
+		args := []bitfield.Value{
+			ncmask,
+			bitfield.FromUint(persona.ShiftWidth, uint64(ew-hoff*8-16)),
+			bitfield.FromUint(persona.ShiftWidth, uint64(ew-csumBit-16)),
+		}
+		if err := d.addRow(&v.static, persona.TblCsum, "a_ipv4_csum", []sim.MatchParam{sim.Exact(pid)}, args, 0); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// TableAdd installs one virtual entry: the match is replicated into every
+// stage slot of the target table (with the slot's parse-path constraints
+// folded in), and each replica gets a fresh match ID plus the primitive-spec
+// rows realizing the bound action.
+func (d *DPMU) TableAdd(owner, vdev, table, action string, params []sim.MatchParam, args []bitfield.Value, priority int) (int, error) {
+	v, err := d.auth(owner, vdev)
+	if err != nil {
+		return 0, err
+	}
+	if v.Quota > 0 && len(v.entries) >= v.Quota {
+		return 0, fmt.Errorf("dpmu: virtual device %q exceeds its quota of %d entries", vdev, v.Quota)
+	}
+	slots, ok := v.Comp.Slots[table]
+	if !ok || len(slots) == 0 {
+		return 0, fmt.Errorf("dpmu: program %s has no (reachable) table %q", v.Comp.Name, table)
+	}
+	tbl := v.Comp.Prog.Tables[table]
+	if len(params) != len(tbl.Reads) {
+		return 0, fmt.Errorf("dpmu: table %s wants %d match params, got %d", table, len(tbl.Reads), len(params))
+	}
+	ca, ok := v.Comp.Actions[action]
+	if !ok {
+		return 0, fmt.Errorf("dpmu: program %s has no action %q", v.Comp.Name, action)
+	}
+	if len(args) != len(ca.Params) {
+		return 0, fmt.Errorf("dpmu: action %s wants %d args, got %d", action, len(ca.Params), len(args))
+	}
+	e := &ventry{table: table}
+	for _, slot := range slots {
+		if !slotAcceptsEntry(v.Comp, tbl, slot, params) {
+			continue
+		}
+		if err := d.installReplica(v, slot, tbl, ca, params, args, priority, &e.rows); err != nil {
+			d.removeRows(e.rows)
+			return 0, err
+		}
+	}
+	if len(e.rows) == 0 {
+		d.removeRows(e.rows)
+		return 0, fmt.Errorf("dpmu: entry matches no parse path of table %q", table)
+	}
+	v.nextHandle++
+	v.entries[v.nextHandle] = e
+	return v.nextHandle, nil
+}
+
+// TableDelete removes a virtual entry.
+func (d *DPMU) TableDelete(owner, vdev, table string, handle int) error {
+	v, err := d.auth(owner, vdev)
+	if err != nil {
+		return err
+	}
+	e, ok := v.entries[handle]
+	if !ok || e.table != table {
+		return fmt.Errorf("dpmu: device %s table %s has no entry %d", vdev, table, handle)
+	}
+	d.removeRows(e.rows)
+	delete(v.entries, handle)
+	return nil
+}
+
+// TableModify rebinds an existing virtual entry to a new action (or new
+// action arguments), preserving the virtual handle. The persona rows are
+// replaced atomically from the caller's perspective: the new rows are
+// installed under fresh match IDs before the old rows are removed, so live
+// traffic never sees a gap.
+func (d *DPMU) TableModify(owner, vdev, table string, handle int, action string, params []sim.MatchParam, args []bitfield.Value, priority int) error {
+	v, err := d.auth(owner, vdev)
+	if err != nil {
+		return err
+	}
+	e, ok := v.entries[handle]
+	if !ok || e.table != table {
+		return fmt.Errorf("dpmu: device %s table %s has no entry %d", vdev, table, handle)
+	}
+	tbl := v.Comp.Prog.Tables[table]
+	ca, ok := v.Comp.Actions[action]
+	if !ok {
+		return fmt.Errorf("dpmu: program %s has no action %q", v.Comp.Name, action)
+	}
+	if len(args) != len(ca.Params) {
+		return fmt.Errorf("dpmu: action %s wants %d args, got %d", action, len(ca.Params), len(args))
+	}
+	var fresh []pentry
+	for _, slot := range v.Comp.Slots[table] {
+		if !slotAcceptsEntry(v.Comp, tbl, slot, params) {
+			continue
+		}
+		if err := d.installReplica(v, slot, tbl, ca, params, args, priority, &fresh); err != nil {
+			d.removeRows(fresh)
+			return err
+		}
+	}
+	if len(fresh) == 0 {
+		return fmt.Errorf("dpmu: modified entry matches no parse path of table %q", table)
+	}
+	d.removeRows(e.rows)
+	e.rows = fresh
+	return nil
+}
+
+// SetDefault binds a table's miss behavior: one catch-all row per slot,
+// below every real entry of that slot's path band.
+func (d *DPMU) SetDefault(owner, vdev, table, action string, args []bitfield.Value) error {
+	v, err := d.auth(owner, vdev)
+	if err != nil {
+		return err
+	}
+	slots, ok := v.Comp.Slots[table]
+	if !ok {
+		return fmt.Errorf("dpmu: program %s has no table %q", v.Comp.Name, table)
+	}
+	ca, ok := v.Comp.Actions[action]
+	if !ok {
+		return fmt.Errorf("dpmu: program %s has no action %q", v.Comp.Name, action)
+	}
+	if len(args) != len(ca.Params) {
+		return fmt.Errorf("dpmu: action %s wants %d args, got %d", action, len(ca.Params), len(args))
+	}
+	if old, ok := v.defaults[table]; ok {
+		d.removeRows(old)
+		delete(v.defaults, table)
+	}
+	var rows []pentry
+	for _, slot := range slots {
+		if slot.MissAction != "" && slot.MissAction != action {
+			d.removeRows(rows)
+			return fmt.Errorf("dpmu: table %s compiled with default %q; cannot set %q (successor stages differ)", table, slot.MissAction, action)
+		}
+		prio := pathBase(slot.Path) + catchAllOff
+		if err := d.installSlotRow(v, slot, ca, args, prio, slot.Miss, &rows); err != nil {
+			d.removeRows(rows)
+			return err
+		}
+	}
+	v.defaults[table] = rows
+	return nil
+}
+
+// slotAcceptsEntry reports whether a valid()-matching entry belongs on a
+// slot's parse path (a valid=1 entry cannot live on a path where the header
+// was never extracted, and vice versa).
+func slotAcceptsEntry(comp *hp4c.Compiled, tbl *ast.Table, slot *hp4c.Slot, params []sim.MatchParam) bool {
+	for i, r := range tbl.Reads {
+		if r.Match != ast.MatchValid {
+			continue
+		}
+		isValid := slot.Path.Valid[r.Header.Instance]
+		if params[i].ValidWant != isValid {
+			return false
+		}
+	}
+	return true
+}
+
+// installReplica installs the match row + primitive rows for one slot.
+func (d *DPMU) installReplica(v *VDev, slot *hp4c.Slot, tbl *ast.Table, ca *hp4c.CompiledAction, params []sim.MatchParam, args []bitfield.Value, priority int, rows *[]pentry) error {
+	next, ok := slot.Next[ca.Name]
+	if !ok {
+		return fmt.Errorf("dpmu: table %s stage %d has no successor for action %s", slot.Table, slot.Stage, ca.Name)
+	}
+	matchParams, extraPrio, err := d.matchFor(v, slot, tbl, params)
+	if err != nil {
+		return err
+	}
+	prio := pathBase(slot.Path) + priority + extraPrio
+	return d.installRow(v, slot, ca, matchParams, args, prio, next, rows)
+}
+
+// installSlotRow installs a catch-all (miss) row for a slot.
+func (d *DPMU) installSlotRow(v *VDev, slot *hp4c.Slot, ca *hp4c.CompiledAction, args []bitfield.Value, prio int, next hp4c.Succ, rows *[]pentry) error {
+	pid := bitfield.FromUint(persona.ProgramWidth, uint64(v.PID))
+	slotID := bitfield.FromUint(persona.SlotWidth, uint64(slot.ID))
+	ew := d.cfg.ExtractedWidth()
+	var matchParams []sim.MatchParam
+	switch slot.Kind {
+	case persona.NTEDExact, persona.NTEDTernary:
+		value, mask := wideFromConstraints(bitfield.New(ew), bitfield.New(ew), slot.Path.Constraints)
+		matchParams = []sim.MatchParam{sim.Exact(pid), sim.Exact(slotID), sim.Ternary(value, mask)}
+	case persona.NTMetaExact, persona.NTMetaTernary:
+		matchParams = []sim.MatchParam{sim.Exact(pid), sim.Exact(slotID), sim.Ternary(bitfield.New(persona.MetaWidth), bitfield.New(persona.MetaWidth))}
+	case persona.NTStdMeta:
+		z := bitfield.New(persona.VPortWidth)
+		matchParams = []sim.MatchParam{sim.Exact(pid), sim.Exact(slotID), sim.Ternary(z, z.Clone()), sim.Ternary(z.Clone(), z.Clone())}
+	case persona.NTMatchless:
+		matchParams = []sim.MatchParam{sim.Exact(pid), sim.Exact(slotID)}
+	default:
+		return fmt.Errorf("dpmu: bad slot kind %d", slot.Kind)
+	}
+	return d.installRow(v, slot, ca, matchParams, args, prio, next, rows)
+}
+
+// installRow adds the a_set_match row and the per-primitive prep rows.
+func (d *DPMU) installRow(v *VDev, slot *hp4c.Slot, ca *hp4c.CompiledAction, matchParams []sim.MatchParam, args []bitfield.Value, prio int, next hp4c.Succ, rows *[]pentry) error {
+	d.nextMatchID++
+	mid := d.nextMatchID
+	stageTable := persona.StageTable(slot.Stage, persona.KindName(slot.Kind))
+	setArgs := []bitfield.Value{
+		bitfield.FromUint(persona.MatchIDWidth, uint64(mid)),
+		bitfield.FromUint(persona.PrimWidth, uint64(len(ca.Prims))),
+		bitfield.FromUint(persona.NextTblWidth, uint64(next.Kind)),
+		bitfield.FromUint(persona.SlotWidth, uint64(next.ID)),
+	}
+	if err := d.addRow(rows, stageTable, persona.ActSetMatch, matchParams, setArgs, prio); err != nil {
+		return err
+	}
+	pid := bitfield.FromUint(persona.ProgramWidth, uint64(v.PID))
+	midVal := bitfield.FromUint(persona.MatchIDWidth, uint64(mid))
+	for p, spec := range ca.Prims {
+		prepTable := persona.PrimTable(slot.Stage, p+1, "prep")
+		prepAction, prepArgs, err := d.prepFor(spec, args)
+		if err != nil {
+			return err
+		}
+		prepParams := []sim.MatchParam{sim.Exact(pid), sim.Exact(midVal)}
+		if err := d.addRow(rows, prepTable, prepAction, prepParams, prepArgs, 0); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// matchFor translates the virtual match params into the slot's persona
+// match params, folding in parse-path constraints. The extra priority
+// reflects LPM prefix lengths (§5.3's second option: "use ternary matching,
+// but have the DPMU identify and manage the priorities of match entries").
+func (d *DPMU) matchFor(v *VDev, slot *hp4c.Slot, tbl *ast.Table, params []sim.MatchParam) ([]sim.MatchParam, int, error) {
+	pid := bitfield.FromUint(persona.ProgramWidth, uint64(v.PID))
+	ew := d.cfg.ExtractedWidth()
+	extraPrio := 0
+	switch slot.Kind {
+	case persona.NTEDExact, persona.NTEDTernary, persona.NTMetaExact, persona.NTMetaTernary:
+		width := ew
+		isMeta := slot.Kind == persona.NTMetaExact || slot.Kind == persona.NTMetaTernary
+		if isMeta {
+			width = persona.MetaWidth
+		}
+		value, mask := bitfield.New(width), bitfield.New(width)
+		if !isMeta {
+			value, mask = wideFromConstraints(value, mask, slot.Path.Constraints)
+		}
+		for i, r := range tbl.Reads {
+			if r.Match == ast.MatchValid {
+				continue // folded into the path constraints
+			}
+			off, w, err := d.readGeometry(v, *r.Field, isMeta)
+			if err != nil {
+				return nil, 0, err
+			}
+			p := params[i]
+			switch p.Kind {
+			case ast.MatchExact:
+				value.Insert(off, p.Value.Resize(w))
+				mask.Insert(off, bitfield.Ones(w))
+			case ast.MatchTernary:
+				value.Insert(off, p.Value.And(p.Mask).Resize(w))
+				mask.Insert(off, p.Mask.Resize(w))
+			case ast.MatchLPM:
+				m := bitfield.New(w)
+				if p.PrefixLen > 0 {
+					m = bitfield.MaskRange(w, 0, p.PrefixLen)
+				}
+				value.Insert(off, p.Value.And(m).Resize(w))
+				mask.Insert(off, m)
+				extraPrio += w - p.PrefixLen
+			default:
+				return nil, 0, fmt.Errorf("dpmu: match kind %s not translatable", p.Kind)
+			}
+		}
+		return []sim.MatchParam{sim.Exact(pid), sim.Exact(bitfield.FromUint(persona.SlotWidth, uint64(slot.ID))), sim.Ternary(value, mask)}, extraPrio, nil
+
+	case persona.NTStdMeta:
+		ving := sim.Ternary(bitfield.New(persona.VPortWidth), bitfield.New(persona.VPortWidth))
+		vport := sim.Ternary(bitfield.New(persona.VPortWidth), bitfield.New(persona.VPortWidth))
+		for i, r := range tbl.Reads {
+			if r.Field == nil || r.Field.Instance != hlir.StandardMetadata {
+				return nil, 0, fmt.Errorf("dpmu: stdmeta slot with non-stdmeta read")
+			}
+			p := params[i]
+			val, m := p.Value, p.Mask
+			if p.Kind == ast.MatchExact {
+				m = bitfield.Ones(val.Width())
+			}
+			tp := sim.Ternary(val.Resize(persona.VPortWidth), m.Resize(persona.VPortWidth))
+			switch r.Field.Field {
+			case hlir.FieldIngressPort:
+				ving = tp
+			case hlir.FieldEgressPort, hlir.FieldEgressSpec:
+				vport = tp
+			default:
+				return nil, 0, fmt.Errorf("dpmu: standard_metadata.%s not emulatable", r.Field.Field)
+			}
+		}
+		return []sim.MatchParam{sim.Exact(pid), sim.Exact(bitfield.FromUint(persona.SlotWidth, uint64(slot.ID))), ving, vport}, 0, nil
+
+	case persona.NTMatchless:
+		return nil, 0, fmt.Errorf("dpmu: table %s takes no entries; use SetDefault", tbl.Name)
+	}
+	return nil, 0, fmt.Errorf("dpmu: bad slot kind %d", slot.Kind)
+}
+
+// readGeometry locates a read field within the extracted or emeta field.
+func (d *DPMU) readGeometry(v *VDev, ref ast.FieldRef, wantMeta bool) (int, int, error) {
+	prog := v.Comp.Prog
+	inst := prog.Instances[ref.Instance]
+	fOff, _ := inst.Type.FieldOffset(ref.Field)
+	w := inst.Type.Field(ref.Field).Width
+	if inst.Decl.Metadata {
+		if !wantMeta {
+			return 0, 0, fmt.Errorf("dpmu: metadata read %s.%s in packet-data slot", ref.Instance, ref.Field)
+		}
+		base, ok := v.Comp.MetaOffsets[ref.Instance]
+		if !ok {
+			return 0, 0, fmt.Errorf("dpmu: metadata %q not laid out", ref.Instance)
+		}
+		return base + fOff, w, nil
+	}
+	if wantMeta {
+		return 0, 0, fmt.Errorf("dpmu: packet read %s.%s in metadata slot", ref.Instance, ref.Field)
+	}
+	base, ok := v.Comp.HeaderOffsets[ref.Instance]
+	if !ok {
+		return 0, 0, fmt.Errorf("dpmu: header %q never extracted", ref.Instance)
+	}
+	return base*8 + fOff, w, nil
+}
+
+// prepFor materializes the a_prep_* action name and arguments for one
+// primitive spec, binding runtime action args. Shift parameters follow the
+// persona's double-shift isolation scheme: a source field at bit offset O,
+// width W inside a field of total width T embedded at the low end of the
+// EW-bit scratch is isolated by tmp = (tmp << (EW-T+O)) >> (EW-W).
+func (d *DPMU) prepFor(spec hp4c.PrimSpec, args []bitfield.Value) (string, []bitfield.Value, error) {
+	ew := d.cfg.ExtractedWidth()
+	dstTotal := ew
+	srcTotal := ew
+	switch spec.Op {
+	case persona.OpModMetaConst, persona.OpModMetaED, persona.OpModMetaMeta, persona.OpAddMetaConst:
+		dstTotal = persona.MetaWidth
+	}
+	switch spec.Op {
+	case persona.OpModEDMeta, persona.OpModMetaMeta:
+		srcTotal = persona.MetaWidth
+	}
+	cval := func() (bitfield.Value, error) {
+		if spec.Const != nil {
+			return bitfield.FromBig(persona.ConstWidth, spec.Const), nil
+		}
+		if spec.ArgIndex < 0 || spec.ArgIndex >= len(args) {
+			return bitfield.Value{}, fmt.Errorf("dpmu: primitive needs action argument %d", spec.ArgIndex)
+		}
+		v := args[spec.ArgIndex].Resize(persona.ConstWidth)
+		if spec.Negate {
+			mod := new(big.Int).Lsh(big.NewInt(1), uint(spec.DstW))
+			x := new(big.Int).Sub(mod, v.Big())
+			x.Mod(x, mod)
+			v = bitfield.FromBig(persona.ConstWidth, x)
+		}
+		return v, nil
+	}
+	sh := func(n int) bitfield.Value { return bitfield.FromUint(persona.ShiftWidth, uint64(n)) }
+	dmask := func() bitfield.Value {
+		return bitfield.MaskRange(dstTotal, spec.DstOff, spec.DstW).Resize(ew)
+	}
+	dshift := func() bitfield.Value { return sh(dstTotal - spec.DstOff - spec.DstW) }
+
+	switch spec.Op {
+	case persona.OpNoOp:
+		return "a_prep_no_op", nil, nil
+	case persona.OpDrop:
+		return "a_prep_drop", nil, nil
+	case persona.OpModVPortVIngress:
+		return "a_prep_mod_vport_vingress", nil, nil
+	case persona.OpModVPortConst:
+		c, err := cval()
+		if err != nil {
+			return "", nil, err
+		}
+		return "a_prep_mod_vport_const", []bitfield.Value{c}, nil
+	case persona.OpModEDConst, persona.OpModMetaConst:
+		c, err := cval()
+		if err != nil {
+			return "", nil, err
+		}
+		name := "a_prep_mod_ed_const"
+		if spec.Op == persona.OpModMetaConst {
+			name = "a_prep_mod_meta_const"
+		}
+		return name, []bitfield.Value{dmask(), dshift(), c}, nil
+	case persona.OpModEDED, persona.OpModEDMeta, persona.OpModMetaED, persona.OpModMetaMeta:
+		name := map[int]string{
+			persona.OpModEDED:     "a_prep_mod_ed_ed",
+			persona.OpModEDMeta:   "a_prep_mod_ed_meta",
+			persona.OpModMetaED:   "a_prep_mod_meta_ed",
+			persona.OpModMetaMeta: "a_prep_mod_meta_meta",
+		}[spec.Op]
+		slshift := sh(ew - srcTotal + spec.SrcOff)
+		srshift := sh(ew - spec.SrcW)
+		return name, []bitfield.Value{dmask(), dshift(), slshift, srshift}, nil
+	case persona.OpAddEDConst, persona.OpAddMetaConst:
+		c, err := cval()
+		if err != nil {
+			return "", nil, err
+		}
+		name := "a_prep_add_ed_const"
+		if spec.Op == persona.OpAddMetaConst {
+			name = "a_prep_add_meta_const"
+		}
+		// The add reads its own destination: shift params target (DstOff,
+		// DstW) within the destination's total width.
+		slshift := sh(ew - dstTotal + spec.DstOff)
+		srshift := sh(ew - spec.DstW)
+		return name, []bitfield.Value{dmask(), dshift(), slshift, srshift, c}, nil
+	}
+	return "", nil, fmt.Errorf("dpmu: opcode %d not installable", spec.Op)
+}

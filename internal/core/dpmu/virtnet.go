@@ -1,0 +1,149 @@
+package dpmu
+
+import (
+	"fmt"
+	"sort"
+
+	"hyper4/internal/bitfield"
+	"hyper4/internal/core/persona"
+	"hyper4/internal/sim"
+)
+
+// AssignPort steers traffic arriving on a physical ingress port to a
+// virtual device, presenting it as the device's virtual ingress port. Pass
+// physPort = -1 to assign every port (slicing assigns disjoint port sets to
+// different devices, §3.3).
+func (d *DPMU) AssignPort(owner string, a Assignment) error {
+	v, err := d.auth(owner, a.VDev)
+	if err != nil {
+		return err
+	}
+	val := bitfield.New(9)
+	mask := bitfield.New(9)
+	prio := 10
+	if a.PhysPort >= 0 {
+		val = bitfield.FromUint(9, uint64(a.PhysPort))
+		mask = bitfield.Ones(9)
+		prio = 1
+	}
+	args := []bitfield.Value{
+		bitfield.FromUint(persona.ProgramWidth, uint64(v.PID)),
+		bitfield.FromUint(persona.VPortWidth, uint64(a.VIngress)),
+	}
+	h, err := d.SW.TableAdd(persona.TblAssign, persona.ActSetProgram,
+		[]sim.MatchParam{sim.Ternary(val, mask)}, args, prio)
+	if err != nil {
+		return fmt.Errorf("dpmu: assign: %w", err)
+	}
+	d.assignPEs = append(d.assignPEs, pentry{table: persona.TblAssign, handle: h})
+	return nil
+}
+
+// ClearAssignments removes every port-to-device assignment (used when
+// switching snapshots).
+func (d *DPMU) ClearAssignments() {
+	d.removeRows(d.assignPEs)
+	d.assignPEs = nil
+}
+
+// MapVPort maps a virtual egress port of a device to a physical port.
+func (d *DPMU) MapVPort(owner, vdev string, vport, physPort int) error {
+	v, err := d.auth(owner, vdev)
+	if err != nil {
+		return err
+	}
+	params := []sim.MatchParam{
+		sim.ExactUint(persona.ProgramWidth, uint64(v.PID)),
+		sim.ExactUint(persona.VPortWidth, uint64(vport)),
+	}
+	return d.addRow(&v.links, persona.TblVirtnet, persona.ActPhysFwd, params,
+		[]bitfield.Value{bitfield.FromUint(9, uint64(physPort))}, 0)
+}
+
+// LinkVPorts connects a virtual egress port of one device to the virtual
+// ingress of another over a virtual link (§4.6): packets sent to fromPort by
+// fromDev recirculate and re-enter the pipeline as toDev's traffic on its
+// virtual port toPort. The link is one-directional; call twice for a duplex
+// link.
+func (d *DPMU) LinkVPorts(owner, fromDev string, fromPort int, toDev string, toPort int) error {
+	from, err := d.auth(owner, fromDev)
+	if err != nil {
+		return err
+	}
+	to, ok := d.vdevs[toDev]
+	if !ok {
+		return fmt.Errorf("dpmu: no virtual device %q", toDev)
+	}
+	params := []sim.MatchParam{
+		sim.ExactUint(persona.ProgramWidth, uint64(from.PID)),
+		sim.ExactUint(persona.VPortWidth, uint64(fromPort)),
+	}
+	args := []bitfield.Value{
+		bitfield.FromUint(persona.ProgramWidth, uint64(to.PID)),
+		bitfield.FromUint(persona.VPortWidth, uint64(toPort)),
+		bitfield.FromUint(9, 0), // harmless egress port on the way to recirculation
+	}
+	return d.addRow(&from.links, persona.TblVirtnet, persona.ActVirtFwd, params, args, 0)
+}
+
+// --- snapshots (§3.2) ---
+
+// SaveSnapshot stores a named network configuration: the set of
+// port-to-device assignments that should be active together. All referenced
+// devices stay loaded (HyPer4 logically stores every program); activating a
+// snapshot only changes the assignment entries.
+func (d *DPMU) SaveSnapshot(name string, assignments []Assignment) error {
+	for _, a := range assignments {
+		if _, ok := d.vdevs[a.VDev]; !ok {
+			return fmt.Errorf("dpmu: snapshot %q references unloaded device %q", name, a.VDev)
+		}
+	}
+	d.snapshots[name] = append([]Assignment(nil), assignments...)
+	return nil
+}
+
+// ActivateSnapshot makes a stored configuration live. Per §3.2, the
+// transition is a small, constant set of assignment-table updates; table
+// state of every virtual device is untouched, so the swap does not disturb
+// other devices' entries.
+func (d *DPMU) ActivateSnapshot(name string) error {
+	snap, ok := d.snapshots[name]
+	if !ok {
+		return fmt.Errorf("dpmu: no snapshot %q", name)
+	}
+	d.ClearAssignments()
+	for _, a := range snap {
+		v := d.vdevs[a.VDev]
+		if v == nil {
+			return fmt.Errorf("dpmu: snapshot %q references unloaded device %q", name, a.VDev)
+		}
+		if err := d.AssignPort(v.Owner, a); err != nil {
+			return err
+		}
+	}
+	d.active = name
+	return nil
+}
+
+// ActiveSnapshot returns the name of the active snapshot ("" if none).
+func (d *DPMU) ActiveSnapshot() string { return d.active }
+
+// Snapshots lists stored snapshot names, sorted.
+func (d *DPMU) Snapshots() []string {
+	out := make([]string, 0, len(d.snapshots))
+	for name := range d.snapshots {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Installer returns a function with the signature the functions package
+// controllers expect, routing their table population through the DPMU as
+// virtual operations (Figure 2(c)).
+func (d *DPMU) Installer(owner, vdev string) func(table, action string, params []sim.MatchParam, args []bitfield.Value, prio int) error {
+	return func(table, action string, params []sim.MatchParam, args []bitfield.Value, prio int) error {
+		_, err := d.TableAdd(owner, vdev, table, action, params, args, prio)
+		return err
+	}
+}

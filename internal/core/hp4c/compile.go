@@ -1,0 +1,390 @@
+package hp4c
+
+import (
+	"fmt"
+	"math/big"
+	"sort"
+
+	"hyper4/internal/core/persona"
+	"hyper4/internal/p4/ast"
+	"hyper4/internal/p4/hlir"
+)
+
+// Compile translates a resolved target program into persona artifacts for
+// the given persona configuration.
+func Compile(prog *hlir.Program, cfg persona.Config) (*Compiled, error) {
+	c := &compiler{
+		out: &Compiled{
+			Name:          prog.AST.Name,
+			Cfg:           cfg,
+			Prog:          prog,
+			HeaderOffsets: map[string]int{},
+			MetaOffsets:   map[string]int{},
+			Slots:         map[string][]*Slot{},
+			Actions:       map[string]*CompiledAction{},
+		},
+	}
+	if err := c.layoutHeaders(); err != nil {
+		return nil, fmt.Errorf("hp4c %s: %w", prog.AST.Name, err)
+	}
+	if cfg.FixedParser {
+		if err := c.checkFixedFamily(); err != nil {
+			return nil, fmt.Errorf("hp4c %s: %w", prog.AST.Name, err)
+		}
+	}
+	if err := c.layoutMetadata(); err != nil {
+		return nil, fmt.Errorf("hp4c %s: %w", prog.AST.Name, err)
+	}
+	if err := c.compileActions(); err != nil {
+		return nil, fmt.Errorf("hp4c %s: %w", prog.AST.Name, err)
+	}
+	if err := c.buildParsePaths(); err != nil {
+		return nil, fmt.Errorf("hp4c %s: %w", prog.AST.Name, err)
+	}
+	if err := c.buildFlow(); err != nil {
+		return nil, fmt.Errorf("hp4c %s: %w", prog.AST.Name, err)
+	}
+	if err := c.buildParseEntries(); err != nil {
+		return nil, fmt.Errorf("hp4c %s: %w", prog.AST.Name, err)
+	}
+	if err := c.checksum(); err != nil {
+		return nil, fmt.Errorf("hp4c %s: %w", prog.AST.Name, err)
+	}
+	return c.out, nil
+}
+
+type compiler struct {
+	out        *Compiled
+	nextSlotID int
+}
+
+// layoutHeaders assigns each non-stack header instance a byte offset: the
+// sum of header widths extracted before it, which must agree across every
+// parse path.
+func (c *compiler) layoutHeaders() error {
+	prog := c.out.Prog
+	type visit struct {
+		state  string
+		offset int
+	}
+	seenState := map[string]int{}
+	queue := []visit{{"start", 0}}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		if v.state == ast.StateIngress {
+			continue
+		}
+		if prev, ok := seenState[v.state]; ok {
+			if prev != v.offset {
+				return fmt.Errorf("parser state %q reached at offsets %d and %d; HyPer4 needs stable offsets", v.state, prev, v.offset)
+			}
+			continue
+		}
+		seenState[v.state] = v.offset
+		st, ok := prog.States[v.state]
+		if !ok {
+			return fmt.Errorf("unknown parser state %q", v.state)
+		}
+		off := v.offset
+		for _, stmt := range st.Statements {
+			if stmt.Extract == nil {
+				continue
+			}
+			inst := prog.Instances[stmt.Extract.Instance]
+			if inst.Decl.IsStack() {
+				return fmt.Errorf("header stacks in emulated programs are not supported")
+			}
+			if prev, ok := c.out.HeaderOffsets[inst.Decl.Name]; ok {
+				if prev != off {
+					return fmt.Errorf("header %q extracted at offsets %d and %d; HyPer4 needs one offset per header", inst.Decl.Name, prev, off)
+				}
+			} else {
+				c.out.HeaderOffsets[inst.Decl.Name] = off
+			}
+			off += inst.Width() / 8
+		}
+		switch st.Return.Kind {
+		case ast.ReturnDirect:
+			queue = append(queue, visit{st.Return.State, off})
+		case ast.ReturnSelect:
+			for _, cs := range st.Return.Cases {
+				queue = append(queue, visit{cs.State, off})
+			}
+		}
+	}
+	return nil
+}
+
+// layoutMetadata packs the target's metadata instances into the persona's
+// emulated-metadata field, in declaration order.
+func (c *compiler) layoutMetadata() error {
+	off := 0
+	for _, inst := range c.out.Prog.AST.Instances {
+		if !inst.Metadata {
+			continue
+		}
+		ht := c.out.Prog.HeaderTypes[inst.TypeName]
+		c.out.MetaOffsets[inst.Name] = off
+		off += ht.Width()
+	}
+	if off > persona.MetaWidth {
+		return fmt.Errorf("program needs %d bits of metadata; persona provides %d", off, persona.MetaWidth)
+	}
+	return nil
+}
+
+// fieldGeometry returns (isMeta, bit offset, width) of a field within the
+// persona's wide fields, or an error for standard-metadata references
+// (which the caller handles specially).
+func (c *compiler) fieldGeometry(ref ast.FieldRef) (meta bool, off, width int, err error) {
+	prog := c.out.Prog
+	inst, ok := prog.Instances[ref.Instance]
+	if !ok {
+		return false, 0, 0, fmt.Errorf("unknown instance %q", ref.Instance)
+	}
+	fOff, ok2 := inst.Type.FieldOffset(ref.Field)
+	if !ok2 {
+		return false, 0, 0, fmt.Errorf("%s has no field %q", ref.Instance, ref.Field)
+	}
+	w := inst.Type.Field(ref.Field).Width
+	if ref.Instance == hlir.StandardMetadata {
+		return false, 0, 0, errStdMeta
+	}
+	if inst.Decl.Metadata {
+		base, ok := c.out.MetaOffsets[ref.Instance]
+		if !ok {
+			return false, 0, 0, fmt.Errorf("metadata %q not laid out", ref.Instance)
+		}
+		return true, base + fOff, w, nil
+	}
+	base, ok := c.out.HeaderOffsets[ref.Instance]
+	if !ok {
+		return false, 0, 0, fmt.Errorf("header %q never extracted", ref.Instance)
+	}
+	return false, base*8 + fOff, w, nil
+}
+
+var errStdMeta = fmt.Errorf("standard metadata reference")
+
+// checkFixedFamily verifies a program targeted at the partial-virtualization
+// persona only places headers at the fixed family's offsets (Ethernet at 0,
+// ARP/IPv4 at 14, L4 at 34), so its field positions line up with what the
+// fixed parser assembles.
+func (c *compiler) checkFixedFamily() error {
+	allowed := map[int]bool{0: true, 14: true, 34: true}
+	for name, off := range c.out.HeaderOffsets {
+		if !allowed[off] {
+			return fmt.Errorf("header %q at byte offset %d does not fit the fixed parser family (offsets 0/14/34)", name, off)
+		}
+	}
+	return nil
+}
+
+// compileActions lowers every target action into primitive specs.
+func (c *compiler) compileActions() error {
+	names := make([]string, 0, len(c.out.Prog.Actions))
+	for name := range c.out.Prog.Actions {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		act := c.out.Prog.Actions[name]
+		ca := &CompiledAction{Name: name, Params: act.Params}
+		if err := c.lowerBody(act, act.Body, ca, map[string]int{}); err != nil {
+			return fmt.Errorf("action %s: %w", name, err)
+		}
+		if len(ca.Prims) > c.out.Cfg.Primitives {
+			return fmt.Errorf("action %s needs %d primitives; persona supports %d per action", name, len(ca.Prims), c.out.Cfg.Primitives)
+		}
+		c.out.Actions[name] = ca
+	}
+	return nil
+}
+
+// lowerBody lowers a primitive call list, inlining nested compound actions.
+// paramMap maps inner parameter names to outer argument indexes.
+func (c *compiler) lowerBody(outer *ast.Action, body []ast.PrimitiveCall, ca *CompiledAction, depthGuard map[string]int) error {
+	for _, callp := range body {
+		if !hlir.KnownPrimitive(callp.Name) {
+			inner, ok := c.out.Prog.Actions[callp.Name]
+			if !ok {
+				return fmt.Errorf("unknown primitive or action %q", callp.Name)
+			}
+			if depthGuard[callp.Name] > 0 {
+				return fmt.Errorf("recursive action %q", callp.Name)
+			}
+			// Inline: inner params must be bound to outer params or consts;
+			// only zero-arg nesting is needed by the paper's functions and
+			// supported here.
+			if len(inner.Params) > 0 {
+				return fmt.Errorf("nested action %q with parameters is not supported", callp.Name)
+			}
+			depthGuard[callp.Name]++
+			if err := c.lowerBody(outer, inner.Body, ca, depthGuard); err != nil {
+				return err
+			}
+			depthGuard[callp.Name]--
+			continue
+		}
+		spec, err := c.lowerPrimitive(outer, callp)
+		if err != nil {
+			return err
+		}
+		ca.Prims = append(ca.Prims, spec)
+	}
+	return nil
+}
+
+// lowerPrimitive maps one target primitive call to a persona opcode.
+func (c *compiler) lowerPrimitive(act *ast.Action, callp ast.PrimitiveCall) (PrimSpec, error) {
+	paramIndex := func(name string) int {
+		for i, p := range act.Params {
+			if p == name {
+				return i
+			}
+		}
+		return -1
+	}
+	// operand classifies a data argument.
+	type operand struct {
+		kind  string // "const", "arg", "ed", "meta", "vingress", "vport"
+		cval  *big.Int
+		arg   int
+		off   int
+		width int
+	}
+	classify := func(e ast.Expr) (operand, error) {
+		switch e.Kind {
+		case ast.ExprConst:
+			return operand{kind: "const", cval: e.Const}, nil
+		case ast.ExprParam:
+			idx := paramIndex(e.Param)
+			if idx < 0 {
+				return operand{}, fmt.Errorf("unbound parameter %q", e.Param)
+			}
+			return operand{kind: "arg", arg: idx}, nil
+		case ast.ExprField:
+			if e.Field.Instance == hlir.StandardMetadata {
+				switch e.Field.Field {
+				case hlir.FieldIngressPort:
+					return operand{kind: "vingress"}, nil
+				case hlir.FieldEgressSpec, hlir.FieldEgressPort:
+					return operand{kind: "vport"}, nil
+				default:
+					return operand{}, fmt.Errorf("standard_metadata.%s is not emulatable", e.Field.Field)
+				}
+			}
+			meta, off, w, err := c.fieldGeometry(e.Field)
+			if err != nil {
+				return operand{}, err
+			}
+			kind := "ed"
+			if meta {
+				kind = "meta"
+			}
+			return operand{kind: kind, off: off, width: w}, nil
+		default:
+			return operand{}, fmt.Errorf("unsupported operand kind %d", e.Kind)
+		}
+	}
+
+	switch callp.Name {
+	case "no_op":
+		return PrimSpec{Op: persona.OpNoOp, ArgIndex: -1}, nil
+	case "drop":
+		return PrimSpec{Op: persona.OpDrop, ArgIndex: -1}, nil
+	case "modify_field":
+		if len(callp.Args) != 2 {
+			return PrimSpec{}, fmt.Errorf("modify_field with mask is not supported")
+		}
+		dst, err := classify(callp.Args[0])
+		if err != nil {
+			return PrimSpec{}, err
+		}
+		src, err := classify(callp.Args[1])
+		if err != nil {
+			return PrimSpec{}, err
+		}
+		spec := PrimSpec{ArgIndex: -1}
+		switch dst.kind {
+		case "vport":
+			switch src.kind {
+			case "const":
+				spec.Op, spec.Const = persona.OpModVPortConst, src.cval
+			case "arg":
+				spec.Op, spec.ArgIndex = persona.OpModVPortConst, src.arg
+			case "vingress":
+				spec.Op = persona.OpModVPortVIngress
+			default:
+				return PrimSpec{}, fmt.Errorf("egress_spec source %q not supported", src.kind)
+			}
+			return spec, nil
+		case "ed", "meta":
+			spec.DstOff, spec.DstW = dst.off, dst.width
+			ed := dst.kind == "ed"
+			switch src.kind {
+			case "const":
+				spec.Const = src.cval
+				spec.Op = pick(ed, persona.OpModEDConst, persona.OpModMetaConst)
+			case "arg":
+				spec.ArgIndex = src.arg
+				spec.Op = pick(ed, persona.OpModEDConst, persona.OpModMetaConst)
+			case "ed":
+				spec.SrcOff, spec.SrcW = src.off, src.width
+				spec.Op = pick(ed, persona.OpModEDED, persona.OpModMetaED)
+			case "meta":
+				spec.SrcOff, spec.SrcW = src.off, src.width
+				spec.Op = pick(ed, persona.OpModEDMeta, persona.OpModMetaMeta)
+			case "vingress", "vport":
+				return PrimSpec{}, fmt.Errorf("copying virtual ports into packet fields is not supported")
+			}
+			return spec, nil
+		default:
+			return PrimSpec{}, fmt.Errorf("modify_field destination %q not supported", dst.kind)
+		}
+	case "add_to_field", "subtract_from_field":
+		dst, err := classify(callp.Args[0])
+		if err != nil {
+			return PrimSpec{}, err
+		}
+		src, err := classify(callp.Args[1])
+		if err != nil {
+			return PrimSpec{}, err
+		}
+		if dst.kind != "ed" && dst.kind != "meta" {
+			return PrimSpec{}, fmt.Errorf("%s destination %q not supported", callp.Name, dst.kind)
+		}
+		spec := PrimSpec{
+			Op:       pick(dst.kind == "ed", persona.OpAddEDConst, persona.OpAddMetaConst),
+			DstOff:   dst.off,
+			DstW:     dst.width,
+			ArgIndex: -1,
+		}
+		neg := callp.Name == "subtract_from_field"
+		switch src.kind {
+		case "const":
+			v := new(big.Int).Set(src.cval)
+			if neg {
+				mod := new(big.Int).Lsh(big.NewInt(1), uint(dst.width))
+				v.Sub(mod, v)
+				v.Mod(v, mod)
+			}
+			spec.Const = v
+		case "arg":
+			spec.ArgIndex = src.arg
+			spec.Negate = neg
+		default:
+			return PrimSpec{}, fmt.Errorf("%s with a field amount is not supported", callp.Name)
+		}
+		return spec, nil
+	}
+	return PrimSpec{}, fmt.Errorf("primitive %q is not emulatable by this persona", callp.Name)
+}
+
+func pick(cond bool, a, b int) int {
+	if cond {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,44 @@
+package hp4c
+
+import (
+	"fmt"
+
+	"hyper4/internal/p4/ast"
+)
+
+// checksum detects the IPv4 header-checksum pattern (§5.3: HyPer4 "cheats"
+// by supporting well-known checksum requirements directly). A target that
+// declares an update calculated_field whose input covers an IPv4-shaped
+// header marks every parse path where that header is valid for the
+// persona's egress checksum fix-up.
+func (c *compiler) checksum() error {
+	for _, cf := range c.out.Prog.AST.CalculatedFields {
+		if cf.Update == "" {
+			continue
+		}
+		inst := cf.Field.Instance
+		hdr, ok := c.out.Prog.Instances[inst]
+		if !ok || hdr.Decl.Metadata {
+			return fmt.Errorf("calculated field on %q is not emulatable", inst)
+		}
+		if hdr.Width() != 160 {
+			return fmt.Errorf("only the 20-byte IPv4 header checksum is supported; %q is %d bits", inst, hdr.Width())
+		}
+		off, ok := hdr.Type.FieldOffset(cf.Field.Field)
+		if !ok || off != 80 || hdr.Type.Field(cf.Field.Field).Width != 16 {
+			return fmt.Errorf("checksum field %s.%s is not at the IPv4 position", inst, cf.Field.Field)
+		}
+		if c.out.NeedsIPv4Csum && c.out.CsumHeader != inst {
+			return fmt.Errorf("multiple checksum headers are not supported")
+		}
+		c.out.NeedsIPv4Csum = true
+		c.out.CsumHeader = inst
+		for _, p := range c.out.Paths {
+			if p.Valid[inst] {
+				p.Csum = true
+			}
+		}
+		_ = ast.StateIngress
+	}
+	return nil
+}

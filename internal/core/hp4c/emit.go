@@ -1,0 +1,107 @@
+package hp4c
+
+import (
+	"fmt"
+	"io"
+	"math/big"
+
+	"hyper4/internal/core/persona"
+)
+
+// WriteIntermediate renders the compilation artifact as the paper's
+// "intermediate commands file" (§5.2): human-readable, commented, and using
+// symbolic tokens (%PROGRAM%, %SLOT:n%, %MATCHID%) for the values the DPMU
+// substitutes at load time.
+func (c *Compiled) WriteIntermediate(w io.Writer) error {
+	p := func(format string, args ...any) {
+		fmt.Fprintf(w, format, args...)
+	}
+	p("# HyPer4 intermediate commands for program %q\n", c.Name)
+	p("# persona config: %d stages, %d primitives/action, parse %d/%d/%d bytes\n",
+		c.Cfg.Stages, c.Cfg.Primitives, c.Cfg.ParseDefault, c.Cfg.ParseStep, c.Cfg.ParseMax)
+	p("# tokens: %%PROGRAM%% = program id, %%MATCHID%% = fresh match id per entry\n\n")
+
+	p("# --- header layout (byte offsets within extracted data) ---\n")
+	for name, off := range c.HeaderOffsets {
+		p("#   header %-12s @ byte %d\n", name, off)
+	}
+	for name, off := range c.MetaOffsets {
+		p("#   metadata %-10s @ emeta bit %d\n", name, off)
+	}
+	p("\n# --- parse control (t_parse_ctrl) ---\n")
+	for _, pe := range c.ParseEntries {
+		mask := constraintsHex(pe.Constraints, c.Cfg.ExtractedWidth())
+		if pe.More {
+			p("table_add %s %s %%PROGRAM%% %d %s => %d %d %d\n",
+				persona.TblParseCtrl, persona.ActParseMore, pe.State, mask, pe.NumBytes, pe.NextState, pe.Priority)
+			continue
+		}
+		csum := 0
+		if pe.Path.Csum {
+			csum = 1
+		}
+		p("table_add %s %s %%PROGRAM%% %d %s => %d %d %d %d\n",
+			persona.TblParseCtrl, persona.ActParseDone, pe.State, mask,
+			pe.Path.First.Kind, pe.Path.First.ID, csum, pe.Priority)
+	}
+
+	p("\n# --- stage slots ---\n")
+	for _, slot := range c.SlotList {
+		p("# table %-14s stage %d slot %-3d kind %-12s path %d (%d bytes)\n",
+			slot.Table, slot.Stage, slot.ID, persona.KindName(slot.Kind), slot.Path.ID, slot.Path.Bytes)
+		for act, succ := range slot.Next {
+			p("#   on %-14s -> kind %d slot %d\n", act, succ.Kind, succ.ID)
+		}
+		p("#   on miss (%s) -> kind %d slot %d\n", orNone(slot.MissAction), slot.Miss.Kind, slot.Miss.ID)
+	}
+
+	p("\n# --- compiled actions ---\n")
+	for name, ca := range c.Actions {
+		p("# action %s(%v): %d primitives\n", name, ca.Params, len(ca.Prims))
+		for i, spec := range ca.Prims {
+			src := "const"
+			if spec.ArgIndex >= 0 {
+				src = fmt.Sprintf("arg%d", spec.ArgIndex)
+				if spec.Negate {
+					src += " (negated)"
+				}
+			} else if spec.Const != nil {
+				src = "0x" + spec.Const.Text(16)
+			}
+			p("#   [%d] op=%d dst=(%d,%d) src=(%d,%d) %s\n",
+				i+1, spec.Op, spec.DstOff, spec.DstW, spec.SrcOff, spec.SrcW, src)
+		}
+	}
+	if c.NeedsIPv4Csum {
+		p("\n# IPv4 checksum fix-up on header %q\n", c.CsumHeader)
+	}
+	return nil
+}
+
+func orNone(s string) string {
+	if s == "" {
+		return "none"
+	}
+	return s
+}
+
+// constraintsHex renders constraints as a value&&&mask token over the wide
+// extracted field.
+func constraintsHex(cons []Constraint, width int) string {
+	value := new(big.Int)
+	mask := new(big.Int)
+	for _, c := range cons {
+		m := new(big.Int)
+		if c.Mask != nil {
+			m.Set(c.Mask)
+		} else {
+			m.Lsh(big.NewInt(1), uint(c.Width))
+			m.Sub(m, big.NewInt(1))
+		}
+		v := new(big.Int).And(c.Value, m)
+		shift := uint(width - c.BitOff - c.Width)
+		value.Or(value, new(big.Int).Lsh(v, shift))
+		mask.Or(mask, new(big.Int).Lsh(m, shift))
+	}
+	return fmt.Sprintf("0x%s&&&0x%s", value.Text(16), mask.Text(16))
+}

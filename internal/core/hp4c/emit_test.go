@@ -1,0 +1,69 @@
+package hp4c
+
+import (
+	"strings"
+	"testing"
+
+	"hyper4/internal/core/persona"
+	"hyper4/internal/functions"
+)
+
+func TestWriteIntermediate(t *testing.T) {
+	prog, err := functions.Load(functions.Firewall)
+	if err != nil {
+		t.Fatal(err)
+	}
+	comp, err := Compile(prog, persona.Reference)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := comp.WriteIntermediate(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"%PROGRAM%",              // the §5.2 symbolic token
+		"table_add t_parse_ctrl", // parse-control rows
+		"a_parse_more",           // resubmit rows
+		"a_parse_done",           // terminal rows
+		"header ethernet",        // layout comments
+		"@ byte 14",              // ipv4 offset
+		"table tcp_filter",       // stage slots
+		"action _drop",           // compiled actions
+		"&&&",                    // ternary value/mask tokens
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("intermediate output missing %q", want)
+		}
+	}
+	// The intermediate form is mostly comments plus table_add lines; every
+	// non-comment line must be a table_add.
+	for _, line := range strings.Split(out, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if !strings.HasPrefix(line, "table_add ") {
+			t.Errorf("unexpected non-command line: %q", line)
+		}
+	}
+}
+
+func TestWriteIntermediateChecksumNote(t *testing.T) {
+	prog, err := functions.Load(functions.Router)
+	if err != nil {
+		t.Fatal(err)
+	}
+	comp, err := Compile(prog, persona.Reference)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := comp.WriteIntermediate(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "IPv4 checksum fix-up") {
+		t.Error("router intermediate should note the checksum fix-up")
+	}
+}

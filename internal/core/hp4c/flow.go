@@ -1,0 +1,342 @@
+package hp4c
+
+import (
+	"fmt"
+	"math/big"
+
+	"hyper4/internal/core/persona"
+	"hyper4/internal/p4/ast"
+	"hyper4/internal/p4/hlir"
+)
+
+// buildFlow symbolically executes the target's control flow once per parse
+// path, assigning each applied table a persona stage and recording, per
+// (slot, action), the next-stage code — the state the persona's a_set_match
+// entries prime (§4.3).
+//
+// Conditions are resolved statically: valid(h) from the parse path, and
+// metadata comparisons from constants assigned by actions already chosen on
+// the path (e.g. the ARP proxy's is_request flag).
+func (c *compiler) buildFlow() error {
+	for _, path := range c.out.Paths {
+		var frames [][]ast.Stmt
+		if ing, ok := c.out.Prog.Controls[ast.ControlIngress]; ok {
+			frames = append(frames, ing.Body)
+		}
+		if eg, ok := c.out.Prog.Controls[ast.ControlEgress]; ok {
+			frames = append(frames, eg.Body)
+		}
+		env := map[string]*big.Int{}
+		if err := c.step(frames, path, 1, env, flowEdge{}); err != nil {
+			return fmt.Errorf("path %d: %w", path.ID, err)
+		}
+	}
+	return nil
+}
+
+// flowEdge is the pending (slot, action) whose successor is being resolved.
+// A zero edge marks the start of a path.
+type flowEdge struct {
+	slot   *Slot
+	action string
+	miss   bool
+}
+
+// unknownVal marks a metadata field whose value is not a compile-time
+// constant.
+var unknownVal = new(big.Int).SetInt64(-1)
+
+func (c *compiler) step(frames [][]ast.Stmt, path *ParsePath, stage int, env map[string]*big.Int, pending flowEdge) error {
+	// Pop to the next statement.
+	for len(frames) > 0 && len(frames[0]) == 0 {
+		frames = frames[1:]
+	}
+	if len(frames) == 0 {
+		return c.setSuccessor(pending, path, Succ{Kind: persona.NTDone})
+	}
+	stmt := frames[0][0]
+	rest := append([][]ast.Stmt{frames[0][1:]}, frames[1:]...)
+
+	switch stmt.Kind {
+	case ast.StmtCall:
+		ctl := c.out.Prog.Controls[stmt.Control]
+		return c.step(append([][]ast.Stmt{ctl.Body}, rest...), path, stage, env, pending)
+
+	case ast.StmtIf:
+		taken, err := c.evalCond(stmt.Cond, path, env)
+		if err != nil {
+			return err
+		}
+		branch := stmt.Then
+		if !taken {
+			branch = stmt.Else
+		}
+		return c.step(append([][]ast.Stmt{branch}, rest...), path, stage, env, pending)
+
+	case ast.StmtApply:
+		if stage > c.out.Cfg.Stages {
+			return fmt.Errorf("table %s would need stage %d; persona has %d stages", stmt.Table, stage, c.out.Cfg.Stages)
+		}
+		tbl := c.out.Prog.Tables[stmt.Table]
+		slot, err := c.slotFor(tbl, stage, path)
+		if err != nil {
+			return err
+		}
+		if err := c.setSuccessor(pending, path, Succ{Kind: slot.Kind, ID: slot.ID}); err != nil {
+			return err
+		}
+		// Enumerate action choices: every allowed action (a runtime entry
+		// could bind it) plus the miss case.
+		for _, actName := range tbl.Actions {
+			env2 := copyEnv(env)
+			c.applyEnv(actName, env2)
+			caseBody := applyCaseBody(stmt, actName, false)
+			next := append([][]ast.Stmt{caseBody}, rest...)
+			if err := c.step(next, path, stage+1, env2, flowEdge{slot: slot, action: actName}); err != nil {
+				return err
+			}
+		}
+		// Miss: the declared default action (or nothing).
+		env2 := copyEnv(env)
+		missAction := tbl.Default
+		if missAction != "" {
+			c.applyEnv(missAction, env2)
+		}
+		slot.MissAction = missAction
+		caseBody := applyCaseBody(stmt, missAction, true)
+		next := append([][]ast.Stmt{caseBody}, rest...)
+		return c.step(next, path, stage+1, env2, flowEdge{slot: slot, action: missAction, miss: true})
+	}
+	return fmt.Errorf("bad statement kind %d", stmt.Kind)
+}
+
+// applyCaseBody selects the apply-case block run for an action choice. An
+// action-select block (P4_14 "apply(t) { action_name { ... } }") runs on the
+// named action whether it was bound by a hit entry or ran as the default on
+// a miss.
+func applyCaseBody(stmt ast.Stmt, action string, miss bool) []ast.Stmt {
+	for _, cs := range stmt.ApplyCases {
+		switch {
+		case miss && cs.Miss:
+			return cs.Body
+		case !miss && cs.Hit:
+			return cs.Body
+		case action != "" && cs.Action == action:
+			return cs.Body
+		}
+	}
+	return nil
+}
+
+// slotFor finds or creates the slot for (table, stage, path).
+func (c *compiler) slotFor(tbl *ast.Table, stage int, path *ParsePath) (*Slot, error) {
+	for _, s := range c.out.Slots[tbl.Name] {
+		if s.Stage == stage && s.Path == path {
+			return s, nil
+		}
+	}
+	kind, err := c.tableKind(tbl)
+	if err != nil {
+		return nil, err
+	}
+	c.nextSlotID++
+	s := &Slot{
+		Table: tbl.Name,
+		Stage: stage,
+		ID:    c.nextSlotID,
+		Path:  path,
+		Kind:  kind,
+		Next:  map[string]Succ{},
+	}
+	c.out.Slots[tbl.Name] = append(c.out.Slots[tbl.Name], s)
+	c.out.SlotList = append(c.out.SlotList, s)
+	return s, nil
+}
+
+// setSuccessor records the next-stage code for a pending edge, detecting
+// control flow the persona cannot express (one entry needing two different
+// successors).
+func (c *compiler) setSuccessor(e flowEdge, path *ParsePath, succ Succ) error {
+	if e.slot == nil {
+		// First table applied on the path; recorded for a_parse_done.
+		// Kind==NTDone means the path applies no tables at all.
+		path.First = succ
+		return nil
+	}
+	if e.miss {
+		if e.slot.missSet && e.slot.Miss != succ {
+			return fmt.Errorf("table %s stage %d: miss path needs successors %v and %v", e.slot.Table, e.slot.Stage, e.slot.Miss, succ)
+		}
+		e.slot.Miss = succ
+		e.slot.missSet = true
+		return nil
+	}
+	if prev, ok := e.slot.Next[e.action]; ok && prev != succ {
+		return fmt.Errorf("table %s stage %d action %s: ambiguous successors %v and %v", e.slot.Table, e.slot.Stage, e.action, prev, succ)
+	}
+	e.slot.Next[e.action] = succ
+	return nil
+}
+
+// tableKind classifies a table into a persona stage-table kind.
+func (c *compiler) tableKind(tbl *ast.Table) (int, error) {
+	if len(tbl.Reads) == 0 {
+		return persona.NTMatchless, nil
+	}
+	var ed, meta, std, ternaryLike bool
+	for _, r := range tbl.Reads {
+		if r.Match == ast.MatchValid {
+			ed = true // validity compiles to ternary bits over extracted data
+			continue
+		}
+		ref := *r.Field
+		if ref.Instance == hlir.StandardMetadata {
+			std = true
+		} else if inst := c.out.Prog.Instances[ref.Instance]; inst.Decl.Metadata {
+			meta = true
+		} else {
+			ed = true
+		}
+		switch r.Match {
+		case ast.MatchTernary, ast.MatchLPM:
+			ternaryLike = true
+		case ast.MatchRange:
+			return 0, fmt.Errorf("table %s: range matches are not emulatable", tbl.Name)
+		}
+	}
+	switch {
+	case std && !ed && !meta:
+		return persona.NTStdMeta, nil
+	case ed && !meta && !std:
+		if ternaryLike {
+			return persona.NTEDTernary, nil
+		}
+		return persona.NTEDExact, nil
+	case meta && !ed && !std:
+		if ternaryLike {
+			return persona.NTMetaTernary, nil
+		}
+		return persona.NTMetaExact, nil
+	}
+	return 0, fmt.Errorf("table %s mixes packet, metadata, and standard-metadata reads; not emulatable", tbl.Name)
+}
+
+// evalCond statically evaluates an if condition for one parse path.
+func (c *compiler) evalCond(b ast.BoolExpr, path *ParsePath, env map[string]*big.Int) (bool, error) {
+	switch b.Kind {
+	case ast.BoolValid:
+		return path.Valid[b.Valid.Instance], nil
+	case ast.BoolAnd:
+		l, err := c.evalCond(*b.A, path, env)
+		if err != nil || !l {
+			return false, err
+		}
+		return c.evalCond(*b.B, path, env)
+	case ast.BoolOr:
+		l, err := c.evalCond(*b.A, path, env)
+		if err != nil || l {
+			return l, err
+		}
+		return c.evalCond(*b.B, path, env)
+	case ast.BoolNot:
+		v, err := c.evalCond(*b.A, path, env)
+		return !v, err
+	case ast.BoolCmp:
+		l, err := c.evalOperand(*b.Left, env)
+		if err != nil {
+			return false, err
+		}
+		r, err := c.evalOperand(*b.Right, env)
+		if err != nil {
+			return false, err
+		}
+		cmp := l.Cmp(r)
+		switch b.Op {
+		case ast.OpEq:
+			return cmp == 0, nil
+		case ast.OpNe:
+			return cmp != 0, nil
+		case ast.OpLt:
+			return cmp < 0, nil
+		case ast.OpLe:
+			return cmp <= 0, nil
+		case ast.OpGt:
+			return cmp > 0, nil
+		case ast.OpGe:
+			return cmp >= 0, nil
+		}
+	}
+	return false, fmt.Errorf("unsupported condition")
+}
+
+func (c *compiler) evalOperand(e ast.Expr, env map[string]*big.Int) (*big.Int, error) {
+	switch e.Kind {
+	case ast.ExprConst:
+		return e.Const, nil
+	case ast.ExprField:
+		inst, ok := c.out.Prog.Instances[e.Field.Instance]
+		if !ok || !inst.Decl.Metadata || e.Field.Instance == hlir.StandardMetadata {
+			return nil, fmt.Errorf("condition on %s.%s is not statically resolvable", e.Field.Instance, e.Field.Field)
+		}
+		key := e.Field.Instance + "." + e.Field.Field
+		v, ok := env[key]
+		if !ok {
+			return big.NewInt(0), nil // P4 metadata zero-initializes
+		}
+		if v == unknownVal {
+			return nil, fmt.Errorf("condition on %s depends on a runtime value", key)
+		}
+		return v, nil
+	}
+	return nil, fmt.Errorf("unsupported condition operand")
+}
+
+// applyEnv records the constant metadata effects of choosing an action.
+func (c *compiler) applyEnv(actName string, env map[string]*big.Int) {
+	ca, ok := c.out.Actions[actName]
+	if !ok {
+		return
+	}
+	act := c.out.Prog.Actions[actName]
+	_ = act
+	for _, spec := range ca.Prims {
+		var key string
+		switch spec.Op {
+		case persona.OpModMetaConst, persona.OpAddMetaConst, persona.OpModMetaED, persona.OpModMetaMeta:
+			key = c.metaKeyAt(spec.DstOff, spec.DstW)
+		default:
+			continue
+		}
+		if key == "" {
+			continue
+		}
+		if spec.Op == persona.OpModMetaConst && spec.Const != nil {
+			env[key] = spec.Const
+		} else {
+			env[key] = unknownVal
+		}
+	}
+}
+
+// metaKeyAt reverse-maps a bit range in emeta to "instance.field".
+func (c *compiler) metaKeyAt(off, width int) string {
+	for instName, base := range c.out.MetaOffsets {
+		inst := c.out.Prog.Instances[instName]
+		fOff := 0
+		for _, f := range inst.Type.Fields {
+			if base+fOff == off && f.Width == width {
+				return instName + "." + f.Name
+			}
+			fOff += f.Width
+		}
+	}
+	return ""
+}
+
+func copyEnv(env map[string]*big.Int) map[string]*big.Int {
+	out := make(map[string]*big.Int, len(env))
+	for k, v := range env {
+		out[k] = v
+	}
+	return out
+}

@@ -1,0 +1,410 @@
+package hp4c
+
+import (
+	"strings"
+	"testing"
+
+	"hyper4/internal/core/persona"
+	"hyper4/internal/functions"
+	"hyper4/internal/p4/hlir"
+	"hyper4/internal/p4/parser"
+)
+
+func compileSrc(t *testing.T, src string) (*Compiled, error) {
+	t.Helper()
+	prog, err := parser.Parse("test", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := hlir.Resolve(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Compile(h, persona.Reference)
+}
+
+func mustCompile(t *testing.T, src string) *Compiled {
+	t.Helper()
+	c, err := compileSrc(t, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestCompileAllFunctions(t *testing.T) {
+	for _, name := range functions.Names() {
+		prog, err := functions.Load(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := Compile(prog, persona.Reference); err != nil {
+			t.Errorf("Compile(%s): %v", name, err)
+		}
+	}
+}
+
+func TestHeaderOffsets(t *testing.T) {
+	prog, err := functions.Load(functions.Firewall)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := Compile(prog, persona.Reference)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]int{"ethernet": 0, "ipv4": 14, "tcp": 34, "udp": 34}
+	for inst, off := range want {
+		if got := c.HeaderOffsets[inst]; got != off {
+			t.Errorf("offset(%s) = %d, want %d", inst, got, off)
+		}
+	}
+}
+
+func TestParsePathsFirewall(t *testing.T) {
+	prog, err := functions.Load(functions.Firewall)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := Compile(prog, persona.Reference)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Paths) != 4 {
+		t.Fatalf("paths = %d, want 4 (tcp, udp, other-ip, non-ip)", len(c.Paths))
+	}
+	// TCP path: 14+20+20 = 54 → grid 60; two resubmits from the default 20.
+	tcp := c.Paths[0]
+	if tcp.RawBytes != 54 || tcp.Bytes != 60 {
+		t.Errorf("tcp path bytes = %d/%d, want 54/60", tcp.RawBytes, tcp.Bytes)
+	}
+	if !tcp.Valid["tcp"] || tcp.Valid["udp"] {
+		t.Errorf("tcp path valid = %v", tcp.Valid)
+	}
+	nonIP := c.Paths[3]
+	if nonIP.RawBytes != 14 || nonIP.Bytes != 20 {
+		t.Errorf("non-ip path bytes = %d/%d", nonIP.RawBytes, nonIP.Bytes)
+	}
+	if c.MaxBytes != 60 {
+		t.Errorf("MaxBytes = %d", c.MaxBytes)
+	}
+}
+
+func TestStageAssignmentFirewall(t *testing.T) {
+	prog, err := functions.Load(functions.Firewall)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := Compile(prog, persona.Reference)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// dmac appears at stage 1 (non-ip), stage 2 (other-ip), stage 3 (tcp, udp).
+	stages := map[int]bool{}
+	for _, s := range c.Slots["dmac"] {
+		stages[s.Stage] = true
+	}
+	for _, want := range []int{1, 2, 3} {
+		if !stages[want] {
+			t.Errorf("dmac missing stage %d (stages: %v)", want, stages)
+		}
+	}
+	// tcp_filter sits only at stage 2 on the tcp path.
+	tf := c.Slots["tcp_filter"]
+	if len(tf) != 1 || tf[0].Stage != 2 || !tf[0].Path.Valid["tcp"] {
+		t.Errorf("tcp_filter slots: %+v", tf)
+	}
+	if tf[0].Kind != persona.NTEDTernary {
+		t.Errorf("tcp_filter kind = %d", tf[0].Kind)
+	}
+	// Its successor for both actions is dmac's stage-3 exact table.
+	for _, act := range []string{"_nop", "_drop"} {
+		if got := tf[0].Next[act]; got.Kind != persona.NTEDExact {
+			t.Errorf("tcp_filter next[%s] = %+v, want NTEDExact", act, got)
+		}
+	}
+}
+
+func TestStageAssignmentARP(t *testing.T) {
+	prog, err := functions.Load(functions.ARPProxy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := Compile(prog, persona.Reference)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// arp_resp lives at stage 2. The flow walker cannot rule out a
+	// mark_request entry with valid=0 on the ethernet-only path, so a second
+	// (never-populated) slot exists there; the next_slot discriminator keeps
+	// it inert.
+	ar := c.Slots["arp_resp"]
+	var arpSlot *Slot
+	for _, s := range ar {
+		if s.Path.Valid["arp"] {
+			arpSlot = s
+		}
+	}
+	if arpSlot == nil || arpSlot.Stage != 2 {
+		t.Fatalf("arp_resp slots: %+v", ar)
+	}
+	// proxy_reply ends processing; _nop falls through to smac at stage 3.
+	if got := arpSlot.Next["proxy_reply"]; got.Kind != persona.NTDone {
+		t.Errorf("next[proxy_reply] = %+v, want done", got)
+	}
+	if got := arpSlot.Next["_nop"]; got.Kind != persona.NTEDExact {
+		t.Errorf("next[_nop] = %+v, want NTEDExact (smac)", got)
+	}
+	// The nine-primitive reply action compiles to nine specs.
+	if got := len(c.Actions["proxy_reply"].Prims); got != 9 {
+		t.Errorf("proxy_reply prims = %d, want 9", got)
+	}
+}
+
+func TestRouterChecksumDetected(t *testing.T) {
+	prog, err := functions.Load(functions.Router)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := Compile(prog, persona.Reference)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !c.NeedsIPv4Csum || c.CsumHeader != "ipv4" {
+		t.Errorf("checksum: needs=%v header=%q", c.NeedsIPv4Csum, c.CsumHeader)
+	}
+	var ipv4Path *ParsePath
+	for _, p := range c.Paths {
+		if p.Valid["ipv4"] {
+			ipv4Path = p
+		}
+	}
+	if ipv4Path == nil || !ipv4Path.Csum {
+		t.Errorf("ipv4 path should carry the checksum flag: %+v", ipv4Path)
+	}
+}
+
+func TestCompileMetadataLayout(t *testing.T) {
+	c := mustCompile(t, `
+header_type m1_t { fields { a : 8; b : 16; } }
+header_type m2_t { fields { c : 32; } }
+metadata m1_t m1;
+metadata m2_t m2;
+header_type h_t { fields { x : 8; } }
+header h_t h;
+parser start { extract(h); return ingress; }
+action n() { no_op(); }
+table t { reads { m1.b : exact; } actions { n; } }
+control ingress { apply(t); }
+`)
+	if c.MetaOffsets["m1"] != 0 || c.MetaOffsets["m2"] != 24 {
+		t.Errorf("meta offsets: %v", c.MetaOffsets)
+	}
+	slot := c.Slots["t"][0]
+	if slot.Kind != persona.NTMetaExact {
+		t.Errorf("kind = %d", slot.Kind)
+	}
+}
+
+func TestCompileErrors(t *testing.T) {
+	cases := []struct {
+		name, src, want string
+	}{
+		{"too many stages", `
+header_type h_t { fields { x : 8; } }
+header h_t h;
+parser start { extract(h); return ingress; }
+action n() { no_op(); }
+table t1 { actions { n; } } table t2 { actions { n; } } table t3 { actions { n; } }
+table t4 { actions { n; } } table t5 { actions { n; } }
+control ingress { apply(t1); apply(t2); apply(t3); apply(t4); apply(t5); }
+`, "stage"},
+		{"too many primitives", `
+header_type h_t { fields { a:8;b:8;c:8;d:8;e:8;f:8;g:8;i:8;j:8;k:8;l:8; } }
+header h_t h;
+parser start { extract(h); return ingress; }
+action big() {
+    modify_field(h.a, 1); modify_field(h.b, 1); modify_field(h.c, 1);
+    modify_field(h.d, 1); modify_field(h.e, 1); modify_field(h.f, 1);
+    modify_field(h.g, 1); modify_field(h.i, 1); modify_field(h.j, 1);
+    modify_field(h.k, 1);
+}
+table t { actions { big; } }
+control ingress { apply(t); }
+`, "primitives"},
+		{"too much metadata", `
+header_type big_t { fields { a : 800; } }
+metadata big_t m;
+header_type h_t { fields { x : 8; } }
+header h_t h;
+parser start { extract(h); return ingress; }
+action n() { no_op(); }
+table t { actions { n; } }
+control ingress { apply(t); }
+`, "metadata"},
+		{"parse too deep", `
+header_type big_t { fields { x : 1600; } }
+header big_t h;
+parser start { extract(h); return ingress; }
+action n() { no_op(); }
+table t { actions { n; } }
+control ingress { apply(t); }
+`, "persona maximum"},
+		{"header stack", `
+header_type h_t { fields { x : 8; } }
+header h_t h[4];
+parser start { extract(h[next]); return ingress; }
+action n() { no_op(); }
+table t { actions { n; } }
+control ingress { apply(t); }
+`, "stack"},
+		{"range match", `
+header_type h_t { fields { x : 16; } }
+header h_t h;
+parser start { extract(h); return ingress; }
+action n() { no_op(); }
+table t { reads { h.x : range; } actions { n; } }
+control ingress { apply(t); }
+`, "range"},
+		{"unsupported primitive", `
+header_type h_t { fields { x : 16; } }
+header h_t h;
+register r { width : 16; instance_count : 2; }
+parser start { extract(h); return ingress; }
+action n() { register_write(r, 0, 1); }
+table t { actions { n; } }
+control ingress { apply(t); }
+`, "not emulatable"},
+		{"runtime condition", `
+header_type h_t { fields { x : 16; } }
+header h_t h;
+header_type m_t { fields { v : 8; } }
+metadata m_t m;
+parser start { extract(h); return ingress; }
+action setv(val) { modify_field(m.v, val); }
+action n() { no_op(); }
+table t1 { actions { setv; } }
+table t2 { actions { n; } }
+control ingress {
+    apply(t1);
+    if (m.v == 1) { apply(t2); }
+}
+`, "runtime value"},
+		{"mixed reads", `
+header_type h_t { fields { x : 16; } }
+header h_t h;
+header_type m_t { fields { v : 8; } }
+metadata m_t m;
+parser start { extract(h); return ingress; }
+action n() { no_op(); }
+table t { reads { h.x : exact; m.v : exact; } actions { n; } }
+control ingress { apply(t); }
+`, "mixes"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := compileSrc(t, tc.src)
+			if err == nil {
+				t.Fatalf("expected error containing %q", tc.want)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("error %v does not contain %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestSubtractBecomesTwosComplementAdd(t *testing.T) {
+	c := mustCompile(t, `
+header_type h_t { fields { ttl : 8; } }
+header h_t h;
+parser start { extract(h); return ingress; }
+action dec() { subtract_from_field(h.ttl, 1); }
+table t { actions { dec; } }
+control ingress { apply(t); }
+`)
+	prims := c.Actions["dec"].Prims
+	if len(prims) != 1 || prims[0].Op != persona.OpAddEDConst {
+		t.Fatalf("prims: %+v", prims)
+	}
+	if prims[0].Const.Int64() != 255 {
+		t.Errorf("const = %v, want 255 (= -1 mod 2^8)", prims[0].Const)
+	}
+}
+
+func TestStdMetaTableKind(t *testing.T) {
+	c := mustCompile(t, `
+header_type h_t { fields { x : 8; } }
+header h_t h;
+parser start { extract(h); return ingress; }
+action n() { no_op(); }
+table t { reads { standard_metadata.ingress_port : exact; } actions { n; } }
+control ingress { apply(t); }
+`)
+	if c.Slots["t"][0].Kind != persona.NTStdMeta {
+		t.Errorf("kind = %d", c.Slots["t"][0].Kind)
+	}
+}
+
+func TestMatchlessTableKind(t *testing.T) {
+	c := mustCompile(t, `
+header_type h_t { fields { x : 8; } }
+header h_t h;
+parser start { extract(h); return ingress; }
+action n() { no_op(); }
+table t { actions { n; } }
+control ingress { apply(t); }
+`)
+	if c.Slots["t"][0].Kind != persona.NTMatchless {
+		t.Errorf("kind = %d", c.Slots["t"][0].Kind)
+	}
+}
+
+func TestNestedActionInlined(t *testing.T) {
+	c := mustCompile(t, `
+header_type h_t { fields { a : 8; b : 8; } }
+header h_t h;
+parser start { extract(h); return ingress; }
+action inner() { modify_field(h.a, 5); }
+action outer() { inner(); modify_field(h.b, 6); }
+table t { actions { outer; } }
+control ingress { apply(t); }
+`)
+	prims := c.Actions["outer"].Prims
+	if len(prims) != 2 {
+		t.Fatalf("prims: %+v", prims)
+	}
+	if prims[0].Const.Int64() != 5 || prims[1].Const.Int64() != 6 {
+		t.Errorf("inline order wrong: %+v", prims)
+	}
+}
+
+func TestValidConditionPerPath(t *testing.T) {
+	// The same control applies different tables depending on header
+	// validity; slots must land on the right paths.
+	c := mustCompile(t, `
+header_type a_t { fields { x : 8; } }
+header a_t a;
+header a_t b;
+parser start {
+    extract(a);
+    return select(latest.x) {
+        1 : parse_b;
+        default : ingress;
+    }
+}
+parser parse_b { extract(b); return ingress; }
+action n() { no_op(); }
+table with_b { actions { n; } }
+table without_b { actions { n; } }
+control ingress {
+    if (valid(b)) { apply(with_b); } else { apply(without_b); }
+}
+`)
+	if len(c.Slots["with_b"]) != 1 || !c.Slots["with_b"][0].Path.Valid["b"] {
+		t.Errorf("with_b slots: %+v", c.Slots["with_b"])
+	}
+	if len(c.Slots["without_b"]) != 1 || c.Slots["without_b"][0].Path.Valid["b"] {
+		t.Errorf("without_b slots: %+v", c.Slots["without_b"])
+	}
+}

@@ -1,0 +1,246 @@
+package hp4c
+
+import (
+	"fmt"
+
+	"hyper4/internal/p4/ast"
+)
+
+// maxParseDepth bounds the parse-graph walk.
+const maxParseDepth = 64
+
+// buildParsePaths enumerates the target's parse paths: terminal walks of the
+// parse graph with their select constraints, valid-header sets, and byte
+// requirements.
+func (c *compiler) buildParsePaths() error {
+	return c.walkParse("start", 0, nil, map[string]bool{}, 0)
+}
+
+func (c *compiler) walkParse(state string, off int, cons []Constraint, valid map[string]bool, depth int) error {
+	if depth > maxParseDepth {
+		return fmt.Errorf("parse graph too deep (cycle?)")
+	}
+	if state == ast.StateIngress {
+		raw := off
+		rounded, ok := c.out.Cfg.RoundBytes(raw)
+		if !ok {
+			return fmt.Errorf("parse path needs %d bytes; persona maximum is %d", raw, c.out.Cfg.ParseMax)
+		}
+		p := &ParsePath{
+			ID:          len(c.out.Paths) + 1,
+			Constraints: append([]Constraint(nil), cons...),
+			Valid:       copySet(valid),
+			RawBytes:    raw,
+			Bytes:       rounded,
+		}
+		c.out.Paths = append(c.out.Paths, p)
+		if rounded > c.out.MaxBytes {
+			c.out.MaxBytes = rounded
+		}
+		return nil
+	}
+	st, ok := c.out.Prog.States[state]
+	if !ok {
+		return fmt.Errorf("unknown parser state %q", state)
+	}
+	off2 := off
+	valid2 := copySet(valid)
+	var lastInst string
+	for _, stmt := range st.Statements {
+		if stmt.Extract == nil {
+			continue
+		}
+		inst := c.out.Prog.Instances[stmt.Extract.Instance]
+		valid2[inst.Decl.Name] = true
+		lastInst = inst.Decl.Name
+		off2 += inst.Width() / 8
+	}
+	switch st.Return.Kind {
+	case ast.ReturnDirect:
+		return c.walkParse(st.Return.State, off2, cons, valid2, depth+1)
+	case ast.ReturnSelect:
+		geoms, err := c.selectKeyGeometry(st.Return.SelectKeys, lastInst, off2)
+		if err != nil {
+			return fmt.Errorf("state %s: %w", state, err)
+		}
+		for _, cs := range st.Return.Cases {
+			cons2 := cons
+			if !cs.Default {
+				for i, g := range geoms {
+					cons2 = append(cons2, Constraint{
+						BitOff: g.off, Width: g.width,
+						Value: cs.Values[i], Mask: cs.Masks[i],
+					})
+				}
+			}
+			if err := c.walkParse(cs.State, off2, cons2, valid2, depth+1); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return fmt.Errorf("state %s: bad return", state)
+}
+
+type keyGeom struct {
+	off   int // absolute bit offset within extracted data
+	width int
+}
+
+// selectKeyGeometry locates each select key within the extracted data.
+func (c *compiler) selectKeyGeometry(keys []ast.SelectKey, lastInst string, offBytes int) ([]keyGeom, error) {
+	out := make([]keyGeom, len(keys))
+	for i, k := range keys {
+		switch {
+		case k.IsCurrent:
+			return nil, fmt.Errorf("select on current() is not supported by the compiler")
+		case k.Latest != "":
+			if lastInst == "" {
+				return nil, fmt.Errorf("select(latest.%s) with no prior extract", k.Latest)
+			}
+			ref := ast.FieldRef{Instance: lastInst, Index: ast.IndexNone, Field: k.Latest}
+			_, off, w, err := c.fieldGeometry(ref)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = keyGeom{off: off, width: w}
+		default:
+			meta, off, w, err := c.fieldGeometry(*k.Field)
+			if err != nil {
+				return nil, err
+			}
+			if meta {
+				return nil, fmt.Errorf("select on metadata is not supported by the compiler")
+			}
+			out[i] = keyGeom{off: off, width: w}
+		}
+	}
+	return out, nil
+}
+
+// buildParseEntries re-walks the parse graph tracking the persona's
+// progressive extraction: whenever a state needs more bytes than the current
+// grid amount, a resubmit row is emitted and a fresh parse_state allocated
+// (§4.2's Setup-a loop).
+func (c *compiler) buildParseEntries() error {
+	pathIdx := 0
+	nextState := 1
+	alloc := func() int {
+		s := nextState
+		nextState++
+		return s
+	}
+	var walk func(state string, off, have, pstate int, consSince []Constraint, depth int) error
+	walk = func(state string, off, have, pstate int, consSince []Constraint, depth int) error {
+		if depth > maxParseDepth {
+			return fmt.Errorf("parse graph too deep")
+		}
+		if state == ast.StateIngress {
+			if pathIdx >= len(c.out.Paths) {
+				return fmt.Errorf("parse path walk out of sync")
+			}
+			path := c.out.Paths[pathIdx]
+			pathIdx++
+			if path.Bytes > have {
+				// The terminal needs more than currently extracted: one
+				// final resubmit, then an unconditional done row.
+				mid := alloc()
+				c.out.ParseEntries = append(c.out.ParseEntries, ParseEntry{
+					State: pstate, Constraints: consSince,
+					Priority: prioFor(consSince),
+					More:     true, NumBytes: path.Bytes, NextState: mid,
+				})
+				c.out.ParseEntries = append(c.out.ParseEntries, ParseEntry{
+					State: mid, Priority: prioFor(nil), Path: path,
+				})
+				return nil
+			}
+			c.out.ParseEntries = append(c.out.ParseEntries, ParseEntry{
+				State: pstate, Constraints: consSince,
+				Priority: prioFor(consSince), Path: path,
+			})
+			return nil
+		}
+		st := c.out.Prog.States[state]
+		need := off
+		var lastInst string
+		for _, stmt := range st.Statements {
+			if stmt.Extract == nil {
+				continue
+			}
+			inst := c.out.Prog.Instances[stmt.Extract.Instance]
+			lastInst = inst.Decl.Name
+			need += inst.Width() / 8
+		}
+		if need > have {
+			have2, ok := c.out.Cfg.RoundBytes(need)
+			if !ok {
+				return fmt.Errorf("state %s needs %d bytes; persona maximum is %d", state, need, c.out.Cfg.ParseMax)
+			}
+			mid := alloc()
+			c.out.ParseEntries = append(c.out.ParseEntries, ParseEntry{
+				State: pstate, Constraints: consSince,
+				Priority: prioFor(consSince),
+				More:     true, NumBytes: have2, NextState: mid,
+			})
+			return walk(state, off, have2, mid, nil, depth+1)
+		}
+		off2 := need
+		switch st.Return.Kind {
+		case ast.ReturnDirect:
+			return walk(st.Return.State, off2, have, pstate, consSince, depth+1)
+		case ast.ReturnSelect:
+			geoms, err := c.selectKeyGeometry(st.Return.SelectKeys, lastInst, off2)
+			if err != nil {
+				return err
+			}
+			for _, cs := range st.Return.Cases {
+				cons2 := consSince
+				if !cs.Default {
+					cons2 = append(append([]Constraint(nil), consSince...), constraintsFor(geoms, cs)...)
+				}
+				if err := walk(cs.State, off2, have, pstate, cons2, depth+1); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		return fmt.Errorf("state %s: bad return", state)
+	}
+	// Partial virtualization (§7.1): the fixed parser delivers the whole
+	// supported header family in the first pass, so the walk starts with
+	// every byte already available and never emits a resubmit row.
+	initialHave := c.out.Cfg.ParseDefault
+	if c.out.Cfg.FixedParser {
+		initialHave = c.out.Cfg.ParseMax
+	}
+	if err := walk("start", 0, initialHave, 0, nil, 0); err != nil {
+		return err
+	}
+	if pathIdx != len(c.out.Paths) {
+		return fmt.Errorf("parse entry walk covered %d of %d paths", pathIdx, len(c.out.Paths))
+	}
+	return nil
+}
+
+func constraintsFor(geoms []keyGeom, cs ast.SelectCase) []Constraint {
+	out := make([]Constraint, len(geoms))
+	for i, g := range geoms {
+		out[i] = Constraint{BitOff: g.off, Width: g.width, Value: cs.Values[i], Mask: cs.Masks[i]}
+	}
+	return out
+}
+
+// prioFor orders ternary rows so more-constrained rows win: each constraint
+// lowers the priority number.
+func prioFor(cons []Constraint) int {
+	return 1000 - 10*len(cons)
+}
+
+func copySet(s map[string]bool) map[string]bool {
+	out := make(map[string]bool, len(s))
+	for k, v := range s {
+		out[k] = v
+	}
+	return out
+}

@@ -1,0 +1,123 @@
+package persona
+
+import (
+	"hyper4/internal/p4/ast"
+	"hyper4/internal/p4/hlir"
+)
+
+// extensions emits the persona machinery for the paper's sketched-but-not-
+// built features:
+//
+//   - Virtual multicast (§4.6): "a combination of P4's clone and
+//     recirculate primitives … one of the packet clones is sent back to the
+//     parser … the other packet clone is sent back to the start of the
+//     egress pipeline, with the program ID serving as a loop counter".
+//     Here the loop counter is the dedicated hp4.mcast sequence field: the
+//     original copy of each egress pass recirculates into the current
+//     target device while the egress-to-egress clone carries the sequence
+//     to the next target; the last step stops cloning.
+//
+//   - Ingress policing (§4.5's proposed mitigation): "rely on a meter in
+//     HyPer4 at the beginning of the ingress pipeline that drops traffic
+//     above a threshold for a given virtual device". A per-program meter is
+//     executed every pass (recirculated traffic consumes buffer too) and
+//     red packets are dropped.
+func (b *builder) extensions() {
+	// --- virtual multicast ---
+	b.prog.Actions = append(b.prog.Actions,
+		&ast.Action{
+			Name:   ActMcastStart,
+			Params: []string{"next_program", "next_vingress", "mseq", "port"},
+			Body: []ast.PrimitiveCall{
+				call("modify_field", fexpr(InstMeta, "program"), pexpr("next_program")),
+				call("modify_field", fexpr(InstMeta, "vdev_ingress"), pexpr("next_vingress")),
+				call("modify_field", fexpr(InstMeta, "mcast"), pexpr("mseq")),
+				call("modify_field", fexpr(InstMeta, "recirc"), cexpr(1)),
+				call("modify_field", fexpr(hlir.StandardMetadata, hlir.FieldEgressSpec), pexpr("port")),
+			},
+		},
+		&ast.Action{
+			Name:   ActMcastClone,
+			Params: []string{"session"},
+			Body: []ast.PrimitiveCall{
+				call("clone_egress_pkt_to_egress", pexpr("session"), nexpr(FLRecirc)),
+			},
+		},
+		// The clone arrives with hp4.recirc already consumed by the previous
+		// pass's a_do_recirc, so each step re-arms recirculation for itself.
+		&ast.Action{
+			Name:   ActMcastStep,
+			Params: []string{"next_program", "next_vingress", "next_seq", "session"},
+			Body: []ast.PrimitiveCall{
+				call("modify_field", fexpr(InstMeta, "program"), pexpr("next_program")),
+				call("modify_field", fexpr(InstMeta, "vdev_ingress"), pexpr("next_vingress")),
+				call("modify_field", fexpr(InstMeta, "mcast"), pexpr("next_seq")),
+				call("modify_field", fexpr(InstMeta, "recirc"), cexpr(1)),
+				call("clone_egress_pkt_to_egress", pexpr("session"), nexpr(FLRecirc)),
+			},
+		},
+		&ast.Action{
+			Name:   ActMcastLast,
+			Params: []string{"next_program", "next_vingress"},
+			Body: []ast.PrimitiveCall{
+				call("modify_field", fexpr(InstMeta, "program"), pexpr("next_program")),
+				call("modify_field", fexpr(InstMeta, "vdev_ingress"), pexpr("next_vingress")),
+				call("modify_field", fexpr(InstMeta, "mcast"), cexpr(0)),
+				call("modify_field", fexpr(InstMeta, "recirc"), cexpr(1)),
+			},
+		},
+	)
+	b.prog.Tables = append(b.prog.Tables,
+		&ast.Table{
+			Name: TblMcastOrig,
+			Reads: []ast.ReadEntry{
+				{Field: ptr(fref(InstMeta, "mcast")), Match: ast.MatchExact},
+			},
+			Actions: []string{ActMcastClone},
+			Size:    64,
+		},
+		&ast.Table{
+			Name: TblMcastClone,
+			Reads: []ast.ReadEntry{
+				{Field: ptr(fref(InstMeta, "mcast")), Match: ast.MatchExact},
+			},
+			Actions: []string{ActMcastStep, ActMcastLast},
+			Size:    64,
+		},
+	)
+
+	// --- ingress policing and per-device traffic monitoring ---
+	// The same always-applied stage also counts each pipeline pass per
+	// virtual device — the "traffic monitoring" feature of §1's use cases.
+	b.prog.Meters = append(b.prog.Meters, &ast.Meter{
+		Name:          MeterIngress,
+		Kind:          ast.MeterPackets,
+		InstanceCount: 256,
+	})
+	b.prog.Counters = append(b.prog.Counters, &ast.Counter{
+		Name:          CounterVDev,
+		Kind:          ast.CounterPackets,
+		InstanceCount: 256,
+	})
+	b.prog.Actions = append(b.prog.Actions, &ast.Action{
+		Name: ActPolice,
+		Body: []ast.PrimitiveCall{
+			call("execute_meter", nexpr(MeterIngress), fexpr(InstMeta, "program"), fexpr(InstMeta, "color")),
+			call("count", nexpr(CounterVDev), fexpr(InstMeta, "program")),
+		},
+	})
+	b.prog.Tables = append(b.prog.Tables,
+		&ast.Table{
+			Name:    TblPolice,
+			Actions: []string{ActPolice},
+			Default: ActPolice,
+			Size:    1,
+		},
+		&ast.Table{
+			Name:    TblPoliceDrop,
+			Actions: []string{ActVDrop},
+			Default: ActVDrop,
+			Size:    1,
+		},
+	)
+}

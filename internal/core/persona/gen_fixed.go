@@ -1,0 +1,242 @@
+package persona
+
+import (
+	"fmt"
+	"math/big"
+	"strings"
+
+	"hyper4/internal/p4/ast"
+)
+
+// Partial virtualization (§7.1, Figure 9(c)): "a single directly
+// implemented parser can pass traffic to different virtual match-action
+// pipelines. This 'fixes' the set of protocol headers supported, but
+// permits different, dynamically modifiable behaviors."
+//
+// When Config.FixedParser is set, the persona's runtime-reconfigurable
+// byte-stack parser (§4.2) is replaced by a concrete parser for the
+// Ethernet / ARP / IPv4 / TCP / UDP family. Parsing decisions no longer
+// require resubmission — the §4.7 throughput penalty of the programmable
+// parser disappears — in exchange for restricting emulated programs to that
+// header family.
+
+// Fixed-parser path IDs (hp4.fpath values set by the parser terminals).
+const (
+	FPathEth = iota + 1
+	FPathARP
+	FPathIPv4
+	FPathTCP
+	FPathUDP
+)
+
+// fixedHeader describes one header of the fixed parser family.
+type fixedHeader struct {
+	inst   string
+	typ    string
+	offset int // byte offset within extracted data
+	fields []ast.FieldDecl
+}
+
+// fixedFamily is the concrete header set, matching the byte layout the
+// compiler assigns to the paper's functions (eth@0, arp/ipv4@14, l4@34).
+var fixedFamily = []fixedHeader{
+	{"f_eth", "f_eth_t", 0, []ast.FieldDecl{
+		{Name: "dst", Width: 48}, {Name: "src", Width: 48}, {Name: "etype", Width: 16},
+	}},
+	{"f_arp", "f_arp_t", 14, []ast.FieldDecl{
+		{Name: "htype", Width: 16}, {Name: "ptype", Width: 16},
+		{Name: "hlen", Width: 8}, {Name: "plen", Width: 8}, {Name: "oper", Width: 16},
+		{Name: "sha", Width: 48}, {Name: "spa", Width: 32},
+		{Name: "tha", Width: 48}, {Name: "tpa", Width: 32},
+	}},
+	{"f_ipv4", "f_ipv4_t", 14, []ast.FieldDecl{
+		{Name: "verihl", Width: 8}, {Name: "tos", Width: 8}, {Name: "len", Width: 16},
+		{Name: "id", Width: 16}, {Name: "frag", Width: 16},
+		{Name: "ttl", Width: 8}, {Name: "proto", Width: 8}, {Name: "csum", Width: 16},
+		{Name: "src", Width: 32}, {Name: "dst", Width: 32},
+	}},
+	{"f_tcp", "f_tcp_t", 34, []ast.FieldDecl{
+		{Name: "sport", Width: 16}, {Name: "dport", Width: 16},
+		{Name: "seq", Width: 32}, {Name: "ack", Width: 32},
+		{Name: "offres", Width: 8}, {Name: "flags", Width: 8},
+		{Name: "win", Width: 16}, {Name: "csum", Width: 16}, {Name: "urg", Width: 16},
+	}},
+	{"f_udp", "f_udp_t", 34, []ast.FieldDecl{
+		{Name: "sport", Width: 16}, {Name: "dport", Width: 16},
+		{Name: "len", Width: 16}, {Name: "csum", Width: 16},
+	}},
+}
+
+// fpathHeaders lists, per path ID, the headers valid on that path.
+var fpathHeaders = map[int][]int{
+	FPathEth:  {0},
+	FPathARP:  {0, 1},
+	FPathIPv4: {0, 2},
+	FPathTCP:  {0, 2, 3},
+	FPathUDP:  {0, 2, 4},
+}
+
+// fpathBytes returns the parsed byte count of a fixed path.
+func fpathBytes(path int) int {
+	n := 0
+	for _, hi := range fpathHeaders[path] {
+		h := fixedFamily[hi]
+		n += widthOf(h) / 8
+	}
+	return n
+}
+
+func widthOf(h fixedHeader) int {
+	w := 0
+	for _, f := range h.fields {
+		w += f.Width
+	}
+	return w
+}
+
+// fixedHeadersDecl emits the family's header types and instances.
+func (b *builder) fixedHeadersDecl() {
+	for _, h := range fixedFamily {
+		b.prog.HeaderTypes = append(b.prog.HeaderTypes, &ast.HeaderType{
+			Name: h.typ, Fields: h.fields,
+		})
+		b.prog.Instances = append(b.prog.Instances, &ast.Instance{
+			Name: h.inst, TypeName: h.typ,
+		})
+	}
+}
+
+// fixedParserStates emits the concrete parse graph.
+func (b *builder) fixedParserStates() {
+	term := func(path int) []ast.ParserStmt {
+		return []ast.ParserStmt{
+			{SetField: fref(InstMeta, "fpath"), SetValue: cexpr(int64(path))},
+			{SetField: fref(InstMeta, "parsed"), SetValue: cexpr(int64(fpathBytes(path)))},
+		}
+	}
+	extract := func(inst string) ast.ParserStmt {
+		return ast.ParserStmt{Extract: &ast.HeaderRef{Instance: inst, Index: ast.IndexNone}}
+	}
+	sel := func(field string, cases []ast.SelectCase) ast.ParserReturn {
+		return ast.ParserReturn{
+			Kind:       ast.ReturnSelect,
+			SelectKeys: []ast.SelectKey{{Latest: field}},
+			Cases:      cases,
+		}
+	}
+	b.prog.ParserStates = append(b.prog.ParserStates,
+		&ast.ParserState{
+			Name:       "start",
+			Statements: []ast.ParserStmt{extract("f_eth")},
+			Return: sel("etype", []ast.SelectCase{
+				{Values: bigs(0x0806), Masks: nils(1), State: "fp_arp"},
+				{Values: bigs(0x0800), Masks: nils(1), State: "fp_ipv4"},
+				{Default: true, State: "fp_eth_done"},
+			}),
+		},
+		&ast.ParserState{
+			Name:       "fp_eth_done",
+			Statements: term(FPathEth),
+			Return:     ast.ParserReturn{Kind: ast.ReturnDirect, State: ast.StateIngress},
+		},
+		&ast.ParserState{
+			Name:       "fp_arp",
+			Statements: append([]ast.ParserStmt{extract("f_arp")}, term(FPathARP)...),
+			Return:     ast.ParserReturn{Kind: ast.ReturnDirect, State: ast.StateIngress},
+		},
+		&ast.ParserState{
+			Name:       "fp_ipv4",
+			Statements: []ast.ParserStmt{extract("f_ipv4")},
+			Return: sel("proto", []ast.SelectCase{
+				{Values: bigs(6), Masks: nils(1), State: "fp_tcp"},
+				{Values: bigs(17), Masks: nils(1), State: "fp_udp"},
+				{Default: true, State: "fp_ipv4_done"},
+			}),
+		},
+		&ast.ParserState{
+			Name:       "fp_ipv4_done",
+			Statements: term(FPathIPv4),
+			Return:     ast.ParserReturn{Kind: ast.ReturnDirect, State: ast.StateIngress},
+		},
+		&ast.ParserState{
+			Name:       "fp_tcp",
+			Statements: append([]ast.ParserStmt{extract("f_tcp")}, term(FPathTCP)...),
+			Return:     ast.ParserReturn{Kind: ast.ReturnDirect, State: ast.StateIngress},
+		},
+		&ast.ParserState{
+			Name:       "fp_udp",
+			Statements: append([]ast.ParserStmt{extract("f_udp")}, term(FPathUDP)...),
+			Return:     ast.ParserReturn{Kind: ast.ReturnDirect, State: ast.StateIngress},
+		},
+	)
+}
+
+// fixedNormWriteback emits the per-path assembly and write-back actions:
+// assembly copies each parsed field into its position in the wide
+// extracted-data proxy; write-back restores modified values before deparse.
+func (b *builder) fixedNormWriteback() {
+	ew := b.c.ExtractedWidth()
+	var normActs, wbActs []string
+	for path := FPathEth; path <= FPathUDP; path++ {
+		norm := &ast.Action{Name: fmt.Sprintf("a_fnorm_%d", path)}
+		wb := &ast.Action{Name: fmt.Sprintf("a_fwb_%d", path)}
+		for _, hi := range fpathHeaders[path] {
+			h := fixedFamily[hi]
+			bitOff := h.offset * 8
+			for _, f := range h.fields {
+				sh := int64(ew - bitOff - f.Width)
+				norm.Body = append(norm.Body,
+					call("modify_field", fexpr(InstScratch, "tmp"), fexpr(h.inst, f.Name)),
+					call("shift_left", fexpr(InstScratch, "tmp"), fexpr(InstScratch, "tmp"), cexpr(sh)),
+					call("bit_or", fexpr(InstData, "extracted"), fexpr(InstData, "extracted"), fexpr(InstScratch, "tmp")),
+				)
+				wb.Body = append(wb.Body,
+					call("shift_right", fexpr(InstScratch, "tmp"), fexpr(InstData, "extracted"), cexpr(sh)),
+					call("modify_field", fexpr(h.inst, f.Name), fexpr(InstScratch, "tmp")),
+				)
+				bitOff += f.Width
+			}
+		}
+		b.prog.Actions = append(b.prog.Actions, norm, wb)
+		normActs = append(normActs, norm.Name)
+		wbActs = append(wbActs, wb.Name)
+	}
+	b.prog.Tables = append(b.prog.Tables,
+		&ast.Table{
+			Name: TblNorm,
+			Reads: []ast.ReadEntry{
+				{Field: ptr(fref(InstMeta, "fpath")), Match: ast.MatchExact},
+			},
+			Actions: normActs,
+			Size:    8,
+		},
+		&ast.Table{
+			Name: TblWriteback,
+			Reads: []ast.ReadEntry{
+				{Field: ptr(fref(InstMeta, "fpath")), Match: ast.MatchExact},
+			},
+			Actions: wbActs,
+			Size:    8,
+		},
+	)
+}
+
+// fixedBaseCommands installs the static rows of the fixed-parser machinery.
+func fixedBaseCommands(c Config, sb *strings.Builder) {
+	for path := FPathEth; path <= FPathUDP; path++ {
+		fmt.Fprintf(sb, "table_add %s a_fnorm_%d %d =>\n", TblNorm, path, path)
+		fmt.Fprintf(sb, "table_add %s a_fwb_%d %d =>\n", TblWriteback, path, path)
+	}
+}
+
+func bigs(vals ...int64) []*big.Int {
+	out := make([]*big.Int, len(vals))
+	for i, v := range vals {
+		out[i] = big.NewInt(v)
+	}
+	return out
+}
+
+func nils(n int) []*big.Int {
+	return make([]*big.Int, n)
+}

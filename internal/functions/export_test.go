@@ -1,0 +1,33 @@
+package functions
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestP4SourcesInSync keeps the browsable .p4 files under p4src/ identical
+// to the embedded sources the library actually runs. Regenerate them with
+//
+//	HP4_UPDATE_P4=1 go test ./internal/functions -run TestP4SourcesInSync
+var updateP4 = os.Getenv("HP4_UPDATE_P4") != ""
+
+func TestP4SourcesInSync(t *testing.T) {
+	root := filepath.Join("..", "..", "p4src")
+	for name, src := range Sources {
+		path := filepath.Join(root, name+".p4")
+		if updateP4 {
+			if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			continue
+		}
+		got, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("%s: %v (set HP4_UPDATE_P4=1 to regenerate)", path, err)
+		}
+		if string(got) != src {
+			t.Errorf("%s is out of sync with the embedded source (set HP4_UPDATE_P4=1)", path)
+		}
+	}
+}

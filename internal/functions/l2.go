@@ -1,0 +1,111 @@
+package functions
+
+import (
+	"fmt"
+
+	"hyper4/internal/bitfield"
+	"hyper4/internal/pkt"
+	"hyper4/internal/sim"
+)
+
+// L2SwitchSource is the layer-2 Ethernet switch (§3.1 function 1). The most
+// complex path applies two tables (smac check, dmac forward), matching the
+// native count in Table 1.
+const L2SwitchSource = `
+header_type ethernet_t {
+    fields {
+        dstAddr : 48;
+        srcAddr : 48;
+        etherType : 16;
+    }
+}
+
+header ethernet_t ethernet;
+
+parser start {
+    extract(ethernet);
+    return ingress;
+}
+
+action _nop() {
+    no_op();
+}
+
+action _drop() {
+    drop();
+}
+
+action forward(port) {
+    modify_field(standard_metadata.egress_spec, port);
+}
+
+// Source-MAC check: a hit means the address is known; a miss would be the
+// hook for learning (flagged to the controller in a full deployment).
+table smac {
+    reads {
+        ethernet.srcAddr : exact;
+    }
+    actions {
+        _nop;
+        _drop;
+    }
+    size : 512;
+}
+
+table dmac {
+    reads {
+        ethernet.dstAddr : exact;
+    }
+    actions {
+        forward;
+        _drop;
+    }
+    size : 512;
+}
+
+control ingress {
+    apply(smac);
+    apply(dmac);
+}
+`
+
+// L2Controller populates the L2 switch's tables.
+type L2Controller struct {
+	add func(table, action string, params []sim.MatchParam, args []bitfield.Value, prio int) error
+}
+
+// NewL2Controller returns a controller that installs entries directly on a
+// native switch.
+func NewL2Controller(sw *sim.Switch) *L2Controller {
+	return &L2Controller{add: func(table, action string, params []sim.MatchParam, args []bitfield.Value, prio int) error {
+		_, err := sw.TableAdd(table, action, params, args, prio)
+		return err
+	}}
+}
+
+// NewL2ControllerFunc returns a controller that routes entries through an
+// arbitrary installer (used to drive the same population through the DPMU).
+func NewL2ControllerFunc(add func(table, action string, params []sim.MatchParam, args []bitfield.Value, prio int) error) *L2Controller {
+	return &L2Controller{add: add}
+}
+
+// AddHost installs the smac and dmac entries for one station.
+func (c *L2Controller) AddHost(mac pkt.MAC, port int) error {
+	macVal := bitfield.FromBytes(48, mac[:])
+	if err := c.add("smac", "_nop", []sim.MatchParam{sim.Exact(macVal)}, nil, 0); err != nil {
+		return fmt.Errorf("l2 smac: %w", err)
+	}
+	if err := c.add("dmac", "forward", []sim.MatchParam{sim.Exact(macVal)}, sim.Args(9, uint64(port)), 0); err != nil {
+		return fmt.Errorf("l2 dmac: %w", err)
+	}
+	return nil
+}
+
+// SetUnknownUnicast sets the default dmac behavior: port < 0 drops, else
+// forwards unknown destinations to the given port.
+func (c *L2Controller) SetUnknownUnicast(sw *sim.Switch, port int) error {
+	if port < 0 {
+		return sw.TableSetDefault("dmac", "_drop", nil)
+	}
+	return sw.TableSetDefault("dmac", "forward", sim.Args(9, uint64(port)))
+}

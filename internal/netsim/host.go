@@ -1,0 +1,190 @@
+package netsim
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"hyper4/internal/pkt"
+)
+
+// Host is an end station with a minimal protocol stack: it answers ARP
+// requests for its address, answers ICMP echo requests, and counts TCP/UDP
+// payload bytes delivered to it.
+type Host struct {
+	Name string
+	MAC  pkt.MAC
+	IP   pkt.IP4
+
+	net      *Network
+	attached *SwitchNode
+	port     int
+	in       chan frame
+
+	// Receive-side accounting.
+	RxFrames  atomic.Int64
+	RxBytes   atomic.Int64 // TCP+UDP payload bytes
+	EchoSent  atomic.Int64
+	EchoRecvd atomic.Int64
+
+	// echoReply signals the arrival of an echo reply (for ping flood).
+	echoReply chan uint16
+	// arpReply signals ARP replies (resolved MAC).
+	arpReply chan pkt.MAC
+
+	mu       sync.Mutex
+	sinkWant int64
+	sinkDone chan struct{}
+}
+
+// AddHost creates a host.
+func (n *Network) AddHost(name string, mac pkt.MAC, ip pkt.IP4) *Host {
+	h := &Host{
+		Name:      name,
+		MAC:       mac,
+		IP:        ip,
+		net:       n,
+		in:        make(chan frame, linkBuf),
+		echoReply: make(chan uint16, linkBuf),
+		arpReply:  make(chan pkt.MAC, 4),
+	}
+	n.hosts[name] = h
+	return h
+}
+
+func (h *Host) name() string { return h.Name }
+
+func (h *Host) deliver(f frame) bool {
+	select {
+	case h.in <- f:
+		return true
+	case <-h.net.stop:
+		return false
+	}
+}
+
+// Send transmits a frame from the host into the network, padded to the
+// Ethernet minimum as a real NIC would.
+func (h *Host) Send(data []byte) error {
+	if h.attached == nil {
+		return fmt.Errorf("netsim: host %s not attached", h.Name)
+	}
+	if !h.attached.deliver(frame{data: pkt.Pad(data), port: h.port}) {
+		return fmt.Errorf("netsim: network stopped")
+	}
+	return nil
+}
+
+// Expect arms the byte sink: the returned channel closes once the host has
+// received at least want TCP/UDP payload bytes (counted from zero now).
+func (h *Host) Expect(want int64) <-chan struct{} {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.RxBytes.Store(0)
+	h.sinkWant = want
+	h.sinkDone = make(chan struct{})
+	return h.sinkDone
+}
+
+func (h *Host) run() {
+	defer h.net.wg.Done()
+	for {
+		select {
+		case <-h.net.stop:
+			return
+		case f := <-h.in:
+			h.handle(f.data)
+		}
+	}
+}
+
+func (h *Host) handle(data []byte) {
+	h.RxFrames.Add(1)
+	eth, rest, err := pkt.DecodeEthernet(data)
+	if err != nil {
+		return
+	}
+	switch eth.EtherType {
+	case pkt.EtherTypeARP:
+		a, err := pkt.DecodeARP(rest)
+		if err != nil {
+			return
+		}
+		switch {
+		case a.Op == pkt.ARPRequest && a.TargetIP == h.IP:
+			reply := pkt.Serialize(
+				&pkt.Ethernet{Dst: eth.Src, Src: h.MAC, EtherType: pkt.EtherTypeARP},
+				&pkt.ARP{Op: pkt.ARPReply, SenderHW: h.MAC, SenderIP: h.IP, TargetHW: a.SenderHW, TargetIP: a.SenderIP},
+			)
+			_ = h.Send(reply)
+		case a.Op == pkt.ARPReply && a.TargetIP == h.IP:
+			select {
+			case h.arpReply <- a.SenderHW:
+			default:
+			}
+		}
+	case pkt.EtherTypeIPv4:
+		ip, payload, err := pkt.DecodeIPv4(rest)
+		if err != nil || ip.Dst != h.IP {
+			return
+		}
+		switch ip.Protocol {
+		case pkt.IPProtoICMP:
+			ic, echoData, err := pkt.DecodeICMP(payload)
+			if err != nil {
+				return
+			}
+			switch ic.Type {
+			case pkt.ICMPEchoRequest:
+				reply := pkt.Serialize(
+					&pkt.Ethernet{Dst: eth.Src, Src: h.MAC, EtherType: pkt.EtherTypeIPv4},
+					&pkt.IPv4{TTL: 64, Protocol: pkt.IPProtoICMP, Src: h.IP, Dst: ip.Src},
+					&pkt.ICMP{Type: pkt.ICMPEchoReply, ID: ic.ID, Seq: ic.Seq},
+					pkt.Payload(echoData),
+				)
+				_ = h.Send(reply)
+			case pkt.ICMPEchoReply:
+				h.EchoRecvd.Add(1)
+				select {
+				case h.echoReply <- ic.Seq:
+				default:
+				}
+			}
+		case pkt.IPProtoTCP:
+			t, body, err := pkt.DecodeTCP(payload)
+			if err != nil {
+				return
+			}
+			_ = t
+			h.addPayload(clipPayload(ip, 20+20, body))
+		case pkt.IPProtoUDP:
+			_, body, err := pkt.DecodeUDP(payload)
+			if err != nil {
+				return
+			}
+			h.addPayload(clipPayload(ip, 20+8, body))
+		}
+	}
+}
+
+// clipPayload strips Ethernet padding using the IP total length.
+func clipPayload(ip *pkt.IPv4, hdrs int, body []byte) int64 {
+	n := int(ip.TotalLen) - hdrs
+	if n < 0 {
+		n = 0
+	}
+	if n > len(body) {
+		n = len(body)
+	}
+	return int64(n)
+}
+
+func (h *Host) addPayload(n int64) {
+	got := h.RxBytes.Add(n)
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.sinkDone != nil && got >= h.sinkWant {
+		close(h.sinkDone)
+		h.sinkDone = nil
+	}
+}

@@ -1,0 +1,204 @@
+// Package netsim is the network substrate for the paper's end-to-end
+// measurements (§6.4): switches running internal/sim programs, hosts with a
+// small protocol stack (ARP, ICMP echo, TCP/UDP byte sinks), and links as
+// buffered channels. It replaces the paper's Mininet environment; the
+// traffic generators in traffic.go replace iperf3 and ping -f.
+package netsim
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"hyper4/internal/sim"
+)
+
+// linkBuf is the per-link frame buffer (a stand-in for NIC/switch queues).
+const linkBuf = 512
+
+// frame is one packet in flight.
+type frame struct {
+	data []byte
+	port int // ingress port at the receiving node
+}
+
+// node is anything that can accept a frame on a port.
+type node interface {
+	deliver(f frame) bool
+	name() string
+}
+
+// Network is a topology of switches and hosts.
+type Network struct {
+	switches map[string]*SwitchNode
+	hosts    map[string]*Host
+	started  bool
+	stop     chan struct{}
+	wg       sync.WaitGroup
+
+	// SwitchOverhead is a fixed per-packet cost added at every switch,
+	// modeling the environment the paper measured in (bmv2 behind Mininet
+	// veths in a VM has a large fixed per-packet cost that dominates its
+	// native numbers). Zero disables it.
+	SwitchOverhead time.Duration
+}
+
+// New creates an empty network.
+func New() *Network {
+	return &Network{
+		switches: map[string]*SwitchNode{},
+		hosts:    map[string]*Host{},
+		stop:     make(chan struct{}),
+	}
+}
+
+// SwitchNode wraps a switch in the topology.
+type SwitchNode struct {
+	Name string
+	SW   *sim.Switch
+
+	in    chan frame
+	peers map[int]node // port → attached node
+	// peerPort maps local port → ingress port at the peer (switch links).
+	peerPort map[int]int
+	net      *Network
+
+	// ProcErrs counts packets the switch failed on (pipeline errors).
+	ProcErrs atomic.Int64
+}
+
+func (s *SwitchNode) name() string { return s.Name }
+
+func (s *SwitchNode) deliver(f frame) bool {
+	select {
+	case s.in <- f:
+		return true
+	case <-s.net.stop:
+		return false
+	}
+}
+
+// AddSwitch attaches a switch to the network.
+func (n *Network) AddSwitch(name string, sw *sim.Switch) *SwitchNode {
+	sn := &SwitchNode{
+		Name:     name,
+		SW:       sw,
+		in:       make(chan frame, linkBuf),
+		peers:    map[int]node{},
+		peerPort: map[int]int{},
+		net:      n,
+	}
+	n.switches[name] = sn
+	return sn
+}
+
+// Switch returns a switch node by name.
+func (n *Network) Switch(name string) *SwitchNode { return n.switches[name] }
+
+// Host returns a host by name.
+func (n *Network) Host(name string) *Host { return n.hosts[name] }
+
+// Connect attaches a host to a switch port.
+func (n *Network) Connect(swName string, port int, hostName string) error {
+	sn, ok := n.switches[swName]
+	if !ok {
+		return fmt.Errorf("netsim: no switch %q", swName)
+	}
+	h, ok := n.hosts[hostName]
+	if !ok {
+		return fmt.Errorf("netsim: no host %q", hostName)
+	}
+	if _, busy := sn.peers[port]; busy {
+		return fmt.Errorf("netsim: %s port %d already connected", swName, port)
+	}
+	if h.attached != nil {
+		return fmt.Errorf("netsim: host %q already attached", hostName)
+	}
+	sn.peers[port] = h
+	sn.peerPort[port] = 0
+	h.attached = sn
+	h.port = port
+	return nil
+}
+
+// ConnectSwitches links two switch ports.
+func (n *Network) ConnectSwitches(aName string, aPort int, bName string, bPort int) error {
+	a, ok := n.switches[aName]
+	if !ok {
+		return fmt.Errorf("netsim: no switch %q", aName)
+	}
+	b, ok := n.switches[bName]
+	if !ok {
+		return fmt.Errorf("netsim: no switch %q", bName)
+	}
+	if _, busy := a.peers[aPort]; busy {
+		return fmt.Errorf("netsim: %s port %d already connected", aName, aPort)
+	}
+	if _, busy := b.peers[bPort]; busy {
+		return fmt.Errorf("netsim: %s port %d already connected", bName, bPort)
+	}
+	a.peers[aPort] = b
+	a.peerPort[aPort] = bPort
+	b.peers[bPort] = a
+	b.peerPort[bPort] = aPort
+	return nil
+}
+
+// Start launches switch and host goroutines.
+func (n *Network) Start() {
+	if n.started {
+		return
+	}
+	n.started = true
+	for _, sn := range n.switches {
+		n.wg.Add(1)
+		go sn.run()
+	}
+	for _, h := range n.hosts {
+		n.wg.Add(1)
+		go h.run()
+	}
+}
+
+// Stop terminates the network and waits for its goroutines.
+func (n *Network) Stop() {
+	select {
+	case <-n.stop:
+		return // already stopped
+	default:
+	}
+	close(n.stop)
+	n.wg.Wait()
+}
+
+func (sn *SwitchNode) run() {
+	defer sn.net.wg.Done()
+	for {
+		select {
+		case <-sn.net.stop:
+			return
+		case f := <-sn.in:
+			if d := sn.net.SwitchOverhead; d > 0 {
+				// Busy-wait: time.Sleep overshoots by an order of magnitude
+				// at microsecond scales, which would distort the calibration.
+				for start := time.Now(); time.Since(start) < d; {
+				}
+			}
+			outs, _, err := sn.SW.Process(f.data, f.port)
+			if err != nil {
+				sn.ProcErrs.Add(1)
+				continue
+			}
+			for _, o := range outs {
+				peer, ok := sn.peers[o.Port]
+				if !ok {
+					continue // unconnected port: frame falls on the floor
+				}
+				if !peer.deliver(frame{data: o.Data, port: sn.peerPort[o.Port]}) {
+					return
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,157 @@
+package netsim
+
+import (
+	"fmt"
+	"time"
+
+	"hyper4/internal/pkt"
+)
+
+// trafficTimeout bounds each traffic operation.
+const trafficTimeout = 30 * time.Second
+
+// PingResult reports a ping flood run.
+type PingResult struct {
+	Count   int
+	Elapsed time.Duration
+}
+
+// PerPing returns the mean time per echo exchange.
+func (r PingResult) PerPing() time.Duration {
+	if r.Count == 0 {
+		return 0
+	}
+	return r.Elapsed / time.Duration(r.Count)
+}
+
+// PingFlood emulates "ping -f -c count": each echo request is sent as soon
+// as the previous reply arrives (§6.4).
+func (n *Network) PingFlood(srcName, dstName string, count int) (PingResult, error) {
+	src, ok := n.hosts[srcName]
+	if !ok {
+		return PingResult{}, fmt.Errorf("netsim: no host %q", srcName)
+	}
+	dst, ok := n.hosts[dstName]
+	if !ok {
+		return PingResult{}, fmt.Errorf("netsim: no host %q", dstName)
+	}
+	// Drain stale replies.
+	for {
+		select {
+		case <-src.echoReply:
+			continue
+		default:
+		}
+		break
+	}
+	deadline := time.NewTimer(trafficTimeout)
+	defer deadline.Stop()
+	start := time.Now()
+	for seq := 1; seq <= count; seq++ {
+		req := pkt.Serialize(
+			&pkt.Ethernet{Dst: dst.MAC, Src: src.MAC, EtherType: pkt.EtherTypeIPv4},
+			&pkt.IPv4{TTL: 64, Protocol: pkt.IPProtoICMP, Src: src.IP, Dst: dst.IP},
+			&pkt.ICMP{Type: pkt.ICMPEchoRequest, ID: 0x77, Seq: uint16(seq)},
+			pkt.Payload("hyper4-ping-payload-5678"),
+		)
+		if err := src.Send(req); err != nil {
+			return PingResult{}, err
+		}
+		src.EchoSent.Add(1)
+		select {
+		case <-src.echoReply:
+		case <-deadline.C:
+			return PingResult{}, fmt.Errorf("netsim: ping %d/%d timed out", seq, count)
+		case <-n.stop:
+			return PingResult{}, fmt.Errorf("netsim: network stopped")
+		}
+	}
+	return PingResult{Count: count, Elapsed: time.Since(start)}, nil
+}
+
+// IperfResult reports a bulk-transfer run.
+type IperfResult struct {
+	Bytes   int64
+	Elapsed time.Duration
+}
+
+// Mbps returns the goodput in megabits per second.
+func (r IperfResult) Mbps() float64 {
+	if r.Elapsed <= 0 {
+		return 0
+	}
+	return float64(r.Bytes) * 8 / 1e6 / r.Elapsed.Seconds()
+}
+
+// Iperf emulates an iperf3-style bulk TCP transfer: the source streams
+// totalBytes of payload in mss-sized segments (backpressured by the link
+// buffers); the run completes when the sink has received every byte.
+func (n *Network) Iperf(srcName, dstName string, totalBytes int64, mss int) (IperfResult, error) {
+	src, ok := n.hosts[srcName]
+	if !ok {
+		return IperfResult{}, fmt.Errorf("netsim: no host %q", srcName)
+	}
+	dst, ok := n.hosts[dstName]
+	if !ok {
+		return IperfResult{}, fmt.Errorf("netsim: no host %q", dstName)
+	}
+	if mss <= 0 || mss > 1400 {
+		return IperfResult{}, fmt.Errorf("netsim: bad mss %d", mss)
+	}
+	done := dst.Expect(totalBytes)
+	payload := make([]byte, mss)
+	for i := range payload {
+		payload[i] = byte(i)
+	}
+	start := time.Now()
+	var seq uint32
+	for sent := int64(0); sent < totalBytes; {
+		chunk := int64(mss)
+		if rem := totalBytes - sent; rem < chunk {
+			chunk = rem
+		}
+		seg := pkt.Serialize(
+			&pkt.Ethernet{Dst: dst.MAC, Src: src.MAC, EtherType: pkt.EtherTypeIPv4},
+			&pkt.IPv4{TTL: 64, Protocol: pkt.IPProtoTCP, Src: src.IP, Dst: dst.IP},
+			&pkt.TCP{SrcPort: 5001, DstPort: 5201, Seq: seq, Flags: pkt.TCPAck},
+			pkt.Payload(payload[:chunk]),
+		)
+		if err := src.Send(seg); err != nil {
+			return IperfResult{}, err
+		}
+		seq += uint32(chunk)
+		sent += chunk
+	}
+	select {
+	case <-done:
+	case <-time.After(trafficTimeout):
+		return IperfResult{}, fmt.Errorf("netsim: iperf timed out (%d/%d bytes)", dst.RxBytes.Load(), totalBytes)
+	case <-n.stop:
+		return IperfResult{}, fmt.Errorf("netsim: network stopped")
+	}
+	return IperfResult{Bytes: totalBytes, Elapsed: time.Since(start)}, nil
+}
+
+// ResolveARP sends an ARP request from src for targetIP and waits for the
+// reply, exercising ARP proxies in the path.
+func (n *Network) ResolveARP(srcName string, targetIP pkt.IP4) (pkt.MAC, error) {
+	src, ok := n.hosts[srcName]
+	if !ok {
+		return pkt.MAC{}, fmt.Errorf("netsim: no host %q", srcName)
+	}
+	req := pkt.Serialize(
+		&pkt.Ethernet{Dst: pkt.Broadcast, Src: src.MAC, EtherType: pkt.EtherTypeARP},
+		&pkt.ARP{Op: pkt.ARPRequest, SenderHW: src.MAC, SenderIP: src.IP, TargetIP: targetIP},
+	)
+	if err := src.Send(req); err != nil {
+		return pkt.MAC{}, err
+	}
+	select {
+	case mac := <-src.arpReply:
+		return mac, nil
+	case <-time.After(trafficTimeout):
+		return pkt.MAC{}, fmt.Errorf("netsim: ARP for %s timed out", targetIP)
+	case <-n.stop:
+		return pkt.MAC{}, fmt.Errorf("netsim: network stopped")
+	}
+}

@@ -1,0 +1,293 @@
+package hlir
+
+import (
+	"strings"
+	"testing"
+
+	"hyper4/internal/p4/ast"
+	"hyper4/internal/p4/parser"
+)
+
+func resolve(t *testing.T, src string) *Program {
+	t.Helper()
+	prog, err := parser.Parse("test", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := Resolve(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h
+}
+
+func resolveErr(t *testing.T, src, wantSub string) {
+	t.Helper()
+	prog, err := parser.Parse("test", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = Resolve(prog)
+	if err == nil {
+		t.Fatalf("expected resolve error containing %q", wantSub)
+	}
+	if !strings.Contains(err.Error(), wantSub) {
+		t.Fatalf("error %v does not contain %q", err, wantSub)
+	}
+}
+
+const okProgram = `
+header_type eth_t { fields { dst : 48; src : 48; et : 16; } }
+header_type meta_t { fields { color : 8; } }
+header eth_t eth;
+metadata meta_t m;
+parser start {
+    extract(eth);
+    return select(latest.et) {
+        0x0800 : parse_more;
+        default : ingress;
+    }
+}
+parser parse_more { return ingress; }
+action fwd(p) { modify_field(standard_metadata.egress_spec, p); }
+action nop() { no_op(); }
+table t0 { reads { eth.dst : exact; } actions { fwd; nop; } }
+control ingress { apply(t0); }
+`
+
+func TestResolveOK(t *testing.T) {
+	p := resolve(t, okProgram)
+	if _, ok := p.Instances[StandardMetadata]; !ok {
+		t.Error("standard_metadata not implicitly declared")
+	}
+	w, err := p.FieldWidth(ast.FieldRef{Instance: "eth", Index: ast.IndexNone, Field: "src"})
+	if err != nil || w != 48 {
+		t.Errorf("FieldWidth(eth.src) = %d, %v", w, err)
+	}
+	off, err := p.FieldOffset(ast.FieldRef{Instance: "eth", Index: ast.IndexNone, Field: "et"})
+	if err != nil || off != 96 {
+		t.Errorf("FieldOffset(eth.et) = %d, %v", off, err)
+	}
+	if len(p.HeaderOrder) != 1 || p.HeaderOrder[0] != "eth" {
+		t.Errorf("HeaderOrder = %v", p.HeaderOrder)
+	}
+	if len(p.TableOrder) != 1 || p.TableOrder[0] != "t0" {
+		t.Errorf("TableOrder = %v", p.TableOrder)
+	}
+}
+
+func TestResolveErrors(t *testing.T) {
+	cases := []struct {
+		name, src, want string
+	}{
+		{"unknown type", `header nope_t x;`, "unknown header type"},
+		{"dup header type", `header_type a { fields { x : 8; } } header_type a { fields { x : 8; } }`, "duplicate header type"},
+		{"dup instance", `header_type a { fields { x : 8; } } header a h; header a h;`, "duplicate instance"},
+		{"unaligned header", `header_type a { fields { x : 4; } } header a h;`, "not byte-aligned"},
+		{"unknown state", `header_type a { fields { x : 8; } } header a h; parser start { extract(h); return nowhere; }`, "unknown parser state"},
+		{"extract metadata", `header_type a { fields { x : 8; } } metadata a m; parser start { extract(m); return ingress; }`, "cannot extract metadata"},
+		{"table unknown action", `table t { actions { ghost; } } control ingress { apply(t); }`, "unknown action"},
+		{"table no actions", `header_type a { fields { x : 8; } } header a h; parser start { extract(h); return ingress; } table t { reads { h.x : exact; } actions { } } `, "no actions"},
+		{"apply unknown table", `control ingress { apply(ghost); }`, "unknown table"},
+		{"call unknown control", `control ingress { ghost(); }`, "unknown control"},
+		{"bad primitive", `action a() { frobnicate(); }`, "unknown primitive"},
+		{"bad field in read", `header_type a { fields { x : 8; } } header a h; action n() { no_op(); } table t { reads { h.y : exact; } actions { n; } }`, "no field"},
+		{"unknown sublist", `field_list l { nolist; }`, "unknown sub-list"},
+		{"calc unknown list", `field_list_calculation c { input { nolist; } algorithm : csum16; output_width : 16; }`, "unknown input list"},
+		{"bad algorithm", `field_list l { payload; } field_list_calculation c { input { l; } algorithm : crc32; output_width : 32; }`, "unsupported algorithm"},
+		{"stack index oob", `header_type a { fields { x : 8; } } header a h[4]; action n() { modify_field(h[9].x, 1); }`, "out of range"},
+		{"index non-stack", `header_type a { fields { x : 8; } } header a h; action n() { modify_field(h[0].x, 1); }`, "not a stack"},
+		{"parser no start", `header_type a { fields { x : 8; } } header a h; parser other { extract(h); return ingress; }`, "no start state"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			resolveErr(t, c.src, c.want)
+		})
+	}
+}
+
+func TestSelectCaseArityMismatchAST(t *testing.T) {
+	// The parser enforces arity syntactically; a hand-built AST can still
+	// violate it and must be rejected by Resolve.
+	prog, err := parser.Parse("arity", `
+header_type a { fields { x : 8; y : 8; } } header a h;
+parser start { extract(h); return select(h.x, h.y) { 1, 2 : ingress; default : ingress; } }
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog.ParserStates[0].Return.Cases[0].Values = prog.ParserStates[0].Return.Cases[0].Values[:1]
+	if _, err := Resolve(prog); err == nil || !strings.Contains(err.Error(), "select case has") {
+		t.Errorf("Resolve = %v, want arity error", err)
+	}
+}
+
+func TestSelectCaseArityOK(t *testing.T) {
+	// Two keys, two values per case.
+	resolve(t, `
+header_type a { fields { x : 8; y : 8; } } header a h;
+parser start { extract(h); return select(h.x, h.y) { 1, 2 : ingress; default : ingress; } }
+`)
+}
+
+func TestHeaderOrderFollowsParseGraph(t *testing.T) {
+	p := resolve(t, `
+header_type a_t { fields { x : 8; } }
+header a_t h1;
+header a_t h2;
+header a_t h3;
+header a_t never;
+parser start {
+    extract(h1);
+    return select(latest.x) {
+        1 : s2;
+        default : s3;
+    }
+}
+parser s2 { extract(h2); return s3; }
+parser s3 { extract(h3); return ingress; }
+action n() { no_op(); }
+table t { actions { n; } }
+control ingress { apply(t); }
+`)
+	got := strings.Join(p.HeaderOrder, ",")
+	if got != "h1,h2,h3,never" {
+		t.Errorf("HeaderOrder = %s", got)
+	}
+}
+
+func TestKnownPrimitives(t *testing.T) {
+	for _, prim := range []string{"modify_field", "drop", "resubmit", "recirculate", "register_write"} {
+		if !KnownPrimitive(prim) {
+			t.Errorf("%s should be known", prim)
+		}
+	}
+	if KnownPrimitive("florble") {
+		t.Error("florble should not be known")
+	}
+	if len(Primitives()) < 20 {
+		t.Errorf("primitive count = %d", len(Primitives()))
+	}
+}
+
+func TestCompoundActionCall(t *testing.T) {
+	// Actions may invoke other actions.
+	resolve(t, `
+action inner() { no_op(); }
+action outer() { inner(); drop(); }
+table t { actions { outer; } }
+control ingress { apply(t); }
+`)
+}
+
+func TestStackRequiresIndex(t *testing.T) {
+	resolveErr(t, `
+header_type a { fields { x : 8; } } header a h[4];
+action n() { modify_field(h.x, 1); }
+`, "requires an index")
+}
+
+func TestValidateControlFlowErrors(t *testing.T) {
+	cases := []struct {
+		name, src, want string
+	}{
+		{"if bad field", `
+header_type m_t { fields { x : 8; } }
+metadata m_t m;
+action n() { no_op(); }
+table t { actions { n; } }
+control ingress { if (m.nope == 1) { apply(t); } }
+`, "no field"},
+		{"valid unknown header", `
+action n() { no_op(); }
+table t { actions { n; } }
+control ingress { if (valid(ghost)) { apply(t); } }
+`, "unknown instance"},
+		{"and with bad side", `
+header_type m_t { fields { x : 8; } }
+metadata m_t m;
+action n() { no_op(); }
+table t { actions { n; } }
+control ingress { if (m.x == 1 and valid(ghost)) { apply(t); } }
+`, "unknown instance"},
+		{"not with bad side", `
+action n() { no_op(); }
+table t { actions { n; } }
+control ingress { if (not valid(ghost)) { apply(t); } }
+`, "unknown instance"},
+		{"apply case unknown action", `
+action n() { no_op(); }
+table t { actions { n; } }
+control ingress { apply(t) { ghost { } } }
+`, "unknown action"},
+		{"nested stmt error", `
+header_type m_t { fields { x : 8; } }
+metadata m_t m;
+action n() { no_op(); }
+table t { actions { n; } }
+control ingress { if (m.x == 1) { apply(ghost); } }
+`, "unknown table"},
+		{"else stmt error", `
+header_type m_t { fields { x : 8; } }
+metadata m_t m;
+action n() { no_op(); }
+table t { actions { n; } }
+control ingress { if (m.x == 1) { apply(t); } else { apply(ghost); } }
+`, "unknown table"},
+		{"hit block error", `
+action n() { no_op(); }
+table t { actions { n; } }
+control ingress { apply(t) { hit { apply(ghost); } } }
+`, "unknown table"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			resolveErr(t, c.src, c.want)
+		})
+	}
+}
+
+func TestInstanceWidth(t *testing.T) {
+	p := resolve(t, `
+header_type a_t { fields { x : 48; y : 16; } }
+header a_t h;
+parser start { extract(h); return ingress; }
+action n() { no_op(); }
+table t { actions { n; } }
+control ingress { apply(t); }
+`)
+	if w := p.Instances["h"].Width(); w != 64 {
+		t.Errorf("width = %d", w)
+	}
+}
+
+func TestCheckHeaderRefViaValidRead(t *testing.T) {
+	resolveErr(t, `
+header_type a_t { fields { x : 8; } }
+header a_t h[2];
+action n() { no_op(); }
+table t { reads { valid(h[5]) : exact; } actions { n; } }
+`, "out of range")
+	resolveErr(t, `
+action n() { no_op(); }
+table t { reads { valid(ghost) : exact; } actions { n; } }
+`, "unknown instance")
+	// A stack valid read without an index is rejected.
+	resolveErr(t, `
+header_type a_t { fields { x : 8; } }
+header a_t h[2];
+action n() { no_op(); }
+table t { reads { valid(h) : exact; } actions { n; } }
+`, "requires an index")
+}
+
+func TestExtractErrors(t *testing.T) {
+	resolveErr(t, `
+parser start { extract(ghost); return ingress; }
+`, "unknown instance")
+	resolveErr(t, `
+header_type a_t { fields { x : 8; } }
+header a_t h;
+parser start { extract(h[next]); return ingress; }
+`, "not a stack")
+}

@@ -1,0 +1,198 @@
+// Package lexer tokenizes P4_14 source text.
+package lexer
+
+import (
+	"fmt"
+	"math/big"
+	"strings"
+	"unicode"
+)
+
+// Kind classifies tokens.
+type Kind int
+
+// Token kinds.
+const (
+	EOF Kind = iota
+	Ident
+	Number
+	Punct // single- or multi-character punctuation/operator
+)
+
+// Token is one lexical token.
+type Token struct {
+	Kind Kind
+	Text string   // identifier text or punctuation
+	Num  *big.Int // for Number tokens
+	Line int
+	Col  int
+}
+
+// String renders the token for diagnostics.
+func (t Token) String() string {
+	switch t.Kind {
+	case EOF:
+		return "end of input"
+	case Number:
+		return fmt.Sprintf("number %v", t.Num)
+	default:
+		return fmt.Sprintf("%q", t.Text)
+	}
+}
+
+// Lexer scans P4_14 source.
+type Lexer struct {
+	src  string
+	pos  int
+	line int
+	col  int
+}
+
+// New returns a Lexer over src.
+func New(src string) *Lexer {
+	return &Lexer{src: src, line: 1, col: 1}
+}
+
+// multi-character operators, longest first.
+var operators = []string{
+	"==", "!=", "<=", ">=", "<<", ">>", "&&", "||",
+	"{", "}", "(", ")", "[", "]", ";", ":", ",", ".",
+	"<", ">", "+", "-", "*", "/", "&", "|", "^", "~", "!", "=", "%",
+}
+
+// Next returns the next token, or an error for unrecognized input.
+func (l *Lexer) Next() (Token, error) {
+	l.skipSpaceAndComments()
+	if l.pos >= len(l.src) {
+		return Token{Kind: EOF, Line: l.line, Col: l.col}, nil
+	}
+	start := Token{Line: l.line, Col: l.col}
+	c := l.src[l.pos]
+	switch {
+	case isIdentStart(c):
+		begin := l.pos
+		for l.pos < len(l.src) && isIdentPart(l.src[l.pos]) {
+			l.advance()
+		}
+		start.Kind = Ident
+		start.Text = l.src[begin:l.pos]
+		return start, nil
+	case c >= '0' && c <= '9':
+		begin := l.pos
+		base := 10
+		if c == '0' && l.pos+1 < len(l.src) && (l.src[l.pos+1] == 'x' || l.src[l.pos+1] == 'X') {
+			base = 16
+			l.advance()
+			l.advance()
+			begin = l.pos
+		} else if c == '0' && l.pos+1 < len(l.src) && (l.src[l.pos+1] == 'b' || l.src[l.pos+1] == 'B') {
+			base = 2
+			l.advance()
+			l.advance()
+			begin = l.pos
+		}
+		for l.pos < len(l.src) && isBaseDigit(l.src[l.pos], base) {
+			l.advance()
+		}
+		text := l.src[begin:l.pos]
+		if text == "" {
+			return Token{}, fmt.Errorf("line %d: malformed number", start.Line)
+		}
+		n, ok := new(big.Int).SetString(text, base)
+		if !ok {
+			return Token{}, fmt.Errorf("line %d: malformed number %q", start.Line, text)
+		}
+		start.Kind = Number
+		start.Num = n
+		return start, nil
+	default:
+		for _, op := range operators {
+			if strings.HasPrefix(l.src[l.pos:], op) {
+				for range op {
+					l.advance()
+				}
+				start.Kind = Punct
+				start.Text = op
+				return start, nil
+			}
+		}
+		return Token{}, fmt.Errorf("line %d:%d: unexpected character %q", l.line, l.col, rune(c))
+	}
+}
+
+// All tokenizes the entire input.
+func (l *Lexer) All() ([]Token, error) {
+	var out []Token
+	for {
+		t, err := l.Next()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, t)
+		if t.Kind == EOF {
+			return out, nil
+		}
+	}
+}
+
+func (l *Lexer) skipSpaceAndComments() {
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			l.advance()
+		case c == '/' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '/':
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.advance()
+			}
+		case c == '/' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '*':
+			l.advance()
+			l.advance()
+			for l.pos < len(l.src) {
+				if l.src[l.pos] == '*' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '/' {
+					l.advance()
+					l.advance()
+					break
+				}
+				l.advance()
+			}
+		case c == '#':
+			// Preprocessor-style lines (e.g. #define) are skipped whole; the
+			// subset does not use macros but generated banners may carry them.
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.advance()
+			}
+		default:
+			return
+		}
+	}
+}
+
+func (l *Lexer) advance() {
+	if l.src[l.pos] == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	l.pos++
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || unicode.IsLetter(rune(c))
+}
+
+func isIdentPart(c byte) bool {
+	return c == '_' || unicode.IsLetter(rune(c)) || (c >= '0' && c <= '9')
+}
+
+func isBaseDigit(c byte, base int) bool {
+	switch base {
+	case 2:
+		return c == '0' || c == '1'
+	case 16:
+		return c >= '0' && c <= '9' || c >= 'a' && c <= 'f' || c >= 'A' && c <= 'F'
+	default:
+		return c >= '0' && c <= '9'
+	}
+}

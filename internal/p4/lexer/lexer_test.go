@@ -1,0 +1,98 @@
+package lexer
+
+import "testing"
+
+func kinds(t *testing.T, src string) []Token {
+	t.Helper()
+	toks, err := New(src).All()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return toks
+}
+
+func TestBasicTokens(t *testing.T) {
+	toks := kinds(t, "header_type foo { fields { x : 8; } }")
+	want := []struct {
+		k Kind
+		s string
+	}{
+		{Ident, "header_type"}, {Ident, "foo"}, {Punct, "{"}, {Ident, "fields"},
+		{Punct, "{"}, {Ident, "x"}, {Punct, ":"}, {Number, ""}, {Punct, ";"},
+		{Punct, "}"}, {Punct, "}"}, {EOF, ""},
+	}
+	if len(toks) != len(want) {
+		t.Fatalf("got %d tokens, want %d", len(toks), len(want))
+	}
+	for i, w := range want {
+		if toks[i].Kind != w.k {
+			t.Errorf("token %d kind = %v, want %v", i, toks[i].Kind, w.k)
+		}
+		if w.s != "" && toks[i].Text != w.s {
+			t.Errorf("token %d text = %q, want %q", i, toks[i].Text, w.s)
+		}
+	}
+}
+
+func TestNumbers(t *testing.T) {
+	toks := kinds(t, "10 0x0800 0b101 0")
+	wants := []int64{10, 0x800, 5, 0}
+	for i, w := range wants {
+		if toks[i].Kind != Number || toks[i].Num.Int64() != w {
+			t.Errorf("token %d = %v, want %d", i, toks[i], w)
+		}
+	}
+}
+
+func TestComments(t *testing.T) {
+	toks := kinds(t, "a // comment\nb /* block\ncomment */ c # pragma\nd")
+	var names []string
+	for _, tok := range toks {
+		if tok.Kind == Ident {
+			names = append(names, tok.Text)
+		}
+	}
+	if len(names) != 4 || names[0] != "a" || names[3] != "d" {
+		t.Errorf("idents = %v", names)
+	}
+}
+
+func TestMultiCharOperators(t *testing.T) {
+	toks := kinds(t, "== != <= >= << >> && || < >")
+	wantOps := []string{"==", "!=", "<=", ">=", "<<", ">>", "&&", "||", "<", ">"}
+	for i, w := range wantOps {
+		if toks[i].Kind != Punct || toks[i].Text != w {
+			t.Errorf("token %d = %v, want %q", i, toks[i], w)
+		}
+	}
+}
+
+func TestLineTracking(t *testing.T) {
+	toks := kinds(t, "a\nb\n  c")
+	if toks[0].Line != 1 || toks[1].Line != 2 || toks[2].Line != 3 {
+		t.Errorf("lines = %d %d %d", toks[0].Line, toks[1].Line, toks[2].Line)
+	}
+	if toks[2].Col != 3 {
+		t.Errorf("col = %d, want 3", toks[2].Col)
+	}
+}
+
+func TestUnexpectedChar(t *testing.T) {
+	if _, err := New("a @ b").All(); err == nil {
+		t.Error("expected error for @")
+	}
+}
+
+func TestEmptyInput(t *testing.T) {
+	toks := kinds(t, "")
+	if len(toks) != 1 || toks[0].Kind != EOF {
+		t.Errorf("empty input tokens = %v", toks)
+	}
+}
+
+func TestUnterminatedBlockComment(t *testing.T) {
+	toks := kinds(t, "a /* never closed")
+	if len(toks) != 2 || toks[0].Text != "a" {
+		t.Errorf("tokens = %v", toks)
+	}
+}

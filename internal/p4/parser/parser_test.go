@@ -1,0 +1,328 @@
+package parser
+
+import (
+	"strings"
+	"testing"
+
+	"hyper4/internal/p4/ast"
+)
+
+const miniL2 = `
+header_type ethernet_t {
+    fields {
+        dstAddr : 48;
+        srcAddr : 48;
+        etherType : 16;
+    }
+}
+
+header ethernet_t ethernet;
+
+parser start {
+    extract(ethernet);
+    return ingress;
+}
+
+action forward(port) {
+    modify_field(standard_metadata.egress_spec, port);
+}
+
+action _drop() {
+    drop();
+}
+
+table dmac {
+    reads {
+        ethernet.dstAddr : exact;
+    }
+    actions {
+        forward;
+        _drop;
+    }
+    size : 512;
+}
+
+control ingress {
+    apply(dmac);
+}
+`
+
+func TestParseMiniL2(t *testing.T) {
+	prog, err := Parse("mini_l2", miniL2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prog.HeaderTypes) != 1 || prog.HeaderTypes[0].Name != "ethernet_t" {
+		t.Fatalf("header types: %+v", prog.HeaderTypes)
+	}
+	ht := prog.HeaderTypes[0]
+	if ht.Width() != 112 {
+		t.Errorf("ethernet_t width = %d", ht.Width())
+	}
+	if off, ok := ht.FieldOffset("srcAddr"); !ok || off != 48 {
+		t.Errorf("srcAddr offset = %d, %v", off, ok)
+	}
+	if len(prog.Instances) != 1 || prog.Instances[0].Metadata {
+		t.Fatalf("instances: %+v", prog.Instances)
+	}
+	if len(prog.ParserStates) != 1 {
+		t.Fatalf("parser states: %d", len(prog.ParserStates))
+	}
+	st := prog.ParserStates[0]
+	if st.Name != "start" || len(st.Statements) != 1 || st.Statements[0].Extract == nil {
+		t.Errorf("start state: %+v", st)
+	}
+	if st.Return.Kind != ast.ReturnDirect || st.Return.State != ast.StateIngress {
+		t.Errorf("start return: %+v", st.Return)
+	}
+	if len(prog.Actions) != 2 {
+		t.Fatalf("actions: %d", len(prog.Actions))
+	}
+	fwd := prog.Actions[0]
+	if fwd.Name != "forward" || len(fwd.Params) != 1 || fwd.Params[0] != "port" {
+		t.Errorf("forward: %+v", fwd)
+	}
+	if len(fwd.Body) != 1 || fwd.Body[0].Name != "modify_field" {
+		t.Errorf("forward body: %+v", fwd.Body)
+	}
+	if fwd.Body[0].Args[1].Kind != ast.ExprParam {
+		t.Errorf("port arg should be a param ref: %+v", fwd.Body[0].Args[1])
+	}
+	if len(prog.Tables) != 1 {
+		t.Fatalf("tables: %d", len(prog.Tables))
+	}
+	tbl := prog.Tables[0]
+	if tbl.Name != "dmac" || tbl.Size != 512 || len(tbl.Reads) != 1 || tbl.Reads[0].Match != ast.MatchExact {
+		t.Errorf("dmac: %+v", tbl)
+	}
+	if len(prog.Controls) != 1 || len(prog.Controls[0].Body) != 1 || prog.Controls[0].Body[0].Table != "dmac" {
+		t.Errorf("ingress: %+v", prog.Controls)
+	}
+}
+
+func TestParseSelectReturn(t *testing.T) {
+	src := `
+header_type eth_t { fields { dst : 48; src : 48; et : 16; } }
+header eth_t eth;
+parser start {
+    extract(eth);
+    return select(latest.et) {
+        0x0800 : parse_ipv4;
+        0x0806 mask 0xffff : parse_arp;
+        default : ingress;
+    }
+}
+parser parse_ipv4 { return ingress; }
+parser parse_arp { return ingress; }
+`
+	prog, err := Parse("sel", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ret := prog.ParserStates[0].Return
+	if ret.Kind != ast.ReturnSelect || len(ret.SelectKeys) != 1 || ret.SelectKeys[0].Latest != "et" {
+		t.Fatalf("select keys: %+v", ret.SelectKeys)
+	}
+	if len(ret.Cases) != 3 {
+		t.Fatalf("cases: %d", len(ret.Cases))
+	}
+	if ret.Cases[0].Values[0].Int64() != 0x0800 || ret.Cases[0].State != "parse_ipv4" {
+		t.Errorf("case 0: %+v", ret.Cases[0])
+	}
+	if ret.Cases[1].Masks[0] == nil || ret.Cases[1].Masks[0].Int64() != 0xffff {
+		t.Errorf("case 1 mask: %+v", ret.Cases[1])
+	}
+	if !ret.Cases[2].Default {
+		t.Errorf("case 2 should be default")
+	}
+}
+
+func TestParseHeaderStackAndCurrent(t *testing.T) {
+	src := `
+header_type u_byte_t { fields { b : 8; } }
+header u_byte_t ext[4];
+parser start {
+    extract(ext[next]);
+    return select(current(0, 8)) {
+        0 : ingress;
+        default : start2;
+    }
+}
+parser start2 { extract(ext[next]); return ingress; }
+`
+	prog, err := Parse("stack", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst := prog.Instances[0]
+	if !inst.IsStack() || inst.Count != 4 {
+		t.Fatalf("stack: %+v", inst)
+	}
+	st := prog.ParserStates[0]
+	if st.Statements[0].Extract.Index != ast.IndexNext {
+		t.Errorf("extract index: %+v", st.Statements[0].Extract)
+	}
+	key := st.Return.SelectKeys[0]
+	if !key.IsCurrent || key.CurrentWidth != 8 {
+		t.Errorf("current key: %+v", key)
+	}
+}
+
+func TestParseIfElseAndApplyCases(t *testing.T) {
+	src := `
+header_type m_t { fields { x : 8; y : 8; } }
+metadata m_t m;
+action a() { no_op(); }
+table t1 { actions { a; } }
+table t2 { actions { a; } }
+control ingress {
+    if (m.x == 1 and valid(ipv4)) {
+        apply(t1) {
+            hit { apply(t2); }
+            miss { }
+        }
+    } else if (m.x != 2 or not (m.y > 3)) {
+        apply(t2) {
+            a { apply(t1); }
+        }
+    } else {
+        do_stuff();
+    }
+}
+control do_stuff { apply(t1); }
+`
+	prog, err := Parse("ctrl", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ing := prog.Controls[0]
+	ifs := ing.Body[0]
+	if ifs.Kind != ast.StmtIf || ifs.Cond.Kind != ast.BoolAnd {
+		t.Fatalf("if: %+v", ifs)
+	}
+	if ifs.Cond.B.Kind != ast.BoolValid {
+		t.Errorf("right side should be valid(): %+v", ifs.Cond.B)
+	}
+	apply := ifs.Then[0]
+	if len(apply.ApplyCases) != 2 || !apply.ApplyCases[0].Hit || !apply.ApplyCases[1].Miss {
+		t.Errorf("apply cases: %+v", apply.ApplyCases)
+	}
+	elseIf := ifs.Else[0]
+	if elseIf.Kind != ast.StmtIf || elseIf.Cond.Kind != ast.BoolOr {
+		t.Fatalf("else-if: %+v", elseIf)
+	}
+	if elseIf.Then[0].ApplyCases[0].Action != "a" {
+		t.Errorf("action case: %+v", elseIf.Then[0].ApplyCases)
+	}
+	if elseIf.Else[0].Kind != ast.StmtCall || elseIf.Else[0].Control != "do_stuff" {
+		t.Errorf("final else: %+v", elseIf.Else)
+	}
+}
+
+func TestParseStatefulAndChecksum(t *testing.T) {
+	src := `
+header_type ipv4_t { fields { c : 16; } }
+header ipv4_t ipv4;
+field_list ipv4_checksum_list {
+    ipv4.c;
+    payload;
+}
+field_list_calculation ipv4_checksum {
+    input { ipv4_checksum_list; }
+    algorithm : csum16;
+    output_width : 16;
+}
+calculated_field ipv4.c {
+    update ipv4_checksum if (valid(ipv4));
+}
+register r1 { width : 32; instance_count : 16; }
+counter c1 { type : packets; instance_count : 8; }
+meter m1 { type : bytes; instance_count : 4; }
+parser start { extract(ipv4); return ingress; }
+`
+	prog, err := Parse("stateful", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prog.FieldLists) != 1 || len(prog.FieldLists[0].Entries) != 2 {
+		t.Fatalf("field lists: %+v", prog.FieldLists)
+	}
+	if !prog.FieldLists[0].Entries[1].Payload {
+		t.Errorf("second entry should be payload")
+	}
+	calc := prog.FieldListCalcs[0]
+	if calc.Input != "ipv4_checksum_list" || calc.Algorithm != ast.AlgoCsum16 || calc.OutputWidth != 16 {
+		t.Errorf("calc: %+v", calc)
+	}
+	cf := prog.CalculatedFields[0]
+	if cf.Update != "ipv4_checksum" || cf.IfValid == nil || cf.IfValid.Instance != "ipv4" {
+		t.Errorf("calculated field: %+v", cf)
+	}
+	if prog.Registers[0].Width != 32 || prog.Registers[0].InstanceCount != 16 {
+		t.Errorf("register: %+v", prog.Registers[0])
+	}
+	if prog.Counters[0].Kind != ast.CounterPackets {
+		t.Errorf("counter: %+v", prog.Counters[0])
+	}
+	if prog.Meters[0].Kind != ast.MeterBytes {
+		t.Errorf("meter: %+v", prog.Meters[0])
+	}
+}
+
+func TestParseValidRead(t *testing.T) {
+	src := `
+table t {
+    reads {
+        valid(ipv4) : exact;
+        ipv4.ttl : ternary;
+        ipv4.dst : lpm;
+    }
+    actions { a; }
+}
+`
+	prog, err := Parse("valid", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reads := prog.Tables[0].Reads
+	if reads[0].Match != ast.MatchValid || reads[0].Header.Instance != "ipv4" {
+		t.Errorf("valid read: %+v", reads[0])
+	}
+	if reads[1].Match != ast.MatchTernary || reads[2].Match != ast.MatchLPM {
+		t.Errorf("reads: %+v", reads)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := map[string]string{
+		"bad top level":   "florble x;",
+		"missing brace":   "header_type t { fields { x : 8; }",
+		"bad match kind":  "table t { reads { a.b : sorta; } actions { x; } }",
+		"bad number":      "header_type t { fields { x : huge; } }",
+		"metadata stack":  "metadata m_t m[4];",
+		"unclosed action": "action a() { no_op();",
+	}
+	for name, src := range cases {
+		if _, err := Parse(name, src); err == nil {
+			t.Errorf("%s: expected parse error", name)
+		}
+	}
+}
+
+func TestParseErrorHasLineNumber(t *testing.T) {
+	_, err := Parse("x", "\n\n\nflorble")
+	if err == nil || !strings.Contains(err.Error(), "line 4") {
+		t.Errorf("error = %v, want line 4", err)
+	}
+}
+
+func TestDefaultActionClause(t *testing.T) {
+	src := `table t { actions { a; } default_action : a(); size : 64; }`
+	prog, err := Parse("d", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prog.Tables[0].Default != "a" {
+		t.Errorf("default = %q", prog.Tables[0].Default)
+	}
+}

@@ -1,0 +1,107 @@
+package pretty
+
+import (
+	"strings"
+	"testing"
+
+	"hyper4/internal/p4/hlir"
+	"hyper4/internal/p4/parser"
+)
+
+const sample = `
+header_type ethernet_t { fields { dstAddr : 48; srcAddr : 48; etherType : 16; } }
+header_type u_t { fields { b : 8; } }
+header ethernet_t ethernet;
+header u_t stack[4];
+metadata u_t m;
+field_list fl { m.b; payload; }
+field_list_calculation csum { input { fl; } algorithm : csum16; output_width : 16; }
+calculated_field ethernet.etherType { update csum if (valid(ethernet)); }
+register r { width : 8; instance_count : 2; }
+counter c { type : packets; instance_count : 2; }
+meter mt { type : bytes; instance_count : 2; }
+parser start {
+    extract(ethernet);
+    set_metadata(m.b, 1);
+    return select(latest.etherType, current(0, 8)) {
+        0x0800, 0x45 mask 0xf0 : next_state;
+        default : ingress;
+    }
+}
+parser next_state { extract(stack[next]); return ingress; }
+action fwd(port) { modify_field(standard_metadata.egress_spec, port); }
+action cond() { no_op(); }
+table t1 {
+    reads { ethernet.dstAddr : exact; valid(stack[0]) : exact; m.b : ternary; }
+    actions { fwd; cond; }
+    default_action : cond;
+    size : 128;
+}
+control ingress {
+    if ((m.b == 1) and (valid(ethernet))) {
+        apply(t1) {
+            fwd { helper(); }
+            miss { }
+        }
+    } else {
+        apply(t1);
+    }
+}
+control helper { apply(t1); }
+`
+
+// TestRoundTrip parses, prints, re-parses, re-prints, and requires the two
+// printed forms to be identical (print is a fixpoint under parse∘print).
+func TestRoundTrip(t *testing.T) {
+	p1, err := parser.Parse("sample", sample)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out1 := Print(p1)
+	p2, err := parser.Parse("printed", out1)
+	if err != nil {
+		t.Fatalf("printed source does not re-parse: %v\n%s", err, out1)
+	}
+	out2 := Print(p2)
+	if out1 != out2 {
+		t.Errorf("print is not a fixpoint:\n--- first ---\n%s\n--- second ---\n%s", out1, out2)
+	}
+	// The re-parsed program must also resolve.
+	if _, err := hlir.Resolve(p2); err != nil {
+		t.Errorf("printed source does not resolve: %v", err)
+	}
+}
+
+func TestCountLoC(t *testing.T) {
+	if n := CountLoC("a\n\nb\n   \nc\n"); n != 3 {
+		t.Errorf("CountLoC = %d, want 3", n)
+	}
+	if n := CountLoC(""); n != 0 {
+		t.Errorf("CountLoC empty = %d", n)
+	}
+}
+
+func TestPrintContainsConstructs(t *testing.T) {
+	p, err := parser.Parse("sample", sample)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := Print(p)
+	for _, want := range []string{
+		"header u_t stack[4];",
+		"metadata u_t m;",
+		"extract(stack[next]);",
+		"set_metadata(m.b, 0x1);",
+		"current(0, 8)",
+		"mask 0xf0",
+		"valid(stack[0]) : exact;",
+		"default_action : cond;",
+		"size : 128;",
+		"update csum if (valid(ethernet));",
+		"payload;",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("printed source missing %q\n%s", want, out)
+		}
+	}
+}

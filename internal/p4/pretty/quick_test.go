@@ -1,0 +1,128 @@
+package pretty
+
+import (
+	"fmt"
+	"math/big"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"hyper4/internal/p4/ast"
+	"hyper4/internal/p4/hlir"
+	"hyper4/internal/p4/parser"
+)
+
+// randProgram builds a random but well-formed P4 program: a few header
+// types, instances, a linear parser, actions over random fields, and tables
+// wired into a simple control.
+func randProgram(r *rand.Rand) *ast.Program {
+	p := &ast.Program{Name: "random"}
+	nTypes := 1 + r.Intn(3)
+	for i := 0; i < nTypes; i++ {
+		ht := &ast.HeaderType{Name: fmt.Sprintf("t%d", i)}
+		nFields := 1 + r.Intn(4)
+		for j := 0; j < nFields; j++ {
+			// Byte-aligned widths so header instances are legal.
+			ht.Fields = append(ht.Fields, ast.FieldDecl{
+				Name:  fmt.Sprintf("f%d", j),
+				Width: 8 * (1 + r.Intn(6)),
+			})
+		}
+		p.HeaderTypes = append(p.HeaderTypes, ht)
+	}
+	nInst := 1 + r.Intn(3)
+	for i := 0; i < nInst; i++ {
+		p.Instances = append(p.Instances, &ast.Instance{
+			Name:     fmt.Sprintf("h%d", i),
+			TypeName: p.HeaderTypes[r.Intn(len(p.HeaderTypes))].Name,
+			Metadata: i == 0 && r.Intn(2) == 0,
+		})
+	}
+	// A linear parser over the non-metadata instances.
+	var stmts []ast.ParserStmt
+	for _, inst := range p.Instances {
+		if !inst.Metadata {
+			stmts = append(stmts, ast.ParserStmt{
+				Extract: &ast.HeaderRef{Instance: inst.Name, Index: ast.IndexNone},
+			})
+		}
+	}
+	p.ParserStates = append(p.ParserStates, &ast.ParserState{
+		Name:       "start",
+		Statements: stmts,
+		Return:     ast.ParserReturn{Kind: ast.ReturnDirect, State: ast.StateIngress},
+	})
+	// Random actions: modify a random field with a random constant.
+	randField := func() ast.FieldRef {
+		inst := p.Instances[r.Intn(len(p.Instances))]
+		var ht *ast.HeaderType
+		for _, t := range p.HeaderTypes {
+			if t.Name == inst.TypeName {
+				ht = t
+			}
+		}
+		f := ht.Fields[r.Intn(len(ht.Fields))]
+		return ast.FieldRef{Instance: inst.Name, Index: ast.IndexNone, Field: f.Name}
+	}
+	nActs := 1 + r.Intn(3)
+	for i := 0; i < nActs; i++ {
+		a := &ast.Action{Name: fmt.Sprintf("a%d", i)}
+		nPrims := 1 + r.Intn(3)
+		for j := 0; j < nPrims; j++ {
+			a.Body = append(a.Body, ast.PrimitiveCall{
+				Name: "modify_field",
+				Args: []ast.Expr{
+					{Kind: ast.ExprField, Field: randField()},
+					{Kind: ast.ExprConst, Const: big.NewInt(int64(r.Intn(1 << 16)))},
+				},
+			})
+		}
+		p.Actions = append(p.Actions, a)
+	}
+	nTbls := 1 + r.Intn(3)
+	kinds := []ast.MatchKind{ast.MatchExact, ast.MatchTernary, ast.MatchLPM}
+	for i := 0; i < nTbls; i++ {
+		ref := randField()
+		t := &ast.Table{
+			Name:    fmt.Sprintf("tbl%d", i),
+			Reads:   []ast.ReadEntry{{Field: &ref, Match: kinds[r.Intn(len(kinds))]}},
+			Actions: []string{p.Actions[r.Intn(len(p.Actions))].Name},
+			Size:    1 << (1 + r.Intn(8)),
+		}
+		p.Tables = append(p.Tables, t)
+	}
+	var body []ast.Stmt
+	for _, t := range p.Tables {
+		body = append(body, ast.Stmt{Kind: ast.StmtApply, Table: t.Name})
+	}
+	p.Controls = append(p.Controls, &ast.Control{Name: ast.ControlIngress, Body: body})
+	return p
+}
+
+// TestQuickPrintParseFixpoint: for random well-formed programs, the printed
+// source re-parses, resolves, and re-prints identically.
+func TestQuickPrintParseFixpoint(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		prog := randProgram(r)
+		out1 := Print(prog)
+		reparsed, err := parser.Parse("rand", out1)
+		if err != nil {
+			t.Logf("seed %d: printed source does not parse: %v\n%s", seed, err, out1)
+			return false
+		}
+		if _, err := hlir.Resolve(reparsed); err != nil {
+			t.Logf("seed %d: printed source does not resolve: %v", seed, err)
+			return false
+		}
+		out2 := Print(reparsed)
+		if out1 != out2 {
+			t.Logf("seed %d: print not a fixpoint", seed)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,157 @@
+package pkt
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Serialize assembles a stack of layers into wire bytes, fixing up length and
+// checksum fields that are zero: IPv4 total length and header checksum, TCP
+// and UDP checksums (pseudo-header), UDP length, and the ICMP checksum.
+// Layers are given outermost first.
+func Serialize(layers ...Layer) []byte {
+	// First pass: compute lengths below each layer.
+	total := 0
+	for _, l := range layers {
+		total += l.Len()
+	}
+	// Fix up length fields before serializing.
+	remaining := total
+	for _, l := range layers {
+		remaining -= l.Len()
+		switch h := l.(type) {
+		case *IPv4:
+			if h.TotalLen == 0 {
+				h.TotalLen = uint16(h.Len() + remaining)
+			}
+		case *UDP:
+			if h.Length == 0 {
+				h.Length = uint16(h.Len() + remaining)
+			}
+		}
+	}
+	// Serialize bottom-up so inner bytes are available for checksums.
+	offsets := make([]int, len(layers))
+	b := make([]byte, 0, total)
+	off := 0
+	for i, l := range layers {
+		offsets[i] = off
+		b = l.Serialize(b)
+		off = len(b)
+	}
+	// Checksum fixups, innermost first so outer checksums cover final bytes.
+	var enclosing *IPv4
+	var enclosingIdx int
+	for i, l := range layers {
+		if ip, ok := l.(*IPv4); ok {
+			enclosing = ip
+			enclosingIdx = i
+		}
+	}
+	for i := len(layers) - 1; i >= 0; i-- {
+		start := offsets[i]
+		switch h := layers[i].(type) {
+		case *ICMP:
+			if h.Checksum == 0 {
+				binary.BigEndian.PutUint16(b[start+2:], 0)
+				ck := Checksum(b[start:])
+				binary.BigEndian.PutUint16(b[start+2:], ck)
+			}
+		case *TCP:
+			if h.Checksum == 0 && enclosing != nil && enclosingIdx < i {
+				binary.BigEndian.PutUint16(b[start+16:], 0)
+				ck := pseudoHeaderChecksum(enclosing.Src, enclosing.Dst, IPProtoTCP, b[start:])
+				binary.BigEndian.PutUint16(b[start+16:], ck)
+			}
+		case *UDP:
+			if h.Checksum == 0 && enclosing != nil && enclosingIdx < i {
+				binary.BigEndian.PutUint16(b[start+6:], 0)
+				ck := pseudoHeaderChecksum(enclosing.Src, enclosing.Dst, IPProtoUDP, b[start:])
+				if ck == 0 {
+					ck = 0xffff
+				}
+				binary.BigEndian.PutUint16(b[start+6:], ck)
+			}
+		case *IPv4:
+			if h.Checksum == 0 {
+				binary.BigEndian.PutUint16(b[start+10:], 0)
+				ck := Checksum(b[start : start+h.Len()])
+				binary.BigEndian.PutUint16(b[start+10:], ck)
+			}
+		}
+	}
+	return b
+}
+
+// MinFrame is the minimum Ethernet frame size (without FCS). Real NICs pad
+// transmitted frames to this size; hosts in the network simulator do the
+// same so that short frames (ARP, bare TCP ACKs) reach switches padded, as
+// the paper's Mininet/veth environment would deliver them.
+const MinFrame = 60
+
+// Pad zero-pads a frame to the Ethernet minimum, returning the input when
+// already long enough.
+func Pad(b []byte) []byte {
+	if len(b) >= MinFrame {
+		return b
+	}
+	out := make([]byte, MinFrame)
+	copy(out, b)
+	return out
+}
+
+// Summary decodes as much of a packet as it can and returns a one-line
+// human-readable description, for logs and example output.
+func Summary(b []byte) string {
+	eth, rest, err := DecodeEthernet(b)
+	if err != nil {
+		return fmt.Sprintf("short packet (%d bytes)", len(b))
+	}
+	s := fmt.Sprintf("%s > %s", eth.Src, eth.Dst)
+	switch eth.EtherType {
+	case EtherTypeARP:
+		a, err := DecodeARP(rest)
+		if err != nil {
+			return s + " ARP (truncated)"
+		}
+		if a.Op == ARPRequest {
+			return fmt.Sprintf("%s ARP who-has %s tell %s", s, a.TargetIP, a.SenderIP)
+		}
+		return fmt.Sprintf("%s ARP %s is-at %s", s, a.SenderIP, a.SenderHW)
+	case EtherTypeIPv4:
+		ip, rest2, err := DecodeIPv4(rest)
+		if err != nil {
+			return s + " IPv4 (truncated)"
+		}
+		s = fmt.Sprintf("%s IPv4 %s > %s ttl=%d", s, ip.Src, ip.Dst, ip.TTL)
+		switch ip.Protocol {
+		case IPProtoICMP:
+			ic, _, err := DecodeICMP(rest2)
+			if err != nil {
+				return s + " ICMP (truncated)"
+			}
+			kind := "type=" + fmt.Sprint(ic.Type)
+			switch ic.Type {
+			case ICMPEchoRequest:
+				kind = "echo-request"
+			case ICMPEchoReply:
+				kind = "echo-reply"
+			}
+			return fmt.Sprintf("%s ICMP %s id=%d seq=%d", s, kind, ic.ID, ic.Seq)
+		case IPProtoTCP:
+			t, payload, err := DecodeTCP(rest2)
+			if err != nil {
+				return s + " TCP (truncated)"
+			}
+			return fmt.Sprintf("%s TCP %d > %d seq=%d len=%d", s, t.SrcPort, t.DstPort, t.Seq, len(payload))
+		case IPProtoUDP:
+			u, payload, err := DecodeUDP(rest2)
+			if err != nil {
+				return s + " UDP (truncated)"
+			}
+			return fmt.Sprintf("%s UDP %d > %d len=%d", s, u.SrcPort, u.DstPort, len(payload))
+		}
+		return fmt.Sprintf("%s proto=%d", s, ip.Protocol)
+	}
+	return fmt.Sprintf("%s ethertype=%#04x", s, eth.EtherType)
+}

@@ -1,0 +1,118 @@
+package rmt
+
+import (
+	"testing"
+
+	"hyper4/internal/core/dpmu"
+	"hyper4/internal/core/hp4c"
+	"hyper4/internal/core/persona"
+	"hyper4/internal/functions"
+	"hyper4/internal/pkt"
+	"hyper4/internal/sim"
+)
+
+func TestPHVWithinRMT(t *testing.T) {
+	p, err := persona.Generate(persona.Reference)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u := AnalyzePHV(p.Program, RMT)
+	if u.Extracted != 800 || u.Emeta != 256 {
+		t.Errorf("wide fields: %+v", u)
+	}
+	// Paper: 3312 bits total (800 + 256 + 2256 overhead). Our persona's
+	// overhead differs in detail but must stay within the 4096-bit PHV.
+	if u.Total > RMT.PHVBits {
+		t.Errorf("PHV total %d exceeds RMT's %d (paper fits at 3312)", u.Total, RMT.PHVBits)
+	}
+	if u.Overhead < 1000 {
+		t.Errorf("overhead suspiciously low: %+v", u)
+	}
+	t.Logf("PHV usage: extracted=%d emeta=%d overhead=%d total=%d (paper: 800/256/2256/3312)",
+		u.Extracted, u.Emeta, u.Overhead, u.Total)
+}
+
+// TestARPProxyExceedsRMTStages reproduces §6.5's conclusion: the emulated
+// ARP proxy's most complex packet needs more physical ingress stages than
+// RMT's 32 (the paper finds 51, about 60% over).
+func TestARPProxyExceedsRMTStages(t *testing.T) {
+	p, err := persona.Generate(persona.Reference)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sw, err := sim.New("hp4", p.Program)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := dpmu.New(sw, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := functions.Load(functions.ARPProxy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	comp, err := hp4c.Compile(prog, persona.Reference)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Load("arp", comp, "op", 0); err != nil {
+		t.Fatal(err)
+	}
+	c := functions.NewARPControllerFunc(d.Installer("op", "arp"))
+	if err := c.Init(); err != nil {
+		t.Fatal(err)
+	}
+	ip2 := pkt.MustIP4("10.0.0.2")
+	mac2 := pkt.MustMAC("00:00:00:00:00:02")
+	if err := c.AddProxiedHost(ip2, mac2); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.AssignPort("op", dpmu.Assignment{PhysPort: -1, VDev: "arp", VIngress: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.MapVPort("op", "arp", 1, 1); err != nil {
+		t.Fatal(err)
+	}
+	req := pkt.Pad(pkt.Serialize(
+		&pkt.Ethernet{Dst: pkt.Broadcast, Src: pkt.MustMAC("00:00:00:00:00:01"), EtherType: pkt.EtherTypeARP},
+		&pkt.ARP{Op: pkt.ARPRequest, SenderHW: pkt.MustMAC("00:00:00:00:00:01"), SenderIP: pkt.MustIP4("10.0.0.1"), TargetIP: ip2},
+	))
+	_, tr, err := sw.Process(req, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := AnalyzeTrace(sw, tr, RMT)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.FitsPHV {
+		t.Errorf("PHV should fit RMT: %+v", a.PHV)
+	}
+	if a.FitsIngressStages {
+		t.Errorf("ARP proxy should exceed RMT's 32 ingress stages (paper: 51); got %d", a.IngressPhys)
+	}
+	if a.IngressPhys <= a.IngressHP4Stages {
+		t.Errorf("wide ternary matches should expand stages: phys=%d hp4=%d", a.IngressPhys, a.IngressHP4Stages)
+	}
+	t.Logf("arp_proxy: hp4 ingress stages=%d, physical=%d (paper: 46 → 51), egress=%d/%d, over budget %.0f%%",
+		a.IngressHP4Stages, a.IngressPhys, a.EgressHP4Stages, a.EgressPhys, a.IngressOverPct)
+}
+
+func TestPhysStagesArithmetic(t *testing.T) {
+	// §6.5's example: an 800-bit ternary match costs 1600 TCAM bits, which
+	// needs three 640-bit physical stages.
+	c := TableCost{TCAMBits: 1600}
+	if got := physStages(c, RMT); got != 3 {
+		t.Errorf("1600 TCAM bits = %d stages, want 3", got)
+	}
+	if got := physStages(TableCost{SRAMBits: 48}, RMT); got != 1 {
+		t.Errorf("small exact = %d stages, want 1", got)
+	}
+	if got := physStages(TableCost{}, RMT); got != 1 {
+		t.Errorf("matchless = %d stages, want 1", got)
+	}
+	if got := physStages(TableCost{SRAMBits: 641}, RMT); got != 2 {
+		t.Errorf("641 SRAM bits = %d stages, want 2", got)
+	}
+}

@@ -1,0 +1,137 @@
+package sim
+
+import (
+	"fmt"
+
+	"hyper4/internal/bitfield"
+	"hyper4/internal/p4/ast"
+	"hyper4/internal/pkt"
+)
+
+// deparse serializes the packet: calculated-field updates are applied to the
+// parsed representation, then every valid header is emitted in parse-graph
+// order (HeaderOrder), followed by the unparsed payload, then truncation.
+func (sw *Switch) deparse(ps *packetState) ([]byte, error) {
+	if err := sw.updateCalculatedFields(ps); err != nil {
+		return nil, err
+	}
+	var out []byte
+	for _, instName := range sw.prog.HeaderOrder {
+		inst := sw.prog.Instances[instName]
+		n := 1
+		if inst.Decl.IsStack() {
+			n = inst.Decl.Count
+		}
+		for elem := 0; elem < n; elem++ {
+			h, ok := ps.headers[instKey{name: instName, elem: elem}]
+			if !ok || !h.valid {
+				continue
+			}
+			out = append(out, h.value.Bytes()...)
+		}
+	}
+	out = append(out, ps.data[ps.consumed:]...)
+	if ps.truncateTo > 0 && len(out) > ps.truncateTo {
+		out = out[:ps.truncateTo]
+	}
+	return out, nil
+}
+
+// updateCalculatedFields recomputes checksum fields declared with "update".
+func (sw *Switch) updateCalculatedFields(ps *packetState) error {
+	for _, cf := range sw.prog.AST.CalculatedFields {
+		if cf.Update == "" {
+			continue
+		}
+		if cf.IfValid != nil {
+			k, err := ps.resolveHeaderRef(*cf.IfValid)
+			if err != nil {
+				return err
+			}
+			if h, ok := ps.headers[k]; !ok || !h.valid {
+				continue
+			}
+		} else {
+			// Implicitly guard on the target field's header being valid.
+			k, err := ps.resolveHeaderRef(ast.HeaderRef{Instance: cf.Field.Instance, Index: cf.Field.Index})
+			if err != nil {
+				return err
+			}
+			if h, ok := ps.headers[k]; !ok || !h.valid {
+				continue
+			}
+		}
+		calc := sw.prog.Calcs[cf.Update]
+		// Compute the checksum with the target field zeroed, as checksum
+		// algorithms require.
+		if err := ps.setField(cf.Field, bitfield.New(0).Resize(16)); err != nil {
+			return err
+		}
+		sum, err := sw.computeCalc(calc, ps)
+		if err != nil {
+			return err
+		}
+		if err := ps.setField(cf.Field, sum); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// computeCalc serializes a field list and applies the checksum algorithm.
+func (sw *Switch) computeCalc(calc *ast.FieldListCalc, ps *packetState) (bitfield.Value, error) {
+	bits, payload, err := sw.serializeFieldList(calc.Input, ps)
+	if err != nil {
+		return bitfield.Value{}, err
+	}
+	if bits.Width()%8 != 0 {
+		return bitfield.Value{}, fmt.Errorf("sim: field list %s width %d is not byte aligned", calc.Input, bits.Width())
+	}
+	data := bits.Bytes()
+	if payload {
+		data = append(data, ps.data[ps.consumed:]...)
+	}
+	switch calc.Algorithm {
+	case ast.AlgoCsum16:
+		return bitfield.FromUint(calc.OutputWidth, uint64(pkt.Checksum(data))), nil
+	}
+	return bitfield.Value{}, fmt.Errorf("sim: unsupported checksum algorithm %q", calc.Algorithm)
+}
+
+// serializeFieldList concatenates the field values of a (possibly nested)
+// field list and reports whether the list includes the payload token.
+func (sw *Switch) serializeFieldList(listName string, ps *packetState) (bitfield.Value, bool, error) {
+	out := bitfield.New(0)
+	payload := false
+	var walk func(name string) error
+	walk = func(name string) error {
+		fl, ok := sw.prog.FieldLists[name]
+		if !ok {
+			return fmt.Errorf("sim: unknown field list %q", name)
+		}
+		for _, e := range fl.Entries {
+			switch {
+			case e.Payload:
+				payload = true
+			case e.SubList != "":
+				if err := walk(e.SubList); err != nil {
+					return err
+				}
+			case e.Field != nil:
+				v, err := ps.getField(*e.Field)
+				if err != nil {
+					return err
+				}
+				grown := bitfield.New(out.Width() + v.Width())
+				grown.Insert(0, out)
+				grown.Insert(out.Width(), v)
+				out = grown
+			}
+		}
+		return nil
+	}
+	if err := walk(listName); err != nil {
+		return bitfield.Value{}, false, err
+	}
+	return out, payload, nil
+}

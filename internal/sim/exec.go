@@ -1,0 +1,222 @@
+package sim
+
+import (
+	"fmt"
+
+	"hyper4/internal/bitfield"
+	"hyper4/internal/p4/ast"
+)
+
+// maxActionDepth bounds compound-action recursion.
+const maxActionDepth = 32
+
+// runStmts executes a control-flow statement list.
+func (sw *Switch) runStmts(stmts []ast.Stmt, ps *packetState, tr *Trace) error {
+	for _, s := range stmts {
+		switch s.Kind {
+		case ast.StmtApply:
+			if err := sw.applyTable(s, ps, tr); err != nil {
+				return err
+			}
+		case ast.StmtIf:
+			ok, err := sw.evalBool(s.Cond, ps)
+			if err != nil {
+				return err
+			}
+			branch := s.Then
+			if !ok {
+				branch = s.Else
+			}
+			if err := sw.runStmts(branch, ps, tr); err != nil {
+				return err
+			}
+		case ast.StmtCall:
+			ctl, ok := sw.prog.Controls[s.Control]
+			if !ok {
+				return fmt.Errorf("sim: call of unknown control %q", s.Control)
+			}
+			if err := sw.runStmts(ctl.Body, ps, tr); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// applyTable performs one match-action stage: build the key, look up the
+// entry, run the action (or default on miss), then any apply-case blocks.
+func (sw *Switch) applyTable(s ast.Stmt, ps *packetState, tr *Trace) error {
+	t, err := sw.table(s.Table)
+	if err != nil {
+		return err
+	}
+	sw.stats.TableApplies++
+	key, err := t.keyOf(ps)
+	if err != nil {
+		return fmt.Errorf("sim: table %s: %w", s.Table, err)
+	}
+	entry := t.lookup(key)
+	tr.recordApply(s.Table, t, entry, ps.inEgress)
+
+	var actionName string
+	var args []bitfield.Value
+	hit := entry != nil
+	if hit {
+		actionName = entry.Action
+		args = entry.Args
+	} else {
+		actionName = t.defaultAction
+		args = t.defaultArgs
+	}
+	if actionName != "" {
+		if err := sw.runAction(actionName, args, ps, tr, entry, t, 0); err != nil {
+			return fmt.Errorf("sim: table %s action %s: %w", s.Table, actionName, err)
+		}
+	}
+	// Apply-case blocks: hit {} / miss {} / per-action {}.
+	for _, c := range s.ApplyCases {
+		run := false
+		switch {
+		case c.Hit:
+			run = hit
+		case c.Miss:
+			run = !hit
+		default:
+			run = actionName == c.Action
+		}
+		if run {
+			if err := sw.runStmts(c.Body, ps, tr); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// runAction executes a compound action with args bound to its parameters.
+func (sw *Switch) runAction(name string, args []bitfield.Value, ps *packetState, tr *Trace, entry *Entry, t *table, depth int) error {
+	if depth >= maxActionDepth {
+		return fmt.Errorf("action nesting exceeds %d", maxActionDepth)
+	}
+	act, ok := sw.prog.Actions[name]
+	if !ok {
+		return fmt.Errorf("unknown action %q", name)
+	}
+	if len(args) != len(act.Params) {
+		return fmt.Errorf("action %s wants %d args, got %d", name, len(act.Params), len(args))
+	}
+	bindings := map[string]bitfield.Value{}
+	for i, p := range act.Params {
+		bindings[p] = args[i]
+	}
+	for _, call := range act.Body {
+		if err := sw.runPrimitive(call, bindings, ps, tr, entry, t, depth); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// evalExpr evaluates a data argument to a value. widthHint shapes constants
+// and parameter values; pass 0 to keep natural widths.
+func (sw *Switch) evalExpr(e ast.Expr, bindings map[string]bitfield.Value, ps *packetState, widthHint int) (bitfield.Value, error) {
+	switch e.Kind {
+	case ast.ExprConst:
+		w := widthHint
+		if w == 0 {
+			w = max(e.Const.BitLen(), 1)
+		}
+		return bitfield.FromBig(w, e.Const), nil
+	case ast.ExprField:
+		v, err := ps.getField(e.Field)
+		if err != nil {
+			return bitfield.Value{}, err
+		}
+		if widthHint != 0 {
+			v = v.Resize(widthHint)
+		}
+		return v, nil
+	case ast.ExprParam:
+		v, ok := bindings[e.Param]
+		if !ok {
+			return bitfield.Value{}, fmt.Errorf("unbound parameter %q", e.Param)
+		}
+		if widthHint != 0 {
+			v = v.Resize(widthHint)
+		}
+		return v, nil
+	case ast.ExprName:
+		// A bare name in data position is not a value.
+		return bitfield.Value{}, fmt.Errorf("name %q is not a value", e.Name)
+	default:
+		return bitfield.Value{}, fmt.Errorf("expression kind %d is not a value", e.Kind)
+	}
+}
+
+// evalBool evaluates an if condition.
+func (sw *Switch) evalBool(b ast.BoolExpr, ps *packetState) (bool, error) {
+	switch b.Kind {
+	case ast.BoolValid:
+		k, err := ps.resolveHeaderRef(*b.Valid)
+		if err != nil {
+			return false, err
+		}
+		h, ok := ps.headers[k]
+		return ok && h.valid, nil
+	case ast.BoolAnd:
+		l, err := sw.evalBool(*b.A, ps)
+		if err != nil || !l {
+			return false, err
+		}
+		return sw.evalBool(*b.B, ps)
+	case ast.BoolOr:
+		l, err := sw.evalBool(*b.A, ps)
+		if err != nil || l {
+			return l, err
+		}
+		return sw.evalBool(*b.B, ps)
+	case ast.BoolNot:
+		v, err := sw.evalBool(*b.A, ps)
+		return !v, err
+	case ast.BoolCmp:
+		// Width rule: compare at the wider of the two operand widths.
+		lw, rw := sw.exprWidth(*b.Left, ps), sw.exprWidth(*b.Right, ps)
+		w := max(max(lw, rw), 1)
+		l, err := sw.evalExpr(*b.Left, nil, ps, w)
+		if err != nil {
+			return false, err
+		}
+		r, err := sw.evalExpr(*b.Right, nil, ps, w)
+		if err != nil {
+			return false, err
+		}
+		switch b.Op {
+		case ast.OpEq:
+			return l.Equal(r), nil
+		case ast.OpNe:
+			return !l.Equal(r), nil
+		case ast.OpLt:
+			return l.Cmp(r) < 0, nil
+		case ast.OpLe:
+			return l.Cmp(r) <= 0, nil
+		case ast.OpGt:
+			return l.Cmp(r) > 0, nil
+		case ast.OpGe:
+			return l.Cmp(r) >= 0, nil
+		}
+	}
+	return false, fmt.Errorf("bad boolean expression")
+}
+
+// exprWidth returns the natural width of an expression (0 when unknown).
+func (sw *Switch) exprWidth(e ast.Expr, ps *packetState) int {
+	switch e.Kind {
+	case ast.ExprField:
+		if w, err := ps.fieldWidth(e.Field); err == nil {
+			return w
+		}
+	case ast.ExprConst:
+		return max(e.Const.BitLen(), 1)
+	}
+	return 0
+}

@@ -1,0 +1,54 @@
+package sim
+
+import (
+	"hyper4/internal/bitfield"
+	"hyper4/internal/p4/ast"
+)
+
+// Exact builds an exact match parameter.
+func Exact(v bitfield.Value) MatchParam {
+	return MatchParam{Kind: ast.MatchExact, Value: v}
+}
+
+// ExactUint builds an exact match parameter from an integer.
+func ExactUint(width int, v uint64) MatchParam {
+	return Exact(bitfield.FromUint(width, v))
+}
+
+// Ternary builds a ternary match parameter.
+func Ternary(v, mask bitfield.Value) MatchParam {
+	return MatchParam{Kind: ast.MatchTernary, Value: v, Mask: mask}
+}
+
+// TernaryUint builds a ternary match parameter from integers.
+func TernaryUint(width int, v, mask uint64) MatchParam {
+	return Ternary(bitfield.FromUint(width, v), bitfield.FromUint(width, mask))
+}
+
+// LPM builds a longest-prefix match parameter.
+func LPM(v bitfield.Value, plen int) MatchParam {
+	return MatchParam{Kind: ast.MatchLPM, Value: v, PrefixLen: plen}
+}
+
+// Range builds a range match parameter over [lo, hi].
+func Range(lo, hi bitfield.Value) MatchParam {
+	return MatchParam{Kind: ast.MatchRange, Value: lo, Hi: hi}
+}
+
+// Valid builds a header-validity match parameter.
+func Valid(want bool) MatchParam {
+	return MatchParam{Kind: ast.MatchValid, ValidWant: want}
+}
+
+// Args builds an action argument list from (width, value) pairs, given as
+// alternating width and value entries.
+func Args(pairs ...uint64) []bitfield.Value {
+	if len(pairs)%2 != 0 {
+		panic("sim.Args: odd argument count")
+	}
+	out := make([]bitfield.Value, 0, len(pairs)/2)
+	for i := 0; i < len(pairs); i += 2 {
+		out = append(out, bitfield.FromUint(int(pairs[i]), pairs[i+1]))
+	}
+	return out
+}

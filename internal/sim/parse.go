@@ -1,0 +1,211 @@
+package sim
+
+import (
+	"fmt"
+
+	"hyper4/internal/bitfield"
+	"hyper4/internal/p4/ast"
+)
+
+// maxParserStates bounds state transitions per parse, guarding against
+// cyclic parse graphs.
+const maxParserStates = 512
+
+// parse runs the parser state machine from "start" until ingress.
+func (sw *Switch) parse(ps *packetState, tr *Trace) error {
+	if _, ok := sw.prog.States["start"]; !ok {
+		return nil // programs without a parser accept the packet unparsed
+	}
+	state := "start"
+	for steps := 0; ; steps++ {
+		if steps >= maxParserStates {
+			return fmt.Errorf("sim: parser exceeded %d state transitions", maxParserStates)
+		}
+		if state == ast.StateIngress {
+			return nil
+		}
+		st, ok := sw.prog.States[state]
+		if !ok {
+			return fmt.Errorf("sim: parser reached unknown state %q", state)
+		}
+		for _, stmt := range st.Statements {
+			if stmt.Extract != nil {
+				if err := ps.extract(*stmt.Extract); err != nil {
+					return err
+				}
+				tr.Extracts++
+			} else {
+				val, err := ps.evalParserValue(stmt.SetValue, stmt.SetField)
+				if err != nil {
+					return err
+				}
+				if err := ps.setField(stmt.SetField, val); err != nil {
+					return err
+				}
+			}
+		}
+		next, err := ps.parserTransition(st)
+		if err != nil {
+			return err
+		}
+		state = next
+	}
+}
+
+// extract pulls the next header's bytes off the packet into the instance.
+// A packet shorter than the extraction is zero-filled and flagged.
+func (ps *packetState) extract(ref ast.HeaderRef) error {
+	k, err := ps.resolveHeaderRef(ref)
+	if err != nil {
+		return err
+	}
+	inst := ps.sw.prog.Instances[k.name]
+	nbytes := inst.Width() / 8
+	avail := len(ps.data) - ps.consumed
+	take := nbytes
+	if take > avail {
+		take = avail
+		ps.shortExtract = true
+	}
+	buf := make([]byte, nbytes)
+	copy(buf, ps.data[ps.consumed:ps.consumed+take])
+	h := ps.header(k)
+	h.value = bitfield.FromBytes(inst.Width(), buf)
+	h.valid = true
+	ps.consumed += take
+	if inst.Decl.IsStack() && ref.Index == ast.IndexNext {
+		ps.stackNext[k.name] = k.elem + 1
+	}
+	ps.latest = k
+	ps.hasLatest = true
+	return nil
+}
+
+// evalParserValue evaluates a set_metadata value: a constant or a field.
+func (ps *packetState) evalParserValue(e ast.Expr, dst ast.FieldRef) (bitfield.Value, error) {
+	w, err := ps.fieldWidth(dst)
+	if err != nil {
+		return bitfield.Value{}, err
+	}
+	switch e.Kind {
+	case ast.ExprConst:
+		return bitfield.FromBig(w, e.Const), nil
+	case ast.ExprField:
+		v, err := ps.getField(e.Field)
+		if err != nil {
+			return bitfield.Value{}, err
+		}
+		return v.Resize(w), nil
+	default:
+		return bitfield.Value{}, fmt.Errorf("sim: unsupported set_metadata value kind %d", e.Kind)
+	}
+}
+
+// parserTransition picks the next state.
+func (ps *packetState) parserTransition(st *ast.ParserState) (string, error) {
+	switch st.Return.Kind {
+	case ast.ReturnDirect:
+		return st.Return.State, nil
+	case ast.ReturnSelect:
+		key, keyWidth, err := ps.selectKeyValue(st.Return.SelectKeys)
+		if err != nil {
+			return "", err
+		}
+		for _, c := range st.Return.Cases {
+			if c.Default {
+				return c.State, nil
+			}
+			val, mask := concatCase(c, st.Return.SelectKeys, ps, keyWidth)
+			if key.MatchTernary(val, mask) {
+				return c.State, nil
+			}
+		}
+		// P4_14: falling off a select without a default is a parser error;
+		// we drop by transitioning to ingress with the packet marked dropped.
+		ps.dropped = true
+		return ast.StateIngress, nil
+	}
+	return "", fmt.Errorf("sim: bad parser return in state %q", st.Name)
+}
+
+// selectKeyValue concatenates the select keys into one value.
+func (ps *packetState) selectKeyValue(keys []ast.SelectKey) (bitfield.Value, []int, error) {
+	widths := make([]int, len(keys))
+	total := 0
+	vals := make([]bitfield.Value, len(keys))
+	for i, k := range keys {
+		var v bitfield.Value
+		switch {
+		case k.IsCurrent:
+			v = ps.current(k.CurrentOffset, k.CurrentWidth)
+		case k.Latest != "":
+			if !ps.hasLatest {
+				return bitfield.Value{}, nil, fmt.Errorf("sim: select(latest.%s) before any extract", k.Latest)
+			}
+			ref := ast.FieldRef{Instance: ps.latest.name, Index: ps.latest.elem, Field: k.Latest}
+			inst := ps.sw.prog.Instances[ps.latest.name]
+			if !inst.Decl.IsStack() {
+				ref.Index = ast.IndexNone
+			}
+			got, err := ps.getField(ref)
+			if err != nil {
+				return bitfield.Value{}, nil, err
+			}
+			v = got
+		default:
+			got, err := ps.getField(*k.Field)
+			if err != nil {
+				return bitfield.Value{}, nil, err
+			}
+			v = got
+		}
+		vals[i] = v
+		widths[i] = v.Width()
+		total += v.Width()
+	}
+	out := bitfield.New(total)
+	off := 0
+	for _, v := range vals {
+		out.Insert(off, v)
+		off += v.Width()
+	}
+	return out, widths, nil
+}
+
+// concatCase builds the (value, mask) pair for one select case across the
+// concatenated key widths.
+func concatCase(c ast.SelectCase, keys []ast.SelectKey, ps *packetState, widths []int) (bitfield.Value, bitfield.Value) {
+	total := 0
+	for _, w := range widths {
+		total += w
+	}
+	val := bitfield.New(total)
+	mask := bitfield.New(total)
+	off := 0
+	for i, w := range widths {
+		val.Insert(off, bitfield.FromBig(w, c.Values[i]))
+		if c.Masks[i] != nil {
+			mask.Insert(off, bitfield.FromBig(w, c.Masks[i]))
+		} else {
+			mask.Insert(off, bitfield.Ones(w))
+		}
+		off += w
+	}
+	return val, mask
+}
+
+// current reads unextracted packet bits at the given bit offset/width past
+// the parser's current position, zero-filling past the end of the packet.
+func (ps *packetState) current(bitOff, width int) bitfield.Value {
+	startBit := ps.consumed*8 + bitOff
+	out := bitfield.New(width)
+	for i := 0; i < width; i++ {
+		bit := startBit + i
+		byteIdx := bit / 8
+		if byteIdx >= len(ps.data) {
+			break
+		}
+		out.SetBit(i, (ps.data[byteIdx]>>(7-bit%8))&1)
+	}
+	return out
+}

@@ -1,0 +1,329 @@
+package sim
+
+import (
+	"fmt"
+
+	"hyper4/internal/bitfield"
+	"hyper4/internal/p4/ast"
+	"hyper4/internal/p4/hlir"
+)
+
+// runPrimitive executes one primitive (or nested compound action) call.
+func (sw *Switch) runPrimitive(call ast.PrimitiveCall, bindings map[string]bitfield.Value, ps *packetState, tr *Trace, entry *Entry, t *table, depth int) error {
+	// Nested compound action.
+	if !hlir.KnownPrimitive(call.Name) {
+		args := make([]bitfield.Value, len(call.Args))
+		for i, a := range call.Args {
+			v, err := sw.evalExpr(a, bindings, ps, 0)
+			if err != nil {
+				return err
+			}
+			args[i] = v
+		}
+		return sw.runAction(call.Name, args, ps, tr, entry, t, depth+1)
+	}
+
+	tr.Primitives++
+
+	dstField := func(i int) (ast.FieldRef, int, error) {
+		if i >= len(call.Args) || call.Args[i].Kind != ast.ExprField {
+			return ast.FieldRef{}, 0, fmt.Errorf("%s: argument %d must be a field", call.Name, i)
+		}
+		ref := call.Args[i].Field
+		w, err := ps.fieldWidth(ref)
+		return ref, w, err
+	}
+	val := func(i, width int) (bitfield.Value, error) {
+		if i >= len(call.Args) {
+			return bitfield.Value{}, fmt.Errorf("%s: missing argument %d", call.Name, i)
+		}
+		return sw.evalExpr(call.Args[i], bindings, ps, width)
+	}
+	name := func(i int) (string, error) {
+		if i >= len(call.Args) {
+			return "", fmt.Errorf("%s: missing argument %d", call.Name, i)
+		}
+		switch call.Args[i].Kind {
+		case ast.ExprName:
+			return call.Args[i].Name, nil
+		case ast.ExprParam:
+			return call.Args[i].Param, nil
+		}
+		return "", fmt.Errorf("%s: argument %d must be a name", call.Name, i)
+	}
+	headerArg := func(i int) (instKey, error) {
+		if i >= len(call.Args) {
+			return instKey{}, fmt.Errorf("%s: missing argument %d", call.Name, i)
+		}
+		var href ast.HeaderRef
+		switch call.Args[i].Kind {
+		case ast.ExprHeader:
+			href = call.Args[i].Header
+		case ast.ExprName:
+			href = ast.HeaderRef{Instance: call.Args[i].Name, Index: ast.IndexNone}
+		default:
+			return instKey{}, fmt.Errorf("%s: argument %d must be a header", call.Name, i)
+		}
+		return ps.resolveHeaderRef(href)
+	}
+
+	switch call.Name {
+	case "no_op":
+		return nil
+
+	case "modify_field":
+		dst, w, err := dstField(0)
+		if err != nil {
+			return err
+		}
+		src, err := val(1, w)
+		if err != nil {
+			return err
+		}
+		if len(call.Args) >= 3 { // masked variant
+			mask, err := val(2, w)
+			if err != nil {
+				return err
+			}
+			cur, err := ps.getField(dst)
+			if err != nil {
+				return err
+			}
+			src = src.And(mask).Or(cur.And(mask.Not()))
+		}
+		return ps.setField(dst, src)
+
+	case "add_to_field", "subtract_from_field":
+		dst, w, err := dstField(0)
+		if err != nil {
+			return err
+		}
+		amt, err := val(1, w)
+		if err != nil {
+			return err
+		}
+		cur, err := ps.getField(dst)
+		if err != nil {
+			return err
+		}
+		if call.Name == "add_to_field" {
+			return ps.setField(dst, cur.Add(amt))
+		}
+		return ps.setField(dst, cur.Sub(amt))
+
+	case "add", "subtract", "bit_and", "bit_or", "bit_xor":
+		dst, w, err := dstField(0)
+		if err != nil {
+			return err
+		}
+		a, err := val(1, w)
+		if err != nil {
+			return err
+		}
+		b, err := val(2, w)
+		if err != nil {
+			return err
+		}
+		var out bitfield.Value
+		switch call.Name {
+		case "add":
+			out = a.Add(b)
+		case "subtract":
+			out = a.Sub(b)
+		case "bit_and":
+			out = a.And(b)
+		case "bit_or":
+			out = a.Or(b)
+		case "bit_xor":
+			out = a.Xor(b)
+		}
+		return ps.setField(dst, out)
+
+	case "shift_left", "shift_right":
+		dst, w, err := dstField(0)
+		if err != nil {
+			return err
+		}
+		a, err := val(1, w)
+		if err != nil {
+			return err
+		}
+		// The shift amount keeps its natural width; it is a count.
+		shv, err := val(2, 0)
+		if err != nil {
+			return err
+		}
+		n := int(shv.Uint64())
+		if call.Name == "shift_left" {
+			return ps.setField(dst, a.Shl(n))
+		}
+		return ps.setField(dst, a.Shr(n))
+
+	case "drop":
+		ps.dropped = true
+		ps.setStdMeta(hlir.FieldEgressSpec, hlir.DropSpec)
+		return nil
+
+	case "add_header":
+		k, err := headerArg(0)
+		if err != nil {
+			return err
+		}
+		h := ps.header(k)
+		if !h.valid {
+			h.valid = true
+			h.value = bitfield.New(sw.prog.Instances[k.name].Width())
+		}
+		return nil
+
+	case "remove_header":
+		k, err := headerArg(0)
+		if err != nil {
+			return err
+		}
+		ps.header(k).valid = false
+		return nil
+
+	case "copy_header":
+		dst, err := headerArg(0)
+		if err != nil {
+			return err
+		}
+		src, err := headerArg(1)
+		if err != nil {
+			return err
+		}
+		sh := ps.header(src)
+		dh := ps.header(dst)
+		dh.valid = sh.valid
+		dh.value = sh.value.Clone().Resize(sw.prog.Instances[dst.name].Width())
+		return nil
+
+	case "resubmit":
+		ps.resubmitRaised = true
+		if len(call.Args) > 0 {
+			fl, err := name(0)
+			if err != nil {
+				return err
+			}
+			ps.resubmitList = fl
+		}
+		return nil
+
+	case "recirculate":
+		ps.recircRaised = true
+		if len(call.Args) > 0 {
+			fl, err := name(0)
+			if err != nil {
+				return err
+			}
+			ps.recircList = fl
+		}
+		return nil
+
+	case "clone_ingress_pkt_to_egress":
+		sess, err := val(0, 32)
+		if err != nil {
+			return err
+		}
+		ps.cloneI2ERaised = true
+		ps.cloneI2ESession = int(sess.Uint64())
+		if len(call.Args) > 1 {
+			fl, err := name(1)
+			if err != nil {
+				return err
+			}
+			ps.cloneI2EList = fl
+		}
+		return nil
+
+	case "clone_egress_pkt_to_egress":
+		sess, err := val(0, 32)
+		if err != nil {
+			return err
+		}
+		ps.cloneE2ERaised = true
+		ps.cloneE2ESession = int(sess.Uint64())
+		if len(call.Args) > 1 {
+			fl, err := name(1)
+			if err != nil {
+				return err
+			}
+			ps.cloneE2EList = fl
+		}
+		return nil
+
+	case "count":
+		cname, err := name(0)
+		if err != nil {
+			return err
+		}
+		idx, err := val(1, 32)
+		if err != nil {
+			return err
+		}
+		return sw.countInc(cname, int(idx.Uint64()), len(ps.data))
+
+	case "execute_meter":
+		mname, err := name(0)
+		if err != nil {
+			return err
+		}
+		idx, err := val(1, 32)
+		if err != nil {
+			return err
+		}
+		dst, w, err := dstField(2)
+		if err != nil {
+			return err
+		}
+		color, err := sw.meterExecute(mname, int(idx.Uint64()), len(ps.data))
+		if err != nil {
+			return err
+		}
+		return ps.setField(dst, bitfield.FromUint(w, uint64(color)))
+
+	case "register_read":
+		dst, w, err := dstField(0)
+		if err != nil {
+			return err
+		}
+		rname, err := name(1)
+		if err != nil {
+			return err
+		}
+		idx, err := val(2, 32)
+		if err != nil {
+			return err
+		}
+		v, err := sw.RegisterRead(rname, int(idx.Uint64()))
+		if err != nil {
+			return err
+		}
+		return ps.setField(dst, v.Resize(w))
+
+	case "register_write":
+		rname, err := name(0)
+		if err != nil {
+			return err
+		}
+		idx, err := val(1, 32)
+		if err != nil {
+			return err
+		}
+		src, err := val(2, 0)
+		if err != nil {
+			return err
+		}
+		return sw.RegisterWrite(rname, int(idx.Uint64()), src)
+
+	case "truncate":
+		n, err := val(0, 32)
+		if err != nil {
+			return err
+		}
+		ps.truncateTo = int(n.Uint64())
+		return nil
+	}
+	return fmt.Errorf("primitive %q not implemented", call.Name)
+}

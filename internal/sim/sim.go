@@ -1,0 +1,252 @@
+// Package sim implements a software P4 target functionally equivalent to the
+// bmv2 simple_switch the paper evaluates on: a parser state machine, ingress
+// and egress match-action pipelines, a traffic manager handling resubmit,
+// recirculate and clone, and a deparser with calculated-field (checksum)
+// updates.
+//
+// Processing is synchronous: Process takes one packet and returns every
+// packet the switch emits, plus a Trace recording the work performed (tables
+// applied, ternary bits matched, resubmit/recirculate counts). The trace is
+// what the paper's evaluation tables are computed from.
+package sim
+
+import (
+	"fmt"
+
+	"hyper4/internal/bitfield"
+	"hyper4/internal/p4/ast"
+	"hyper4/internal/p4/hlir"
+)
+
+// MaxPasses bounds parser re-entries per packet (resubmit + recirculate +
+// clones), preventing a misconfigured program from looping forever.
+const MaxPasses = 256
+
+// Output is one packet emitted by the switch.
+type Output struct {
+	Port int
+	Data []byte
+}
+
+// Switch is a software P4 target loaded with one program.
+type Switch struct {
+	Name string
+	prog *hlir.Program
+
+	tables    map[string]*table
+	registers map[string]*registerArray
+	counters  map[string]*counterArray
+	meters    map[string]*meterArray
+	// mirrors maps clone session IDs to egress ports.
+	mirrors map[int]int
+
+	stats Stats
+}
+
+// Stats aggregates switch-lifetime counters.
+type Stats struct {
+	PacketsIn      int
+	PacketsOut     int
+	PacketsDropped int
+	Resubmits      int
+	Recirculates   int
+	Clones         int
+	TableApplies   int
+}
+
+// New creates a switch running the given resolved program.
+func New(name string, prog *hlir.Program) (*Switch, error) {
+	sw := &Switch{
+		Name:      name,
+		prog:      prog,
+		tables:    map[string]*table{},
+		registers: map[string]*registerArray{},
+		counters:  map[string]*counterArray{},
+		meters:    map[string]*meterArray{},
+		mirrors:   map[int]int{},
+	}
+	for _, tname := range prog.TableOrder {
+		decl := prog.Tables[tname]
+		tbl, err := newTable(prog, decl)
+		if err != nil {
+			return nil, err
+		}
+		sw.tables[tname] = tbl
+	}
+	for name, r := range prog.Registers {
+		n := r.InstanceCount
+		if n == 0 {
+			n = 1
+		}
+		ra := &registerArray{width: r.Width, cells: make([]bitfield.Value, n)}
+		for i := range ra.cells {
+			ra.cells[i] = bitfield.New(r.Width)
+		}
+		sw.registers[name] = ra
+	}
+	for name, c := range prog.Counters {
+		n := c.InstanceCount
+		if n == 0 {
+			n = 1
+		}
+		sw.counters[name] = &counterArray{kind: c.Kind, packets: make([]uint64, n), bytes: make([]uint64, n)}
+	}
+	for name, m := range prog.Meters {
+		n := m.InstanceCount
+		if n == 0 {
+			n = 1
+		}
+		sw.meters[name] = newMeterArray(m.Kind, n)
+	}
+	return sw, nil
+}
+
+// Program returns the loaded program.
+func (sw *Switch) Program() *hlir.Program { return sw.prog }
+
+// Stats returns a copy of the lifetime counters.
+func (sw *Switch) Stats() Stats { return sw.stats }
+
+// SetMirror maps a clone session ID to an egress port.
+func (sw *Switch) SetMirror(session, port int) { sw.mirrors[session] = port }
+
+// pass describes one trip through (parser →) ingress/egress.
+type pass struct {
+	data         []byte
+	port         int
+	preserved    map[ast.FieldRef]bitfield.Value
+	instanceType uint64
+	// egressOnly passes (clones) skip parser+ingress and carry state.
+	egressOnly bool
+	state      *packetState
+	egressPort int
+}
+
+// bmv2 instance_type values.
+const (
+	instNormal      = 0
+	instCloneI2E    = 1
+	instCloneE2E    = 2
+	instRecirculate = 4
+	instResubmit    = 6
+)
+
+// Process runs one packet through the switch and returns all emitted packets
+// and a trace of the work performed.
+func (sw *Switch) Process(data []byte, port int) ([]Output, *Trace, error) {
+	sw.stats.PacketsIn++
+	tr := &Trace{}
+	queue := []pass{{data: data, port: port, instanceType: instNormal}}
+	var outputs []Output
+	for len(queue) > 0 {
+		if tr.Passes >= MaxPasses {
+			return nil, nil, fmt.Errorf("sim: packet exceeded %d pipeline passes", MaxPasses)
+		}
+		tr.Passes++
+		p := queue[0]
+		queue = queue[1:]
+		emitted, next, err := sw.runPass(p, tr)
+		if err != nil {
+			return nil, nil, err
+		}
+		outputs = append(outputs, emitted...)
+		queue = append(queue, next...)
+	}
+	sw.stats.PacketsOut += len(outputs)
+	if len(outputs) == 0 {
+		sw.stats.PacketsDropped++
+	}
+	tr.Outputs = outputs
+	return outputs, tr, nil
+}
+
+// runPass executes one pipeline pass and returns emitted packets plus any
+// follow-on passes (resubmits, recirculations, clones).
+func (sw *Switch) runPass(p pass, tr *Trace) ([]Output, []pass, error) {
+	var ps *packetState
+	var followOn []pass
+
+	if p.egressOnly {
+		ps = p.state
+		ps.setStdMeta(hlir.FieldEgressPort, uint64(p.egressPort))
+		ps.setStdMeta(hlir.FieldEgressSpec, uint64(p.egressPort))
+	} else {
+		ps = newPacketState(sw, p.data, p.port)
+		ps.setStdMeta(hlir.FieldInstanceType, p.instanceType)
+		ps.restorePreserved(p.preserved)
+		if err := sw.parse(ps, tr); err != nil {
+			return nil, nil, err
+		}
+		if ing, ok := sw.prog.Controls[ast.ControlIngress]; ok {
+			if err := sw.runStmts(ing.Body, ps, tr); err != nil {
+				return nil, nil, err
+			}
+		}
+		// End of ingress: resubmit wins over forwarding.
+		if ps.resubmitRaised {
+			sw.stats.Resubmits++
+			tr.Resubmits++
+			preserved, err := ps.capturePreserved(ps.resubmitList)
+			if err != nil {
+				return nil, nil, err
+			}
+			return nil, []pass{{data: p.data, port: p.port, preserved: preserved, instanceType: instResubmit}}, nil
+		}
+		if ps.cloneI2ERaised {
+			sw.stats.Clones++
+			tr.ClonesI2E++
+			mirrorPort, ok := sw.mirrors[ps.cloneI2ESession]
+			if ok {
+				cl := ps.clone()
+				cl.setStdMeta(hlir.FieldInstanceType, instCloneI2E)
+				// Clone preserves only the requested metadata on top of a
+				// fresh metadata context? bmv2 copies all metadata for i2e
+				// clones; we keep the full copy, matching bmv2.
+				followOn = append(followOn, pass{egressOnly: true, state: cl, egressPort: mirrorPort})
+			}
+		}
+		spec := ps.stdMeta(hlir.FieldEgressSpec).Uint64()
+		if spec == hlir.DropSpec {
+			return nil, followOn, nil
+		}
+		ps.setStdMeta(hlir.FieldEgressPort, spec)
+	}
+
+	// Egress pipeline.
+	ps.inEgress = true
+	if eg, ok := sw.prog.Controls[ast.ControlEgress]; ok {
+		if err := sw.runStmts(eg.Body, ps, tr); err != nil {
+			return nil, nil, err
+		}
+	}
+	if ps.cloneE2ERaised {
+		sw.stats.Clones++
+		tr.ClonesE2E++
+		if mirrorPort, ok := sw.mirrors[ps.cloneE2ESession]; ok {
+			cl := ps.clone()
+			cl.cloneE2ERaised = false
+			cl.recircRaised = false
+			cl.dropped = false
+			cl.setStdMeta(hlir.FieldInstanceType, instCloneE2E)
+			followOn = append(followOn, pass{egressOnly: true, state: cl, egressPort: mirrorPort})
+		}
+	}
+	outBytes, err := sw.deparse(ps)
+	if err != nil {
+		return nil, nil, err
+	}
+	if ps.recircRaised {
+		sw.stats.Recirculates++
+		tr.Recirculates++
+		preserved, err := ps.capturePreserved(ps.recircList)
+		if err != nil {
+			return nil, nil, err
+		}
+		return nil, append(followOn, pass{data: outBytes, port: int(ps.stdMeta(hlir.FieldIngressPort).Uint64()), preserved: preserved, instanceType: instRecirculate}), nil
+	}
+	if ps.dropped {
+		return nil, followOn, nil
+	}
+	port := int(ps.stdMeta(hlir.FieldEgressPort).Uint64())
+	return []Output{{Port: port, Data: outBytes}}, followOn, nil
+}

@@ -1,0 +1,255 @@
+package sim
+
+import (
+	"fmt"
+
+	"hyper4/internal/bitfield"
+	"hyper4/internal/p4/ast"
+	"hyper4/internal/p4/hlir"
+)
+
+// instKey identifies one header instance element (stacks have one key per
+// element; scalars use element 0).
+type instKey struct {
+	name string
+	elem int
+}
+
+// headerState is the runtime state of one header instance element.
+type headerState struct {
+	valid bool
+	value bitfield.Value
+}
+
+// packetState is all per-packet state for one pass through the pipeline:
+// the raw packet, the parsed representation, and metadata.
+type packetState struct {
+	sw *Switch
+
+	data     []byte // packet bytes as received for this pass
+	consumed int    // bytes consumed by the parser
+
+	headers map[instKey]*headerState
+	// stackNext tracks the parser's [next] cursor per stack instance.
+	stackNext map[string]int
+	// latest is the most recently extracted header element.
+	latest    instKey
+	hasLatest bool
+
+	// metadata values by instance name (standard_metadata included).
+	meta map[string]bitfield.Value
+
+	// end-of-pipeline requests raised by primitives.
+	dropped         bool
+	resubmitList    string // field list name; "" when no resubmit requested
+	resubmitRaised  bool
+	recircList      string
+	recircRaised    bool
+	cloneI2ESession int
+	cloneI2EList    string
+	cloneI2ERaised  bool
+	cloneE2ESession int
+	cloneE2EList    string
+	cloneE2ERaised  bool
+	truncateTo      int // 0 = no truncation
+
+	shortExtract bool // parser ran past the end of the packet (zero-filled)
+	inEgress     bool // executing the egress control
+}
+
+func newPacketState(sw *Switch, data []byte, port int) *packetState {
+	ps := &packetState{
+		sw:        sw,
+		data:      data,
+		headers:   map[instKey]*headerState{},
+		stackNext: map[string]int{},
+		meta:      map[string]bitfield.Value{},
+	}
+	for name, inst := range sw.prog.Instances {
+		if inst.Decl.Metadata {
+			ps.meta[name] = bitfield.New(inst.Width())
+		}
+	}
+	ps.setStdMeta(hlir.FieldIngressPort, uint64(port))
+	ps.setStdMeta(hlir.FieldPacketLength, uint64(len(data)))
+	// Deviation from the P4_14 zero-init rule: egress_spec starts at the
+	// drop value so a packet that no table routes is dropped rather than
+	// emitted on port 0.
+	ps.setStdMeta(hlir.FieldEgressSpec, hlir.DropSpec)
+	return ps
+}
+
+// header returns (allocating if needed) the state for one header element.
+func (ps *packetState) header(k instKey) *headerState {
+	h, ok := ps.headers[k]
+	if !ok {
+		inst := ps.sw.prog.Instances[k.name]
+		h = &headerState{value: bitfield.New(inst.Width())}
+		ps.headers[k] = h
+	}
+	return h
+}
+
+// resolveHeaderRef maps an ast.HeaderRef to a concrete element key, resolving
+// [next] and [last] against parser state.
+func (ps *packetState) resolveHeaderRef(ref ast.HeaderRef) (instKey, error) {
+	inst, ok := ps.sw.prog.Instances[ref.Instance]
+	if !ok {
+		return instKey{}, fmt.Errorf("sim: unknown instance %q", ref.Instance)
+	}
+	elem := 0
+	switch {
+	case ref.Index == ast.IndexNext:
+		elem = ps.stackNext[ref.Instance]
+	case ref.Index == ast.IndexLast:
+		elem = ps.stackNext[ref.Instance] - 1
+		if elem < 0 {
+			return instKey{}, fmt.Errorf("sim: [last] on %q before any extraction", ref.Instance)
+		}
+	case ref.Index >= 0:
+		elem = ref.Index
+	}
+	if inst.Decl.IsStack() && elem >= inst.Decl.Count {
+		return instKey{}, fmt.Errorf("sim: stack %q element %d out of range", ref.Instance, elem)
+	}
+	return instKey{name: ref.Instance, elem: elem}, nil
+}
+
+// getField reads a field value (metadata or header).
+func (ps *packetState) getField(ref ast.FieldRef) (bitfield.Value, error) {
+	inst, ok := ps.sw.prog.Instances[ref.Instance]
+	if !ok {
+		return bitfield.Value{}, fmt.Errorf("sim: unknown instance %q", ref.Instance)
+	}
+	off, ok := inst.Type.FieldOffset(ref.Field)
+	if !ok {
+		return bitfield.Value{}, fmt.Errorf("sim: %s has no field %q", ref.Instance, ref.Field)
+	}
+	w := inst.Type.Field(ref.Field).Width
+	if inst.Decl.Metadata {
+		return ps.meta[ref.Instance].Slice(off, w), nil
+	}
+	k, err := ps.resolveHeaderRef(ast.HeaderRef{Instance: ref.Instance, Index: ref.Index})
+	if err != nil {
+		return bitfield.Value{}, err
+	}
+	return ps.header(k).value.Slice(off, w), nil
+}
+
+// setField writes a field value, resizing val to the field's width.
+func (ps *packetState) setField(ref ast.FieldRef, val bitfield.Value) error {
+	inst, ok := ps.sw.prog.Instances[ref.Instance]
+	if !ok {
+		return fmt.Errorf("sim: unknown instance %q", ref.Instance)
+	}
+	off, ok := inst.Type.FieldOffset(ref.Field)
+	if !ok {
+		return fmt.Errorf("sim: %s has no field %q", ref.Instance, ref.Field)
+	}
+	w := inst.Type.Field(ref.Field).Width
+	if inst.Decl.Metadata {
+		m := ps.meta[ref.Instance]
+		m.Insert(off, val.Resize(w))
+		ps.meta[ref.Instance] = m
+		return nil
+	}
+	k, err := ps.resolveHeaderRef(ast.HeaderRef{Instance: ref.Instance, Index: ref.Index})
+	if err != nil {
+		return err
+	}
+	ps.header(k).value.Insert(off, val.Resize(w))
+	return nil
+}
+
+// fieldWidth returns the declared width of a field reference.
+func (ps *packetState) fieldWidth(ref ast.FieldRef) (int, error) {
+	return ps.sw.prog.FieldWidth(ref)
+}
+
+func (ps *packetState) stdMeta(field string) bitfield.Value {
+	v, err := ps.getField(ast.FieldRef{Instance: hlir.StandardMetadata, Index: ast.IndexNone, Field: field})
+	if err != nil {
+		panic(err) // standard metadata fields always resolve
+	}
+	return v
+}
+
+func (ps *packetState) setStdMeta(field string, val uint64) {
+	w, _ := ps.sw.prog.FieldWidth(ast.FieldRef{Instance: hlir.StandardMetadata, Index: ast.IndexNone, Field: field})
+	if err := ps.setField(ast.FieldRef{Instance: hlir.StandardMetadata, Index: ast.IndexNone, Field: field}, bitfield.FromUint(w, val)); err != nil {
+		panic(err)
+	}
+}
+
+// capturePreserved snapshots the metadata fields named by a field list, for
+// resubmit/recirculate/clone semantics. An empty list name preserves nothing.
+func (ps *packetState) capturePreserved(listName string) (map[ast.FieldRef]bitfield.Value, error) {
+	out := map[ast.FieldRef]bitfield.Value{}
+	if listName == "" {
+		return out, nil
+	}
+	var add func(name string) error
+	add = func(name string) error {
+		fl, ok := ps.sw.prog.FieldLists[name]
+		if !ok {
+			return fmt.Errorf("sim: unknown field list %q", name)
+		}
+		for _, e := range fl.Entries {
+			switch {
+			case e.Field != nil:
+				v, err := ps.getField(*e.Field)
+				if err != nil {
+					return err
+				}
+				out[*e.Field] = v
+			case e.SubList != "":
+				if err := add(e.SubList); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	}
+	if err := add(listName); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// restorePreserved writes captured metadata values into a fresh pass state.
+func (ps *packetState) restorePreserved(fields map[ast.FieldRef]bitfield.Value) {
+	for ref, val := range fields {
+		// Only metadata can survive a pass boundary; header fields are
+		// re-extracted from the wire bytes.
+		if inst, ok := ps.sw.prog.Instances[ref.Instance]; ok && inst.Decl.Metadata {
+			if err := ps.setField(ref, val); err != nil {
+				panic(err)
+			}
+		}
+	}
+}
+
+// clone deep-copies the packet state for clone_i2e / clone_e2e.
+func (ps *packetState) clone() *packetState {
+	out := &packetState{
+		sw:         ps.sw,
+		data:       append([]byte(nil), ps.data...),
+		consumed:   ps.consumed,
+		headers:    map[instKey]*headerState{},
+		stackNext:  map[string]int{},
+		meta:       map[string]bitfield.Value{},
+		latest:     ps.latest,
+		hasLatest:  ps.hasLatest,
+		truncateTo: ps.truncateTo,
+	}
+	for k, h := range ps.headers {
+		out.headers[k] = &headerState{valid: h.valid, value: h.value.Clone()}
+	}
+	for k, v := range ps.stackNext {
+		out.stackNext[k] = v
+	}
+	for k, v := range ps.meta {
+		out.meta[k] = v.Clone()
+	}
+	return out
+}

@@ -1,0 +1,168 @@
+package sim
+
+import (
+	"fmt"
+
+	"hyper4/internal/bitfield"
+	"hyper4/internal/p4/ast"
+)
+
+// registerArray is the runtime state of one register declaration.
+type registerArray struct {
+	width int
+	cells []bitfield.Value
+}
+
+// counterArray is the runtime state of one counter declaration.
+type counterArray struct {
+	kind    ast.CounterKind
+	packets []uint64
+	bytes   []uint64
+}
+
+// Meter colors, matching the P4 convention.
+const (
+	MeterGreen  = 0
+	MeterYellow = 1
+	MeterRed    = 2
+)
+
+// meterCell is a simple two-threshold packet/byte bucket: usage above the
+// yellow threshold within the current window marks yellow, above the red
+// threshold marks red. Windows advance on Tick.
+type meterCell struct {
+	used     uint64
+	yellowAt uint64
+	redAt    uint64
+}
+
+type meterArray struct {
+	kind  ast.MeterKind
+	cells []meterCell
+}
+
+func newMeterArray(kind ast.MeterKind, n int) *meterArray {
+	m := &meterArray{kind: kind, cells: make([]meterCell, n)}
+	for i := range m.cells {
+		// Default thresholds are effectively unlimited until configured.
+		m.cells[i] = meterCell{yellowAt: ^uint64(0), redAt: ^uint64(0)}
+	}
+	return m
+}
+
+// RegisterRead returns the value of one register cell.
+func (sw *Switch) RegisterRead(name string, idx int) (bitfield.Value, error) {
+	r, ok := sw.registers[name]
+	if !ok {
+		return bitfield.Value{}, fmt.Errorf("sim: no register %q", name)
+	}
+	if idx < 0 || idx >= len(r.cells) {
+		return bitfield.Value{}, fmt.Errorf("sim: register %s index %d out of range", name, idx)
+	}
+	return r.cells[idx].Clone(), nil
+}
+
+// RegisterWrite stores a value into one register cell, resized to the
+// register width.
+func (sw *Switch) RegisterWrite(name string, idx int, v bitfield.Value) error {
+	r, ok := sw.registers[name]
+	if !ok {
+		return fmt.Errorf("sim: no register %q", name)
+	}
+	if idx < 0 || idx >= len(r.cells) {
+		return fmt.Errorf("sim: register %s index %d out of range", name, idx)
+	}
+	r.cells[idx] = v.Resize(r.width)
+	return nil
+}
+
+// countInc bumps a counter cell.
+func (sw *Switch) countInc(name string, idx, packetBytes int) error {
+	c, ok := sw.counters[name]
+	if !ok {
+		return fmt.Errorf("sim: no counter %q", name)
+	}
+	if idx < 0 || idx >= len(c.packets) {
+		return fmt.Errorf("sim: counter %s index %d out of range", name, idx)
+	}
+	c.packets[idx]++
+	c.bytes[idx] += uint64(packetBytes)
+	return nil
+}
+
+// CounterRead returns (packets, bytes) for one counter cell.
+func (sw *Switch) CounterRead(name string, idx int) (uint64, uint64, error) {
+	c, ok := sw.counters[name]
+	if !ok {
+		return 0, 0, fmt.Errorf("sim: no counter %q", name)
+	}
+	if idx < 0 || idx >= len(c.packets) {
+		return 0, 0, fmt.Errorf("sim: counter %s index %d out of range", name, idx)
+	}
+	return c.packets[idx], c.bytes[idx], nil
+}
+
+// CounterReset zeroes one counter cell.
+func (sw *Switch) CounterReset(name string, idx int) error {
+	c, ok := sw.counters[name]
+	if !ok {
+		return fmt.Errorf("sim: no counter %q", name)
+	}
+	if idx < 0 || idx >= len(c.packets) {
+		return fmt.Errorf("sim: counter %s index %d out of range", name, idx)
+	}
+	c.packets[idx], c.bytes[idx] = 0, 0
+	return nil
+}
+
+// MeterSetRates configures the yellow and red thresholds (in packets or
+// bytes per window, per the meter's kind) for one meter cell.
+func (sw *Switch) MeterSetRates(name string, idx int, yellowAt, redAt uint64) error {
+	m, ok := sw.meters[name]
+	if !ok {
+		return fmt.Errorf("sim: no meter %q", name)
+	}
+	if idx < 0 || idx >= len(m.cells) {
+		return fmt.Errorf("sim: meter %s index %d out of range", name, idx)
+	}
+	m.cells[idx].yellowAt = yellowAt
+	m.cells[idx].redAt = redAt
+	return nil
+}
+
+// MeterTick advances every cell of a meter to a new window, clearing usage.
+func (sw *Switch) MeterTick(name string) error {
+	m, ok := sw.meters[name]
+	if !ok {
+		return fmt.Errorf("sim: no meter %q", name)
+	}
+	for i := range m.cells {
+		m.cells[i].used = 0
+	}
+	return nil
+}
+
+// meterExecute records usage and returns the color.
+func (sw *Switch) meterExecute(name string, idx, packetBytes int) (int, error) {
+	m, ok := sw.meters[name]
+	if !ok {
+		return 0, fmt.Errorf("sim: no meter %q", name)
+	}
+	if idx < 0 || idx >= len(m.cells) {
+		return 0, fmt.Errorf("sim: meter %s index %d out of range", name, idx)
+	}
+	cell := &m.cells[idx]
+	if m.kind == ast.MeterBytes {
+		cell.used += uint64(packetBytes)
+	} else {
+		cell.used++
+	}
+	switch {
+	case cell.used > cell.redAt:
+		return MeterRed, nil
+	case cell.used > cell.yellowAt:
+		return MeterYellow, nil
+	default:
+		return MeterGreen, nil
+	}
+}

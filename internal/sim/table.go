@@ -1,0 +1,349 @@
+package sim
+
+import (
+	"fmt"
+	"sort"
+
+	"hyper4/internal/bitfield"
+	"hyper4/internal/p4/ast"
+	"hyper4/internal/p4/hlir"
+)
+
+// MatchParam is one match key component of a table entry.
+type MatchParam struct {
+	Kind      ast.MatchKind
+	Value     bitfield.Value
+	Mask      bitfield.Value // ternary
+	PrefixLen int            // lpm
+	Hi        bitfield.Value // range upper bound (Value is the lower)
+	ValidWant bool           // valid matches
+}
+
+// Entry is one installed table entry.
+type Entry struct {
+	Handle   int
+	Params   []MatchParam
+	Action   string
+	Args     []bitfield.Value
+	Priority int // lower value = higher precedence (bmv2 convention)
+}
+
+// table is the runtime state of one match-action table.
+type table struct {
+	decl      *ast.Table
+	prog      *hlir.Program
+	keyWidths []int // width of each read key
+	allExact  bool
+
+	entries    []*Entry
+	exactIndex map[string]*Entry // fast path when allExact
+	nextHandle int
+
+	defaultAction string
+	defaultArgs   []bitfield.Value
+
+	// ternaryWidth is the summed width of ternary reads, for Table 4.
+	ternaryWidth int
+}
+
+func newTable(prog *hlir.Program, decl *ast.Table) (*table, error) {
+	t := &table{decl: decl, prog: prog, allExact: true, exactIndex: map[string]*Entry{}}
+	for _, r := range decl.Reads {
+		var w int
+		if r.Match == ast.MatchValid {
+			w = 1
+		} else {
+			var err error
+			w, err = prog.FieldWidth(*r.Field)
+			if err != nil {
+				return nil, fmt.Errorf("table %s: %w", decl.Name, err)
+			}
+		}
+		t.keyWidths = append(t.keyWidths, w)
+		if r.Match != ast.MatchExact && r.Match != ast.MatchValid {
+			t.allExact = false
+		}
+		if r.Match == ast.MatchTernary {
+			t.ternaryWidth += w
+		}
+	}
+	if decl.Default != "" {
+		t.defaultAction = decl.Default
+	}
+	return t, nil
+}
+
+// keyOf extracts the current packet's key values for this table.
+func (t *table) keyOf(ps *packetState) ([]bitfield.Value, error) {
+	key := make([]bitfield.Value, len(t.decl.Reads))
+	for i, r := range t.decl.Reads {
+		if r.Match == ast.MatchValid {
+			k, err := ps.resolveHeaderRef(*r.Header)
+			if err != nil {
+				return nil, err
+			}
+			if h, ok := ps.headers[k]; ok && h.valid {
+				key[i] = bitfield.FromUint(1, 1)
+			} else {
+				key[i] = bitfield.New(1)
+			}
+			continue
+		}
+		v, err := ps.getField(*r.Field)
+		if err != nil {
+			return nil, err
+		}
+		key[i] = v
+	}
+	return key, nil
+}
+
+func exactKeyString(key []bitfield.Value) string {
+	s := make([]byte, 0, 64)
+	for _, v := range key {
+		s = append(s, v.Bytes()...)
+		s = append(s, 0xfe) // separator
+	}
+	return string(s)
+}
+
+// lookup finds the highest-precedence matching entry, or nil on miss.
+func (t *table) lookup(key []bitfield.Value) *Entry {
+	if t.allExact && len(t.entries) > 8 {
+		return t.exactIndex[exactKeyString(key)]
+	}
+	var best *Entry
+	bestPrefix := -1
+	for _, e := range t.entries {
+		if !e.matches(key) {
+			continue
+		}
+		if best == nil {
+			best = e
+			bestPrefix = e.totalPrefix()
+			continue
+		}
+		// Precedence: lower Priority wins; ties broken by longest prefix
+		// (for LPM tables), then by insertion order (handle).
+		if e.Priority < best.Priority ||
+			(e.Priority == best.Priority && e.totalPrefix() > bestPrefix) {
+			best = e
+			bestPrefix = e.totalPrefix()
+		}
+	}
+	return best
+}
+
+func (e *Entry) matches(key []bitfield.Value) bool {
+	for i, p := range e.Params {
+		k := key[i]
+		switch p.Kind {
+		case ast.MatchExact:
+			if !k.Equal(p.Value) {
+				return false
+			}
+		case ast.MatchTernary:
+			if !k.MatchTernary(p.Value, p.Mask) {
+				return false
+			}
+		case ast.MatchLPM:
+			if !k.MatchPrefix(p.Value, p.PrefixLen) {
+				return false
+			}
+		case ast.MatchRange:
+			if !k.InRange(p.Value, p.Hi) {
+				return false
+			}
+		case ast.MatchValid:
+			want := byte(0)
+			if p.ValidWant {
+				want = 1
+			}
+			if k.Width() != 1 || k.Bytes()[0] != want {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// totalPrefix sums LPM prefix lengths, for longest-prefix precedence.
+func (e *Entry) totalPrefix() int {
+	n := 0
+	for _, p := range e.Params {
+		if p.Kind == ast.MatchLPM {
+			n += p.PrefixLen
+		}
+	}
+	return n
+}
+
+// activeMaskBits counts mask bits actively compared by this entry's ternary
+// params (Table 4's "active" column).
+func (e *Entry) activeMaskBits() int {
+	n := 0
+	for _, p := range e.Params {
+		if p.Kind == ast.MatchTernary {
+			n += p.Mask.PopCount()
+		}
+	}
+	return n
+}
+
+// --- runtime API ---
+
+// errNoTable formats the common unknown-table error.
+func (sw *Switch) table(name string) (*table, error) {
+	t, ok := sw.tables[name]
+	if !ok {
+		return nil, fmt.Errorf("sim: no table %q", name)
+	}
+	return t, nil
+}
+
+// TableAdd installs an entry and returns its handle. The params must line up
+// with the table's reads; action args line up with the action's parameters.
+func (sw *Switch) TableAdd(tableName, action string, params []MatchParam, args []bitfield.Value, priority int) (int, error) {
+	t, err := sw.table(tableName)
+	if err != nil {
+		return 0, err
+	}
+	if len(params) != len(t.decl.Reads) {
+		return 0, fmt.Errorf("sim: table %s wants %d match params, got %d", tableName, len(t.decl.Reads), len(params))
+	}
+	act, ok := sw.prog.Actions[action]
+	if !ok {
+		return 0, fmt.Errorf("sim: no action %q", action)
+	}
+	if !contains(t.decl.Actions, action) {
+		return 0, fmt.Errorf("sim: table %s does not allow action %q", tableName, action)
+	}
+	if len(args) != len(act.Params) {
+		return 0, fmt.Errorf("sim: action %s wants %d args, got %d", action, len(act.Params), len(args))
+	}
+	for i, p := range params {
+		want := t.decl.Reads[i].Match
+		if p.Kind != want {
+			return 0, fmt.Errorf("sim: table %s param %d is %s, entry has %s", tableName, i, want, p.Kind)
+		}
+		if p.Kind != ast.MatchValid && p.Value.Width() != t.keyWidths[i] {
+			return 0, fmt.Errorf("sim: table %s param %d width %d, want %d", tableName, i, p.Value.Width(), t.keyWidths[i])
+		}
+	}
+	t.nextHandle++
+	e := &Entry{Handle: t.nextHandle, Params: params, Action: action, Args: args, Priority: priority}
+	t.entries = append(t.entries, e)
+	if t.allExact {
+		t.exactIndex[exactKeyStringParams(params)] = e
+	}
+	return e.Handle, nil
+}
+
+func exactKeyStringParams(params []MatchParam) string {
+	key := make([]bitfield.Value, len(params))
+	for i, p := range params {
+		if p.Kind == ast.MatchValid {
+			if p.ValidWant {
+				key[i] = bitfield.FromUint(1, 1)
+			} else {
+				key[i] = bitfield.New(1)
+			}
+		} else {
+			key[i] = p.Value
+		}
+	}
+	return exactKeyString(key)
+}
+
+// TableSetDefault sets the default (miss) action.
+func (sw *Switch) TableSetDefault(tableName, action string, args []bitfield.Value) error {
+	t, err := sw.table(tableName)
+	if err != nil {
+		return err
+	}
+	act, ok := sw.prog.Actions[action]
+	if !ok {
+		return fmt.Errorf("sim: no action %q", action)
+	}
+	if len(args) != len(act.Params) {
+		return fmt.Errorf("sim: action %s wants %d args, got %d", action, len(act.Params), len(args))
+	}
+	t.defaultAction = action
+	t.defaultArgs = args
+	return nil
+}
+
+// TableDelete removes an entry by handle.
+func (sw *Switch) TableDelete(tableName string, handle int) error {
+	t, err := sw.table(tableName)
+	if err != nil {
+		return err
+	}
+	for i, e := range t.entries {
+		if e.Handle == handle {
+			t.entries = append(t.entries[:i], t.entries[i+1:]...)
+			if t.allExact {
+				delete(t.exactIndex, exactKeyStringParams(e.Params))
+			}
+			return nil
+		}
+	}
+	return fmt.Errorf("sim: table %s has no entry %d", tableName, handle)
+}
+
+// TableModify replaces the action and args of an existing entry.
+func (sw *Switch) TableModify(tableName string, handle int, action string, args []bitfield.Value) error {
+	t, err := sw.table(tableName)
+	if err != nil {
+		return err
+	}
+	act, ok := sw.prog.Actions[action]
+	if !ok {
+		return fmt.Errorf("sim: no action %q", action)
+	}
+	if len(args) != len(act.Params) {
+		return fmt.Errorf("sim: action %s wants %d args, got %d", action, len(act.Params), len(args))
+	}
+	for _, e := range t.entries {
+		if e.Handle == handle {
+			e.Action = action
+			e.Args = args
+			return nil
+		}
+	}
+	return fmt.Errorf("sim: table %s has no entry %d", tableName, handle)
+}
+
+// TableClear removes every entry from a table.
+func (sw *Switch) TableClear(tableName string) error {
+	t, err := sw.table(tableName)
+	if err != nil {
+		return err
+	}
+	t.entries = nil
+	t.exactIndex = map[string]*Entry{}
+	return nil
+}
+
+// TableEntries returns the handles of installed entries, sorted.
+func (sw *Switch) TableEntries(tableName string) ([]int, error) {
+	t, err := sw.table(tableName)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]int, 0, len(t.entries))
+	for _, e := range t.entries {
+		out = append(out, e.Handle)
+	}
+	sort.Ints(out)
+	return out, nil
+}
+
+func contains(list []string, s string) bool {
+	for _, x := range list {
+		if x == s {
+			return true
+		}
+	}
+	return false
+}

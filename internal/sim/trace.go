@@ -1,0 +1,52 @@
+package sim
+
+// TableApply records one table application.
+type TableApply struct {
+	Table  string
+	Egress bool // applied in the egress pipeline
+	Hit    bool
+}
+
+// Trace records the work one packet incurred across all of its pipeline
+// passes. The paper's evaluation is computed from these fields:
+//
+//   - Table 1 counts Applies (match-action stages incurred);
+//   - Table 4 uses TernaryMatches / TernaryBitsTotal / TernaryBitsActive;
+//   - §6.4's discussion uses Resubmits and Recirculates.
+type Trace struct {
+	Passes       int
+	Extracts     int
+	Applies      int      // number of match-action stages executed
+	Primitives   int      // primitive invocations
+	Tables       []string // applied tables, in order
+	ApplyLog     []TableApply
+	Hits, Misses int
+
+	TernaryMatches    int // applied tables with ternary reads that hit
+	TernaryBitsTotal  int // summed widths of ternary-match reads (incl. wildcards)
+	TernaryBitsActive int // summed popcounts of matched entries' masks
+
+	Resubmits    int
+	Recirculates int
+	ClonesI2E    int
+	ClonesE2E    int
+
+	Outputs []Output
+}
+
+// recordApply notes one table application and its match result.
+func (tr *Trace) recordApply(name string, t *table, entry *Entry, egress bool) {
+	tr.Applies++
+	tr.Tables = append(tr.Tables, name)
+	tr.ApplyLog = append(tr.ApplyLog, TableApply{Table: name, Egress: egress, Hit: entry != nil})
+	if entry == nil {
+		tr.Misses++
+		return
+	}
+	tr.Hits++
+	if t.ternaryWidth > 0 {
+		tr.TernaryMatches++
+		tr.TernaryBitsTotal += t.ternaryWidth
+		tr.TernaryBitsActive += entry.activeMaskBits()
+	}
+}

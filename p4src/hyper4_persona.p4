@@ -1,0 +1,7280 @@
+header_type u_byte_t {
+    fields {
+        b : 8;
+    }
+}
+
+header_type hp4_meta_t {
+    fields {
+        program : 16;
+        numbytes : 16;
+        parsed : 16;
+        parse_state : 16;
+        next_table : 8;
+        next_slot : 16;
+        match_id : 32;
+        prims_left : 8;
+        prim_type : 8;
+        vdev_port : 16;
+        vdev_ingress : 16;
+        wb_bytes : 16;
+        recirc : 8;
+        csum : 8;
+        dropped : 8;
+        mcast : 16;
+        color : 8;
+        fpath : 8;
+    }
+}
+
+header_type hp4_data_t {
+    fields {
+        extracted : 800;
+        emeta : 256;
+    }
+}
+
+header_type hp4_scratch_t {
+    fields {
+        tmp : 800;
+        dmask : 800;
+        dshift : 16;
+        slshift : 16;
+        srshift : 16;
+        cval : 64;
+        acc : 32;
+    }
+}
+
+metadata hp4_meta_t hp4;
+metadata hp4_data_t hp4d;
+metadata hp4_scratch_t hp4s;
+header u_byte_t ext[100];
+
+field_list fl_resubmit {
+    hp4.program;
+    hp4.numbytes;
+    hp4.parse_state;
+    hp4.vdev_ingress;
+}
+
+field_list fl_recirc {
+    hp4.program;
+    hp4.vdev_ingress;
+}
+
+counter hp4_vdev_counter {
+    type : packets;
+    instance_count : 256;
+}
+
+meter hp4_ingress_meter {
+    type : packets;
+    instance_count : 256;
+}
+
+parser start {
+    return select(hp4.numbytes) {
+        0x0 : p_bytes_20;
+        0x14 : p_bytes_20;
+        0x1e : p_bytes_30;
+        0x28 : p_bytes_40;
+        0x32 : p_bytes_50;
+        0x3c : p_bytes_60;
+        0x46 : p_bytes_70;
+        0x50 : p_bytes_80;
+        0x5a : p_bytes_90;
+        0x64 : p_bytes_100;
+        default : p_bytes_20;
+    }
+}
+
+parser p_bytes_20 {
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    set_metadata(hp4.parsed, 0x14);
+    return ingress;
+}
+
+parser p_bytes_30 {
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    set_metadata(hp4.parsed, 0x1e);
+    return ingress;
+}
+
+parser p_bytes_40 {
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    set_metadata(hp4.parsed, 0x28);
+    return ingress;
+}
+
+parser p_bytes_50 {
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    set_metadata(hp4.parsed, 0x32);
+    return ingress;
+}
+
+parser p_bytes_60 {
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    set_metadata(hp4.parsed, 0x3c);
+    return ingress;
+}
+
+parser p_bytes_70 {
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    set_metadata(hp4.parsed, 0x46);
+    return ingress;
+}
+
+parser p_bytes_80 {
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    set_metadata(hp4.parsed, 0x50);
+    return ingress;
+}
+
+parser p_bytes_90 {
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    set_metadata(hp4.parsed, 0x5a);
+    return ingress;
+}
+
+parser p_bytes_100 {
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    extract(ext[next]);
+    set_metadata(hp4.parsed, 0x64);
+    return ingress;
+}
+
+action a_norm_20() {
+    modify_field(hp4s.tmp, ext[0].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x318);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[1].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x310);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[2].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x308);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[3].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x300);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[4].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x2f8);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[5].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x2f0);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[6].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x2e8);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[7].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x2e0);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[8].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x2d8);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[9].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x2d0);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[10].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x2c8);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[11].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x2c0);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[12].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x2b8);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[13].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x2b0);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[14].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x2a8);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[15].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x2a0);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[16].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x298);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[17].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x290);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[18].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x288);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[19].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x280);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+}
+
+action a_norm_30() {
+    modify_field(hp4s.tmp, ext[0].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x318);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[1].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x310);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[2].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x308);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[3].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x300);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[4].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x2f8);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[5].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x2f0);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[6].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x2e8);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[7].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x2e0);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[8].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x2d8);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[9].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x2d0);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[10].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x2c8);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[11].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x2c0);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[12].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x2b8);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[13].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x2b0);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[14].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x2a8);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[15].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x2a0);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[16].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x298);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[17].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x290);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[18].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x288);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[19].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x280);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[20].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x278);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[21].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x270);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[22].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x268);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[23].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x260);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[24].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x258);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[25].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x250);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[26].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x248);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[27].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x240);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[28].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x238);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[29].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x230);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+}
+
+action a_norm_40() {
+    modify_field(hp4s.tmp, ext[0].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x318);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[1].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x310);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[2].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x308);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[3].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x300);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[4].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x2f8);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[5].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x2f0);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[6].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x2e8);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[7].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x2e0);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[8].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x2d8);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[9].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x2d0);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[10].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x2c8);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[11].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x2c0);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[12].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x2b8);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[13].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x2b0);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[14].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x2a8);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[15].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x2a0);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[16].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x298);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[17].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x290);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[18].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x288);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[19].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x280);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[20].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x278);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[21].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x270);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[22].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x268);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[23].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x260);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[24].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x258);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[25].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x250);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[26].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x248);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[27].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x240);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[28].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x238);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[29].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x230);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[30].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x228);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[31].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x220);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[32].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x218);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[33].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x210);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[34].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x208);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[35].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x200);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[36].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x1f8);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[37].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x1f0);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[38].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x1e8);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[39].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x1e0);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+}
+
+action a_norm_50() {
+    modify_field(hp4s.tmp, ext[0].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x318);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[1].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x310);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[2].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x308);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[3].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x300);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[4].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x2f8);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[5].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x2f0);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[6].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x2e8);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[7].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x2e0);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[8].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x2d8);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[9].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x2d0);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[10].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x2c8);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[11].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x2c0);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[12].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x2b8);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[13].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x2b0);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[14].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x2a8);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[15].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x2a0);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[16].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x298);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[17].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x290);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[18].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x288);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[19].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x280);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[20].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x278);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[21].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x270);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[22].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x268);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[23].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x260);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[24].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x258);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[25].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x250);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[26].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x248);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[27].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x240);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[28].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x238);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[29].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x230);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[30].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x228);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[31].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x220);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[32].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x218);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[33].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x210);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[34].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x208);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[35].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x200);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[36].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x1f8);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[37].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x1f0);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[38].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x1e8);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[39].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x1e0);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[40].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x1d8);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[41].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x1d0);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[42].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x1c8);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[43].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x1c0);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[44].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x1b8);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[45].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x1b0);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[46].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x1a8);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[47].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x1a0);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[48].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x198);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[49].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x190);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+}
+
+action a_norm_60() {
+    modify_field(hp4s.tmp, ext[0].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x318);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[1].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x310);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[2].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x308);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[3].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x300);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[4].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x2f8);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[5].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x2f0);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[6].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x2e8);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[7].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x2e0);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[8].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x2d8);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[9].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x2d0);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[10].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x2c8);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[11].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x2c0);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[12].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x2b8);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[13].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x2b0);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[14].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x2a8);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[15].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x2a0);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[16].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x298);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[17].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x290);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[18].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x288);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[19].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x280);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[20].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x278);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[21].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x270);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[22].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x268);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[23].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x260);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[24].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x258);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[25].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x250);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[26].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x248);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[27].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x240);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[28].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x238);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[29].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x230);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[30].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x228);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[31].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x220);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[32].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x218);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[33].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x210);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[34].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x208);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[35].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x200);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[36].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x1f8);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[37].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x1f0);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[38].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x1e8);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[39].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x1e0);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[40].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x1d8);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[41].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x1d0);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[42].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x1c8);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[43].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x1c0);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[44].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x1b8);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[45].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x1b0);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[46].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x1a8);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[47].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x1a0);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[48].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x198);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[49].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x190);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[50].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x188);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[51].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x180);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[52].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x178);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[53].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x170);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[54].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x168);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[55].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x160);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[56].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x158);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[57].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x150);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[58].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x148);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[59].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x140);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+}
+
+action a_norm_70() {
+    modify_field(hp4s.tmp, ext[0].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x318);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[1].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x310);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[2].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x308);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[3].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x300);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[4].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x2f8);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[5].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x2f0);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[6].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x2e8);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[7].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x2e0);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[8].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x2d8);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[9].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x2d0);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[10].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x2c8);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[11].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x2c0);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[12].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x2b8);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[13].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x2b0);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[14].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x2a8);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[15].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x2a0);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[16].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x298);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[17].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x290);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[18].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x288);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[19].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x280);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[20].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x278);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[21].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x270);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[22].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x268);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[23].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x260);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[24].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x258);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[25].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x250);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[26].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x248);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[27].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x240);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[28].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x238);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[29].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x230);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[30].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x228);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[31].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x220);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[32].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x218);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[33].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x210);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[34].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x208);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[35].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x200);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[36].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x1f8);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[37].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x1f0);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[38].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x1e8);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[39].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x1e0);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[40].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x1d8);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[41].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x1d0);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[42].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x1c8);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[43].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x1c0);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[44].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x1b8);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[45].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x1b0);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[46].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x1a8);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[47].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x1a0);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[48].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x198);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[49].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x190);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[50].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x188);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[51].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x180);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[52].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x178);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[53].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x170);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[54].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x168);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[55].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x160);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[56].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x158);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[57].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x150);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[58].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x148);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[59].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x140);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[60].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x138);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[61].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x130);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[62].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x128);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[63].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x120);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[64].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x118);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[65].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x110);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[66].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x108);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[67].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x100);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[68].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0xf8);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[69].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0xf0);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+}
+
+action a_norm_80() {
+    modify_field(hp4s.tmp, ext[0].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x318);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[1].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x310);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[2].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x308);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[3].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x300);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[4].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x2f8);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[5].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x2f0);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[6].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x2e8);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[7].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x2e0);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[8].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x2d8);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[9].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x2d0);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[10].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x2c8);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[11].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x2c0);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[12].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x2b8);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[13].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x2b0);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[14].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x2a8);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[15].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x2a0);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[16].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x298);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[17].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x290);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[18].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x288);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[19].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x280);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[20].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x278);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[21].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x270);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[22].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x268);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[23].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x260);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[24].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x258);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[25].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x250);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[26].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x248);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[27].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x240);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[28].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x238);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[29].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x230);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[30].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x228);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[31].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x220);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[32].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x218);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[33].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x210);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[34].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x208);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[35].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x200);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[36].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x1f8);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[37].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x1f0);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[38].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x1e8);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[39].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x1e0);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[40].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x1d8);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[41].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x1d0);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[42].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x1c8);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[43].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x1c0);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[44].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x1b8);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[45].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x1b0);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[46].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x1a8);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[47].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x1a0);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[48].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x198);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[49].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x190);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[50].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x188);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[51].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x180);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[52].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x178);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[53].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x170);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[54].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x168);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[55].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x160);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[56].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x158);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[57].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x150);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[58].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x148);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[59].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x140);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[60].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x138);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[61].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x130);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[62].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x128);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[63].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x120);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[64].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x118);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[65].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x110);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[66].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x108);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[67].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x100);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[68].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0xf8);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[69].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0xf0);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[70].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0xe8);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[71].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0xe0);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[72].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0xd8);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[73].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0xd0);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[74].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0xc8);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[75].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0xc0);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[76].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0xb8);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[77].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0xb0);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[78].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0xa8);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[79].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0xa0);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+}
+
+action a_norm_90() {
+    modify_field(hp4s.tmp, ext[0].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x318);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[1].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x310);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[2].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x308);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[3].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x300);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[4].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x2f8);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[5].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x2f0);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[6].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x2e8);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[7].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x2e0);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[8].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x2d8);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[9].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x2d0);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[10].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x2c8);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[11].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x2c0);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[12].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x2b8);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[13].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x2b0);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[14].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x2a8);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[15].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x2a0);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[16].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x298);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[17].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x290);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[18].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x288);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[19].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x280);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[20].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x278);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[21].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x270);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[22].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x268);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[23].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x260);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[24].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x258);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[25].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x250);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[26].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x248);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[27].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x240);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[28].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x238);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[29].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x230);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[30].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x228);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[31].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x220);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[32].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x218);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[33].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x210);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[34].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x208);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[35].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x200);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[36].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x1f8);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[37].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x1f0);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[38].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x1e8);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[39].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x1e0);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[40].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x1d8);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[41].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x1d0);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[42].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x1c8);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[43].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x1c0);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[44].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x1b8);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[45].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x1b0);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[46].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x1a8);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[47].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x1a0);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[48].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x198);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[49].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x190);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[50].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x188);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[51].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x180);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[52].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x178);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[53].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x170);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[54].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x168);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[55].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x160);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[56].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x158);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[57].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x150);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[58].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x148);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[59].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x140);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[60].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x138);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[61].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x130);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[62].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x128);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[63].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x120);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[64].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x118);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[65].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x110);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[66].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x108);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[67].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x100);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[68].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0xf8);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[69].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0xf0);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[70].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0xe8);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[71].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0xe0);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[72].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0xd8);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[73].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0xd0);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[74].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0xc8);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[75].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0xc0);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[76].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0xb8);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[77].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0xb0);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[78].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0xa8);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[79].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0xa0);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[80].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x98);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[81].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x90);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[82].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x88);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[83].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x80);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[84].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x78);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[85].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x70);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[86].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x68);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[87].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x60);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[88].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x58);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[89].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x50);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+}
+
+action a_norm_100() {
+    modify_field(hp4s.tmp, ext[0].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x318);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[1].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x310);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[2].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x308);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[3].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x300);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[4].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x2f8);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[5].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x2f0);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[6].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x2e8);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[7].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x2e0);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[8].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x2d8);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[9].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x2d0);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[10].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x2c8);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[11].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x2c0);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[12].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x2b8);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[13].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x2b0);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[14].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x2a8);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[15].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x2a0);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[16].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x298);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[17].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x290);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[18].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x288);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[19].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x280);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[20].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x278);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[21].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x270);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[22].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x268);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[23].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x260);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[24].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x258);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[25].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x250);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[26].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x248);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[27].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x240);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[28].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x238);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[29].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x230);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[30].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x228);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[31].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x220);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[32].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x218);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[33].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x210);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[34].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x208);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[35].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x200);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[36].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x1f8);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[37].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x1f0);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[38].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x1e8);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[39].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x1e0);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[40].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x1d8);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[41].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x1d0);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[42].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x1c8);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[43].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x1c0);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[44].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x1b8);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[45].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x1b0);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[46].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x1a8);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[47].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x1a0);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[48].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x198);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[49].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x190);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[50].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x188);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[51].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x180);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[52].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x178);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[53].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x170);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[54].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x168);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[55].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x160);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[56].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x158);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[57].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x150);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[58].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x148);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[59].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x140);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[60].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x138);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[61].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x130);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[62].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x128);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[63].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x120);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[64].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x118);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[65].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x110);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[66].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x108);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[67].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x100);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[68].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0xf8);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[69].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0xf0);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[70].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0xe8);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[71].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0xe0);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[72].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0xd8);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[73].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0xd0);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[74].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0xc8);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[75].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0xc0);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[76].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0xb8);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[77].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0xb0);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[78].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0xa8);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[79].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0xa0);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[80].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x98);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[81].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x90);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[82].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x88);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[83].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x80);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[84].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x78);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[85].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x70);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[86].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x68);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[87].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x60);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[88].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x58);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[89].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x50);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[90].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x48);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[91].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x40);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[92].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x38);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[93].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x30);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[94].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x28);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[95].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x20);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[96].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x18);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[97].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x10);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[98].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x8);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, ext[99].b);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x0);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+}
+
+action a_set_program(program, vingress) {
+    modify_field(hp4.program, program);
+    modify_field(hp4.vdev_ingress, vingress);
+}
+
+action a_parse_more(numbytes, pstate) {
+    modify_field(hp4.numbytes, numbytes);
+    modify_field(hp4.parse_state, pstate);
+    resubmit(fl_resubmit);
+}
+
+action a_parse_done(next_table, next_slot, csum) {
+    modify_field(hp4.next_table, next_table);
+    modify_field(hp4.next_slot, next_slot);
+    modify_field(hp4.wb_bytes, hp4.parsed);
+    modify_field(hp4.csum, csum);
+}
+
+action a_set_match(match_id, prims_left, next_table, next_slot) {
+    modify_field(hp4.match_id, match_id);
+    modify_field(hp4.prims_left, prims_left);
+    modify_field(hp4.next_table, next_table);
+    modify_field(hp4.next_slot, next_slot);
+}
+
+action a_prep_mod_ed_const(dmask, dshift, cval) {
+    modify_field(hp4.prim_type, 0x1);
+    modify_field(hp4s.dmask, dmask);
+    modify_field(hp4s.dshift, dshift);
+    modify_field(hp4s.cval, cval);
+}
+
+action a_prep_mod_ed_ed(dmask, dshift, slshift, srshift) {
+    modify_field(hp4.prim_type, 0x2);
+    modify_field(hp4s.dmask, dmask);
+    modify_field(hp4s.dshift, dshift);
+    modify_field(hp4s.slshift, slshift);
+    modify_field(hp4s.srshift, srshift);
+}
+
+action a_prep_mod_ed_meta(dmask, dshift, slshift, srshift) {
+    modify_field(hp4.prim_type, 0x3);
+    modify_field(hp4s.dmask, dmask);
+    modify_field(hp4s.dshift, dshift);
+    modify_field(hp4s.slshift, slshift);
+    modify_field(hp4s.srshift, srshift);
+}
+
+action a_prep_mod_meta_ed(dmask, dshift, slshift, srshift) {
+    modify_field(hp4.prim_type, 0x4);
+    modify_field(hp4s.dmask, dmask);
+    modify_field(hp4s.dshift, dshift);
+    modify_field(hp4s.slshift, slshift);
+    modify_field(hp4s.srshift, srshift);
+}
+
+action a_prep_mod_meta_const(dmask, dshift, cval) {
+    modify_field(hp4.prim_type, 0x5);
+    modify_field(hp4s.dmask, dmask);
+    modify_field(hp4s.dshift, dshift);
+    modify_field(hp4s.cval, cval);
+}
+
+action a_prep_mod_meta_meta(dmask, dshift, slshift, srshift) {
+    modify_field(hp4.prim_type, 0xc);
+    modify_field(hp4s.dmask, dmask);
+    modify_field(hp4s.dshift, dshift);
+    modify_field(hp4s.slshift, slshift);
+    modify_field(hp4s.srshift, srshift);
+}
+
+action a_prep_mod_vport_const(cval) {
+    modify_field(hp4.prim_type, 0x6);
+    modify_field(hp4s.cval, cval);
+}
+
+action a_prep_mod_vport_vingress() {
+    modify_field(hp4.prim_type, 0x7);
+}
+
+action a_prep_add_ed_const(dmask, dshift, slshift, srshift, cval) {
+    modify_field(hp4.prim_type, 0x8);
+    modify_field(hp4s.dmask, dmask);
+    modify_field(hp4s.dshift, dshift);
+    modify_field(hp4s.slshift, slshift);
+    modify_field(hp4s.srshift, srshift);
+    modify_field(hp4s.cval, cval);
+}
+
+action a_prep_add_meta_const(dmask, dshift, slshift, srshift, cval) {
+    modify_field(hp4.prim_type, 0x9);
+    modify_field(hp4s.dmask, dmask);
+    modify_field(hp4s.dshift, dshift);
+    modify_field(hp4s.slshift, slshift);
+    modify_field(hp4s.srshift, srshift);
+    modify_field(hp4s.cval, cval);
+}
+
+action a_prep_drop() {
+    modify_field(hp4.prim_type, 0xa);
+}
+
+action a_prep_no_op() {
+    modify_field(hp4.prim_type, 0xb);
+}
+
+action a_exec_mod_ed_const() {
+    modify_field(hp4s.tmp, hp4s.cval);
+    shift_left(hp4s.tmp, hp4s.tmp, hp4s.dshift);
+    bit_and(hp4s.tmp, hp4s.tmp, hp4s.dmask);
+    bit_xor(hp4s.dmask, hp4s.dmask, 0xffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffff);
+    bit_and(hp4d.extracted, hp4d.extracted, hp4s.dmask);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+}
+
+action a_exec_mod_ed_ed() {
+    modify_field(hp4s.tmp, hp4d.extracted);
+    shift_left(hp4s.tmp, hp4s.tmp, hp4s.slshift);
+    shift_right(hp4s.tmp, hp4s.tmp, hp4s.srshift);
+    shift_left(hp4s.tmp, hp4s.tmp, hp4s.dshift);
+    bit_and(hp4s.tmp, hp4s.tmp, hp4s.dmask);
+    bit_xor(hp4s.dmask, hp4s.dmask, 0xffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffff);
+    bit_and(hp4d.extracted, hp4d.extracted, hp4s.dmask);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+}
+
+action a_exec_mod_ed_meta() {
+    modify_field(hp4s.tmp, hp4d.emeta);
+    shift_left(hp4s.tmp, hp4s.tmp, hp4s.slshift);
+    shift_right(hp4s.tmp, hp4s.tmp, hp4s.srshift);
+    shift_left(hp4s.tmp, hp4s.tmp, hp4s.dshift);
+    bit_and(hp4s.tmp, hp4s.tmp, hp4s.dmask);
+    bit_xor(hp4s.dmask, hp4s.dmask, 0xffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffff);
+    bit_and(hp4d.extracted, hp4d.extracted, hp4s.dmask);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+}
+
+action a_exec_mod_meta_ed() {
+    modify_field(hp4s.tmp, hp4d.extracted);
+    shift_left(hp4s.tmp, hp4s.tmp, hp4s.slshift);
+    shift_right(hp4s.tmp, hp4s.tmp, hp4s.srshift);
+    shift_left(hp4s.tmp, hp4s.tmp, hp4s.dshift);
+    bit_and(hp4s.tmp, hp4s.tmp, hp4s.dmask);
+    bit_xor(hp4s.dmask, hp4s.dmask, 0xffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffff);
+    bit_and(hp4d.emeta, hp4d.emeta, hp4s.dmask);
+    bit_or(hp4d.emeta, hp4d.emeta, hp4s.tmp);
+}
+
+action a_exec_mod_meta_const() {
+    modify_field(hp4s.tmp, hp4s.cval);
+    shift_left(hp4s.tmp, hp4s.tmp, hp4s.dshift);
+    bit_and(hp4s.tmp, hp4s.tmp, hp4s.dmask);
+    bit_xor(hp4s.dmask, hp4s.dmask, 0xffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffff);
+    bit_and(hp4d.emeta, hp4d.emeta, hp4s.dmask);
+    bit_or(hp4d.emeta, hp4d.emeta, hp4s.tmp);
+}
+
+action a_exec_mod_meta_meta() {
+    modify_field(hp4s.tmp, hp4d.emeta);
+    shift_left(hp4s.tmp, hp4s.tmp, hp4s.slshift);
+    shift_right(hp4s.tmp, hp4s.tmp, hp4s.srshift);
+    shift_left(hp4s.tmp, hp4s.tmp, hp4s.dshift);
+    bit_and(hp4s.tmp, hp4s.tmp, hp4s.dmask);
+    bit_xor(hp4s.dmask, hp4s.dmask, 0xffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffff);
+    bit_and(hp4d.emeta, hp4d.emeta, hp4s.dmask);
+    bit_or(hp4d.emeta, hp4d.emeta, hp4s.tmp);
+}
+
+action a_exec_mod_vport_const() {
+    modify_field(hp4.vdev_port, hp4s.cval);
+}
+
+action a_exec_mod_vport_vingress() {
+    modify_field(hp4.vdev_port, hp4.vdev_ingress);
+}
+
+action a_exec_add_ed_const() {
+    modify_field(hp4s.tmp, hp4d.extracted);
+    shift_left(hp4s.tmp, hp4s.tmp, hp4s.slshift);
+    shift_right(hp4s.tmp, hp4s.tmp, hp4s.srshift);
+    add_to_field(hp4s.tmp, hp4s.cval);
+    shift_left(hp4s.tmp, hp4s.tmp, hp4s.srshift);
+    shift_right(hp4s.tmp, hp4s.tmp, hp4s.srshift);
+    shift_left(hp4s.tmp, hp4s.tmp, hp4s.dshift);
+    bit_and(hp4s.tmp, hp4s.tmp, hp4s.dmask);
+    bit_xor(hp4s.dmask, hp4s.dmask, 0xffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffff);
+    bit_and(hp4d.extracted, hp4d.extracted, hp4s.dmask);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+}
+
+action a_exec_add_meta_const() {
+    modify_field(hp4s.tmp, hp4d.emeta);
+    shift_left(hp4s.tmp, hp4s.tmp, hp4s.slshift);
+    shift_right(hp4s.tmp, hp4s.tmp, hp4s.srshift);
+    add_to_field(hp4s.tmp, hp4s.cval);
+    shift_left(hp4s.tmp, hp4s.tmp, hp4s.srshift);
+    shift_right(hp4s.tmp, hp4s.tmp, hp4s.srshift);
+    shift_left(hp4s.tmp, hp4s.tmp, hp4s.dshift);
+    bit_and(hp4s.tmp, hp4s.tmp, hp4s.dmask);
+    bit_xor(hp4s.dmask, hp4s.dmask, 0xffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffff);
+    bit_and(hp4d.emeta, hp4d.emeta, hp4s.dmask);
+    bit_or(hp4d.emeta, hp4d.emeta, hp4s.tmp);
+}
+
+action a_exec_drop() {
+    modify_field(hp4.vdev_port, 0x1ff);
+    modify_field(hp4.dropped, 0x1);
+}
+
+action a_exec_no_op() {
+    no_op();
+}
+
+action a_prim_done() {
+    subtract_from_field(hp4.prims_left, 0x1);
+}
+
+action a_phys_fwd(port) {
+    modify_field(standard_metadata.egress_spec, port);
+}
+
+action a_virt_fwd(next_program, next_vingress, port) {
+    modify_field(hp4.program, next_program);
+    modify_field(hp4.vdev_ingress, next_vingress);
+    modify_field(hp4.recirc, 0x1);
+    modify_field(standard_metadata.egress_spec, port);
+}
+
+action a_vdrop() {
+    drop();
+}
+
+action a_do_recirc() {
+    modify_field(hp4.recirc, 0x0);
+    recirculate(fl_recirc);
+}
+
+action a_ipv4_csum(ncmask, shift0, cshift) {
+    bit_and(hp4d.extracted, hp4d.extracted, ncmask);
+    modify_field(hp4s.acc, 0x0);
+    modify_field(hp4s.slshift, shift0);
+    shift_right(hp4s.tmp, hp4d.extracted, hp4s.slshift);
+    bit_and(hp4s.tmp, hp4s.tmp, 0xffff);
+    add_to_field(hp4s.acc, hp4s.tmp);
+    subtract_from_field(hp4s.slshift, 0x10);
+    shift_right(hp4s.tmp, hp4d.extracted, hp4s.slshift);
+    bit_and(hp4s.tmp, hp4s.tmp, 0xffff);
+    add_to_field(hp4s.acc, hp4s.tmp);
+    subtract_from_field(hp4s.slshift, 0x10);
+    shift_right(hp4s.tmp, hp4d.extracted, hp4s.slshift);
+    bit_and(hp4s.tmp, hp4s.tmp, 0xffff);
+    add_to_field(hp4s.acc, hp4s.tmp);
+    subtract_from_field(hp4s.slshift, 0x10);
+    shift_right(hp4s.tmp, hp4d.extracted, hp4s.slshift);
+    bit_and(hp4s.tmp, hp4s.tmp, 0xffff);
+    add_to_field(hp4s.acc, hp4s.tmp);
+    subtract_from_field(hp4s.slshift, 0x10);
+    shift_right(hp4s.tmp, hp4d.extracted, hp4s.slshift);
+    bit_and(hp4s.tmp, hp4s.tmp, 0xffff);
+    add_to_field(hp4s.acc, hp4s.tmp);
+    subtract_from_field(hp4s.slshift, 0x10);
+    shift_right(hp4s.tmp, hp4d.extracted, hp4s.slshift);
+    bit_and(hp4s.tmp, hp4s.tmp, 0xffff);
+    add_to_field(hp4s.acc, hp4s.tmp);
+    subtract_from_field(hp4s.slshift, 0x10);
+    shift_right(hp4s.tmp, hp4d.extracted, hp4s.slshift);
+    bit_and(hp4s.tmp, hp4s.tmp, 0xffff);
+    add_to_field(hp4s.acc, hp4s.tmp);
+    subtract_from_field(hp4s.slshift, 0x10);
+    shift_right(hp4s.tmp, hp4d.extracted, hp4s.slshift);
+    bit_and(hp4s.tmp, hp4s.tmp, 0xffff);
+    add_to_field(hp4s.acc, hp4s.tmp);
+    subtract_from_field(hp4s.slshift, 0x10);
+    shift_right(hp4s.tmp, hp4d.extracted, hp4s.slshift);
+    bit_and(hp4s.tmp, hp4s.tmp, 0xffff);
+    add_to_field(hp4s.acc, hp4s.tmp);
+    subtract_from_field(hp4s.slshift, 0x10);
+    shift_right(hp4s.tmp, hp4d.extracted, hp4s.slshift);
+    bit_and(hp4s.tmp, hp4s.tmp, 0xffff);
+    add_to_field(hp4s.acc, hp4s.tmp);
+    subtract_from_field(hp4s.slshift, 0x10);
+    shift_right(hp4s.tmp, hp4s.acc, 0x10);
+    bit_and(hp4s.acc, hp4s.acc, 0xffff);
+    add_to_field(hp4s.acc, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4s.acc, 0x10);
+    bit_and(hp4s.acc, hp4s.acc, 0xffff);
+    add_to_field(hp4s.acc, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4s.acc, 0x10);
+    bit_and(hp4s.acc, hp4s.acc, 0xffff);
+    add_to_field(hp4s.acc, hp4s.tmp);
+    bit_xor(hp4s.acc, hp4s.acc, 0xffff);
+    modify_field(hp4s.tmp, hp4s.acc);
+    shift_left(hp4s.tmp, hp4s.tmp, cshift);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+}
+
+action a_resize_20() {
+    add_header(ext[0]);
+    add_header(ext[1]);
+    add_header(ext[2]);
+    add_header(ext[3]);
+    add_header(ext[4]);
+    add_header(ext[5]);
+    add_header(ext[6]);
+    add_header(ext[7]);
+    add_header(ext[8]);
+    add_header(ext[9]);
+    add_header(ext[10]);
+    add_header(ext[11]);
+    add_header(ext[12]);
+    add_header(ext[13]);
+    add_header(ext[14]);
+    add_header(ext[15]);
+    add_header(ext[16]);
+    add_header(ext[17]);
+    add_header(ext[18]);
+    add_header(ext[19]);
+    remove_header(ext[20]);
+    remove_header(ext[21]);
+    remove_header(ext[22]);
+    remove_header(ext[23]);
+    remove_header(ext[24]);
+    remove_header(ext[25]);
+    remove_header(ext[26]);
+    remove_header(ext[27]);
+    remove_header(ext[28]);
+    remove_header(ext[29]);
+    remove_header(ext[30]);
+    remove_header(ext[31]);
+    remove_header(ext[32]);
+    remove_header(ext[33]);
+    remove_header(ext[34]);
+    remove_header(ext[35]);
+    remove_header(ext[36]);
+    remove_header(ext[37]);
+    remove_header(ext[38]);
+    remove_header(ext[39]);
+    remove_header(ext[40]);
+    remove_header(ext[41]);
+    remove_header(ext[42]);
+    remove_header(ext[43]);
+    remove_header(ext[44]);
+    remove_header(ext[45]);
+    remove_header(ext[46]);
+    remove_header(ext[47]);
+    remove_header(ext[48]);
+    remove_header(ext[49]);
+    remove_header(ext[50]);
+    remove_header(ext[51]);
+    remove_header(ext[52]);
+    remove_header(ext[53]);
+    remove_header(ext[54]);
+    remove_header(ext[55]);
+    remove_header(ext[56]);
+    remove_header(ext[57]);
+    remove_header(ext[58]);
+    remove_header(ext[59]);
+    remove_header(ext[60]);
+    remove_header(ext[61]);
+    remove_header(ext[62]);
+    remove_header(ext[63]);
+    remove_header(ext[64]);
+    remove_header(ext[65]);
+    remove_header(ext[66]);
+    remove_header(ext[67]);
+    remove_header(ext[68]);
+    remove_header(ext[69]);
+    remove_header(ext[70]);
+    remove_header(ext[71]);
+    remove_header(ext[72]);
+    remove_header(ext[73]);
+    remove_header(ext[74]);
+    remove_header(ext[75]);
+    remove_header(ext[76]);
+    remove_header(ext[77]);
+    remove_header(ext[78]);
+    remove_header(ext[79]);
+    remove_header(ext[80]);
+    remove_header(ext[81]);
+    remove_header(ext[82]);
+    remove_header(ext[83]);
+    remove_header(ext[84]);
+    remove_header(ext[85]);
+    remove_header(ext[86]);
+    remove_header(ext[87]);
+    remove_header(ext[88]);
+    remove_header(ext[89]);
+    remove_header(ext[90]);
+    remove_header(ext[91]);
+    remove_header(ext[92]);
+    remove_header(ext[93]);
+    remove_header(ext[94]);
+    remove_header(ext[95]);
+    remove_header(ext[96]);
+    remove_header(ext[97]);
+    remove_header(ext[98]);
+    remove_header(ext[99]);
+}
+
+action a_resize_30() {
+    add_header(ext[0]);
+    add_header(ext[1]);
+    add_header(ext[2]);
+    add_header(ext[3]);
+    add_header(ext[4]);
+    add_header(ext[5]);
+    add_header(ext[6]);
+    add_header(ext[7]);
+    add_header(ext[8]);
+    add_header(ext[9]);
+    add_header(ext[10]);
+    add_header(ext[11]);
+    add_header(ext[12]);
+    add_header(ext[13]);
+    add_header(ext[14]);
+    add_header(ext[15]);
+    add_header(ext[16]);
+    add_header(ext[17]);
+    add_header(ext[18]);
+    add_header(ext[19]);
+    add_header(ext[20]);
+    add_header(ext[21]);
+    add_header(ext[22]);
+    add_header(ext[23]);
+    add_header(ext[24]);
+    add_header(ext[25]);
+    add_header(ext[26]);
+    add_header(ext[27]);
+    add_header(ext[28]);
+    add_header(ext[29]);
+    remove_header(ext[30]);
+    remove_header(ext[31]);
+    remove_header(ext[32]);
+    remove_header(ext[33]);
+    remove_header(ext[34]);
+    remove_header(ext[35]);
+    remove_header(ext[36]);
+    remove_header(ext[37]);
+    remove_header(ext[38]);
+    remove_header(ext[39]);
+    remove_header(ext[40]);
+    remove_header(ext[41]);
+    remove_header(ext[42]);
+    remove_header(ext[43]);
+    remove_header(ext[44]);
+    remove_header(ext[45]);
+    remove_header(ext[46]);
+    remove_header(ext[47]);
+    remove_header(ext[48]);
+    remove_header(ext[49]);
+    remove_header(ext[50]);
+    remove_header(ext[51]);
+    remove_header(ext[52]);
+    remove_header(ext[53]);
+    remove_header(ext[54]);
+    remove_header(ext[55]);
+    remove_header(ext[56]);
+    remove_header(ext[57]);
+    remove_header(ext[58]);
+    remove_header(ext[59]);
+    remove_header(ext[60]);
+    remove_header(ext[61]);
+    remove_header(ext[62]);
+    remove_header(ext[63]);
+    remove_header(ext[64]);
+    remove_header(ext[65]);
+    remove_header(ext[66]);
+    remove_header(ext[67]);
+    remove_header(ext[68]);
+    remove_header(ext[69]);
+    remove_header(ext[70]);
+    remove_header(ext[71]);
+    remove_header(ext[72]);
+    remove_header(ext[73]);
+    remove_header(ext[74]);
+    remove_header(ext[75]);
+    remove_header(ext[76]);
+    remove_header(ext[77]);
+    remove_header(ext[78]);
+    remove_header(ext[79]);
+    remove_header(ext[80]);
+    remove_header(ext[81]);
+    remove_header(ext[82]);
+    remove_header(ext[83]);
+    remove_header(ext[84]);
+    remove_header(ext[85]);
+    remove_header(ext[86]);
+    remove_header(ext[87]);
+    remove_header(ext[88]);
+    remove_header(ext[89]);
+    remove_header(ext[90]);
+    remove_header(ext[91]);
+    remove_header(ext[92]);
+    remove_header(ext[93]);
+    remove_header(ext[94]);
+    remove_header(ext[95]);
+    remove_header(ext[96]);
+    remove_header(ext[97]);
+    remove_header(ext[98]);
+    remove_header(ext[99]);
+}
+
+action a_resize_40() {
+    add_header(ext[0]);
+    add_header(ext[1]);
+    add_header(ext[2]);
+    add_header(ext[3]);
+    add_header(ext[4]);
+    add_header(ext[5]);
+    add_header(ext[6]);
+    add_header(ext[7]);
+    add_header(ext[8]);
+    add_header(ext[9]);
+    add_header(ext[10]);
+    add_header(ext[11]);
+    add_header(ext[12]);
+    add_header(ext[13]);
+    add_header(ext[14]);
+    add_header(ext[15]);
+    add_header(ext[16]);
+    add_header(ext[17]);
+    add_header(ext[18]);
+    add_header(ext[19]);
+    add_header(ext[20]);
+    add_header(ext[21]);
+    add_header(ext[22]);
+    add_header(ext[23]);
+    add_header(ext[24]);
+    add_header(ext[25]);
+    add_header(ext[26]);
+    add_header(ext[27]);
+    add_header(ext[28]);
+    add_header(ext[29]);
+    add_header(ext[30]);
+    add_header(ext[31]);
+    add_header(ext[32]);
+    add_header(ext[33]);
+    add_header(ext[34]);
+    add_header(ext[35]);
+    add_header(ext[36]);
+    add_header(ext[37]);
+    add_header(ext[38]);
+    add_header(ext[39]);
+    remove_header(ext[40]);
+    remove_header(ext[41]);
+    remove_header(ext[42]);
+    remove_header(ext[43]);
+    remove_header(ext[44]);
+    remove_header(ext[45]);
+    remove_header(ext[46]);
+    remove_header(ext[47]);
+    remove_header(ext[48]);
+    remove_header(ext[49]);
+    remove_header(ext[50]);
+    remove_header(ext[51]);
+    remove_header(ext[52]);
+    remove_header(ext[53]);
+    remove_header(ext[54]);
+    remove_header(ext[55]);
+    remove_header(ext[56]);
+    remove_header(ext[57]);
+    remove_header(ext[58]);
+    remove_header(ext[59]);
+    remove_header(ext[60]);
+    remove_header(ext[61]);
+    remove_header(ext[62]);
+    remove_header(ext[63]);
+    remove_header(ext[64]);
+    remove_header(ext[65]);
+    remove_header(ext[66]);
+    remove_header(ext[67]);
+    remove_header(ext[68]);
+    remove_header(ext[69]);
+    remove_header(ext[70]);
+    remove_header(ext[71]);
+    remove_header(ext[72]);
+    remove_header(ext[73]);
+    remove_header(ext[74]);
+    remove_header(ext[75]);
+    remove_header(ext[76]);
+    remove_header(ext[77]);
+    remove_header(ext[78]);
+    remove_header(ext[79]);
+    remove_header(ext[80]);
+    remove_header(ext[81]);
+    remove_header(ext[82]);
+    remove_header(ext[83]);
+    remove_header(ext[84]);
+    remove_header(ext[85]);
+    remove_header(ext[86]);
+    remove_header(ext[87]);
+    remove_header(ext[88]);
+    remove_header(ext[89]);
+    remove_header(ext[90]);
+    remove_header(ext[91]);
+    remove_header(ext[92]);
+    remove_header(ext[93]);
+    remove_header(ext[94]);
+    remove_header(ext[95]);
+    remove_header(ext[96]);
+    remove_header(ext[97]);
+    remove_header(ext[98]);
+    remove_header(ext[99]);
+}
+
+action a_resize_50() {
+    add_header(ext[0]);
+    add_header(ext[1]);
+    add_header(ext[2]);
+    add_header(ext[3]);
+    add_header(ext[4]);
+    add_header(ext[5]);
+    add_header(ext[6]);
+    add_header(ext[7]);
+    add_header(ext[8]);
+    add_header(ext[9]);
+    add_header(ext[10]);
+    add_header(ext[11]);
+    add_header(ext[12]);
+    add_header(ext[13]);
+    add_header(ext[14]);
+    add_header(ext[15]);
+    add_header(ext[16]);
+    add_header(ext[17]);
+    add_header(ext[18]);
+    add_header(ext[19]);
+    add_header(ext[20]);
+    add_header(ext[21]);
+    add_header(ext[22]);
+    add_header(ext[23]);
+    add_header(ext[24]);
+    add_header(ext[25]);
+    add_header(ext[26]);
+    add_header(ext[27]);
+    add_header(ext[28]);
+    add_header(ext[29]);
+    add_header(ext[30]);
+    add_header(ext[31]);
+    add_header(ext[32]);
+    add_header(ext[33]);
+    add_header(ext[34]);
+    add_header(ext[35]);
+    add_header(ext[36]);
+    add_header(ext[37]);
+    add_header(ext[38]);
+    add_header(ext[39]);
+    add_header(ext[40]);
+    add_header(ext[41]);
+    add_header(ext[42]);
+    add_header(ext[43]);
+    add_header(ext[44]);
+    add_header(ext[45]);
+    add_header(ext[46]);
+    add_header(ext[47]);
+    add_header(ext[48]);
+    add_header(ext[49]);
+    remove_header(ext[50]);
+    remove_header(ext[51]);
+    remove_header(ext[52]);
+    remove_header(ext[53]);
+    remove_header(ext[54]);
+    remove_header(ext[55]);
+    remove_header(ext[56]);
+    remove_header(ext[57]);
+    remove_header(ext[58]);
+    remove_header(ext[59]);
+    remove_header(ext[60]);
+    remove_header(ext[61]);
+    remove_header(ext[62]);
+    remove_header(ext[63]);
+    remove_header(ext[64]);
+    remove_header(ext[65]);
+    remove_header(ext[66]);
+    remove_header(ext[67]);
+    remove_header(ext[68]);
+    remove_header(ext[69]);
+    remove_header(ext[70]);
+    remove_header(ext[71]);
+    remove_header(ext[72]);
+    remove_header(ext[73]);
+    remove_header(ext[74]);
+    remove_header(ext[75]);
+    remove_header(ext[76]);
+    remove_header(ext[77]);
+    remove_header(ext[78]);
+    remove_header(ext[79]);
+    remove_header(ext[80]);
+    remove_header(ext[81]);
+    remove_header(ext[82]);
+    remove_header(ext[83]);
+    remove_header(ext[84]);
+    remove_header(ext[85]);
+    remove_header(ext[86]);
+    remove_header(ext[87]);
+    remove_header(ext[88]);
+    remove_header(ext[89]);
+    remove_header(ext[90]);
+    remove_header(ext[91]);
+    remove_header(ext[92]);
+    remove_header(ext[93]);
+    remove_header(ext[94]);
+    remove_header(ext[95]);
+    remove_header(ext[96]);
+    remove_header(ext[97]);
+    remove_header(ext[98]);
+    remove_header(ext[99]);
+}
+
+action a_resize_60() {
+    add_header(ext[0]);
+    add_header(ext[1]);
+    add_header(ext[2]);
+    add_header(ext[3]);
+    add_header(ext[4]);
+    add_header(ext[5]);
+    add_header(ext[6]);
+    add_header(ext[7]);
+    add_header(ext[8]);
+    add_header(ext[9]);
+    add_header(ext[10]);
+    add_header(ext[11]);
+    add_header(ext[12]);
+    add_header(ext[13]);
+    add_header(ext[14]);
+    add_header(ext[15]);
+    add_header(ext[16]);
+    add_header(ext[17]);
+    add_header(ext[18]);
+    add_header(ext[19]);
+    add_header(ext[20]);
+    add_header(ext[21]);
+    add_header(ext[22]);
+    add_header(ext[23]);
+    add_header(ext[24]);
+    add_header(ext[25]);
+    add_header(ext[26]);
+    add_header(ext[27]);
+    add_header(ext[28]);
+    add_header(ext[29]);
+    add_header(ext[30]);
+    add_header(ext[31]);
+    add_header(ext[32]);
+    add_header(ext[33]);
+    add_header(ext[34]);
+    add_header(ext[35]);
+    add_header(ext[36]);
+    add_header(ext[37]);
+    add_header(ext[38]);
+    add_header(ext[39]);
+    add_header(ext[40]);
+    add_header(ext[41]);
+    add_header(ext[42]);
+    add_header(ext[43]);
+    add_header(ext[44]);
+    add_header(ext[45]);
+    add_header(ext[46]);
+    add_header(ext[47]);
+    add_header(ext[48]);
+    add_header(ext[49]);
+    add_header(ext[50]);
+    add_header(ext[51]);
+    add_header(ext[52]);
+    add_header(ext[53]);
+    add_header(ext[54]);
+    add_header(ext[55]);
+    add_header(ext[56]);
+    add_header(ext[57]);
+    add_header(ext[58]);
+    add_header(ext[59]);
+    remove_header(ext[60]);
+    remove_header(ext[61]);
+    remove_header(ext[62]);
+    remove_header(ext[63]);
+    remove_header(ext[64]);
+    remove_header(ext[65]);
+    remove_header(ext[66]);
+    remove_header(ext[67]);
+    remove_header(ext[68]);
+    remove_header(ext[69]);
+    remove_header(ext[70]);
+    remove_header(ext[71]);
+    remove_header(ext[72]);
+    remove_header(ext[73]);
+    remove_header(ext[74]);
+    remove_header(ext[75]);
+    remove_header(ext[76]);
+    remove_header(ext[77]);
+    remove_header(ext[78]);
+    remove_header(ext[79]);
+    remove_header(ext[80]);
+    remove_header(ext[81]);
+    remove_header(ext[82]);
+    remove_header(ext[83]);
+    remove_header(ext[84]);
+    remove_header(ext[85]);
+    remove_header(ext[86]);
+    remove_header(ext[87]);
+    remove_header(ext[88]);
+    remove_header(ext[89]);
+    remove_header(ext[90]);
+    remove_header(ext[91]);
+    remove_header(ext[92]);
+    remove_header(ext[93]);
+    remove_header(ext[94]);
+    remove_header(ext[95]);
+    remove_header(ext[96]);
+    remove_header(ext[97]);
+    remove_header(ext[98]);
+    remove_header(ext[99]);
+}
+
+action a_resize_70() {
+    add_header(ext[0]);
+    add_header(ext[1]);
+    add_header(ext[2]);
+    add_header(ext[3]);
+    add_header(ext[4]);
+    add_header(ext[5]);
+    add_header(ext[6]);
+    add_header(ext[7]);
+    add_header(ext[8]);
+    add_header(ext[9]);
+    add_header(ext[10]);
+    add_header(ext[11]);
+    add_header(ext[12]);
+    add_header(ext[13]);
+    add_header(ext[14]);
+    add_header(ext[15]);
+    add_header(ext[16]);
+    add_header(ext[17]);
+    add_header(ext[18]);
+    add_header(ext[19]);
+    add_header(ext[20]);
+    add_header(ext[21]);
+    add_header(ext[22]);
+    add_header(ext[23]);
+    add_header(ext[24]);
+    add_header(ext[25]);
+    add_header(ext[26]);
+    add_header(ext[27]);
+    add_header(ext[28]);
+    add_header(ext[29]);
+    add_header(ext[30]);
+    add_header(ext[31]);
+    add_header(ext[32]);
+    add_header(ext[33]);
+    add_header(ext[34]);
+    add_header(ext[35]);
+    add_header(ext[36]);
+    add_header(ext[37]);
+    add_header(ext[38]);
+    add_header(ext[39]);
+    add_header(ext[40]);
+    add_header(ext[41]);
+    add_header(ext[42]);
+    add_header(ext[43]);
+    add_header(ext[44]);
+    add_header(ext[45]);
+    add_header(ext[46]);
+    add_header(ext[47]);
+    add_header(ext[48]);
+    add_header(ext[49]);
+    add_header(ext[50]);
+    add_header(ext[51]);
+    add_header(ext[52]);
+    add_header(ext[53]);
+    add_header(ext[54]);
+    add_header(ext[55]);
+    add_header(ext[56]);
+    add_header(ext[57]);
+    add_header(ext[58]);
+    add_header(ext[59]);
+    add_header(ext[60]);
+    add_header(ext[61]);
+    add_header(ext[62]);
+    add_header(ext[63]);
+    add_header(ext[64]);
+    add_header(ext[65]);
+    add_header(ext[66]);
+    add_header(ext[67]);
+    add_header(ext[68]);
+    add_header(ext[69]);
+    remove_header(ext[70]);
+    remove_header(ext[71]);
+    remove_header(ext[72]);
+    remove_header(ext[73]);
+    remove_header(ext[74]);
+    remove_header(ext[75]);
+    remove_header(ext[76]);
+    remove_header(ext[77]);
+    remove_header(ext[78]);
+    remove_header(ext[79]);
+    remove_header(ext[80]);
+    remove_header(ext[81]);
+    remove_header(ext[82]);
+    remove_header(ext[83]);
+    remove_header(ext[84]);
+    remove_header(ext[85]);
+    remove_header(ext[86]);
+    remove_header(ext[87]);
+    remove_header(ext[88]);
+    remove_header(ext[89]);
+    remove_header(ext[90]);
+    remove_header(ext[91]);
+    remove_header(ext[92]);
+    remove_header(ext[93]);
+    remove_header(ext[94]);
+    remove_header(ext[95]);
+    remove_header(ext[96]);
+    remove_header(ext[97]);
+    remove_header(ext[98]);
+    remove_header(ext[99]);
+}
+
+action a_resize_80() {
+    add_header(ext[0]);
+    add_header(ext[1]);
+    add_header(ext[2]);
+    add_header(ext[3]);
+    add_header(ext[4]);
+    add_header(ext[5]);
+    add_header(ext[6]);
+    add_header(ext[7]);
+    add_header(ext[8]);
+    add_header(ext[9]);
+    add_header(ext[10]);
+    add_header(ext[11]);
+    add_header(ext[12]);
+    add_header(ext[13]);
+    add_header(ext[14]);
+    add_header(ext[15]);
+    add_header(ext[16]);
+    add_header(ext[17]);
+    add_header(ext[18]);
+    add_header(ext[19]);
+    add_header(ext[20]);
+    add_header(ext[21]);
+    add_header(ext[22]);
+    add_header(ext[23]);
+    add_header(ext[24]);
+    add_header(ext[25]);
+    add_header(ext[26]);
+    add_header(ext[27]);
+    add_header(ext[28]);
+    add_header(ext[29]);
+    add_header(ext[30]);
+    add_header(ext[31]);
+    add_header(ext[32]);
+    add_header(ext[33]);
+    add_header(ext[34]);
+    add_header(ext[35]);
+    add_header(ext[36]);
+    add_header(ext[37]);
+    add_header(ext[38]);
+    add_header(ext[39]);
+    add_header(ext[40]);
+    add_header(ext[41]);
+    add_header(ext[42]);
+    add_header(ext[43]);
+    add_header(ext[44]);
+    add_header(ext[45]);
+    add_header(ext[46]);
+    add_header(ext[47]);
+    add_header(ext[48]);
+    add_header(ext[49]);
+    add_header(ext[50]);
+    add_header(ext[51]);
+    add_header(ext[52]);
+    add_header(ext[53]);
+    add_header(ext[54]);
+    add_header(ext[55]);
+    add_header(ext[56]);
+    add_header(ext[57]);
+    add_header(ext[58]);
+    add_header(ext[59]);
+    add_header(ext[60]);
+    add_header(ext[61]);
+    add_header(ext[62]);
+    add_header(ext[63]);
+    add_header(ext[64]);
+    add_header(ext[65]);
+    add_header(ext[66]);
+    add_header(ext[67]);
+    add_header(ext[68]);
+    add_header(ext[69]);
+    add_header(ext[70]);
+    add_header(ext[71]);
+    add_header(ext[72]);
+    add_header(ext[73]);
+    add_header(ext[74]);
+    add_header(ext[75]);
+    add_header(ext[76]);
+    add_header(ext[77]);
+    add_header(ext[78]);
+    add_header(ext[79]);
+    remove_header(ext[80]);
+    remove_header(ext[81]);
+    remove_header(ext[82]);
+    remove_header(ext[83]);
+    remove_header(ext[84]);
+    remove_header(ext[85]);
+    remove_header(ext[86]);
+    remove_header(ext[87]);
+    remove_header(ext[88]);
+    remove_header(ext[89]);
+    remove_header(ext[90]);
+    remove_header(ext[91]);
+    remove_header(ext[92]);
+    remove_header(ext[93]);
+    remove_header(ext[94]);
+    remove_header(ext[95]);
+    remove_header(ext[96]);
+    remove_header(ext[97]);
+    remove_header(ext[98]);
+    remove_header(ext[99]);
+}
+
+action a_resize_90() {
+    add_header(ext[0]);
+    add_header(ext[1]);
+    add_header(ext[2]);
+    add_header(ext[3]);
+    add_header(ext[4]);
+    add_header(ext[5]);
+    add_header(ext[6]);
+    add_header(ext[7]);
+    add_header(ext[8]);
+    add_header(ext[9]);
+    add_header(ext[10]);
+    add_header(ext[11]);
+    add_header(ext[12]);
+    add_header(ext[13]);
+    add_header(ext[14]);
+    add_header(ext[15]);
+    add_header(ext[16]);
+    add_header(ext[17]);
+    add_header(ext[18]);
+    add_header(ext[19]);
+    add_header(ext[20]);
+    add_header(ext[21]);
+    add_header(ext[22]);
+    add_header(ext[23]);
+    add_header(ext[24]);
+    add_header(ext[25]);
+    add_header(ext[26]);
+    add_header(ext[27]);
+    add_header(ext[28]);
+    add_header(ext[29]);
+    add_header(ext[30]);
+    add_header(ext[31]);
+    add_header(ext[32]);
+    add_header(ext[33]);
+    add_header(ext[34]);
+    add_header(ext[35]);
+    add_header(ext[36]);
+    add_header(ext[37]);
+    add_header(ext[38]);
+    add_header(ext[39]);
+    add_header(ext[40]);
+    add_header(ext[41]);
+    add_header(ext[42]);
+    add_header(ext[43]);
+    add_header(ext[44]);
+    add_header(ext[45]);
+    add_header(ext[46]);
+    add_header(ext[47]);
+    add_header(ext[48]);
+    add_header(ext[49]);
+    add_header(ext[50]);
+    add_header(ext[51]);
+    add_header(ext[52]);
+    add_header(ext[53]);
+    add_header(ext[54]);
+    add_header(ext[55]);
+    add_header(ext[56]);
+    add_header(ext[57]);
+    add_header(ext[58]);
+    add_header(ext[59]);
+    add_header(ext[60]);
+    add_header(ext[61]);
+    add_header(ext[62]);
+    add_header(ext[63]);
+    add_header(ext[64]);
+    add_header(ext[65]);
+    add_header(ext[66]);
+    add_header(ext[67]);
+    add_header(ext[68]);
+    add_header(ext[69]);
+    add_header(ext[70]);
+    add_header(ext[71]);
+    add_header(ext[72]);
+    add_header(ext[73]);
+    add_header(ext[74]);
+    add_header(ext[75]);
+    add_header(ext[76]);
+    add_header(ext[77]);
+    add_header(ext[78]);
+    add_header(ext[79]);
+    add_header(ext[80]);
+    add_header(ext[81]);
+    add_header(ext[82]);
+    add_header(ext[83]);
+    add_header(ext[84]);
+    add_header(ext[85]);
+    add_header(ext[86]);
+    add_header(ext[87]);
+    add_header(ext[88]);
+    add_header(ext[89]);
+    remove_header(ext[90]);
+    remove_header(ext[91]);
+    remove_header(ext[92]);
+    remove_header(ext[93]);
+    remove_header(ext[94]);
+    remove_header(ext[95]);
+    remove_header(ext[96]);
+    remove_header(ext[97]);
+    remove_header(ext[98]);
+    remove_header(ext[99]);
+}
+
+action a_resize_100() {
+    add_header(ext[0]);
+    add_header(ext[1]);
+    add_header(ext[2]);
+    add_header(ext[3]);
+    add_header(ext[4]);
+    add_header(ext[5]);
+    add_header(ext[6]);
+    add_header(ext[7]);
+    add_header(ext[8]);
+    add_header(ext[9]);
+    add_header(ext[10]);
+    add_header(ext[11]);
+    add_header(ext[12]);
+    add_header(ext[13]);
+    add_header(ext[14]);
+    add_header(ext[15]);
+    add_header(ext[16]);
+    add_header(ext[17]);
+    add_header(ext[18]);
+    add_header(ext[19]);
+    add_header(ext[20]);
+    add_header(ext[21]);
+    add_header(ext[22]);
+    add_header(ext[23]);
+    add_header(ext[24]);
+    add_header(ext[25]);
+    add_header(ext[26]);
+    add_header(ext[27]);
+    add_header(ext[28]);
+    add_header(ext[29]);
+    add_header(ext[30]);
+    add_header(ext[31]);
+    add_header(ext[32]);
+    add_header(ext[33]);
+    add_header(ext[34]);
+    add_header(ext[35]);
+    add_header(ext[36]);
+    add_header(ext[37]);
+    add_header(ext[38]);
+    add_header(ext[39]);
+    add_header(ext[40]);
+    add_header(ext[41]);
+    add_header(ext[42]);
+    add_header(ext[43]);
+    add_header(ext[44]);
+    add_header(ext[45]);
+    add_header(ext[46]);
+    add_header(ext[47]);
+    add_header(ext[48]);
+    add_header(ext[49]);
+    add_header(ext[50]);
+    add_header(ext[51]);
+    add_header(ext[52]);
+    add_header(ext[53]);
+    add_header(ext[54]);
+    add_header(ext[55]);
+    add_header(ext[56]);
+    add_header(ext[57]);
+    add_header(ext[58]);
+    add_header(ext[59]);
+    add_header(ext[60]);
+    add_header(ext[61]);
+    add_header(ext[62]);
+    add_header(ext[63]);
+    add_header(ext[64]);
+    add_header(ext[65]);
+    add_header(ext[66]);
+    add_header(ext[67]);
+    add_header(ext[68]);
+    add_header(ext[69]);
+    add_header(ext[70]);
+    add_header(ext[71]);
+    add_header(ext[72]);
+    add_header(ext[73]);
+    add_header(ext[74]);
+    add_header(ext[75]);
+    add_header(ext[76]);
+    add_header(ext[77]);
+    add_header(ext[78]);
+    add_header(ext[79]);
+    add_header(ext[80]);
+    add_header(ext[81]);
+    add_header(ext[82]);
+    add_header(ext[83]);
+    add_header(ext[84]);
+    add_header(ext[85]);
+    add_header(ext[86]);
+    add_header(ext[87]);
+    add_header(ext[88]);
+    add_header(ext[89]);
+    add_header(ext[90]);
+    add_header(ext[91]);
+    add_header(ext[92]);
+    add_header(ext[93]);
+    add_header(ext[94]);
+    add_header(ext[95]);
+    add_header(ext[96]);
+    add_header(ext[97]);
+    add_header(ext[98]);
+    add_header(ext[99]);
+}
+
+action a_wb_20() {
+    shift_right(hp4s.tmp, hp4d.extracted, 0x318);
+    modify_field(ext[0].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x310);
+    modify_field(ext[1].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x308);
+    modify_field(ext[2].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x300);
+    modify_field(ext[3].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x2f8);
+    modify_field(ext[4].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x2f0);
+    modify_field(ext[5].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x2e8);
+    modify_field(ext[6].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x2e0);
+    modify_field(ext[7].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x2d8);
+    modify_field(ext[8].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x2d0);
+    modify_field(ext[9].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x2c8);
+    modify_field(ext[10].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x2c0);
+    modify_field(ext[11].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x2b8);
+    modify_field(ext[12].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x2b0);
+    modify_field(ext[13].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x2a8);
+    modify_field(ext[14].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x2a0);
+    modify_field(ext[15].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x298);
+    modify_field(ext[16].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x290);
+    modify_field(ext[17].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x288);
+    modify_field(ext[18].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x280);
+    modify_field(ext[19].b, hp4s.tmp);
+}
+
+action a_wb_30() {
+    shift_right(hp4s.tmp, hp4d.extracted, 0x318);
+    modify_field(ext[0].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x310);
+    modify_field(ext[1].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x308);
+    modify_field(ext[2].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x300);
+    modify_field(ext[3].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x2f8);
+    modify_field(ext[4].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x2f0);
+    modify_field(ext[5].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x2e8);
+    modify_field(ext[6].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x2e0);
+    modify_field(ext[7].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x2d8);
+    modify_field(ext[8].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x2d0);
+    modify_field(ext[9].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x2c8);
+    modify_field(ext[10].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x2c0);
+    modify_field(ext[11].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x2b8);
+    modify_field(ext[12].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x2b0);
+    modify_field(ext[13].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x2a8);
+    modify_field(ext[14].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x2a0);
+    modify_field(ext[15].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x298);
+    modify_field(ext[16].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x290);
+    modify_field(ext[17].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x288);
+    modify_field(ext[18].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x280);
+    modify_field(ext[19].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x278);
+    modify_field(ext[20].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x270);
+    modify_field(ext[21].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x268);
+    modify_field(ext[22].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x260);
+    modify_field(ext[23].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x258);
+    modify_field(ext[24].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x250);
+    modify_field(ext[25].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x248);
+    modify_field(ext[26].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x240);
+    modify_field(ext[27].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x238);
+    modify_field(ext[28].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x230);
+    modify_field(ext[29].b, hp4s.tmp);
+}
+
+action a_wb_40() {
+    shift_right(hp4s.tmp, hp4d.extracted, 0x318);
+    modify_field(ext[0].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x310);
+    modify_field(ext[1].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x308);
+    modify_field(ext[2].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x300);
+    modify_field(ext[3].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x2f8);
+    modify_field(ext[4].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x2f0);
+    modify_field(ext[5].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x2e8);
+    modify_field(ext[6].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x2e0);
+    modify_field(ext[7].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x2d8);
+    modify_field(ext[8].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x2d0);
+    modify_field(ext[9].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x2c8);
+    modify_field(ext[10].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x2c0);
+    modify_field(ext[11].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x2b8);
+    modify_field(ext[12].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x2b0);
+    modify_field(ext[13].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x2a8);
+    modify_field(ext[14].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x2a0);
+    modify_field(ext[15].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x298);
+    modify_field(ext[16].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x290);
+    modify_field(ext[17].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x288);
+    modify_field(ext[18].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x280);
+    modify_field(ext[19].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x278);
+    modify_field(ext[20].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x270);
+    modify_field(ext[21].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x268);
+    modify_field(ext[22].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x260);
+    modify_field(ext[23].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x258);
+    modify_field(ext[24].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x250);
+    modify_field(ext[25].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x248);
+    modify_field(ext[26].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x240);
+    modify_field(ext[27].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x238);
+    modify_field(ext[28].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x230);
+    modify_field(ext[29].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x228);
+    modify_field(ext[30].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x220);
+    modify_field(ext[31].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x218);
+    modify_field(ext[32].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x210);
+    modify_field(ext[33].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x208);
+    modify_field(ext[34].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x200);
+    modify_field(ext[35].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x1f8);
+    modify_field(ext[36].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x1f0);
+    modify_field(ext[37].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x1e8);
+    modify_field(ext[38].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x1e0);
+    modify_field(ext[39].b, hp4s.tmp);
+}
+
+action a_wb_50() {
+    shift_right(hp4s.tmp, hp4d.extracted, 0x318);
+    modify_field(ext[0].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x310);
+    modify_field(ext[1].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x308);
+    modify_field(ext[2].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x300);
+    modify_field(ext[3].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x2f8);
+    modify_field(ext[4].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x2f0);
+    modify_field(ext[5].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x2e8);
+    modify_field(ext[6].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x2e0);
+    modify_field(ext[7].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x2d8);
+    modify_field(ext[8].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x2d0);
+    modify_field(ext[9].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x2c8);
+    modify_field(ext[10].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x2c0);
+    modify_field(ext[11].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x2b8);
+    modify_field(ext[12].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x2b0);
+    modify_field(ext[13].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x2a8);
+    modify_field(ext[14].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x2a0);
+    modify_field(ext[15].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x298);
+    modify_field(ext[16].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x290);
+    modify_field(ext[17].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x288);
+    modify_field(ext[18].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x280);
+    modify_field(ext[19].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x278);
+    modify_field(ext[20].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x270);
+    modify_field(ext[21].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x268);
+    modify_field(ext[22].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x260);
+    modify_field(ext[23].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x258);
+    modify_field(ext[24].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x250);
+    modify_field(ext[25].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x248);
+    modify_field(ext[26].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x240);
+    modify_field(ext[27].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x238);
+    modify_field(ext[28].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x230);
+    modify_field(ext[29].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x228);
+    modify_field(ext[30].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x220);
+    modify_field(ext[31].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x218);
+    modify_field(ext[32].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x210);
+    modify_field(ext[33].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x208);
+    modify_field(ext[34].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x200);
+    modify_field(ext[35].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x1f8);
+    modify_field(ext[36].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x1f0);
+    modify_field(ext[37].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x1e8);
+    modify_field(ext[38].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x1e0);
+    modify_field(ext[39].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x1d8);
+    modify_field(ext[40].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x1d0);
+    modify_field(ext[41].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x1c8);
+    modify_field(ext[42].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x1c0);
+    modify_field(ext[43].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x1b8);
+    modify_field(ext[44].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x1b0);
+    modify_field(ext[45].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x1a8);
+    modify_field(ext[46].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x1a0);
+    modify_field(ext[47].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x198);
+    modify_field(ext[48].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x190);
+    modify_field(ext[49].b, hp4s.tmp);
+}
+
+action a_wb_60() {
+    shift_right(hp4s.tmp, hp4d.extracted, 0x318);
+    modify_field(ext[0].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x310);
+    modify_field(ext[1].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x308);
+    modify_field(ext[2].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x300);
+    modify_field(ext[3].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x2f8);
+    modify_field(ext[4].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x2f0);
+    modify_field(ext[5].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x2e8);
+    modify_field(ext[6].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x2e0);
+    modify_field(ext[7].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x2d8);
+    modify_field(ext[8].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x2d0);
+    modify_field(ext[9].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x2c8);
+    modify_field(ext[10].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x2c0);
+    modify_field(ext[11].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x2b8);
+    modify_field(ext[12].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x2b0);
+    modify_field(ext[13].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x2a8);
+    modify_field(ext[14].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x2a0);
+    modify_field(ext[15].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x298);
+    modify_field(ext[16].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x290);
+    modify_field(ext[17].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x288);
+    modify_field(ext[18].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x280);
+    modify_field(ext[19].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x278);
+    modify_field(ext[20].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x270);
+    modify_field(ext[21].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x268);
+    modify_field(ext[22].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x260);
+    modify_field(ext[23].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x258);
+    modify_field(ext[24].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x250);
+    modify_field(ext[25].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x248);
+    modify_field(ext[26].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x240);
+    modify_field(ext[27].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x238);
+    modify_field(ext[28].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x230);
+    modify_field(ext[29].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x228);
+    modify_field(ext[30].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x220);
+    modify_field(ext[31].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x218);
+    modify_field(ext[32].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x210);
+    modify_field(ext[33].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x208);
+    modify_field(ext[34].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x200);
+    modify_field(ext[35].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x1f8);
+    modify_field(ext[36].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x1f0);
+    modify_field(ext[37].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x1e8);
+    modify_field(ext[38].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x1e0);
+    modify_field(ext[39].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x1d8);
+    modify_field(ext[40].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x1d0);
+    modify_field(ext[41].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x1c8);
+    modify_field(ext[42].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x1c0);
+    modify_field(ext[43].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x1b8);
+    modify_field(ext[44].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x1b0);
+    modify_field(ext[45].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x1a8);
+    modify_field(ext[46].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x1a0);
+    modify_field(ext[47].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x198);
+    modify_field(ext[48].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x190);
+    modify_field(ext[49].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x188);
+    modify_field(ext[50].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x180);
+    modify_field(ext[51].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x178);
+    modify_field(ext[52].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x170);
+    modify_field(ext[53].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x168);
+    modify_field(ext[54].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x160);
+    modify_field(ext[55].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x158);
+    modify_field(ext[56].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x150);
+    modify_field(ext[57].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x148);
+    modify_field(ext[58].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x140);
+    modify_field(ext[59].b, hp4s.tmp);
+}
+
+action a_wb_70() {
+    shift_right(hp4s.tmp, hp4d.extracted, 0x318);
+    modify_field(ext[0].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x310);
+    modify_field(ext[1].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x308);
+    modify_field(ext[2].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x300);
+    modify_field(ext[3].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x2f8);
+    modify_field(ext[4].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x2f0);
+    modify_field(ext[5].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x2e8);
+    modify_field(ext[6].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x2e0);
+    modify_field(ext[7].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x2d8);
+    modify_field(ext[8].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x2d0);
+    modify_field(ext[9].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x2c8);
+    modify_field(ext[10].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x2c0);
+    modify_field(ext[11].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x2b8);
+    modify_field(ext[12].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x2b0);
+    modify_field(ext[13].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x2a8);
+    modify_field(ext[14].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x2a0);
+    modify_field(ext[15].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x298);
+    modify_field(ext[16].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x290);
+    modify_field(ext[17].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x288);
+    modify_field(ext[18].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x280);
+    modify_field(ext[19].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x278);
+    modify_field(ext[20].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x270);
+    modify_field(ext[21].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x268);
+    modify_field(ext[22].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x260);
+    modify_field(ext[23].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x258);
+    modify_field(ext[24].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x250);
+    modify_field(ext[25].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x248);
+    modify_field(ext[26].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x240);
+    modify_field(ext[27].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x238);
+    modify_field(ext[28].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x230);
+    modify_field(ext[29].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x228);
+    modify_field(ext[30].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x220);
+    modify_field(ext[31].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x218);
+    modify_field(ext[32].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x210);
+    modify_field(ext[33].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x208);
+    modify_field(ext[34].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x200);
+    modify_field(ext[35].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x1f8);
+    modify_field(ext[36].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x1f0);
+    modify_field(ext[37].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x1e8);
+    modify_field(ext[38].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x1e0);
+    modify_field(ext[39].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x1d8);
+    modify_field(ext[40].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x1d0);
+    modify_field(ext[41].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x1c8);
+    modify_field(ext[42].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x1c0);
+    modify_field(ext[43].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x1b8);
+    modify_field(ext[44].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x1b0);
+    modify_field(ext[45].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x1a8);
+    modify_field(ext[46].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x1a0);
+    modify_field(ext[47].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x198);
+    modify_field(ext[48].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x190);
+    modify_field(ext[49].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x188);
+    modify_field(ext[50].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x180);
+    modify_field(ext[51].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x178);
+    modify_field(ext[52].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x170);
+    modify_field(ext[53].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x168);
+    modify_field(ext[54].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x160);
+    modify_field(ext[55].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x158);
+    modify_field(ext[56].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x150);
+    modify_field(ext[57].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x148);
+    modify_field(ext[58].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x140);
+    modify_field(ext[59].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x138);
+    modify_field(ext[60].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x130);
+    modify_field(ext[61].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x128);
+    modify_field(ext[62].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x120);
+    modify_field(ext[63].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x118);
+    modify_field(ext[64].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x110);
+    modify_field(ext[65].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x108);
+    modify_field(ext[66].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x100);
+    modify_field(ext[67].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0xf8);
+    modify_field(ext[68].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0xf0);
+    modify_field(ext[69].b, hp4s.tmp);
+}
+
+action a_wb_80() {
+    shift_right(hp4s.tmp, hp4d.extracted, 0x318);
+    modify_field(ext[0].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x310);
+    modify_field(ext[1].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x308);
+    modify_field(ext[2].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x300);
+    modify_field(ext[3].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x2f8);
+    modify_field(ext[4].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x2f0);
+    modify_field(ext[5].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x2e8);
+    modify_field(ext[6].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x2e0);
+    modify_field(ext[7].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x2d8);
+    modify_field(ext[8].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x2d0);
+    modify_field(ext[9].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x2c8);
+    modify_field(ext[10].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x2c0);
+    modify_field(ext[11].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x2b8);
+    modify_field(ext[12].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x2b0);
+    modify_field(ext[13].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x2a8);
+    modify_field(ext[14].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x2a0);
+    modify_field(ext[15].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x298);
+    modify_field(ext[16].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x290);
+    modify_field(ext[17].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x288);
+    modify_field(ext[18].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x280);
+    modify_field(ext[19].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x278);
+    modify_field(ext[20].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x270);
+    modify_field(ext[21].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x268);
+    modify_field(ext[22].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x260);
+    modify_field(ext[23].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x258);
+    modify_field(ext[24].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x250);
+    modify_field(ext[25].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x248);
+    modify_field(ext[26].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x240);
+    modify_field(ext[27].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x238);
+    modify_field(ext[28].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x230);
+    modify_field(ext[29].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x228);
+    modify_field(ext[30].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x220);
+    modify_field(ext[31].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x218);
+    modify_field(ext[32].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x210);
+    modify_field(ext[33].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x208);
+    modify_field(ext[34].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x200);
+    modify_field(ext[35].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x1f8);
+    modify_field(ext[36].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x1f0);
+    modify_field(ext[37].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x1e8);
+    modify_field(ext[38].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x1e0);
+    modify_field(ext[39].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x1d8);
+    modify_field(ext[40].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x1d0);
+    modify_field(ext[41].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x1c8);
+    modify_field(ext[42].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x1c0);
+    modify_field(ext[43].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x1b8);
+    modify_field(ext[44].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x1b0);
+    modify_field(ext[45].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x1a8);
+    modify_field(ext[46].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x1a0);
+    modify_field(ext[47].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x198);
+    modify_field(ext[48].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x190);
+    modify_field(ext[49].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x188);
+    modify_field(ext[50].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x180);
+    modify_field(ext[51].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x178);
+    modify_field(ext[52].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x170);
+    modify_field(ext[53].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x168);
+    modify_field(ext[54].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x160);
+    modify_field(ext[55].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x158);
+    modify_field(ext[56].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x150);
+    modify_field(ext[57].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x148);
+    modify_field(ext[58].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x140);
+    modify_field(ext[59].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x138);
+    modify_field(ext[60].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x130);
+    modify_field(ext[61].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x128);
+    modify_field(ext[62].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x120);
+    modify_field(ext[63].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x118);
+    modify_field(ext[64].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x110);
+    modify_field(ext[65].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x108);
+    modify_field(ext[66].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x100);
+    modify_field(ext[67].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0xf8);
+    modify_field(ext[68].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0xf0);
+    modify_field(ext[69].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0xe8);
+    modify_field(ext[70].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0xe0);
+    modify_field(ext[71].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0xd8);
+    modify_field(ext[72].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0xd0);
+    modify_field(ext[73].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0xc8);
+    modify_field(ext[74].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0xc0);
+    modify_field(ext[75].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0xb8);
+    modify_field(ext[76].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0xb0);
+    modify_field(ext[77].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0xa8);
+    modify_field(ext[78].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0xa0);
+    modify_field(ext[79].b, hp4s.tmp);
+}
+
+action a_wb_90() {
+    shift_right(hp4s.tmp, hp4d.extracted, 0x318);
+    modify_field(ext[0].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x310);
+    modify_field(ext[1].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x308);
+    modify_field(ext[2].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x300);
+    modify_field(ext[3].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x2f8);
+    modify_field(ext[4].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x2f0);
+    modify_field(ext[5].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x2e8);
+    modify_field(ext[6].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x2e0);
+    modify_field(ext[7].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x2d8);
+    modify_field(ext[8].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x2d0);
+    modify_field(ext[9].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x2c8);
+    modify_field(ext[10].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x2c0);
+    modify_field(ext[11].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x2b8);
+    modify_field(ext[12].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x2b0);
+    modify_field(ext[13].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x2a8);
+    modify_field(ext[14].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x2a0);
+    modify_field(ext[15].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x298);
+    modify_field(ext[16].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x290);
+    modify_field(ext[17].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x288);
+    modify_field(ext[18].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x280);
+    modify_field(ext[19].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x278);
+    modify_field(ext[20].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x270);
+    modify_field(ext[21].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x268);
+    modify_field(ext[22].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x260);
+    modify_field(ext[23].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x258);
+    modify_field(ext[24].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x250);
+    modify_field(ext[25].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x248);
+    modify_field(ext[26].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x240);
+    modify_field(ext[27].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x238);
+    modify_field(ext[28].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x230);
+    modify_field(ext[29].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x228);
+    modify_field(ext[30].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x220);
+    modify_field(ext[31].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x218);
+    modify_field(ext[32].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x210);
+    modify_field(ext[33].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x208);
+    modify_field(ext[34].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x200);
+    modify_field(ext[35].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x1f8);
+    modify_field(ext[36].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x1f0);
+    modify_field(ext[37].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x1e8);
+    modify_field(ext[38].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x1e0);
+    modify_field(ext[39].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x1d8);
+    modify_field(ext[40].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x1d0);
+    modify_field(ext[41].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x1c8);
+    modify_field(ext[42].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x1c0);
+    modify_field(ext[43].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x1b8);
+    modify_field(ext[44].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x1b0);
+    modify_field(ext[45].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x1a8);
+    modify_field(ext[46].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x1a0);
+    modify_field(ext[47].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x198);
+    modify_field(ext[48].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x190);
+    modify_field(ext[49].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x188);
+    modify_field(ext[50].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x180);
+    modify_field(ext[51].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x178);
+    modify_field(ext[52].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x170);
+    modify_field(ext[53].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x168);
+    modify_field(ext[54].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x160);
+    modify_field(ext[55].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x158);
+    modify_field(ext[56].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x150);
+    modify_field(ext[57].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x148);
+    modify_field(ext[58].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x140);
+    modify_field(ext[59].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x138);
+    modify_field(ext[60].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x130);
+    modify_field(ext[61].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x128);
+    modify_field(ext[62].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x120);
+    modify_field(ext[63].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x118);
+    modify_field(ext[64].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x110);
+    modify_field(ext[65].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x108);
+    modify_field(ext[66].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x100);
+    modify_field(ext[67].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0xf8);
+    modify_field(ext[68].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0xf0);
+    modify_field(ext[69].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0xe8);
+    modify_field(ext[70].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0xe0);
+    modify_field(ext[71].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0xd8);
+    modify_field(ext[72].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0xd0);
+    modify_field(ext[73].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0xc8);
+    modify_field(ext[74].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0xc0);
+    modify_field(ext[75].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0xb8);
+    modify_field(ext[76].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0xb0);
+    modify_field(ext[77].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0xa8);
+    modify_field(ext[78].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0xa0);
+    modify_field(ext[79].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x98);
+    modify_field(ext[80].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x90);
+    modify_field(ext[81].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x88);
+    modify_field(ext[82].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x80);
+    modify_field(ext[83].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x78);
+    modify_field(ext[84].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x70);
+    modify_field(ext[85].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x68);
+    modify_field(ext[86].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x60);
+    modify_field(ext[87].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x58);
+    modify_field(ext[88].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x50);
+    modify_field(ext[89].b, hp4s.tmp);
+}
+
+action a_wb_100() {
+    shift_right(hp4s.tmp, hp4d.extracted, 0x318);
+    modify_field(ext[0].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x310);
+    modify_field(ext[1].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x308);
+    modify_field(ext[2].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x300);
+    modify_field(ext[3].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x2f8);
+    modify_field(ext[4].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x2f0);
+    modify_field(ext[5].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x2e8);
+    modify_field(ext[6].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x2e0);
+    modify_field(ext[7].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x2d8);
+    modify_field(ext[8].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x2d0);
+    modify_field(ext[9].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x2c8);
+    modify_field(ext[10].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x2c0);
+    modify_field(ext[11].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x2b8);
+    modify_field(ext[12].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x2b0);
+    modify_field(ext[13].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x2a8);
+    modify_field(ext[14].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x2a0);
+    modify_field(ext[15].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x298);
+    modify_field(ext[16].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x290);
+    modify_field(ext[17].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x288);
+    modify_field(ext[18].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x280);
+    modify_field(ext[19].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x278);
+    modify_field(ext[20].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x270);
+    modify_field(ext[21].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x268);
+    modify_field(ext[22].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x260);
+    modify_field(ext[23].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x258);
+    modify_field(ext[24].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x250);
+    modify_field(ext[25].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x248);
+    modify_field(ext[26].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x240);
+    modify_field(ext[27].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x238);
+    modify_field(ext[28].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x230);
+    modify_field(ext[29].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x228);
+    modify_field(ext[30].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x220);
+    modify_field(ext[31].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x218);
+    modify_field(ext[32].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x210);
+    modify_field(ext[33].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x208);
+    modify_field(ext[34].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x200);
+    modify_field(ext[35].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x1f8);
+    modify_field(ext[36].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x1f0);
+    modify_field(ext[37].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x1e8);
+    modify_field(ext[38].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x1e0);
+    modify_field(ext[39].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x1d8);
+    modify_field(ext[40].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x1d0);
+    modify_field(ext[41].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x1c8);
+    modify_field(ext[42].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x1c0);
+    modify_field(ext[43].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x1b8);
+    modify_field(ext[44].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x1b0);
+    modify_field(ext[45].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x1a8);
+    modify_field(ext[46].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x1a0);
+    modify_field(ext[47].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x198);
+    modify_field(ext[48].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x190);
+    modify_field(ext[49].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x188);
+    modify_field(ext[50].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x180);
+    modify_field(ext[51].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x178);
+    modify_field(ext[52].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x170);
+    modify_field(ext[53].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x168);
+    modify_field(ext[54].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x160);
+    modify_field(ext[55].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x158);
+    modify_field(ext[56].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x150);
+    modify_field(ext[57].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x148);
+    modify_field(ext[58].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x140);
+    modify_field(ext[59].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x138);
+    modify_field(ext[60].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x130);
+    modify_field(ext[61].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x128);
+    modify_field(ext[62].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x120);
+    modify_field(ext[63].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x118);
+    modify_field(ext[64].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x110);
+    modify_field(ext[65].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x108);
+    modify_field(ext[66].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x100);
+    modify_field(ext[67].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0xf8);
+    modify_field(ext[68].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0xf0);
+    modify_field(ext[69].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0xe8);
+    modify_field(ext[70].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0xe0);
+    modify_field(ext[71].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0xd8);
+    modify_field(ext[72].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0xd0);
+    modify_field(ext[73].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0xc8);
+    modify_field(ext[74].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0xc0);
+    modify_field(ext[75].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0xb8);
+    modify_field(ext[76].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0xb0);
+    modify_field(ext[77].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0xa8);
+    modify_field(ext[78].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0xa0);
+    modify_field(ext[79].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x98);
+    modify_field(ext[80].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x90);
+    modify_field(ext[81].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x88);
+    modify_field(ext[82].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x80);
+    modify_field(ext[83].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x78);
+    modify_field(ext[84].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x70);
+    modify_field(ext[85].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x68);
+    modify_field(ext[86].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x60);
+    modify_field(ext[87].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x58);
+    modify_field(ext[88].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x50);
+    modify_field(ext[89].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x48);
+    modify_field(ext[90].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x40);
+    modify_field(ext[91].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x38);
+    modify_field(ext[92].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x30);
+    modify_field(ext[93].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x28);
+    modify_field(ext[94].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x20);
+    modify_field(ext[95].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x18);
+    modify_field(ext[96].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x10);
+    modify_field(ext[97].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x8);
+    modify_field(ext[98].b, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x0);
+    modify_field(ext[99].b, hp4s.tmp);
+}
+
+action a_mcast_start(next_program, next_vingress, mseq, port) {
+    modify_field(hp4.program, next_program);
+    modify_field(hp4.vdev_ingress, next_vingress);
+    modify_field(hp4.mcast, mseq);
+    modify_field(hp4.recirc, 0x1);
+    modify_field(standard_metadata.egress_spec, port);
+}
+
+action a_mcast_clone(session) {
+    clone_egress_pkt_to_egress(session, fl_recirc);
+}
+
+action a_mcast_step_clone(next_program, next_vingress, next_seq, session) {
+    modify_field(hp4.program, next_program);
+    modify_field(hp4.vdev_ingress, next_vingress);
+    modify_field(hp4.mcast, next_seq);
+    modify_field(hp4.recirc, 0x1);
+    clone_egress_pkt_to_egress(session, fl_recirc);
+}
+
+action a_mcast_step_last(next_program, next_vingress) {
+    modify_field(hp4.program, next_program);
+    modify_field(hp4.vdev_ingress, next_vingress);
+    modify_field(hp4.mcast, 0x0);
+    modify_field(hp4.recirc, 0x1);
+}
+
+action a_police() {
+    execute_meter(hp4_ingress_meter, hp4.program, hp4.color);
+    count(hp4_vdev_counter, hp4.program);
+}
+
+table t_norm {
+    reads {
+        hp4.parsed : exact;
+    }
+    actions {
+        a_norm_20;
+        a_norm_30;
+        a_norm_40;
+        a_norm_50;
+        a_norm_60;
+        a_norm_70;
+        a_norm_80;
+        a_norm_90;
+        a_norm_100;
+    }
+    size : 10;
+}
+
+table t_assign {
+    reads {
+        standard_metadata.ingress_port : ternary;
+    }
+    actions {
+        a_set_program;
+    }
+    size : 64;
+}
+
+table t_parse_ctrl {
+    reads {
+        hp4.program : exact;
+        hp4.parse_state : exact;
+        hp4d.extracted : ternary;
+    }
+    actions {
+        a_parse_more;
+        a_parse_done;
+    }
+    size : 256;
+}
+
+table t1_ed_exact {
+    reads {
+        hp4.program : exact;
+        hp4.next_slot : exact;
+        hp4d.extracted : ternary;
+    }
+    actions {
+        a_set_match;
+    }
+    size : 512;
+}
+
+table t1_ed_ternary {
+    reads {
+        hp4.program : exact;
+        hp4.next_slot : exact;
+        hp4d.extracted : ternary;
+    }
+    actions {
+        a_set_match;
+    }
+    size : 512;
+}
+
+table t1_meta_exact {
+    reads {
+        hp4.program : exact;
+        hp4.next_slot : exact;
+        hp4d.emeta : ternary;
+    }
+    actions {
+        a_set_match;
+    }
+    size : 512;
+}
+
+table t1_meta_ternary {
+    reads {
+        hp4.program : exact;
+        hp4.next_slot : exact;
+        hp4d.emeta : ternary;
+    }
+    actions {
+        a_set_match;
+    }
+    size : 512;
+}
+
+table t1_stdmeta {
+    reads {
+        hp4.program : exact;
+        hp4.next_slot : exact;
+        hp4.vdev_ingress : ternary;
+        hp4.vdev_port : ternary;
+    }
+    actions {
+        a_set_match;
+    }
+    size : 512;
+}
+
+table t1_matchless {
+    reads {
+        hp4.program : exact;
+        hp4.next_slot : exact;
+    }
+    actions {
+        a_set_match;
+    }
+    size : 512;
+}
+
+table t1_p1_prep {
+    reads {
+        hp4.program : exact;
+        hp4.match_id : exact;
+    }
+    actions {
+        a_prep_mod_ed_const;
+        a_prep_mod_ed_ed;
+        a_prep_mod_ed_meta;
+        a_prep_mod_meta_ed;
+        a_prep_mod_meta_const;
+        a_prep_mod_vport_const;
+        a_prep_mod_vport_vingress;
+        a_prep_add_ed_const;
+        a_prep_add_meta_const;
+        a_prep_drop;
+        a_prep_no_op;
+        a_prep_mod_meta_meta;
+    }
+    size : 512;
+}
+
+table t1_p1_exec {
+    reads {
+        hp4.prim_type : exact;
+    }
+    actions {
+        a_exec_mod_ed_const;
+        a_exec_mod_ed_ed;
+        a_exec_mod_ed_meta;
+        a_exec_mod_meta_ed;
+        a_exec_mod_meta_const;
+        a_exec_mod_vport_const;
+        a_exec_mod_vport_vingress;
+        a_exec_add_ed_const;
+        a_exec_add_meta_const;
+        a_exec_drop;
+        a_exec_no_op;
+        a_exec_mod_meta_meta;
+    }
+    size : 32;
+}
+
+table t1_p1_done {
+    actions {
+        a_prim_done;
+    }
+    default_action : a_prim_done;
+    size : 1;
+}
+
+table t1_p2_prep {
+    reads {
+        hp4.program : exact;
+        hp4.match_id : exact;
+    }
+    actions {
+        a_prep_mod_ed_const;
+        a_prep_mod_ed_ed;
+        a_prep_mod_ed_meta;
+        a_prep_mod_meta_ed;
+        a_prep_mod_meta_const;
+        a_prep_mod_vport_const;
+        a_prep_mod_vport_vingress;
+        a_prep_add_ed_const;
+        a_prep_add_meta_const;
+        a_prep_drop;
+        a_prep_no_op;
+        a_prep_mod_meta_meta;
+    }
+    size : 512;
+}
+
+table t1_p2_exec {
+    reads {
+        hp4.prim_type : exact;
+    }
+    actions {
+        a_exec_mod_ed_const;
+        a_exec_mod_ed_ed;
+        a_exec_mod_ed_meta;
+        a_exec_mod_meta_ed;
+        a_exec_mod_meta_const;
+        a_exec_mod_vport_const;
+        a_exec_mod_vport_vingress;
+        a_exec_add_ed_const;
+        a_exec_add_meta_const;
+        a_exec_drop;
+        a_exec_no_op;
+        a_exec_mod_meta_meta;
+    }
+    size : 32;
+}
+
+table t1_p2_done {
+    actions {
+        a_prim_done;
+    }
+    default_action : a_prim_done;
+    size : 1;
+}
+
+table t1_p3_prep {
+    reads {
+        hp4.program : exact;
+        hp4.match_id : exact;
+    }
+    actions {
+        a_prep_mod_ed_const;
+        a_prep_mod_ed_ed;
+        a_prep_mod_ed_meta;
+        a_prep_mod_meta_ed;
+        a_prep_mod_meta_const;
+        a_prep_mod_vport_const;
+        a_prep_mod_vport_vingress;
+        a_prep_add_ed_const;
+        a_prep_add_meta_const;
+        a_prep_drop;
+        a_prep_no_op;
+        a_prep_mod_meta_meta;
+    }
+    size : 512;
+}
+
+table t1_p3_exec {
+    reads {
+        hp4.prim_type : exact;
+    }
+    actions {
+        a_exec_mod_ed_const;
+        a_exec_mod_ed_ed;
+        a_exec_mod_ed_meta;
+        a_exec_mod_meta_ed;
+        a_exec_mod_meta_const;
+        a_exec_mod_vport_const;
+        a_exec_mod_vport_vingress;
+        a_exec_add_ed_const;
+        a_exec_add_meta_const;
+        a_exec_drop;
+        a_exec_no_op;
+        a_exec_mod_meta_meta;
+    }
+    size : 32;
+}
+
+table t1_p3_done {
+    actions {
+        a_prim_done;
+    }
+    default_action : a_prim_done;
+    size : 1;
+}
+
+table t1_p4_prep {
+    reads {
+        hp4.program : exact;
+        hp4.match_id : exact;
+    }
+    actions {
+        a_prep_mod_ed_const;
+        a_prep_mod_ed_ed;
+        a_prep_mod_ed_meta;
+        a_prep_mod_meta_ed;
+        a_prep_mod_meta_const;
+        a_prep_mod_vport_const;
+        a_prep_mod_vport_vingress;
+        a_prep_add_ed_const;
+        a_prep_add_meta_const;
+        a_prep_drop;
+        a_prep_no_op;
+        a_prep_mod_meta_meta;
+    }
+    size : 512;
+}
+
+table t1_p4_exec {
+    reads {
+        hp4.prim_type : exact;
+    }
+    actions {
+        a_exec_mod_ed_const;
+        a_exec_mod_ed_ed;
+        a_exec_mod_ed_meta;
+        a_exec_mod_meta_ed;
+        a_exec_mod_meta_const;
+        a_exec_mod_vport_const;
+        a_exec_mod_vport_vingress;
+        a_exec_add_ed_const;
+        a_exec_add_meta_const;
+        a_exec_drop;
+        a_exec_no_op;
+        a_exec_mod_meta_meta;
+    }
+    size : 32;
+}
+
+table t1_p4_done {
+    actions {
+        a_prim_done;
+    }
+    default_action : a_prim_done;
+    size : 1;
+}
+
+table t1_p5_prep {
+    reads {
+        hp4.program : exact;
+        hp4.match_id : exact;
+    }
+    actions {
+        a_prep_mod_ed_const;
+        a_prep_mod_ed_ed;
+        a_prep_mod_ed_meta;
+        a_prep_mod_meta_ed;
+        a_prep_mod_meta_const;
+        a_prep_mod_vport_const;
+        a_prep_mod_vport_vingress;
+        a_prep_add_ed_const;
+        a_prep_add_meta_const;
+        a_prep_drop;
+        a_prep_no_op;
+        a_prep_mod_meta_meta;
+    }
+    size : 512;
+}
+
+table t1_p5_exec {
+    reads {
+        hp4.prim_type : exact;
+    }
+    actions {
+        a_exec_mod_ed_const;
+        a_exec_mod_ed_ed;
+        a_exec_mod_ed_meta;
+        a_exec_mod_meta_ed;
+        a_exec_mod_meta_const;
+        a_exec_mod_vport_const;
+        a_exec_mod_vport_vingress;
+        a_exec_add_ed_const;
+        a_exec_add_meta_const;
+        a_exec_drop;
+        a_exec_no_op;
+        a_exec_mod_meta_meta;
+    }
+    size : 32;
+}
+
+table t1_p5_done {
+    actions {
+        a_prim_done;
+    }
+    default_action : a_prim_done;
+    size : 1;
+}
+
+table t1_p6_prep {
+    reads {
+        hp4.program : exact;
+        hp4.match_id : exact;
+    }
+    actions {
+        a_prep_mod_ed_const;
+        a_prep_mod_ed_ed;
+        a_prep_mod_ed_meta;
+        a_prep_mod_meta_ed;
+        a_prep_mod_meta_const;
+        a_prep_mod_vport_const;
+        a_prep_mod_vport_vingress;
+        a_prep_add_ed_const;
+        a_prep_add_meta_const;
+        a_prep_drop;
+        a_prep_no_op;
+        a_prep_mod_meta_meta;
+    }
+    size : 512;
+}
+
+table t1_p6_exec {
+    reads {
+        hp4.prim_type : exact;
+    }
+    actions {
+        a_exec_mod_ed_const;
+        a_exec_mod_ed_ed;
+        a_exec_mod_ed_meta;
+        a_exec_mod_meta_ed;
+        a_exec_mod_meta_const;
+        a_exec_mod_vport_const;
+        a_exec_mod_vport_vingress;
+        a_exec_add_ed_const;
+        a_exec_add_meta_const;
+        a_exec_drop;
+        a_exec_no_op;
+        a_exec_mod_meta_meta;
+    }
+    size : 32;
+}
+
+table t1_p6_done {
+    actions {
+        a_prim_done;
+    }
+    default_action : a_prim_done;
+    size : 1;
+}
+
+table t1_p7_prep {
+    reads {
+        hp4.program : exact;
+        hp4.match_id : exact;
+    }
+    actions {
+        a_prep_mod_ed_const;
+        a_prep_mod_ed_ed;
+        a_prep_mod_ed_meta;
+        a_prep_mod_meta_ed;
+        a_prep_mod_meta_const;
+        a_prep_mod_vport_const;
+        a_prep_mod_vport_vingress;
+        a_prep_add_ed_const;
+        a_prep_add_meta_const;
+        a_prep_drop;
+        a_prep_no_op;
+        a_prep_mod_meta_meta;
+    }
+    size : 512;
+}
+
+table t1_p7_exec {
+    reads {
+        hp4.prim_type : exact;
+    }
+    actions {
+        a_exec_mod_ed_const;
+        a_exec_mod_ed_ed;
+        a_exec_mod_ed_meta;
+        a_exec_mod_meta_ed;
+        a_exec_mod_meta_const;
+        a_exec_mod_vport_const;
+        a_exec_mod_vport_vingress;
+        a_exec_add_ed_const;
+        a_exec_add_meta_const;
+        a_exec_drop;
+        a_exec_no_op;
+        a_exec_mod_meta_meta;
+    }
+    size : 32;
+}
+
+table t1_p7_done {
+    actions {
+        a_prim_done;
+    }
+    default_action : a_prim_done;
+    size : 1;
+}
+
+table t1_p8_prep {
+    reads {
+        hp4.program : exact;
+        hp4.match_id : exact;
+    }
+    actions {
+        a_prep_mod_ed_const;
+        a_prep_mod_ed_ed;
+        a_prep_mod_ed_meta;
+        a_prep_mod_meta_ed;
+        a_prep_mod_meta_const;
+        a_prep_mod_vport_const;
+        a_prep_mod_vport_vingress;
+        a_prep_add_ed_const;
+        a_prep_add_meta_const;
+        a_prep_drop;
+        a_prep_no_op;
+        a_prep_mod_meta_meta;
+    }
+    size : 512;
+}
+
+table t1_p8_exec {
+    reads {
+        hp4.prim_type : exact;
+    }
+    actions {
+        a_exec_mod_ed_const;
+        a_exec_mod_ed_ed;
+        a_exec_mod_ed_meta;
+        a_exec_mod_meta_ed;
+        a_exec_mod_meta_const;
+        a_exec_mod_vport_const;
+        a_exec_mod_vport_vingress;
+        a_exec_add_ed_const;
+        a_exec_add_meta_const;
+        a_exec_drop;
+        a_exec_no_op;
+        a_exec_mod_meta_meta;
+    }
+    size : 32;
+}
+
+table t1_p8_done {
+    actions {
+        a_prim_done;
+    }
+    default_action : a_prim_done;
+    size : 1;
+}
+
+table t1_p9_prep {
+    reads {
+        hp4.program : exact;
+        hp4.match_id : exact;
+    }
+    actions {
+        a_prep_mod_ed_const;
+        a_prep_mod_ed_ed;
+        a_prep_mod_ed_meta;
+        a_prep_mod_meta_ed;
+        a_prep_mod_meta_const;
+        a_prep_mod_vport_const;
+        a_prep_mod_vport_vingress;
+        a_prep_add_ed_const;
+        a_prep_add_meta_const;
+        a_prep_drop;
+        a_prep_no_op;
+        a_prep_mod_meta_meta;
+    }
+    size : 512;
+}
+
+table t1_p9_exec {
+    reads {
+        hp4.prim_type : exact;
+    }
+    actions {
+        a_exec_mod_ed_const;
+        a_exec_mod_ed_ed;
+        a_exec_mod_ed_meta;
+        a_exec_mod_meta_ed;
+        a_exec_mod_meta_const;
+        a_exec_mod_vport_const;
+        a_exec_mod_vport_vingress;
+        a_exec_add_ed_const;
+        a_exec_add_meta_const;
+        a_exec_drop;
+        a_exec_no_op;
+        a_exec_mod_meta_meta;
+    }
+    size : 32;
+}
+
+table t1_p9_done {
+    actions {
+        a_prim_done;
+    }
+    default_action : a_prim_done;
+    size : 1;
+}
+
+table t2_ed_exact {
+    reads {
+        hp4.program : exact;
+        hp4.next_slot : exact;
+        hp4d.extracted : ternary;
+    }
+    actions {
+        a_set_match;
+    }
+    size : 512;
+}
+
+table t2_ed_ternary {
+    reads {
+        hp4.program : exact;
+        hp4.next_slot : exact;
+        hp4d.extracted : ternary;
+    }
+    actions {
+        a_set_match;
+    }
+    size : 512;
+}
+
+table t2_meta_exact {
+    reads {
+        hp4.program : exact;
+        hp4.next_slot : exact;
+        hp4d.emeta : ternary;
+    }
+    actions {
+        a_set_match;
+    }
+    size : 512;
+}
+
+table t2_meta_ternary {
+    reads {
+        hp4.program : exact;
+        hp4.next_slot : exact;
+        hp4d.emeta : ternary;
+    }
+    actions {
+        a_set_match;
+    }
+    size : 512;
+}
+
+table t2_stdmeta {
+    reads {
+        hp4.program : exact;
+        hp4.next_slot : exact;
+        hp4.vdev_ingress : ternary;
+        hp4.vdev_port : ternary;
+    }
+    actions {
+        a_set_match;
+    }
+    size : 512;
+}
+
+table t2_matchless {
+    reads {
+        hp4.program : exact;
+        hp4.next_slot : exact;
+    }
+    actions {
+        a_set_match;
+    }
+    size : 512;
+}
+
+table t2_p1_prep {
+    reads {
+        hp4.program : exact;
+        hp4.match_id : exact;
+    }
+    actions {
+        a_prep_mod_ed_const;
+        a_prep_mod_ed_ed;
+        a_prep_mod_ed_meta;
+        a_prep_mod_meta_ed;
+        a_prep_mod_meta_const;
+        a_prep_mod_vport_const;
+        a_prep_mod_vport_vingress;
+        a_prep_add_ed_const;
+        a_prep_add_meta_const;
+        a_prep_drop;
+        a_prep_no_op;
+        a_prep_mod_meta_meta;
+    }
+    size : 512;
+}
+
+table t2_p1_exec {
+    reads {
+        hp4.prim_type : exact;
+    }
+    actions {
+        a_exec_mod_ed_const;
+        a_exec_mod_ed_ed;
+        a_exec_mod_ed_meta;
+        a_exec_mod_meta_ed;
+        a_exec_mod_meta_const;
+        a_exec_mod_vport_const;
+        a_exec_mod_vport_vingress;
+        a_exec_add_ed_const;
+        a_exec_add_meta_const;
+        a_exec_drop;
+        a_exec_no_op;
+        a_exec_mod_meta_meta;
+    }
+    size : 32;
+}
+
+table t2_p1_done {
+    actions {
+        a_prim_done;
+    }
+    default_action : a_prim_done;
+    size : 1;
+}
+
+table t2_p2_prep {
+    reads {
+        hp4.program : exact;
+        hp4.match_id : exact;
+    }
+    actions {
+        a_prep_mod_ed_const;
+        a_prep_mod_ed_ed;
+        a_prep_mod_ed_meta;
+        a_prep_mod_meta_ed;
+        a_prep_mod_meta_const;
+        a_prep_mod_vport_const;
+        a_prep_mod_vport_vingress;
+        a_prep_add_ed_const;
+        a_prep_add_meta_const;
+        a_prep_drop;
+        a_prep_no_op;
+        a_prep_mod_meta_meta;
+    }
+    size : 512;
+}
+
+table t2_p2_exec {
+    reads {
+        hp4.prim_type : exact;
+    }
+    actions {
+        a_exec_mod_ed_const;
+        a_exec_mod_ed_ed;
+        a_exec_mod_ed_meta;
+        a_exec_mod_meta_ed;
+        a_exec_mod_meta_const;
+        a_exec_mod_vport_const;
+        a_exec_mod_vport_vingress;
+        a_exec_add_ed_const;
+        a_exec_add_meta_const;
+        a_exec_drop;
+        a_exec_no_op;
+        a_exec_mod_meta_meta;
+    }
+    size : 32;
+}
+
+table t2_p2_done {
+    actions {
+        a_prim_done;
+    }
+    default_action : a_prim_done;
+    size : 1;
+}
+
+table t2_p3_prep {
+    reads {
+        hp4.program : exact;
+        hp4.match_id : exact;
+    }
+    actions {
+        a_prep_mod_ed_const;
+        a_prep_mod_ed_ed;
+        a_prep_mod_ed_meta;
+        a_prep_mod_meta_ed;
+        a_prep_mod_meta_const;
+        a_prep_mod_vport_const;
+        a_prep_mod_vport_vingress;
+        a_prep_add_ed_const;
+        a_prep_add_meta_const;
+        a_prep_drop;
+        a_prep_no_op;
+        a_prep_mod_meta_meta;
+    }
+    size : 512;
+}
+
+table t2_p3_exec {
+    reads {
+        hp4.prim_type : exact;
+    }
+    actions {
+        a_exec_mod_ed_const;
+        a_exec_mod_ed_ed;
+        a_exec_mod_ed_meta;
+        a_exec_mod_meta_ed;
+        a_exec_mod_meta_const;
+        a_exec_mod_vport_const;
+        a_exec_mod_vport_vingress;
+        a_exec_add_ed_const;
+        a_exec_add_meta_const;
+        a_exec_drop;
+        a_exec_no_op;
+        a_exec_mod_meta_meta;
+    }
+    size : 32;
+}
+
+table t2_p3_done {
+    actions {
+        a_prim_done;
+    }
+    default_action : a_prim_done;
+    size : 1;
+}
+
+table t2_p4_prep {
+    reads {
+        hp4.program : exact;
+        hp4.match_id : exact;
+    }
+    actions {
+        a_prep_mod_ed_const;
+        a_prep_mod_ed_ed;
+        a_prep_mod_ed_meta;
+        a_prep_mod_meta_ed;
+        a_prep_mod_meta_const;
+        a_prep_mod_vport_const;
+        a_prep_mod_vport_vingress;
+        a_prep_add_ed_const;
+        a_prep_add_meta_const;
+        a_prep_drop;
+        a_prep_no_op;
+        a_prep_mod_meta_meta;
+    }
+    size : 512;
+}
+
+table t2_p4_exec {
+    reads {
+        hp4.prim_type : exact;
+    }
+    actions {
+        a_exec_mod_ed_const;
+        a_exec_mod_ed_ed;
+        a_exec_mod_ed_meta;
+        a_exec_mod_meta_ed;
+        a_exec_mod_meta_const;
+        a_exec_mod_vport_const;
+        a_exec_mod_vport_vingress;
+        a_exec_add_ed_const;
+        a_exec_add_meta_const;
+        a_exec_drop;
+        a_exec_no_op;
+        a_exec_mod_meta_meta;
+    }
+    size : 32;
+}
+
+table t2_p4_done {
+    actions {
+        a_prim_done;
+    }
+    default_action : a_prim_done;
+    size : 1;
+}
+
+table t2_p5_prep {
+    reads {
+        hp4.program : exact;
+        hp4.match_id : exact;
+    }
+    actions {
+        a_prep_mod_ed_const;
+        a_prep_mod_ed_ed;
+        a_prep_mod_ed_meta;
+        a_prep_mod_meta_ed;
+        a_prep_mod_meta_const;
+        a_prep_mod_vport_const;
+        a_prep_mod_vport_vingress;
+        a_prep_add_ed_const;
+        a_prep_add_meta_const;
+        a_prep_drop;
+        a_prep_no_op;
+        a_prep_mod_meta_meta;
+    }
+    size : 512;
+}
+
+table t2_p5_exec {
+    reads {
+        hp4.prim_type : exact;
+    }
+    actions {
+        a_exec_mod_ed_const;
+        a_exec_mod_ed_ed;
+        a_exec_mod_ed_meta;
+        a_exec_mod_meta_ed;
+        a_exec_mod_meta_const;
+        a_exec_mod_vport_const;
+        a_exec_mod_vport_vingress;
+        a_exec_add_ed_const;
+        a_exec_add_meta_const;
+        a_exec_drop;
+        a_exec_no_op;
+        a_exec_mod_meta_meta;
+    }
+    size : 32;
+}
+
+table t2_p5_done {
+    actions {
+        a_prim_done;
+    }
+    default_action : a_prim_done;
+    size : 1;
+}
+
+table t2_p6_prep {
+    reads {
+        hp4.program : exact;
+        hp4.match_id : exact;
+    }
+    actions {
+        a_prep_mod_ed_const;
+        a_prep_mod_ed_ed;
+        a_prep_mod_ed_meta;
+        a_prep_mod_meta_ed;
+        a_prep_mod_meta_const;
+        a_prep_mod_vport_const;
+        a_prep_mod_vport_vingress;
+        a_prep_add_ed_const;
+        a_prep_add_meta_const;
+        a_prep_drop;
+        a_prep_no_op;
+        a_prep_mod_meta_meta;
+    }
+    size : 512;
+}
+
+table t2_p6_exec {
+    reads {
+        hp4.prim_type : exact;
+    }
+    actions {
+        a_exec_mod_ed_const;
+        a_exec_mod_ed_ed;
+        a_exec_mod_ed_meta;
+        a_exec_mod_meta_ed;
+        a_exec_mod_meta_const;
+        a_exec_mod_vport_const;
+        a_exec_mod_vport_vingress;
+        a_exec_add_ed_const;
+        a_exec_add_meta_const;
+        a_exec_drop;
+        a_exec_no_op;
+        a_exec_mod_meta_meta;
+    }
+    size : 32;
+}
+
+table t2_p6_done {
+    actions {
+        a_prim_done;
+    }
+    default_action : a_prim_done;
+    size : 1;
+}
+
+table t2_p7_prep {
+    reads {
+        hp4.program : exact;
+        hp4.match_id : exact;
+    }
+    actions {
+        a_prep_mod_ed_const;
+        a_prep_mod_ed_ed;
+        a_prep_mod_ed_meta;
+        a_prep_mod_meta_ed;
+        a_prep_mod_meta_const;
+        a_prep_mod_vport_const;
+        a_prep_mod_vport_vingress;
+        a_prep_add_ed_const;
+        a_prep_add_meta_const;
+        a_prep_drop;
+        a_prep_no_op;
+        a_prep_mod_meta_meta;
+    }
+    size : 512;
+}
+
+table t2_p7_exec {
+    reads {
+        hp4.prim_type : exact;
+    }
+    actions {
+        a_exec_mod_ed_const;
+        a_exec_mod_ed_ed;
+        a_exec_mod_ed_meta;
+        a_exec_mod_meta_ed;
+        a_exec_mod_meta_const;
+        a_exec_mod_vport_const;
+        a_exec_mod_vport_vingress;
+        a_exec_add_ed_const;
+        a_exec_add_meta_const;
+        a_exec_drop;
+        a_exec_no_op;
+        a_exec_mod_meta_meta;
+    }
+    size : 32;
+}
+
+table t2_p7_done {
+    actions {
+        a_prim_done;
+    }
+    default_action : a_prim_done;
+    size : 1;
+}
+
+table t2_p8_prep {
+    reads {
+        hp4.program : exact;
+        hp4.match_id : exact;
+    }
+    actions {
+        a_prep_mod_ed_const;
+        a_prep_mod_ed_ed;
+        a_prep_mod_ed_meta;
+        a_prep_mod_meta_ed;
+        a_prep_mod_meta_const;
+        a_prep_mod_vport_const;
+        a_prep_mod_vport_vingress;
+        a_prep_add_ed_const;
+        a_prep_add_meta_const;
+        a_prep_drop;
+        a_prep_no_op;
+        a_prep_mod_meta_meta;
+    }
+    size : 512;
+}
+
+table t2_p8_exec {
+    reads {
+        hp4.prim_type : exact;
+    }
+    actions {
+        a_exec_mod_ed_const;
+        a_exec_mod_ed_ed;
+        a_exec_mod_ed_meta;
+        a_exec_mod_meta_ed;
+        a_exec_mod_meta_const;
+        a_exec_mod_vport_const;
+        a_exec_mod_vport_vingress;
+        a_exec_add_ed_const;
+        a_exec_add_meta_const;
+        a_exec_drop;
+        a_exec_no_op;
+        a_exec_mod_meta_meta;
+    }
+    size : 32;
+}
+
+table t2_p8_done {
+    actions {
+        a_prim_done;
+    }
+    default_action : a_prim_done;
+    size : 1;
+}
+
+table t2_p9_prep {
+    reads {
+        hp4.program : exact;
+        hp4.match_id : exact;
+    }
+    actions {
+        a_prep_mod_ed_const;
+        a_prep_mod_ed_ed;
+        a_prep_mod_ed_meta;
+        a_prep_mod_meta_ed;
+        a_prep_mod_meta_const;
+        a_prep_mod_vport_const;
+        a_prep_mod_vport_vingress;
+        a_prep_add_ed_const;
+        a_prep_add_meta_const;
+        a_prep_drop;
+        a_prep_no_op;
+        a_prep_mod_meta_meta;
+    }
+    size : 512;
+}
+
+table t2_p9_exec {
+    reads {
+        hp4.prim_type : exact;
+    }
+    actions {
+        a_exec_mod_ed_const;
+        a_exec_mod_ed_ed;
+        a_exec_mod_ed_meta;
+        a_exec_mod_meta_ed;
+        a_exec_mod_meta_const;
+        a_exec_mod_vport_const;
+        a_exec_mod_vport_vingress;
+        a_exec_add_ed_const;
+        a_exec_add_meta_const;
+        a_exec_drop;
+        a_exec_no_op;
+        a_exec_mod_meta_meta;
+    }
+    size : 32;
+}
+
+table t2_p9_done {
+    actions {
+        a_prim_done;
+    }
+    default_action : a_prim_done;
+    size : 1;
+}
+
+table t3_ed_exact {
+    reads {
+        hp4.program : exact;
+        hp4.next_slot : exact;
+        hp4d.extracted : ternary;
+    }
+    actions {
+        a_set_match;
+    }
+    size : 512;
+}
+
+table t3_ed_ternary {
+    reads {
+        hp4.program : exact;
+        hp4.next_slot : exact;
+        hp4d.extracted : ternary;
+    }
+    actions {
+        a_set_match;
+    }
+    size : 512;
+}
+
+table t3_meta_exact {
+    reads {
+        hp4.program : exact;
+        hp4.next_slot : exact;
+        hp4d.emeta : ternary;
+    }
+    actions {
+        a_set_match;
+    }
+    size : 512;
+}
+
+table t3_meta_ternary {
+    reads {
+        hp4.program : exact;
+        hp4.next_slot : exact;
+        hp4d.emeta : ternary;
+    }
+    actions {
+        a_set_match;
+    }
+    size : 512;
+}
+
+table t3_stdmeta {
+    reads {
+        hp4.program : exact;
+        hp4.next_slot : exact;
+        hp4.vdev_ingress : ternary;
+        hp4.vdev_port : ternary;
+    }
+    actions {
+        a_set_match;
+    }
+    size : 512;
+}
+
+table t3_matchless {
+    reads {
+        hp4.program : exact;
+        hp4.next_slot : exact;
+    }
+    actions {
+        a_set_match;
+    }
+    size : 512;
+}
+
+table t3_p1_prep {
+    reads {
+        hp4.program : exact;
+        hp4.match_id : exact;
+    }
+    actions {
+        a_prep_mod_ed_const;
+        a_prep_mod_ed_ed;
+        a_prep_mod_ed_meta;
+        a_prep_mod_meta_ed;
+        a_prep_mod_meta_const;
+        a_prep_mod_vport_const;
+        a_prep_mod_vport_vingress;
+        a_prep_add_ed_const;
+        a_prep_add_meta_const;
+        a_prep_drop;
+        a_prep_no_op;
+        a_prep_mod_meta_meta;
+    }
+    size : 512;
+}
+
+table t3_p1_exec {
+    reads {
+        hp4.prim_type : exact;
+    }
+    actions {
+        a_exec_mod_ed_const;
+        a_exec_mod_ed_ed;
+        a_exec_mod_ed_meta;
+        a_exec_mod_meta_ed;
+        a_exec_mod_meta_const;
+        a_exec_mod_vport_const;
+        a_exec_mod_vport_vingress;
+        a_exec_add_ed_const;
+        a_exec_add_meta_const;
+        a_exec_drop;
+        a_exec_no_op;
+        a_exec_mod_meta_meta;
+    }
+    size : 32;
+}
+
+table t3_p1_done {
+    actions {
+        a_prim_done;
+    }
+    default_action : a_prim_done;
+    size : 1;
+}
+
+table t3_p2_prep {
+    reads {
+        hp4.program : exact;
+        hp4.match_id : exact;
+    }
+    actions {
+        a_prep_mod_ed_const;
+        a_prep_mod_ed_ed;
+        a_prep_mod_ed_meta;
+        a_prep_mod_meta_ed;
+        a_prep_mod_meta_const;
+        a_prep_mod_vport_const;
+        a_prep_mod_vport_vingress;
+        a_prep_add_ed_const;
+        a_prep_add_meta_const;
+        a_prep_drop;
+        a_prep_no_op;
+        a_prep_mod_meta_meta;
+    }
+    size : 512;
+}
+
+table t3_p2_exec {
+    reads {
+        hp4.prim_type : exact;
+    }
+    actions {
+        a_exec_mod_ed_const;
+        a_exec_mod_ed_ed;
+        a_exec_mod_ed_meta;
+        a_exec_mod_meta_ed;
+        a_exec_mod_meta_const;
+        a_exec_mod_vport_const;
+        a_exec_mod_vport_vingress;
+        a_exec_add_ed_const;
+        a_exec_add_meta_const;
+        a_exec_drop;
+        a_exec_no_op;
+        a_exec_mod_meta_meta;
+    }
+    size : 32;
+}
+
+table t3_p2_done {
+    actions {
+        a_prim_done;
+    }
+    default_action : a_prim_done;
+    size : 1;
+}
+
+table t3_p3_prep {
+    reads {
+        hp4.program : exact;
+        hp4.match_id : exact;
+    }
+    actions {
+        a_prep_mod_ed_const;
+        a_prep_mod_ed_ed;
+        a_prep_mod_ed_meta;
+        a_prep_mod_meta_ed;
+        a_prep_mod_meta_const;
+        a_prep_mod_vport_const;
+        a_prep_mod_vport_vingress;
+        a_prep_add_ed_const;
+        a_prep_add_meta_const;
+        a_prep_drop;
+        a_prep_no_op;
+        a_prep_mod_meta_meta;
+    }
+    size : 512;
+}
+
+table t3_p3_exec {
+    reads {
+        hp4.prim_type : exact;
+    }
+    actions {
+        a_exec_mod_ed_const;
+        a_exec_mod_ed_ed;
+        a_exec_mod_ed_meta;
+        a_exec_mod_meta_ed;
+        a_exec_mod_meta_const;
+        a_exec_mod_vport_const;
+        a_exec_mod_vport_vingress;
+        a_exec_add_ed_const;
+        a_exec_add_meta_const;
+        a_exec_drop;
+        a_exec_no_op;
+        a_exec_mod_meta_meta;
+    }
+    size : 32;
+}
+
+table t3_p3_done {
+    actions {
+        a_prim_done;
+    }
+    default_action : a_prim_done;
+    size : 1;
+}
+
+table t3_p4_prep {
+    reads {
+        hp4.program : exact;
+        hp4.match_id : exact;
+    }
+    actions {
+        a_prep_mod_ed_const;
+        a_prep_mod_ed_ed;
+        a_prep_mod_ed_meta;
+        a_prep_mod_meta_ed;
+        a_prep_mod_meta_const;
+        a_prep_mod_vport_const;
+        a_prep_mod_vport_vingress;
+        a_prep_add_ed_const;
+        a_prep_add_meta_const;
+        a_prep_drop;
+        a_prep_no_op;
+        a_prep_mod_meta_meta;
+    }
+    size : 512;
+}
+
+table t3_p4_exec {
+    reads {
+        hp4.prim_type : exact;
+    }
+    actions {
+        a_exec_mod_ed_const;
+        a_exec_mod_ed_ed;
+        a_exec_mod_ed_meta;
+        a_exec_mod_meta_ed;
+        a_exec_mod_meta_const;
+        a_exec_mod_vport_const;
+        a_exec_mod_vport_vingress;
+        a_exec_add_ed_const;
+        a_exec_add_meta_const;
+        a_exec_drop;
+        a_exec_no_op;
+        a_exec_mod_meta_meta;
+    }
+    size : 32;
+}
+
+table t3_p4_done {
+    actions {
+        a_prim_done;
+    }
+    default_action : a_prim_done;
+    size : 1;
+}
+
+table t3_p5_prep {
+    reads {
+        hp4.program : exact;
+        hp4.match_id : exact;
+    }
+    actions {
+        a_prep_mod_ed_const;
+        a_prep_mod_ed_ed;
+        a_prep_mod_ed_meta;
+        a_prep_mod_meta_ed;
+        a_prep_mod_meta_const;
+        a_prep_mod_vport_const;
+        a_prep_mod_vport_vingress;
+        a_prep_add_ed_const;
+        a_prep_add_meta_const;
+        a_prep_drop;
+        a_prep_no_op;
+        a_prep_mod_meta_meta;
+    }
+    size : 512;
+}
+
+table t3_p5_exec {
+    reads {
+        hp4.prim_type : exact;
+    }
+    actions {
+        a_exec_mod_ed_const;
+        a_exec_mod_ed_ed;
+        a_exec_mod_ed_meta;
+        a_exec_mod_meta_ed;
+        a_exec_mod_meta_const;
+        a_exec_mod_vport_const;
+        a_exec_mod_vport_vingress;
+        a_exec_add_ed_const;
+        a_exec_add_meta_const;
+        a_exec_drop;
+        a_exec_no_op;
+        a_exec_mod_meta_meta;
+    }
+    size : 32;
+}
+
+table t3_p5_done {
+    actions {
+        a_prim_done;
+    }
+    default_action : a_prim_done;
+    size : 1;
+}
+
+table t3_p6_prep {
+    reads {
+        hp4.program : exact;
+        hp4.match_id : exact;
+    }
+    actions {
+        a_prep_mod_ed_const;
+        a_prep_mod_ed_ed;
+        a_prep_mod_ed_meta;
+        a_prep_mod_meta_ed;
+        a_prep_mod_meta_const;
+        a_prep_mod_vport_const;
+        a_prep_mod_vport_vingress;
+        a_prep_add_ed_const;
+        a_prep_add_meta_const;
+        a_prep_drop;
+        a_prep_no_op;
+        a_prep_mod_meta_meta;
+    }
+    size : 512;
+}
+
+table t3_p6_exec {
+    reads {
+        hp4.prim_type : exact;
+    }
+    actions {
+        a_exec_mod_ed_const;
+        a_exec_mod_ed_ed;
+        a_exec_mod_ed_meta;
+        a_exec_mod_meta_ed;
+        a_exec_mod_meta_const;
+        a_exec_mod_vport_const;
+        a_exec_mod_vport_vingress;
+        a_exec_add_ed_const;
+        a_exec_add_meta_const;
+        a_exec_drop;
+        a_exec_no_op;
+        a_exec_mod_meta_meta;
+    }
+    size : 32;
+}
+
+table t3_p6_done {
+    actions {
+        a_prim_done;
+    }
+    default_action : a_prim_done;
+    size : 1;
+}
+
+table t3_p7_prep {
+    reads {
+        hp4.program : exact;
+        hp4.match_id : exact;
+    }
+    actions {
+        a_prep_mod_ed_const;
+        a_prep_mod_ed_ed;
+        a_prep_mod_ed_meta;
+        a_prep_mod_meta_ed;
+        a_prep_mod_meta_const;
+        a_prep_mod_vport_const;
+        a_prep_mod_vport_vingress;
+        a_prep_add_ed_const;
+        a_prep_add_meta_const;
+        a_prep_drop;
+        a_prep_no_op;
+        a_prep_mod_meta_meta;
+    }
+    size : 512;
+}
+
+table t3_p7_exec {
+    reads {
+        hp4.prim_type : exact;
+    }
+    actions {
+        a_exec_mod_ed_const;
+        a_exec_mod_ed_ed;
+        a_exec_mod_ed_meta;
+        a_exec_mod_meta_ed;
+        a_exec_mod_meta_const;
+        a_exec_mod_vport_const;
+        a_exec_mod_vport_vingress;
+        a_exec_add_ed_const;
+        a_exec_add_meta_const;
+        a_exec_drop;
+        a_exec_no_op;
+        a_exec_mod_meta_meta;
+    }
+    size : 32;
+}
+
+table t3_p7_done {
+    actions {
+        a_prim_done;
+    }
+    default_action : a_prim_done;
+    size : 1;
+}
+
+table t3_p8_prep {
+    reads {
+        hp4.program : exact;
+        hp4.match_id : exact;
+    }
+    actions {
+        a_prep_mod_ed_const;
+        a_prep_mod_ed_ed;
+        a_prep_mod_ed_meta;
+        a_prep_mod_meta_ed;
+        a_prep_mod_meta_const;
+        a_prep_mod_vport_const;
+        a_prep_mod_vport_vingress;
+        a_prep_add_ed_const;
+        a_prep_add_meta_const;
+        a_prep_drop;
+        a_prep_no_op;
+        a_prep_mod_meta_meta;
+    }
+    size : 512;
+}
+
+table t3_p8_exec {
+    reads {
+        hp4.prim_type : exact;
+    }
+    actions {
+        a_exec_mod_ed_const;
+        a_exec_mod_ed_ed;
+        a_exec_mod_ed_meta;
+        a_exec_mod_meta_ed;
+        a_exec_mod_meta_const;
+        a_exec_mod_vport_const;
+        a_exec_mod_vport_vingress;
+        a_exec_add_ed_const;
+        a_exec_add_meta_const;
+        a_exec_drop;
+        a_exec_no_op;
+        a_exec_mod_meta_meta;
+    }
+    size : 32;
+}
+
+table t3_p8_done {
+    actions {
+        a_prim_done;
+    }
+    default_action : a_prim_done;
+    size : 1;
+}
+
+table t3_p9_prep {
+    reads {
+        hp4.program : exact;
+        hp4.match_id : exact;
+    }
+    actions {
+        a_prep_mod_ed_const;
+        a_prep_mod_ed_ed;
+        a_prep_mod_ed_meta;
+        a_prep_mod_meta_ed;
+        a_prep_mod_meta_const;
+        a_prep_mod_vport_const;
+        a_prep_mod_vport_vingress;
+        a_prep_add_ed_const;
+        a_prep_add_meta_const;
+        a_prep_drop;
+        a_prep_no_op;
+        a_prep_mod_meta_meta;
+    }
+    size : 512;
+}
+
+table t3_p9_exec {
+    reads {
+        hp4.prim_type : exact;
+    }
+    actions {
+        a_exec_mod_ed_const;
+        a_exec_mod_ed_ed;
+        a_exec_mod_ed_meta;
+        a_exec_mod_meta_ed;
+        a_exec_mod_meta_const;
+        a_exec_mod_vport_const;
+        a_exec_mod_vport_vingress;
+        a_exec_add_ed_const;
+        a_exec_add_meta_const;
+        a_exec_drop;
+        a_exec_no_op;
+        a_exec_mod_meta_meta;
+    }
+    size : 32;
+}
+
+table t3_p9_done {
+    actions {
+        a_prim_done;
+    }
+    default_action : a_prim_done;
+    size : 1;
+}
+
+table t4_ed_exact {
+    reads {
+        hp4.program : exact;
+        hp4.next_slot : exact;
+        hp4d.extracted : ternary;
+    }
+    actions {
+        a_set_match;
+    }
+    size : 512;
+}
+
+table t4_ed_ternary {
+    reads {
+        hp4.program : exact;
+        hp4.next_slot : exact;
+        hp4d.extracted : ternary;
+    }
+    actions {
+        a_set_match;
+    }
+    size : 512;
+}
+
+table t4_meta_exact {
+    reads {
+        hp4.program : exact;
+        hp4.next_slot : exact;
+        hp4d.emeta : ternary;
+    }
+    actions {
+        a_set_match;
+    }
+    size : 512;
+}
+
+table t4_meta_ternary {
+    reads {
+        hp4.program : exact;
+        hp4.next_slot : exact;
+        hp4d.emeta : ternary;
+    }
+    actions {
+        a_set_match;
+    }
+    size : 512;
+}
+
+table t4_stdmeta {
+    reads {
+        hp4.program : exact;
+        hp4.next_slot : exact;
+        hp4.vdev_ingress : ternary;
+        hp4.vdev_port : ternary;
+    }
+    actions {
+        a_set_match;
+    }
+    size : 512;
+}
+
+table t4_matchless {
+    reads {
+        hp4.program : exact;
+        hp4.next_slot : exact;
+    }
+    actions {
+        a_set_match;
+    }
+    size : 512;
+}
+
+table t4_p1_prep {
+    reads {
+        hp4.program : exact;
+        hp4.match_id : exact;
+    }
+    actions {
+        a_prep_mod_ed_const;
+        a_prep_mod_ed_ed;
+        a_prep_mod_ed_meta;
+        a_prep_mod_meta_ed;
+        a_prep_mod_meta_const;
+        a_prep_mod_vport_const;
+        a_prep_mod_vport_vingress;
+        a_prep_add_ed_const;
+        a_prep_add_meta_const;
+        a_prep_drop;
+        a_prep_no_op;
+        a_prep_mod_meta_meta;
+    }
+    size : 512;
+}
+
+table t4_p1_exec {
+    reads {
+        hp4.prim_type : exact;
+    }
+    actions {
+        a_exec_mod_ed_const;
+        a_exec_mod_ed_ed;
+        a_exec_mod_ed_meta;
+        a_exec_mod_meta_ed;
+        a_exec_mod_meta_const;
+        a_exec_mod_vport_const;
+        a_exec_mod_vport_vingress;
+        a_exec_add_ed_const;
+        a_exec_add_meta_const;
+        a_exec_drop;
+        a_exec_no_op;
+        a_exec_mod_meta_meta;
+    }
+    size : 32;
+}
+
+table t4_p1_done {
+    actions {
+        a_prim_done;
+    }
+    default_action : a_prim_done;
+    size : 1;
+}
+
+table t4_p2_prep {
+    reads {
+        hp4.program : exact;
+        hp4.match_id : exact;
+    }
+    actions {
+        a_prep_mod_ed_const;
+        a_prep_mod_ed_ed;
+        a_prep_mod_ed_meta;
+        a_prep_mod_meta_ed;
+        a_prep_mod_meta_const;
+        a_prep_mod_vport_const;
+        a_prep_mod_vport_vingress;
+        a_prep_add_ed_const;
+        a_prep_add_meta_const;
+        a_prep_drop;
+        a_prep_no_op;
+        a_prep_mod_meta_meta;
+    }
+    size : 512;
+}
+
+table t4_p2_exec {
+    reads {
+        hp4.prim_type : exact;
+    }
+    actions {
+        a_exec_mod_ed_const;
+        a_exec_mod_ed_ed;
+        a_exec_mod_ed_meta;
+        a_exec_mod_meta_ed;
+        a_exec_mod_meta_const;
+        a_exec_mod_vport_const;
+        a_exec_mod_vport_vingress;
+        a_exec_add_ed_const;
+        a_exec_add_meta_const;
+        a_exec_drop;
+        a_exec_no_op;
+        a_exec_mod_meta_meta;
+    }
+    size : 32;
+}
+
+table t4_p2_done {
+    actions {
+        a_prim_done;
+    }
+    default_action : a_prim_done;
+    size : 1;
+}
+
+table t4_p3_prep {
+    reads {
+        hp4.program : exact;
+        hp4.match_id : exact;
+    }
+    actions {
+        a_prep_mod_ed_const;
+        a_prep_mod_ed_ed;
+        a_prep_mod_ed_meta;
+        a_prep_mod_meta_ed;
+        a_prep_mod_meta_const;
+        a_prep_mod_vport_const;
+        a_prep_mod_vport_vingress;
+        a_prep_add_ed_const;
+        a_prep_add_meta_const;
+        a_prep_drop;
+        a_prep_no_op;
+        a_prep_mod_meta_meta;
+    }
+    size : 512;
+}
+
+table t4_p3_exec {
+    reads {
+        hp4.prim_type : exact;
+    }
+    actions {
+        a_exec_mod_ed_const;
+        a_exec_mod_ed_ed;
+        a_exec_mod_ed_meta;
+        a_exec_mod_meta_ed;
+        a_exec_mod_meta_const;
+        a_exec_mod_vport_const;
+        a_exec_mod_vport_vingress;
+        a_exec_add_ed_const;
+        a_exec_add_meta_const;
+        a_exec_drop;
+        a_exec_no_op;
+        a_exec_mod_meta_meta;
+    }
+    size : 32;
+}
+
+table t4_p3_done {
+    actions {
+        a_prim_done;
+    }
+    default_action : a_prim_done;
+    size : 1;
+}
+
+table t4_p4_prep {
+    reads {
+        hp4.program : exact;
+        hp4.match_id : exact;
+    }
+    actions {
+        a_prep_mod_ed_const;
+        a_prep_mod_ed_ed;
+        a_prep_mod_ed_meta;
+        a_prep_mod_meta_ed;
+        a_prep_mod_meta_const;
+        a_prep_mod_vport_const;
+        a_prep_mod_vport_vingress;
+        a_prep_add_ed_const;
+        a_prep_add_meta_const;
+        a_prep_drop;
+        a_prep_no_op;
+        a_prep_mod_meta_meta;
+    }
+    size : 512;
+}
+
+table t4_p4_exec {
+    reads {
+        hp4.prim_type : exact;
+    }
+    actions {
+        a_exec_mod_ed_const;
+        a_exec_mod_ed_ed;
+        a_exec_mod_ed_meta;
+        a_exec_mod_meta_ed;
+        a_exec_mod_meta_const;
+        a_exec_mod_vport_const;
+        a_exec_mod_vport_vingress;
+        a_exec_add_ed_const;
+        a_exec_add_meta_const;
+        a_exec_drop;
+        a_exec_no_op;
+        a_exec_mod_meta_meta;
+    }
+    size : 32;
+}
+
+table t4_p4_done {
+    actions {
+        a_prim_done;
+    }
+    default_action : a_prim_done;
+    size : 1;
+}
+
+table t4_p5_prep {
+    reads {
+        hp4.program : exact;
+        hp4.match_id : exact;
+    }
+    actions {
+        a_prep_mod_ed_const;
+        a_prep_mod_ed_ed;
+        a_prep_mod_ed_meta;
+        a_prep_mod_meta_ed;
+        a_prep_mod_meta_const;
+        a_prep_mod_vport_const;
+        a_prep_mod_vport_vingress;
+        a_prep_add_ed_const;
+        a_prep_add_meta_const;
+        a_prep_drop;
+        a_prep_no_op;
+        a_prep_mod_meta_meta;
+    }
+    size : 512;
+}
+
+table t4_p5_exec {
+    reads {
+        hp4.prim_type : exact;
+    }
+    actions {
+        a_exec_mod_ed_const;
+        a_exec_mod_ed_ed;
+        a_exec_mod_ed_meta;
+        a_exec_mod_meta_ed;
+        a_exec_mod_meta_const;
+        a_exec_mod_vport_const;
+        a_exec_mod_vport_vingress;
+        a_exec_add_ed_const;
+        a_exec_add_meta_const;
+        a_exec_drop;
+        a_exec_no_op;
+        a_exec_mod_meta_meta;
+    }
+    size : 32;
+}
+
+table t4_p5_done {
+    actions {
+        a_prim_done;
+    }
+    default_action : a_prim_done;
+    size : 1;
+}
+
+table t4_p6_prep {
+    reads {
+        hp4.program : exact;
+        hp4.match_id : exact;
+    }
+    actions {
+        a_prep_mod_ed_const;
+        a_prep_mod_ed_ed;
+        a_prep_mod_ed_meta;
+        a_prep_mod_meta_ed;
+        a_prep_mod_meta_const;
+        a_prep_mod_vport_const;
+        a_prep_mod_vport_vingress;
+        a_prep_add_ed_const;
+        a_prep_add_meta_const;
+        a_prep_drop;
+        a_prep_no_op;
+        a_prep_mod_meta_meta;
+    }
+    size : 512;
+}
+
+table t4_p6_exec {
+    reads {
+        hp4.prim_type : exact;
+    }
+    actions {
+        a_exec_mod_ed_const;
+        a_exec_mod_ed_ed;
+        a_exec_mod_ed_meta;
+        a_exec_mod_meta_ed;
+        a_exec_mod_meta_const;
+        a_exec_mod_vport_const;
+        a_exec_mod_vport_vingress;
+        a_exec_add_ed_const;
+        a_exec_add_meta_const;
+        a_exec_drop;
+        a_exec_no_op;
+        a_exec_mod_meta_meta;
+    }
+    size : 32;
+}
+
+table t4_p6_done {
+    actions {
+        a_prim_done;
+    }
+    default_action : a_prim_done;
+    size : 1;
+}
+
+table t4_p7_prep {
+    reads {
+        hp4.program : exact;
+        hp4.match_id : exact;
+    }
+    actions {
+        a_prep_mod_ed_const;
+        a_prep_mod_ed_ed;
+        a_prep_mod_ed_meta;
+        a_prep_mod_meta_ed;
+        a_prep_mod_meta_const;
+        a_prep_mod_vport_const;
+        a_prep_mod_vport_vingress;
+        a_prep_add_ed_const;
+        a_prep_add_meta_const;
+        a_prep_drop;
+        a_prep_no_op;
+        a_prep_mod_meta_meta;
+    }
+    size : 512;
+}
+
+table t4_p7_exec {
+    reads {
+        hp4.prim_type : exact;
+    }
+    actions {
+        a_exec_mod_ed_const;
+        a_exec_mod_ed_ed;
+        a_exec_mod_ed_meta;
+        a_exec_mod_meta_ed;
+        a_exec_mod_meta_const;
+        a_exec_mod_vport_const;
+        a_exec_mod_vport_vingress;
+        a_exec_add_ed_const;
+        a_exec_add_meta_const;
+        a_exec_drop;
+        a_exec_no_op;
+        a_exec_mod_meta_meta;
+    }
+    size : 32;
+}
+
+table t4_p7_done {
+    actions {
+        a_prim_done;
+    }
+    default_action : a_prim_done;
+    size : 1;
+}
+
+table t4_p8_prep {
+    reads {
+        hp4.program : exact;
+        hp4.match_id : exact;
+    }
+    actions {
+        a_prep_mod_ed_const;
+        a_prep_mod_ed_ed;
+        a_prep_mod_ed_meta;
+        a_prep_mod_meta_ed;
+        a_prep_mod_meta_const;
+        a_prep_mod_vport_const;
+        a_prep_mod_vport_vingress;
+        a_prep_add_ed_const;
+        a_prep_add_meta_const;
+        a_prep_drop;
+        a_prep_no_op;
+        a_prep_mod_meta_meta;
+    }
+    size : 512;
+}
+
+table t4_p8_exec {
+    reads {
+        hp4.prim_type : exact;
+    }
+    actions {
+        a_exec_mod_ed_const;
+        a_exec_mod_ed_ed;
+        a_exec_mod_ed_meta;
+        a_exec_mod_meta_ed;
+        a_exec_mod_meta_const;
+        a_exec_mod_vport_const;
+        a_exec_mod_vport_vingress;
+        a_exec_add_ed_const;
+        a_exec_add_meta_const;
+        a_exec_drop;
+        a_exec_no_op;
+        a_exec_mod_meta_meta;
+    }
+    size : 32;
+}
+
+table t4_p8_done {
+    actions {
+        a_prim_done;
+    }
+    default_action : a_prim_done;
+    size : 1;
+}
+
+table t4_p9_prep {
+    reads {
+        hp4.program : exact;
+        hp4.match_id : exact;
+    }
+    actions {
+        a_prep_mod_ed_const;
+        a_prep_mod_ed_ed;
+        a_prep_mod_ed_meta;
+        a_prep_mod_meta_ed;
+        a_prep_mod_meta_const;
+        a_prep_mod_vport_const;
+        a_prep_mod_vport_vingress;
+        a_prep_add_ed_const;
+        a_prep_add_meta_const;
+        a_prep_drop;
+        a_prep_no_op;
+        a_prep_mod_meta_meta;
+    }
+    size : 512;
+}
+
+table t4_p9_exec {
+    reads {
+        hp4.prim_type : exact;
+    }
+    actions {
+        a_exec_mod_ed_const;
+        a_exec_mod_ed_ed;
+        a_exec_mod_ed_meta;
+        a_exec_mod_meta_ed;
+        a_exec_mod_meta_const;
+        a_exec_mod_vport_const;
+        a_exec_mod_vport_vingress;
+        a_exec_add_ed_const;
+        a_exec_add_meta_const;
+        a_exec_drop;
+        a_exec_no_op;
+        a_exec_mod_meta_meta;
+    }
+    size : 32;
+}
+
+table t4_p9_done {
+    actions {
+        a_prim_done;
+    }
+    default_action : a_prim_done;
+    size : 1;
+}
+
+table t_virtnet {
+    reads {
+        hp4.program : exact;
+        hp4.vdev_port : exact;
+    }
+    actions {
+        a_phys_fwd;
+        a_virt_fwd;
+        a_mcast_start;
+        a_vdrop;
+    }
+    default_action : a_vdrop;
+    size : 256;
+}
+
+table te_recirc {
+    actions {
+        a_do_recirc;
+    }
+    default_action : a_do_recirc;
+    size : 1;
+}
+
+table t_dropped {
+    actions {
+        a_vdrop;
+    }
+    default_action : a_vdrop;
+    size : 1;
+}
+
+table te_csum {
+    reads {
+        hp4.program : exact;
+    }
+    actions {
+        a_ipv4_csum;
+    }
+    size : 64;
+}
+
+table te_resize {
+    reads {
+        hp4.wb_bytes : exact;
+    }
+    actions {
+        a_resize_20;
+        a_resize_30;
+        a_resize_40;
+        a_resize_50;
+        a_resize_60;
+        a_resize_70;
+        a_resize_80;
+        a_resize_90;
+        a_resize_100;
+    }
+    size : 10;
+}
+
+table te_writeback {
+    reads {
+        hp4.wb_bytes : exact;
+    }
+    actions {
+        a_wb_20;
+        a_wb_30;
+        a_wb_40;
+        a_wb_50;
+        a_wb_60;
+        a_wb_70;
+        a_wb_80;
+        a_wb_90;
+        a_wb_100;
+    }
+    size : 10;
+}
+
+table te_mcast_orig {
+    reads {
+        hp4.mcast : exact;
+    }
+    actions {
+        a_mcast_clone;
+    }
+    size : 64;
+}
+
+table te_mcast_clone {
+    reads {
+        hp4.mcast : exact;
+    }
+    actions {
+        a_mcast_step_clone;
+        a_mcast_step_last;
+    }
+    size : 64;
+}
+
+table t_police {
+    actions {
+        a_police;
+    }
+    default_action : a_police;
+    size : 1;
+}
+
+table t_police_drop {
+    actions {
+        a_vdrop;
+    }
+    default_action : a_vdrop;
+    size : 1;
+}
+
+control ingress {
+    apply(t_norm);
+    if (hp4.program == 0x0) {
+        apply(t_assign);
+    }
+    apply(t_police);
+    if (hp4.color != 0x2) {
+        apply(t_parse_ctrl);
+        if (hp4.next_table != 0x0) {
+            if (hp4.next_table == 0x1) {
+                apply(t1_ed_exact);
+            } else {
+                if (hp4.next_table == 0x2) {
+                    apply(t1_ed_ternary);
+                } else {
+                    if (hp4.next_table == 0x3) {
+                        apply(t1_meta_exact);
+                    } else {
+                        if (hp4.next_table == 0x4) {
+                            apply(t1_meta_ternary);
+                        } else {
+                            if (hp4.next_table == 0x5) {
+                                apply(t1_stdmeta);
+                            } else {
+                                if (hp4.next_table == 0x6) {
+                                    apply(t1_matchless);
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            if (hp4.prims_left != 0x0) {
+                apply(t1_p1_prep);
+                apply(t1_p1_exec);
+                apply(t1_p1_done);
+            }
+            if (hp4.prims_left != 0x0) {
+                apply(t1_p2_prep);
+                apply(t1_p2_exec);
+                apply(t1_p2_done);
+            }
+            if (hp4.prims_left != 0x0) {
+                apply(t1_p3_prep);
+                apply(t1_p3_exec);
+                apply(t1_p3_done);
+            }
+            if (hp4.prims_left != 0x0) {
+                apply(t1_p4_prep);
+                apply(t1_p4_exec);
+                apply(t1_p4_done);
+            }
+            if (hp4.prims_left != 0x0) {
+                apply(t1_p5_prep);
+                apply(t1_p5_exec);
+                apply(t1_p5_done);
+            }
+            if (hp4.prims_left != 0x0) {
+                apply(t1_p6_prep);
+                apply(t1_p6_exec);
+                apply(t1_p6_done);
+            }
+            if (hp4.prims_left != 0x0) {
+                apply(t1_p7_prep);
+                apply(t1_p7_exec);
+                apply(t1_p7_done);
+            }
+            if (hp4.prims_left != 0x0) {
+                apply(t1_p8_prep);
+                apply(t1_p8_exec);
+                apply(t1_p8_done);
+            }
+            if (hp4.prims_left != 0x0) {
+                apply(t1_p9_prep);
+                apply(t1_p9_exec);
+                apply(t1_p9_done);
+            }
+        }
+        if (hp4.next_table != 0x0) {
+            if (hp4.next_table == 0x1) {
+                apply(t2_ed_exact);
+            } else {
+                if (hp4.next_table == 0x2) {
+                    apply(t2_ed_ternary);
+                } else {
+                    if (hp4.next_table == 0x3) {
+                        apply(t2_meta_exact);
+                    } else {
+                        if (hp4.next_table == 0x4) {
+                            apply(t2_meta_ternary);
+                        } else {
+                            if (hp4.next_table == 0x5) {
+                                apply(t2_stdmeta);
+                            } else {
+                                if (hp4.next_table == 0x6) {
+                                    apply(t2_matchless);
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            if (hp4.prims_left != 0x0) {
+                apply(t2_p1_prep);
+                apply(t2_p1_exec);
+                apply(t2_p1_done);
+            }
+            if (hp4.prims_left != 0x0) {
+                apply(t2_p2_prep);
+                apply(t2_p2_exec);
+                apply(t2_p2_done);
+            }
+            if (hp4.prims_left != 0x0) {
+                apply(t2_p3_prep);
+                apply(t2_p3_exec);
+                apply(t2_p3_done);
+            }
+            if (hp4.prims_left != 0x0) {
+                apply(t2_p4_prep);
+                apply(t2_p4_exec);
+                apply(t2_p4_done);
+            }
+            if (hp4.prims_left != 0x0) {
+                apply(t2_p5_prep);
+                apply(t2_p5_exec);
+                apply(t2_p5_done);
+            }
+            if (hp4.prims_left != 0x0) {
+                apply(t2_p6_prep);
+                apply(t2_p6_exec);
+                apply(t2_p6_done);
+            }
+            if (hp4.prims_left != 0x0) {
+                apply(t2_p7_prep);
+                apply(t2_p7_exec);
+                apply(t2_p7_done);
+            }
+            if (hp4.prims_left != 0x0) {
+                apply(t2_p8_prep);
+                apply(t2_p8_exec);
+                apply(t2_p8_done);
+            }
+            if (hp4.prims_left != 0x0) {
+                apply(t2_p9_prep);
+                apply(t2_p9_exec);
+                apply(t2_p9_done);
+            }
+        }
+        if (hp4.next_table != 0x0) {
+            if (hp4.next_table == 0x1) {
+                apply(t3_ed_exact);
+            } else {
+                if (hp4.next_table == 0x2) {
+                    apply(t3_ed_ternary);
+                } else {
+                    if (hp4.next_table == 0x3) {
+                        apply(t3_meta_exact);
+                    } else {
+                        if (hp4.next_table == 0x4) {
+                            apply(t3_meta_ternary);
+                        } else {
+                            if (hp4.next_table == 0x5) {
+                                apply(t3_stdmeta);
+                            } else {
+                                if (hp4.next_table == 0x6) {
+                                    apply(t3_matchless);
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            if (hp4.prims_left != 0x0) {
+                apply(t3_p1_prep);
+                apply(t3_p1_exec);
+                apply(t3_p1_done);
+            }
+            if (hp4.prims_left != 0x0) {
+                apply(t3_p2_prep);
+                apply(t3_p2_exec);
+                apply(t3_p2_done);
+            }
+            if (hp4.prims_left != 0x0) {
+                apply(t3_p3_prep);
+                apply(t3_p3_exec);
+                apply(t3_p3_done);
+            }
+            if (hp4.prims_left != 0x0) {
+                apply(t3_p4_prep);
+                apply(t3_p4_exec);
+                apply(t3_p4_done);
+            }
+            if (hp4.prims_left != 0x0) {
+                apply(t3_p5_prep);
+                apply(t3_p5_exec);
+                apply(t3_p5_done);
+            }
+            if (hp4.prims_left != 0x0) {
+                apply(t3_p6_prep);
+                apply(t3_p6_exec);
+                apply(t3_p6_done);
+            }
+            if (hp4.prims_left != 0x0) {
+                apply(t3_p7_prep);
+                apply(t3_p7_exec);
+                apply(t3_p7_done);
+            }
+            if (hp4.prims_left != 0x0) {
+                apply(t3_p8_prep);
+                apply(t3_p8_exec);
+                apply(t3_p8_done);
+            }
+            if (hp4.prims_left != 0x0) {
+                apply(t3_p9_prep);
+                apply(t3_p9_exec);
+                apply(t3_p9_done);
+            }
+        }
+        if (hp4.next_table != 0x0) {
+            if (hp4.next_table == 0x1) {
+                apply(t4_ed_exact);
+            } else {
+                if (hp4.next_table == 0x2) {
+                    apply(t4_ed_ternary);
+                } else {
+                    if (hp4.next_table == 0x3) {
+                        apply(t4_meta_exact);
+                    } else {
+                        if (hp4.next_table == 0x4) {
+                            apply(t4_meta_ternary);
+                        } else {
+                            if (hp4.next_table == 0x5) {
+                                apply(t4_stdmeta);
+                            } else {
+                                if (hp4.next_table == 0x6) {
+                                    apply(t4_matchless);
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            if (hp4.prims_left != 0x0) {
+                apply(t4_p1_prep);
+                apply(t4_p1_exec);
+                apply(t4_p1_done);
+            }
+            if (hp4.prims_left != 0x0) {
+                apply(t4_p2_prep);
+                apply(t4_p2_exec);
+                apply(t4_p2_done);
+            }
+            if (hp4.prims_left != 0x0) {
+                apply(t4_p3_prep);
+                apply(t4_p3_exec);
+                apply(t4_p3_done);
+            }
+            if (hp4.prims_left != 0x0) {
+                apply(t4_p4_prep);
+                apply(t4_p4_exec);
+                apply(t4_p4_done);
+            }
+            if (hp4.prims_left != 0x0) {
+                apply(t4_p5_prep);
+                apply(t4_p5_exec);
+                apply(t4_p5_done);
+            }
+            if (hp4.prims_left != 0x0) {
+                apply(t4_p6_prep);
+                apply(t4_p6_exec);
+                apply(t4_p6_done);
+            }
+            if (hp4.prims_left != 0x0) {
+                apply(t4_p7_prep);
+                apply(t4_p7_exec);
+                apply(t4_p7_done);
+            }
+            if (hp4.prims_left != 0x0) {
+                apply(t4_p8_prep);
+                apply(t4_p8_exec);
+                apply(t4_p8_done);
+            }
+            if (hp4.prims_left != 0x0) {
+                apply(t4_p9_prep);
+                apply(t4_p9_exec);
+                apply(t4_p9_done);
+            }
+        }
+        if (hp4.dropped == 0x1) {
+            apply(t_dropped);
+        } else {
+            apply(t_virtnet);
+        }
+    } else {
+        apply(t_police_drop);
+    }
+}
+
+control egress {
+    if (hp4.csum == 0x1) {
+        apply(te_csum);
+    }
+    apply(te_resize);
+    apply(te_writeback);
+    if (hp4.mcast != 0x0) {
+        if (standard_metadata.instance_type == 0x2) {
+            apply(te_mcast_clone);
+        } else {
+            apply(te_mcast_orig);
+        }
+    }
+    if (hp4.recirc == 0x1) {
+        apply(te_recirc);
+    }
+}
+

@@ -1,0 +1,3451 @@
+header_type u_byte_t {
+    fields {
+        b : 8;
+    }
+}
+
+header_type hp4_meta_t {
+    fields {
+        program : 16;
+        numbytes : 16;
+        parsed : 16;
+        parse_state : 16;
+        next_table : 8;
+        next_slot : 16;
+        match_id : 32;
+        prims_left : 8;
+        prim_type : 8;
+        vdev_port : 16;
+        vdev_ingress : 16;
+        wb_bytes : 16;
+        recirc : 8;
+        csum : 8;
+        dropped : 8;
+        mcast : 16;
+        color : 8;
+        fpath : 8;
+    }
+}
+
+header_type hp4_data_t {
+    fields {
+        extracted : 800;
+        emeta : 256;
+    }
+}
+
+header_type hp4_scratch_t {
+    fields {
+        tmp : 800;
+        dmask : 800;
+        dshift : 16;
+        slshift : 16;
+        srshift : 16;
+        cval : 64;
+        acc : 32;
+    }
+}
+
+header_type f_eth_t {
+    fields {
+        dst : 48;
+        src : 48;
+        etype : 16;
+    }
+}
+
+header_type f_arp_t {
+    fields {
+        htype : 16;
+        ptype : 16;
+        hlen : 8;
+        plen : 8;
+        oper : 16;
+        sha : 48;
+        spa : 32;
+        tha : 48;
+        tpa : 32;
+    }
+}
+
+header_type f_ipv4_t {
+    fields {
+        verihl : 8;
+        tos : 8;
+        len : 16;
+        id : 16;
+        frag : 16;
+        ttl : 8;
+        proto : 8;
+        csum : 16;
+        src : 32;
+        dst : 32;
+    }
+}
+
+header_type f_tcp_t {
+    fields {
+        sport : 16;
+        dport : 16;
+        seq : 32;
+        ack : 32;
+        offres : 8;
+        flags : 8;
+        win : 16;
+        csum : 16;
+        urg : 16;
+    }
+}
+
+header_type f_udp_t {
+    fields {
+        sport : 16;
+        dport : 16;
+        len : 16;
+        csum : 16;
+    }
+}
+
+metadata hp4_meta_t hp4;
+metadata hp4_data_t hp4d;
+metadata hp4_scratch_t hp4s;
+header f_eth_t f_eth;
+header f_arp_t f_arp;
+header f_ipv4_t f_ipv4;
+header f_tcp_t f_tcp;
+header f_udp_t f_udp;
+
+field_list fl_resubmit {
+    hp4.program;
+    hp4.numbytes;
+    hp4.parse_state;
+    hp4.vdev_ingress;
+}
+
+field_list fl_recirc {
+    hp4.program;
+    hp4.vdev_ingress;
+}
+
+counter hp4_vdev_counter {
+    type : packets;
+    instance_count : 256;
+}
+
+meter hp4_ingress_meter {
+    type : packets;
+    instance_count : 256;
+}
+
+parser start {
+    extract(f_eth);
+    return select(latest.etype) {
+        0x806 : fp_arp;
+        0x800 : fp_ipv4;
+        default : fp_eth_done;
+    }
+}
+
+parser fp_eth_done {
+    set_metadata(hp4.fpath, 0x1);
+    set_metadata(hp4.parsed, 0xe);
+    return ingress;
+}
+
+parser fp_arp {
+    extract(f_arp);
+    set_metadata(hp4.fpath, 0x2);
+    set_metadata(hp4.parsed, 0x2a);
+    return ingress;
+}
+
+parser fp_ipv4 {
+    extract(f_ipv4);
+    return select(latest.proto) {
+        0x6 : fp_tcp;
+        0x11 : fp_udp;
+        default : fp_ipv4_done;
+    }
+}
+
+parser fp_ipv4_done {
+    set_metadata(hp4.fpath, 0x3);
+    set_metadata(hp4.parsed, 0x22);
+    return ingress;
+}
+
+parser fp_tcp {
+    extract(f_tcp);
+    set_metadata(hp4.fpath, 0x4);
+    set_metadata(hp4.parsed, 0x36);
+    return ingress;
+}
+
+parser fp_udp {
+    extract(f_udp);
+    set_metadata(hp4.fpath, 0x5);
+    set_metadata(hp4.parsed, 0x2a);
+    return ingress;
+}
+
+action a_fnorm_1() {
+    modify_field(hp4s.tmp, f_eth.dst);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x2f0);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, f_eth.src);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x2c0);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, f_eth.etype);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x2b0);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+}
+
+action a_fwb_1() {
+    shift_right(hp4s.tmp, hp4d.extracted, 0x2f0);
+    modify_field(f_eth.dst, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x2c0);
+    modify_field(f_eth.src, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x2b0);
+    modify_field(f_eth.etype, hp4s.tmp);
+}
+
+action a_fnorm_2() {
+    modify_field(hp4s.tmp, f_eth.dst);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x2f0);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, f_eth.src);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x2c0);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, f_eth.etype);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x2b0);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, f_arp.htype);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x2a0);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, f_arp.ptype);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x290);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, f_arp.hlen);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x288);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, f_arp.plen);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x280);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, f_arp.oper);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x270);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, f_arp.sha);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x240);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, f_arp.spa);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x220);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, f_arp.tha);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x1f0);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, f_arp.tpa);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x1d0);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+}
+
+action a_fwb_2() {
+    shift_right(hp4s.tmp, hp4d.extracted, 0x2f0);
+    modify_field(f_eth.dst, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x2c0);
+    modify_field(f_eth.src, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x2b0);
+    modify_field(f_eth.etype, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x2a0);
+    modify_field(f_arp.htype, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x290);
+    modify_field(f_arp.ptype, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x288);
+    modify_field(f_arp.hlen, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x280);
+    modify_field(f_arp.plen, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x270);
+    modify_field(f_arp.oper, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x240);
+    modify_field(f_arp.sha, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x220);
+    modify_field(f_arp.spa, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x1f0);
+    modify_field(f_arp.tha, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x1d0);
+    modify_field(f_arp.tpa, hp4s.tmp);
+}
+
+action a_fnorm_3() {
+    modify_field(hp4s.tmp, f_eth.dst);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x2f0);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, f_eth.src);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x2c0);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, f_eth.etype);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x2b0);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, f_ipv4.verihl);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x2a8);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, f_ipv4.tos);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x2a0);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, f_ipv4.len);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x290);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, f_ipv4.id);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x280);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, f_ipv4.frag);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x270);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, f_ipv4.ttl);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x268);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, f_ipv4.proto);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x260);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, f_ipv4.csum);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x250);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, f_ipv4.src);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x230);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, f_ipv4.dst);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x210);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+}
+
+action a_fwb_3() {
+    shift_right(hp4s.tmp, hp4d.extracted, 0x2f0);
+    modify_field(f_eth.dst, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x2c0);
+    modify_field(f_eth.src, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x2b0);
+    modify_field(f_eth.etype, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x2a8);
+    modify_field(f_ipv4.verihl, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x2a0);
+    modify_field(f_ipv4.tos, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x290);
+    modify_field(f_ipv4.len, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x280);
+    modify_field(f_ipv4.id, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x270);
+    modify_field(f_ipv4.frag, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x268);
+    modify_field(f_ipv4.ttl, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x260);
+    modify_field(f_ipv4.proto, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x250);
+    modify_field(f_ipv4.csum, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x230);
+    modify_field(f_ipv4.src, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x210);
+    modify_field(f_ipv4.dst, hp4s.tmp);
+}
+
+action a_fnorm_4() {
+    modify_field(hp4s.tmp, f_eth.dst);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x2f0);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, f_eth.src);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x2c0);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, f_eth.etype);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x2b0);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, f_ipv4.verihl);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x2a8);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, f_ipv4.tos);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x2a0);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, f_ipv4.len);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x290);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, f_ipv4.id);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x280);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, f_ipv4.frag);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x270);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, f_ipv4.ttl);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x268);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, f_ipv4.proto);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x260);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, f_ipv4.csum);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x250);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, f_ipv4.src);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x230);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, f_ipv4.dst);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x210);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, f_tcp.sport);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x200);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, f_tcp.dport);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x1f0);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, f_tcp.seq);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x1d0);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, f_tcp.ack);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x1b0);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, f_tcp.offres);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x1a8);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, f_tcp.flags);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x1a0);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, f_tcp.win);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x190);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, f_tcp.csum);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x180);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, f_tcp.urg);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x170);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+}
+
+action a_fwb_4() {
+    shift_right(hp4s.tmp, hp4d.extracted, 0x2f0);
+    modify_field(f_eth.dst, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x2c0);
+    modify_field(f_eth.src, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x2b0);
+    modify_field(f_eth.etype, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x2a8);
+    modify_field(f_ipv4.verihl, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x2a0);
+    modify_field(f_ipv4.tos, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x290);
+    modify_field(f_ipv4.len, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x280);
+    modify_field(f_ipv4.id, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x270);
+    modify_field(f_ipv4.frag, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x268);
+    modify_field(f_ipv4.ttl, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x260);
+    modify_field(f_ipv4.proto, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x250);
+    modify_field(f_ipv4.csum, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x230);
+    modify_field(f_ipv4.src, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x210);
+    modify_field(f_ipv4.dst, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x200);
+    modify_field(f_tcp.sport, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x1f0);
+    modify_field(f_tcp.dport, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x1d0);
+    modify_field(f_tcp.seq, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x1b0);
+    modify_field(f_tcp.ack, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x1a8);
+    modify_field(f_tcp.offres, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x1a0);
+    modify_field(f_tcp.flags, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x190);
+    modify_field(f_tcp.win, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x180);
+    modify_field(f_tcp.csum, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x170);
+    modify_field(f_tcp.urg, hp4s.tmp);
+}
+
+action a_fnorm_5() {
+    modify_field(hp4s.tmp, f_eth.dst);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x2f0);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, f_eth.src);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x2c0);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, f_eth.etype);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x2b0);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, f_ipv4.verihl);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x2a8);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, f_ipv4.tos);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x2a0);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, f_ipv4.len);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x290);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, f_ipv4.id);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x280);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, f_ipv4.frag);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x270);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, f_ipv4.ttl);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x268);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, f_ipv4.proto);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x260);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, f_ipv4.csum);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x250);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, f_ipv4.src);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x230);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, f_ipv4.dst);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x210);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, f_udp.sport);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x200);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, f_udp.dport);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x1f0);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, f_udp.len);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x1e0);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+    modify_field(hp4s.tmp, f_udp.csum);
+    shift_left(hp4s.tmp, hp4s.tmp, 0x1d0);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+}
+
+action a_fwb_5() {
+    shift_right(hp4s.tmp, hp4d.extracted, 0x2f0);
+    modify_field(f_eth.dst, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x2c0);
+    modify_field(f_eth.src, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x2b0);
+    modify_field(f_eth.etype, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x2a8);
+    modify_field(f_ipv4.verihl, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x2a0);
+    modify_field(f_ipv4.tos, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x290);
+    modify_field(f_ipv4.len, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x280);
+    modify_field(f_ipv4.id, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x270);
+    modify_field(f_ipv4.frag, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x268);
+    modify_field(f_ipv4.ttl, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x260);
+    modify_field(f_ipv4.proto, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x250);
+    modify_field(f_ipv4.csum, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x230);
+    modify_field(f_ipv4.src, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x210);
+    modify_field(f_ipv4.dst, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x200);
+    modify_field(f_udp.sport, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x1f0);
+    modify_field(f_udp.dport, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x1e0);
+    modify_field(f_udp.len, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4d.extracted, 0x1d0);
+    modify_field(f_udp.csum, hp4s.tmp);
+}
+
+action a_set_program(program, vingress) {
+    modify_field(hp4.program, program);
+    modify_field(hp4.vdev_ingress, vingress);
+}
+
+action a_parse_more(numbytes, pstate) {
+    modify_field(hp4.numbytes, numbytes);
+    modify_field(hp4.parse_state, pstate);
+    resubmit(fl_resubmit);
+}
+
+action a_parse_done(next_table, next_slot, csum) {
+    modify_field(hp4.next_table, next_table);
+    modify_field(hp4.next_slot, next_slot);
+    modify_field(hp4.wb_bytes, hp4.parsed);
+    modify_field(hp4.csum, csum);
+}
+
+action a_set_match(match_id, prims_left, next_table, next_slot) {
+    modify_field(hp4.match_id, match_id);
+    modify_field(hp4.prims_left, prims_left);
+    modify_field(hp4.next_table, next_table);
+    modify_field(hp4.next_slot, next_slot);
+}
+
+action a_prep_mod_ed_const(dmask, dshift, cval) {
+    modify_field(hp4.prim_type, 0x1);
+    modify_field(hp4s.dmask, dmask);
+    modify_field(hp4s.dshift, dshift);
+    modify_field(hp4s.cval, cval);
+}
+
+action a_prep_mod_ed_ed(dmask, dshift, slshift, srshift) {
+    modify_field(hp4.prim_type, 0x2);
+    modify_field(hp4s.dmask, dmask);
+    modify_field(hp4s.dshift, dshift);
+    modify_field(hp4s.slshift, slshift);
+    modify_field(hp4s.srshift, srshift);
+}
+
+action a_prep_mod_ed_meta(dmask, dshift, slshift, srshift) {
+    modify_field(hp4.prim_type, 0x3);
+    modify_field(hp4s.dmask, dmask);
+    modify_field(hp4s.dshift, dshift);
+    modify_field(hp4s.slshift, slshift);
+    modify_field(hp4s.srshift, srshift);
+}
+
+action a_prep_mod_meta_ed(dmask, dshift, slshift, srshift) {
+    modify_field(hp4.prim_type, 0x4);
+    modify_field(hp4s.dmask, dmask);
+    modify_field(hp4s.dshift, dshift);
+    modify_field(hp4s.slshift, slshift);
+    modify_field(hp4s.srshift, srshift);
+}
+
+action a_prep_mod_meta_const(dmask, dshift, cval) {
+    modify_field(hp4.prim_type, 0x5);
+    modify_field(hp4s.dmask, dmask);
+    modify_field(hp4s.dshift, dshift);
+    modify_field(hp4s.cval, cval);
+}
+
+action a_prep_mod_meta_meta(dmask, dshift, slshift, srshift) {
+    modify_field(hp4.prim_type, 0xc);
+    modify_field(hp4s.dmask, dmask);
+    modify_field(hp4s.dshift, dshift);
+    modify_field(hp4s.slshift, slshift);
+    modify_field(hp4s.srshift, srshift);
+}
+
+action a_prep_mod_vport_const(cval) {
+    modify_field(hp4.prim_type, 0x6);
+    modify_field(hp4s.cval, cval);
+}
+
+action a_prep_mod_vport_vingress() {
+    modify_field(hp4.prim_type, 0x7);
+}
+
+action a_prep_add_ed_const(dmask, dshift, slshift, srshift, cval) {
+    modify_field(hp4.prim_type, 0x8);
+    modify_field(hp4s.dmask, dmask);
+    modify_field(hp4s.dshift, dshift);
+    modify_field(hp4s.slshift, slshift);
+    modify_field(hp4s.srshift, srshift);
+    modify_field(hp4s.cval, cval);
+}
+
+action a_prep_add_meta_const(dmask, dshift, slshift, srshift, cval) {
+    modify_field(hp4.prim_type, 0x9);
+    modify_field(hp4s.dmask, dmask);
+    modify_field(hp4s.dshift, dshift);
+    modify_field(hp4s.slshift, slshift);
+    modify_field(hp4s.srshift, srshift);
+    modify_field(hp4s.cval, cval);
+}
+
+action a_prep_drop() {
+    modify_field(hp4.prim_type, 0xa);
+}
+
+action a_prep_no_op() {
+    modify_field(hp4.prim_type, 0xb);
+}
+
+action a_exec_mod_ed_const() {
+    modify_field(hp4s.tmp, hp4s.cval);
+    shift_left(hp4s.tmp, hp4s.tmp, hp4s.dshift);
+    bit_and(hp4s.tmp, hp4s.tmp, hp4s.dmask);
+    bit_xor(hp4s.dmask, hp4s.dmask, 0xffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffff);
+    bit_and(hp4d.extracted, hp4d.extracted, hp4s.dmask);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+}
+
+action a_exec_mod_ed_ed() {
+    modify_field(hp4s.tmp, hp4d.extracted);
+    shift_left(hp4s.tmp, hp4s.tmp, hp4s.slshift);
+    shift_right(hp4s.tmp, hp4s.tmp, hp4s.srshift);
+    shift_left(hp4s.tmp, hp4s.tmp, hp4s.dshift);
+    bit_and(hp4s.tmp, hp4s.tmp, hp4s.dmask);
+    bit_xor(hp4s.dmask, hp4s.dmask, 0xffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffff);
+    bit_and(hp4d.extracted, hp4d.extracted, hp4s.dmask);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+}
+
+action a_exec_mod_ed_meta() {
+    modify_field(hp4s.tmp, hp4d.emeta);
+    shift_left(hp4s.tmp, hp4s.tmp, hp4s.slshift);
+    shift_right(hp4s.tmp, hp4s.tmp, hp4s.srshift);
+    shift_left(hp4s.tmp, hp4s.tmp, hp4s.dshift);
+    bit_and(hp4s.tmp, hp4s.tmp, hp4s.dmask);
+    bit_xor(hp4s.dmask, hp4s.dmask, 0xffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffff);
+    bit_and(hp4d.extracted, hp4d.extracted, hp4s.dmask);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+}
+
+action a_exec_mod_meta_ed() {
+    modify_field(hp4s.tmp, hp4d.extracted);
+    shift_left(hp4s.tmp, hp4s.tmp, hp4s.slshift);
+    shift_right(hp4s.tmp, hp4s.tmp, hp4s.srshift);
+    shift_left(hp4s.tmp, hp4s.tmp, hp4s.dshift);
+    bit_and(hp4s.tmp, hp4s.tmp, hp4s.dmask);
+    bit_xor(hp4s.dmask, hp4s.dmask, 0xffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffff);
+    bit_and(hp4d.emeta, hp4d.emeta, hp4s.dmask);
+    bit_or(hp4d.emeta, hp4d.emeta, hp4s.tmp);
+}
+
+action a_exec_mod_meta_const() {
+    modify_field(hp4s.tmp, hp4s.cval);
+    shift_left(hp4s.tmp, hp4s.tmp, hp4s.dshift);
+    bit_and(hp4s.tmp, hp4s.tmp, hp4s.dmask);
+    bit_xor(hp4s.dmask, hp4s.dmask, 0xffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffff);
+    bit_and(hp4d.emeta, hp4d.emeta, hp4s.dmask);
+    bit_or(hp4d.emeta, hp4d.emeta, hp4s.tmp);
+}
+
+action a_exec_mod_meta_meta() {
+    modify_field(hp4s.tmp, hp4d.emeta);
+    shift_left(hp4s.tmp, hp4s.tmp, hp4s.slshift);
+    shift_right(hp4s.tmp, hp4s.tmp, hp4s.srshift);
+    shift_left(hp4s.tmp, hp4s.tmp, hp4s.dshift);
+    bit_and(hp4s.tmp, hp4s.tmp, hp4s.dmask);
+    bit_xor(hp4s.dmask, hp4s.dmask, 0xffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffff);
+    bit_and(hp4d.emeta, hp4d.emeta, hp4s.dmask);
+    bit_or(hp4d.emeta, hp4d.emeta, hp4s.tmp);
+}
+
+action a_exec_mod_vport_const() {
+    modify_field(hp4.vdev_port, hp4s.cval);
+}
+
+action a_exec_mod_vport_vingress() {
+    modify_field(hp4.vdev_port, hp4.vdev_ingress);
+}
+
+action a_exec_add_ed_const() {
+    modify_field(hp4s.tmp, hp4d.extracted);
+    shift_left(hp4s.tmp, hp4s.tmp, hp4s.slshift);
+    shift_right(hp4s.tmp, hp4s.tmp, hp4s.srshift);
+    add_to_field(hp4s.tmp, hp4s.cval);
+    shift_left(hp4s.tmp, hp4s.tmp, hp4s.srshift);
+    shift_right(hp4s.tmp, hp4s.tmp, hp4s.srshift);
+    shift_left(hp4s.tmp, hp4s.tmp, hp4s.dshift);
+    bit_and(hp4s.tmp, hp4s.tmp, hp4s.dmask);
+    bit_xor(hp4s.dmask, hp4s.dmask, 0xffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffff);
+    bit_and(hp4d.extracted, hp4d.extracted, hp4s.dmask);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+}
+
+action a_exec_add_meta_const() {
+    modify_field(hp4s.tmp, hp4d.emeta);
+    shift_left(hp4s.tmp, hp4s.tmp, hp4s.slshift);
+    shift_right(hp4s.tmp, hp4s.tmp, hp4s.srshift);
+    add_to_field(hp4s.tmp, hp4s.cval);
+    shift_left(hp4s.tmp, hp4s.tmp, hp4s.srshift);
+    shift_right(hp4s.tmp, hp4s.tmp, hp4s.srshift);
+    shift_left(hp4s.tmp, hp4s.tmp, hp4s.dshift);
+    bit_and(hp4s.tmp, hp4s.tmp, hp4s.dmask);
+    bit_xor(hp4s.dmask, hp4s.dmask, 0xffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffff);
+    bit_and(hp4d.emeta, hp4d.emeta, hp4s.dmask);
+    bit_or(hp4d.emeta, hp4d.emeta, hp4s.tmp);
+}
+
+action a_exec_drop() {
+    modify_field(hp4.vdev_port, 0x1ff);
+    modify_field(hp4.dropped, 0x1);
+}
+
+action a_exec_no_op() {
+    no_op();
+}
+
+action a_prim_done() {
+    subtract_from_field(hp4.prims_left, 0x1);
+}
+
+action a_phys_fwd(port) {
+    modify_field(standard_metadata.egress_spec, port);
+}
+
+action a_virt_fwd(next_program, next_vingress, port) {
+    modify_field(hp4.program, next_program);
+    modify_field(hp4.vdev_ingress, next_vingress);
+    modify_field(hp4.recirc, 0x1);
+    modify_field(standard_metadata.egress_spec, port);
+}
+
+action a_vdrop() {
+    drop();
+}
+
+action a_do_recirc() {
+    modify_field(hp4.recirc, 0x0);
+    recirculate(fl_recirc);
+}
+
+action a_ipv4_csum(ncmask, shift0, cshift) {
+    bit_and(hp4d.extracted, hp4d.extracted, ncmask);
+    modify_field(hp4s.acc, 0x0);
+    modify_field(hp4s.slshift, shift0);
+    shift_right(hp4s.tmp, hp4d.extracted, hp4s.slshift);
+    bit_and(hp4s.tmp, hp4s.tmp, 0xffff);
+    add_to_field(hp4s.acc, hp4s.tmp);
+    subtract_from_field(hp4s.slshift, 0x10);
+    shift_right(hp4s.tmp, hp4d.extracted, hp4s.slshift);
+    bit_and(hp4s.tmp, hp4s.tmp, 0xffff);
+    add_to_field(hp4s.acc, hp4s.tmp);
+    subtract_from_field(hp4s.slshift, 0x10);
+    shift_right(hp4s.tmp, hp4d.extracted, hp4s.slshift);
+    bit_and(hp4s.tmp, hp4s.tmp, 0xffff);
+    add_to_field(hp4s.acc, hp4s.tmp);
+    subtract_from_field(hp4s.slshift, 0x10);
+    shift_right(hp4s.tmp, hp4d.extracted, hp4s.slshift);
+    bit_and(hp4s.tmp, hp4s.tmp, 0xffff);
+    add_to_field(hp4s.acc, hp4s.tmp);
+    subtract_from_field(hp4s.slshift, 0x10);
+    shift_right(hp4s.tmp, hp4d.extracted, hp4s.slshift);
+    bit_and(hp4s.tmp, hp4s.tmp, 0xffff);
+    add_to_field(hp4s.acc, hp4s.tmp);
+    subtract_from_field(hp4s.slshift, 0x10);
+    shift_right(hp4s.tmp, hp4d.extracted, hp4s.slshift);
+    bit_and(hp4s.tmp, hp4s.tmp, 0xffff);
+    add_to_field(hp4s.acc, hp4s.tmp);
+    subtract_from_field(hp4s.slshift, 0x10);
+    shift_right(hp4s.tmp, hp4d.extracted, hp4s.slshift);
+    bit_and(hp4s.tmp, hp4s.tmp, 0xffff);
+    add_to_field(hp4s.acc, hp4s.tmp);
+    subtract_from_field(hp4s.slshift, 0x10);
+    shift_right(hp4s.tmp, hp4d.extracted, hp4s.slshift);
+    bit_and(hp4s.tmp, hp4s.tmp, 0xffff);
+    add_to_field(hp4s.acc, hp4s.tmp);
+    subtract_from_field(hp4s.slshift, 0x10);
+    shift_right(hp4s.tmp, hp4d.extracted, hp4s.slshift);
+    bit_and(hp4s.tmp, hp4s.tmp, 0xffff);
+    add_to_field(hp4s.acc, hp4s.tmp);
+    subtract_from_field(hp4s.slshift, 0x10);
+    shift_right(hp4s.tmp, hp4d.extracted, hp4s.slshift);
+    bit_and(hp4s.tmp, hp4s.tmp, 0xffff);
+    add_to_field(hp4s.acc, hp4s.tmp);
+    subtract_from_field(hp4s.slshift, 0x10);
+    shift_right(hp4s.tmp, hp4s.acc, 0x10);
+    bit_and(hp4s.acc, hp4s.acc, 0xffff);
+    add_to_field(hp4s.acc, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4s.acc, 0x10);
+    bit_and(hp4s.acc, hp4s.acc, 0xffff);
+    add_to_field(hp4s.acc, hp4s.tmp);
+    shift_right(hp4s.tmp, hp4s.acc, 0x10);
+    bit_and(hp4s.acc, hp4s.acc, 0xffff);
+    add_to_field(hp4s.acc, hp4s.tmp);
+    bit_xor(hp4s.acc, hp4s.acc, 0xffff);
+    modify_field(hp4s.tmp, hp4s.acc);
+    shift_left(hp4s.tmp, hp4s.tmp, cshift);
+    bit_or(hp4d.extracted, hp4d.extracted, hp4s.tmp);
+}
+
+action a_mcast_start(next_program, next_vingress, mseq, port) {
+    modify_field(hp4.program, next_program);
+    modify_field(hp4.vdev_ingress, next_vingress);
+    modify_field(hp4.mcast, mseq);
+    modify_field(hp4.recirc, 0x1);
+    modify_field(standard_metadata.egress_spec, port);
+}
+
+action a_mcast_clone(session) {
+    clone_egress_pkt_to_egress(session, fl_recirc);
+}
+
+action a_mcast_step_clone(next_program, next_vingress, next_seq, session) {
+    modify_field(hp4.program, next_program);
+    modify_field(hp4.vdev_ingress, next_vingress);
+    modify_field(hp4.mcast, next_seq);
+    modify_field(hp4.recirc, 0x1);
+    clone_egress_pkt_to_egress(session, fl_recirc);
+}
+
+action a_mcast_step_last(next_program, next_vingress) {
+    modify_field(hp4.program, next_program);
+    modify_field(hp4.vdev_ingress, next_vingress);
+    modify_field(hp4.mcast, 0x0);
+    modify_field(hp4.recirc, 0x1);
+}
+
+action a_police() {
+    execute_meter(hp4_ingress_meter, hp4.program, hp4.color);
+    count(hp4_vdev_counter, hp4.program);
+}
+
+table t_norm {
+    reads {
+        hp4.fpath : exact;
+    }
+    actions {
+        a_fnorm_1;
+        a_fnorm_2;
+        a_fnorm_3;
+        a_fnorm_4;
+        a_fnorm_5;
+    }
+    size : 8;
+}
+
+table te_writeback {
+    reads {
+        hp4.fpath : exact;
+    }
+    actions {
+        a_fwb_1;
+        a_fwb_2;
+        a_fwb_3;
+        a_fwb_4;
+        a_fwb_5;
+    }
+    size : 8;
+}
+
+table t_assign {
+    reads {
+        standard_metadata.ingress_port : ternary;
+    }
+    actions {
+        a_set_program;
+    }
+    size : 64;
+}
+
+table t_parse_ctrl {
+    reads {
+        hp4.program : exact;
+        hp4.parse_state : exact;
+        hp4d.extracted : ternary;
+    }
+    actions {
+        a_parse_more;
+        a_parse_done;
+    }
+    size : 256;
+}
+
+table t1_ed_exact {
+    reads {
+        hp4.program : exact;
+        hp4.next_slot : exact;
+        hp4d.extracted : ternary;
+    }
+    actions {
+        a_set_match;
+    }
+    size : 512;
+}
+
+table t1_ed_ternary {
+    reads {
+        hp4.program : exact;
+        hp4.next_slot : exact;
+        hp4d.extracted : ternary;
+    }
+    actions {
+        a_set_match;
+    }
+    size : 512;
+}
+
+table t1_meta_exact {
+    reads {
+        hp4.program : exact;
+        hp4.next_slot : exact;
+        hp4d.emeta : ternary;
+    }
+    actions {
+        a_set_match;
+    }
+    size : 512;
+}
+
+table t1_meta_ternary {
+    reads {
+        hp4.program : exact;
+        hp4.next_slot : exact;
+        hp4d.emeta : ternary;
+    }
+    actions {
+        a_set_match;
+    }
+    size : 512;
+}
+
+table t1_stdmeta {
+    reads {
+        hp4.program : exact;
+        hp4.next_slot : exact;
+        hp4.vdev_ingress : ternary;
+        hp4.vdev_port : ternary;
+    }
+    actions {
+        a_set_match;
+    }
+    size : 512;
+}
+
+table t1_matchless {
+    reads {
+        hp4.program : exact;
+        hp4.next_slot : exact;
+    }
+    actions {
+        a_set_match;
+    }
+    size : 512;
+}
+
+table t1_p1_prep {
+    reads {
+        hp4.program : exact;
+        hp4.match_id : exact;
+    }
+    actions {
+        a_prep_mod_ed_const;
+        a_prep_mod_ed_ed;
+        a_prep_mod_ed_meta;
+        a_prep_mod_meta_ed;
+        a_prep_mod_meta_const;
+        a_prep_mod_vport_const;
+        a_prep_mod_vport_vingress;
+        a_prep_add_ed_const;
+        a_prep_add_meta_const;
+        a_prep_drop;
+        a_prep_no_op;
+        a_prep_mod_meta_meta;
+    }
+    size : 512;
+}
+
+table t1_p1_exec {
+    reads {
+        hp4.prim_type : exact;
+    }
+    actions {
+        a_exec_mod_ed_const;
+        a_exec_mod_ed_ed;
+        a_exec_mod_ed_meta;
+        a_exec_mod_meta_ed;
+        a_exec_mod_meta_const;
+        a_exec_mod_vport_const;
+        a_exec_mod_vport_vingress;
+        a_exec_add_ed_const;
+        a_exec_add_meta_const;
+        a_exec_drop;
+        a_exec_no_op;
+        a_exec_mod_meta_meta;
+    }
+    size : 32;
+}
+
+table t1_p1_done {
+    actions {
+        a_prim_done;
+    }
+    default_action : a_prim_done;
+    size : 1;
+}
+
+table t1_p2_prep {
+    reads {
+        hp4.program : exact;
+        hp4.match_id : exact;
+    }
+    actions {
+        a_prep_mod_ed_const;
+        a_prep_mod_ed_ed;
+        a_prep_mod_ed_meta;
+        a_prep_mod_meta_ed;
+        a_prep_mod_meta_const;
+        a_prep_mod_vport_const;
+        a_prep_mod_vport_vingress;
+        a_prep_add_ed_const;
+        a_prep_add_meta_const;
+        a_prep_drop;
+        a_prep_no_op;
+        a_prep_mod_meta_meta;
+    }
+    size : 512;
+}
+
+table t1_p2_exec {
+    reads {
+        hp4.prim_type : exact;
+    }
+    actions {
+        a_exec_mod_ed_const;
+        a_exec_mod_ed_ed;
+        a_exec_mod_ed_meta;
+        a_exec_mod_meta_ed;
+        a_exec_mod_meta_const;
+        a_exec_mod_vport_const;
+        a_exec_mod_vport_vingress;
+        a_exec_add_ed_const;
+        a_exec_add_meta_const;
+        a_exec_drop;
+        a_exec_no_op;
+        a_exec_mod_meta_meta;
+    }
+    size : 32;
+}
+
+table t1_p2_done {
+    actions {
+        a_prim_done;
+    }
+    default_action : a_prim_done;
+    size : 1;
+}
+
+table t1_p3_prep {
+    reads {
+        hp4.program : exact;
+        hp4.match_id : exact;
+    }
+    actions {
+        a_prep_mod_ed_const;
+        a_prep_mod_ed_ed;
+        a_prep_mod_ed_meta;
+        a_prep_mod_meta_ed;
+        a_prep_mod_meta_const;
+        a_prep_mod_vport_const;
+        a_prep_mod_vport_vingress;
+        a_prep_add_ed_const;
+        a_prep_add_meta_const;
+        a_prep_drop;
+        a_prep_no_op;
+        a_prep_mod_meta_meta;
+    }
+    size : 512;
+}
+
+table t1_p3_exec {
+    reads {
+        hp4.prim_type : exact;
+    }
+    actions {
+        a_exec_mod_ed_const;
+        a_exec_mod_ed_ed;
+        a_exec_mod_ed_meta;
+        a_exec_mod_meta_ed;
+        a_exec_mod_meta_const;
+        a_exec_mod_vport_const;
+        a_exec_mod_vport_vingress;
+        a_exec_add_ed_const;
+        a_exec_add_meta_const;
+        a_exec_drop;
+        a_exec_no_op;
+        a_exec_mod_meta_meta;
+    }
+    size : 32;
+}
+
+table t1_p3_done {
+    actions {
+        a_prim_done;
+    }
+    default_action : a_prim_done;
+    size : 1;
+}
+
+table t1_p4_prep {
+    reads {
+        hp4.program : exact;
+        hp4.match_id : exact;
+    }
+    actions {
+        a_prep_mod_ed_const;
+        a_prep_mod_ed_ed;
+        a_prep_mod_ed_meta;
+        a_prep_mod_meta_ed;
+        a_prep_mod_meta_const;
+        a_prep_mod_vport_const;
+        a_prep_mod_vport_vingress;
+        a_prep_add_ed_const;
+        a_prep_add_meta_const;
+        a_prep_drop;
+        a_prep_no_op;
+        a_prep_mod_meta_meta;
+    }
+    size : 512;
+}
+
+table t1_p4_exec {
+    reads {
+        hp4.prim_type : exact;
+    }
+    actions {
+        a_exec_mod_ed_const;
+        a_exec_mod_ed_ed;
+        a_exec_mod_ed_meta;
+        a_exec_mod_meta_ed;
+        a_exec_mod_meta_const;
+        a_exec_mod_vport_const;
+        a_exec_mod_vport_vingress;
+        a_exec_add_ed_const;
+        a_exec_add_meta_const;
+        a_exec_drop;
+        a_exec_no_op;
+        a_exec_mod_meta_meta;
+    }
+    size : 32;
+}
+
+table t1_p4_done {
+    actions {
+        a_prim_done;
+    }
+    default_action : a_prim_done;
+    size : 1;
+}
+
+table t1_p5_prep {
+    reads {
+        hp4.program : exact;
+        hp4.match_id : exact;
+    }
+    actions {
+        a_prep_mod_ed_const;
+        a_prep_mod_ed_ed;
+        a_prep_mod_ed_meta;
+        a_prep_mod_meta_ed;
+        a_prep_mod_meta_const;
+        a_prep_mod_vport_const;
+        a_prep_mod_vport_vingress;
+        a_prep_add_ed_const;
+        a_prep_add_meta_const;
+        a_prep_drop;
+        a_prep_no_op;
+        a_prep_mod_meta_meta;
+    }
+    size : 512;
+}
+
+table t1_p5_exec {
+    reads {
+        hp4.prim_type : exact;
+    }
+    actions {
+        a_exec_mod_ed_const;
+        a_exec_mod_ed_ed;
+        a_exec_mod_ed_meta;
+        a_exec_mod_meta_ed;
+        a_exec_mod_meta_const;
+        a_exec_mod_vport_const;
+        a_exec_mod_vport_vingress;
+        a_exec_add_ed_const;
+        a_exec_add_meta_const;
+        a_exec_drop;
+        a_exec_no_op;
+        a_exec_mod_meta_meta;
+    }
+    size : 32;
+}
+
+table t1_p5_done {
+    actions {
+        a_prim_done;
+    }
+    default_action : a_prim_done;
+    size : 1;
+}
+
+table t1_p6_prep {
+    reads {
+        hp4.program : exact;
+        hp4.match_id : exact;
+    }
+    actions {
+        a_prep_mod_ed_const;
+        a_prep_mod_ed_ed;
+        a_prep_mod_ed_meta;
+        a_prep_mod_meta_ed;
+        a_prep_mod_meta_const;
+        a_prep_mod_vport_const;
+        a_prep_mod_vport_vingress;
+        a_prep_add_ed_const;
+        a_prep_add_meta_const;
+        a_prep_drop;
+        a_prep_no_op;
+        a_prep_mod_meta_meta;
+    }
+    size : 512;
+}
+
+table t1_p6_exec {
+    reads {
+        hp4.prim_type : exact;
+    }
+    actions {
+        a_exec_mod_ed_const;
+        a_exec_mod_ed_ed;
+        a_exec_mod_ed_meta;
+        a_exec_mod_meta_ed;
+        a_exec_mod_meta_const;
+        a_exec_mod_vport_const;
+        a_exec_mod_vport_vingress;
+        a_exec_add_ed_const;
+        a_exec_add_meta_const;
+        a_exec_drop;
+        a_exec_no_op;
+        a_exec_mod_meta_meta;
+    }
+    size : 32;
+}
+
+table t1_p6_done {
+    actions {
+        a_prim_done;
+    }
+    default_action : a_prim_done;
+    size : 1;
+}
+
+table t1_p7_prep {
+    reads {
+        hp4.program : exact;
+        hp4.match_id : exact;
+    }
+    actions {
+        a_prep_mod_ed_const;
+        a_prep_mod_ed_ed;
+        a_prep_mod_ed_meta;
+        a_prep_mod_meta_ed;
+        a_prep_mod_meta_const;
+        a_prep_mod_vport_const;
+        a_prep_mod_vport_vingress;
+        a_prep_add_ed_const;
+        a_prep_add_meta_const;
+        a_prep_drop;
+        a_prep_no_op;
+        a_prep_mod_meta_meta;
+    }
+    size : 512;
+}
+
+table t1_p7_exec {
+    reads {
+        hp4.prim_type : exact;
+    }
+    actions {
+        a_exec_mod_ed_const;
+        a_exec_mod_ed_ed;
+        a_exec_mod_ed_meta;
+        a_exec_mod_meta_ed;
+        a_exec_mod_meta_const;
+        a_exec_mod_vport_const;
+        a_exec_mod_vport_vingress;
+        a_exec_add_ed_const;
+        a_exec_add_meta_const;
+        a_exec_drop;
+        a_exec_no_op;
+        a_exec_mod_meta_meta;
+    }
+    size : 32;
+}
+
+table t1_p7_done {
+    actions {
+        a_prim_done;
+    }
+    default_action : a_prim_done;
+    size : 1;
+}
+
+table t1_p8_prep {
+    reads {
+        hp4.program : exact;
+        hp4.match_id : exact;
+    }
+    actions {
+        a_prep_mod_ed_const;
+        a_prep_mod_ed_ed;
+        a_prep_mod_ed_meta;
+        a_prep_mod_meta_ed;
+        a_prep_mod_meta_const;
+        a_prep_mod_vport_const;
+        a_prep_mod_vport_vingress;
+        a_prep_add_ed_const;
+        a_prep_add_meta_const;
+        a_prep_drop;
+        a_prep_no_op;
+        a_prep_mod_meta_meta;
+    }
+    size : 512;
+}
+
+table t1_p8_exec {
+    reads {
+        hp4.prim_type : exact;
+    }
+    actions {
+        a_exec_mod_ed_const;
+        a_exec_mod_ed_ed;
+        a_exec_mod_ed_meta;
+        a_exec_mod_meta_ed;
+        a_exec_mod_meta_const;
+        a_exec_mod_vport_const;
+        a_exec_mod_vport_vingress;
+        a_exec_add_ed_const;
+        a_exec_add_meta_const;
+        a_exec_drop;
+        a_exec_no_op;
+        a_exec_mod_meta_meta;
+    }
+    size : 32;
+}
+
+table t1_p8_done {
+    actions {
+        a_prim_done;
+    }
+    default_action : a_prim_done;
+    size : 1;
+}
+
+table t1_p9_prep {
+    reads {
+        hp4.program : exact;
+        hp4.match_id : exact;
+    }
+    actions {
+        a_prep_mod_ed_const;
+        a_prep_mod_ed_ed;
+        a_prep_mod_ed_meta;
+        a_prep_mod_meta_ed;
+        a_prep_mod_meta_const;
+        a_prep_mod_vport_const;
+        a_prep_mod_vport_vingress;
+        a_prep_add_ed_const;
+        a_prep_add_meta_const;
+        a_prep_drop;
+        a_prep_no_op;
+        a_prep_mod_meta_meta;
+    }
+    size : 512;
+}
+
+table t1_p9_exec {
+    reads {
+        hp4.prim_type : exact;
+    }
+    actions {
+        a_exec_mod_ed_const;
+        a_exec_mod_ed_ed;
+        a_exec_mod_ed_meta;
+        a_exec_mod_meta_ed;
+        a_exec_mod_meta_const;
+        a_exec_mod_vport_const;
+        a_exec_mod_vport_vingress;
+        a_exec_add_ed_const;
+        a_exec_add_meta_const;
+        a_exec_drop;
+        a_exec_no_op;
+        a_exec_mod_meta_meta;
+    }
+    size : 32;
+}
+
+table t1_p9_done {
+    actions {
+        a_prim_done;
+    }
+    default_action : a_prim_done;
+    size : 1;
+}
+
+table t2_ed_exact {
+    reads {
+        hp4.program : exact;
+        hp4.next_slot : exact;
+        hp4d.extracted : ternary;
+    }
+    actions {
+        a_set_match;
+    }
+    size : 512;
+}
+
+table t2_ed_ternary {
+    reads {
+        hp4.program : exact;
+        hp4.next_slot : exact;
+        hp4d.extracted : ternary;
+    }
+    actions {
+        a_set_match;
+    }
+    size : 512;
+}
+
+table t2_meta_exact {
+    reads {
+        hp4.program : exact;
+        hp4.next_slot : exact;
+        hp4d.emeta : ternary;
+    }
+    actions {
+        a_set_match;
+    }
+    size : 512;
+}
+
+table t2_meta_ternary {
+    reads {
+        hp4.program : exact;
+        hp4.next_slot : exact;
+        hp4d.emeta : ternary;
+    }
+    actions {
+        a_set_match;
+    }
+    size : 512;
+}
+
+table t2_stdmeta {
+    reads {
+        hp4.program : exact;
+        hp4.next_slot : exact;
+        hp4.vdev_ingress : ternary;
+        hp4.vdev_port : ternary;
+    }
+    actions {
+        a_set_match;
+    }
+    size : 512;
+}
+
+table t2_matchless {
+    reads {
+        hp4.program : exact;
+        hp4.next_slot : exact;
+    }
+    actions {
+        a_set_match;
+    }
+    size : 512;
+}
+
+table t2_p1_prep {
+    reads {
+        hp4.program : exact;
+        hp4.match_id : exact;
+    }
+    actions {
+        a_prep_mod_ed_const;
+        a_prep_mod_ed_ed;
+        a_prep_mod_ed_meta;
+        a_prep_mod_meta_ed;
+        a_prep_mod_meta_const;
+        a_prep_mod_vport_const;
+        a_prep_mod_vport_vingress;
+        a_prep_add_ed_const;
+        a_prep_add_meta_const;
+        a_prep_drop;
+        a_prep_no_op;
+        a_prep_mod_meta_meta;
+    }
+    size : 512;
+}
+
+table t2_p1_exec {
+    reads {
+        hp4.prim_type : exact;
+    }
+    actions {
+        a_exec_mod_ed_const;
+        a_exec_mod_ed_ed;
+        a_exec_mod_ed_meta;
+        a_exec_mod_meta_ed;
+        a_exec_mod_meta_const;
+        a_exec_mod_vport_const;
+        a_exec_mod_vport_vingress;
+        a_exec_add_ed_const;
+        a_exec_add_meta_const;
+        a_exec_drop;
+        a_exec_no_op;
+        a_exec_mod_meta_meta;
+    }
+    size : 32;
+}
+
+table t2_p1_done {
+    actions {
+        a_prim_done;
+    }
+    default_action : a_prim_done;
+    size : 1;
+}
+
+table t2_p2_prep {
+    reads {
+        hp4.program : exact;
+        hp4.match_id : exact;
+    }
+    actions {
+        a_prep_mod_ed_const;
+        a_prep_mod_ed_ed;
+        a_prep_mod_ed_meta;
+        a_prep_mod_meta_ed;
+        a_prep_mod_meta_const;
+        a_prep_mod_vport_const;
+        a_prep_mod_vport_vingress;
+        a_prep_add_ed_const;
+        a_prep_add_meta_const;
+        a_prep_drop;
+        a_prep_no_op;
+        a_prep_mod_meta_meta;
+    }
+    size : 512;
+}
+
+table t2_p2_exec {
+    reads {
+        hp4.prim_type : exact;
+    }
+    actions {
+        a_exec_mod_ed_const;
+        a_exec_mod_ed_ed;
+        a_exec_mod_ed_meta;
+        a_exec_mod_meta_ed;
+        a_exec_mod_meta_const;
+        a_exec_mod_vport_const;
+        a_exec_mod_vport_vingress;
+        a_exec_add_ed_const;
+        a_exec_add_meta_const;
+        a_exec_drop;
+        a_exec_no_op;
+        a_exec_mod_meta_meta;
+    }
+    size : 32;
+}
+
+table t2_p2_done {
+    actions {
+        a_prim_done;
+    }
+    default_action : a_prim_done;
+    size : 1;
+}
+
+table t2_p3_prep {
+    reads {
+        hp4.program : exact;
+        hp4.match_id : exact;
+    }
+    actions {
+        a_prep_mod_ed_const;
+        a_prep_mod_ed_ed;
+        a_prep_mod_ed_meta;
+        a_prep_mod_meta_ed;
+        a_prep_mod_meta_const;
+        a_prep_mod_vport_const;
+        a_prep_mod_vport_vingress;
+        a_prep_add_ed_const;
+        a_prep_add_meta_const;
+        a_prep_drop;
+        a_prep_no_op;
+        a_prep_mod_meta_meta;
+    }
+    size : 512;
+}
+
+table t2_p3_exec {
+    reads {
+        hp4.prim_type : exact;
+    }
+    actions {
+        a_exec_mod_ed_const;
+        a_exec_mod_ed_ed;
+        a_exec_mod_ed_meta;
+        a_exec_mod_meta_ed;
+        a_exec_mod_meta_const;
+        a_exec_mod_vport_const;
+        a_exec_mod_vport_vingress;
+        a_exec_add_ed_const;
+        a_exec_add_meta_const;
+        a_exec_drop;
+        a_exec_no_op;
+        a_exec_mod_meta_meta;
+    }
+    size : 32;
+}
+
+table t2_p3_done {
+    actions {
+        a_prim_done;
+    }
+    default_action : a_prim_done;
+    size : 1;
+}
+
+table t2_p4_prep {
+    reads {
+        hp4.program : exact;
+        hp4.match_id : exact;
+    }
+    actions {
+        a_prep_mod_ed_const;
+        a_prep_mod_ed_ed;
+        a_prep_mod_ed_meta;
+        a_prep_mod_meta_ed;
+        a_prep_mod_meta_const;
+        a_prep_mod_vport_const;
+        a_prep_mod_vport_vingress;
+        a_prep_add_ed_const;
+        a_prep_add_meta_const;
+        a_prep_drop;
+        a_prep_no_op;
+        a_prep_mod_meta_meta;
+    }
+    size : 512;
+}
+
+table t2_p4_exec {
+    reads {
+        hp4.prim_type : exact;
+    }
+    actions {
+        a_exec_mod_ed_const;
+        a_exec_mod_ed_ed;
+        a_exec_mod_ed_meta;
+        a_exec_mod_meta_ed;
+        a_exec_mod_meta_const;
+        a_exec_mod_vport_const;
+        a_exec_mod_vport_vingress;
+        a_exec_add_ed_const;
+        a_exec_add_meta_const;
+        a_exec_drop;
+        a_exec_no_op;
+        a_exec_mod_meta_meta;
+    }
+    size : 32;
+}
+
+table t2_p4_done {
+    actions {
+        a_prim_done;
+    }
+    default_action : a_prim_done;
+    size : 1;
+}
+
+table t2_p5_prep {
+    reads {
+        hp4.program : exact;
+        hp4.match_id : exact;
+    }
+    actions {
+        a_prep_mod_ed_const;
+        a_prep_mod_ed_ed;
+        a_prep_mod_ed_meta;
+        a_prep_mod_meta_ed;
+        a_prep_mod_meta_const;
+        a_prep_mod_vport_const;
+        a_prep_mod_vport_vingress;
+        a_prep_add_ed_const;
+        a_prep_add_meta_const;
+        a_prep_drop;
+        a_prep_no_op;
+        a_prep_mod_meta_meta;
+    }
+    size : 512;
+}
+
+table t2_p5_exec {
+    reads {
+        hp4.prim_type : exact;
+    }
+    actions {
+        a_exec_mod_ed_const;
+        a_exec_mod_ed_ed;
+        a_exec_mod_ed_meta;
+        a_exec_mod_meta_ed;
+        a_exec_mod_meta_const;
+        a_exec_mod_vport_const;
+        a_exec_mod_vport_vingress;
+        a_exec_add_ed_const;
+        a_exec_add_meta_const;
+        a_exec_drop;
+        a_exec_no_op;
+        a_exec_mod_meta_meta;
+    }
+    size : 32;
+}
+
+table t2_p5_done {
+    actions {
+        a_prim_done;
+    }
+    default_action : a_prim_done;
+    size : 1;
+}
+
+table t2_p6_prep {
+    reads {
+        hp4.program : exact;
+        hp4.match_id : exact;
+    }
+    actions {
+        a_prep_mod_ed_const;
+        a_prep_mod_ed_ed;
+        a_prep_mod_ed_meta;
+        a_prep_mod_meta_ed;
+        a_prep_mod_meta_const;
+        a_prep_mod_vport_const;
+        a_prep_mod_vport_vingress;
+        a_prep_add_ed_const;
+        a_prep_add_meta_const;
+        a_prep_drop;
+        a_prep_no_op;
+        a_prep_mod_meta_meta;
+    }
+    size : 512;
+}
+
+table t2_p6_exec {
+    reads {
+        hp4.prim_type : exact;
+    }
+    actions {
+        a_exec_mod_ed_const;
+        a_exec_mod_ed_ed;
+        a_exec_mod_ed_meta;
+        a_exec_mod_meta_ed;
+        a_exec_mod_meta_const;
+        a_exec_mod_vport_const;
+        a_exec_mod_vport_vingress;
+        a_exec_add_ed_const;
+        a_exec_add_meta_const;
+        a_exec_drop;
+        a_exec_no_op;
+        a_exec_mod_meta_meta;
+    }
+    size : 32;
+}
+
+table t2_p6_done {
+    actions {
+        a_prim_done;
+    }
+    default_action : a_prim_done;
+    size : 1;
+}
+
+table t2_p7_prep {
+    reads {
+        hp4.program : exact;
+        hp4.match_id : exact;
+    }
+    actions {
+        a_prep_mod_ed_const;
+        a_prep_mod_ed_ed;
+        a_prep_mod_ed_meta;
+        a_prep_mod_meta_ed;
+        a_prep_mod_meta_const;
+        a_prep_mod_vport_const;
+        a_prep_mod_vport_vingress;
+        a_prep_add_ed_const;
+        a_prep_add_meta_const;
+        a_prep_drop;
+        a_prep_no_op;
+        a_prep_mod_meta_meta;
+    }
+    size : 512;
+}
+
+table t2_p7_exec {
+    reads {
+        hp4.prim_type : exact;
+    }
+    actions {
+        a_exec_mod_ed_const;
+        a_exec_mod_ed_ed;
+        a_exec_mod_ed_meta;
+        a_exec_mod_meta_ed;
+        a_exec_mod_meta_const;
+        a_exec_mod_vport_const;
+        a_exec_mod_vport_vingress;
+        a_exec_add_ed_const;
+        a_exec_add_meta_const;
+        a_exec_drop;
+        a_exec_no_op;
+        a_exec_mod_meta_meta;
+    }
+    size : 32;
+}
+
+table t2_p7_done {
+    actions {
+        a_prim_done;
+    }
+    default_action : a_prim_done;
+    size : 1;
+}
+
+table t2_p8_prep {
+    reads {
+        hp4.program : exact;
+        hp4.match_id : exact;
+    }
+    actions {
+        a_prep_mod_ed_const;
+        a_prep_mod_ed_ed;
+        a_prep_mod_ed_meta;
+        a_prep_mod_meta_ed;
+        a_prep_mod_meta_const;
+        a_prep_mod_vport_const;
+        a_prep_mod_vport_vingress;
+        a_prep_add_ed_const;
+        a_prep_add_meta_const;
+        a_prep_drop;
+        a_prep_no_op;
+        a_prep_mod_meta_meta;
+    }
+    size : 512;
+}
+
+table t2_p8_exec {
+    reads {
+        hp4.prim_type : exact;
+    }
+    actions {
+        a_exec_mod_ed_const;
+        a_exec_mod_ed_ed;
+        a_exec_mod_ed_meta;
+        a_exec_mod_meta_ed;
+        a_exec_mod_meta_const;
+        a_exec_mod_vport_const;
+        a_exec_mod_vport_vingress;
+        a_exec_add_ed_const;
+        a_exec_add_meta_const;
+        a_exec_drop;
+        a_exec_no_op;
+        a_exec_mod_meta_meta;
+    }
+    size : 32;
+}
+
+table t2_p8_done {
+    actions {
+        a_prim_done;
+    }
+    default_action : a_prim_done;
+    size : 1;
+}
+
+table t2_p9_prep {
+    reads {
+        hp4.program : exact;
+        hp4.match_id : exact;
+    }
+    actions {
+        a_prep_mod_ed_const;
+        a_prep_mod_ed_ed;
+        a_prep_mod_ed_meta;
+        a_prep_mod_meta_ed;
+        a_prep_mod_meta_const;
+        a_prep_mod_vport_const;
+        a_prep_mod_vport_vingress;
+        a_prep_add_ed_const;
+        a_prep_add_meta_const;
+        a_prep_drop;
+        a_prep_no_op;
+        a_prep_mod_meta_meta;
+    }
+    size : 512;
+}
+
+table t2_p9_exec {
+    reads {
+        hp4.prim_type : exact;
+    }
+    actions {
+        a_exec_mod_ed_const;
+        a_exec_mod_ed_ed;
+        a_exec_mod_ed_meta;
+        a_exec_mod_meta_ed;
+        a_exec_mod_meta_const;
+        a_exec_mod_vport_const;
+        a_exec_mod_vport_vingress;
+        a_exec_add_ed_const;
+        a_exec_add_meta_const;
+        a_exec_drop;
+        a_exec_no_op;
+        a_exec_mod_meta_meta;
+    }
+    size : 32;
+}
+
+table t2_p9_done {
+    actions {
+        a_prim_done;
+    }
+    default_action : a_prim_done;
+    size : 1;
+}
+
+table t3_ed_exact {
+    reads {
+        hp4.program : exact;
+        hp4.next_slot : exact;
+        hp4d.extracted : ternary;
+    }
+    actions {
+        a_set_match;
+    }
+    size : 512;
+}
+
+table t3_ed_ternary {
+    reads {
+        hp4.program : exact;
+        hp4.next_slot : exact;
+        hp4d.extracted : ternary;
+    }
+    actions {
+        a_set_match;
+    }
+    size : 512;
+}
+
+table t3_meta_exact {
+    reads {
+        hp4.program : exact;
+        hp4.next_slot : exact;
+        hp4d.emeta : ternary;
+    }
+    actions {
+        a_set_match;
+    }
+    size : 512;
+}
+
+table t3_meta_ternary {
+    reads {
+        hp4.program : exact;
+        hp4.next_slot : exact;
+        hp4d.emeta : ternary;
+    }
+    actions {
+        a_set_match;
+    }
+    size : 512;
+}
+
+table t3_stdmeta {
+    reads {
+        hp4.program : exact;
+        hp4.next_slot : exact;
+        hp4.vdev_ingress : ternary;
+        hp4.vdev_port : ternary;
+    }
+    actions {
+        a_set_match;
+    }
+    size : 512;
+}
+
+table t3_matchless {
+    reads {
+        hp4.program : exact;
+        hp4.next_slot : exact;
+    }
+    actions {
+        a_set_match;
+    }
+    size : 512;
+}
+
+table t3_p1_prep {
+    reads {
+        hp4.program : exact;
+        hp4.match_id : exact;
+    }
+    actions {
+        a_prep_mod_ed_const;
+        a_prep_mod_ed_ed;
+        a_prep_mod_ed_meta;
+        a_prep_mod_meta_ed;
+        a_prep_mod_meta_const;
+        a_prep_mod_vport_const;
+        a_prep_mod_vport_vingress;
+        a_prep_add_ed_const;
+        a_prep_add_meta_const;
+        a_prep_drop;
+        a_prep_no_op;
+        a_prep_mod_meta_meta;
+    }
+    size : 512;
+}
+
+table t3_p1_exec {
+    reads {
+        hp4.prim_type : exact;
+    }
+    actions {
+        a_exec_mod_ed_const;
+        a_exec_mod_ed_ed;
+        a_exec_mod_ed_meta;
+        a_exec_mod_meta_ed;
+        a_exec_mod_meta_const;
+        a_exec_mod_vport_const;
+        a_exec_mod_vport_vingress;
+        a_exec_add_ed_const;
+        a_exec_add_meta_const;
+        a_exec_drop;
+        a_exec_no_op;
+        a_exec_mod_meta_meta;
+    }
+    size : 32;
+}
+
+table t3_p1_done {
+    actions {
+        a_prim_done;
+    }
+    default_action : a_prim_done;
+    size : 1;
+}
+
+table t3_p2_prep {
+    reads {
+        hp4.program : exact;
+        hp4.match_id : exact;
+    }
+    actions {
+        a_prep_mod_ed_const;
+        a_prep_mod_ed_ed;
+        a_prep_mod_ed_meta;
+        a_prep_mod_meta_ed;
+        a_prep_mod_meta_const;
+        a_prep_mod_vport_const;
+        a_prep_mod_vport_vingress;
+        a_prep_add_ed_const;
+        a_prep_add_meta_const;
+        a_prep_drop;
+        a_prep_no_op;
+        a_prep_mod_meta_meta;
+    }
+    size : 512;
+}
+
+table t3_p2_exec {
+    reads {
+        hp4.prim_type : exact;
+    }
+    actions {
+        a_exec_mod_ed_const;
+        a_exec_mod_ed_ed;
+        a_exec_mod_ed_meta;
+        a_exec_mod_meta_ed;
+        a_exec_mod_meta_const;
+        a_exec_mod_vport_const;
+        a_exec_mod_vport_vingress;
+        a_exec_add_ed_const;
+        a_exec_add_meta_const;
+        a_exec_drop;
+        a_exec_no_op;
+        a_exec_mod_meta_meta;
+    }
+    size : 32;
+}
+
+table t3_p2_done {
+    actions {
+        a_prim_done;
+    }
+    default_action : a_prim_done;
+    size : 1;
+}
+
+table t3_p3_prep {
+    reads {
+        hp4.program : exact;
+        hp4.match_id : exact;
+    }
+    actions {
+        a_prep_mod_ed_const;
+        a_prep_mod_ed_ed;
+        a_prep_mod_ed_meta;
+        a_prep_mod_meta_ed;
+        a_prep_mod_meta_const;
+        a_prep_mod_vport_const;
+        a_prep_mod_vport_vingress;
+        a_prep_add_ed_const;
+        a_prep_add_meta_const;
+        a_prep_drop;
+        a_prep_no_op;
+        a_prep_mod_meta_meta;
+    }
+    size : 512;
+}
+
+table t3_p3_exec {
+    reads {
+        hp4.prim_type : exact;
+    }
+    actions {
+        a_exec_mod_ed_const;
+        a_exec_mod_ed_ed;
+        a_exec_mod_ed_meta;
+        a_exec_mod_meta_ed;
+        a_exec_mod_meta_const;
+        a_exec_mod_vport_const;
+        a_exec_mod_vport_vingress;
+        a_exec_add_ed_const;
+        a_exec_add_meta_const;
+        a_exec_drop;
+        a_exec_no_op;
+        a_exec_mod_meta_meta;
+    }
+    size : 32;
+}
+
+table t3_p3_done {
+    actions {
+        a_prim_done;
+    }
+    default_action : a_prim_done;
+    size : 1;
+}
+
+table t3_p4_prep {
+    reads {
+        hp4.program : exact;
+        hp4.match_id : exact;
+    }
+    actions {
+        a_prep_mod_ed_const;
+        a_prep_mod_ed_ed;
+        a_prep_mod_ed_meta;
+        a_prep_mod_meta_ed;
+        a_prep_mod_meta_const;
+        a_prep_mod_vport_const;
+        a_prep_mod_vport_vingress;
+        a_prep_add_ed_const;
+        a_prep_add_meta_const;
+        a_prep_drop;
+        a_prep_no_op;
+        a_prep_mod_meta_meta;
+    }
+    size : 512;
+}
+
+table t3_p4_exec {
+    reads {
+        hp4.prim_type : exact;
+    }
+    actions {
+        a_exec_mod_ed_const;
+        a_exec_mod_ed_ed;
+        a_exec_mod_ed_meta;
+        a_exec_mod_meta_ed;
+        a_exec_mod_meta_const;
+        a_exec_mod_vport_const;
+        a_exec_mod_vport_vingress;
+        a_exec_add_ed_const;
+        a_exec_add_meta_const;
+        a_exec_drop;
+        a_exec_no_op;
+        a_exec_mod_meta_meta;
+    }
+    size : 32;
+}
+
+table t3_p4_done {
+    actions {
+        a_prim_done;
+    }
+    default_action : a_prim_done;
+    size : 1;
+}
+
+table t3_p5_prep {
+    reads {
+        hp4.program : exact;
+        hp4.match_id : exact;
+    }
+    actions {
+        a_prep_mod_ed_const;
+        a_prep_mod_ed_ed;
+        a_prep_mod_ed_meta;
+        a_prep_mod_meta_ed;
+        a_prep_mod_meta_const;
+        a_prep_mod_vport_const;
+        a_prep_mod_vport_vingress;
+        a_prep_add_ed_const;
+        a_prep_add_meta_const;
+        a_prep_drop;
+        a_prep_no_op;
+        a_prep_mod_meta_meta;
+    }
+    size : 512;
+}
+
+table t3_p5_exec {
+    reads {
+        hp4.prim_type : exact;
+    }
+    actions {
+        a_exec_mod_ed_const;
+        a_exec_mod_ed_ed;
+        a_exec_mod_ed_meta;
+        a_exec_mod_meta_ed;
+        a_exec_mod_meta_const;
+        a_exec_mod_vport_const;
+        a_exec_mod_vport_vingress;
+        a_exec_add_ed_const;
+        a_exec_add_meta_const;
+        a_exec_drop;
+        a_exec_no_op;
+        a_exec_mod_meta_meta;
+    }
+    size : 32;
+}
+
+table t3_p5_done {
+    actions {
+        a_prim_done;
+    }
+    default_action : a_prim_done;
+    size : 1;
+}
+
+table t3_p6_prep {
+    reads {
+        hp4.program : exact;
+        hp4.match_id : exact;
+    }
+    actions {
+        a_prep_mod_ed_const;
+        a_prep_mod_ed_ed;
+        a_prep_mod_ed_meta;
+        a_prep_mod_meta_ed;
+        a_prep_mod_meta_const;
+        a_prep_mod_vport_const;
+        a_prep_mod_vport_vingress;
+        a_prep_add_ed_const;
+        a_prep_add_meta_const;
+        a_prep_drop;
+        a_prep_no_op;
+        a_prep_mod_meta_meta;
+    }
+    size : 512;
+}
+
+table t3_p6_exec {
+    reads {
+        hp4.prim_type : exact;
+    }
+    actions {
+        a_exec_mod_ed_const;
+        a_exec_mod_ed_ed;
+        a_exec_mod_ed_meta;
+        a_exec_mod_meta_ed;
+        a_exec_mod_meta_const;
+        a_exec_mod_vport_const;
+        a_exec_mod_vport_vingress;
+        a_exec_add_ed_const;
+        a_exec_add_meta_const;
+        a_exec_drop;
+        a_exec_no_op;
+        a_exec_mod_meta_meta;
+    }
+    size : 32;
+}
+
+table t3_p6_done {
+    actions {
+        a_prim_done;
+    }
+    default_action : a_prim_done;
+    size : 1;
+}
+
+table t3_p7_prep {
+    reads {
+        hp4.program : exact;
+        hp4.match_id : exact;
+    }
+    actions {
+        a_prep_mod_ed_const;
+        a_prep_mod_ed_ed;
+        a_prep_mod_ed_meta;
+        a_prep_mod_meta_ed;
+        a_prep_mod_meta_const;
+        a_prep_mod_vport_const;
+        a_prep_mod_vport_vingress;
+        a_prep_add_ed_const;
+        a_prep_add_meta_const;
+        a_prep_drop;
+        a_prep_no_op;
+        a_prep_mod_meta_meta;
+    }
+    size : 512;
+}
+
+table t3_p7_exec {
+    reads {
+        hp4.prim_type : exact;
+    }
+    actions {
+        a_exec_mod_ed_const;
+        a_exec_mod_ed_ed;
+        a_exec_mod_ed_meta;
+        a_exec_mod_meta_ed;
+        a_exec_mod_meta_const;
+        a_exec_mod_vport_const;
+        a_exec_mod_vport_vingress;
+        a_exec_add_ed_const;
+        a_exec_add_meta_const;
+        a_exec_drop;
+        a_exec_no_op;
+        a_exec_mod_meta_meta;
+    }
+    size : 32;
+}
+
+table t3_p7_done {
+    actions {
+        a_prim_done;
+    }
+    default_action : a_prim_done;
+    size : 1;
+}
+
+table t3_p8_prep {
+    reads {
+        hp4.program : exact;
+        hp4.match_id : exact;
+    }
+    actions {
+        a_prep_mod_ed_const;
+        a_prep_mod_ed_ed;
+        a_prep_mod_ed_meta;
+        a_prep_mod_meta_ed;
+        a_prep_mod_meta_const;
+        a_prep_mod_vport_const;
+        a_prep_mod_vport_vingress;
+        a_prep_add_ed_const;
+        a_prep_add_meta_const;
+        a_prep_drop;
+        a_prep_no_op;
+        a_prep_mod_meta_meta;
+    }
+    size : 512;
+}
+
+table t3_p8_exec {
+    reads {
+        hp4.prim_type : exact;
+    }
+    actions {
+        a_exec_mod_ed_const;
+        a_exec_mod_ed_ed;
+        a_exec_mod_ed_meta;
+        a_exec_mod_meta_ed;
+        a_exec_mod_meta_const;
+        a_exec_mod_vport_const;
+        a_exec_mod_vport_vingress;
+        a_exec_add_ed_const;
+        a_exec_add_meta_const;
+        a_exec_drop;
+        a_exec_no_op;
+        a_exec_mod_meta_meta;
+    }
+    size : 32;
+}
+
+table t3_p8_done {
+    actions {
+        a_prim_done;
+    }
+    default_action : a_prim_done;
+    size : 1;
+}
+
+table t3_p9_prep {
+    reads {
+        hp4.program : exact;
+        hp4.match_id : exact;
+    }
+    actions {
+        a_prep_mod_ed_const;
+        a_prep_mod_ed_ed;
+        a_prep_mod_ed_meta;
+        a_prep_mod_meta_ed;
+        a_prep_mod_meta_const;
+        a_prep_mod_vport_const;
+        a_prep_mod_vport_vingress;
+        a_prep_add_ed_const;
+        a_prep_add_meta_const;
+        a_prep_drop;
+        a_prep_no_op;
+        a_prep_mod_meta_meta;
+    }
+    size : 512;
+}
+
+table t3_p9_exec {
+    reads {
+        hp4.prim_type : exact;
+    }
+    actions {
+        a_exec_mod_ed_const;
+        a_exec_mod_ed_ed;
+        a_exec_mod_ed_meta;
+        a_exec_mod_meta_ed;
+        a_exec_mod_meta_const;
+        a_exec_mod_vport_const;
+        a_exec_mod_vport_vingress;
+        a_exec_add_ed_const;
+        a_exec_add_meta_const;
+        a_exec_drop;
+        a_exec_no_op;
+        a_exec_mod_meta_meta;
+    }
+    size : 32;
+}
+
+table t3_p9_done {
+    actions {
+        a_prim_done;
+    }
+    default_action : a_prim_done;
+    size : 1;
+}
+
+table t4_ed_exact {
+    reads {
+        hp4.program : exact;
+        hp4.next_slot : exact;
+        hp4d.extracted : ternary;
+    }
+    actions {
+        a_set_match;
+    }
+    size : 512;
+}
+
+table t4_ed_ternary {
+    reads {
+        hp4.program : exact;
+        hp4.next_slot : exact;
+        hp4d.extracted : ternary;
+    }
+    actions {
+        a_set_match;
+    }
+    size : 512;
+}
+
+table t4_meta_exact {
+    reads {
+        hp4.program : exact;
+        hp4.next_slot : exact;
+        hp4d.emeta : ternary;
+    }
+    actions {
+        a_set_match;
+    }
+    size : 512;
+}
+
+table t4_meta_ternary {
+    reads {
+        hp4.program : exact;
+        hp4.next_slot : exact;
+        hp4d.emeta : ternary;
+    }
+    actions {
+        a_set_match;
+    }
+    size : 512;
+}
+
+table t4_stdmeta {
+    reads {
+        hp4.program : exact;
+        hp4.next_slot : exact;
+        hp4.vdev_ingress : ternary;
+        hp4.vdev_port : ternary;
+    }
+    actions {
+        a_set_match;
+    }
+    size : 512;
+}
+
+table t4_matchless {
+    reads {
+        hp4.program : exact;
+        hp4.next_slot : exact;
+    }
+    actions {
+        a_set_match;
+    }
+    size : 512;
+}
+
+table t4_p1_prep {
+    reads {
+        hp4.program : exact;
+        hp4.match_id : exact;
+    }
+    actions {
+        a_prep_mod_ed_const;
+        a_prep_mod_ed_ed;
+        a_prep_mod_ed_meta;
+        a_prep_mod_meta_ed;
+        a_prep_mod_meta_const;
+        a_prep_mod_vport_const;
+        a_prep_mod_vport_vingress;
+        a_prep_add_ed_const;
+        a_prep_add_meta_const;
+        a_prep_drop;
+        a_prep_no_op;
+        a_prep_mod_meta_meta;
+    }
+    size : 512;
+}
+
+table t4_p1_exec {
+    reads {
+        hp4.prim_type : exact;
+    }
+    actions {
+        a_exec_mod_ed_const;
+        a_exec_mod_ed_ed;
+        a_exec_mod_ed_meta;
+        a_exec_mod_meta_ed;
+        a_exec_mod_meta_const;
+        a_exec_mod_vport_const;
+        a_exec_mod_vport_vingress;
+        a_exec_add_ed_const;
+        a_exec_add_meta_const;
+        a_exec_drop;
+        a_exec_no_op;
+        a_exec_mod_meta_meta;
+    }
+    size : 32;
+}
+
+table t4_p1_done {
+    actions {
+        a_prim_done;
+    }
+    default_action : a_prim_done;
+    size : 1;
+}
+
+table t4_p2_prep {
+    reads {
+        hp4.program : exact;
+        hp4.match_id : exact;
+    }
+    actions {
+        a_prep_mod_ed_const;
+        a_prep_mod_ed_ed;
+        a_prep_mod_ed_meta;
+        a_prep_mod_meta_ed;
+        a_prep_mod_meta_const;
+        a_prep_mod_vport_const;
+        a_prep_mod_vport_vingress;
+        a_prep_add_ed_const;
+        a_prep_add_meta_const;
+        a_prep_drop;
+        a_prep_no_op;
+        a_prep_mod_meta_meta;
+    }
+    size : 512;
+}
+
+table t4_p2_exec {
+    reads {
+        hp4.prim_type : exact;
+    }
+    actions {
+        a_exec_mod_ed_const;
+        a_exec_mod_ed_ed;
+        a_exec_mod_ed_meta;
+        a_exec_mod_meta_ed;
+        a_exec_mod_meta_const;
+        a_exec_mod_vport_const;
+        a_exec_mod_vport_vingress;
+        a_exec_add_ed_const;
+        a_exec_add_meta_const;
+        a_exec_drop;
+        a_exec_no_op;
+        a_exec_mod_meta_meta;
+    }
+    size : 32;
+}
+
+table t4_p2_done {
+    actions {
+        a_prim_done;
+    }
+    default_action : a_prim_done;
+    size : 1;
+}
+
+table t4_p3_prep {
+    reads {
+        hp4.program : exact;
+        hp4.match_id : exact;
+    }
+    actions {
+        a_prep_mod_ed_const;
+        a_prep_mod_ed_ed;
+        a_prep_mod_ed_meta;
+        a_prep_mod_meta_ed;
+        a_prep_mod_meta_const;
+        a_prep_mod_vport_const;
+        a_prep_mod_vport_vingress;
+        a_prep_add_ed_const;
+        a_prep_add_meta_const;
+        a_prep_drop;
+        a_prep_no_op;
+        a_prep_mod_meta_meta;
+    }
+    size : 512;
+}
+
+table t4_p3_exec {
+    reads {
+        hp4.prim_type : exact;
+    }
+    actions {
+        a_exec_mod_ed_const;
+        a_exec_mod_ed_ed;
+        a_exec_mod_ed_meta;
+        a_exec_mod_meta_ed;
+        a_exec_mod_meta_const;
+        a_exec_mod_vport_const;
+        a_exec_mod_vport_vingress;
+        a_exec_add_ed_const;
+        a_exec_add_meta_const;
+        a_exec_drop;
+        a_exec_no_op;
+        a_exec_mod_meta_meta;
+    }
+    size : 32;
+}
+
+table t4_p3_done {
+    actions {
+        a_prim_done;
+    }
+    default_action : a_prim_done;
+    size : 1;
+}
+
+table t4_p4_prep {
+    reads {
+        hp4.program : exact;
+        hp4.match_id : exact;
+    }
+    actions {
+        a_prep_mod_ed_const;
+        a_prep_mod_ed_ed;
+        a_prep_mod_ed_meta;
+        a_prep_mod_meta_ed;
+        a_prep_mod_meta_const;
+        a_prep_mod_vport_const;
+        a_prep_mod_vport_vingress;
+        a_prep_add_ed_const;
+        a_prep_add_meta_const;
+        a_prep_drop;
+        a_prep_no_op;
+        a_prep_mod_meta_meta;
+    }
+    size : 512;
+}
+
+table t4_p4_exec {
+    reads {
+        hp4.prim_type : exact;
+    }
+    actions {
+        a_exec_mod_ed_const;
+        a_exec_mod_ed_ed;
+        a_exec_mod_ed_meta;
+        a_exec_mod_meta_ed;
+        a_exec_mod_meta_const;
+        a_exec_mod_vport_const;
+        a_exec_mod_vport_vingress;
+        a_exec_add_ed_const;
+        a_exec_add_meta_const;
+        a_exec_drop;
+        a_exec_no_op;
+        a_exec_mod_meta_meta;
+    }
+    size : 32;
+}
+
+table t4_p4_done {
+    actions {
+        a_prim_done;
+    }
+    default_action : a_prim_done;
+    size : 1;
+}
+
+table t4_p5_prep {
+    reads {
+        hp4.program : exact;
+        hp4.match_id : exact;
+    }
+    actions {
+        a_prep_mod_ed_const;
+        a_prep_mod_ed_ed;
+        a_prep_mod_ed_meta;
+        a_prep_mod_meta_ed;
+        a_prep_mod_meta_const;
+        a_prep_mod_vport_const;
+        a_prep_mod_vport_vingress;
+        a_prep_add_ed_const;
+        a_prep_add_meta_const;
+        a_prep_drop;
+        a_prep_no_op;
+        a_prep_mod_meta_meta;
+    }
+    size : 512;
+}
+
+table t4_p5_exec {
+    reads {
+        hp4.prim_type : exact;
+    }
+    actions {
+        a_exec_mod_ed_const;
+        a_exec_mod_ed_ed;
+        a_exec_mod_ed_meta;
+        a_exec_mod_meta_ed;
+        a_exec_mod_meta_const;
+        a_exec_mod_vport_const;
+        a_exec_mod_vport_vingress;
+        a_exec_add_ed_const;
+        a_exec_add_meta_const;
+        a_exec_drop;
+        a_exec_no_op;
+        a_exec_mod_meta_meta;
+    }
+    size : 32;
+}
+
+table t4_p5_done {
+    actions {
+        a_prim_done;
+    }
+    default_action : a_prim_done;
+    size : 1;
+}
+
+table t4_p6_prep {
+    reads {
+        hp4.program : exact;
+        hp4.match_id : exact;
+    }
+    actions {
+        a_prep_mod_ed_const;
+        a_prep_mod_ed_ed;
+        a_prep_mod_ed_meta;
+        a_prep_mod_meta_ed;
+        a_prep_mod_meta_const;
+        a_prep_mod_vport_const;
+        a_prep_mod_vport_vingress;
+        a_prep_add_ed_const;
+        a_prep_add_meta_const;
+        a_prep_drop;
+        a_prep_no_op;
+        a_prep_mod_meta_meta;
+    }
+    size : 512;
+}
+
+table t4_p6_exec {
+    reads {
+        hp4.prim_type : exact;
+    }
+    actions {
+        a_exec_mod_ed_const;
+        a_exec_mod_ed_ed;
+        a_exec_mod_ed_meta;
+        a_exec_mod_meta_ed;
+        a_exec_mod_meta_const;
+        a_exec_mod_vport_const;
+        a_exec_mod_vport_vingress;
+        a_exec_add_ed_const;
+        a_exec_add_meta_const;
+        a_exec_drop;
+        a_exec_no_op;
+        a_exec_mod_meta_meta;
+    }
+    size : 32;
+}
+
+table t4_p6_done {
+    actions {
+        a_prim_done;
+    }
+    default_action : a_prim_done;
+    size : 1;
+}
+
+table t4_p7_prep {
+    reads {
+        hp4.program : exact;
+        hp4.match_id : exact;
+    }
+    actions {
+        a_prep_mod_ed_const;
+        a_prep_mod_ed_ed;
+        a_prep_mod_ed_meta;
+        a_prep_mod_meta_ed;
+        a_prep_mod_meta_const;
+        a_prep_mod_vport_const;
+        a_prep_mod_vport_vingress;
+        a_prep_add_ed_const;
+        a_prep_add_meta_const;
+        a_prep_drop;
+        a_prep_no_op;
+        a_prep_mod_meta_meta;
+    }
+    size : 512;
+}
+
+table t4_p7_exec {
+    reads {
+        hp4.prim_type : exact;
+    }
+    actions {
+        a_exec_mod_ed_const;
+        a_exec_mod_ed_ed;
+        a_exec_mod_ed_meta;
+        a_exec_mod_meta_ed;
+        a_exec_mod_meta_const;
+        a_exec_mod_vport_const;
+        a_exec_mod_vport_vingress;
+        a_exec_add_ed_const;
+        a_exec_add_meta_const;
+        a_exec_drop;
+        a_exec_no_op;
+        a_exec_mod_meta_meta;
+    }
+    size : 32;
+}
+
+table t4_p7_done {
+    actions {
+        a_prim_done;
+    }
+    default_action : a_prim_done;
+    size : 1;
+}
+
+table t4_p8_prep {
+    reads {
+        hp4.program : exact;
+        hp4.match_id : exact;
+    }
+    actions {
+        a_prep_mod_ed_const;
+        a_prep_mod_ed_ed;
+        a_prep_mod_ed_meta;
+        a_prep_mod_meta_ed;
+        a_prep_mod_meta_const;
+        a_prep_mod_vport_const;
+        a_prep_mod_vport_vingress;
+        a_prep_add_ed_const;
+        a_prep_add_meta_const;
+        a_prep_drop;
+        a_prep_no_op;
+        a_prep_mod_meta_meta;
+    }
+    size : 512;
+}
+
+table t4_p8_exec {
+    reads {
+        hp4.prim_type : exact;
+    }
+    actions {
+        a_exec_mod_ed_const;
+        a_exec_mod_ed_ed;
+        a_exec_mod_ed_meta;
+        a_exec_mod_meta_ed;
+        a_exec_mod_meta_const;
+        a_exec_mod_vport_const;
+        a_exec_mod_vport_vingress;
+        a_exec_add_ed_const;
+        a_exec_add_meta_const;
+        a_exec_drop;
+        a_exec_no_op;
+        a_exec_mod_meta_meta;
+    }
+    size : 32;
+}
+
+table t4_p8_done {
+    actions {
+        a_prim_done;
+    }
+    default_action : a_prim_done;
+    size : 1;
+}
+
+table t4_p9_prep {
+    reads {
+        hp4.program : exact;
+        hp4.match_id : exact;
+    }
+    actions {
+        a_prep_mod_ed_const;
+        a_prep_mod_ed_ed;
+        a_prep_mod_ed_meta;
+        a_prep_mod_meta_ed;
+        a_prep_mod_meta_const;
+        a_prep_mod_vport_const;
+        a_prep_mod_vport_vingress;
+        a_prep_add_ed_const;
+        a_prep_add_meta_const;
+        a_prep_drop;
+        a_prep_no_op;
+        a_prep_mod_meta_meta;
+    }
+    size : 512;
+}
+
+table t4_p9_exec {
+    reads {
+        hp4.prim_type : exact;
+    }
+    actions {
+        a_exec_mod_ed_const;
+        a_exec_mod_ed_ed;
+        a_exec_mod_ed_meta;
+        a_exec_mod_meta_ed;
+        a_exec_mod_meta_const;
+        a_exec_mod_vport_const;
+        a_exec_mod_vport_vingress;
+        a_exec_add_ed_const;
+        a_exec_add_meta_const;
+        a_exec_drop;
+        a_exec_no_op;
+        a_exec_mod_meta_meta;
+    }
+    size : 32;
+}
+
+table t4_p9_done {
+    actions {
+        a_prim_done;
+    }
+    default_action : a_prim_done;
+    size : 1;
+}
+
+table t_virtnet {
+    reads {
+        hp4.program : exact;
+        hp4.vdev_port : exact;
+    }
+    actions {
+        a_phys_fwd;
+        a_virt_fwd;
+        a_mcast_start;
+        a_vdrop;
+    }
+    default_action : a_vdrop;
+    size : 256;
+}
+
+table te_recirc {
+    actions {
+        a_do_recirc;
+    }
+    default_action : a_do_recirc;
+    size : 1;
+}
+
+table t_dropped {
+    actions {
+        a_vdrop;
+    }
+    default_action : a_vdrop;
+    size : 1;
+}
+
+table te_csum {
+    reads {
+        hp4.program : exact;
+    }
+    actions {
+        a_ipv4_csum;
+    }
+    size : 64;
+}
+
+table te_mcast_orig {
+    reads {
+        hp4.mcast : exact;
+    }
+    actions {
+        a_mcast_clone;
+    }
+    size : 64;
+}
+
+table te_mcast_clone {
+    reads {
+        hp4.mcast : exact;
+    }
+    actions {
+        a_mcast_step_clone;
+        a_mcast_step_last;
+    }
+    size : 64;
+}
+
+table t_police {
+    actions {
+        a_police;
+    }
+    default_action : a_police;
+    size : 1;
+}
+
+table t_police_drop {
+    actions {
+        a_vdrop;
+    }
+    default_action : a_vdrop;
+    size : 1;
+}
+
+control ingress {
+    apply(t_norm);
+    if (hp4.program == 0x0) {
+        apply(t_assign);
+    }
+    apply(t_police);
+    if (hp4.color != 0x2) {
+        apply(t_parse_ctrl);
+        if (hp4.next_table != 0x0) {
+            if (hp4.next_table == 0x1) {
+                apply(t1_ed_exact);
+            } else {
+                if (hp4.next_table == 0x2) {
+                    apply(t1_ed_ternary);
+                } else {
+                    if (hp4.next_table == 0x3) {
+                        apply(t1_meta_exact);
+                    } else {
+                        if (hp4.next_table == 0x4) {
+                            apply(t1_meta_ternary);
+                        } else {
+                            if (hp4.next_table == 0x5) {
+                                apply(t1_stdmeta);
+                            } else {
+                                if (hp4.next_table == 0x6) {
+                                    apply(t1_matchless);
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            if (hp4.prims_left != 0x0) {
+                apply(t1_p1_prep);
+                apply(t1_p1_exec);
+                apply(t1_p1_done);
+            }
+            if (hp4.prims_left != 0x0) {
+                apply(t1_p2_prep);
+                apply(t1_p2_exec);
+                apply(t1_p2_done);
+            }
+            if (hp4.prims_left != 0x0) {
+                apply(t1_p3_prep);
+                apply(t1_p3_exec);
+                apply(t1_p3_done);
+            }
+            if (hp4.prims_left != 0x0) {
+                apply(t1_p4_prep);
+                apply(t1_p4_exec);
+                apply(t1_p4_done);
+            }
+            if (hp4.prims_left != 0x0) {
+                apply(t1_p5_prep);
+                apply(t1_p5_exec);
+                apply(t1_p5_done);
+            }
+            if (hp4.prims_left != 0x0) {
+                apply(t1_p6_prep);
+                apply(t1_p6_exec);
+                apply(t1_p6_done);
+            }
+            if (hp4.prims_left != 0x0) {
+                apply(t1_p7_prep);
+                apply(t1_p7_exec);
+                apply(t1_p7_done);
+            }
+            if (hp4.prims_left != 0x0) {
+                apply(t1_p8_prep);
+                apply(t1_p8_exec);
+                apply(t1_p8_done);
+            }
+            if (hp4.prims_left != 0x0) {
+                apply(t1_p9_prep);
+                apply(t1_p9_exec);
+                apply(t1_p9_done);
+            }
+        }
+        if (hp4.next_table != 0x0) {
+            if (hp4.next_table == 0x1) {
+                apply(t2_ed_exact);
+            } else {
+                if (hp4.next_table == 0x2) {
+                    apply(t2_ed_ternary);
+                } else {
+                    if (hp4.next_table == 0x3) {
+                        apply(t2_meta_exact);
+                    } else {
+                        if (hp4.next_table == 0x4) {
+                            apply(t2_meta_ternary);
+                        } else {
+                            if (hp4.next_table == 0x5) {
+                                apply(t2_stdmeta);
+                            } else {
+                                if (hp4.next_table == 0x6) {
+                                    apply(t2_matchless);
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            if (hp4.prims_left != 0x0) {
+                apply(t2_p1_prep);
+                apply(t2_p1_exec);
+                apply(t2_p1_done);
+            }
+            if (hp4.prims_left != 0x0) {
+                apply(t2_p2_prep);
+                apply(t2_p2_exec);
+                apply(t2_p2_done);
+            }
+            if (hp4.prims_left != 0x0) {
+                apply(t2_p3_prep);
+                apply(t2_p3_exec);
+                apply(t2_p3_done);
+            }
+            if (hp4.prims_left != 0x0) {
+                apply(t2_p4_prep);
+                apply(t2_p4_exec);
+                apply(t2_p4_done);
+            }
+            if (hp4.prims_left != 0x0) {
+                apply(t2_p5_prep);
+                apply(t2_p5_exec);
+                apply(t2_p5_done);
+            }
+            if (hp4.prims_left != 0x0) {
+                apply(t2_p6_prep);
+                apply(t2_p6_exec);
+                apply(t2_p6_done);
+            }
+            if (hp4.prims_left != 0x0) {
+                apply(t2_p7_prep);
+                apply(t2_p7_exec);
+                apply(t2_p7_done);
+            }
+            if (hp4.prims_left != 0x0) {
+                apply(t2_p8_prep);
+                apply(t2_p8_exec);
+                apply(t2_p8_done);
+            }
+            if (hp4.prims_left != 0x0) {
+                apply(t2_p9_prep);
+                apply(t2_p9_exec);
+                apply(t2_p9_done);
+            }
+        }
+        if (hp4.next_table != 0x0) {
+            if (hp4.next_table == 0x1) {
+                apply(t3_ed_exact);
+            } else {
+                if (hp4.next_table == 0x2) {
+                    apply(t3_ed_ternary);
+                } else {
+                    if (hp4.next_table == 0x3) {
+                        apply(t3_meta_exact);
+                    } else {
+                        if (hp4.next_table == 0x4) {
+                            apply(t3_meta_ternary);
+                        } else {
+                            if (hp4.next_table == 0x5) {
+                                apply(t3_stdmeta);
+                            } else {
+                                if (hp4.next_table == 0x6) {
+                                    apply(t3_matchless);
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            if (hp4.prims_left != 0x0) {
+                apply(t3_p1_prep);
+                apply(t3_p1_exec);
+                apply(t3_p1_done);
+            }
+            if (hp4.prims_left != 0x0) {
+                apply(t3_p2_prep);
+                apply(t3_p2_exec);
+                apply(t3_p2_done);
+            }
+            if (hp4.prims_left != 0x0) {
+                apply(t3_p3_prep);
+                apply(t3_p3_exec);
+                apply(t3_p3_done);
+            }
+            if (hp4.prims_left != 0x0) {
+                apply(t3_p4_prep);
+                apply(t3_p4_exec);
+                apply(t3_p4_done);
+            }
+            if (hp4.prims_left != 0x0) {
+                apply(t3_p5_prep);
+                apply(t3_p5_exec);
+                apply(t3_p5_done);
+            }
+            if (hp4.prims_left != 0x0) {
+                apply(t3_p6_prep);
+                apply(t3_p6_exec);
+                apply(t3_p6_done);
+            }
+            if (hp4.prims_left != 0x0) {
+                apply(t3_p7_prep);
+                apply(t3_p7_exec);
+                apply(t3_p7_done);
+            }
+            if (hp4.prims_left != 0x0) {
+                apply(t3_p8_prep);
+                apply(t3_p8_exec);
+                apply(t3_p8_done);
+            }
+            if (hp4.prims_left != 0x0) {
+                apply(t3_p9_prep);
+                apply(t3_p9_exec);
+                apply(t3_p9_done);
+            }
+        }
+        if (hp4.next_table != 0x0) {
+            if (hp4.next_table == 0x1) {
+                apply(t4_ed_exact);
+            } else {
+                if (hp4.next_table == 0x2) {
+                    apply(t4_ed_ternary);
+                } else {
+                    if (hp4.next_table == 0x3) {
+                        apply(t4_meta_exact);
+                    } else {
+                        if (hp4.next_table == 0x4) {
+                            apply(t4_meta_ternary);
+                        } else {
+                            if (hp4.next_table == 0x5) {
+                                apply(t4_stdmeta);
+                            } else {
+                                if (hp4.next_table == 0x6) {
+                                    apply(t4_matchless);
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            if (hp4.prims_left != 0x0) {
+                apply(t4_p1_prep);
+                apply(t4_p1_exec);
+                apply(t4_p1_done);
+            }
+            if (hp4.prims_left != 0x0) {
+                apply(t4_p2_prep);
+                apply(t4_p2_exec);
+                apply(t4_p2_done);
+            }
+            if (hp4.prims_left != 0x0) {
+                apply(t4_p3_prep);
+                apply(t4_p3_exec);
+                apply(t4_p3_done);
+            }
+            if (hp4.prims_left != 0x0) {
+                apply(t4_p4_prep);
+                apply(t4_p4_exec);
+                apply(t4_p4_done);
+            }
+            if (hp4.prims_left != 0x0) {
+                apply(t4_p5_prep);
+                apply(t4_p5_exec);
+                apply(t4_p5_done);
+            }
+            if (hp4.prims_left != 0x0) {
+                apply(t4_p6_prep);
+                apply(t4_p6_exec);
+                apply(t4_p6_done);
+            }
+            if (hp4.prims_left != 0x0) {
+                apply(t4_p7_prep);
+                apply(t4_p7_exec);
+                apply(t4_p7_done);
+            }
+            if (hp4.prims_left != 0x0) {
+                apply(t4_p8_prep);
+                apply(t4_p8_exec);
+                apply(t4_p8_done);
+            }
+            if (hp4.prims_left != 0x0) {
+                apply(t4_p9_prep);
+                apply(t4_p9_exec);
+                apply(t4_p9_done);
+            }
+        }
+        if (hp4.dropped == 0x1) {
+            apply(t_dropped);
+        } else {
+            apply(t_virtnet);
+        }
+    } else {
+        apply(t_police_drop);
+    }
+}
+
+control egress {
+    if (hp4.csum == 0x1) {
+        apply(te_csum);
+    }
+    apply(te_writeback);
+    if (hp4.mcast != 0x0) {
+        if (standard_metadata.instance_type == 0x2) {
+            apply(te_mcast_clone);
+        } else {
+            apply(te_mcast_orig);
+        }
+    }
+    if (hp4.recirc == 0x1) {
+        apply(te_recirc);
+    }
+}
+

@@ -1,0 +1,56 @@
+
+header_type ethernet_t {
+    fields {
+        dstAddr : 48;
+        srcAddr : 48;
+        etherType : 16;
+    }
+}
+
+header ethernet_t ethernet;
+
+parser start {
+    extract(ethernet);
+    return ingress;
+}
+
+action _nop() {
+    no_op();
+}
+
+action _drop() {
+    drop();
+}
+
+action forward(port) {
+    modify_field(standard_metadata.egress_spec, port);
+}
+
+// Source-MAC check: a hit means the address is known; a miss would be the
+// hook for learning (flagged to the controller in a full deployment).
+table smac {
+    reads {
+        ethernet.srcAddr : exact;
+    }
+    actions {
+        _nop;
+        _drop;
+    }
+    size : 512;
+}
+
+table dmac {
+    reads {
+        ethernet.dstAddr : exact;
+    }
+    actions {
+        forward;
+        _drop;
+    }
+    size : 512;
+}
+
+control ingress {
+    apply(smac);
+    apply(dmac);
+}
