@@ -1,0 +1,27 @@
+GO ?= go
+
+.PHONY: all build vet test race bench-smoke throughput ci
+
+all: ci
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Quick benchmark smoke: does the throughput benchmark run at all?
+bench-smoke:
+	$(GO) test -run xxx -bench Throughput -benchtime 100x .
+
+# Full serial-vs-parallel measurement; writes BENCH_throughput.json.
+throughput:
+	$(GO) run ./cmd/hp4bench -parallel
+
+ci: vet build race bench-smoke throughput

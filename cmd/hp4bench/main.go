@@ -24,6 +24,9 @@ func main() {
 	runs := flag.Int("runs", 10, "Table 5 repetitions")
 	pings := flag.Int("pings", 1000, "Table 5 ping count")
 	mbytes := flag.Int64("mbytes", 2, "Table 5 iperf megabytes per run")
+	parallel := flag.Bool("parallel", false, "run the batched-throughput experiment (serial vs ProcessBatch pkts/sec)")
+	throughputPkts := flag.Int("throughput-pkts", 4096, "packets per throughput measurement")
+	throughputJSON := flag.String("throughput-json", "BENCH_throughput.json", "write throughput results to this JSON file (empty = stdout only)")
 	flag.Parse()
 
 	experiments := []struct {
@@ -47,6 +50,15 @@ func main() {
 				MSS: 1400, SwitchOverhead: 100 * time.Microsecond,
 			})
 		}},
+	}
+	if *parallel || *only == "throughput" {
+		if err := throughput(*throughputPkts, *throughputJSON); err != nil {
+			fmt.Fprintf(os.Stderr, "hp4bench throughput: %v\n", err)
+			os.Exit(1)
+		}
+		if *only == "throughput" || *parallel {
+			return
+		}
 	}
 	ran := false
 	for _, e := range experiments {

@@ -1,0 +1,46 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+
+	"hyper4/internal/bench"
+)
+
+// throughput runs the serial-vs-parallel packet throughput experiment and
+// optionally writes the measurements to a JSON file.
+func throughput(pkts int, jsonPath string) error {
+	fmt.Printf("Throughput: serial Process vs ProcessBatch (%d packets, GOMAXPROCS=%d)\n",
+		pkts, runtime.GOMAXPROCS(0))
+	fmt.Printf("%-12s %-8s %14s %14s %9s %12s\n",
+		"program", "mode", "serial pkt/s", "batch pkt/s", "speedup", "allocs/pkt")
+	var results []bench.ThroughputResult
+	for _, fn := range bench.ThroughputFunctions() {
+		for _, mode := range []bench.Mode{bench.Native, bench.HyPer4} {
+			res, err := bench.Throughput(fn, mode, pkts)
+			if err != nil {
+				return err
+			}
+			results = append(results, res)
+			fmt.Printf("%-12s %-8s %14.0f %14.0f %8.2fx %12.1f\n",
+				res.Function, res.Mode, res.SerialPPS, res.BatchPPS, res.Speedup, res.SerialAlloc)
+		}
+	}
+	if runtime.GOMAXPROCS(0) == 1 {
+		fmt.Println("note: single-CPU runner; batched speedup requires multiple cores")
+	}
+	if jsonPath == "" {
+		return nil
+	}
+	data, err := json.MarshalIndent(results, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(jsonPath, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", jsonPath)
+	return nil
+}

@@ -1,0 +1,89 @@
+package bench
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"hyper4/internal/functions"
+	"hyper4/internal/sim"
+)
+
+// ThroughputResult is one serial-vs-parallel throughput measurement.
+type ThroughputResult struct {
+	Function    string  `json:"function"`
+	Mode        string  `json:"mode"`
+	Workers     int     `json:"workers"` // GOMAXPROCS during the run
+	Packets     int     `json:"packets"`
+	SerialNsOp  float64 `json:"serial_ns_per_pkt"`
+	SerialPPS   float64 `json:"serial_pkts_per_sec"`
+	BatchNsOp   float64 `json:"parallel_ns_per_pkt"`
+	BatchPPS    float64 `json:"parallel_pkts_per_sec"`
+	Speedup     float64 `json:"speedup"`
+	SerialAlloc float64 `json:"serial_allocs_per_pkt"`
+}
+
+// ThroughputFunctions are the workloads the throughput experiment sweeps.
+func ThroughputFunctions() []string {
+	return []string{functions.L2Switch, functions.Firewall}
+}
+
+// Throughput measures serial Process and batched ProcessBatch throughput for
+// one function and mode, driving at least minPackets packets through each
+// path (the function's workload packets, repeated).
+func Throughput(fn string, mode Mode, minPackets int) (ThroughputResult, error) {
+	sw, err := FunctionSwitch(fn, mode)
+	if err != nil {
+		return ThroughputResult{}, err
+	}
+	src := WorkloadPackets(fn)
+	if len(src) == 0 {
+		return ThroughputResult{}, fmt.Errorf("bench: no workload for %q", fn)
+	}
+	if minPackets < len(src) {
+		minPackets = len(src)
+	}
+	inputs := make([]sim.Input, minPackets)
+	for i := range inputs {
+		inputs[i] = sim.Input{Data: src[i%len(src)], Port: 1}
+	}
+	// Warm the state pool and any lazy paths before timing.
+	if _, err := sw.ProcessBatch(inputs[:min(len(inputs), 8)]); err != nil {
+		return ThroughputResult{}, err
+	}
+
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	start := time.Now()
+	for _, in := range inputs {
+		if _, _, err := sw.Process(in.Data, in.Port); err != nil {
+			return ThroughputResult{}, err
+		}
+	}
+	serial := time.Since(start)
+	runtime.ReadMemStats(&m1)
+	serialAllocs := float64(m1.Mallocs-m0.Mallocs) / float64(len(inputs))
+
+	start = time.Now()
+	if _, err := sw.ProcessBatch(inputs); err != nil {
+		return ThroughputResult{}, err
+	}
+	batched := time.Since(start)
+
+	n := float64(len(inputs))
+	res := ThroughputResult{
+		Function:    fn,
+		Mode:        mode.String(),
+		Workers:     runtime.GOMAXPROCS(0),
+		Packets:     len(inputs),
+		SerialNsOp:  float64(serial.Nanoseconds()) / n,
+		SerialPPS:   n / serial.Seconds(),
+		BatchNsOp:   float64(batched.Nanoseconds()) / n,
+		BatchPPS:    n / batched.Seconds(),
+		SerialAlloc: serialAllocs,
+	}
+	if batched > 0 {
+		res.Speedup = serial.Seconds() / batched.Seconds()
+	}
+	return res, nil
+}

@@ -129,9 +129,14 @@ func (v Value) Clone() Value {
 	return out
 }
 
-// Resize returns a copy of v with the given width. Growing zero-extends on
-// the left; shrinking drops the most significant bits.
+// Resize returns v at the given width. Growing zero-extends on the left;
+// shrinking drops the most significant bits. When the width already matches,
+// v itself is returned (no copy): treat the result as read-only, or Clone it
+// before mutating.
 func (v Value) Resize(width int) Value {
+	if width == v.width {
+		return v
+	}
 	return FromBytes(width, v.b)
 }
 
@@ -258,6 +263,192 @@ func copyBit(dst []byte, do int, src []byte, so int) {
 	} else {
 		dst[do/8] &^= mask
 	}
+}
+
+// --- in-place variants ---
+//
+// The fast path through the simulator keeps one long-lived Value per packet
+// field and mutates it, rather than allocating a fresh Value per operation.
+// These methods are the mutating counterparts of the functional API above.
+
+// Zero clears every bit in place.
+func (v *Value) Zero() {
+	for i := range v.b {
+		v.b[i] = 0
+	}
+}
+
+// CopyFrom overwrites v with o's bits in place. Widths must match.
+func (v *Value) CopyFrom(o Value) {
+	v.checkWidth(o)
+	copy(v.b, o.b)
+}
+
+// SetBytes overwrites v in place from big-endian bytes, with FromBytes
+// resize semantics (right-aligned, zero-extended or truncated on the left).
+func (v *Value) SetBytes(data []byte) {
+	n := len(v.b)
+	if len(data) >= n {
+		copy(v.b, data[len(data)-n:])
+	} else {
+		for i := 0; i < n-len(data); i++ {
+			v.b[i] = 0
+		}
+		copy(v.b[n-len(data):], data)
+	}
+	v.clampTop()
+}
+
+// SetFrom overwrites v from another Value of any width, with FromBytes
+// resize semantics.
+func (v *Value) SetFrom(o Value) { v.SetBytes(o.b) }
+
+// SetUint overwrites v in place from an unsigned integer.
+func (v *Value) SetUint(x uint64) {
+	for i := len(v.b) - 1; i >= 0; i-- {
+		v.b[i] = byte(x)
+		x >>= 8
+	}
+	v.clampTop()
+}
+
+// InsertUint writes the low `width` bits of x into bits [start, start+width)
+// of v, in place, without allocating. width must be at most 64.
+func (v *Value) InsertUint(start, width int, x uint64) {
+	if width > 64 {
+		panic("bitfield: InsertUint width > 64")
+	}
+	if start < 0 || start+width > v.width {
+		panic(fmt.Sprintf("bitfield: insert [%d,%d) out of range for width %d", start, start+width, v.width))
+	}
+	var buf [8]byte
+	for i := 7; i >= 0; i-- {
+		buf[i] = byte(x)
+		x >>= 8
+	}
+	copyBits(v.b, v.padBits()+start, buf[:], 64-width, width)
+}
+
+// UintAt reads bits [start, start+width) of v as an unsigned integer without
+// allocating. width must be at most 64.
+func (v Value) UintAt(start, width int) uint64 {
+	if width > 64 {
+		panic("bitfield: UintAt width > 64")
+	}
+	if start < 0 || width < 0 || start+width > v.width {
+		panic(fmt.Sprintf("bitfield: slice [%d,%d) out of range for width %d", start, start+width, v.width))
+	}
+	var x uint64
+	off := v.padBits() + start
+	for i := 0; i < width; i++ {
+		x = x<<1 | uint64((v.b[(off+i)/8]>>(7-(off+i)%8))&1)
+	}
+	return x
+}
+
+// SliceInto extracts bits [start, start+width) of v into dst, reusing dst's
+// backing buffer when it is large enough.
+func (v Value) SliceInto(dst *Value, start, width int) {
+	if start < 0 || width < 0 || start+width > v.width {
+		panic(fmt.Sprintf("bitfield: slice [%d,%d) out of range for width %d", start, start+width, v.width))
+	}
+	n := bytesFor(width)
+	if cap(dst.b) < n {
+		dst.b = make([]byte, n)
+	} else {
+		dst.b = dst.b[:n]
+		for i := range dst.b {
+			dst.b[i] = 0
+		}
+	}
+	dst.width = width
+	copyBits(dst.b, dst.padBits(), v.b, v.padBits()+start, width)
+}
+
+// InsertBits writes bits [srcStart, srcStart+width) of src into bits
+// [start, start+width) of v, in place.
+func (v *Value) InsertBits(start int, src Value, srcStart, width int) {
+	if start < 0 || start+width > v.width || srcStart < 0 || srcStart+width > src.width {
+		panic("bitfield: InsertBits out of range")
+	}
+	copyBits(v.b, v.padBits()+start, src.b, src.padBits()+srcStart, width)
+}
+
+// AppendSliceTo appends the big-endian bytes of bits [start, start+width) to
+// dst — exactly the bytes v.Slice(start, width).Bytes() would produce, but
+// without allocating a Value.
+func (v Value) AppendSliceTo(dst []byte, start, width int) []byte {
+	if start < 0 || width < 0 || start+width > v.width {
+		panic(fmt.Sprintf("bitfield: slice [%d,%d) out of range for width %d", start, start+width, v.width))
+	}
+	n := bytesFor(width)
+	base := len(dst)
+	for i := 0; i < n; i++ {
+		dst = append(dst, 0)
+	}
+	copyBits(dst[base:], n*8-width, v.b, v.padBits()+start, width)
+	return dst
+}
+
+// AndWith sets v = v & o in place. Operands must share a width.
+func (v *Value) AndWith(o Value) {
+	v.checkWidth(o)
+	for i := range v.b {
+		v.b[i] &= o.b[i]
+	}
+}
+
+// OrWith sets v = v | o in place. Operands must share a width.
+func (v *Value) OrWith(o Value) {
+	v.checkWidth(o)
+	for i := range v.b {
+		v.b[i] |= o.b[i]
+	}
+}
+
+// XorWith sets v = v ^ o in place. Operands must share a width.
+func (v *Value) XorWith(o Value) {
+	v.checkWidth(o)
+	for i := range v.b {
+		v.b[i] ^= o.b[i]
+	}
+}
+
+// NotSelf sets v = ^v in place, within the width.
+func (v *Value) NotSelf() {
+	for i := range v.b {
+		v.b[i] = ^v.b[i]
+	}
+	v.clampTop()
+}
+
+// AddWith sets v = (v + o) mod 2^width in place. Operands must share a width.
+func (v *Value) AddWith(o Value) {
+	v.checkWidth(o)
+	var carry uint16
+	for i := len(v.b) - 1; i >= 0; i-- {
+		s := uint16(v.b[i]) + uint16(o.b[i]) + carry
+		v.b[i] = byte(s)
+		carry = s >> 8
+	}
+	v.clampTop()
+}
+
+// SubWith sets v = (v - o) mod 2^width in place. Operands must share a width.
+func (v *Value) SubWith(o Value) {
+	v.checkWidth(o)
+	var borrow int16
+	for i := len(v.b) - 1; i >= 0; i-- {
+		d := int16(v.b[i]) - int16(o.b[i]) - borrow
+		if d < 0 {
+			d += 256
+			borrow = 1
+		} else {
+			borrow = 0
+		}
+		v.b[i] = byte(d)
+	}
+	v.clampTop()
 }
 
 // And returns v & o. Operands must share a width.

@@ -49,6 +49,7 @@ type VDev struct {
 	static     []pentry            // parse/virtnet/csum rows
 	defaults   map[string][]pentry // per-table catch-all rows
 	links      []pentry            // virtual network rows
+	vnet       map[int]pentry      // t_virtnet routing row per virtual egress port
 }
 
 // EntryCount returns the number of installed virtual entries.
@@ -130,6 +131,7 @@ func (d *DPMU) Load(name string, comp *hp4c.Compiled, owner string, quota int) (
 		Quota:    quota,
 		entries:  map[int]*ventry{},
 		defaults: map[string][]pentry{},
+		vnet:     map[int]pentry{},
 	}
 	if err := d.installStatic(v); err != nil {
 		d.removeRows(v.static)

@@ -46,7 +46,26 @@ func (d *DPMU) ClearAssignments() {
 	d.assignPEs = nil
 }
 
+// unmapVPort removes any existing virtnet routing row for a virtual egress
+// port. MapVPort and LinkVPorts have replace semantics: re-mapping a port
+// re-routes it rather than hitting the duplicate-key rejection in TableAdd.
+func (d *DPMU) unmapVPort(v *VDev, vport int) {
+	row, ok := v.vnet[vport]
+	if !ok {
+		return
+	}
+	delete(v.vnet, vport)
+	_ = d.SW.TableDelete(row.table, row.handle)
+	for i := range v.links {
+		if v.links[i] == row {
+			v.links = append(v.links[:i], v.links[i+1:]...)
+			break
+		}
+	}
+}
+
 // MapVPort maps a virtual egress port of a device to a physical port.
+// Re-mapping an already-mapped port replaces the previous route.
 func (d *DPMU) MapVPort(owner, vdev string, vport, physPort int) error {
 	v, err := d.auth(owner, vdev)
 	if err != nil {
@@ -56,8 +75,13 @@ func (d *DPMU) MapVPort(owner, vdev string, vport, physPort int) error {
 		sim.ExactUint(persona.ProgramWidth, uint64(v.PID)),
 		sim.ExactUint(persona.VPortWidth, uint64(vport)),
 	}
-	return d.addRow(&v.links, persona.TblVirtnet, persona.ActPhysFwd, params,
-		[]bitfield.Value{bitfield.FromUint(9, uint64(physPort))}, 0)
+	d.unmapVPort(v, vport)
+	if err := d.addRow(&v.links, persona.TblVirtnet, persona.ActPhysFwd, params,
+		[]bitfield.Value{bitfield.FromUint(9, uint64(physPort))}, 0); err != nil {
+		return err
+	}
+	v.vnet[vport] = v.links[len(v.links)-1]
+	return nil
 }
 
 // LinkVPorts connects a virtual egress port of one device to the virtual
@@ -83,7 +107,12 @@ func (d *DPMU) LinkVPorts(owner, fromDev string, fromPort int, toDev string, toP
 		bitfield.FromUint(persona.VPortWidth, uint64(toPort)),
 		bitfield.FromUint(9, 0), // harmless egress port on the way to recirculation
 	}
-	return d.addRow(&from.links, persona.TblVirtnet, persona.ActVirtFwd, params, args, 0)
+	d.unmapVPort(from, fromPort)
+	if err := d.addRow(&from.links, persona.TblVirtnet, persona.ActVirtFwd, params, args, 0); err != nil {
+		return err
+	}
+	from.vnet[fromPort] = from.links[len(from.links)-1]
+	return nil
 }
 
 // --- snapshots (§3.2) ---

@@ -15,19 +15,25 @@ func (sw *Switch) deparse(ps *packetState) ([]byte, error) {
 	if err := sw.updateCalculatedFields(ps); err != nil {
 		return nil, err
 	}
-	var out []byte
+	// Size the output exactly: valid header bytes + remaining payload.
+	size := len(ps.data) - ps.consumed
 	for _, instName := range sw.prog.HeaderOrder {
-		inst := sw.prog.Instances[instName]
-		n := 1
-		if inst.Decl.IsStack() {
-			n = inst.Decl.Count
+		ii := sw.lay.insts[instName]
+		for elem := 0; elem < ii.count; elem++ {
+			if ps.headers[ii.headerBase+elem].valid {
+				size += ii.width / 8
+			}
 		}
-		for elem := 0; elem < n; elem++ {
-			h, ok := ps.headers[instKey{name: instName, elem: elem}]
-			if !ok || !h.valid {
+	}
+	out := make([]byte, 0, size)
+	for _, instName := range sw.prog.HeaderOrder {
+		ii := sw.lay.insts[instName]
+		for elem := 0; elem < ii.count; elem++ {
+			h := &ps.headers[ii.headerBase+elem]
+			if !h.valid {
 				continue
 			}
-			out = append(out, h.value.Bytes()...)
+			out = h.value.AppendSliceTo(out, 0, ii.width)
 		}
 	}
 	out = append(out, ps.data[ps.consumed:]...)
@@ -43,28 +49,21 @@ func (sw *Switch) updateCalculatedFields(ps *packetState) error {
 		if cf.Update == "" {
 			continue
 		}
+		guard := ast.HeaderRef{Instance: cf.Field.Instance, Index: cf.Field.Index}
 		if cf.IfValid != nil {
-			k, err := ps.resolveHeaderRef(*cf.IfValid)
-			if err != nil {
-				return err
-			}
-			if h, ok := ps.headers[k]; !ok || !h.valid {
-				continue
-			}
-		} else {
-			// Implicitly guard on the target field's header being valid.
-			k, err := ps.resolveHeaderRef(ast.HeaderRef{Instance: cf.Field.Instance, Index: cf.Field.Index})
-			if err != nil {
-				return err
-			}
-			if h, ok := ps.headers[k]; !ok || !h.valid {
-				continue
-			}
+			guard = *cf.IfValid
+		}
+		slot, err := ps.resolveHeaderRef(guard)
+		if err != nil {
+			return err
+		}
+		if !ps.headers[slot].valid {
+			continue
 		}
 		calc := sw.prog.Calcs[cf.Update]
 		// Compute the checksum with the target field zeroed, as checksum
 		// algorithms require.
-		if err := ps.setField(cf.Field, bitfield.New(0).Resize(16)); err != nil {
+		if err := ps.setField(cf.Field, bitfield.New(16)); err != nil {
 			return err
 		}
 		sum, err := sw.computeCalc(calc, ps)
@@ -80,16 +79,12 @@ func (sw *Switch) updateCalculatedFields(ps *packetState) error {
 
 // computeCalc serializes a field list and applies the checksum algorithm.
 func (sw *Switch) computeCalc(calc *ast.FieldListCalc, ps *packetState) (bitfield.Value, error) {
-	bits, payload, err := sw.serializeFieldList(calc.Input, ps)
+	data, bits, err := sw.serializeFieldList(calc.Input, ps)
 	if err != nil {
 		return bitfield.Value{}, err
 	}
-	if bits.Width()%8 != 0 {
-		return bitfield.Value{}, fmt.Errorf("sim: field list %s width %d is not byte aligned", calc.Input, bits.Width())
-	}
-	data := bits.Bytes()
-	if payload {
-		data = append(data, ps.data[ps.consumed:]...)
+	if bits%8 != 0 {
+		return bitfield.Value{}, fmt.Errorf("sim: field list %s width %d is not byte aligned", calc.Input, bits)
 	}
 	switch calc.Algorithm {
 	case ast.AlgoCsum16:
@@ -99,9 +94,13 @@ func (sw *Switch) computeCalc(calc *ast.FieldListCalc, ps *packetState) (bitfiel
 }
 
 // serializeFieldList concatenates the field values of a (possibly nested)
-// field list and reports whether the list includes the payload token.
-func (sw *Switch) serializeFieldList(listName string, ps *packetState) (bitfield.Value, bool, error) {
-	out := bitfield.New(0)
+// field list into bytes, appending the payload when the list includes the
+// payload token. All fields in checksum inputs are byte-aligned in practice
+// (the csum16 caller rejects unaligned totals), so each field appends whole
+// bytes.
+func (sw *Switch) serializeFieldList(listName string, ps *packetState) ([]byte, int, error) {
+	var out []byte
+	bits := 0
 	payload := false
 	var walk func(name string) error
 	walk = func(name string) error {
@@ -118,20 +117,34 @@ func (sw *Switch) serializeFieldList(listName string, ps *packetState) (bitfield
 					return err
 				}
 			case e.Field != nil:
-				v, err := ps.getField(*e.Field)
+				loc, err := sw.lay.fieldLoc(*e.Field)
 				if err != nil {
 					return err
 				}
-				grown := bitfield.New(out.Width() + v.Width())
-				grown.Insert(0, out)
-				grown.Insert(out.Width(), v)
-				out = grown
+				src, err := ps.fieldSource(loc, e.Field.Index)
+				if err != nil {
+					return err
+				}
+				if bits%8 != 0 || loc.width%8 != 0 {
+					// Unaligned fields fall back to a value round-trip.
+					v := src.Slice(loc.off, loc.width)
+					grown := bitfield.New(bits + v.Width())
+					grown.Insert(0, bitfield.FromBytes(bits, out))
+					grown.Insert(bits, v)
+					out = grown.Bytes()
+				} else {
+					out = src.AppendSliceTo(out, loc.off, loc.width)
+				}
+				bits += loc.width
 			}
 		}
 		return nil
 	}
 	if err := walk(listName); err != nil {
-		return bitfield.Value{}, false, err
+		return nil, 0, err
 	}
-	return out, payload, nil
+	if payload {
+		out = append(out, ps.data[ps.consumed:]...)
+	}
+	return out, bits, nil
 }

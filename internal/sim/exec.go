@@ -10,9 +10,27 @@ import (
 // maxActionDepth bounds compound-action recursion.
 const maxActionDepth = 32
 
+// actionFrame binds a compound action's parameters to its argument values.
+// It replaces a per-invocation map: parameter lists are tiny, so a linear
+// scan over the shared params slice is both faster and allocation-free.
+type actionFrame struct {
+	params []string
+	args   []bitfield.Value
+}
+
+func (f actionFrame) lookup(name string) (bitfield.Value, bool) {
+	for i, p := range f.params {
+		if p == name {
+			return f.args[i], true
+		}
+	}
+	return bitfield.Value{}, false
+}
+
 // runStmts executes a control-flow statement list.
 func (sw *Switch) runStmts(stmts []ast.Stmt, ps *packetState, tr *Trace) error {
-	for _, s := range stmts {
+	for i := range stmts {
+		s := &stmts[i]
 		switch s.Kind {
 		case ast.StmtApply:
 			if err := sw.applyTable(s, ps, tr); err != nil {
@@ -45,17 +63,16 @@ func (sw *Switch) runStmts(stmts []ast.Stmt, ps *packetState, tr *Trace) error {
 
 // applyTable performs one match-action stage: build the key, look up the
 // entry, run the action (or default on miss), then any apply-case blocks.
-func (sw *Switch) applyTable(s ast.Stmt, ps *packetState, tr *Trace) error {
+func (sw *Switch) applyTable(s *ast.Stmt, ps *packetState, tr *Trace) error {
 	t, err := sw.table(s.Table)
 	if err != nil {
 		return err
 	}
-	sw.stats.TableApplies++
-	key, err := t.keyOf(ps)
+	sw.stats.tableApplies.Add(1)
+	entry, err := t.lookup(ps)
 	if err != nil {
 		return fmt.Errorf("sim: table %s: %w", s.Table, err)
 	}
-	entry := t.lookup(key)
 	tr.recordApply(s.Table, t, entry, ps.inEgress)
 
 	var actionName string
@@ -105,12 +122,9 @@ func (sw *Switch) runAction(name string, args []bitfield.Value, ps *packetState,
 	if len(args) != len(act.Params) {
 		return fmt.Errorf("action %s wants %d args, got %d", name, len(act.Params), len(args))
 	}
-	bindings := map[string]bitfield.Value{}
-	for i, p := range act.Params {
-		bindings[p] = args[i]
-	}
-	for _, call := range act.Body {
-		if err := sw.runPrimitive(call, bindings, ps, tr, entry, t, depth); err != nil {
+	frame := actionFrame{params: act.Params, args: args}
+	for i := range act.Body {
+		if err := sw.runPrimitive(&act.Body[i], frame, ps, tr, entry, t, depth); err != nil {
 			return err
 		}
 	}
@@ -119,7 +133,7 @@ func (sw *Switch) runAction(name string, args []bitfield.Value, ps *packetState,
 
 // evalExpr evaluates a data argument to a value. widthHint shapes constants
 // and parameter values; pass 0 to keep natural widths.
-func (sw *Switch) evalExpr(e ast.Expr, bindings map[string]bitfield.Value, ps *packetState, widthHint int) (bitfield.Value, error) {
+func (sw *Switch) evalExpr(e ast.Expr, frame actionFrame, ps *packetState, widthHint int) (bitfield.Value, error) {
 	switch e.Kind {
 	case ast.ExprConst:
 		w := widthHint
@@ -137,7 +151,7 @@ func (sw *Switch) evalExpr(e ast.Expr, bindings map[string]bitfield.Value, ps *p
 		}
 		return v, nil
 	case ast.ExprParam:
-		v, ok := bindings[e.Param]
+		v, ok := frame.lookup(e.Param)
 		if !ok {
 			return bitfield.Value{}, fmt.Errorf("unbound parameter %q", e.Param)
 		}
@@ -157,12 +171,11 @@ func (sw *Switch) evalExpr(e ast.Expr, bindings map[string]bitfield.Value, ps *p
 func (sw *Switch) evalBool(b ast.BoolExpr, ps *packetState) (bool, error) {
 	switch b.Kind {
 	case ast.BoolValid:
-		k, err := ps.resolveHeaderRef(*b.Valid)
+		slot, err := ps.resolveHeaderRef(*b.Valid)
 		if err != nil {
 			return false, err
 		}
-		h, ok := ps.headers[k]
-		return ok && h.valid, nil
+		return ps.headers[slot].valid, nil
 	case ast.BoolAnd:
 		l, err := sw.evalBool(*b.A, ps)
 		if err != nil || !l {
@@ -182,11 +195,11 @@ func (sw *Switch) evalBool(b ast.BoolExpr, ps *packetState) (bool, error) {
 		// Width rule: compare at the wider of the two operand widths.
 		lw, rw := sw.exprWidth(*b.Left, ps), sw.exprWidth(*b.Right, ps)
 		w := max(max(lw, rw), 1)
-		l, err := sw.evalExpr(*b.Left, nil, ps, w)
+		l, err := sw.evalExpr(*b.Left, actionFrame{}, ps, w)
 		if err != nil {
 			return false, err
 		}
-		r, err := sw.evalExpr(*b.Right, nil, ps, w)
+		r, err := sw.evalExpr(*b.Right, actionFrame{}, ps, w)
 		if err != nil {
 			return false, err
 		}

@@ -53,6 +53,8 @@ func (sw *Switch) HasTable(name string) bool {
 
 // TableEntryCount returns the number of installed entries.
 func (sw *Switch) TableEntryCount(name string) (int, error) {
+	sw.mu.RLock()
+	defer sw.mu.RUnlock()
 	t, err := sw.table(name)
 	if err != nil {
 		return 0, err

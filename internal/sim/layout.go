@@ -1,0 +1,232 @@
+package sim
+
+import (
+	"fmt"
+	"sort"
+
+	"hyper4/internal/bitfield"
+	"hyper4/internal/p4/ast"
+	"hyper4/internal/p4/hlir"
+)
+
+// layout is the per-program dense indexing computed once in New: every
+// header instance element and metadata instance gets a small integer slot, so
+// packetState can hold plain slices instead of maps, and every (instance,
+// field) pair resolves to a precomputed (slot, offset, width) triple. This is
+// what makes the steady-state Process path allocation-free: no map churn, no
+// repeated linear scans over header type declarations.
+type layout struct {
+	prog *hlir.Program
+
+	insts map[string]*instInfo
+	// slots maps a header slot id back to its owning instance; element i of a
+	// stack occupies slot headerBase+i.
+	slots []*instInfo
+	// metaInsts maps a metadata slot id back to its instance.
+	metaInsts []*instInfo
+
+	numHeaderSlots int
+	numMetaSlots   int
+	numStacks      int
+
+	// fields resolves (instance, field) to its location. Complete: built for
+	// every field of every instance up front.
+	fields map[refKey]fieldLoc
+
+	// Standard metadata fast path.
+	stdSlot int
+	stdLocs map[string]fieldLoc
+
+	// selects caches per-parser-state select plans (precomputed case
+	// value/mask pairs) for states whose key widths are static. selectList
+	// holds the same plans by id, for sizing per-packet scratch keys.
+	selects    map[string]*selectPlan
+	selectList []*selectPlan
+}
+
+// instInfo is the resolved placement of one instance.
+type instInfo struct {
+	name  string
+	inst  *hlir.Instance
+	width int // element width in bits
+
+	metaSlot   int // slot in packetState.meta, or -1 for headers
+	headerBase int // first slot in packetState.headers, or -1 for metadata
+	count      int // stack element count (1 for scalars)
+	stackSlot  int // slot in packetState.stackNext, or -1 for non-stacks
+}
+
+// refKey identifies a field by instance and field name.
+type refKey struct {
+	inst  string
+	field string
+}
+
+// fieldLoc is a resolved field location: which instance, and the bit offset
+// and width inside one element's value.
+type fieldLoc struct {
+	ii    *instInfo
+	off   int
+	width int
+}
+
+// selectPlan is a precomputed parser select: the concatenated key width and
+// one (value, mask) pair per case, valid when no key depends on runtime
+// parser state (latest.X).
+type selectPlan struct {
+	id    int // index into packetState.selKeys scratch
+	total int
+	cases []caseVM
+}
+
+type caseVM struct {
+	val  bitfield.Value
+	mask bitfield.Value
+}
+
+func newLayout(prog *hlir.Program) *layout {
+	lay := &layout{
+		prog:    prog,
+		insts:   map[string]*instInfo{},
+		fields:  map[refKey]fieldLoc{},
+		stdLocs: map[string]fieldLoc{},
+		selects: map[string]*selectPlan{},
+	}
+	// Deterministic slot assignment: headers in deparse order first, then any
+	// instance not in HeaderOrder, then metadata sorted by name via the
+	// Instances map — determinism only matters for reproducible debugging, so
+	// assign metadata in HeaderOrder-then-name order too.
+	assigned := map[string]bool{}
+	assign := func(name string) {
+		if assigned[name] {
+			return
+		}
+		assigned[name] = true
+		inst := prog.Instances[name]
+		ii := &instInfo{
+			name:       name,
+			inst:       inst,
+			width:      inst.Width(),
+			metaSlot:   -1,
+			headerBase: -1,
+			count:      1,
+			stackSlot:  -1,
+		}
+		if inst.Decl.Metadata {
+			ii.metaSlot = lay.numMetaSlots
+			lay.numMetaSlots++
+			lay.metaInsts = append(lay.metaInsts, ii)
+		} else {
+			if inst.Decl.IsStack() {
+				ii.count = inst.Decl.Count
+				ii.stackSlot = lay.numStacks
+				lay.numStacks++
+			}
+			ii.headerBase = lay.numHeaderSlots
+			lay.numHeaderSlots += ii.count
+			for e := 0; e < ii.count; e++ {
+				lay.slots = append(lay.slots, ii)
+			}
+		}
+		lay.insts[name] = ii
+		for _, f := range inst.Type.Fields {
+			off, _ := inst.Type.FieldOffset(f.Name)
+			lay.fields[refKey{name, f.Name}] = fieldLoc{ii: ii, off: off, width: f.Width}
+		}
+	}
+	for _, name := range prog.HeaderOrder {
+		assign(name)
+	}
+	// Remaining instances (metadata, and headers never deparsed) in sorted
+	// order for determinism.
+	rest := make([]string, 0, len(prog.Instances))
+	for name := range prog.Instances {
+		if !assigned[name] {
+			rest = append(rest, name)
+		}
+	}
+	sort.Strings(rest)
+	for _, name := range rest {
+		assign(name)
+	}
+
+	std := lay.insts[hlir.StandardMetadata]
+	lay.stdSlot = std.metaSlot
+	for _, f := range std.inst.Type.Fields {
+		lay.stdLocs[f.Name] = lay.fields[refKey{hlir.StandardMetadata, f.Name}]
+	}
+
+	lay.planSelects()
+	return lay
+}
+
+// planSelects precomputes (value, mask) pairs for every select whose key
+// widths are static (no latest.X keys).
+func (lay *layout) planSelects() {
+	for name, st := range lay.prog.States {
+		if st.Return.Kind != ast.ReturnSelect {
+			continue
+		}
+		widths := make([]int, len(st.Return.SelectKeys))
+		ok := true
+		for i, k := range st.Return.SelectKeys {
+			switch {
+			case k.IsCurrent:
+				widths[i] = k.CurrentWidth
+			case k.Latest != "":
+				ok = false // width depends on the last extracted header
+			default:
+				loc, found := lay.fields[refKey{k.Field.Instance, k.Field.Field}]
+				if !found {
+					ok = false
+				} else {
+					widths[i] = loc.width
+				}
+			}
+			if !ok {
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
+		total := 0
+		for _, w := range widths {
+			total += w
+		}
+		plan := &selectPlan{id: len(lay.selectList), total: total}
+		for _, c := range st.Return.Cases {
+			if c.Default {
+				plan.cases = append(plan.cases, caseVM{})
+				continue
+			}
+			val := bitfield.New(total)
+			mask := bitfield.New(total)
+			off := 0
+			for i, w := range widths {
+				val.Insert(off, bitfield.FromBig(w, c.Values[i]))
+				if c.Masks[i] != nil {
+					mask.Insert(off, bitfield.FromBig(w, c.Masks[i]))
+				} else {
+					mask.Insert(off, bitfield.Ones(w))
+				}
+				off += w
+			}
+			plan.cases = append(plan.cases, caseVM{val: val, mask: mask})
+		}
+		lay.selects[name] = plan
+		lay.selectList = append(lay.selectList, plan)
+	}
+}
+
+// fieldLoc resolves a field reference against the precomputed index.
+func (lay *layout) fieldLoc(ref ast.FieldRef) (fieldLoc, error) {
+	loc, ok := lay.fields[refKey{ref.Instance, ref.Field}]
+	if !ok {
+		if _, known := lay.insts[ref.Instance]; !known {
+			return fieldLoc{}, fmt.Errorf("sim: unknown instance %q", ref.Instance)
+		}
+		return fieldLoc{}, fmt.Errorf("sim: %s has no field %q", ref.Instance, ref.Field)
+	}
+	return loc, nil
+}

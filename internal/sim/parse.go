@@ -28,7 +28,8 @@ func (sw *Switch) parse(ps *packetState, tr *Trace) error {
 		if !ok {
 			return fmt.Errorf("sim: parser reached unknown state %q", state)
 		}
-		for _, stmt := range st.Statements {
+		for i := range st.Statements {
+			stmt := &st.Statements[i]
 			if stmt.Extract != nil {
 				if err := ps.extract(*stmt.Extract); err != nil {
 					return err
@@ -55,29 +56,37 @@ func (sw *Switch) parse(ps *packetState, tr *Trace) error {
 // extract pulls the next header's bytes off the packet into the instance.
 // A packet shorter than the extraction is zero-filled and flagged.
 func (ps *packetState) extract(ref ast.HeaderRef) error {
-	k, err := ps.resolveHeaderRef(ref)
+	ii, ok := ps.sw.lay.insts[ref.Instance]
+	if !ok {
+		return fmt.Errorf("sim: unknown instance %q", ref.Instance)
+	}
+	slot, err := ps.slotOf(ii, ref.Index)
 	if err != nil {
 		return err
 	}
-	inst := ps.sw.prog.Instances[k.name]
-	nbytes := inst.Width() / 8
+	nbytes := ii.width / 8
 	avail := len(ps.data) - ps.consumed
 	take := nbytes
 	if take > avail {
 		take = avail
 		ps.shortExtract = true
 	}
-	buf := make([]byte, nbytes)
+	if cap(ps.scratch) < nbytes {
+		ps.scratch = make([]byte, nbytes)
+	}
+	buf := ps.scratch[:nbytes]
 	copy(buf, ps.data[ps.consumed:ps.consumed+take])
-	h := ps.header(k)
-	h.value = bitfield.FromBytes(inst.Width(), buf)
+	for i := take; i < nbytes; i++ {
+		buf[i] = 0
+	}
+	h := &ps.headers[slot]
+	h.value.SetBytes(buf)
 	h.valid = true
 	ps.consumed += take
-	if inst.Decl.IsStack() && ref.Index == ast.IndexNext {
-		ps.stackNext[k.name] = k.elem + 1
+	if ii.stackSlot >= 0 && ref.Index == ast.IndexNext {
+		ps.stackNext[ii.stackSlot] = (slot - ii.headerBase) + 1
 	}
-	ps.latest = k
-	ps.hasLatest = true
+	ps.latestSlot = slot
 	return nil
 }
 
@@ -107,6 +116,25 @@ func (ps *packetState) parserTransition(st *ast.ParserState) (string, error) {
 	case ast.ReturnDirect:
 		return st.Return.State, nil
 	case ast.ReturnSelect:
+		if plan, ok := ps.sw.lay.selects[st.Name]; ok {
+			key, err := ps.selectKeyPlanned(st.Return.SelectKeys, plan)
+			if err != nil {
+				return "", err
+			}
+			for i, c := range st.Return.Cases {
+				if c.Default {
+					return c.State, nil
+				}
+				vm := plan.cases[i]
+				if key.MatchTernary(vm.val, vm.mask) {
+					return c.State, nil
+				}
+			}
+			ps.dropped = true
+			return ast.StateIngress, nil
+		}
+		// Fallback for selects whose key widths depend on runtime parser
+		// state (latest.X): build the key and cases per packet.
 		key, keyWidth, err := ps.selectKeyValue(st.Return.SelectKeys)
 		if err != nil {
 			return "", err
@@ -115,7 +143,7 @@ func (ps *packetState) parserTransition(st *ast.ParserState) (string, error) {
 			if c.Default {
 				return c.State, nil
 			}
-			val, mask := concatCase(c, st.Return.SelectKeys, ps, keyWidth)
+			val, mask := concatCase(c, ps, keyWidth)
 			if key.MatchTernary(val, mask) {
 				return c.State, nil
 			}
@@ -128,7 +156,34 @@ func (ps *packetState) parserTransition(st *ast.ParserState) (string, error) {
 	return "", fmt.Errorf("sim: bad parser return in state %q", st.Name)
 }
 
-// selectKeyValue concatenates the select keys into one value.
+// selectKeyPlanned fills the plan's per-packet scratch key: no allocation on
+// the steady-state parse path.
+func (ps *packetState) selectKeyPlanned(keys []ast.SelectKey, plan *selectPlan) (bitfield.Value, error) {
+	key := ps.selKeys[plan.id]
+	key.Zero()
+	off := 0
+	for _, k := range keys {
+		if k.IsCurrent {
+			ps.currentInto(&key, off, k.CurrentOffset, k.CurrentWidth)
+			off += k.CurrentWidth
+			continue
+		}
+		loc, err := ps.sw.lay.fieldLoc(*k.Field)
+		if err != nil {
+			return bitfield.Value{}, err
+		}
+		src, err := ps.fieldSource(loc, k.Field.Index)
+		if err != nil {
+			return bitfield.Value{}, err
+		}
+		key.InsertBits(off, *src, loc.off, loc.width)
+		off += loc.width
+	}
+	return key, nil
+}
+
+// selectKeyValue concatenates the select keys into one value (allocating
+// fallback used when the select references latest.X).
 func (ps *packetState) selectKeyValue(keys []ast.SelectKey) (bitfield.Value, []int, error) {
 	widths := make([]int, len(keys))
 	total := 0
@@ -139,13 +194,13 @@ func (ps *packetState) selectKeyValue(keys []ast.SelectKey) (bitfield.Value, []i
 		case k.IsCurrent:
 			v = ps.current(k.CurrentOffset, k.CurrentWidth)
 		case k.Latest != "":
-			if !ps.hasLatest {
+			if ps.latestSlot < 0 {
 				return bitfield.Value{}, nil, fmt.Errorf("sim: select(latest.%s) before any extract", k.Latest)
 			}
-			ref := ast.FieldRef{Instance: ps.latest.name, Index: ps.latest.elem, Field: k.Latest}
-			inst := ps.sw.prog.Instances[ps.latest.name]
-			if !inst.Decl.IsStack() {
-				ref.Index = ast.IndexNone
+			ii := ps.sw.lay.slots[ps.latestSlot]
+			ref := ast.FieldRef{Instance: ii.name, Index: ast.IndexNone, Field: k.Latest}
+			if ii.inst.Decl.IsStack() {
+				ref.Index = ps.latestSlot - ii.headerBase
 			}
 			got, err := ps.getField(ref)
 			if err != nil {
@@ -174,7 +229,7 @@ func (ps *packetState) selectKeyValue(keys []ast.SelectKey) (bitfield.Value, []i
 
 // concatCase builds the (value, mask) pair for one select case across the
 // concatenated key widths.
-func concatCase(c ast.SelectCase, keys []ast.SelectKey, ps *packetState, widths []int) (bitfield.Value, bitfield.Value) {
+func concatCase(c ast.SelectCase, ps *packetState, widths []int) (bitfield.Value, bitfield.Value) {
 	total := 0
 	for _, w := range widths {
 		total += w
@@ -197,15 +252,21 @@ func concatCase(c ast.SelectCase, keys []ast.SelectKey, ps *packetState, widths 
 // current reads unextracted packet bits at the given bit offset/width past
 // the parser's current position, zero-filling past the end of the packet.
 func (ps *packetState) current(bitOff, width int) bitfield.Value {
-	startBit := ps.consumed*8 + bitOff
 	out := bitfield.New(width)
+	ps.currentInto(&out, 0, bitOff, width)
+	return out
+}
+
+// currentInto writes current(bitOff, width) into dst at dstOff. dst bits in
+// the target range must already be zero.
+func (ps *packetState) currentInto(dst *bitfield.Value, dstOff, bitOff, width int) {
+	startBit := ps.consumed*8 + bitOff
 	for i := 0; i < width; i++ {
 		bit := startBit + i
 		byteIdx := bit / 8
 		if byteIdx >= len(ps.data) {
 			break
 		}
-		out.SetBit(i, (ps.data[byteIdx]>>(7-bit%8))&1)
+		dst.SetBit(dstOff+i, (ps.data[byteIdx]>>(7-bit%8))&1)
 	}
-	return out
 }

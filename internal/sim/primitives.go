@@ -8,13 +8,65 @@ import (
 	"hyper4/internal/p4/hlir"
 )
 
+// Argument helpers. These are plain functions rather than closures so a
+// primitive call performs no per-invocation allocation.
+
+// primDstField resolves argument i as a destination field reference.
+func primDstField(call *ast.PrimitiveCall, ps *packetState, i int) (ast.FieldRef, int, error) {
+	if i >= len(call.Args) || call.Args[i].Kind != ast.ExprField {
+		return ast.FieldRef{}, 0, fmt.Errorf("%s: argument %d must be a field", call.Name, i)
+	}
+	ref := call.Args[i].Field
+	w, err := ps.fieldWidth(ref)
+	return ref, w, err
+}
+
+// primVal evaluates argument i as a data value at the given width.
+func (sw *Switch) primVal(call *ast.PrimitiveCall, frame actionFrame, ps *packetState, i, width int) (bitfield.Value, error) {
+	if i >= len(call.Args) {
+		return bitfield.Value{}, fmt.Errorf("%s: missing argument %d", call.Name, i)
+	}
+	return sw.evalExpr(call.Args[i], frame, ps, width)
+}
+
+// primName resolves argument i as a bare name (field list, register, ...).
+func primName(call *ast.PrimitiveCall, i int) (string, error) {
+	if i >= len(call.Args) {
+		return "", fmt.Errorf("%s: missing argument %d", call.Name, i)
+	}
+	switch call.Args[i].Kind {
+	case ast.ExprName:
+		return call.Args[i].Name, nil
+	case ast.ExprParam:
+		return call.Args[i].Param, nil
+	}
+	return "", fmt.Errorf("%s: argument %d must be a name", call.Name, i)
+}
+
+// primHeader resolves argument i as a header slot.
+func primHeader(call *ast.PrimitiveCall, ps *packetState, i int) (int, error) {
+	if i >= len(call.Args) {
+		return 0, fmt.Errorf("%s: missing argument %d", call.Name, i)
+	}
+	var href ast.HeaderRef
+	switch call.Args[i].Kind {
+	case ast.ExprHeader:
+		href = call.Args[i].Header
+	case ast.ExprName:
+		href = ast.HeaderRef{Instance: call.Args[i].Name, Index: ast.IndexNone}
+	default:
+		return 0, fmt.Errorf("%s: argument %d must be a header", call.Name, i)
+	}
+	return ps.resolveHeaderRef(href)
+}
+
 // runPrimitive executes one primitive (or nested compound action) call.
-func (sw *Switch) runPrimitive(call ast.PrimitiveCall, bindings map[string]bitfield.Value, ps *packetState, tr *Trace, entry *Entry, t *table, depth int) error {
+func (sw *Switch) runPrimitive(call *ast.PrimitiveCall, frame actionFrame, ps *packetState, tr *Trace, entry *Entry, t *table, depth int) error {
 	// Nested compound action.
 	if !hlir.KnownPrimitive(call.Name) {
 		args := make([]bitfield.Value, len(call.Args))
 		for i, a := range call.Args {
-			v, err := sw.evalExpr(a, bindings, ps, 0)
+			v, err := sw.evalExpr(a, frame, ps, 0)
 			if err != nil {
 				return err
 			}
@@ -25,63 +77,21 @@ func (sw *Switch) runPrimitive(call ast.PrimitiveCall, bindings map[string]bitfi
 
 	tr.Primitives++
 
-	dstField := func(i int) (ast.FieldRef, int, error) {
-		if i >= len(call.Args) || call.Args[i].Kind != ast.ExprField {
-			return ast.FieldRef{}, 0, fmt.Errorf("%s: argument %d must be a field", call.Name, i)
-		}
-		ref := call.Args[i].Field
-		w, err := ps.fieldWidth(ref)
-		return ref, w, err
-	}
-	val := func(i, width int) (bitfield.Value, error) {
-		if i >= len(call.Args) {
-			return bitfield.Value{}, fmt.Errorf("%s: missing argument %d", call.Name, i)
-		}
-		return sw.evalExpr(call.Args[i], bindings, ps, width)
-	}
-	name := func(i int) (string, error) {
-		if i >= len(call.Args) {
-			return "", fmt.Errorf("%s: missing argument %d", call.Name, i)
-		}
-		switch call.Args[i].Kind {
-		case ast.ExprName:
-			return call.Args[i].Name, nil
-		case ast.ExprParam:
-			return call.Args[i].Param, nil
-		}
-		return "", fmt.Errorf("%s: argument %d must be a name", call.Name, i)
-	}
-	headerArg := func(i int) (instKey, error) {
-		if i >= len(call.Args) {
-			return instKey{}, fmt.Errorf("%s: missing argument %d", call.Name, i)
-		}
-		var href ast.HeaderRef
-		switch call.Args[i].Kind {
-		case ast.ExprHeader:
-			href = call.Args[i].Header
-		case ast.ExprName:
-			href = ast.HeaderRef{Instance: call.Args[i].Name, Index: ast.IndexNone}
-		default:
-			return instKey{}, fmt.Errorf("%s: argument %d must be a header", call.Name, i)
-		}
-		return ps.resolveHeaderRef(href)
-	}
-
 	switch call.Name {
 	case "no_op":
 		return nil
 
 	case "modify_field":
-		dst, w, err := dstField(0)
+		dst, w, err := primDstField(call, ps, 0)
 		if err != nil {
 			return err
 		}
-		src, err := val(1, w)
+		src, err := sw.primVal(call, frame, ps, 1, w)
 		if err != nil {
 			return err
 		}
 		if len(call.Args) >= 3 { // masked variant
-			mask, err := val(2, w)
+			mask, err := sw.primVal(call, frame, ps, 2, w)
 			if err != nil {
 				return err
 			}
@@ -94,11 +104,11 @@ func (sw *Switch) runPrimitive(call ast.PrimitiveCall, bindings map[string]bitfi
 		return ps.setField(dst, src)
 
 	case "add_to_field", "subtract_from_field":
-		dst, w, err := dstField(0)
+		dst, w, err := primDstField(call, ps, 0)
 		if err != nil {
 			return err
 		}
-		amt, err := val(1, w)
+		amt, err := sw.primVal(call, frame, ps, 1, w)
 		if err != nil {
 			return err
 		}
@@ -106,50 +116,55 @@ func (sw *Switch) runPrimitive(call ast.PrimitiveCall, bindings map[string]bitfi
 		if err != nil {
 			return err
 		}
+		// cur is a fresh copy, so mutate it in place and write it back.
 		if call.Name == "add_to_field" {
-			return ps.setField(dst, cur.Add(amt))
+			cur.AddWith(amt)
+		} else {
+			cur.SubWith(amt)
 		}
-		return ps.setField(dst, cur.Sub(amt))
+		return ps.setField(dst, cur)
 
 	case "add", "subtract", "bit_and", "bit_or", "bit_xor":
-		dst, w, err := dstField(0)
+		dst, w, err := primDstField(call, ps, 0)
 		if err != nil {
 			return err
 		}
-		a, err := val(1, w)
+		a, err := sw.primVal(call, frame, ps, 1, w)
 		if err != nil {
 			return err
 		}
-		b, err := val(2, w)
+		b, err := sw.primVal(call, frame, ps, 2, w)
 		if err != nil {
 			return err
 		}
-		var out bitfield.Value
+		// a may alias an entry argument (Resize fast path), so combine into
+		// a fresh clone rather than mutating a in place.
+		out := a.Clone()
 		switch call.Name {
 		case "add":
-			out = a.Add(b)
+			out.AddWith(b)
 		case "subtract":
-			out = a.Sub(b)
+			out.SubWith(b)
 		case "bit_and":
-			out = a.And(b)
+			out.AndWith(b)
 		case "bit_or":
-			out = a.Or(b)
+			out.OrWith(b)
 		case "bit_xor":
-			out = a.Xor(b)
+			out.XorWith(b)
 		}
 		return ps.setField(dst, out)
 
 	case "shift_left", "shift_right":
-		dst, w, err := dstField(0)
+		dst, w, err := primDstField(call, ps, 0)
 		if err != nil {
 			return err
 		}
-		a, err := val(1, w)
+		a, err := sw.primVal(call, frame, ps, 1, w)
 		if err != nil {
 			return err
 		}
 		// The shift amount keeps its natural width; it is a count.
-		shv, err := val(2, 0)
+		shv, err := sw.primVal(call, frame, ps, 2, 0)
 		if err != nil {
 			return err
 		}
@@ -165,44 +180,44 @@ func (sw *Switch) runPrimitive(call ast.PrimitiveCall, bindings map[string]bitfi
 		return nil
 
 	case "add_header":
-		k, err := headerArg(0)
+		slot, err := primHeader(call, ps, 0)
 		if err != nil {
 			return err
 		}
-		h := ps.header(k)
+		h := &ps.headers[slot]
 		if !h.valid {
 			h.valid = true
-			h.value = bitfield.New(sw.prog.Instances[k.name].Width())
+			h.value.Zero()
 		}
 		return nil
 
 	case "remove_header":
-		k, err := headerArg(0)
+		slot, err := primHeader(call, ps, 0)
 		if err != nil {
 			return err
 		}
-		ps.header(k).valid = false
+		ps.headers[slot].valid = false
 		return nil
 
 	case "copy_header":
-		dst, err := headerArg(0)
+		dst, err := primHeader(call, ps, 0)
 		if err != nil {
 			return err
 		}
-		src, err := headerArg(1)
+		src, err := primHeader(call, ps, 1)
 		if err != nil {
 			return err
 		}
-		sh := ps.header(src)
-		dh := ps.header(dst)
+		sh := &ps.headers[src]
+		dh := &ps.headers[dst]
 		dh.valid = sh.valid
-		dh.value = sh.value.Clone().Resize(sw.prog.Instances[dst.name].Width())
+		dh.value.SetFrom(sh.value)
 		return nil
 
 	case "resubmit":
 		ps.resubmitRaised = true
 		if len(call.Args) > 0 {
-			fl, err := name(0)
+			fl, err := primName(call, 0)
 			if err != nil {
 				return err
 			}
@@ -213,7 +228,7 @@ func (sw *Switch) runPrimitive(call ast.PrimitiveCall, bindings map[string]bitfi
 	case "recirculate":
 		ps.recircRaised = true
 		if len(call.Args) > 0 {
-			fl, err := name(0)
+			fl, err := primName(call, 0)
 			if err != nil {
 				return err
 			}
@@ -222,14 +237,14 @@ func (sw *Switch) runPrimitive(call ast.PrimitiveCall, bindings map[string]bitfi
 		return nil
 
 	case "clone_ingress_pkt_to_egress":
-		sess, err := val(0, 32)
+		sess, err := sw.primVal(call, frame, ps, 0, 32)
 		if err != nil {
 			return err
 		}
 		ps.cloneI2ERaised = true
 		ps.cloneI2ESession = int(sess.Uint64())
 		if len(call.Args) > 1 {
-			fl, err := name(1)
+			fl, err := primName(call, 1)
 			if err != nil {
 				return err
 			}
@@ -238,14 +253,14 @@ func (sw *Switch) runPrimitive(call ast.PrimitiveCall, bindings map[string]bitfi
 		return nil
 
 	case "clone_egress_pkt_to_egress":
-		sess, err := val(0, 32)
+		sess, err := sw.primVal(call, frame, ps, 0, 32)
 		if err != nil {
 			return err
 		}
 		ps.cloneE2ERaised = true
 		ps.cloneE2ESession = int(sess.Uint64())
 		if len(call.Args) > 1 {
-			fl, err := name(1)
+			fl, err := primName(call, 1)
 			if err != nil {
 				return err
 			}
@@ -254,26 +269,26 @@ func (sw *Switch) runPrimitive(call ast.PrimitiveCall, bindings map[string]bitfi
 		return nil
 
 	case "count":
-		cname, err := name(0)
+		cname, err := primName(call, 0)
 		if err != nil {
 			return err
 		}
-		idx, err := val(1, 32)
+		idx, err := sw.primVal(call, frame, ps, 1, 32)
 		if err != nil {
 			return err
 		}
 		return sw.countInc(cname, int(idx.Uint64()), len(ps.data))
 
 	case "execute_meter":
-		mname, err := name(0)
+		mname, err := primName(call, 0)
 		if err != nil {
 			return err
 		}
-		idx, err := val(1, 32)
+		idx, err := sw.primVal(call, frame, ps, 1, 32)
 		if err != nil {
 			return err
 		}
-		dst, w, err := dstField(2)
+		dst, w, err := primDstField(call, ps, 2)
 		if err != nil {
 			return err
 		}
@@ -284,15 +299,15 @@ func (sw *Switch) runPrimitive(call ast.PrimitiveCall, bindings map[string]bitfi
 		return ps.setField(dst, bitfield.FromUint(w, uint64(color)))
 
 	case "register_read":
-		dst, w, err := dstField(0)
+		dst, w, err := primDstField(call, ps, 0)
 		if err != nil {
 			return err
 		}
-		rname, err := name(1)
+		rname, err := primName(call, 1)
 		if err != nil {
 			return err
 		}
-		idx, err := val(2, 32)
+		idx, err := sw.primVal(call, frame, ps, 2, 32)
 		if err != nil {
 			return err
 		}
@@ -303,22 +318,22 @@ func (sw *Switch) runPrimitive(call ast.PrimitiveCall, bindings map[string]bitfi
 		return ps.setField(dst, v.Resize(w))
 
 	case "register_write":
-		rname, err := name(0)
+		rname, err := primName(call, 0)
 		if err != nil {
 			return err
 		}
-		idx, err := val(1, 32)
+		idx, err := sw.primVal(call, frame, ps, 1, 32)
 		if err != nil {
 			return err
 		}
-		src, err := val(2, 0)
+		src, err := sw.primVal(call, frame, ps, 2, 0)
 		if err != nil {
 			return err
 		}
 		return sw.RegisterWrite(rname, int(idx.Uint64()), src)
 
 	case "truncate":
-		n, err := val(0, 32)
+		n, err := sw.primVal(call, frame, ps, 0, 32)
 		if err != nil {
 			return err
 		}

@@ -8,10 +8,20 @@
 // packet the switch emits, plus a Trace recording the work performed (tables
 // applied, ternary bits matched, resubmit/recirculate counts). The trace is
 // what the paper's evaluation tables are computed from.
+//
+// Concurrency: Process is safe to call from multiple goroutines, and
+// ProcessBatch fans a packet slice across GOMAXPROCS workers. Control-plane
+// mutations (TableAdd, TableDelete, SetMirror, ...) serialize against
+// in-flight packets on a switch-wide RWMutex; stateful externs (registers,
+// counters, meters) take fine-grained per-array locks so their updates are
+// serialized exactly as bmv2 serializes extern access. See DESIGN.md
+// ("Concurrency model & fast path").
 package sim
 
 import (
 	"fmt"
+	"sync"
+	"sync/atomic"
 
 	"hyper4/internal/bitfield"
 	"hyper4/internal/p4/ast"
@@ -32,15 +42,23 @@ type Output struct {
 type Switch struct {
 	Name string
 	prog *hlir.Program
+	lay  *layout
 
-	tables    map[string]*table
+	// mu guards control-plane state (table entries, defaults, mirrors)
+	// against in-flight packets: Process holds the read side for the whole
+	// packet, control-plane mutators take the write side.
+	mu      sync.RWMutex
+	tables  map[string]*table
+	mirrors map[int]int // clone session ID -> egress port
+
+	// Stateful externs carry their own fine-grained locks (see stateful.go);
+	// the maps themselves are immutable after New.
 	registers map[string]*registerArray
 	counters  map[string]*counterArray
 	meters    map[string]*meterArray
-	// mirrors maps clone session IDs to egress ports.
-	mirrors map[int]int
 
-	stats Stats
+	stats stats
+	pool  sync.Pool
 }
 
 // Stats aggregates switch-lifetime counters.
@@ -54,11 +72,24 @@ type Stats struct {
 	TableApplies   int
 }
 
+// stats is the internal atomic representation, so concurrent Process calls
+// never contend on a lock just to count.
+type stats struct {
+	packetsIn      atomic.Int64
+	packetsOut     atomic.Int64
+	packetsDropped atomic.Int64
+	resubmits      atomic.Int64
+	recirculates   atomic.Int64
+	clones         atomic.Int64
+	tableApplies   atomic.Int64
+}
+
 // New creates a switch running the given resolved program.
 func New(name string, prog *hlir.Program) (*Switch, error) {
 	sw := &Switch{
 		Name:      name,
 		prog:      prog,
+		lay:       newLayout(prog),
 		tables:    map[string]*table{},
 		registers: map[string]*registerArray{},
 		counters:  map[string]*counterArray{},
@@ -67,7 +98,7 @@ func New(name string, prog *hlir.Program) (*Switch, error) {
 	}
 	for _, tname := range prog.TableOrder {
 		decl := prog.Tables[tname]
-		tbl, err := newTable(prog, decl)
+		tbl, err := newTable(sw.lay, decl)
 		if err != nil {
 			return nil, err
 		}
@@ -98,17 +129,32 @@ func New(name string, prog *hlir.Program) (*Switch, error) {
 		}
 		sw.meters[name] = newMeterArray(m.Kind, n)
 	}
+	sw.pool.New = func() any { return newPacketState(sw) }
 	return sw, nil
 }
 
 // Program returns the loaded program.
 func (sw *Switch) Program() *hlir.Program { return sw.prog }
 
-// Stats returns a copy of the lifetime counters.
-func (sw *Switch) Stats() Stats { return sw.stats }
+// Stats returns a snapshot of the lifetime counters.
+func (sw *Switch) Stats() Stats {
+	return Stats{
+		PacketsIn:      int(sw.stats.packetsIn.Load()),
+		PacketsOut:     int(sw.stats.packetsOut.Load()),
+		PacketsDropped: int(sw.stats.packetsDropped.Load()),
+		Resubmits:      int(sw.stats.resubmits.Load()),
+		Recirculates:   int(sw.stats.recirculates.Load()),
+		Clones:         int(sw.stats.clones.Load()),
+		TableApplies:   int(sw.stats.tableApplies.Load()),
+	}
+}
 
 // SetMirror maps a clone session ID to an egress port.
-func (sw *Switch) SetMirror(session, port int) { sw.mirrors[session] = port }
+func (sw *Switch) SetMirror(session, port int) {
+	sw.mu.Lock()
+	sw.mirrors[session] = port
+	sw.mu.Unlock()
+}
 
 // pass describes one trip through (parser →) ingress/egress.
 type pass struct {
@@ -132,14 +178,18 @@ const (
 )
 
 // Process runs one packet through the switch and returns all emitted packets
-// and a trace of the work performed.
+// and a trace of the work performed. It is safe for concurrent use.
 func (sw *Switch) Process(data []byte, port int) ([]Output, *Trace, error) {
-	sw.stats.PacketsIn++
+	sw.stats.packetsIn.Add(1)
+	sw.mu.RLock()
+	defer sw.mu.RUnlock()
 	tr := &Trace{}
-	queue := []pass{{data: data, port: port, instanceType: instNormal}}
+	var queueArr [2]pass
+	queue := append(queueArr[:0], pass{data: data, port: port, instanceType: instNormal})
 	var outputs []Output
 	for len(queue) > 0 {
 		if tr.Passes >= MaxPasses {
+			sw.releaseQueued(queue)
 			return nil, nil, fmt.Errorf("sim: packet exceeded %d pipeline passes", MaxPasses)
 		}
 		tr.Passes++
@@ -147,21 +197,33 @@ func (sw *Switch) Process(data []byte, port int) ([]Output, *Trace, error) {
 		queue = queue[1:]
 		emitted, next, err := sw.runPass(p, tr)
 		if err != nil {
+			sw.releaseQueued(queue)
 			return nil, nil, err
 		}
 		outputs = append(outputs, emitted...)
 		queue = append(queue, next...)
 	}
-	sw.stats.PacketsOut += len(outputs)
+	sw.stats.packetsOut.Add(int64(len(outputs)))
 	if len(outputs) == 0 {
-		sw.stats.PacketsDropped++
+		sw.stats.packetsDropped.Add(1)
 	}
 	tr.Outputs = outputs
 	return outputs, tr, nil
 }
 
+// releaseQueued returns the states of abandoned clone passes to the pool.
+func (sw *Switch) releaseQueued(queue []pass) {
+	for _, p := range queue {
+		if p.state != nil {
+			sw.putState(p.state)
+		}
+	}
+}
+
 // runPass executes one pipeline pass and returns emitted packets plus any
-// follow-on passes (resubmits, recirculations, clones).
+// follow-on passes (resubmits, recirculations, clones). The pass's packet
+// state is returned to the pool before runPass returns; follow-on clone
+// passes carry their own freshly cloned states.
 func (sw *Switch) runPass(p pass, tr *Trace) ([]Output, []pass, error) {
 	var ps *packetState
 	var followOn []pass
@@ -171,42 +233,47 @@ func (sw *Switch) runPass(p pass, tr *Trace) ([]Output, []pass, error) {
 		ps.setStdMeta(hlir.FieldEgressPort, uint64(p.egressPort))
 		ps.setStdMeta(hlir.FieldEgressSpec, uint64(p.egressPort))
 	} else {
-		ps = newPacketState(sw, p.data, p.port)
+		ps = sw.getState(p.data, p.port)
 		ps.setStdMeta(hlir.FieldInstanceType, p.instanceType)
 		ps.restorePreserved(p.preserved)
 		if err := sw.parse(ps, tr); err != nil {
+			sw.putState(ps)
 			return nil, nil, err
 		}
 		if ing, ok := sw.prog.Controls[ast.ControlIngress]; ok {
 			if err := sw.runStmts(ing.Body, ps, tr); err != nil {
+				sw.putState(ps)
 				return nil, nil, err
 			}
 		}
 		// End of ingress: resubmit wins over forwarding.
 		if ps.resubmitRaised {
-			sw.stats.Resubmits++
+			sw.stats.resubmits.Add(1)
 			tr.Resubmits++
 			preserved, err := ps.capturePreserved(ps.resubmitList)
+			sw.putState(ps)
 			if err != nil {
 				return nil, nil, err
 			}
 			return nil, []pass{{data: p.data, port: p.port, preserved: preserved, instanceType: instResubmit}}, nil
 		}
 		if ps.cloneI2ERaised {
-			sw.stats.Clones++
+			sw.stats.clones.Add(1)
 			tr.ClonesI2E++
 			mirrorPort, ok := sw.mirrors[ps.cloneI2ESession]
 			if ok {
-				cl := ps.clone()
+				// cloneForEgress clears the parent's pending drop/resubmit/
+				// recirculate/clone flags: an ingress drop must not drop the
+				// mirror copy. bmv2 copies all metadata for i2e clones; we
+				// keep the full copy, matching bmv2.
+				cl := ps.cloneForEgress()
 				cl.setStdMeta(hlir.FieldInstanceType, instCloneI2E)
-				// Clone preserves only the requested metadata on top of a
-				// fresh metadata context? bmv2 copies all metadata for i2e
-				// clones; we keep the full copy, matching bmv2.
 				followOn = append(followOn, pass{egressOnly: true, state: cl, egressPort: mirrorPort})
 			}
 		}
-		spec := ps.stdMeta(hlir.FieldEgressSpec).Uint64()
+		spec := ps.stdMetaUint(hlir.FieldEgressSpec)
 		if spec == hlir.DropSpec {
+			sw.putState(ps)
 			return nil, followOn, nil
 		}
 		ps.setStdMeta(hlir.FieldEgressPort, spec)
@@ -216,37 +283,40 @@ func (sw *Switch) runPass(p pass, tr *Trace) ([]Output, []pass, error) {
 	ps.inEgress = true
 	if eg, ok := sw.prog.Controls[ast.ControlEgress]; ok {
 		if err := sw.runStmts(eg.Body, ps, tr); err != nil {
+			sw.putState(ps)
 			return nil, nil, err
 		}
 	}
 	if ps.cloneE2ERaised {
-		sw.stats.Clones++
+		sw.stats.clones.Add(1)
 		tr.ClonesE2E++
 		if mirrorPort, ok := sw.mirrors[ps.cloneE2ESession]; ok {
-			cl := ps.clone()
-			cl.cloneE2ERaised = false
-			cl.recircRaised = false
-			cl.dropped = false
+			cl := ps.cloneForEgress()
 			cl.setStdMeta(hlir.FieldInstanceType, instCloneE2E)
 			followOn = append(followOn, pass{egressOnly: true, state: cl, egressPort: mirrorPort})
 		}
 	}
 	outBytes, err := sw.deparse(ps)
 	if err != nil {
+		sw.putState(ps)
 		return nil, nil, err
 	}
 	if ps.recircRaised {
-		sw.stats.Recirculates++
+		sw.stats.recirculates.Add(1)
 		tr.Recirculates++
 		preserved, err := ps.capturePreserved(ps.recircList)
+		port := int(ps.stdMetaUint(hlir.FieldIngressPort))
+		sw.putState(ps)
 		if err != nil {
 			return nil, nil, err
 		}
-		return nil, append(followOn, pass{data: outBytes, port: int(ps.stdMeta(hlir.FieldIngressPort).Uint64()), preserved: preserved, instanceType: instRecirculate}), nil
+		return nil, append(followOn, pass{data: outBytes, port: port, preserved: preserved, instanceType: instRecirculate}), nil
 	}
-	if ps.dropped {
+	dropped := ps.dropped
+	port := int(ps.stdMetaUint(hlir.FieldEgressPort))
+	sw.putState(ps)
+	if dropped {
 		return nil, followOn, nil
 	}
-	port := int(ps.stdMeta(hlir.FieldEgressPort).Uint64())
 	return []Output{{Port: port, Data: outBytes}}, followOn, nil
 }

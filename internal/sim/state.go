@@ -8,13 +8,6 @@ import (
 	"hyper4/internal/p4/hlir"
 )
 
-// instKey identifies one header instance element (stacks have one key per
-// element; scalars use element 0).
-type instKey struct {
-	name string
-	elem int
-}
-
 // headerState is the runtime state of one header instance element.
 type headerState struct {
 	valid bool
@@ -22,22 +15,24 @@ type headerState struct {
 }
 
 // packetState is all per-packet state for one pass through the pipeline:
-// the raw packet, the parsed representation, and metadata.
+// the raw packet, the parsed representation, and metadata. States are pooled
+// (sync.Pool on the Switch) and hold dense slices indexed by the slot ids the
+// layout assigned in New, so steady-state Process performs no per-packet map
+// or header allocation.
 type packetState struct {
 	sw *Switch
 
 	data     []byte // packet bytes as received for this pass
 	consumed int    // bytes consumed by the parser
 
-	headers map[instKey]*headerState
+	headers []headerState // indexed by instInfo.headerBase+elem
 	// stackNext tracks the parser's [next] cursor per stack instance.
-	stackNext map[string]int
-	// latest is the most recently extracted header element.
-	latest    instKey
-	hasLatest bool
+	stackNext []int
+	// latestSlot is the most recently extracted header element (-1 = none).
+	latestSlot int
 
-	// metadata values by instance name (standard_metadata included).
-	meta map[string]bitfield.Value
+	// metadata values by slot (standard_metadata included).
+	meta []bitfield.Value
 
 	// end-of-pipeline requests raised by primitives.
 	dropped         bool
@@ -55,21 +50,58 @@ type packetState struct {
 
 	shortExtract bool // parser ran past the end of the packet (zero-filled)
 	inEgress     bool // executing the egress control
+
+	// Reusable scratch, retained across pooled uses.
+	keyBuf  []byte           // exact/LPM lookup key bytes
+	keyVals []bitfield.Value // generic lookup key values
+	scratch []byte           // parser extract staging
+	selKeys []bitfield.Value // per-select-plan key scratch, indexed by plan id
 }
 
-func newPacketState(sw *Switch, data []byte, port int) *packetState {
+// newPacketState allocates a state with every slot's Value pre-sized; it is
+// only called by the pool's New.
+func newPacketState(sw *Switch) *packetState {
+	lay := sw.lay
 	ps := &packetState{
-		sw:        sw,
-		data:      data,
-		headers:   map[instKey]*headerState{},
-		stackNext: map[string]int{},
-		meta:      map[string]bitfield.Value{},
+		sw:         sw,
+		headers:    make([]headerState, lay.numHeaderSlots),
+		stackNext:  make([]int, lay.numStacks),
+		meta:       make([]bitfield.Value, lay.numMetaSlots),
+		latestSlot: -1,
 	}
-	for name, inst := range sw.prog.Instances {
-		if inst.Decl.Metadata {
-			ps.meta[name] = bitfield.New(inst.Width())
-		}
+	for i, ii := range lay.slots {
+		ps.headers[i].value = bitfield.New(ii.width)
 	}
+	for i, ii := range lay.metaInsts {
+		ps.meta[i] = bitfield.New(ii.width)
+	}
+	ps.selKeys = make([]bitfield.Value, len(lay.selectList))
+	for _, p := range lay.selectList {
+		ps.selKeys[p.id] = bitfield.New(p.total)
+	}
+	return ps
+}
+
+// getState leases a reset state from the pool for a fresh pipeline pass.
+func (sw *Switch) getState(data []byte, port int) *packetState {
+	ps := sw.pool.Get().(*packetState)
+	ps.data = data
+	ps.consumed = 0
+	for i := range ps.headers {
+		ps.headers[i].valid = false
+		ps.headers[i].value.Zero()
+	}
+	for i := range ps.stackNext {
+		ps.stackNext[i] = 0
+	}
+	for i := range ps.meta {
+		ps.meta[i].Zero()
+	}
+	ps.latestSlot = -1
+	ps.clearPassFlags()
+	ps.truncateTo = 0
+	ps.shortExtract = false
+	ps.inEgress = false
 	ps.setStdMeta(hlir.FieldIngressPort, uint64(port))
 	ps.setStdMeta(hlir.FieldPacketLength, uint64(len(data)))
 	// Deviation from the P4_14 zero-init rule: egress_spec starts at the
@@ -79,106 +111,152 @@ func newPacketState(sw *Switch, data []byte, port int) *packetState {
 	return ps
 }
 
-// header returns (allocating if needed) the state for one header element.
-func (ps *packetState) header(k instKey) *headerState {
-	h, ok := ps.headers[k]
-	if !ok {
-		inst := ps.sw.prog.Instances[k.name]
-		h = &headerState{value: bitfield.New(inst.Width())}
-		ps.headers[k] = h
-	}
-	return h
+// putState returns a state to the pool. The caller must not retain any
+// reference into the state afterwards.
+func (sw *Switch) putState(ps *packetState) {
+	ps.data = nil
+	sw.pool.Put(ps)
 }
 
-// resolveHeaderRef maps an ast.HeaderRef to a concrete element key, resolving
+// clearPassFlags resets every end-of-pipeline request. Clone states clear
+// these uniformly — an I2E or E2E clone must not inherit a drop, resubmit,
+// recirculate, or further-clone request raised before the clone was taken.
+func (ps *packetState) clearPassFlags() {
+	ps.dropped = false
+	ps.resubmitRaised = false
+	ps.resubmitList = ""
+	ps.recircRaised = false
+	ps.recircList = ""
+	ps.cloneI2ERaised = false
+	ps.cloneI2EList = ""
+	ps.cloneI2ESession = 0
+	ps.cloneE2ERaised = false
+	ps.cloneE2EList = ""
+	ps.cloneE2ESession = 0
+}
+
+// slotOf resolves an instance + index to a concrete header slot, resolving
 // [next] and [last] against parser state.
-func (ps *packetState) resolveHeaderRef(ref ast.HeaderRef) (instKey, error) {
-	inst, ok := ps.sw.prog.Instances[ref.Instance]
-	if !ok {
-		return instKey{}, fmt.Errorf("sim: unknown instance %q", ref.Instance)
-	}
+func (ps *packetState) slotOf(ii *instInfo, index int) (int, error) {
 	elem := 0
+	next := 0
+	if ii.stackSlot >= 0 {
+		next = ps.stackNext[ii.stackSlot]
+	}
 	switch {
-	case ref.Index == ast.IndexNext:
-		elem = ps.stackNext[ref.Instance]
-	case ref.Index == ast.IndexLast:
-		elem = ps.stackNext[ref.Instance] - 1
+	case index == ast.IndexNext:
+		elem = next
+	case index == ast.IndexLast:
+		elem = next - 1
 		if elem < 0 {
-			return instKey{}, fmt.Errorf("sim: [last] on %q before any extraction", ref.Instance)
+			return 0, fmt.Errorf("sim: [last] on %q before any extraction", ii.name)
 		}
-	case ref.Index >= 0:
-		elem = ref.Index
+	case index >= 0:
+		elem = index
 	}
-	if inst.Decl.IsStack() && elem >= inst.Decl.Count {
-		return instKey{}, fmt.Errorf("sim: stack %q element %d out of range", ref.Instance, elem)
+	if ii.inst.Decl.IsStack() && elem >= ii.count {
+		return 0, fmt.Errorf("sim: stack %q element %d out of range", ii.name, elem)
 	}
-	return instKey{name: ref.Instance, elem: elem}, nil
+	return ii.headerBase + elem, nil
 }
 
-// getField reads a field value (metadata or header).
+// resolveHeaderRef maps an ast.HeaderRef to a header slot.
+func (ps *packetState) resolveHeaderRef(ref ast.HeaderRef) (int, error) {
+	ii, ok := ps.sw.lay.insts[ref.Instance]
+	if !ok {
+		return 0, fmt.Errorf("sim: unknown instance %q", ref.Instance)
+	}
+	return ps.slotOf(ii, ref.Index)
+}
+
+// fieldSource locates the Value holding a field: the metadata value or the
+// resolved header element's value.
+func (ps *packetState) fieldSource(loc fieldLoc, index int) (*bitfield.Value, error) {
+	if loc.ii.metaSlot >= 0 {
+		return &ps.meta[loc.ii.metaSlot], nil
+	}
+	slot, err := ps.slotOf(loc.ii, index)
+	if err != nil {
+		return nil, err
+	}
+	return &ps.headers[slot].value, nil
+}
+
+// getField reads a field value (metadata or header). The returned Value is a
+// fresh copy.
 func (ps *packetState) getField(ref ast.FieldRef) (bitfield.Value, error) {
-	inst, ok := ps.sw.prog.Instances[ref.Instance]
-	if !ok {
-		return bitfield.Value{}, fmt.Errorf("sim: unknown instance %q", ref.Instance)
-	}
-	off, ok := inst.Type.FieldOffset(ref.Field)
-	if !ok {
-		return bitfield.Value{}, fmt.Errorf("sim: %s has no field %q", ref.Instance, ref.Field)
-	}
-	w := inst.Type.Field(ref.Field).Width
-	if inst.Decl.Metadata {
-		return ps.meta[ref.Instance].Slice(off, w), nil
-	}
-	k, err := ps.resolveHeaderRef(ast.HeaderRef{Instance: ref.Instance, Index: ref.Index})
+	loc, err := ps.sw.lay.fieldLoc(ref)
 	if err != nil {
 		return bitfield.Value{}, err
 	}
-	return ps.header(k).value.Slice(off, w), nil
+	src, err := ps.fieldSource(loc, ref.Index)
+	if err != nil {
+		return bitfield.Value{}, err
+	}
+	return src.Slice(loc.off, loc.width), nil
+}
+
+// getFieldInto reads a field value into dst, reusing dst's buffer.
+func (ps *packetState) getFieldInto(ref ast.FieldRef, dst *bitfield.Value) error {
+	loc, err := ps.sw.lay.fieldLoc(ref)
+	if err != nil {
+		return err
+	}
+	src, err := ps.fieldSource(loc, ref.Index)
+	if err != nil {
+		return err
+	}
+	src.SliceInto(dst, loc.off, loc.width)
+	return nil
 }
 
 // setField writes a field value, resizing val to the field's width.
 func (ps *packetState) setField(ref ast.FieldRef, val bitfield.Value) error {
-	inst, ok := ps.sw.prog.Instances[ref.Instance]
-	if !ok {
-		return fmt.Errorf("sim: unknown instance %q", ref.Instance)
-	}
-	off, ok := inst.Type.FieldOffset(ref.Field)
-	if !ok {
-		return fmt.Errorf("sim: %s has no field %q", ref.Instance, ref.Field)
-	}
-	w := inst.Type.Field(ref.Field).Width
-	if inst.Decl.Metadata {
-		m := ps.meta[ref.Instance]
-		m.Insert(off, val.Resize(w))
-		ps.meta[ref.Instance] = m
-		return nil
-	}
-	k, err := ps.resolveHeaderRef(ast.HeaderRef{Instance: ref.Instance, Index: ref.Index})
+	loc, err := ps.sw.lay.fieldLoc(ref)
 	if err != nil {
 		return err
 	}
-	ps.header(k).value.Insert(off, val.Resize(w))
+	dst, err := ps.fieldSource(loc, ref.Index)
+	if err != nil {
+		return err
+	}
+	dst.Insert(loc.off, val.Resize(loc.width))
 	return nil
 }
 
 // fieldWidth returns the declared width of a field reference.
 func (ps *packetState) fieldWidth(ref ast.FieldRef) (int, error) {
-	return ps.sw.prog.FieldWidth(ref)
+	loc, err := ps.sw.lay.fieldLoc(ref)
+	if err != nil {
+		return 0, err
+	}
+	return loc.width, nil
 }
 
 func (ps *packetState) stdMeta(field string) bitfield.Value {
-	v, err := ps.getField(ast.FieldRef{Instance: hlir.StandardMetadata, Index: ast.IndexNone, Field: field})
-	if err != nil {
-		panic(err) // standard metadata fields always resolve
+	loc, ok := ps.sw.lay.stdLocs[field]
+	if !ok {
+		panic(fmt.Sprintf("sim: unknown standard metadata field %q", field))
 	}
-	return v
+	return ps.meta[ps.sw.lay.stdSlot].Slice(loc.off, loc.width)
+}
+
+// stdMetaUint reads a standard metadata field as an integer without
+// allocating.
+func (ps *packetState) stdMetaUint(field string) uint64 {
+	loc, ok := ps.sw.lay.stdLocs[field]
+	if !ok {
+		panic(fmt.Sprintf("sim: unknown standard metadata field %q", field))
+	}
+	return ps.meta[ps.sw.lay.stdSlot].UintAt(loc.off, loc.width)
 }
 
 func (ps *packetState) setStdMeta(field string, val uint64) {
-	w, _ := ps.sw.prog.FieldWidth(ast.FieldRef{Instance: hlir.StandardMetadata, Index: ast.IndexNone, Field: field})
-	if err := ps.setField(ast.FieldRef{Instance: hlir.StandardMetadata, Index: ast.IndexNone, Field: field}, bitfield.FromUint(w, val)); err != nil {
-		panic(err)
+	loc, ok := ps.sw.lay.stdLocs[field]
+	if !ok {
+		panic(fmt.Sprintf("sim: unknown standard metadata field %q", field))
 	}
+	ps.meta[ps.sw.lay.stdSlot].InsertUint(loc.off, loc.width, val)
 }
 
 // capturePreserved snapshots the metadata fields named by a field list, for
@@ -221,7 +299,7 @@ func (ps *packetState) restorePreserved(fields map[ast.FieldRef]bitfield.Value) 
 	for ref, val := range fields {
 		// Only metadata can survive a pass boundary; header fields are
 		// re-extracted from the wire bytes.
-		if inst, ok := ps.sw.prog.Instances[ref.Instance]; ok && inst.Decl.Metadata {
+		if ii, ok := ps.sw.lay.insts[ref.Instance]; ok && ii.metaSlot >= 0 {
 			if err := ps.setField(ref, val); err != nil {
 				panic(err)
 			}
@@ -229,27 +307,25 @@ func (ps *packetState) restorePreserved(fields map[ast.FieldRef]bitfield.Value) 
 	}
 }
 
-// clone deep-copies the packet state for clone_i2e / clone_e2e.
-func (ps *packetState) clone() *packetState {
-	out := &packetState{
-		sw:         ps.sw,
-		data:       append([]byte(nil), ps.data...),
-		consumed:   ps.consumed,
-		headers:    map[instKey]*headerState{},
-		stackNext:  map[string]int{},
-		meta:       map[string]bitfield.Value{},
-		latest:     ps.latest,
-		hasLatest:  ps.hasLatest,
-		truncateTo: ps.truncateTo,
+// cloneForEgress deep-copies the packet state for clone_i2e / clone_e2e into
+// a pooled state with every end-of-pipeline flag cleared, so a clone can
+// never inherit its parent's drop/resubmit/recirculate/clone requests.
+func (ps *packetState) cloneForEgress() *packetState {
+	out := ps.sw.pool.Get().(*packetState)
+	out.data = append([]byte(nil), ps.data...)
+	out.consumed = ps.consumed
+	for i := range ps.headers {
+		out.headers[i].valid = ps.headers[i].valid
+		out.headers[i].value.CopyFrom(ps.headers[i].value)
 	}
-	for k, h := range ps.headers {
-		out.headers[k] = &headerState{valid: h.valid, value: h.value.Clone()}
+	copy(out.stackNext, ps.stackNext)
+	for i := range ps.meta {
+		out.meta[i].CopyFrom(ps.meta[i])
 	}
-	for k, v := range ps.stackNext {
-		out.stackNext[k] = v
-	}
-	for k, v := range ps.meta {
-		out.meta[k] = v.Clone()
-	}
+	out.latestSlot = ps.latestSlot
+	out.truncateTo = ps.truncateTo
+	out.shortExtract = ps.shortExtract
+	out.inEgress = false
+	out.clearPassFlags()
 	return out
 }

@@ -2,19 +2,27 @@ package sim
 
 import (
 	"fmt"
+	"sync"
 
 	"hyper4/internal/bitfield"
 	"hyper4/internal/p4/ast"
 )
 
+// Stateful externs carry per-array mutexes: bmv2 serializes extern accesses,
+// and these locks reproduce that model without serializing whole packets.
+// They are independent of Switch.mu (always acquired while Process holds the
+// read side, never the other way around, so ordering is acyclic).
+
 // registerArray is the runtime state of one register declaration.
 type registerArray struct {
+	mu    sync.Mutex
 	width int
 	cells []bitfield.Value
 }
 
 // counterArray is the runtime state of one counter declaration.
 type counterArray struct {
+	mu      sync.Mutex
 	kind    ast.CounterKind
 	packets []uint64
 	bytes   []uint64
@@ -37,6 +45,7 @@ type meterCell struct {
 }
 
 type meterArray struct {
+	mu    sync.Mutex
 	kind  ast.MeterKind
 	cells []meterCell
 }
@@ -59,11 +68,15 @@ func (sw *Switch) RegisterRead(name string, idx int) (bitfield.Value, error) {
 	if idx < 0 || idx >= len(r.cells) {
 		return bitfield.Value{}, fmt.Errorf("sim: register %s index %d out of range", name, idx)
 	}
-	return r.cells[idx].Clone(), nil
+	r.mu.Lock()
+	v := r.cells[idx].Clone()
+	r.mu.Unlock()
+	return v, nil
 }
 
 // RegisterWrite stores a value into one register cell, resized to the
-// register width.
+// register width. The cell buffer is overwritten in place so the stored value
+// never aliases the caller's (Resize returns its receiver when widths match).
 func (sw *Switch) RegisterWrite(name string, idx int, v bitfield.Value) error {
 	r, ok := sw.registers[name]
 	if !ok {
@@ -72,7 +85,9 @@ func (sw *Switch) RegisterWrite(name string, idx int, v bitfield.Value) error {
 	if idx < 0 || idx >= len(r.cells) {
 		return fmt.Errorf("sim: register %s index %d out of range", name, idx)
 	}
-	r.cells[idx] = v.Resize(r.width)
+	r.mu.Lock()
+	r.cells[idx].SetFrom(v)
+	r.mu.Unlock()
 	return nil
 }
 
@@ -85,8 +100,10 @@ func (sw *Switch) countInc(name string, idx, packetBytes int) error {
 	if idx < 0 || idx >= len(c.packets) {
 		return fmt.Errorf("sim: counter %s index %d out of range", name, idx)
 	}
+	c.mu.Lock()
 	c.packets[idx]++
 	c.bytes[idx] += uint64(packetBytes)
+	c.mu.Unlock()
 	return nil
 }
 
@@ -99,7 +116,10 @@ func (sw *Switch) CounterRead(name string, idx int) (uint64, uint64, error) {
 	if idx < 0 || idx >= len(c.packets) {
 		return 0, 0, fmt.Errorf("sim: counter %s index %d out of range", name, idx)
 	}
-	return c.packets[idx], c.bytes[idx], nil
+	c.mu.Lock()
+	p, b := c.packets[idx], c.bytes[idx]
+	c.mu.Unlock()
+	return p, b, nil
 }
 
 // CounterReset zeroes one counter cell.
@@ -111,7 +131,9 @@ func (sw *Switch) CounterReset(name string, idx int) error {
 	if idx < 0 || idx >= len(c.packets) {
 		return fmt.Errorf("sim: counter %s index %d out of range", name, idx)
 	}
+	c.mu.Lock()
 	c.packets[idx], c.bytes[idx] = 0, 0
+	c.mu.Unlock()
 	return nil
 }
 
@@ -125,8 +147,10 @@ func (sw *Switch) MeterSetRates(name string, idx int, yellowAt, redAt uint64) er
 	if idx < 0 || idx >= len(m.cells) {
 		return fmt.Errorf("sim: meter %s index %d out of range", name, idx)
 	}
+	m.mu.Lock()
 	m.cells[idx].yellowAt = yellowAt
 	m.cells[idx].redAt = redAt
+	m.mu.Unlock()
 	return nil
 }
 
@@ -136,9 +160,11 @@ func (sw *Switch) MeterTick(name string) error {
 	if !ok {
 		return fmt.Errorf("sim: no meter %q", name)
 	}
+	m.mu.Lock()
 	for i := range m.cells {
 		m.cells[i].used = 0
 	}
+	m.mu.Unlock()
 	return nil
 }
 
@@ -151,6 +177,8 @@ func (sw *Switch) meterExecute(name string, idx, packetBytes int) (int, error) {
 	if idx < 0 || idx >= len(m.cells) {
 		return 0, fmt.Errorf("sim: meter %s index %d out of range", name, idx)
 	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	cell := &m.cells[idx]
 	if m.kind == ast.MeterBytes {
 		cell.used += uint64(packetBytes)

@@ -6,7 +6,6 @@ import (
 
 	"hyper4/internal/bitfield"
 	"hyper4/internal/p4/ast"
-	"hyper4/internal/p4/hlir"
 )
 
 // MatchParam is one match key component of a table entry.
@@ -26,17 +25,41 @@ type Entry struct {
 	Action   string
 	Args     []bitfield.Value
 	Priority int // lower value = higher precedence (bmv2 convention)
+
+	// prefixSum caches totalPrefix() at insert time so lookup never
+	// recomputes it per candidate.
+	prefixSum int
+}
+
+// readInfo is one precomputed match key accessor.
+type readInfo struct {
+	kind   ast.MatchKind
+	field  ast.FieldRef  // field reads
+	header ast.HeaderRef // valid reads
+	loc    fieldLoc      // resolved location for field reads
+	width  int
 }
 
 // table is the runtime state of one match-action table.
+//
+// entries is kept sorted by (Priority asc, prefixSum desc, Handle asc) — the
+// match precedence order — so lookup can return the first matching entry.
+// All-exact tables additionally keep a hash index over concatenated key
+// bytes, and single-field LPM tables (the router's ipv4_lpm shape) keep a
+// per-prefix-length hash index walked longest-prefix-first.
 type table struct {
 	decl      *ast.Table
-	prog      *hlir.Program
+	lay       *layout
+	reads     []readInfo
 	keyWidths []int // width of each read key
 	allExact  bool
+	singleLPM bool
 
 	entries    []*Entry
 	exactIndex map[string]*Entry // fast path when allExact
+	lpm        *lpmIndex         // non-nil while usable (uniform priorities)
+	lpmPrio    int
+	lpmPrioSet bool
 	nextHandle int
 
 	defaultAction string
@@ -46,26 +69,40 @@ type table struct {
 	ternaryWidth int
 }
 
-func newTable(prog *hlir.Program, decl *ast.Table) (*table, error) {
-	t := &table{decl: decl, prog: prog, allExact: true, exactIndex: map[string]*Entry{}}
+// lpmIndex is a per-prefix-length hash index for single-field LPM tables.
+type lpmIndex struct {
+	byLen map[int]map[string]*Entry
+	lens  []int // sorted descending: longest prefix probed first
+}
+
+func newTable(lay *layout, decl *ast.Table) (*table, error) {
+	t := &table{decl: decl, lay: lay, allExact: true, exactIndex: map[string]*Entry{}}
 	for _, r := range decl.Reads {
-		var w int
+		ri := readInfo{kind: r.Match}
 		if r.Match == ast.MatchValid {
-			w = 1
+			ri.header = *r.Header
+			ri.width = 1
 		} else {
-			var err error
-			w, err = prog.FieldWidth(*r.Field)
+			loc, err := lay.fieldLoc(*r.Field)
 			if err != nil {
 				return nil, fmt.Errorf("table %s: %w", decl.Name, err)
 			}
+			ri.field = *r.Field
+			ri.loc = loc
+			ri.width = loc.width
 		}
-		t.keyWidths = append(t.keyWidths, w)
+		t.reads = append(t.reads, ri)
+		t.keyWidths = append(t.keyWidths, ri.width)
 		if r.Match != ast.MatchExact && r.Match != ast.MatchValid {
 			t.allExact = false
 		}
 		if r.Match == ast.MatchTernary {
-			t.ternaryWidth += w
+			t.ternaryWidth += ri.width
 		}
+	}
+	t.singleLPM = len(decl.Reads) == 1 && decl.Reads[0].Match == ast.MatchLPM
+	if t.singleLPM {
+		t.lpm = &lpmIndex{byLen: map[int]map[string]*Entry{}}
 	}
 	if decl.Default != "" {
 		t.defaultAction = decl.Default
@@ -73,27 +110,62 @@ func newTable(prog *hlir.Program, decl *ast.Table) (*table, error) {
 	return t, nil
 }
 
-// keyOf extracts the current packet's key values for this table.
-func (t *table) keyOf(ps *packetState) ([]bitfield.Value, error) {
-	key := make([]bitfield.Value, len(t.decl.Reads))
-	for i, r := range t.decl.Reads {
-		if r.Match == ast.MatchValid {
-			k, err := ps.resolveHeaderRef(*r.Header)
+// appendKeyBytes appends the packet's concatenated key bytes for this table,
+// in the exactKeyString format (component bytes separated by 0xfe).
+func (t *table) appendKeyBytes(buf []byte, ps *packetState) ([]byte, error) {
+	for i := range t.reads {
+		r := &t.reads[i]
+		if r.kind == ast.MatchValid {
+			slot, err := ps.resolveHeaderRef(r.header)
 			if err != nil {
 				return nil, err
 			}
-			if h, ok := ps.headers[k]; ok && h.valid {
-				key[i] = bitfield.FromUint(1, 1)
-			} else {
-				key[i] = bitfield.New(1)
+			b := byte(0)
+			if ps.headers[slot].valid {
+				b = 1
 			}
+			buf = append(buf, b, 0xfe)
 			continue
 		}
-		v, err := ps.getField(*r.Field)
+		src, err := ps.fieldSource(r.loc, r.field.Index)
 		if err != nil {
 			return nil, err
 		}
-		key[i] = v
+		buf = src.AppendSliceTo(buf, r.loc.off, r.width)
+		buf = append(buf, 0xfe)
+	}
+	return buf, nil
+}
+
+// keyOf extracts the current packet's key values for this table into the
+// packet state's reusable scratch.
+func (t *table) keyOf(ps *packetState) ([]bitfield.Value, error) {
+	if cap(ps.keyVals) < len(t.reads) {
+		ps.keyVals = make([]bitfield.Value, len(t.reads))
+	}
+	key := ps.keyVals[:len(t.reads)]
+	for i := range t.reads {
+		r := &t.reads[i]
+		if r.kind == ast.MatchValid {
+			slot, err := ps.resolveHeaderRef(r.header)
+			if err != nil {
+				return nil, err
+			}
+			if key[i].Width() != 1 {
+				key[i] = bitfield.New(1)
+			}
+			if ps.headers[slot].valid {
+				key[i].SetUint(1)
+			} else {
+				key[i].SetUint(0)
+			}
+			continue
+		}
+		src, err := ps.fieldSource(r.loc, r.field.Index)
+		if err != nil {
+			return nil, err
+		}
+		src.SliceInto(&key[i], r.loc.off, r.width)
 	}
 	return key, nil
 }
@@ -101,37 +173,70 @@ func (t *table) keyOf(ps *packetState) ([]bitfield.Value, error) {
 func exactKeyString(key []bitfield.Value) string {
 	s := make([]byte, 0, 64)
 	for _, v := range key {
-		s = append(s, v.Bytes()...)
+		s = v.AppendSliceTo(s, 0, v.Width())
 		s = append(s, 0xfe) // separator
 	}
 	return string(s)
 }
 
 // lookup finds the highest-precedence matching entry, or nil on miss.
-func (t *table) lookup(key []bitfield.Value) *Entry {
-	if t.allExact && len(t.entries) > 8 {
-		return t.exactIndex[exactKeyString(key)]
+func (t *table) lookup(ps *packetState) (*Entry, error) {
+	if len(t.entries) == 0 {
+		return nil, nil
 	}
-	var best *Entry
-	bestPrefix := -1
+	if t.allExact {
+		buf, err := t.appendKeyBytes(ps.keyBuf[:0], ps)
+		if err != nil {
+			return nil, err
+		}
+		ps.keyBuf = buf
+		return t.exactIndex[string(buf)], nil
+	}
+	if t.singleLPM && t.lpm != nil {
+		r := &t.reads[0]
+		src, err := ps.fieldSource(r.loc, r.field.Index)
+		if err != nil {
+			return nil, err
+		}
+		buf := src.AppendSliceTo(ps.keyBuf[:0], r.loc.off, r.width)
+		ps.keyBuf = buf
+		pad := len(buf)*8 - r.width
+		// Probe longest prefix first; masking is monotone (lens descend), so
+		// each probe only zeroes a few more tail bits of the same buffer.
+		for _, plen := range t.lpm.lens {
+			zeroTailBits(buf, pad+plen)
+			if e, ok := t.lpm.byLen[plen][string(buf)]; ok {
+				return e, nil
+			}
+		}
+		return nil, nil
+	}
+	key, err := t.keyOf(ps)
+	if err != nil {
+		return nil, err
+	}
+	// entries is sorted by precedence, so the first match wins.
 	for _, e := range t.entries {
-		if !e.matches(key) {
-			continue
-		}
-		if best == nil {
-			best = e
-			bestPrefix = e.totalPrefix()
-			continue
-		}
-		// Precedence: lower Priority wins; ties broken by longest prefix
-		// (for LPM tables), then by insertion order (handle).
-		if e.Priority < best.Priority ||
-			(e.Priority == best.Priority && e.totalPrefix() > bestPrefix) {
-			best = e
-			bestPrefix = e.totalPrefix()
+		if e.matches(key) {
+			return e, nil
 		}
 	}
-	return best
+	return nil, nil
+}
+
+// zeroTailBits clears every bit at absolute position >= fromBit.
+func zeroTailBits(buf []byte, fromBit int) {
+	i := fromBit / 8
+	if i >= len(buf) {
+		return
+	}
+	if rem := fromBit % 8; rem > 0 {
+		buf[i] &= 0xff << (8 - rem)
+		i++
+	}
+	for ; i < len(buf); i++ {
+		buf[i] = 0
+	}
 }
 
 func (e *Entry) matches(key []bitfield.Value) bool {
@@ -155,11 +260,11 @@ func (e *Entry) matches(key []bitfield.Value) bool {
 				return false
 			}
 		case ast.MatchValid:
-			want := byte(0)
+			want := uint64(0)
 			if p.ValidWant {
 				want = 1
 			}
-			if k.Width() != 1 || k.Bytes()[0] != want {
+			if k.Width() != 1 || k.UintAt(0, 1) != want {
 				return false
 			}
 		}
@@ -190,6 +295,18 @@ func (e *Entry) activeMaskBits() int {
 	return n
 }
 
+// entryLess is the match precedence order: lower Priority wins; ties broken
+// by longest summed prefix (for LPM tables), then by insertion order.
+func entryLess(a, b *Entry) bool {
+	if a.Priority != b.Priority {
+		return a.Priority < b.Priority
+	}
+	if a.prefixSum != b.prefixSum {
+		return a.prefixSum > b.prefixSum
+	}
+	return a.Handle < b.Handle
+}
+
 // --- runtime API ---
 
 // errNoTable formats the common unknown-table error.
@@ -203,7 +320,10 @@ func (sw *Switch) table(name string) (*table, error) {
 
 // TableAdd installs an entry and returns its handle. The params must line up
 // with the table's reads; action args line up with the action's parameters.
+// Inserting a second entry with the same exact-match key is rejected.
 func (sw *Switch) TableAdd(tableName, action string, params []MatchParam, args []bitfield.Value, priority int) (int, error) {
+	sw.mu.Lock()
+	defer sw.mu.Unlock()
 	t, err := sw.table(tableName)
 	if err != nil {
 		return 0, err
@@ -230,13 +350,80 @@ func (sw *Switch) TableAdd(tableName, action string, params []MatchParam, args [
 			return 0, fmt.Errorf("sim: table %s param %d width %d, want %d", tableName, i, p.Value.Width(), t.keyWidths[i])
 		}
 	}
+	var exactKey string
+	if t.allExact {
+		exactKey = exactKeyStringParams(params)
+		if _, dup := t.exactIndex[exactKey]; dup {
+			return 0, fmt.Errorf("sim: table %s already has an entry for this key", tableName)
+		}
+	}
 	t.nextHandle++
 	e := &Entry{Handle: t.nextHandle, Params: params, Action: action, Args: args, Priority: priority}
-	t.entries = append(t.entries, e)
+	e.prefixSum = e.totalPrefix()
+	t.insertSorted(e)
 	if t.allExact {
-		t.exactIndex[exactKeyStringParams(params)] = e
+		t.exactIndex[exactKey] = e
 	}
+	t.lpmAdd(e)
 	return e.Handle, nil
+}
+
+// insertSorted places e at its precedence position in entries.
+func (t *table) insertSorted(e *Entry) {
+	i := sort.Search(len(t.entries), func(i int) bool { return entryLess(e, t.entries[i]) })
+	t.entries = append(t.entries, nil)
+	copy(t.entries[i+1:], t.entries[i:])
+	t.entries[i] = e
+}
+
+// lpmAdd maintains the single-field LPM index for a new entry. Mixed
+// priorities would break the longest-prefix-first probe order, so the index
+// is dropped (falling back to the sorted scan) the first time they appear.
+func (t *table) lpmAdd(e *Entry) {
+	if !t.singleLPM || t.lpm == nil {
+		return
+	}
+	if t.lpmPrioSet && e.Priority != t.lpmPrio {
+		t.lpm = nil
+		return
+	}
+	t.lpmPrio, t.lpmPrioSet = e.Priority, true
+	p := e.Params[0]
+	key := lpmKey(p.Value, p.PrefixLen)
+	m := t.lpm.byLen[p.PrefixLen]
+	if m == nil {
+		m = map[string]*Entry{}
+		t.lpm.byLen[p.PrefixLen] = m
+		t.lpm.lens = append(t.lpm.lens, p.PrefixLen)
+		sort.Sort(sort.Reverse(sort.IntSlice(t.lpm.lens)))
+	}
+	// On duplicate (plen, prefix) keys the earlier entry has precedence
+	// (same priority, lower handle), matching the sorted scan.
+	if _, ok := m[key]; !ok {
+		m[key] = e
+	}
+}
+
+// rebuildLPM reconstructs the LPM index from scratch (after deletions).
+func (t *table) rebuildLPM() {
+	if !t.singleLPM {
+		return
+	}
+	t.lpm = &lpmIndex{byLen: map[int]map[string]*Entry{}}
+	t.lpmPrioSet = false
+	for _, e := range t.entries {
+		t.lpmAdd(e)
+		if t.lpm == nil {
+			return
+		}
+	}
+}
+
+// lpmKey renders a value masked to its prefix length as index key bytes.
+func lpmKey(v bitfield.Value, plen int) string {
+	b := v.Bytes()
+	zeroTailBits(b, len(b)*8-v.Width()+plen)
+	return string(b)
 }
 
 func exactKeyStringParams(params []MatchParam) string {
@@ -257,6 +444,8 @@ func exactKeyStringParams(params []MatchParam) string {
 
 // TableSetDefault sets the default (miss) action.
 func (sw *Switch) TableSetDefault(tableName, action string, args []bitfield.Value) error {
+	sw.mu.Lock()
+	defer sw.mu.Unlock()
 	t, err := sw.table(tableName)
 	if err != nil {
 		return err
@@ -275,6 +464,8 @@ func (sw *Switch) TableSetDefault(tableName, action string, args []bitfield.Valu
 
 // TableDelete removes an entry by handle.
 func (sw *Switch) TableDelete(tableName string, handle int) error {
+	sw.mu.Lock()
+	defer sw.mu.Unlock()
 	t, err := sw.table(tableName)
 	if err != nil {
 		return err
@@ -285,6 +476,7 @@ func (sw *Switch) TableDelete(tableName string, handle int) error {
 			if t.allExact {
 				delete(t.exactIndex, exactKeyStringParams(e.Params))
 			}
+			t.rebuildLPM()
 			return nil
 		}
 	}
@@ -293,6 +485,8 @@ func (sw *Switch) TableDelete(tableName string, handle int) error {
 
 // TableModify replaces the action and args of an existing entry.
 func (sw *Switch) TableModify(tableName string, handle int, action string, args []bitfield.Value) error {
+	sw.mu.Lock()
+	defer sw.mu.Unlock()
 	t, err := sw.table(tableName)
 	if err != nil {
 		return err
@@ -316,17 +510,22 @@ func (sw *Switch) TableModify(tableName string, handle int, action string, args 
 
 // TableClear removes every entry from a table.
 func (sw *Switch) TableClear(tableName string) error {
+	sw.mu.Lock()
+	defer sw.mu.Unlock()
 	t, err := sw.table(tableName)
 	if err != nil {
 		return err
 	}
 	t.entries = nil
 	t.exactIndex = map[string]*Entry{}
+	t.rebuildLPM()
 	return nil
 }
 
 // TableEntries returns the handles of installed entries, sorted.
 func (sw *Switch) TableEntries(tableName string) ([]int, error) {
+	sw.mu.RLock()
+	defer sw.mu.RUnlock()
 	t, err := sw.table(tableName)
 	if err != nil {
 		return nil, err
