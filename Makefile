@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench-smoke throughput ci
+.PHONY: all build vet test race lookup-race metrics-smoke bench-smoke throughput ci
 
 all: ci
 
@@ -16,6 +16,24 @@ test:
 race:
 	$(GO) test -race ./...
 
+# The fast-path-vs-linear-scan differential property test, explicitly under
+# the race detector (it hammers lookup concurrently-exercised structures).
+lookup-race:
+	$(GO) test -race -run TestLookupDifferential ./internal/sim/
+
+# Metrics smoke: boot the persona switch with the exporter, drive one vdev,
+# and assert both the persona per-table and per-vdev metric families scrape.
+metrics-smoke:
+	$(GO) build -o /tmp/hp4switch-ci ./cmd/hp4switch
+	printf 'load l2 l2_switch\nassign 1 l2 1\nmap l2 2 2\nl2 table_add smac _nop 00:00:00:00:00:01\nl2 table_add dmac forward 00:00:00:00:00:02 => 2\n' > /tmp/hp4switch-ci.cmds
+	{ echo "packet 1 0000000000020000000000010800$$(printf '0%.0s' $$(seq 1 100))"; sleep 2; echo quit; } | \
+		/tmp/hp4switch-ci -persona -commands /tmp/hp4switch-ci.cmds -metrics-addr 127.0.0.1:19390 > /tmp/hp4switch-ci.out & \
+	sleep 1; curl -sf http://127.0.0.1:19390/metrics > /tmp/hp4switch-ci.metrics; wait
+	grep -q '^hyper4_table_hits_total{table="t1_ed_exact"} 1' /tmp/hp4switch-ci.metrics
+	grep -q '^hyper4_vdev_table_hits_total{vdev="l2",table="dmac"} 1' /tmp/hp4switch-ci.metrics
+	grep -q '^hyper4_process_latency_seconds_count 1' /tmp/hp4switch-ci.metrics
+	@echo metrics smoke ok
+
 # Quick benchmark smoke: does the throughput benchmark run at all?
 bench-smoke:
 	$(GO) test -run xxx -bench Throughput -benchtime 100x .
@@ -24,4 +42,4 @@ bench-smoke:
 throughput:
 	$(GO) run ./cmd/hp4bench -parallel
 
-ci: vet build race bench-smoke throughput
+ci: vet build race lookup-race metrics-smoke bench-smoke throughput

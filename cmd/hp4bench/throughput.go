@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"time"
 
 	"hyper4/internal/bench"
 )
@@ -14,8 +15,9 @@ import (
 func throughput(pkts int, jsonPath string) error {
 	fmt.Printf("Throughput: serial Process vs ProcessBatch (%d packets, GOMAXPROCS=%d)\n",
 		pkts, runtime.GOMAXPROCS(0))
-	fmt.Printf("%-12s %-8s %14s %14s %9s %12s\n",
-		"program", "mode", "serial pkt/s", "batch pkt/s", "speedup", "allocs/pkt")
+	fmt.Printf("%-12s %-8s %14s %14s %9s %12s %9s %9s %9s %9s\n",
+		"program", "mode", "serial pkt/s", "batch pkt/s", "speedup", "allocs/pkt",
+		"p50", "p90", "p99", "p99.9")
 	var results []bench.ThroughputResult
 	for _, fn := range bench.ThroughputFunctions() {
 		for _, mode := range []bench.Mode{bench.Native, bench.HyPer4} {
@@ -24,8 +26,10 @@ func throughput(pkts int, jsonPath string) error {
 				return err
 			}
 			results = append(results, res)
-			fmt.Printf("%-12s %-8s %14.0f %14.0f %8.2fx %12.1f\n",
-				res.Function, res.Mode, res.SerialPPS, res.BatchPPS, res.Speedup, res.SerialAlloc)
+			fmt.Printf("%-12s %-8s %14.0f %14.0f %8.2fx %12.1f %9v %9v %9v %9v\n",
+				res.Function, res.Mode, res.SerialPPS, res.BatchPPS, res.Speedup, res.SerialAlloc,
+				time.Duration(res.P50Ns), time.Duration(res.P90Ns),
+				time.Duration(res.P99Ns), time.Duration(res.P999Ns))
 		}
 	}
 	if runtime.GOMAXPROCS(0) == 1 {

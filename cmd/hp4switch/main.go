@@ -13,8 +13,13 @@
 //	packet <port> <hex bytes>   inject a packet; outputs are printed
 //	trace <port> <hex bytes>    inject and print the full table trace
 //	tables                      list tables and entry counts
-//	stats                       print switch counters
+//	stats                       switch counters, pass kinds, latency percentiles
+//	stats table <name>          one table's hit/miss/default counters
+//	stats <vdev>                per-virtual-table stats of a device (persona mode)
 //	quit
+//
+// With -metrics-addr the same counters are served continuously in Prometheus
+// text format on /metrics, with pprof under /debug/pprof/.
 //
 // In -persona mode the prompt additionally accepts every DPMU management
 // command (load/assign/map/link/snapshot_…, see internal/core/dpmu) and
@@ -28,6 +33,8 @@ import (
 	"encoding/hex"
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
 	"strconv"
 	"strings"
@@ -46,6 +53,7 @@ func main() {
 	builtin := flag.String("builtin", "", "run a built-in function: "+strings.Join(functions.Names(), ", "))
 	usePersona := flag.Bool("persona", false, "run the HyPer4 persona (reference configuration)")
 	commands := flag.String("commands", "", "runtime command file to execute at startup")
+	metricsAddr := flag.String("metrics-addr", "", "serve Prometheus metrics and pprof on this address (e.g. 127.0.0.1:9090)")
 	flag.Parse()
 
 	var prog *hlir.Program
@@ -85,14 +93,28 @@ func main() {
 	}
 	rt := runtime.New(sw)
 	var mgmt *dpmu.CLI
+	var d *dpmu.DPMU
 	if pers != nil {
-		d, err := dpmu.New(sw, pers)
+		d, err = dpmu.New(sw, pers)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "hp4switch:", err)
 			os.Exit(1)
 		}
 		mgmt = dpmu.NewCLI(d, "operator")
 		fmt.Println("persona loaded; DPMU management commands available")
+	}
+	if *metricsAddr != "" {
+		ln, err := net.Listen("tcp", *metricsAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "hp4switch: metrics:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("metrics on http://%s/metrics (pprof under /debug/pprof/)\n", ln.Addr())
+		go func() {
+			if err := http.Serve(ln, newMetricsMux(sw, d)); err != nil {
+				fmt.Fprintln(os.Stderr, "hp4switch: metrics:", err)
+			}
+		}()
 	}
 	if *commands != "" {
 		script, err := os.ReadFile(*commands)
@@ -125,6 +147,12 @@ func main() {
 			handle(sw, rt, mgmt, line)
 		}
 		fmt.Print("hp4> ")
+	}
+	// A scan error (e.g. an input line over the 1 MiB buffer) must not look
+	// like a clean quit.
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "hp4switch: reading input:", err)
+		os.Exit(1)
 	}
 }
 
@@ -181,9 +209,38 @@ func handle(sw *sim.Switch, rt *runtime.Runtime, mgmt *dpmu.CLI, line string) {
 			}
 		}
 	case "stats":
-		s := sw.Stats()
-		fmt.Printf("in=%d out=%d dropped=%d resubmits=%d recirculates=%d applies=%d\n",
-			s.PacketsIn, s.PacketsOut, s.PacketsDropped, s.Resubmits, s.Recirculates, s.TableApplies)
+		switch {
+		case len(fields) == 1:
+			s := sw.Stats()
+			fmt.Printf("in=%d out=%d dropped=%d resubmits=%d recirculates=%d applies=%d\n",
+				s.PacketsIn, s.PacketsOut, s.PacketsDropped, s.Resubmits, s.Recirculates, s.TableApplies)
+			m := sw.Metrics()
+			fmt.Printf("passes: normal=%d resubmit=%d recirculate=%d clone_i2e=%d clone_e2e=%d\n",
+				m.Passes.Normal, m.Passes.Resubmit, m.Passes.Recirculate, m.Passes.CloneI2E, m.Passes.CloneE2E)
+			if m.Latency.Count > 0 {
+				fmt.Printf("latency: p50=%v p90=%v p99=%v p999=%v\n",
+					m.Latency.Quantile(0.50), m.Latency.Quantile(0.90),
+					m.Latency.Quantile(0.99), m.Latency.Quantile(0.999))
+			}
+		case fields[1] == "table" && len(fields) == 3:
+			tc, err := sw.TableMetrics(fields[2])
+			if err != nil {
+				fmt.Println("error:", err)
+				return
+			}
+			fmt.Printf("table %s: hits=%d misses=%d default_actions=%d entries=%d\n",
+				fields[2], tc.Hits, tc.Misses, tc.Defaults, tc.Entries)
+		case len(fields) == 2 && mgmt != nil:
+			// stats <vdev>: the DPMU's per-virtual-table view.
+			out, err := mgmt.Exec(line)
+			if err != nil {
+				fmt.Println("error:", err)
+				return
+			}
+			fmt.Println(out)
+		default:
+			fmt.Println("usage: stats | stats table <name> | stats <vdev>")
+		}
 	default:
 		if mgmt != nil {
 			out, err := mgmt.Exec(line)

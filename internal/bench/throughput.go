@@ -21,6 +21,10 @@ type ThroughputResult struct {
 	BatchPPS    float64 `json:"parallel_pkts_per_sec"`
 	Speedup     float64 `json:"speedup"`
 	SerialAlloc float64 `json:"serial_allocs_per_pkt"`
+	P50Ns       int64   `json:"serial_p50_ns"`
+	P90Ns       int64   `json:"serial_p90_ns"`
+	P99Ns       int64   `json:"serial_p99_ns"`
+	P999Ns      int64   `json:"serial_p999_ns"`
 }
 
 // ThroughputFunctions are the workloads the throughput experiment sweeps.
@@ -54,6 +58,7 @@ func Throughput(fn string, mode Mode, minPackets int) (ThroughputResult, error) 
 
 	var m0, m1 runtime.MemStats
 	runtime.ReadMemStats(&m0)
+	lat0 := sw.Metrics().Latency
 	start := time.Now()
 	for _, in := range inputs {
 		if _, _, err := sw.Process(in.Data, in.Port); err != nil {
@@ -63,6 +68,9 @@ func Throughput(fn string, mode Mode, minPackets int) (ThroughputResult, error) 
 	serial := time.Since(start)
 	runtime.ReadMemStats(&m1)
 	serialAllocs := float64(m1.Mallocs-m0.Mallocs) / float64(len(inputs))
+	// Percentiles come from the switch's own latency histogram, restricted
+	// to the serial loop via a snapshot delta.
+	lat := sw.Metrics().Latency.Sub(lat0)
 
 	start = time.Now()
 	if _, err := sw.ProcessBatch(inputs); err != nil {
@@ -81,6 +89,10 @@ func Throughput(fn string, mode Mode, minPackets int) (ThroughputResult, error) 
 		BatchNsOp:   float64(batched.Nanoseconds()) / n,
 		BatchPPS:    n / batched.Seconds(),
 		SerialAlloc: serialAllocs,
+		P50Ns:       lat.Quantile(0.50).Nanoseconds(),
+		P90Ns:       lat.Quantile(0.90).Nanoseconds(),
+		P99Ns:       lat.Quantile(0.99).Nanoseconds(),
+		P999Ns:      lat.Quantile(0.999).Nanoseconds(),
 	}
 	if batched > 0 {
 		res.Speedup = serial.Seconds() / batched.Seconds()

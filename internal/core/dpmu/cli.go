@@ -176,11 +176,16 @@ func (c *CLI) Exec(line string) (string, error) {
 		if len(args) != 1 {
 			return "", fmt.Errorf("stats wants <vdev>")
 		}
-		pkts, bytes, err := c.D.TrafficStats(c.Owner, args[0])
+		st, err := c.D.StatsForVDev(c.Owner, args[0])
 		if err != nil {
 			return "", err
 		}
-		return fmt.Sprintf("passes=%d bytes=%d", pkts, bytes), nil
+		var b strings.Builder
+		fmt.Fprintf(&b, "passes=%d bytes=%d", st.Packets, st.Bytes)
+		for _, ts := range st.Tables {
+			fmt.Fprintf(&b, "\ntable %s: hits=%d misses=%d entries=%d", ts.Table, ts.Hits, ts.Misses, ts.Entries)
+		}
+		return b.String(), nil
 
 	case "snapshot_save":
 		if len(args) < 2 {
@@ -233,7 +238,7 @@ func (c *CLI) ExecAll(script string) error {
 			continue
 		}
 		if _, err := c.Exec(line); err != nil {
-			return fmt.Errorf("line %d: %w", i+1, err)
+			return fmt.Errorf("line %d (%q): %w", i+1, line, err)
 		}
 	}
 	return nil

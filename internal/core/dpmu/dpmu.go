@@ -10,6 +10,7 @@ package dpmu
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"hyper4/internal/bitfield"
 	"hyper4/internal/core/hp4c"
@@ -22,6 +23,12 @@ import (
 type DPMU struct {
 	SW  *sim.Switch
 	cfg persona.Config
+
+	// mu guards the DPMU's own bookkeeping (vdevs, their row sets,
+	// snapshots, ID counters) so the metrics exporter can read stats while a
+	// management session mutates devices. The persona switch has its own
+	// lock; this one only serializes the control plane's shadow state.
+	mu sync.RWMutex
 
 	vdevs       map[string]*VDev
 	nextPID     int
@@ -61,10 +68,14 @@ type ventry struct {
 	rows  []pentry
 }
 
-// pentry identifies one persona row.
+// pentry identifies one persona row. match marks the a_set_match stage-table
+// row (as opposed to prep rows): its per-entry hit counter is what per-vdev
+// stats attribution sums over, since a packet that matches a virtual entry
+// hits exactly one of its stage rows (the one on its parse path).
 type pentry struct {
 	table  string
 	handle int
+	match  bool
 }
 
 // Assignment binds a physical ingress port (-1 = every port) to a virtual
@@ -96,6 +107,12 @@ func (d *DPMU) Config() persona.Config { return d.cfg }
 
 // VDevs returns the loaded virtual device names, sorted.
 func (d *DPMU) VDevs() []string {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return d.vdevNames()
+}
+
+func (d *DPMU) vdevNames() []string {
 	out := make([]string, 0, len(d.vdevs))
 	for name := range d.vdevs {
 		out = append(out, name)
@@ -106,6 +123,8 @@ func (d *DPMU) VDevs() []string {
 
 // VDev returns a loaded virtual device.
 func (d *DPMU) VDev(name string) (*VDev, error) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
 	v, ok := d.vdevs[name]
 	if !ok {
 		return nil, fmt.Errorf("dpmu: no virtual device %q", name)
@@ -116,6 +135,8 @@ func (d *DPMU) VDev(name string) (*VDev, error) {
 // Load instantiates a compiled program as a new virtual device owned by
 // owner. quota bounds its virtual entries (0 = unlimited).
 func (d *DPMU) Load(name string, comp *hp4c.Compiled, owner string, quota int) (*VDev, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	if _, dup := d.vdevs[name]; dup {
 		return nil, fmt.Errorf("dpmu: virtual device %q already loaded", name)
 	}
@@ -148,6 +169,8 @@ func (d *DPMU) Load(name string, comp *hp4c.Compiled, owner string, quota int) (
 // traffic of other devices is unaffected — this is the paper's
 // modify-the-program-set-at-runtime property.
 func (d *DPMU) Unload(owner, name string) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	v, err := d.auth(owner, name)
 	if err != nil {
 		return err

@@ -136,6 +136,8 @@ func (d *DPMU) installStatic(v *VDev) error {
 // folded in), and each replica gets a fresh match ID plus the primitive-spec
 // rows realizing the bound action.
 func (d *DPMU) TableAdd(owner, vdev, table, action string, params []sim.MatchParam, args []bitfield.Value, priority int) (int, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	v, err := d.auth(owner, vdev)
 	if err != nil {
 		return 0, err
@@ -179,6 +181,8 @@ func (d *DPMU) TableAdd(owner, vdev, table, action string, params []sim.MatchPar
 
 // TableDelete removes a virtual entry.
 func (d *DPMU) TableDelete(owner, vdev, table string, handle int) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	v, err := d.auth(owner, vdev)
 	if err != nil {
 		return err
@@ -198,6 +202,8 @@ func (d *DPMU) TableDelete(owner, vdev, table string, handle int) error {
 // installed under fresh match IDs before the old rows are removed, so live
 // traffic never sees a gap.
 func (d *DPMU) TableModify(owner, vdev, table string, handle int, action string, params []sim.MatchParam, args []bitfield.Value, priority int) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	v, err := d.auth(owner, vdev)
 	if err != nil {
 		return err
@@ -235,6 +241,8 @@ func (d *DPMU) TableModify(owner, vdev, table string, handle int, action string,
 // SetDefault binds a table's miss behavior: one catch-all row per slot,
 // below every real entry of that slot's path band.
 func (d *DPMU) SetDefault(owner, vdev, table, action string, args []bitfield.Value) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	v, err := d.auth(owner, vdev)
 	if err != nil {
 		return err
@@ -337,6 +345,7 @@ func (d *DPMU) installRow(v *VDev, slot *hp4c.Slot, ca *hp4c.CompiledAction, mat
 	if err := d.addRow(rows, stageTable, persona.ActSetMatch, matchParams, setArgs, prio); err != nil {
 		return err
 	}
+	(*rows)[len(*rows)-1].match = true
 	pid := bitfield.FromUint(persona.ProgramWidth, uint64(v.PID))
 	midVal := bitfield.FromUint(persona.MatchIDWidth, uint64(mid))
 	for p, spec := range ca.Prims {

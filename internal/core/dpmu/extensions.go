@@ -22,6 +22,8 @@ type VPortRef struct {
 // Each delivery consumes one recirculation; the sequence is walked by
 // egress-to-egress clones carrying the hp4.mcast loop counter.
 func (d *DPMU) MulticastGroup(owner, vdev string, vport int, targets []VPortRef) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	from, err := d.auth(owner, vdev)
 	if err != nil {
 		return err
@@ -39,7 +41,7 @@ func (d *DPMU) MulticastGroup(owner, vdev string, vport int, targets []VPortRef)
 	}
 	if len(targets) == 1 {
 		// Degenerate group: a plain virtual link.
-		return d.LinkVPorts(owner, vdev, vport, targets[0].VDev, targets[0].VIngress)
+		return d.linkVPorts(owner, vdev, vport, targets[0].VDev, targets[0].VIngress)
 	}
 
 	// One sequence ID per step and one clone session shared by the group.
@@ -111,6 +113,8 @@ func (d *DPMU) MulticastGroup(owner, vdev string, vport int, targets []VPortRef)
 // above redAt it is dropped before it can consume further pipeline passes.
 // Windows advance with TickMeters.
 func (d *DPMU) SetRateLimit(owner, vdev string, yellowAt, redAt uint64) error {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
 	v, err := d.auth(owner, vdev)
 	if err != nil {
 		return err
@@ -127,6 +131,8 @@ func (d *DPMU) TickMeters() error {
 // consumed (each resubmission and recirculation counts — the quantity that
 // matters for fair sharing of the ingress buffer, §4.5).
 func (d *DPMU) TrafficStats(owner, vdev string) (packets, bytes uint64, err error) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
 	v, err := d.auth(owner, vdev)
 	if err != nil {
 		return 0, 0, err
@@ -136,6 +142,8 @@ func (d *DPMU) TrafficStats(owner, vdev string) (packets, bytes uint64, err erro
 
 // ResetTrafficStats zeroes a device's traffic counters.
 func (d *DPMU) ResetTrafficStats(owner, vdev string) error {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
 	v, err := d.auth(owner, vdev)
 	if err != nil {
 		return err

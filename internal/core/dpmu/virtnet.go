@@ -14,6 +14,12 @@ import (
 // physPort = -1 to assign every port (slicing assigns disjoint port sets to
 // different devices, §3.3).
 func (d *DPMU) AssignPort(owner string, a Assignment) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.assignPort(owner, a)
+}
+
+func (d *DPMU) assignPort(owner string, a Assignment) error {
 	v, err := d.auth(owner, a.VDev)
 	if err != nil {
 		return err
@@ -42,6 +48,12 @@ func (d *DPMU) AssignPort(owner string, a Assignment) error {
 // ClearAssignments removes every port-to-device assignment (used when
 // switching snapshots).
 func (d *DPMU) ClearAssignments() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.clearAssignments()
+}
+
+func (d *DPMU) clearAssignments() {
 	d.removeRows(d.assignPEs)
 	d.assignPEs = nil
 }
@@ -67,6 +79,8 @@ func (d *DPMU) unmapVPort(v *VDev, vport int) {
 // MapVPort maps a virtual egress port of a device to a physical port.
 // Re-mapping an already-mapped port replaces the previous route.
 func (d *DPMU) MapVPort(owner, vdev string, vport, physPort int) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	v, err := d.auth(owner, vdev)
 	if err != nil {
 		return err
@@ -90,6 +104,12 @@ func (d *DPMU) MapVPort(owner, vdev string, vport, physPort int) error {
 // virtual port toPort. The link is one-directional; call twice for a duplex
 // link.
 func (d *DPMU) LinkVPorts(owner, fromDev string, fromPort int, toDev string, toPort int) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.linkVPorts(owner, fromDev, fromPort, toDev, toPort)
+}
+
+func (d *DPMU) linkVPorts(owner, fromDev string, fromPort int, toDev string, toPort int) error {
 	from, err := d.auth(owner, fromDev)
 	if err != nil {
 		return err
@@ -122,6 +142,8 @@ func (d *DPMU) LinkVPorts(owner, fromDev string, fromPort int, toDev string, toP
 // devices stay loaded (HyPer4 logically stores every program); activating a
 // snapshot only changes the assignment entries.
 func (d *DPMU) SaveSnapshot(name string, assignments []Assignment) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	for _, a := range assignments {
 		if _, ok := d.vdevs[a.VDev]; !ok {
 			return fmt.Errorf("dpmu: snapshot %q references unloaded device %q", name, a.VDev)
@@ -136,17 +158,19 @@ func (d *DPMU) SaveSnapshot(name string, assignments []Assignment) error {
 // state of every virtual device is untouched, so the swap does not disturb
 // other devices' entries.
 func (d *DPMU) ActivateSnapshot(name string) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	snap, ok := d.snapshots[name]
 	if !ok {
 		return fmt.Errorf("dpmu: no snapshot %q", name)
 	}
-	d.ClearAssignments()
+	d.clearAssignments()
 	for _, a := range snap {
 		v := d.vdevs[a.VDev]
 		if v == nil {
 			return fmt.Errorf("dpmu: snapshot %q references unloaded device %q", name, a.VDev)
 		}
-		if err := d.AssignPort(v.Owner, a); err != nil {
+		if err := d.assignPort(v.Owner, a); err != nil {
 			return err
 		}
 	}
@@ -155,10 +179,16 @@ func (d *DPMU) ActivateSnapshot(name string) error {
 }
 
 // ActiveSnapshot returns the name of the active snapshot ("" if none).
-func (d *DPMU) ActiveSnapshot() string { return d.active }
+func (d *DPMU) ActiveSnapshot() string {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return d.active
+}
 
 // Snapshots lists stored snapshot names, sorted.
 func (d *DPMU) Snapshots() []string {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
 	out := make([]string, 0, len(d.snapshots))
 	for name := range d.snapshots {
 		out = append(out, name)

@@ -79,9 +79,15 @@ func (sw *Switch) applyTable(s *ast.Stmt, ps *packetState, tr *Trace) error {
 	var args []bitfield.Value
 	hit := entry != nil
 	if hit {
+		t.metrics.hits.Add(1)
+		entry.hits.Add(1)
 		actionName = entry.Action
 		args = entry.Args
 	} else {
+		t.metrics.misses.Add(1)
+		if t.defaultAction != "" {
+			t.metrics.defaults.Add(1)
+		}
 		actionName = t.defaultAction
 		args = t.defaultArgs
 	}
@@ -118,6 +124,9 @@ func (sw *Switch) runAction(name string, args []bitfield.Value, ps *packetState,
 	act, ok := sw.prog.Actions[name]
 	if !ok {
 		return fmt.Errorf("unknown action %q", name)
+	}
+	if i, ok := sw.metrics.actionIndex[name]; ok {
+		sw.metrics.actionCounts[i].Add(1)
 	}
 	if len(args) != len(act.Params) {
 		return fmt.Errorf("action %s wants %d args, got %d", name, len(act.Params), len(args))

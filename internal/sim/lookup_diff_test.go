@@ -1,0 +1,273 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"hyper4/internal/bitfield"
+)
+
+// This file is a differential property test for table lookup: every fast path
+// (the all-exact hash index and the per-prefix-length LPM index) must agree
+// with the reference semantics — a linear scan of the precedence-sorted entry
+// list using Entry.matches. Randomized over key widths (including
+// non-byte-aligned ones), entry sets, deletions (which force rebuildLPM), and
+// probe packets biased to land near installed prefixes.
+
+// linearLookup is the reference implementation: first match in the sorted
+// entry list wins.
+func linearLookup(t *table, ps *packetState) (*Entry, error) {
+	key, err := t.keyOf(ps)
+	if err != nil {
+		return nil, err
+	}
+	for _, e := range t.entries {
+		if e.matches(key) {
+			return e, nil
+		}
+	}
+	return nil, nil
+}
+
+// randValue returns a canonical random value of the given width.
+func randValue(rng *rand.Rand, width int) bitfield.Value {
+	b := make([]byte, (width+7)/8)
+	rng.Read(b)
+	return bitfield.FromBytes(width, b)
+}
+
+// packetFor packs field values (widths summing to a byte multiple) into wire
+// bytes in declaration order, MSB first — the layout extract() consumes.
+func packetFor(widths []int, vals []bitfield.Value) []byte {
+	total := 0
+	for _, w := range widths {
+		total += w
+	}
+	hv := bitfield.New(total)
+	off := 0
+	for i, w := range widths {
+		for bit := 0; bit < w; bit++ {
+			hv.SetBit(off+bit, vals[i].Bit(bit))
+		}
+		off += w
+	}
+	return hv.Bytes()
+}
+
+// checkLookup drives one probe through both implementations and compares.
+func checkLookup(t *testing.T, sw *Switch, tbl *table, data []byte, desc string) {
+	t.Helper()
+	ps := sw.getState(data, 1)
+	defer sw.putState(ps)
+	tr := &Trace{}
+	if err := sw.parse(ps, tr); err != nil {
+		t.Fatalf("%s: parse: %v", desc, err)
+	}
+	got, err := tbl.lookup(ps)
+	if err != nil {
+		t.Fatalf("%s: lookup: %v", desc, err)
+	}
+	want, err := linearLookup(tbl, ps)
+	if err != nil {
+		t.Fatalf("%s: linear lookup: %v", desc, err)
+	}
+	if got != want {
+		gh, wh := -1, -1
+		if got != nil {
+			gh = got.Handle
+		}
+		if want != nil {
+			wh = want.Handle
+		}
+		t.Fatalf("%s: fast path returned handle %d, linear scan handle %d (packet %x)", desc, gh, wh, data)
+	}
+}
+
+// lpmWidths mixes byte-aligned and non-byte-aligned key widths.
+var lpmWidths = []int{3, 4, 7, 8, 12, 13, 16, 17, 24, 31, 32, 33, 48}
+
+func lpmProgram(width int) string {
+	pad := (8 - width%8) % 8
+	fields := fmt.Sprintf("f : %d;", width)
+	if pad > 0 {
+		fields += fmt.Sprintf(" pad : %d;", pad)
+	}
+	return fmt.Sprintf(`
+header_type h_t { fields { %s } }
+header h_t h;
+parser start { extract(h); return ingress; }
+action act(p) { modify_field(standard_metadata.egress_spec, p); }
+table tt { reads { h.f : lpm; } actions { act; } }
+control ingress { apply(tt); }
+`, fields)
+}
+
+// probeData builds a packet whose field either reuses an installed entry's
+// bits near the prefix boundary (the interesting case) or is fully random.
+func probeData(rng *rand.Rand, width, pad int, entries []*Entry) []byte {
+	widths := []int{width}
+	if pad > 0 {
+		widths = append(widths, pad)
+	}
+	fv := randValue(rng, width)
+	if len(entries) > 0 && rng.Intn(4) != 0 {
+		e := entries[rng.Intn(len(entries))]
+		p := e.Params[0]
+		// Start from the entry's value, then flip a few random bits —
+		// sometimes inside the prefix (should miss this entry), sometimes in
+		// the tail (should still match it).
+		for i := 0; i < width; i++ {
+			fv.SetBit(i, p.Value.Bit(i))
+		}
+		for flips := rng.Intn(3); flips > 0; flips-- {
+			fv.SetBit(rng.Intn(width), byte(rng.Intn(2)))
+		}
+	}
+	vals := []bitfield.Value{fv}
+	if pad > 0 {
+		vals = append(vals, randValue(rng, pad))
+	}
+	return packetFor(widths, vals)
+}
+
+func TestLookupDifferentialLPM(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	probes := 0
+	for shape := 0; shape < 70; shape++ {
+		width := lpmWidths[rng.Intn(len(lpmWidths))]
+		pad := (8 - width%8) % 8
+		sw := load(t, lpmProgram(width))
+		tbl := sw.tables["tt"]
+
+		// Mixed-priority shapes drop the LPM index, exercising the fallback;
+		// uniform shapes keep it alive.
+		mixedPrio := shape%5 == 4
+		n := 1 + rng.Intn(24)
+		for i := 0; i < n; i++ {
+			v := randValue(rng, width)
+			plen := rng.Intn(width + 1)
+			switch rng.Intn(6) {
+			case 0:
+				plen = 0
+			case 1:
+				plen = width
+			}
+			prio := 0
+			if mixedPrio {
+				prio = rng.Intn(3)
+			}
+			if _, err := sw.TableAdd("tt", "act", []MatchParam{LPM(v, plen)}, Args(9, 1), prio); err != nil {
+				t.Fatal(err)
+			}
+			// Occasionally delete a random entry so rebuildLPM runs.
+			if rng.Intn(8) == 0 && len(tbl.entries) > 0 {
+				h := tbl.entries[rng.Intn(len(tbl.entries))].Handle
+				if err := sw.TableDelete("tt", h); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		if !mixedPrio && tbl.lpm == nil {
+			t.Fatalf("width %d: LPM index unexpectedly dropped with uniform priorities", width)
+		}
+		for probe := 0; probe < 100; probe++ {
+			data := probeData(rng, width, pad, tbl.entries)
+			checkLookup(t, sw, tbl, data, fmt.Sprintf("lpm width=%d shape=%d probe=%d", width, shape, probe))
+			probes++
+		}
+	}
+	if probes < 7000 {
+		t.Fatalf("only %d LPM probes ran", probes)
+	}
+}
+
+func exactProgram(widths []int) string {
+	fields := ""
+	reads := ""
+	for i, w := range widths {
+		fields += fmt.Sprintf("f%d : %d; ", i, w)
+		reads += fmt.Sprintf("h.f%d : exact; ", i)
+	}
+	total := 0
+	for _, w := range widths {
+		total += w
+	}
+	if pad := (8 - total%8) % 8; pad > 0 {
+		fields += fmt.Sprintf("pad : %d; ", pad)
+	}
+	return fmt.Sprintf(`
+header_type h_t { fields { %s } }
+header h_t h;
+parser start { extract(h); return ingress; }
+action act(p) { modify_field(standard_metadata.egress_spec, p); }
+table tt { reads { %s } actions { act; } }
+control ingress { apply(tt); }
+`, fields, reads)
+}
+
+func TestLookupDifferentialExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	probes := 0
+	for shape := 0; shape < 40; shape++ {
+		nf := 1 + rng.Intn(3)
+		widths := make([]int, nf)
+		total := 0
+		for i := range widths {
+			widths[i] = 1 + rng.Intn(40)
+			total += widths[i]
+		}
+		pad := (8 - total%8) % 8
+		sw := load(t, exactProgram(widths))
+		tbl := sw.tables["tt"]
+
+		n := 1 + rng.Intn(24)
+		for i := 0; i < n; i++ {
+			params := make([]MatchParam, nf)
+			for j := range params {
+				params[j] = Exact(randValue(rng, widths[j]))
+			}
+			// Duplicate exact keys are rejected; that's fine, keep going.
+			if _, err := sw.TableAdd("tt", "act", params, Args(9, 1), 0); err != nil {
+				continue
+			}
+			if rng.Intn(10) == 0 && len(tbl.entries) > 0 {
+				h := tbl.entries[rng.Intn(len(tbl.entries))].Handle
+				if err := sw.TableDelete("tt", h); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		allWidths := append([]int(nil), widths...)
+		if pad > 0 {
+			allWidths = append(allWidths, pad)
+		}
+		for probe := 0; probe < 90; probe++ {
+			vals := make([]bitfield.Value, len(allWidths))
+			if len(tbl.entries) > 0 && rng.Intn(3) != 0 {
+				// Reuse an installed entry's key, sometimes perturbing one field.
+				e := tbl.entries[rng.Intn(len(tbl.entries))]
+				for j := 0; j < nf; j++ {
+					vals[j] = e.Params[j].Value.Clone()
+				}
+				if rng.Intn(2) == 0 {
+					j := rng.Intn(nf)
+					vals[j].SetBit(rng.Intn(widths[j]), byte(rng.Intn(2)))
+				}
+			} else {
+				for j := 0; j < nf; j++ {
+					vals[j] = randValue(rng, widths[j])
+				}
+			}
+			if pad > 0 {
+				vals[len(vals)-1] = randValue(rng, pad)
+			}
+			data := packetFor(allWidths, vals)
+			checkLookup(t, sw, tbl, data, fmt.Sprintf("exact shape=%d probe=%d", shape, probe))
+			probes++
+		}
+	}
+	if probes < 3000 {
+		t.Fatalf("only %d exact probes ran", probes)
+	}
+}

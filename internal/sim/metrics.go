@@ -1,0 +1,268 @@
+package sim
+
+import (
+	"math/bits"
+	"sort"
+	"sync/atomic"
+	"time"
+)
+
+// This file is the switch's metrics registry. Everything incremented on the
+// packet path is a plain atomic counter owned by a structure that exists
+// before the first packet arrives (tables, the action list, fixed histogram
+// buckets), so recording a sample never allocates and never takes a lock —
+// the same constraint the pooled packet state obeys (DESIGN.md §7, §8).
+
+// latencyBuckets is the number of fixed histogram buckets. Bucket i counts
+// Process calls with latency < 2^(minLatShift+i) ns; the last bucket is the
+// +Inf overflow. With minLatShift 7 the bounds run 128ns .. ~17s, which spans
+// everything from a native exact-match hit to a pathological recirculation
+// storm.
+const (
+	latencyBuckets = 28
+	minLatShift    = 7
+)
+
+// tableMetrics is the per-table counter block, embedded in table.
+type tableMetrics struct {
+	hits     atomic.Int64
+	misses   atomic.Int64
+	defaults atomic.Int64 // misses on which a configured default action ran
+}
+
+// switchMetrics is the registry half living on the Switch.
+type switchMetrics struct {
+	// passes counts pipeline passes by bmv2 instance type.
+	passNormal      atomic.Int64
+	passResubmit    atomic.Int64
+	passRecirculate atomic.Int64
+	passCloneI2E    atomic.Int64
+	passCloneE2E    atomic.Int64
+
+	// actionCounts is indexed by the dense action index assigned in New;
+	// actionIndex maps names to it. Both are immutable after New.
+	actionCounts []atomic.Int64
+	actionIndex  map[string]int
+
+	latCounts [latencyBuckets]atomic.Int64
+	latSumNs  atomic.Int64
+	latCount  atomic.Int64
+}
+
+func (m *switchMetrics) init(actionNames []string) {
+	m.actionCounts = make([]atomic.Int64, len(actionNames))
+	m.actionIndex = make(map[string]int, len(actionNames))
+	for i, name := range actionNames {
+		m.actionIndex[name] = i
+	}
+}
+
+// recordLatency files one Process duration into the histogram.
+func (m *switchMetrics) recordLatency(d time.Duration) {
+	ns := uint64(d.Nanoseconds())
+	// bits.Len64(ns>>minLatShift) is 0 for ns < 2^minLatShift, else the
+	// position of the highest set bit above the shift.
+	i := bits.Len64(ns >> minLatShift)
+	if i >= latencyBuckets {
+		i = latencyBuckets - 1
+	}
+	m.latCounts[i].Add(1)
+	m.latSumNs.Add(int64(ns))
+	m.latCount.Add(1)
+}
+
+// recordPass counts one pipeline pass by instance type.
+func (m *switchMetrics) recordPass(instanceType uint64) {
+	switch instanceType {
+	case instResubmit:
+		m.passResubmit.Add(1)
+	case instRecirculate:
+		m.passRecirculate.Add(1)
+	case instCloneI2E:
+		m.passCloneI2E.Add(1)
+	case instCloneE2E:
+		m.passCloneE2E.Add(1)
+	default:
+		m.passNormal.Add(1)
+	}
+}
+
+// --- snapshot types ---
+
+// TableCounters is one table's lifetime match statistics.
+type TableCounters struct {
+	Hits     int64 // lookups that matched an installed entry
+	Misses   int64 // lookups that matched nothing
+	Defaults int64 // misses on which a configured default action ran
+	Entries  int   // currently installed entries
+}
+
+// PassCounters splits pipeline passes by bmv2 instance type.
+type PassCounters struct {
+	Normal      int64
+	Resubmit    int64
+	Recirculate int64
+	CloneI2E    int64
+	CloneE2E    int64
+}
+
+// LatencyHistogram is a fixed-bucket histogram of Process wall time.
+// Counts[i] is the number of observations with duration < Bounds[i]; the
+// last bucket is unbounded (Bounds holds latencyBuckets-1 finite bounds).
+type LatencyHistogram struct {
+	Bounds []time.Duration
+	Counts []int64
+	Count  int64
+	SumNs  int64
+}
+
+// Sub returns the histogram of observations recorded after the prev
+// snapshot was taken — counters only grow, so a plain bucket-wise
+// subtraction isolates one measurement interval (e.g. a benchmark loop).
+func (h LatencyHistogram) Sub(prev LatencyHistogram) LatencyHistogram {
+	d := LatencyHistogram{
+		Bounds: h.Bounds,
+		Counts: make([]int64, len(h.Counts)),
+		Count:  h.Count - prev.Count,
+		SumNs:  h.SumNs - prev.SumNs,
+	}
+	for i := range h.Counts {
+		d.Counts[i] = h.Counts[i]
+		if i < len(prev.Counts) {
+			d.Counts[i] -= prev.Counts[i]
+		}
+	}
+	return d
+}
+
+// Quantile estimates the q-th latency quantile (0 < q <= 1) by linear
+// interpolation within the winning bucket, the way Prometheus's
+// histogram_quantile does. Returns 0 when the histogram is empty.
+func (h LatencyHistogram) Quantile(q float64) time.Duration {
+	if h.Count == 0 || q <= 0 {
+		return 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(h.Count)
+	var cum float64
+	for i, c := range h.Counts {
+		prev := cum
+		cum += float64(c)
+		if cum < rank || c == 0 {
+			continue
+		}
+		lo := time.Duration(0)
+		if i > 0 {
+			lo = h.Bounds[i-1]
+		}
+		hi := 2 * lo
+		if i < len(h.Bounds) {
+			hi = h.Bounds[i]
+		}
+		return lo + time.Duration(float64(hi-lo)*(rank-prev)/float64(c))
+	}
+	return h.Bounds[len(h.Bounds)-1]
+}
+
+// LatencyBucketBounds returns the finite upper bounds of the latency
+// histogram, ascending.
+func LatencyBucketBounds() []time.Duration {
+	out := make([]time.Duration, latencyBuckets-1)
+	for i := range out {
+		out[i] = time.Duration(1) << (minLatShift + i)
+	}
+	return out
+}
+
+// MetricsSnapshot is a point-in-time copy of every registry counter.
+type MetricsSnapshot struct {
+	Tables  map[string]TableCounters
+	Actions map[string]int64 // action name -> invocation count
+	Passes  PassCounters
+	Latency LatencyHistogram
+}
+
+// Metrics snapshots the registry. Counters are read individually with atomic
+// loads; a snapshot taken while packets are in flight is internally
+// consistent per counter, not across counters — the standard scrape
+// semantics of a live system.
+func (sw *Switch) Metrics() MetricsSnapshot {
+	sw.mu.RLock()
+	defer sw.mu.RUnlock()
+	snap := MetricsSnapshot{
+		Tables:  make(map[string]TableCounters, len(sw.tables)),
+		Actions: make(map[string]int64, len(sw.metrics.actionIndex)),
+		Passes: PassCounters{
+			Normal:      sw.metrics.passNormal.Load(),
+			Resubmit:    sw.metrics.passResubmit.Load(),
+			Recirculate: sw.metrics.passRecirculate.Load(),
+			CloneI2E:    sw.metrics.passCloneI2E.Load(),
+			CloneE2E:    sw.metrics.passCloneE2E.Load(),
+		},
+	}
+	for name, t := range sw.tables {
+		snap.Tables[name] = TableCounters{
+			Hits:     t.metrics.hits.Load(),
+			Misses:   t.metrics.misses.Load(),
+			Defaults: t.metrics.defaults.Load(),
+			Entries:  len(t.entries),
+		}
+	}
+	for name, i := range sw.metrics.actionIndex {
+		snap.Actions[name] = sw.metrics.actionCounts[i].Load()
+	}
+	snap.Latency.Bounds = LatencyBucketBounds()
+	snap.Latency.Counts = make([]int64, latencyBuckets)
+	for i := range sw.metrics.latCounts {
+		snap.Latency.Counts[i] = sw.metrics.latCounts[i].Load()
+	}
+	snap.Latency.Count = sw.metrics.latCount.Load()
+	snap.Latency.SumNs = sw.metrics.latSumNs.Load()
+	return snap
+}
+
+// TableMetrics returns one table's counters.
+func (sw *Switch) TableMetrics(name string) (TableCounters, error) {
+	sw.mu.RLock()
+	defer sw.mu.RUnlock()
+	t, err := sw.table(name)
+	if err != nil {
+		return TableCounters{}, err
+	}
+	return TableCounters{
+		Hits:     t.metrics.hits.Load(),
+		Misses:   t.metrics.misses.Load(),
+		Defaults: t.metrics.defaults.Load(),
+		Entries:  len(t.entries),
+	}, nil
+}
+
+// EntryHits returns the number of lookups a specific installed entry has won.
+// This is what lets a hypervisor attribute a shared table's traffic back to
+// whoever installed each row (the DPMU's per-vdev stats are built on it).
+func (sw *Switch) EntryHits(tableName string, handle int) (int64, error) {
+	sw.mu.RLock()
+	defer sw.mu.RUnlock()
+	t, err := sw.table(tableName)
+	if err != nil {
+		return 0, err
+	}
+	for _, e := range t.entries {
+		if e.Handle == handle {
+			return e.hits.Load(), nil
+		}
+	}
+	return 0, errNoEntry(tableName, handle)
+}
+
+// sortedNames returns map keys in sorted order (shared by exposition code).
+func sortedNames[V any](m map[string]V) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -58,7 +58,7 @@ func (r *Runtime) ExecAll(script string) error {
 			continue
 		}
 		if _, err := r.Exec(line); err != nil {
-			return fmt.Errorf("line %d: %w", lineNo, err)
+			return fmt.Errorf("line %d (%q): %w", lineNo, line, err)
 		}
 	}
 	return sc.Err()

@@ -22,6 +22,7 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"hyper4/internal/bitfield"
 	"hyper4/internal/p4/ast"
@@ -57,8 +58,9 @@ type Switch struct {
 	counters  map[string]*counterArray
 	meters    map[string]*meterArray
 
-	stats stats
-	pool  sync.Pool
+	stats   stats
+	metrics switchMetrics
+	pool    sync.Pool
 }
 
 // Stats aggregates switch-lifetime counters.
@@ -129,6 +131,11 @@ func New(name string, prog *hlir.Program) (*Switch, error) {
 		}
 		sw.meters[name] = newMeterArray(m.Kind, n)
 	}
+	actionNames := make([]string, 0, len(prog.Actions))
+	for name := range prog.Actions {
+		actionNames = append(actionNames, name)
+	}
+	sw.metrics.init(actionNames)
 	sw.pool.New = func() any { return newPacketState(sw) }
 	return sw, nil
 }
@@ -180,6 +187,14 @@ const (
 // Process runs one packet through the switch and returns all emitted packets
 // and a trace of the work performed. It is safe for concurrent use.
 func (sw *Switch) Process(data []byte, port int) ([]Output, *Trace, error) {
+	start := time.Now()
+	outputs, tr, err := sw.process(data, port)
+	sw.metrics.recordLatency(time.Since(start))
+	return outputs, tr, err
+}
+
+// process is Process without the latency measurement wrapped around it.
+func (sw *Switch) process(data []byte, port int) ([]Output, *Trace, error) {
 	sw.stats.packetsIn.Add(1)
 	sw.mu.RLock()
 	defer sw.mu.RUnlock()
@@ -195,6 +210,12 @@ func (sw *Switch) Process(data []byte, port int) ([]Output, *Trace, error) {
 		tr.Passes++
 		p := queue[0]
 		queue = queue[1:]
+		if p.egressOnly && p.state != nil {
+			// Clone passes carry their instance type in the cloned state.
+			sw.metrics.recordPass(p.state.stdMetaUint(hlir.FieldInstanceType))
+		} else {
+			sw.metrics.recordPass(p.instanceType)
+		}
 		emitted, next, err := sw.runPass(p, tr)
 		if err != nil {
 			sw.releaseQueued(queue)

@@ -3,6 +3,7 @@ package sim
 import (
 	"fmt"
 	"sort"
+	"sync/atomic"
 
 	"hyper4/internal/bitfield"
 	"hyper4/internal/p4/ast"
@@ -29,6 +30,11 @@ type Entry struct {
 	// prefixSum caches totalPrefix() at insert time so lookup never
 	// recomputes it per candidate.
 	prefixSum int
+
+	// hits counts lookups this entry has won. Entries are shared by pointer
+	// (entries slice, exact and LPM indexes), so the counter is atomic; the
+	// struct must not be copied once installed.
+	hits atomic.Int64
 }
 
 // readInfo is one precomputed match key accessor.
@@ -67,6 +73,8 @@ type table struct {
 
 	// ternaryWidth is the summed width of ternary reads, for Table 4.
 	ternaryWidth int
+
+	metrics tableMetrics
 }
 
 // lpmIndex is a per-prefix-length hash index for single-field LPM tables.
@@ -442,7 +450,8 @@ func exactKeyStringParams(params []MatchParam) string {
 	return exactKeyString(key)
 }
 
-// TableSetDefault sets the default (miss) action.
+// TableSetDefault sets the default (miss) action. Like TableAdd — and like
+// bmv2 — the action must be one the table declares.
 func (sw *Switch) TableSetDefault(tableName, action string, args []bitfield.Value) error {
 	sw.mu.Lock()
 	defer sw.mu.Unlock()
@@ -453,6 +462,9 @@ func (sw *Switch) TableSetDefault(tableName, action string, args []bitfield.Valu
 	act, ok := sw.prog.Actions[action]
 	if !ok {
 		return fmt.Errorf("sim: no action %q", action)
+	}
+	if !contains(t.decl.Actions, action) {
+		return fmt.Errorf("sim: table %s does not allow action %q", tableName, action)
 	}
 	if len(args) != len(act.Params) {
 		return fmt.Errorf("sim: action %s wants %d args, got %d", action, len(act.Params), len(args))
@@ -480,10 +492,15 @@ func (sw *Switch) TableDelete(tableName string, handle int) error {
 			return nil
 		}
 	}
+	return errNoEntry(tableName, handle)
+}
+
+func errNoEntry(tableName string, handle int) error {
 	return fmt.Errorf("sim: table %s has no entry %d", tableName, handle)
 }
 
-// TableModify replaces the action and args of an existing entry.
+// TableModify replaces the action and args of an existing entry. The new
+// action must be one the table declares, exactly as TableAdd requires.
 func (sw *Switch) TableModify(tableName string, handle int, action string, args []bitfield.Value) error {
 	sw.mu.Lock()
 	defer sw.mu.Unlock()
@@ -495,6 +512,9 @@ func (sw *Switch) TableModify(tableName string, handle int, action string, args 
 	if !ok {
 		return fmt.Errorf("sim: no action %q", action)
 	}
+	if !contains(t.decl.Actions, action) {
+		return fmt.Errorf("sim: table %s does not allow action %q", tableName, action)
+	}
 	if len(args) != len(act.Params) {
 		return fmt.Errorf("sim: action %s wants %d args, got %d", action, len(act.Params), len(args))
 	}
@@ -505,7 +525,7 @@ func (sw *Switch) TableModify(tableName string, handle int, action string, args 
 			return nil
 		}
 	}
-	return fmt.Errorf("sim: table %s has no entry %d", tableName, handle)
+	return errNoEntry(tableName, handle)
 }
 
 // TableClear removes every entry from a table.
