@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race lookup-race metrics-smoke bench-smoke throughput ci
+.PHONY: all build vet test race lookup-race metrics-smoke api-smoke bench-smoke throughput ci
 
 all: ci
 
@@ -34,6 +34,27 @@ metrics-smoke:
 	grep -q '^hyper4_process_latency_seconds_count 1' /tmp/hp4switch-ci.metrics
 	@echo metrics smoke ok
 
+# API smoke: boot the switch with the management API, configure a virtual
+# device remotely via hp4ctl — the whole setup as ONE atomic batch — then
+# query stats and a raw HTTP read, and assert the remotely-configured device
+# forwards a packet injected on the switch side.
+api-smoke:
+	$(GO) build -o /tmp/hp4switch-ci ./cmd/hp4switch
+	$(GO) build -o /tmp/hp4ctl-ci ./cmd/hp4ctl
+	printf 'load l2 l2_switch\nassign 1 l2 1\nmap l2 2 2\nl2 table_add smac _nop 00:00:00:00:00:01\nl2 table_add dmac forward 00:00:00:00:00:02 => 2\n' > /tmp/hp4ctl-ci.cmds
+	{ sleep 2; echo "packet 1 0000000000020000000000010800$$(printf '0%.0s' $$(seq 1 100))"; echo quit; } | \
+		/tmp/hp4switch-ci -persona -api-addr 127.0.0.1:19191 > /tmp/hp4switch-api.out & \
+	sleep 1; \
+	/tmp/hp4ctl-ci -addr http://127.0.0.1:19191 -batch -f /tmp/hp4ctl-ci.cmds && \
+	/tmp/hp4ctl-ci -addr http://127.0.0.1:19191 vdevs > /tmp/hp4ctl-ci.vdevs && \
+	/tmp/hp4ctl-ci -addr http://127.0.0.1:19191 stats l2 > /tmp/hp4ctl-ci.stats && \
+	curl -sf 'http://127.0.0.1:19191/v1/read?kind=vdevs' > /tmp/hp4ctl-ci.read; wait
+	grep -qx 'l2' /tmp/hp4ctl-ci.vdevs
+	grep -q '^passes=' /tmp/hp4ctl-ci.stats
+	grep -q '"vdevs":\["l2"\]' /tmp/hp4ctl-ci.read
+	grep -q 'port 2 <- ' /tmp/hp4switch-api.out
+	@echo api smoke ok
+
 # Quick benchmark smoke: does the throughput benchmark run at all?
 bench-smoke:
 	$(GO) test -run xxx -bench Throughput -benchtime 100x .
@@ -42,4 +63,4 @@ bench-smoke:
 throughput:
 	$(GO) run ./cmd/hp4bench -parallel
 
-ci: vet build race lookup-race metrics-smoke bench-smoke throughput
+ci: vet build race lookup-race metrics-smoke api-smoke bench-smoke throughput

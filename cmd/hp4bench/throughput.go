@@ -8,7 +8,16 @@ import (
 	"time"
 
 	"hyper4/internal/bench"
+	"hyper4/internal/functions"
 )
+
+// printRow prints one throughput measurement line.
+func printRow(res bench.ThroughputResult) {
+	fmt.Printf("%-12s %-8s %14.0f %14.0f %8.2fx %12.1f %9v %9v %9v %9v\n",
+		res.Function, res.Mode, res.SerialPPS, res.BatchPPS, res.Speedup, res.SerialAlloc,
+		time.Duration(res.P50Ns), time.Duration(res.P90Ns),
+		time.Duration(res.P99Ns), time.Duration(res.P999Ns))
+}
 
 // throughput runs the serial-vs-parallel packet throughput experiment and
 // optionally writes the measurements to a JSON file.
@@ -26,10 +35,28 @@ func throughput(pkts int, jsonPath string) error {
 				return err
 			}
 			results = append(results, res)
-			fmt.Printf("%-12s %-8s %14.0f %14.0f %8.2fx %12.1f %9v %9v %9v %9v\n",
-				res.Function, res.Mode, res.SerialPPS, res.BatchPPS, res.Speedup, res.SerialAlloc,
-				time.Duration(res.P50Ns), time.Duration(res.P90Ns),
-				time.Duration(res.P99Ns), time.Duration(res.P999Ns))
+			printRow(res)
+		}
+	}
+	// One extra row: the l2_switch emulation configured through the typed
+	// control-plane API (one atomic WriteBatch) instead of direct installer
+	// calls. The management path must not change the data path, so its
+	// serial cost has to sit within noise of the plain hp4 row; the bound
+	// is generous because single-CPU CI runners jitter heavily.
+	ctlRow, err := bench.Throughput(functions.L2Switch, bench.HyPer4Ctl, pkts)
+	if err != nil {
+		return err
+	}
+	results = append(results, ctlRow)
+	printRow(ctlRow)
+	for _, res := range results {
+		if res.Function == functions.L2Switch && res.Mode == "hp4" {
+			ratio := ctlRow.SerialNsOp / res.SerialNsOp
+			if ratio > 2.5 || ratio < 0.4 {
+				return fmt.Errorf("ctl-configured l2_switch serial cost %.0f ns/pkt vs %.0f ns/pkt plain hp4 (ratio %.2f, want within [0.4, 2.5])",
+					ctlRow.SerialNsOp, res.SerialNsOp, ratio)
+			}
+			fmt.Printf("ctl-configured l2_switch within noise of hp4 baseline (ratio %.2f)\n", ratio)
 		}
 	}
 	if runtime.GOMAXPROCS(0) == 1 {

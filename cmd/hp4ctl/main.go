@@ -1,0 +1,165 @@
+// Command hp4ctl manages a running hp4switch over its HTTP control-plane
+// API (-api-addr). It speaks exactly the same script dialect as the
+// hp4switch REPL and -commands files — the lines are parsed with the same
+// parser, shipped as typed ops, and answered with the same output shapes —
+// so a management script moves between local and remote execution unchanged.
+//
+// Usage:
+//
+//	hp4ctl -addr http://127.0.0.1:9191 [-owner operator] load l2 l2_switch
+//	hp4ctl -addr ... -f script.txt            # line-at-a-time, stop on error
+//	hp4ctl -addr ... -batch -f script.txt     # whole script as ONE atomic batch
+//	hp4ctl -addr ... stats l2
+//	hp4ctl -addr ... -events                  # follow management events
+//
+// With -batch, every mutating line is collected into a single WriteBatch:
+// either the whole script applies, or the switch is left bit-identical to
+// its prior state (queries are not allowed in -batch mode).
+//
+// The exit code reflects the structured error code of the first failure:
+// 0 OK, 2 INVALID_ARGUMENT, 3 NOT_FOUND, 4 PERMISSION_DENIED,
+// 5 RESOURCE_EXHAUSTED, 6 ABORTED, 7 ALREADY_EXISTS, 1 otherwise.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"hyper4/internal/core/ctl"
+)
+
+func main() {
+	addr := flag.String("addr", "http://127.0.0.1:9191", "management API address of the hp4switch")
+	owner := flag.String("owner", "operator", "owner identity stamped on every operation")
+	file := flag.String("f", "", "script file to execute (\"-\" or empty with no args: stdin)")
+	batch := flag.Bool("batch", false, "apply the whole script as one atomic batch")
+	events := flag.Bool("events", false, "follow management events (long poll) until interrupted")
+	flag.Parse()
+
+	client := &ctl.Client{Base: *addr, Owner: *owner}
+
+	if *events {
+		follow(client)
+		return
+	}
+
+	var lines []string
+	switch {
+	case flag.NArg() > 0:
+		lines = []string{strings.Join(flag.Args(), " ")}
+	case *file != "" && *file != "-":
+		data, err := os.ReadFile(*file)
+		if err != nil {
+			fail(err)
+		}
+		lines = strings.Split(string(data), "\n")
+	default:
+		sc := bufio.NewScanner(os.Stdin)
+		sc.Buffer(make([]byte, 1<<20), 1<<20)
+		for sc.Scan() {
+			lines = append(lines, sc.Text())
+		}
+		if err := sc.Err(); err != nil {
+			fail(err)
+		}
+	}
+
+	if *batch {
+		runBatch(client, lines)
+		return
+	}
+	for _, line := range lines {
+		if err := runLine(client, line); err != nil {
+			fail(err)
+		}
+	}
+}
+
+// runLine parses and executes one script line: ops become a batch of one,
+// queries become reads, output matches the REPL.
+func runLine(client *ctl.Client, line string) error {
+	op, q, err := ctl.ParseLine(line)
+	switch {
+	case err != nil:
+		return fmt.Errorf("%q: %w", strings.TrimSpace(line), err)
+	case op != nil:
+		results, err := client.Write([]ctl.Op{*op})
+		if err != nil {
+			return fmt.Errorf("%q: %w", strings.TrimSpace(line), err)
+		}
+		if len(results) == 1 && results[0].Msg != "" {
+			fmt.Println(results[0].Msg)
+		}
+	case q != nil:
+		res, err := client.Read(q)
+		if err != nil {
+			return fmt.Errorf("%q: %w", strings.TrimSpace(line), err)
+		}
+		fmt.Println(ctl.FormatRead(q, res))
+	}
+	return nil
+}
+
+// runBatch collects every mutating line into one atomic WriteBatch.
+func runBatch(client *ctl.Client, lines []string) {
+	var ops []ctl.Op
+	var srcs []string
+	for _, line := range lines {
+		op, q, err := ctl.ParseLine(line)
+		switch {
+		case err != nil:
+			fail(fmt.Errorf("%q: %w", strings.TrimSpace(line), err))
+		case q != nil:
+			fail(&ctl.Error{Code: ctl.CodeInvalidArgument, Op: -1,
+				Msg: fmt.Sprintf("%q: queries are not allowed in -batch mode", strings.TrimSpace(line))})
+		case op != nil:
+			ops = append(ops, *op)
+			srcs = append(srcs, strings.TrimSpace(line))
+		}
+	}
+	results, err := client.Write(ops)
+	if err != nil {
+		if ce, ok := err.(*ctl.Error); ok && ce.Op >= 0 && ce.Op < len(srcs) {
+			fail(fmt.Errorf("%q: %w", srcs[ce.Op], err))
+		}
+		fail(err)
+	}
+	for _, r := range results {
+		if r.Msg != "" {
+			fmt.Println(r.Msg)
+		}
+	}
+}
+
+// follow tails the event stream, printing one line per event.
+func follow(client *ctl.Client) {
+	var since int64
+	for {
+		events, next, err := client.Events(since, 30)
+		if err != nil {
+			fail(err)
+		}
+		for _, e := range events {
+			line := fmt.Sprintf("%d %s", e.Seq, e.Kind)
+			if e.VDev != "" {
+				line += " " + e.VDev
+			}
+			if e.Name != "" {
+				line += " " + e.Name
+			}
+			if e.Msg != "" {
+				line += ": " + e.Msg
+			}
+			fmt.Println(line)
+		}
+		since = next
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "hp4ctl:", err)
+	os.Exit(ctl.CodeOf(err).ExitCode())
+}

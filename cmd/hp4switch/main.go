@@ -5,7 +5,7 @@
 // Usage:
 //
 //	hp4switch -builtin l2_switch [-commands file.txt]
-//	hp4switch -persona [-commands file.txt]
+//	hp4switch -persona [-commands file.txt] [-api-addr 127.0.0.1:9191]
 //	hp4switch foo.p4
 //
 // The interactive prompt accepts every command of internal/sim/runtime plus:
@@ -21,11 +21,14 @@
 // With -metrics-addr the same counters are served continuously in Prometheus
 // text format on /metrics, with pprof under /debug/pprof/.
 //
-// In -persona mode the prompt additionally accepts every DPMU management
-// command (load/assign/map/link/snapshot_…, see internal/core/dpmu) and
-// virtual table operations of the form "<vdev> table_add …", so a whole
-// virtualized configuration can be driven interactively or from a
-// -commands script.
+// In -persona mode the prompt additionally accepts every control-plane
+// management command (load/assign/map/link/snapshot_…, see
+// internal/core/ctl) and virtual table operations of the form
+// "<vdev> table_add …", so a whole virtualized configuration can be driven
+// interactively or from a -commands script. With -api-addr the same
+// operations are served remotely as typed, atomically-batched HTTP writes
+// (drive them with hp4ctl), and a failing -commands script exits with the
+// structured code of its first error.
 package main
 
 import (
@@ -39,6 +42,9 @@ import (
 	"strconv"
 	"strings"
 
+	"errors"
+
+	"hyper4/internal/core/ctl"
 	"hyper4/internal/core/dpmu"
 	"hyper4/internal/core/persona"
 	"hyper4/internal/functions"
@@ -54,6 +60,7 @@ func main() {
 	usePersona := flag.Bool("persona", false, "run the HyPer4 persona (reference configuration)")
 	commands := flag.String("commands", "", "runtime command file to execute at startup")
 	metricsAddr := flag.String("metrics-addr", "", "serve Prometheus metrics and pprof on this address (e.g. 127.0.0.1:9090)")
+	apiAddr := flag.String("api-addr", "", "serve the management API on this address (persona mode, e.g. 127.0.0.1:9191)")
 	flag.Parse()
 
 	var prog *hlir.Program
@@ -92,7 +99,8 @@ func main() {
 		os.Exit(1)
 	}
 	rt := runtime.New(sw)
-	var mgmt *dpmu.CLI
+	var mgmt *ctl.CLI
+	var cp *ctl.Ctl
 	var d *dpmu.DPMU
 	if pers != nil {
 		d, err = dpmu.New(sw, pers)
@@ -100,8 +108,26 @@ func main() {
 			fmt.Fprintln(os.Stderr, "hp4switch:", err)
 			os.Exit(1)
 		}
-		mgmt = dpmu.NewCLI(d, "operator")
+		cp = ctl.New(d)
+		mgmt = ctl.NewCLI(cp, "operator")
 		fmt.Println("persona loaded; DPMU management commands available")
+	}
+	if *apiAddr != "" {
+		if cp == nil {
+			fmt.Fprintln(os.Stderr, "hp4switch: -api-addr requires -persona")
+			os.Exit(2)
+		}
+		ln, err := net.Listen("tcp", *apiAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "hp4switch: api:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("management API on http://%s/v1/ (drive with hp4ctl -addr http://%s)\n", ln.Addr(), ln.Addr())
+		go func() {
+			if err := http.Serve(ln, ctl.NewServeMux(cp)); err != nil {
+				fmt.Fprintln(os.Stderr, "hp4switch: api:", err)
+			}
+		}()
 	}
 	if *metricsAddr != "" {
 		ln, err := net.Listen("tcp", *metricsAddr)
@@ -130,7 +156,7 @@ func main() {
 		}
 		if execErr != nil {
 			fmt.Fprintln(os.Stderr, "hp4switch:", execErr)
-			os.Exit(1)
+			os.Exit(ctl.CodeOf(execErr).ExitCode())
 		}
 		fmt.Printf("executed %s\n", *commands)
 	}
@@ -156,7 +182,7 @@ func main() {
 	}
 }
 
-func handle(sw *sim.Switch, rt *runtime.Runtime, mgmt *dpmu.CLI, line string) {
+func handle(sw *sim.Switch, rt *runtime.Runtime, mgmt *ctl.CLI, line string) {
 	fields := strings.Fields(line)
 	switch fields[0] {
 	case "packet", "trace":
@@ -250,9 +276,9 @@ func handle(sw *sim.Switch, rt *runtime.Runtime, mgmt *dpmu.CLI, line string) {
 				}
 				return
 			}
-			// Fall through to raw switch commands for anything the DPMU
-			// does not understand.
-			if !strings.Contains(err.Error(), "unknown dpmu command") {
+			// Fall through to raw switch commands for anything outside the
+			// control-plane dialect.
+			if !errors.Is(err, ctl.ErrUnknown) {
 				fmt.Println("error:", err)
 				return
 			}

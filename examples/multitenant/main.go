@@ -200,7 +200,7 @@ func main() {
 	send(4, 2, pkt.IPProtoTCP, 443)  // inbound to tenant2, allowed
 
 	fmt.Println("\nisolation: tenant3 may not touch tenant1's devices:")
-	if _, err := d.TableAdd("tenant3", "f1", "tcp_filter", "_nop", nil, nil, 0); err != nil {
+	if _, err := d.TableAdd("tenant3", "f1", dpmu.EntrySpec{Table: "tcp_filter", Action: "_nop"}); err != nil {
 		fmt.Println("  DPMU refused:", err)
 	}
 

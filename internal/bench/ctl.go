@@ -1,0 +1,42 @@
+package bench
+
+import (
+	"fmt"
+	"strconv"
+
+	"hyper4/internal/core/ctl"
+	"hyper4/internal/functions"
+	"hyper4/internal/sim"
+)
+
+// ctlSwitch builds an emulated function configured purely through the typed
+// control-plane API: the whole setup — load, table population, port wiring —
+// is one atomic ctl.WriteBatch of textual ops, exactly what hp4ctl would
+// ship over HTTP, rather than direct DPMU installer calls. Only l2_switch is
+// wired up; the point is measuring the management path's product, not
+// re-benching every function twice.
+func ctlSwitch(name, fn string) (*sim.Switch, error) {
+	if fn != functions.L2Switch {
+		return nil, fmt.Errorf("bench: mode hp4-ctl supports only %s, not %q", functions.L2Switch, fn)
+	}
+	sw, d, err := newPersonaSwitch(name)
+	if err != nil {
+		return nil, err
+	}
+	ops := []ctl.Op{{Kind: ctl.OpLoadVDev, VDev: "l2", Function: functions.L2Switch}}
+	for _, h := range []hostEntry{{h1MAC, 1}, {h2MAC, 2}} {
+		mac := h.mac.String()
+		ops = append(ops,
+			ctl.Op{Kind: ctl.OpTableAdd, VDev: "l2", Table: "smac", Action: "_nop", Match: []string{mac}},
+			ctl.Op{Kind: ctl.OpTableAdd, VDev: "l2", Table: "dmac", Action: "forward", Match: []string{mac}, Args: []string{strconv.Itoa(h.port)}},
+		)
+	}
+	ops = append(ops, ctl.Op{Kind: ctl.OpAssign, VDev: "l2", PhysPort: -1, VIngress: 0})
+	for _, port := range []int{1, 2} {
+		ops = append(ops, ctl.Op{Kind: ctl.OpMapVPort, VDev: "l2", VPort: port, PhysPort: port})
+	}
+	if _, err := ctl.New(d).WriteBatch("bench", ops); err != nil {
+		return nil, err
+	}
+	return sw, nil
+}

@@ -1,0 +1,64 @@
+package bench
+
+import (
+	"reflect"
+	"testing"
+
+	"hyper4/internal/functions"
+)
+
+// TestCtlSwitchMatchesInstaller proves the control-plane-configured bench
+// switch is the same device as the installer-configured one: the full switch
+// dump — persona table contents, defaults, precedence — is bit-identical,
+// so any throughput delta between the hp4 and hp4-ctl modes is noise.
+func TestCtlSwitchMatchesInstaller(t *testing.T) {
+	direct, err := FunctionSwitch(functions.L2Switch, HyPer4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	viaCtl, err := FunctionSwitch(functions.L2Switch, HyPer4Ctl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(direct.Dump(), viaCtl.Dump()) {
+		t.Fatalf("ctl-configured switch differs from installer-configured:\ndirect %+v\nctl    %+v",
+			direct.Dump(), viaCtl.Dump())
+	}
+
+	for _, in := range WorkloadPackets(functions.L2Switch) {
+		want, _, err := direct.Process(in, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, _, err := viaCtl.Process(in, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(want, got) {
+			t.Fatalf("forwarding differs: direct %+v, ctl %+v", want, got)
+		}
+		if len(got) != 1 || got[0].Port != 2 {
+			t.Fatalf("h1->h2 frame should egress port 2: %+v", got)
+		}
+	}
+}
+
+// TestCtlSwitchUnsupportedFunction pins the mode's scope: only l2_switch is
+// wired through the control-plane path.
+func TestCtlSwitchUnsupportedFunction(t *testing.T) {
+	if _, err := FunctionSwitch(functions.Firewall, HyPer4Ctl); err == nil {
+		t.Fatal("hp4-ctl firewall should be rejected")
+	}
+}
+
+// TestCtlThroughputRuns smoke-tests the throughput path end to end in the
+// new mode with a tiny packet budget.
+func TestCtlThroughputRuns(t *testing.T) {
+	res, err := Throughput(functions.L2Switch, HyPer4Ctl, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Mode != "hp4-ctl" || res.Packets < 64 || res.SerialNsOp <= 0 {
+		t.Fatalf("throughput result: %+v", res)
+	}
+}

@@ -22,12 +22,21 @@ type Mode int
 const (
 	Native Mode = iota
 	HyPer4
+	// HyPer4Ctl is HyPer4 emulation configured through the typed
+	// control-plane API — one atomic ctl.WriteBatch of textual ops, the
+	// same wire shape hp4ctl ships — instead of direct DPMU installer
+	// calls. The data path is identical to HyPer4, so its throughput must
+	// sit within noise of the plain HyPer4 measurement.
+	HyPer4Ctl
 )
 
 // String names the mode for labels and sub-benchmarks.
 func (m Mode) String() string {
-	if m == Native {
+	switch m {
+	case Native:
 		return "native"
+	case HyPer4Ctl:
+		return "hp4-ctl"
 	}
 	return "hp4"
 }
@@ -111,17 +120,23 @@ func l2Switch(name string, mode Mode, hosts []hostEntry) (*sim.Switch, error) {
 		return nil, err
 	}
 	c := functions.NewL2ControllerFunc(d.Installer("bench", "l2"))
-	ports := map[int]bool{}
+	// Ports are mapped in host order (deduplicated) so repeated builds
+	// install virtual-network rows deterministically and dump identically.
+	seen := map[int]bool{}
+	var ports []int
 	for _, h := range hosts {
 		if err := c.AddHost(h.mac, h.port); err != nil {
 			return nil, err
 		}
-		ports[h.port] = true
+		if !seen[h.port] {
+			seen[h.port] = true
+			ports = append(ports, h.port)
+		}
 	}
 	if err := d.AssignPort("bench", dpmu.Assignment{PhysPort: -1, VDev: "l2", VIngress: 0}); err != nil {
 		return nil, err
 	}
-	for port := range ports {
+	for _, port := range ports {
 		if err := d.MapVPort("bench", "l2", port, port); err != nil {
 			return nil, err
 		}

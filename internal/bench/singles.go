@@ -146,6 +146,9 @@ func routerSwitch(name string, mode Mode) (*sim.Switch, error) {
 // FunctionSwitch builds a configured switch for one of the paper's four
 // functions in either mode.
 func FunctionSwitch(fn string, mode Mode) (*sim.Switch, error) {
+	if mode == HyPer4Ctl {
+		return ctlSwitch("s", fn)
+	}
 	switch fn {
 	case functions.L2Switch:
 		return l2Switch("s", mode, []hostEntry{{h1MAC, 1}, {h2MAC, 2}})

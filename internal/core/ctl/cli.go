@@ -1,0 +1,83 @@
+package ctl
+
+import (
+	"fmt"
+	"strings"
+)
+
+// CLI is the textual management interface — the command path of Figure 2(c):
+// a controller keeps speaking its program's native bmv2-style dialect,
+// prefixed with the virtual device name, and the DPMU translates each
+// virtual operation into persona operations. It is a thin shell: ParseLine
+// builds an Op or Query, Apply/Read executes it, and Format renders the
+// result — the same three steps hp4ctl performs over HTTP.
+type CLI struct {
+	C *Ctl
+	// Owner is stamped on every operation; the DPMU's authorization checks
+	// apply (§4.5).
+	Owner string
+}
+
+// NewCLI builds a command interface acting as owner.
+func NewCLI(c *Ctl, owner string) *CLI { return &CLI{C: c, Owner: owner} }
+
+// Exec runs one command line and returns its textual result. Errors are
+// *Error (or wrap ErrUnknown for lines outside the dialect), so callers can
+// branch on CodeOf.
+func (c *CLI) Exec(line string) (string, error) {
+	op, q, err := ParseLine(line)
+	switch {
+	case err != nil:
+		return "", err
+	case op != nil:
+		res, err := c.C.Apply(c.Owner, op)
+		if err != nil {
+			return "", err
+		}
+		return res.Msg, nil
+	case q != nil:
+		res, err := c.C.Read(c.Owner, q)
+		if err != nil {
+			return "", err
+		}
+		return FormatRead(q, res), nil
+	}
+	return "", nil // blank or comment line
+}
+
+// ExecAll runs a script of commands, reporting the first failing line.
+func (c *CLI) ExecAll(script string) error {
+	for i, line := range strings.Split(script, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if _, err := c.Exec(line); err != nil {
+			return fmt.Errorf("line %d (%q): %w", i+1, line, err)
+		}
+	}
+	return nil
+}
+
+// FormatRead renders a query result in the REPL's traditional shapes.
+func FormatRead(q *Query, res *ReadResult) string {
+	switch q.Kind {
+	case "vdevs":
+		return strings.Join(res.VDevs, " ")
+	case "snapshots":
+		out := strings.Join(res.Snapshots, " ")
+		if res.Active != "" {
+			out += " (active: " + res.Active + ")"
+		}
+		return out
+	case "stats":
+		st := res.Stats
+		var b strings.Builder
+		fmt.Fprintf(&b, "passes=%d bytes=%d", st.Packets, st.Bytes)
+		for _, ts := range st.Tables {
+			fmt.Fprintf(&b, "\ntable %s: hits=%d misses=%d entries=%d", ts.Table, ts.Hits, ts.Misses, ts.Entries)
+		}
+		return b.String()
+	}
+	return ""
+}

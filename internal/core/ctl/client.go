@@ -1,0 +1,119 @@
+package ctl
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/url"
+)
+
+// Client speaks the management API from another process — the remote half of
+// the one-code-path story: hp4ctl parses script lines with the same
+// ParseLine the REPL uses, ships the Ops here, and formats the identical
+// Results.
+type Client struct {
+	// Base is the service root, e.g. "http://127.0.0.1:9191".
+	Base string
+	// Owner is stamped on every write.
+	Owner string
+	// HTTP overrides the transport (nil = http.DefaultClient).
+	HTTP *http.Client
+}
+
+func (c *Client) client() *http.Client {
+	if c.HTTP != nil {
+		return c.HTTP
+	}
+	return http.DefaultClient
+}
+
+// decodeError surfaces a response's structured error, preserving its code.
+func decodeError(e *Error, status int) error {
+	if e != nil {
+		return e
+	}
+	return &Error{Code: CodeInternal, Op: -1, Msg: fmt.Sprintf("server returned HTTP %d without a structured error", status)}
+}
+
+// Write applies ops atomically as one batch.
+func (c *Client) Write(ops []Op) ([]Result, error) {
+	body, err := json.Marshal(WriteRequest{Owner: c.Owner, Ops: ops})
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.client().Post(c.Base+"/v1/write", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	var wr WriteResponse
+	if err := json.NewDecoder(resp.Body).Decode(&wr); err != nil {
+		return nil, fmt.Errorf("decoding write response: %w", err)
+	}
+	if resp.StatusCode != http.StatusOK || wr.Error != nil {
+		return nil, decodeError(wr.Error, resp.StatusCode)
+	}
+	return wr.Results, nil
+}
+
+// Read answers one query.
+func (c *Client) Read(q *Query) (*ReadResult, error) {
+	vals := url.Values{"kind": {q.Kind}, "owner": {c.Owner}}
+	if q.VDev != "" {
+		vals.Set("vdev", q.VDev)
+	}
+	resp, err := c.client().Get(c.Base + "/v1/read?" + vals.Encode())
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	var rr ReadResponse
+	if err := json.NewDecoder(resp.Body).Decode(&rr); err != nil {
+		return nil, fmt.Errorf("decoding read response: %w", err)
+	}
+	if resp.StatusCode != http.StatusOK || rr.Error != nil {
+		return nil, decodeError(rr.Error, resp.StatusCode)
+	}
+	return rr.Result, nil
+}
+
+// Stats fetches the operator-level per-device statistics.
+func (c *Client) Stats() (*StatsResponse, error) {
+	resp, err := c.client().Get(c.Base + "/v1/stats")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, &Error{Code: CodeInternal, Op: -1, Msg: fmt.Sprintf("stats returned HTTP %d", resp.StatusCode)}
+	}
+	var sr StatsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&sr); err != nil {
+		return nil, fmt.Errorf("decoding stats response: %w", err)
+	}
+	return &sr, nil
+}
+
+// Events long-polls for events after since, returning the events (possibly
+// none, on timeout) and the next cursor. waitSecs bounds the server-side
+// wait (0 = server default).
+func (c *Client) Events(since int64, waitSecs int) ([]Event, int64, error) {
+	vals := url.Values{"since": {fmt.Sprint(since)}}
+	if waitSecs > 0 {
+		vals.Set("wait", fmt.Sprint(waitSecs))
+	}
+	resp, err := c.client().Get(c.Base + "/v1/events?" + vals.Encode())
+	if err != nil {
+		return nil, since, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, since, &Error{Code: CodeInternal, Op: -1, Msg: fmt.Sprintf("events returned HTTP %d", resp.StatusCode)}
+	}
+	var er EventsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&er); err != nil {
+		return nil, since, fmt.Errorf("decoding events response: %w", err)
+	}
+	return er.Events, er.Next, nil
+}

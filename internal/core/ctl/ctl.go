@@ -1,0 +1,152 @@
+package ctl
+
+import (
+	"sort"
+	"sync"
+
+	"hyper4/internal/core/dpmu"
+)
+
+// Ctl is the control plane over one DPMU. All mutating paths — REPL lines,
+// hp4ctl requests, in-process controllers — go through Apply or WriteBatch,
+// so authorization, error classification, atomicity and event publication
+// behave identically everywhere.
+type Ctl struct {
+	D *dpmu.DPMU
+
+	// wmu serializes writes: a batch's checkpoint-apply-rollback span must
+	// not interleave with another writer (readers are unaffected — the DPMU
+	// and switch have their own locks, and rollback restores a consistent
+	// snapshot).
+	wmu sync.Mutex
+
+	events *hub
+}
+
+// New builds a control plane over a DPMU.
+func New(d *dpmu.DPMU) *Ctl {
+	return &Ctl{D: d, events: newHub()}
+}
+
+// Apply validates and applies one op as owner. Single ops need no
+// checkpoint: every DPMU operation already cleans up its own partial rows on
+// failure, so the op is atomic by itself.
+func (c *Ctl) Apply(owner string, op *Op) (Result, error) {
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	res, err := c.applyOp(owner, op)
+	if err != nil {
+		return Result{}, wrap(err, -1)
+	}
+	c.publishOp(op, res)
+	return res, nil
+}
+
+// WriteBatch applies ops atomically as owner: each op is validated
+// structurally up front, the DPMU is checkpointed, and the first failure
+// rolls everything back so the switch and the DPMU's bookkeeping are
+// bit-identical to the pre-batch state. The returned error carries the
+// failing op's index and code; on success one Result per op is returned.
+func (c *Ctl) WriteBatch(owner string, ops []Op) ([]Result, error) {
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	for i := range ops {
+		if err := validateOp(&ops[i]); err != nil {
+			return nil, wrap(err, i)
+		}
+	}
+	cp := c.D.Checkpoint()
+	results := make([]Result, len(ops))
+	for i := range ops {
+		res, err := c.applyOp(owner, &ops[i])
+		if err != nil {
+			c.D.Rollback(cp)
+			return nil, wrap(err, i)
+		}
+		results[i] = res
+	}
+	for i := range ops {
+		c.publishOp(&ops[i], results[i])
+	}
+	return results, nil
+}
+
+// validateOp rejects structurally malformed ops before any state changes.
+// Program-dependent validation (does the table exist, do the tokens parse
+// against its reads) happens at apply time — a batch may load the device an
+// op later in the same batch targets — and is covered by rollback.
+func validateOp(op *Op) error {
+	switch op.Kind {
+	case OpLoadVDev:
+		if op.VDev == "" || op.Function == "" {
+			return invalidf("load_vdev wants a device name and a function")
+		}
+	case OpUnload, OpAssign, OpMapVPort, OpRateLimit:
+		if op.VDev == "" {
+			return invalidf("%s wants a device name", op.Kind)
+		}
+	case OpLink:
+		if op.VDev == "" || op.ToVDev == "" {
+			return invalidf("link wants two device names")
+		}
+	case OpMcast:
+		if op.VDev == "" || len(op.Targets) == 0 {
+			return invalidf("mcast wants a device and at least one target")
+		}
+	case OpSnapshotSave, OpSnapshotActivate:
+		if op.Name == "" {
+			return invalidf("%s wants a snapshot name", op.Kind)
+		}
+	case OpTableAdd, OpSetDefault:
+		if op.VDev == "" || op.Table == "" || op.Action == "" {
+			return invalidf("%s wants a device, table and action", op.Kind)
+		}
+	case OpTableModify:
+		if op.VDev == "" || op.Table == "" || op.Action == "" || op.Handle <= 0 {
+			return invalidf("table_modify wants a device, table, action and handle")
+		}
+	case OpTableDelete:
+		if op.VDev == "" || op.Table == "" || op.Handle <= 0 {
+			return invalidf("table_delete wants a device, table and handle")
+		}
+	case OpClearAssignments, OpMeterTick:
+		// No payload.
+	default:
+		return invalidf("unknown op kind %q", op.Kind)
+	}
+	return nil
+}
+
+// ReadResult is the payload of a Query.
+type ReadResult struct {
+	VDevs     []string        `json:"vdevs,omitempty"`
+	Snapshots []string        `json:"snapshots,omitempty"`
+	Active    string          `json:"active,omitempty"`
+	Stats     *dpmu.VDevStats `json:"stats,omitempty"`
+}
+
+// Read answers one read-only query as owner. Per-device stats apply the same
+// authorization as writes; listings are public.
+func (c *Ctl) Read(owner string, q *Query) (*ReadResult, error) {
+	switch q.Kind {
+	case "vdevs":
+		return &ReadResult{VDevs: c.D.VDevs()}, nil
+	case "snapshots":
+		return &ReadResult{Snapshots: c.D.Snapshots(), Active: c.D.ActiveSnapshot()}, nil
+	case "stats":
+		st, err := c.D.StatsForVDev(owner, q.VDev)
+		if err != nil {
+			return nil, wrap(err, -1)
+		}
+		return &ReadResult{Stats: &st}, nil
+	}
+	return nil, wrap(invalidf("unknown query kind %q", q.Kind), -1)
+}
+
+// Stats returns the operator-level view: every device's statistics, sorted
+// by device name (the same view the metrics exporter scrapes).
+func (c *Ctl) Stats() []dpmu.VDevStats {
+	st := c.D.AllStats()
+	sort.Slice(st, func(i, j int) bool { return st[i].VDev < st[j].VDev })
+	return st
+}

@@ -1,0 +1,90 @@
+package ctl
+
+import (
+	"context"
+	"sync"
+)
+
+// Event is one management-plane notification: devices coming and going,
+// snapshots flipping. Seq increases by one per event, so a long-polling
+// client resumes from the last Seq it saw without gaps.
+type Event struct {
+	Seq  int64  `json:"seq"`
+	Kind string `json:"kind"` // "load", "unload", "snapshot_activate"
+	VDev string `json:"vdev,omitempty"`
+	Name string `json:"name,omitempty"` // snapshot name
+	Msg  string `json:"msg,omitempty"`
+}
+
+// eventBuffer bounds the replay window; a client further behind than this
+// misses the oldest events (it can re-list devices to resync).
+const eventBuffer = 256
+
+// hub is a broadcast ring of Events with long-poll semantics.
+type hub struct {
+	mu     sync.Mutex
+	events []Event // last eventBuffer events, oldest first
+	seq    int64   // seq of the newest published event
+	wake   chan struct{}
+}
+
+func newHub() *hub {
+	return &hub{wake: make(chan struct{})}
+}
+
+func (h *hub) publish(e Event) {
+	h.mu.Lock()
+	h.seq++
+	e.Seq = h.seq
+	h.events = append(h.events, e)
+	if len(h.events) > eventBuffer {
+		h.events = h.events[len(h.events)-eventBuffer:]
+	}
+	close(h.wake) // wake every waiter
+	h.wake = make(chan struct{})
+	h.mu.Unlock()
+}
+
+// waitSince returns every event with Seq > since, blocking until one exists
+// or the context ends (returning an empty slice, the long-poll timeout).
+func (h *hub) waitSince(ctx context.Context, since int64) []Event {
+	for {
+		h.mu.Lock()
+		if h.seq > since {
+			var out []Event
+			for _, e := range h.events {
+				if e.Seq > since {
+					out = append(out, e)
+				}
+			}
+			h.mu.Unlock()
+			return out
+		}
+		wake := h.wake
+		h.mu.Unlock()
+		select {
+		case <-wake:
+		case <-ctx.Done():
+			return nil
+		}
+	}
+}
+
+// publishOp emits the events an applied op warrants. Table-level churn is
+// deliberately not evented — it is high-rate and observable via stats.
+func (c *Ctl) publishOp(op *Op, res Result) {
+	switch op.Kind {
+	case OpLoadVDev:
+		c.events.publish(Event{Kind: "load", VDev: op.VDev, Msg: res.Msg})
+	case OpUnload:
+		c.events.publish(Event{Kind: "unload", VDev: op.VDev})
+	case OpSnapshotActivate:
+		c.events.publish(Event{Kind: "snapshot_activate", Name: op.Name})
+	}
+}
+
+// Events returns every event with Seq > since, blocking until at least one
+// exists or ctx ends. Seq 0 starts from the beginning of the buffer.
+func (c *Ctl) Events(ctx context.Context, since int64) []Event {
+	return c.events.waitSince(ctx, since)
+}

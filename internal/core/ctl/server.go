@@ -1,0 +1,171 @@
+package ctl
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// The HTTP surface, stdlib-only JSON over four routes:
+//
+//	POST /v1/write   {"owner": "...", "ops": [Op...]}        -> WriteResponse
+//	GET  /v1/read    ?kind=vdevs|snapshots|stats&vdev=&owner= -> ReadResult
+//	GET  /v1/stats                                            -> {"vdevs": [VDevStats...]}
+//	GET  /v1/events  ?since=N [&wait=seconds]                 -> EventsResponse (long poll)
+//
+// Every write is a WriteBatch — one op is a batch of one — so remote writes
+// get the same atomicity as local ones.
+
+// WriteRequest is the body of POST /v1/write.
+type WriteRequest struct {
+	Owner string `json:"owner"`
+	Ops   []Op   `json:"ops"`
+}
+
+// WriteResponse carries per-op results, or the structured error that rolled
+// the batch back.
+type WriteResponse struct {
+	Results []Result `json:"results,omitempty"`
+	Error   *Error   `json:"error,omitempty"`
+}
+
+// ReadResponse is the body of GET /v1/read.
+type ReadResponse struct {
+	Result *ReadResult `json:"result,omitempty"`
+	Error  *Error      `json:"error,omitempty"`
+}
+
+// StatsResponse is the body of GET /v1/stats.
+type StatsResponse struct {
+	VDevs []statsEntry `json:"vdevs"`
+}
+
+// statsEntry mirrors dpmu.VDevStats with JSON tags.
+type statsEntry struct {
+	VDev    string       `json:"vdev"`
+	Owner   string       `json:"owner,omitempty"`
+	Packets uint64       `json:"packets"`
+	Bytes   uint64       `json:"bytes"`
+	Tables  []tableEntry `json:"tables,omitempty"`
+}
+
+type tableEntry struct {
+	Table   string `json:"table"`
+	Hits    int64  `json:"hits"`
+	Misses  int64  `json:"misses"`
+	Entries int    `json:"entries"`
+}
+
+// EventsResponse is the body of GET /v1/events. Next is the cursor to pass
+// as ?since= on the next poll (unchanged when the poll timed out empty).
+type EventsResponse struct {
+	Events []Event `json:"events"`
+	Next   int64   `json:"next"`
+}
+
+// maxWait bounds the /v1/events long poll.
+const maxWait = 30 * time.Second
+
+// NewServeMux returns the management API handler for a control plane.
+func NewServeMux(c *Ctl) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/write", c.handleWrite)
+	mux.HandleFunc("/v1/read", c.handleRead)
+	mux.HandleFunc("/v1/stats", c.handleStats)
+	mux.HandleFunc("/v1/events", c.handleEvents)
+	return mux
+}
+
+// httpStatus maps error codes onto HTTP statuses.
+func httpStatus(code Code) int {
+	switch code {
+	case CodeNotFound:
+		return http.StatusNotFound
+	case CodePermissionDenied:
+		return http.StatusForbidden
+	case CodeExhausted:
+		return http.StatusTooManyRequests
+	case CodeAlreadyExists:
+		return http.StatusConflict
+	case CodeInternal:
+		return http.StatusInternalServerError
+	}
+	return http.StatusBadRequest
+}
+
+func writeJSON(w http.ResponseWriter, status int, body any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(body)
+}
+
+func (c *Ctl) handleWrite(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	var req WriteRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		e := invalidf("bad request body: %v", err)
+		writeJSON(w, httpStatus(e.Code), WriteResponse{Error: e})
+		return
+	}
+	results, err := c.WriteBatch(req.Owner, req.Ops)
+	if err != nil {
+		ce := asError(err)
+		writeJSON(w, httpStatus(ce.Code), WriteResponse{Error: ce})
+		return
+	}
+	writeJSON(w, http.StatusOK, WriteResponse{Results: results})
+}
+
+func (c *Ctl) handleRead(w http.ResponseWriter, r *http.Request) {
+	q := &Query{Kind: r.URL.Query().Get("kind"), VDev: r.URL.Query().Get("vdev")}
+	res, err := c.Read(r.URL.Query().Get("owner"), q)
+	if err != nil {
+		ce := wrap(err, -1)
+		writeJSON(w, httpStatus(ce.Code), ReadResponse{Error: ce})
+		return
+	}
+	writeJSON(w, http.StatusOK, ReadResponse{Result: res})
+}
+
+func (c *Ctl) handleStats(w http.ResponseWriter, r *http.Request) {
+	all := c.Stats()
+	resp := StatsResponse{VDevs: make([]statsEntry, len(all))}
+	for i, st := range all {
+		e := statsEntry{VDev: st.VDev, Owner: st.Owner, Packets: st.Packets, Bytes: st.Bytes}
+		for _, ts := range st.Tables {
+			e.Tables = append(e.Tables, tableEntry{Table: ts.Table, Hits: ts.Hits, Misses: ts.Misses, Entries: ts.Entries})
+		}
+		resp.VDevs[i] = e
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (c *Ctl) handleEvents(w http.ResponseWriter, r *http.Request) {
+	since, _ := strconv.ParseInt(r.URL.Query().Get("since"), 10, 64)
+	wait := maxWait
+	if s := r.URL.Query().Get("wait"); s != "" {
+		secs, err := strconv.Atoi(s)
+		if err != nil || secs < 0 {
+			writeJSON(w, http.StatusBadRequest, ReadResponse{Error: invalidf("bad wait %q", s)})
+			return
+		}
+		if d := time.Duration(secs) * time.Second; d < wait {
+			wait = d
+		}
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), wait)
+	defer cancel()
+	events := c.Events(ctx, since)
+	next := since
+	for _, e := range events {
+		if e.Seq > next {
+			next = e.Seq
+		}
+	}
+	writeJSON(w, http.StatusOK, EventsResponse{Events: events, Next: next})
+}

@@ -1,0 +1,100 @@
+package dpmu
+
+// Checkpoint/Rollback give the control-plane layer (internal/core/ctl) its
+// batch atomicity: WriteBatch checkpoints the DPMU, applies its ops, and on
+// any failure rolls back so the switch and the DPMU's shadow state are
+// bit-identical to the pre-batch state. The checkpoint deep-copies the DPMU's
+// bookkeeping (virtual devices, their persona-row sets, ID counters,
+// snapshots, assignments) and embeds a sim.SwitchDump of the persona's
+// control-plane state. Compiled programs (VDev.Comp) are immutable after
+// hp4c and are shared, not copied.
+
+import "hyper4/internal/sim"
+
+// Checkpoint is an opaque restore point produced by DPMU.Checkpoint.
+type Checkpoint struct {
+	vdevs       map[string]*VDev
+	nextPID     int
+	nextMatchID int
+	nextMcast   int
+	nextSession int
+	snapshots   map[string][]Assignment
+	active      string
+	assignPEs   []pentry
+	sw          *sim.SwitchDump
+}
+
+func copyPentries(rows []pentry) []pentry {
+	if rows == nil {
+		return nil
+	}
+	return append([]pentry(nil), rows...)
+}
+
+func copyVDev(v *VDev) *VDev {
+	c := &VDev{
+		Name:       v.Name,
+		PID:        v.PID,
+		Owner:      v.Owner,
+		Comp:       v.Comp,
+		Quota:      v.Quota,
+		entries:    make(map[int]*ventry, len(v.entries)),
+		nextHandle: v.nextHandle,
+		static:     copyPentries(v.static),
+		defaults:   make(map[string][]pentry, len(v.defaults)),
+		links:      copyPentries(v.links),
+		vnet:       make(map[int]pentry, len(v.vnet)),
+	}
+	for h, e := range v.entries {
+		c.entries[h] = &ventry{table: e.table, rows: copyPentries(e.rows)}
+	}
+	for t, rows := range v.defaults {
+		c.defaults[t] = copyPentries(rows)
+	}
+	for p, row := range v.vnet {
+		c.vnet[p] = row
+	}
+	return c
+}
+
+// Checkpoint captures the DPMU's full control-plane state (its own
+// bookkeeping plus the persona switch's table state) for a later Rollback.
+func (d *DPMU) Checkpoint() *Checkpoint {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	cp := &Checkpoint{
+		vdevs:       make(map[string]*VDev, len(d.vdevs)),
+		nextPID:     d.nextPID,
+		nextMatchID: d.nextMatchID,
+		nextMcast:   d.nextMcast,
+		nextSession: d.nextSession,
+		snapshots:   make(map[string][]Assignment, len(d.snapshots)),
+		active:      d.active,
+		assignPEs:   copyPentries(d.assignPEs),
+		sw:          d.SW.Dump(),
+	}
+	for name, v := range d.vdevs {
+		cp.vdevs[name] = copyVDev(v)
+	}
+	for name, as := range d.snapshots {
+		cp.snapshots[name] = append([]Assignment(nil), as...)
+	}
+	return cp
+}
+
+// Rollback rewinds the DPMU and its persona switch to a Checkpoint. The
+// checkpoint's copies become live state, so a checkpoint may only be rolled
+// back once; take a fresh one for each batch.
+func (d *DPMU) Rollback(cp *Checkpoint) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.vdevs = cp.vdevs
+	d.nextPID = cp.nextPID
+	d.nextMatchID = cp.nextMatchID
+	d.nextMcast = cp.nextMcast
+	d.nextSession = cp.nextSession
+	d.snapshots = cp.snapshots
+	d.active = cp.active
+	d.assignPEs = cp.assignPEs
+	d.SW.RestoreDump(cp.sw)
+}

@@ -279,10 +279,10 @@ func TestPriorityOrderPreserved(t *testing.T) {
 	if _, err := native.TableAdd("tcp_filter", "_drop", dropAll, nil, 2); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := d.TableAdd("p", "fw", "tcp_filter", "_nop", allow, nil, 1); err != nil {
+	if _, err := d.TableAdd("p", "fw", EntrySpec{Table: "tcp_filter", Action: "_nop", Params: allow, Priority: 1}); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := d.TableAdd("p", "fw", "tcp_filter", "_drop", dropAll, nil, 2); err != nil {
+	if _, err := d.TableAdd("p", "fw", EntrySpec{Table: "tcp_filter", Action: "_drop", Params: dropAll, Priority: 2}); err != nil {
 		t.Fatal(err)
 	}
 	if err := d.AssignPort("p", Assignment{PhysPort: -1, VDev: "fw", VIngress: 1}); err != nil {

@@ -127,7 +127,7 @@ func (d *DPMU) VDev(name string) (*VDev, error) {
 	defer d.mu.RUnlock()
 	v, ok := d.vdevs[name]
 	if !ok {
-		return nil, fmt.Errorf("dpmu: no virtual device %q", name)
+		return nil, fmt.Errorf("dpmu: no virtual device %q: %w", name, ErrNotFound)
 	}
 	return v, nil
 }
@@ -138,10 +138,10 @@ func (d *DPMU) Load(name string, comp *hp4c.Compiled, owner string, quota int) (
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	if _, dup := d.vdevs[name]; dup {
-		return nil, fmt.Errorf("dpmu: virtual device %q already loaded", name)
+		return nil, fmt.Errorf("dpmu: virtual device %q already loaded: %w", name, ErrExists)
 	}
 	if comp.Cfg != d.cfg {
-		return nil, fmt.Errorf("dpmu: program compiled for persona config %+v, switch runs %+v", comp.Cfg, d.cfg)
+		return nil, fmt.Errorf("dpmu: program compiled for persona config %+v, switch runs %+v: %w", comp.Cfg, d.cfg, ErrInvalid)
 	}
 	d.nextPID++
 	v := &VDev{
@@ -193,10 +193,10 @@ func (d *DPMU) Unload(owner, name string) error {
 func (d *DPMU) auth(owner, name string) (*VDev, error) {
 	v, ok := d.vdevs[name]
 	if !ok {
-		return nil, fmt.Errorf("dpmu: no virtual device %q", name)
+		return nil, fmt.Errorf("dpmu: no virtual device %q: %w", name, ErrNotFound)
 	}
 	if v.Owner != "" && owner != v.Owner {
-		return nil, fmt.Errorf("dpmu: %q is not authorized for virtual device %q", owner, name)
+		return nil, fmt.Errorf("dpmu: %q is not authorized for virtual device %q: %w", owner, name, ErrPermission)
 	}
 	return v, nil
 }

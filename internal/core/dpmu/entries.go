@@ -3,6 +3,7 @@ package dpmu
 import (
 	"fmt"
 	"math/big"
+	"sort"
 
 	"hyper4/internal/bitfield"
 	"hyper4/internal/core/hp4c"
@@ -94,8 +95,17 @@ func (d *DPMU) installStatic(v *VDev) error {
 	// Every slot gets a catch-all miss row: it runs the table's declared
 	// default action (zero-argument defaults only; others need SetDefault)
 	// or nothing, and — critically — primes next_table/next_slot so a miss
-	// falls through to the correct successor stage.
-	for table, slots := range v.Comp.Slots {
+	// falls through to the correct successor stage. Tables are visited in
+	// sorted order so match IDs are minted deterministically: two switches
+	// loaded and populated by the same op sequence dump bit-identically,
+	// which the local/remote parity and bench tests rely on.
+	tables := make([]string, 0, len(v.Comp.Slots))
+	for table := range v.Comp.Slots {
+		tables = append(tables, table)
+	}
+	sort.Strings(tables)
+	for _, table := range tables {
+		slots := v.Comp.Slots[table]
 		if len(slots) == 0 {
 			continue
 		}
@@ -131,11 +141,62 @@ func (d *DPMU) installStatic(v *VDev) error {
 	return nil
 }
 
+// EntrySpec is one virtual table entry, as both TableAdd and TableModify
+// accept it: the table and action names in the emulated program's dialect,
+// the match parameters lining up with the table's reads, the action
+// arguments lining up with the action's parameters, and a bmv2-style
+// priority (lower wins) for ternary/LPM tables.
+type EntrySpec struct {
+	Table    string
+	Action   string
+	Params   []sim.MatchParam
+	Args     []bitfield.Value
+	Priority int
+}
+
+// resolveSpec validates an EntrySpec against a device's compiled program and
+// returns the table declaration and compiled action it names.
+func resolveSpec(v *VDev, spec EntrySpec) (*ast.Table, *hp4c.CompiledAction, error) {
+	slots, ok := v.Comp.Slots[spec.Table]
+	if !ok || len(slots) == 0 {
+		return nil, nil, fmt.Errorf("dpmu: program %s has no (reachable) table %q: %w", v.Comp.Name, spec.Table, ErrNotFound)
+	}
+	tbl := v.Comp.Prog.Tables[spec.Table]
+	if len(spec.Params) != len(tbl.Reads) {
+		return nil, nil, fmt.Errorf("dpmu: table %s wants %d match params, got %d: %w", spec.Table, len(tbl.Reads), len(spec.Params), ErrInvalid)
+	}
+	ca, ok := v.Comp.Actions[spec.Action]
+	if !ok {
+		return nil, nil, fmt.Errorf("dpmu: program %s has no action %q: %w", v.Comp.Name, spec.Action, ErrNotFound)
+	}
+	if len(spec.Args) != len(ca.Params) {
+		return nil, nil, fmt.Errorf("dpmu: action %s wants %d args, got %d: %w", spec.Action, len(ca.Params), len(spec.Args), ErrInvalid)
+	}
+	return tbl, ca, nil
+}
+
+// installSpec installs the stage-replica rows realizing one EntrySpec.
+func (d *DPMU) installSpec(v *VDev, tbl *ast.Table, ca *hp4c.CompiledAction, spec EntrySpec, rows *[]pentry) error {
+	for _, slot := range v.Comp.Slots[spec.Table] {
+		if !slotAcceptsEntry(v.Comp, tbl, slot, spec.Params) {
+			continue
+		}
+		if err := d.installReplica(v, slot, tbl, ca, spec.Params, spec.Args, spec.Priority, rows); err != nil {
+			d.removeRows(*rows)
+			return err
+		}
+	}
+	if len(*rows) == 0 {
+		return fmt.Errorf("dpmu: entry matches no parse path of table %q: %w", spec.Table, ErrInvalid)
+	}
+	return nil
+}
+
 // TableAdd installs one virtual entry: the match is replicated into every
 // stage slot of the target table (with the slot's parse-path constraints
 // folded in), and each replica gets a fresh match ID plus the primitive-spec
 // rows realizing the bound action.
-func (d *DPMU) TableAdd(owner, vdev, table, action string, params []sim.MatchParam, args []bitfield.Value, priority int) (int, error) {
+func (d *DPMU) TableAdd(owner, vdev string, spec EntrySpec) (int, error) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	v, err := d.auth(owner, vdev)
@@ -143,36 +204,15 @@ func (d *DPMU) TableAdd(owner, vdev, table, action string, params []sim.MatchPar
 		return 0, err
 	}
 	if v.Quota > 0 && len(v.entries) >= v.Quota {
-		return 0, fmt.Errorf("dpmu: virtual device %q exceeds its quota of %d entries", vdev, v.Quota)
+		return 0, fmt.Errorf("dpmu: virtual device %q exceeds its quota of %d entries: %w", vdev, v.Quota, ErrExhausted)
 	}
-	slots, ok := v.Comp.Slots[table]
-	if !ok || len(slots) == 0 {
-		return 0, fmt.Errorf("dpmu: program %s has no (reachable) table %q", v.Comp.Name, table)
+	tbl, ca, err := resolveSpec(v, spec)
+	if err != nil {
+		return 0, err
 	}
-	tbl := v.Comp.Prog.Tables[table]
-	if len(params) != len(tbl.Reads) {
-		return 0, fmt.Errorf("dpmu: table %s wants %d match params, got %d", table, len(tbl.Reads), len(params))
-	}
-	ca, ok := v.Comp.Actions[action]
-	if !ok {
-		return 0, fmt.Errorf("dpmu: program %s has no action %q", v.Comp.Name, action)
-	}
-	if len(args) != len(ca.Params) {
-		return 0, fmt.Errorf("dpmu: action %s wants %d args, got %d", action, len(ca.Params), len(args))
-	}
-	e := &ventry{table: table}
-	for _, slot := range slots {
-		if !slotAcceptsEntry(v.Comp, tbl, slot, params) {
-			continue
-		}
-		if err := d.installReplica(v, slot, tbl, ca, params, args, priority, &e.rows); err != nil {
-			d.removeRows(e.rows)
-			return 0, err
-		}
-	}
-	if len(e.rows) == 0 {
-		d.removeRows(e.rows)
-		return 0, fmt.Errorf("dpmu: entry matches no parse path of table %q", table)
+	e := &ventry{table: spec.Table}
+	if err := d.installSpec(v, tbl, ca, spec, &e.rows); err != nil {
+		return 0, err
 	}
 	v.nextHandle++
 	v.entries[v.nextHandle] = e
@@ -189,7 +229,7 @@ func (d *DPMU) TableDelete(owner, vdev, table string, handle int) error {
 	}
 	e, ok := v.entries[handle]
 	if !ok || e.table != table {
-		return fmt.Errorf("dpmu: device %s table %s has no entry %d", vdev, table, handle)
+		return fmt.Errorf("dpmu: device %s table %s has no entry %d: %w", vdev, table, handle, ErrNotFound)
 	}
 	d.removeRows(e.rows)
 	delete(v.entries, handle)
@@ -201,7 +241,7 @@ func (d *DPMU) TableDelete(owner, vdev, table string, handle int) error {
 // replaced atomically from the caller's perspective: the new rows are
 // installed under fresh match IDs before the old rows are removed, so live
 // traffic never sees a gap.
-func (d *DPMU) TableModify(owner, vdev, table string, handle int, action string, params []sim.MatchParam, args []bitfield.Value, priority int) error {
+func (d *DPMU) TableModify(owner, vdev string, handle int, spec EntrySpec) error {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	v, err := d.auth(owner, vdev)
@@ -209,29 +249,16 @@ func (d *DPMU) TableModify(owner, vdev, table string, handle int, action string,
 		return err
 	}
 	e, ok := v.entries[handle]
-	if !ok || e.table != table {
-		return fmt.Errorf("dpmu: device %s table %s has no entry %d", vdev, table, handle)
+	if !ok || e.table != spec.Table {
+		return fmt.Errorf("dpmu: device %s table %s has no entry %d: %w", vdev, spec.Table, handle, ErrNotFound)
 	}
-	tbl := v.Comp.Prog.Tables[table]
-	ca, ok := v.Comp.Actions[action]
-	if !ok {
-		return fmt.Errorf("dpmu: program %s has no action %q", v.Comp.Name, action)
-	}
-	if len(args) != len(ca.Params) {
-		return fmt.Errorf("dpmu: action %s wants %d args, got %d", action, len(ca.Params), len(args))
+	tbl, ca, err := resolveSpec(v, spec)
+	if err != nil {
+		return err
 	}
 	var fresh []pentry
-	for _, slot := range v.Comp.Slots[table] {
-		if !slotAcceptsEntry(v.Comp, tbl, slot, params) {
-			continue
-		}
-		if err := d.installReplica(v, slot, tbl, ca, params, args, priority, &fresh); err != nil {
-			d.removeRows(fresh)
-			return err
-		}
-	}
-	if len(fresh) == 0 {
-		return fmt.Errorf("dpmu: modified entry matches no parse path of table %q", table)
+	if err := d.installSpec(v, tbl, ca, spec, &fresh); err != nil {
+		return err
 	}
 	d.removeRows(e.rows)
 	e.rows = fresh
@@ -249,14 +276,14 @@ func (d *DPMU) SetDefault(owner, vdev, table, action string, args []bitfield.Val
 	}
 	slots, ok := v.Comp.Slots[table]
 	if !ok {
-		return fmt.Errorf("dpmu: program %s has no table %q", v.Comp.Name, table)
+		return fmt.Errorf("dpmu: program %s has no table %q: %w", v.Comp.Name, table, ErrNotFound)
 	}
 	ca, ok := v.Comp.Actions[action]
 	if !ok {
-		return fmt.Errorf("dpmu: program %s has no action %q", v.Comp.Name, action)
+		return fmt.Errorf("dpmu: program %s has no action %q: %w", v.Comp.Name, action, ErrNotFound)
 	}
 	if len(args) != len(ca.Params) {
-		return fmt.Errorf("dpmu: action %s wants %d args, got %d", action, len(ca.Params), len(args))
+		return fmt.Errorf("dpmu: action %s wants %d args, got %d: %w", action, len(ca.Params), len(args), ErrInvalid)
 	}
 	if old, ok := v.defaults[table]; ok {
 		d.removeRows(old)
@@ -266,7 +293,7 @@ func (d *DPMU) SetDefault(owner, vdev, table, action string, args []bitfield.Val
 	for _, slot := range slots {
 		if slot.MissAction != "" && slot.MissAction != action {
 			d.removeRows(rows)
-			return fmt.Errorf("dpmu: table %s compiled with default %q; cannot set %q (successor stages differ)", table, slot.MissAction, action)
+			return fmt.Errorf("dpmu: table %s compiled with default %q; cannot set %q (successor stages differ): %w", table, slot.MissAction, action, ErrInvalid)
 		}
 		prio := pathBase(slot.Path) + catchAllOff
 		if err := d.installSlotRow(v, slot, ca, args, prio, slot.Miss, &rows); err != nil {
@@ -406,7 +433,7 @@ func (d *DPMU) matchFor(v *VDev, slot *hp4c.Slot, tbl *ast.Table, params []sim.M
 				mask.Insert(off, m)
 				extraPrio += w - p.PrefixLen
 			default:
-				return nil, 0, fmt.Errorf("dpmu: match kind %s not translatable", p.Kind)
+				return nil, 0, fmt.Errorf("dpmu: match kind %s not translatable: %w", p.Kind, ErrInvalid)
 			}
 		}
 		return []sim.MatchParam{sim.Exact(pid), sim.Exact(bitfield.FromUint(persona.SlotWidth, uint64(slot.ID))), sim.Ternary(value, mask)}, extraPrio, nil
@@ -436,7 +463,7 @@ func (d *DPMU) matchFor(v *VDev, slot *hp4c.Slot, tbl *ast.Table, params []sim.M
 		return []sim.MatchParam{sim.Exact(pid), sim.Exact(bitfield.FromUint(persona.SlotWidth, uint64(slot.ID))), ving, vport}, 0, nil
 
 	case persona.NTMatchless:
-		return nil, 0, fmt.Errorf("dpmu: table %s takes no entries; use SetDefault", tbl.Name)
+		return nil, 0, fmt.Errorf("dpmu: table %s takes no entries; use SetDefault: %w", tbl.Name, ErrInvalid)
 	}
 	return nil, 0, fmt.Errorf("dpmu: bad slot kind %d", slot.Kind)
 }

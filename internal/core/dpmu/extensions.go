@@ -29,13 +29,13 @@ func (d *DPMU) MulticastGroup(owner, vdev string, vport int, targets []VPortRef)
 		return err
 	}
 	if len(targets) == 0 {
-		return fmt.Errorf("dpmu: multicast group needs at least one target")
+		return fmt.Errorf("dpmu: multicast group needs at least one target: %w", ErrInvalid)
 	}
 	pids := make([]int, len(targets))
 	for i, t := range targets {
 		tv, ok := d.vdevs[t.VDev]
 		if !ok {
-			return fmt.Errorf("dpmu: no virtual device %q", t.VDev)
+			return fmt.Errorf("dpmu: no virtual device %q: %w", t.VDev, ErrNotFound)
 		}
 		pids[i] = tv.PID
 	}

@@ -54,7 +54,7 @@ func TestRandomProgramDifferential(t *testing.T) {
 					if _, err := native.TableAdd(tbl.Name, action, params, args, prio); err != nil {
 						t.Fatal(err)
 					}
-					if _, err := d.TableAdd("rp", "dev", tbl.Name, action, cloneParams(params), args, prio); err != nil {
+					if _, err := d.TableAdd("rp", "dev", EntrySpec{Table: tbl.Name, Action: action, Params: cloneParams(params), Args: args, Priority: prio}); err != nil {
 						t.Fatal(err)
 					}
 				}

@@ -116,7 +116,7 @@ func (d *DPMU) linkVPorts(owner, fromDev string, fromPort int, toDev string, toP
 	}
 	to, ok := d.vdevs[toDev]
 	if !ok {
-		return fmt.Errorf("dpmu: no virtual device %q", toDev)
+		return fmt.Errorf("dpmu: no virtual device %q: %w", toDev, ErrNotFound)
 	}
 	params := []sim.MatchParam{
 		sim.ExactUint(persona.ProgramWidth, uint64(from.PID)),
@@ -146,7 +146,7 @@ func (d *DPMU) SaveSnapshot(name string, assignments []Assignment) error {
 	defer d.mu.Unlock()
 	for _, a := range assignments {
 		if _, ok := d.vdevs[a.VDev]; !ok {
-			return fmt.Errorf("dpmu: snapshot %q references unloaded device %q", name, a.VDev)
+			return fmt.Errorf("dpmu: snapshot %q references unloaded device %q: %w", name, a.VDev, ErrNotFound)
 		}
 	}
 	d.snapshots[name] = append([]Assignment(nil), assignments...)
@@ -162,13 +162,13 @@ func (d *DPMU) ActivateSnapshot(name string) error {
 	defer d.mu.Unlock()
 	snap, ok := d.snapshots[name]
 	if !ok {
-		return fmt.Errorf("dpmu: no snapshot %q", name)
+		return fmt.Errorf("dpmu: no snapshot %q: %w", name, ErrNotFound)
 	}
 	d.clearAssignments()
 	for _, a := range snap {
 		v := d.vdevs[a.VDev]
 		if v == nil {
-			return fmt.Errorf("dpmu: snapshot %q references unloaded device %q", name, a.VDev)
+			return fmt.Errorf("dpmu: snapshot %q references unloaded device %q: %w", name, a.VDev, ErrNotFound)
 		}
 		if err := d.assignPort(v.Owner, a); err != nil {
 			return err
@@ -202,7 +202,9 @@ func (d *DPMU) Snapshots() []string {
 // virtual operations (Figure 2(c)).
 func (d *DPMU) Installer(owner, vdev string) func(table, action string, params []sim.MatchParam, args []bitfield.Value, prio int) error {
 	return func(table, action string, params []sim.MatchParam, args []bitfield.Value, prio int) error {
-		_, err := d.TableAdd(owner, vdev, table, action, params, args, prio)
+		_, err := d.TableAdd(owner, vdev, EntrySpec{
+			Table: table, Action: action, Params: params, Args: args, Priority: prio,
+		})
 		return err
 	}
 }

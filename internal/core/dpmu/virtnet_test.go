@@ -333,8 +333,7 @@ func TestIsolation(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Wrong owner is rejected.
-	if _, err := d.TableAdd("mallory", "tenant1", "dmac", "forward",
-		nil, nil, 0); err == nil {
+	if _, err := d.TableAdd("mallory", "tenant1", EntrySpec{Table: "dmac", Action: "forward"}); err == nil {
 		t.Error("foreign owner should be rejected")
 	}
 	if err := d.Unload("mallory", "tenant1"); err == nil {
@@ -408,13 +407,13 @@ func TestTableModify(t *testing.T) {
 		t.Fatal(err)
 	}
 	macVal := bitfield.FromBytes(48, mac2[:])
-	h, err := d.TableAdd("op", "l2", "dmac", "forward",
-		[]sim.MatchParam{sim.Exact(macVal)}, []bitfield.Value{bitfield.FromUint(9, 2)}, 0)
+	h, err := d.TableAdd("op", "l2", EntrySpec{Table: "dmac", Action: "forward",
+		Params: []sim.MatchParam{sim.Exact(macVal)}, Args: []bitfield.Value{bitfield.FromUint(9, 2)}})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := d.TableAdd("op", "l2", "smac", "_nop",
-		[]sim.MatchParam{sim.Exact(bitfield.FromBytes(48, mac1[:]))}, nil, 0); err != nil {
+	if _, err := d.TableAdd("op", "l2", EntrySpec{Table: "smac", Action: "_nop",
+		Params: []sim.MatchParam{sim.Exact(bitfield.FromBytes(48, mac1[:]))}}); err != nil {
 		t.Fatal(err)
 	}
 	if err := d.AssignPort("op", Assignment{PhysPort: -1, VDev: "l2", VIngress: 1}); err != nil {
@@ -433,8 +432,8 @@ func TestTableModify(t *testing.T) {
 	if len(out) != 1 || out[0].Port != 2 {
 		t.Fatalf("before modify: %+v", out)
 	}
-	if err := d.TableModify("op", "l2", "dmac", h, "forward",
-		[]sim.MatchParam{sim.Exact(macVal)}, []bitfield.Value{bitfield.FromUint(9, 7)}, 0); err != nil {
+	if err := d.TableModify("op", "l2", h, EntrySpec{Table: "dmac", Action: "forward",
+		Params: []sim.MatchParam{sim.Exact(macVal)}, Args: []bitfield.Value{bitfield.FromUint(9, 7)}}); err != nil {
 		t.Fatal(err)
 	}
 	out, _, err = d.SW.Process(frame, 1)
@@ -445,8 +444,8 @@ func TestTableModify(t *testing.T) {
 		t.Fatalf("after modify: %+v", out)
 	}
 	// Rebinding to _drop works too.
-	if err := d.TableModify("op", "l2", "dmac", h, "_drop",
-		[]sim.MatchParam{sim.Exact(macVal)}, nil, 0); err != nil {
+	if err := d.TableModify("op", "l2", h, EntrySpec{Table: "dmac", Action: "_drop",
+		Params: []sim.MatchParam{sim.Exact(macVal)}}); err != nil {
 		t.Fatal(err)
 	}
 	out, _, err = d.SW.Process(frame, 1)
@@ -457,13 +456,13 @@ func TestTableModify(t *testing.T) {
 		t.Fatalf("after drop rebind: %+v", out)
 	}
 	// Errors.
-	if err := d.TableModify("op", "l2", "dmac", 999, "_drop", nil, nil, 0); err == nil {
+	if err := d.TableModify("op", "l2", 999, EntrySpec{Table: "dmac", Action: "_drop"}); err == nil {
 		t.Error("bad handle should error")
 	}
-	if err := d.TableModify("op", "l2", "dmac", h, "ghost", nil, nil, 0); err == nil {
+	if err := d.TableModify("op", "l2", h, EntrySpec{Table: "dmac", Action: "ghost"}); err == nil {
 		t.Error("unknown action should error")
 	}
-	if err := d.TableModify("mallory", "l2", "dmac", h, "_drop", nil, nil, 0); err == nil {
+	if err := d.TableModify("mallory", "l2", h, EntrySpec{Table: "dmac", Action: "_drop"}); err == nil {
 		t.Error("foreign modify should error")
 	}
 }
@@ -501,9 +500,9 @@ func TestVirtualNetworkLoopIsBounded(t *testing.T) {
 	if err := d.MapVPort("op", "a", 2, 2); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := d.TableAdd("op", "a", "dmac", "forward",
-		[]sim.MatchParam{sim.Exact(bitfield.FromBytes(48, mac1[:]))},
-		[]bitfield.Value{bitfield.FromUint(9, 2)}, 0); err != nil {
+	if _, err := d.TableAdd("op", "a", EntrySpec{Table: "dmac", Action: "forward",
+		Params: []sim.MatchParam{sim.Exact(bitfield.FromBytes(48, mac1[:]))},
+		Args:   []bitfield.Value{bitfield.FromUint(9, 2)}}); err != nil {
 		t.Fatal(err)
 	}
 	ok := pkt.Pad(pkt.Serialize(&pkt.Ethernet{Dst: mac1, Src: mac2, EtherType: 0x0800}))
