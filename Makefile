@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race lookup-race metrics-smoke api-smoke bench-smoke throughput ci
+.PHONY: all build vet test race lookup-race chaos-race chaos-smoke fuzz-smoke metrics-smoke api-smoke bench-smoke throughput ci
 
 all: ci
 
@@ -20,6 +20,39 @@ race:
 # the race detector (it hammers lookup concurrently-exercised structures).
 lookup-race:
 	$(GO) test -race -run TestLookupDifferential ./internal/sim/
+
+# The end-to-end fault-containment scenario, explicitly under the race
+# detector (concurrent traffic, probes, and management ops on one switch).
+chaos-race:
+	$(GO) test -race -run TestChaosHarness ./internal/core/ctl/
+
+# Chaos smoke: boot the persona switch with seeded fault injection against
+# program 1, drive traffic that panics inside the faulty device's actions,
+# and watch /v1/health walk quarantined -> probing -> healthy. Each health
+# poll advances the time-based breaker transitions, so the polls are part
+# of the choreography: trip at ~1s, open interval 2s, probes at ~5s.
+chaos-smoke:
+	$(GO) build -o /tmp/hp4switch-ci ./cmd/hp4switch
+	$(GO) build -o /tmp/hp4ctl-ci ./cmd/hp4ctl
+	printf 'load l2 l2_switch\nassign 1 l2 1\nmap l2 2 2\nl2 table_add smac _nop 00:00:00:00:00:01\nl2 table_add dmac forward 00:00:00:00:00:02 => 2\n' > /tmp/hp4chaos-ci.cmds
+	{ sleep 1; for i in 1 2 3; do echo "packet 1 0000000000020000000000010800$$(printf '0%.0s' $$(seq 1 100))"; done; \
+	  sleep 4; for i in 1 2; do echo "packet 1 0000000000020000000000010800$$(printf '0%.0s' $$(seq 1 100))"; done; \
+	  sleep 2; echo quit; } | \
+		/tmp/hp4switch-ci -persona -commands /tmp/hp4chaos-ci.cmds -api-addr 127.0.0.1:19192 \
+		-chaos "seed=7,attr=1,panic_every=1,panic_first=3" \
+		-health-window 30s -health-trip 3 -health-open 2s -health-probes 2 > /tmp/hp4chaos-ci.out & \
+	sleep 2; curl -sf http://127.0.0.1:19192/v1/health > /tmp/hp4chaos-ci.h1; \
+	sleep 2; /tmp/hp4ctl-ci -addr http://127.0.0.1:19192 health > /tmp/hp4chaos-ci.h2; \
+	sleep 2; /tmp/hp4ctl-ci -addr http://127.0.0.1:19192 health > /tmp/hp4chaos-ci.h3; wait
+	grep -q '"state":"quarantined"' /tmp/hp4chaos-ci.h1
+	grep -q 'l2: probing' /tmp/hp4chaos-ci.h2
+	grep -q 'l2: healthy faults=3 trips=1' /tmp/hp4chaos-ci.h3
+	@echo chaos smoke ok
+
+# Short fuzz run over the management-script parser: no panics, and every
+# rejection is an ErrUnknown / INVALID_ARGUMENT structured error.
+fuzz-smoke:
+	$(GO) test -run FuzzParseLine -fuzz FuzzParseLine -fuzztime 10s ./internal/core/ctl/
 
 # Metrics smoke: boot the persona switch with the exporter, drive one vdev,
 # and assert both the persona per-table and per-vdev metric families scrape.
@@ -59,8 +92,10 @@ api-smoke:
 bench-smoke:
 	$(GO) test -run xxx -bench Throughput -benchtime 100x .
 
-# Full serial-vs-parallel measurement; writes BENCH_throughput.json.
+# Full serial-vs-parallel measurement; writes BENCH_throughput.json. The
+# -faults row measures the armed-but-idle fault-injection hooks, which must
+# sit within noise of the plain hp4 row.
 throughput:
-	$(GO) run ./cmd/hp4bench -parallel
+	$(GO) run ./cmd/hp4bench -parallel -faults
 
-ci: vet build race lookup-race metrics-smoke api-smoke bench-smoke throughput
+ci: vet build race lookup-race chaos-race chaos-smoke fuzz-smoke metrics-smoke api-smoke bench-smoke throughput

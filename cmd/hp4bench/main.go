@@ -27,6 +27,7 @@ func main() {
 	parallel := flag.Bool("parallel", false, "run the batched-throughput experiment (serial vs ProcessBatch pkts/sec)")
 	throughputPkts := flag.Int("throughput-pkts", 4096, "packets per throughput measurement")
 	throughputJSON := flag.String("throughput-json", "BENCH_throughput.json", "write throughput results to this JSON file (empty = stdout only)")
+	faults := flag.Bool("faults", false, "add an hp4-hooks throughput row (armed-but-idle fault injector) and assert it sits within noise of plain hp4")
 	flag.Parse()
 
 	experiments := []struct {
@@ -52,7 +53,7 @@ func main() {
 		}},
 	}
 	if *parallel || *only == "throughput" {
-		if err := throughput(*throughputPkts, *throughputJSON); err != nil {
+		if err := throughput(*throughputPkts, *throughputJSON, *faults); err != nil {
 			fmt.Fprintf(os.Stderr, "hp4bench throughput: %v\n", err)
 			os.Exit(1)
 		}

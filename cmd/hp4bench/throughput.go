@@ -20,8 +20,9 @@ func printRow(res bench.ThroughputResult) {
 }
 
 // throughput runs the serial-vs-parallel packet throughput experiment and
-// optionally writes the measurements to a JSON file.
-func throughput(pkts int, jsonPath string) error {
+// optionally writes the measurements to a JSON file. With faults, an extra
+// hp4-hooks row measures the armed-but-idle fault-injection hooks.
+func throughput(pkts int, jsonPath string, faults bool) error {
 	fmt.Printf("Throughput: serial Process vs ProcessBatch (%d packets, GOMAXPROCS=%d)\n",
 		pkts, runtime.GOMAXPROCS(0))
 	fmt.Printf("%-12s %-8s %14s %14s %9s %12s %9s %9s %9s %9s\n",
@@ -49,6 +50,18 @@ func throughput(pkts int, jsonPath string) error {
 	}
 	results = append(results, ctlRow)
 	printRow(ctlRow)
+	// With -faults, one more row: the same emulation with a fault injector
+	// armed but injecting nothing, measuring the hooks themselves. The
+	// default (no injector) costs a single nil check, and even the armed
+	// hooks must sit within noise of the plain hp4 row.
+	var hooksRow bench.ThroughputResult
+	if faults {
+		if hooksRow, err = bench.Throughput(functions.L2Switch, bench.HyPer4Hooks, pkts); err != nil {
+			return err
+		}
+		results = append(results, hooksRow)
+		printRow(hooksRow)
+	}
 	for _, res := range results {
 		if res.Function == functions.L2Switch && res.Mode == "hp4" {
 			ratio := ctlRow.SerialNsOp / res.SerialNsOp
@@ -57,6 +70,14 @@ func throughput(pkts int, jsonPath string) error {
 					ctlRow.SerialNsOp, res.SerialNsOp, ratio)
 			}
 			fmt.Printf("ctl-configured l2_switch within noise of hp4 baseline (ratio %.2f)\n", ratio)
+			if faults {
+				ratio := hooksRow.SerialNsOp / res.SerialNsOp
+				if ratio > 2.5 || ratio < 0.4 {
+					return fmt.Errorf("fault-hook l2_switch serial cost %.0f ns/pkt vs %.0f ns/pkt plain hp4 (ratio %.2f, want within [0.4, 2.5])",
+						hooksRow.SerialNsOp, res.SerialNsOp, ratio)
+				}
+				fmt.Printf("armed fault hooks within noise of hp4 baseline (ratio %.2f)\n", ratio)
+			}
 		}
 	}
 	if runtime.GOMAXPROCS(0) == 1 {

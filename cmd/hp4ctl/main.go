@@ -10,7 +10,14 @@
 //	hp4ctl -addr ... -f script.txt            # line-at-a-time, stop on error
 //	hp4ctl -addr ... -batch -f script.txt     # whole script as ONE atomic batch
 //	hp4ctl -addr ... stats l2
+//	hp4ctl -addr ... health                   # circuit-breaker health report
+//	hp4ctl -addr ... reset l2                 # clear a device's quarantine
 //	hp4ctl -addr ... -events                  # follow management events
+//
+// Transport failures are retried with exponential backoff (-retries,
+// -timeout); writes carry a request ID, so a retry after a lost response
+// applies exactly once. The event follower reconnects with backoff rather
+// than dying when the switch restarts.
 //
 // With -batch, every mutating line is collected into a single WriteBatch:
 // either the whole script applies, or the switch is left bit-identical to
@@ -27,6 +34,7 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"hyper4/internal/core/ctl"
 )
@@ -37,9 +45,11 @@ func main() {
 	file := flag.String("f", "", "script file to execute (\"-\" or empty with no args: stdin)")
 	batch := flag.Bool("batch", false, "apply the whole script as one atomic batch")
 	events := flag.Bool("events", false, "follow management events (long poll) until interrupted")
+	timeout := flag.Duration("timeout", 10*time.Second, "per-attempt request timeout")
+	retries := flag.Int("retries", 3, "transport-failure retries (writes dedup by request ID)")
 	flag.Parse()
 
-	client := &ctl.Client{Base: *addr, Owner: *owner}
+	client := &ctl.Client{Base: *addr, Owner: *owner, Timeout: *timeout, Retries: *retries}
 
 	if *events {
 		follow(client)
@@ -134,14 +144,22 @@ func runBatch(client *ctl.Client, lines []string) {
 	}
 }
 
-// follow tails the event stream, printing one line per event.
+// follow tails the event stream, printing one line per event. A broken
+// connection reconnects with capped exponential backoff — the cursor is kept,
+// so no buffered events are missed across a switch restart.
 func follow(client *ctl.Client) {
 	var since int64
+	failures := 0
 	for {
 		events, next, err := client.Events(since, 30)
 		if err != nil {
-			fail(err)
+			delay := time.Duration(1<<min(failures, 5)) * 250 * time.Millisecond
+			fmt.Fprintf(os.Stderr, "hp4ctl: events: %v (retrying in %v)\n", err, delay)
+			time.Sleep(delay)
+			failures++
+			continue
 		}
+		failures = 0
 		for _, e := range events {
 			line := fmt.Sprintf("%d %s", e.Seq, e.Kind)
 			if e.VDev != "" {

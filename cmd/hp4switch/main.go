@@ -16,7 +16,14 @@
 //	stats                       switch counters, pass kinds, latency percentiles
 //	stats table <name>          one table's hit/miss/default counters
 //	stats <vdev>                per-virtual-table stats of a device (persona mode)
+//	health [vdev]               circuit-breaker health (persona mode)
+//	reset <vdev>                force a quarantined device healthy (persona mode)
 //	quit
+//
+// A SIGINT/SIGTERM shuts down gracefully: API writes stop, in-flight work
+// drains, event streams are released, and the process exits 0. The -chaos
+// flag arms deterministic fault injection (internal/chaos) for resilience
+// drills; the -health-* flags tune the per-vdev circuit breakers.
 //
 // With -metrics-addr the same counters are served continuously in Prometheus
 // text format on /metrics, with pprof under /debug/pprof/.
@@ -33,17 +40,23 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"encoding/hex"
 	"flag"
 	"fmt"
 	"net"
 	"net/http"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"sync"
+	"syscall"
+	"time"
 
 	"errors"
 
+	"hyper4/internal/chaos"
 	"hyper4/internal/core/ctl"
 	"hyper4/internal/core/dpmu"
 	"hyper4/internal/core/persona"
@@ -61,6 +74,12 @@ func main() {
 	commands := flag.String("commands", "", "runtime command file to execute at startup")
 	metricsAddr := flag.String("metrics-addr", "", "serve Prometheus metrics and pprof on this address (e.g. 127.0.0.1:9090)")
 	apiAddr := flag.String("api-addr", "", "serve the management API on this address (persona mode, e.g. 127.0.0.1:9191)")
+	chaosSpec := flag.String("chaos", "", "deterministic fault injection spec, e.g. \"seed=1,attr=2,panic_every=4\" (see internal/chaos)")
+	healthWindow := flag.Duration("health-window", 10*time.Second, "circuit breaker: sliding fault window (persona mode)")
+	healthTrip := flag.Int("health-trip", 5, "circuit breaker: faults within the window that trip quarantine")
+	healthOpen := flag.Duration("health-open", 5*time.Second, "circuit breaker: quarantine time before half-open probing")
+	healthProbes := flag.Int("health-probes", 10, "circuit breaker: clean probe passes required to restore")
+	healthPolicy := flag.String("health-policy", "drop", "quarantine policy: drop | bypass")
 	flag.Parse()
 
 	var prog *hlir.Program
@@ -108,10 +127,33 @@ func main() {
 			fmt.Fprintln(os.Stderr, "hp4switch:", err)
 			os.Exit(1)
 		}
+		d.SetHealthConfig(dpmu.HealthConfig{
+			Window:       *healthWindow,
+			TripFaults:   *healthTrip,
+			OpenFor:      *healthOpen,
+			ProbePackets: *healthProbes,
+			Policy:       dpmu.QuarantinePolicy(*healthPolicy),
+		})
 		cp = ctl.New(d)
 		mgmt = ctl.NewCLI(cp, "operator")
 		fmt.Println("persona loaded; DPMU management commands available")
 	}
+	if *chaosSpec != "" {
+		spec, err := chaos.ParseSpec(*chaosSpec)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "hp4switch: -chaos:", err)
+			os.Exit(2)
+		}
+		sw.SetInjector(chaos.New(spec))
+		fmt.Printf("chaos injection armed: %s\n", *chaosSpec)
+	}
+
+	// cmdMu serializes command execution against shutdown: the signal
+	// handler takes it so an in-flight command or script line finishes
+	// before the process exits.
+	var cmdMu sync.Mutex
+	var apiSrv, metricsSrv *http.Server
+
 	if *apiAddr != "" {
 		if cp == nil {
 			fmt.Fprintln(os.Stderr, "hp4switch: -api-addr requires -persona")
@@ -123,8 +165,9 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("management API on http://%s/v1/ (drive with hp4ctl -addr http://%s)\n", ln.Addr(), ln.Addr())
+		apiSrv = &http.Server{Handler: ctl.NewServeMux(cp)}
 		go func() {
-			if err := http.Serve(ln, ctl.NewServeMux(cp)); err != nil {
+			if err := apiSrv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
 				fmt.Fprintln(os.Stderr, "hp4switch: api:", err)
 			}
 		}()
@@ -136,24 +179,52 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("metrics on http://%s/metrics (pprof under /debug/pprof/)\n", ln.Addr())
+		metricsSrv = &http.Server{Handler: newMetricsMux(sw, d)}
 		go func() {
-			if err := http.Serve(ln, newMetricsMux(sw, d)); err != nil {
+			if err := metricsSrv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
 				fmt.Fprintln(os.Stderr, "hp4switch: metrics:", err)
 			}
 		}()
 	}
+
+	// Graceful shutdown on SIGINT/SIGTERM: stop accepting API writes, let
+	// in-flight requests and the current REPL/script command drain, release
+	// event-stream long-polls, then exit 0 — fault containment extends to
+	// the process boundary.
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		s := <-sigc
+		fmt.Fprintf(os.Stderr, "\nhp4switch: %v: draining and shutting down\n", s)
+		if cp != nil {
+			cp.Close() // long-polls return so Shutdown isn't held hostage
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if apiSrv != nil {
+			_ = apiSrv.Shutdown(ctx)
+		}
+		if metricsSrv != nil {
+			_ = metricsSrv.Shutdown(ctx)
+		}
+		cmdMu.Lock() // wait for the in-flight command, then never release
+		os.Exit(0)
+	}()
+
 	if *commands != "" {
 		script, err := os.ReadFile(*commands)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "hp4switch:", err)
 			os.Exit(1)
 		}
+		cmdMu.Lock()
 		var execErr error
 		if mgmt != nil {
 			execErr = mgmt.ExecAll(string(script))
 		} else {
 			execErr = rt.ExecAll(string(script))
 		}
+		cmdMu.Unlock()
 		if execErr != nil {
 			fmt.Fprintln(os.Stderr, "hp4switch:", execErr)
 			os.Exit(ctl.CodeOf(execErr).ExitCode())
@@ -170,7 +241,9 @@ func main() {
 			if line == "quit" || line == "exit" {
 				return
 			}
+			cmdMu.Lock()
 			handle(sw, rt, mgmt, line)
+			cmdMu.Unlock()
 		}
 		fmt.Print("hp4> ")
 	}
@@ -243,6 +316,10 @@ func handle(sw *sim.Switch, rt *runtime.Runtime, mgmt *ctl.CLI, line string) {
 			m := sw.Metrics()
 			fmt.Printf("passes: normal=%d resubmit=%d recirculate=%d clone_i2e=%d clone_e2e=%d\n",
 				m.Passes.Normal, m.Passes.Resubmit, m.Passes.Recirculate, m.Passes.CloneI2E, m.Passes.CloneE2E)
+			if f := m.Faults; f.Total() > 0 || f.QuarantineDrops > 0 {
+				fmt.Printf("faults: panic=%d pass_bound=%d parse=%d pipeline=%d deparse=%d quarantine_drops=%d\n",
+					f.Panic, f.PassBound, f.Parse, f.Pipeline, f.Deparse, f.QuarantineDrops)
+			}
 			if m.Latency.Count > 0 {
 				fmt.Printf("latency: p50=%v p90=%v p99=%v p999=%v\n",
 					m.Latency.Quantile(0.50), m.Latency.Quantile(0.90),

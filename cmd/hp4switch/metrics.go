@@ -23,8 +23,12 @@ import (
 //	hyper4_action_invocations_total{action="..."}
 //	hyper4_pipeline_passes_total{kind="normal"|"resubmit"|...}
 //	hyper4_process_latency_seconds{le="..."} (histogram)
+//	hyper4_packet_faults_total{kind="panic"|"pass_bound"|...}
+//	hyper4_quarantine_drops_total
 //	hyper4_vdev_passes_total / hyper4_vdev_bytes_total{vdev="..."}
 //	hyper4_vdev_table_{hits,misses}_total{vdev="...",table="..."} (persona mode)
+//	hyper4_vdev_health{vdev="..."} (0 healthy, 1 degraded, 2 probing, 3 quarantined)
+//	hyper4_vdev_health_trips_total / hyper4_vdev_faults_total{vdev="..."} (persona mode)
 
 // newMetricsMux builds the HTTP handler for -metrics-addr. d is nil outside
 // persona mode.
@@ -121,6 +125,13 @@ func writeMetrics(w io.Writer, sw *sim.Switch, d *dpmu.DPMU) {
 	fmt.Fprintf(w, "hyper4_process_latency_seconds_sum %g\n", float64(snap.Latency.SumNs)/1e9)
 	fmt.Fprintf(w, "hyper4_process_latency_seconds_count %d\n", snap.Latency.Count)
 
+	fmt.Fprintf(w, "# HELP hyper4_packet_faults_total Contained packet faults by kind.\n# TYPE hyper4_packet_faults_total counter\n")
+	byKind := snap.Faults.ByKind()
+	for _, kind := range sim.FaultKinds() {
+		fmt.Fprintf(w, "hyper4_packet_faults_total{kind=%q} %d\n", string(kind), byKind[kind])
+	}
+	counter("hyper4_quarantine_drops_total", "Passes dropped because their device is quarantined.", snap.Faults.QuarantineDrops)
+
 	if d == nil {
 		return
 	}
@@ -147,4 +158,36 @@ func writeMetrics(w io.Writer, sw *sim.Switch, d *dpmu.DPMU) {
 				escapeLabel(v.VDev), escapeLabel(ts.Table), ts.Misses)
 		}
 	}
+
+	// Scraping health also advances the breaker state machine, so a
+	// monitored switch transitions quarantined → probing → healthy without
+	// any other management traffic.
+	health := d.Health()
+	fmt.Fprintf(w, "# HELP hyper4_vdev_health Circuit-breaker state (0 healthy, 1 degraded, 2 probing, 3 quarantined).\n# TYPE hyper4_vdev_health gauge\n")
+	for _, v := range health.VDevs {
+		fmt.Fprintf(w, "hyper4_vdev_health{vdev=%q} %d\n", escapeLabel(v.VDev), healthValue(v.State))
+	}
+	fmt.Fprintf(w, "# HELP hyper4_vdev_health_trips_total Circuit-breaker trips per virtual device.\n# TYPE hyper4_vdev_health_trips_total counter\n")
+	for _, v := range health.VDevs {
+		fmt.Fprintf(w, "hyper4_vdev_health_trips_total{vdev=%q} %d\n", escapeLabel(v.VDev), v.Trips)
+	}
+	fmt.Fprintf(w, "# HELP hyper4_vdev_faults_total Packet faults attributed to a virtual device.\n# TYPE hyper4_vdev_faults_total counter\n")
+	for _, v := range health.VDevs {
+		fmt.Fprintf(w, "hyper4_vdev_faults_total{vdev=%q} %d\n", escapeLabel(v.VDev), v.Faults)
+	}
+	counter("hyper4_unattributed_faults_total", "Packet faults with no owning virtual device.", health.Unattributed)
+}
+
+// healthValue encodes a breaker state for the hyper4_vdev_health gauge,
+// ordered by severity so alerts can threshold on it.
+func healthValue(s dpmu.HealthState) int {
+	switch s {
+	case dpmu.Degraded:
+		return 1
+	case dpmu.Probing:
+		return 2
+	case dpmu.Quarantined:
+		return 3
+	}
+	return 0
 }

@@ -28,6 +28,11 @@ const (
 	// calls. The data path is identical to HyPer4, so its throughput must
 	// sit within noise of the plain HyPer4 measurement.
 	HyPer4Ctl
+	// HyPer4Hooks is HyPer4 emulation with a fault injector attached whose
+	// spec injects nothing: it measures the cost of the armed injection
+	// hooks themselves, which must sit within noise of plain HyPer4 (a nil
+	// injector — the default — costs a single pointer check).
+	HyPer4Hooks
 )
 
 // String names the mode for labels and sub-benchmarks.
@@ -37,6 +42,8 @@ func (m Mode) String() string {
 		return "native"
 	case HyPer4Ctl:
 		return "hp4-ctl"
+	case HyPer4Hooks:
+		return "hp4-hooks"
 	}
 	return "hp4"
 }

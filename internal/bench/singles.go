@@ -3,6 +3,7 @@ package bench
 import (
 	"fmt"
 
+	"hyper4/internal/chaos"
 	"hyper4/internal/core/dpmu"
 	"hyper4/internal/functions"
 	"hyper4/internal/pkt"
@@ -148,6 +149,14 @@ func routerSwitch(name string, mode Mode) (*sim.Switch, error) {
 func FunctionSwitch(fn string, mode Mode) (*sim.Switch, error) {
 	if mode == HyPer4Ctl {
 		return ctlSwitch("s", fn)
+	}
+	if mode == HyPer4Hooks {
+		sw, err := FunctionSwitch(fn, HyPer4)
+		if err != nil {
+			return nil, err
+		}
+		sw.SetInjector(chaos.New(chaos.Spec{}))
+		return sw, nil
 	}
 	switch fn {
 	case functions.L2Switch:

@@ -1,0 +1,137 @@
+package chaos
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"hyper4/internal/sim"
+)
+
+// The injector must satisfy the sim hook interface.
+var _ sim.Injector = (*Injector)(nil)
+
+func TestParseSpec(t *testing.T) {
+	s, err := ParseSpec("seed=42,attr=2,panic_every=3,panic_first=10,panic_action=a_fwd,miss_every=5,miss_table=dmac,pass_bound=8,delay_every=100,delay=1ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Spec{
+		Seed: 42, Attr: 2,
+		PanicEvery: 3, PanicFirst: 10, PanicAction: "a_fwd",
+		MissEvery: 5, MissTable: "dmac",
+		PassBound: 8, DelayEvery: 100, Delay: time.Millisecond,
+	}
+	if s != want {
+		t.Fatalf("spec = %+v, want %+v", s, want)
+	}
+	if !s.Enabled() {
+		t.Fatal("spec should be enabled")
+	}
+
+	if s, err = ParseSpec(""); err != nil || s.Enabled() {
+		t.Fatalf("empty spec: %+v, %v", s, err)
+	}
+	for _, bad := range []string{"nonsense", "bogus_key=1", "seed=abc", "delay=xyz"} {
+		if _, err := ParseSpec(bad); err == nil {
+			t.Errorf("ParseSpec(%q) should fail", bad)
+		}
+	}
+}
+
+// panicSchedule records which of n sequential matching Action calls panic.
+func panicSchedule(in *Injector, n int) []int {
+	var fired []int
+	for i := 0; i < n; i++ {
+		func() {
+			defer func() {
+				if recover() != nil {
+					fired = append(fired, i)
+				}
+			}()
+			in.Action(1, "a")
+		}()
+	}
+	return fired
+}
+
+func TestDeterministicSchedule(t *testing.T) {
+	spec := Spec{Seed: 7, PanicEvery: 4}
+	a := panicSchedule(New(spec), 400)
+	b := panicSchedule(New(spec), 400)
+	if len(a) == 0 {
+		t.Fatal("schedule fired nothing")
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("same seed, different schedules:\n%v\n%v", a, b)
+	}
+	c := panicSchedule(New(Spec{Seed: 8, PanicEvery: 4}), 400)
+	if reflect.DeepEqual(a, c) {
+		t.Fatal("different seeds produced identical schedules")
+	}
+	// Rate sanity: ~1/4 of calls fire; allow wide slack.
+	if len(a) < 50 || len(a) > 200 {
+		t.Fatalf("rate off: %d/400 fired at every=4", len(a))
+	}
+}
+
+func TestAttrAndActionFilters(t *testing.T) {
+	in := New(Spec{PanicEvery: 1, Attr: 7, PanicAction: "boom"})
+	for i := 0; i < 100; i++ {
+		in.Action(9, "boom") // wrong attr
+		in.Action(7, "fine") // wrong action
+	}
+	if got := in.Stats().Panics; got != 0 {
+		t.Fatalf("filters leaked %d panics", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("matching call should panic")
+		}
+		if got := in.Stats().Panics; got != 1 {
+			t.Fatalf("panics = %d", got)
+		}
+	}()
+	in.Action(7, "boom")
+}
+
+func TestPanicFirstCap(t *testing.T) {
+	in := New(Spec{PanicEvery: 1, PanicFirst: 3})
+	fired := panicSchedule(in, 100)
+	if !reflect.DeepEqual(fired, []int{0, 1, 2}) {
+		t.Fatalf("fired = %v, want first 3 calls exactly", fired)
+	}
+	if got := in.Stats().Panics; got != 3 {
+		t.Fatalf("panics = %d", got)
+	}
+}
+
+func TestForceMissFilters(t *testing.T) {
+	in := New(Spec{MissEvery: 1, MissTable: "dmac"})
+	if in.ForceMiss(1, "smac") {
+		t.Fatal("wrong table forced a miss")
+	}
+	if !in.ForceMiss(1, "dmac") {
+		t.Fatal("matching table should miss at every=1")
+	}
+	if got := in.Stats().Misses; got != 1 {
+		t.Fatalf("misses = %d", got)
+	}
+}
+
+func TestDisabledInjectorDoesNothing(t *testing.T) {
+	in := New(Spec{})
+	for i := 0; i < 100; i++ {
+		in.Action(1, "a")
+		if in.ForceMiss(1, "t") {
+			t.Fatal("zero spec forced a miss")
+		}
+		in.Delay()
+	}
+	if got := in.Stats(); got != (Stats{}) {
+		t.Fatalf("stats = %+v", got)
+	}
+	if in.PassBound() != 0 {
+		t.Fatal("zero spec should not bound passes")
+	}
+}

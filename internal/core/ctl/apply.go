@@ -91,6 +91,12 @@ func (c *Ctl) applyOp(owner string, op *Op) (Result, error) {
 	case OpTableDelete:
 		return Result{}, d.TableDelete(owner, op.VDev, op.Table, op.Handle)
 
+	case OpHealthReset:
+		if err := d.ResetHealth(owner, op.VDev); err != nil {
+			return Result{}, err
+		}
+		return Result{Msg: fmt.Sprintf("health reset for %s", op.VDev)}, nil
+
 	case OpSetDefault:
 		args := op.ArgVals
 		if !op.Parsed {

@@ -78,6 +78,31 @@ func FormatRead(q *Query, res *ReadResult) string {
 			fmt.Fprintf(&b, "\ntable %s: hits=%d misses=%d entries=%d", ts.Table, ts.Hits, ts.Misses, ts.Entries)
 		}
 		return b.String()
+	case "health":
+		h := res.Health
+		var b strings.Builder
+		for i, v := range h.VDevs {
+			if i > 0 {
+				b.WriteByte('\n')
+			}
+			fmt.Fprintf(&b, "%s: %s faults=%d trips=%d", v.VDev, v.State, v.Faults, v.Trips)
+			if v.State == "probing" {
+				fmt.Fprintf(&b, " probes_left=%d", v.ProbesLeft)
+			}
+			if v.Bypassed {
+				b.WriteString(" bypassed")
+			}
+			if v.LastKind != "" {
+				fmt.Fprintf(&b, " last=%s", v.LastKind)
+			}
+		}
+		if h.Unattributed > 0 {
+			if b.Len() > 0 {
+				b.WriteByte('\n')
+			}
+			fmt.Fprintf(&b, "unattributed faults: %d", h.Unattributed)
+		}
+		return b.String()
 	}
 	return ""
 }

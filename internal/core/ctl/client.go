@@ -2,16 +2,28 @@ package ctl
 
 import (
 	"bytes"
+	"crypto/rand"
+	"encoding/hex"
 	"encoding/json"
 	"fmt"
+	"io"
+	mrand "math/rand/v2"
 	"net/http"
 	"net/url"
+	"time"
 )
 
 // Client speaks the management API from another process — the remote half of
 // the one-code-path story: hp4ctl parses script lines with the same
 // ParseLine the REPL uses, ships the Ops here, and formats the identical
 // Results.
+//
+// Transport failures (connection refused, timeouts, truncated responses) are
+// retried with exponential backoff and jitter. Every Write carries a random
+// request ID, and the server remembers recent outcomes by ID, so a retry
+// after a lost response replays the original result instead of applying the
+// batch twice. Structured errors are never retried — they prove the server
+// processed the request.
 type Client struct {
 	// Base is the service root, e.g. "http://127.0.0.1:9191".
 	Base string
@@ -19,13 +31,92 @@ type Client struct {
 	Owner string
 	// HTTP overrides the transport (nil = http.DefaultClient).
 	HTTP *http.Client
+
+	// Timeout bounds each attempt (0 = no deadline). Events extends it by
+	// the long-poll wait, so a poll is never cut short by its own design.
+	Timeout time.Duration
+	// Retries is how many extra attempts follow a transport failure
+	// (0 = fail on the first).
+	Retries int
+	// Backoff is the delay before the first retry, doubling per attempt
+	// with jitter (0 = 100ms).
+	Backoff time.Duration
 }
 
-func (c *Client) client() *http.Client {
-	if c.HTTP != nil {
-		return c.HTTP
+// client returns the transport with the per-attempt deadline applied.
+// extraWait widens it (long polls must not be cut short by their own
+// design). http.Client.Timeout covers the whole exchange, body read
+// included, so decode can't hang either.
+func (c *Client) client(extraWait time.Duration) *http.Client {
+	base := c.HTTP
+	if base == nil {
+		base = http.DefaultClient
 	}
-	return http.DefaultClient
+	if c.Timeout <= 0 {
+		return base
+	}
+	cl := *base
+	cl.Timeout = c.Timeout + extraWait
+	return &cl
+}
+
+// newRequestID mints a random write-idempotency token.
+func newRequestID() string {
+	var b [16]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// crypto/rand failing is effectively fatal elsewhere; degrade to
+		// no dedup rather than crash the control plane.
+		return ""
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// backoffDelay returns the sleep before retry number attempt (0-based):
+// exponential with full jitter below the cap, so concurrent clients
+// recovering from the same outage don't stampede in lockstep.
+func (c *Client) backoffDelay(attempt int) time.Duration {
+	base := c.Backoff
+	if base <= 0 {
+		base = 100 * time.Millisecond
+	}
+	d := base << uint(attempt)
+	if lim := 5 * time.Second; d > lim || d <= 0 {
+		d = lim
+	}
+	return d/2 + time.Duration(mrand.Int64N(int64(d/2)+1))
+}
+
+// do runs one HTTP attempt with the per-attempt deadline. extraWait widens
+// the deadline (long polls).
+func (c *Client) do(method, u string, body []byte, extraWait time.Duration) (*http.Response, error) {
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequest(method, u, rd)
+	if err != nil {
+		return nil, err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	return c.client(extraWait).Do(req)
+}
+
+// roundTrip runs an attempt-with-retries loop: fn performs one attempt and
+// reports whether its failure is retryable (transport errors and truncated
+// responses are; structured server errors are not).
+func (c *Client) roundTrip(fn func() (retryable bool, err error)) error {
+	for attempt := 0; ; attempt++ {
+		retryable, err := fn()
+		if err == nil {
+			return nil
+		}
+		if !retryable || attempt >= c.Retries {
+			return err
+		}
+		time.Sleep(c.backoffDelay(attempt))
+	}
 }
 
 // decodeError surfaces a response's structured error, preserving its code.
@@ -36,25 +127,35 @@ func decodeError(e *Error, status int) error {
 	return &Error{Code: CodeInternal, Op: -1, Msg: fmt.Sprintf("server returned HTTP %d without a structured error", status)}
 }
 
-// Write applies ops atomically as one batch.
+// Write applies ops atomically as one batch. Transport-level retries reuse
+// one request ID, so the batch applies exactly once even if a response is
+// lost mid-retry.
 func (c *Client) Write(ops []Op) ([]Result, error) {
-	body, err := json.Marshal(WriteRequest{Owner: c.Owner, Ops: ops})
+	body, err := json.Marshal(WriteRequest{Owner: c.Owner, RequestID: newRequestID(), Ops: ops})
 	if err != nil {
 		return nil, err
 	}
-	resp, err := c.client().Post(c.Base+"/v1/write", "application/json", bytes.NewReader(body))
+	var results []Result
+	err = c.roundTrip(func() (bool, error) {
+		resp, err := c.do(http.MethodPost, c.Base+"/v1/write", body, 0)
+		if err != nil {
+			return true, err
+		}
+		defer resp.Body.Close()
+		var wr WriteResponse
+		if err := json.NewDecoder(resp.Body).Decode(&wr); err != nil {
+			return true, fmt.Errorf("decoding write response: %w", err)
+		}
+		if resp.StatusCode != http.StatusOK || wr.Error != nil {
+			return false, decodeError(wr.Error, resp.StatusCode)
+		}
+		results = wr.Results
+		return false, nil
+	})
 	if err != nil {
 		return nil, err
 	}
-	defer resp.Body.Close()
-	var wr WriteResponse
-	if err := json.NewDecoder(resp.Body).Decode(&wr); err != nil {
-		return nil, fmt.Errorf("decoding write response: %w", err)
-	}
-	if resp.StatusCode != http.StatusOK || wr.Error != nil {
-		return nil, decodeError(wr.Error, resp.StatusCode)
-	}
-	return wr.Results, nil
+	return results, nil
 }
 
 // Read answers one query.
@@ -63,47 +164,69 @@ func (c *Client) Read(q *Query) (*ReadResult, error) {
 	if q.VDev != "" {
 		vals.Set("vdev", q.VDev)
 	}
-	resp, err := c.client().Get(c.Base + "/v1/read?" + vals.Encode())
+	var result *ReadResult
+	err := c.roundTrip(func() (bool, error) {
+		resp, err := c.do(http.MethodGet, c.Base+"/v1/read?"+vals.Encode(), nil, 0)
+		if err != nil {
+			return true, err
+		}
+		defer resp.Body.Close()
+		var rr ReadResponse
+		if err := json.NewDecoder(resp.Body).Decode(&rr); err != nil {
+			return true, fmt.Errorf("decoding read response: %w", err)
+		}
+		if resp.StatusCode != http.StatusOK || rr.Error != nil {
+			return false, decodeError(rr.Error, resp.StatusCode)
+		}
+		result = rr.Result
+		return false, nil
+	})
 	if err != nil {
 		return nil, err
 	}
-	defer resp.Body.Close()
-	var rr ReadResponse
-	if err := json.NewDecoder(resp.Body).Decode(&rr); err != nil {
-		return nil, fmt.Errorf("decoding read response: %w", err)
-	}
-	if resp.StatusCode != http.StatusOK || rr.Error != nil {
-		return nil, decodeError(rr.Error, resp.StatusCode)
-	}
-	return rr.Result, nil
+	return result, nil
+}
+
+// Health fetches the circuit-breaker health report ("" = every device).
+func (c *Client) Health(vdev string) (*ReadResult, error) {
+	return c.Read(&Query{Kind: "health", VDev: vdev})
 }
 
 // Stats fetches the operator-level per-device statistics.
 func (c *Client) Stats() (*StatsResponse, error) {
-	resp, err := c.client().Get(c.Base + "/v1/stats")
+	var sr StatsResponse
+	err := c.roundTrip(func() (bool, error) {
+		resp, err := c.do(http.MethodGet, c.Base+"/v1/stats", nil, 0)
+		if err != nil {
+			return true, err
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return false, &Error{Code: CodeInternal, Op: -1, Msg: fmt.Sprintf("stats returned HTTP %d", resp.StatusCode)}
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&sr); err != nil {
+			return true, fmt.Errorf("decoding stats response: %w", err)
+		}
+		return false, nil
+	})
 	if err != nil {
 		return nil, err
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		return nil, &Error{Code: CodeInternal, Op: -1, Msg: fmt.Sprintf("stats returned HTTP %d", resp.StatusCode)}
-	}
-	var sr StatsResponse
-	if err := json.NewDecoder(resp.Body).Decode(&sr); err != nil {
-		return nil, fmt.Errorf("decoding stats response: %w", err)
 	}
 	return &sr, nil
 }
 
 // Events long-polls for events after since, returning the events (possibly
 // none, on timeout) and the next cursor. waitSecs bounds the server-side
-// wait (0 = server default).
+// wait (0 = server default). Events does not retry: followers own their
+// reconnect policy, and a blind retry here would double the poll latency.
 func (c *Client) Events(since int64, waitSecs int) ([]Event, int64, error) {
 	vals := url.Values{"since": {fmt.Sprint(since)}}
+	wait := maxWait
 	if waitSecs > 0 {
 		vals.Set("wait", fmt.Sprint(waitSecs))
+		wait = time.Duration(waitSecs) * time.Second
 	}
-	resp, err := c.client().Get(c.Base + "/v1/events?" + vals.Encode())
+	resp, err := c.do(http.MethodGet, c.Base+"/v1/events?"+vals.Encode(), nil, wait)
 	if err != nil {
 		return nil, since, err
 	}

@@ -1,6 +1,7 @@
 package ctl
 
 import (
+	"fmt"
 	"sort"
 	"sync"
 
@@ -17,16 +18,43 @@ type Ctl struct {
 	// wmu serializes writes: a batch's checkpoint-apply-rollback span must
 	// not interleave with another writer (readers are unaffected — the DPMU
 	// and switch have their own locks, and rollback restores a consistent
-	// snapshot).
+	// snapshot). It also guards the request-ID dedup ring below.
 	wmu sync.Mutex
+
+	// Request-ID dedup (idempotent retries): a retried WriteBatch carrying
+	// the same request ID replays the stored outcome instead of applying the
+	// ops twice. The ring keeps the last dedupWindow outcomes.
+	dedup     map[string]*writeOutcome
+	dedupRing []string
 
 	events *hub
 }
 
-// New builds a control plane over a DPMU.
-func New(d *dpmu.DPMU) *Ctl {
-	return &Ctl{D: d, events: newHub()}
+// dedupWindow bounds the remembered write outcomes. A client retrying from
+// further back than this re-applies (retries happen within seconds; the
+// window is generous).
+const dedupWindow = 128
+
+// writeOutcome is one remembered WriteBatch result, replayed on retry.
+type writeOutcome struct {
+	results []Result
+	err     *Error
 }
+
+// New builds a control plane over a DPMU. Breaker transitions surface on the
+// event stream as "health" events.
+func New(d *dpmu.DPMU) *Ctl {
+	c := &Ctl{D: d, dedup: map[string]*writeOutcome{}, events: newHub()}
+	d.SetHealthNotify(func(vdev string, state dpmu.HealthState) {
+		c.events.publish(Event{Kind: "health", VDev: vdev, Msg: string(state)})
+	})
+	return c
+}
+
+// Close shuts the control plane's event stream down: blocked long-polls
+// return immediately and future polls return no events. Writes and reads
+// keep working (shutdown drains them separately).
+func (c *Ctl) Close() { c.events.close() }
 
 // Apply validates and applies one op as owner. Single ops need no
 // checkpoint: every DPMU operation already cleans up its own partial rows on
@@ -48,8 +76,41 @@ func (c *Ctl) Apply(owner string, op *Op) (Result, error) {
 // bit-identical to the pre-batch state. The returned error carries the
 // failing op's index and code; on success one Result per op is returned.
 func (c *Ctl) WriteBatch(owner string, ops []Op) ([]Result, error) {
+	return c.WriteBatchID(owner, "", ops)
+}
+
+// WriteBatchID is WriteBatch with idempotency: a non-empty requestID that
+// matches a recently applied batch replays that batch's outcome — results or
+// error — without touching the DPMU, so a client retrying after a lost
+// response applies its ops exactly once. An empty requestID never dedups.
+func (c *Ctl) WriteBatchID(owner, requestID string, ops []Op) ([]Result, error) {
 	c.wmu.Lock()
 	defer c.wmu.Unlock()
+	if requestID != "" {
+		if prev, ok := c.dedup[requestID]; ok {
+			if prev.err != nil {
+				return nil, prev.err
+			}
+			return prev.results, nil
+		}
+	}
+	results, err := c.writeBatchLocked(owner, ops)
+	if requestID != "" {
+		out := &writeOutcome{results: results}
+		if err != nil {
+			out.err = asError(err)
+		}
+		if len(c.dedupRing) >= dedupWindow {
+			delete(c.dedup, c.dedupRing[0])
+			c.dedupRing = c.dedupRing[1:]
+		}
+		c.dedup[requestID] = out
+		c.dedupRing = append(c.dedupRing, requestID)
+	}
+	return results, err
+}
+
+func (c *Ctl) writeBatchLocked(owner string, ops []Op) ([]Result, error) {
 	for i := range ops {
 		if err := validateOp(&ops[i]); err != nil {
 			return nil, wrap(err, i)
@@ -109,6 +170,10 @@ func validateOp(op *Op) error {
 		if op.VDev == "" || op.Table == "" || op.Handle <= 0 {
 			return invalidf("table_delete wants a device, table and handle")
 		}
+	case OpHealthReset:
+		if op.VDev == "" {
+			return invalidf("health_reset wants a device name")
+		}
 	case OpClearAssignments, OpMeterTick:
 		// No payload.
 	default:
@@ -119,10 +184,11 @@ func validateOp(op *Op) error {
 
 // ReadResult is the payload of a Query.
 type ReadResult struct {
-	VDevs     []string        `json:"vdevs,omitempty"`
-	Snapshots []string        `json:"snapshots,omitempty"`
-	Active    string          `json:"active,omitempty"`
-	Stats     *dpmu.VDevStats `json:"stats,omitempty"`
+	VDevs     []string             `json:"vdevs,omitempty"`
+	Snapshots []string             `json:"snapshots,omitempty"`
+	Active    string               `json:"active,omitempty"`
+	Stats     *dpmu.VDevStats      `json:"stats,omitempty"`
+	Health    *dpmu.HealthSnapshot `json:"health,omitempty"`
 }
 
 // Read answers one read-only query as owner. Per-device stats apply the same
@@ -139,6 +205,21 @@ func (c *Ctl) Read(owner string, q *Query) (*ReadResult, error) {
 			return nil, wrap(err, -1)
 		}
 		return &ReadResult{Stats: &st}, nil
+	case "health":
+		// Querying advances the breaker state machine (SyncHealth runs
+		// inside Health), so polling health is also what drives time-based
+		// quarantine → probing → healthy transitions.
+		snap := c.D.Health()
+		if q.VDev != "" {
+			for _, v := range snap.VDevs {
+				if v.VDev == q.VDev {
+					snap.VDevs = []dpmu.VDevHealth{v}
+					return &ReadResult{Health: &snap}, nil
+				}
+			}
+			return nil, wrap(fmt.Errorf("no health record for %q: %w", q.VDev, dpmu.ErrNotFound), -1)
+		}
+		return &ReadResult{Health: &snap}, nil
 	}
 	return nil, wrap(invalidf("unknown query kind %q", q.Kind), -1)
 }

@@ -6,14 +6,15 @@ import (
 )
 
 // Event is one management-plane notification: devices coming and going,
-// snapshots flipping. Seq increases by one per event, so a long-polling
-// client resumes from the last Seq it saw without gaps.
+// snapshots flipping, circuit breakers transitioning. Seq increases by one
+// per event, so a long-polling client resumes from the last Seq it saw
+// without gaps.
 type Event struct {
 	Seq  int64  `json:"seq"`
-	Kind string `json:"kind"` // "load", "unload", "snapshot_activate"
+	Kind string `json:"kind"` // "load", "unload", "snapshot_activate", "health", "health_reset"
 	VDev string `json:"vdev,omitempty"`
 	Name string `json:"name,omitempty"` // snapshot name
-	Msg  string `json:"msg,omitempty"`
+	Msg  string `json:"msg,omitempty"`  // for "health": the new breaker state
 }
 
 // eventBuffer bounds the replay window; a client further behind than this
@@ -26,6 +27,7 @@ type hub struct {
 	events []Event // last eventBuffer events, oldest first
 	seq    int64   // seq of the newest published event
 	wake   chan struct{}
+	closed bool
 }
 
 func newHub() *hub {
@@ -34,6 +36,10 @@ func newHub() *hub {
 
 func (h *hub) publish(e Event) {
 	h.mu.Lock()
+	if h.closed {
+		h.mu.Unlock()
+		return
+	}
 	h.seq++
 	e.Seq = h.seq
 	h.events = append(h.events, e)
@@ -45,8 +51,20 @@ func (h *hub) publish(e Event) {
 	h.mu.Unlock()
 }
 
-// waitSince returns every event with Seq > since, blocking until one exists
-// or the context ends (returning an empty slice, the long-poll timeout).
+// close releases every blocked waiter (graceful shutdown): pending events
+// still drain, then polls return empty immediately instead of hanging.
+func (h *hub) close() {
+	h.mu.Lock()
+	if !h.closed {
+		h.closed = true
+		close(h.wake)
+	}
+	h.mu.Unlock()
+}
+
+// waitSince returns every event with Seq > since, blocking until one exists,
+// the context ends, or the hub closes (the latter two return the long-poll
+// timeout shape: an empty slice).
 func (h *hub) waitSince(ctx context.Context, since int64) []Event {
 	for {
 		h.mu.Lock()
@@ -59,6 +77,10 @@ func (h *hub) waitSince(ctx context.Context, since int64) []Event {
 			}
 			h.mu.Unlock()
 			return out
+		}
+		if h.closed {
+			h.mu.Unlock()
+			return nil
 		}
 		wake := h.wake
 		h.mu.Unlock()
@@ -80,6 +102,8 @@ func (c *Ctl) publishOp(op *Op, res Result) {
 		c.events.publish(Event{Kind: "unload", VDev: op.VDev})
 	case OpSnapshotActivate:
 		c.events.publish(Event{Kind: "snapshot_activate", Name: op.Name})
+	case OpHealthReset:
+		c.events.publish(Event{Kind: "health_reset", VDev: op.VDev})
 	}
 }
 

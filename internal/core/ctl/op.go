@@ -24,6 +24,7 @@ const (
 	OpTableModify      OpKind = "table_modify"
 	OpTableDelete      OpKind = "table_delete"
 	OpSetDefault       OpKind = "set_default"
+	OpHealthReset      OpKind = "health_reset"
 )
 
 // Target is one virtual multicast destination.
@@ -103,6 +104,6 @@ type Result struct {
 // Query is one read-only request — the read half of the API, kept separate
 // from Op so WriteBatch stays all-mutating.
 type Query struct {
-	Kind string `json:"kind"` // "vdevs", "stats", "snapshots"
+	Kind string `json:"kind"` // "vdevs", "stats", "snapshots", "health"
 	VDev string `json:"vdev,omitempty"`
 }

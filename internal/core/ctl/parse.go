@@ -24,6 +24,7 @@ import (
 //	meter_tick
 //	snapshot_save <name> <port:vdev:vingress>...
 //	snapshot_activate <name>
+//	reset <vdev>
 //
 // Virtual table operations (translated, §3.1):
 //
@@ -37,6 +38,7 @@ import (
 //	vdevs
 //	snapshots
 //	stats <vdev>
+//	health [vdev]
 //
 // Match tokens use the emulated program's own field widths and kinds, in the
 // same syntax as internal/sim/runtime; they are parsed against the program
@@ -192,6 +194,12 @@ func ParseLine(line string) (*Op, *Query, error) {
 		}
 		return &Op{Kind: OpSnapshotActivate, Name: args[0]}, nil, nil
 
+	case "reset":
+		if len(args) != 1 {
+			return nil, nil, invalidf("reset wants <vdev>")
+		}
+		return &Op{Kind: OpHealthReset, VDev: args[0]}, nil, nil
+
 	case "vdevs":
 		return nil, &Query{Kind: "vdevs"}, nil
 
@@ -203,6 +211,16 @@ func ParseLine(line string) (*Op, *Query, error) {
 			return nil, nil, invalidf("stats wants <vdev>")
 		}
 		return nil, &Query{Kind: "stats", VDev: args[0]}, nil
+
+	case "health":
+		if len(args) > 1 {
+			return nil, nil, invalidf("health wants at most one <vdev>")
+		}
+		q := &Query{Kind: "health"}
+		if len(args) == 1 {
+			q.VDev = args[0]
+		}
+		return nil, q, nil
 	}
 
 	// "<vdev> table_add ..." — any first token followed by a table op.

@@ -1,0 +1,77 @@
+package ctl
+
+import (
+	"errors"
+	"testing"
+)
+
+// FuzzParseLine hammers the shared script dialect: whatever the input, the
+// parser must not panic, must never return an Op and a Query together, and
+// every error must be classifiable — INVALID_ARGUMENT for malformed dialect
+// lines or ErrUnknown for lines outside the dialect (the REPL's fall-through
+// to raw switch commands depends on that contract).
+func FuzzParseLine(f *testing.F) {
+	// One seed per documented command form, plus edge shapes.
+	seeds := []string{
+		"",
+		"# comment",
+		"   ",
+		"load l2 l2_switch",
+		"load l2 l2_switch 100",
+		"load l2",
+		"unload l2",
+		"assign 1 l2 1",
+		"assign any l2 1",
+		"assign x l2 1",
+		"clear_assignments",
+		"map l2 2 2",
+		"link arp 10 fw 1",
+		"mcast rep 5 a:1 b:2",
+		"ratelimit l2 1000 2000",
+		"meter_tick",
+		"snapshot_save day 1:l2:1 any:fw:2",
+		"snapshot_activate day",
+		"reset l2",
+		"vdevs",
+		"snapshots",
+		"stats l2",
+		"health",
+		"health l2",
+		"l2 table_add dmac forward 00:00:00:00:00:02 => 2",
+		"l2 table_add nat translate 10.0.0.0/24 => 192.168.0.1 10",
+		"l2 table_delete dmac 3",
+		"l2 table_modify dmac 3 forward 00:00:00:00:00:02 => 4",
+		"l2 table_set_default dmac broadcast",
+		"l2 table_set_default dmac forward 2",
+		"l2 table_bogus x y",
+		"register_read r 0",
+		"mirroring_add 1 1",
+		"=> => =>",
+		"load \x00 \xff",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, line string) {
+		op, q, err := ParseLine(line)
+		if err != nil {
+			if op != nil || q != nil {
+				t.Fatalf("error with non-nil result: %v / %+v %+v", err, op, q)
+			}
+			if !errors.Is(err, ErrUnknown) && CodeOf(err) != CodeInvalidArgument {
+				t.Fatalf("unclassified parse error for %q: %v (code %v)", line, err, CodeOf(err))
+			}
+			return
+		}
+		if op != nil && q != nil {
+			t.Fatalf("line %q produced both an op and a query", line)
+		}
+		if op != nil {
+			// A parsed op must be structurally valid or rejected with a
+			// structured error — validateOp must not panic on parser output.
+			if verr := validateOp(op); verr != nil && CodeOf(verr) != CodeInvalidArgument {
+				t.Fatalf("validate of parsed op %q: %v", line, verr)
+			}
+		}
+	})
+}

@@ -1,0 +1,178 @@
+package ctl
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func loadOps() []Op {
+	return []Op{
+		{Kind: OpLoadVDev, VDev: "l2", Function: "l2_switch"},
+		{Kind: OpAssign, VDev: "l2", PhysPort: 1, VIngress: 1},
+	}
+}
+
+func TestWriteBatchIDDedup(t *testing.T) {
+	c := newPersonaCtl(t)
+	first, err := c.WriteBatchID("op", "rid-1", loadOps())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The retry replays the stored outcome: same results, and crucially the
+	// ops are NOT re-applied (a real second load would be ALREADY_EXISTS).
+	second, err := c.WriteBatchID("op", "rid-1", loadOps())
+	if err != nil {
+		t.Fatalf("replay errored: %v", err)
+	}
+	if len(second) != len(first) || second[0].PID != first[0].PID {
+		t.Fatalf("replay diverged: %+v vs %+v", second, first)
+	}
+	if got := c.D.VDevs(); len(got) != 1 {
+		t.Fatalf("vdevs after replay: %v", got)
+	}
+
+	// Error outcomes replay too — and stay errors.
+	bad := []Op{{Kind: OpLoadVDev, VDev: "l2", Function: "l2_switch"}}
+	_, err1 := c.WriteBatchID("op", "rid-2", bad)
+	_, err2 := c.WriteBatchID("op", "rid-2", bad)
+	if err1 == nil || err2 == nil || err1.Error() != err2.Error() {
+		t.Fatalf("error replay: %v vs %v", err1, err2)
+	}
+	if CodeOf(err2) != CodeAlreadyExists {
+		t.Fatalf("replayed code = %v", CodeOf(err2))
+	}
+
+	// A fresh request ID applies fresh.
+	if _, err := c.WriteBatchID("op", "rid-3", bad); CodeOf(err) != CodeAlreadyExists {
+		t.Fatalf("fresh id should re-apply: %v", err)
+	}
+
+	// Empty ID never dedups: the same no-op batch succeeds repeatedly.
+	for i := 0; i < 2; i++ {
+		if _, err := c.WriteBatchID("op", "", []Op{{Kind: OpMeterTick}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestDedupRingEviction(t *testing.T) {
+	c := newPersonaCtl(t)
+	for i := 0; i < dedupWindow+10; i++ {
+		if _, err := c.WriteBatchID("op", "rid-"+string(rune('a'+i%26))+"-"+string(rune('0'+i/26)), []Op{{Kind: OpMeterTick}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(c.dedup) > dedupWindow || len(c.dedupRing) > dedupWindow {
+		t.Fatalf("ring grew unbounded: %d ids", len(c.dedup))
+	}
+}
+
+// TestRetriedWriteAppliesOnce is the acceptance scenario: the server applies
+// a write but the response is lost; the client's transport retry carries the
+// same request ID and receives the original results without a double apply.
+func TestRetriedWriteAppliesOnce(t *testing.T) {
+	c := newPersonaCtl(t)
+	mux := NewServeMux(c)
+	var drops atomic.Int64
+	drops.Store(1)
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method == http.MethodPost && drops.Add(-1) >= 0 {
+			// Process the write for real, then kill the connection before
+			// any response bytes leave — the classic lost-ack failure.
+			rec := httptest.NewRecorder()
+			mux.ServeHTTP(rec, r)
+			panic(http.ErrAbortHandler)
+		}
+		mux.ServeHTTP(w, r)
+	}))
+	t.Cleanup(srv.Close)
+
+	client := &Client{Base: srv.URL, Owner: "op", Retries: 3, Backoff: time.Millisecond, Timeout: 5 * time.Second}
+	results, err := client.Write(loadOps())
+	if err != nil {
+		t.Fatalf("retried write failed: %v", err)
+	}
+	if len(results) != 2 || results[0].PID != 1 {
+		t.Fatalf("results: %+v", results)
+	}
+	if got := c.D.VDevs(); len(got) != 1 || got[0] != "l2" {
+		t.Fatalf("vdevs after retried write: %v", got)
+	}
+}
+
+func TestClientRetriesExhaust(t *testing.T) {
+	// Nothing listens here; every attempt is a transport error.
+	client := &Client{Base: "http://127.0.0.1:1", Owner: "op", Retries: 2, Backoff: time.Millisecond}
+	start := time.Now()
+	if _, err := client.Write([]Op{{Kind: OpMeterTick}}); err == nil {
+		t.Fatal("write against dead server succeeded")
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("retries took %v", elapsed)
+	}
+}
+
+func TestHealthSurface(t *testing.T) {
+	c, client := serveCtl(t)
+	if _, err := c.WriteBatch("op", loadOps()); err != nil {
+		t.Fatal(err)
+	}
+
+	// Remote health query.
+	rr, err := client.Health("")
+	if err != nil || rr.Health == nil {
+		t.Fatalf("health: %+v, %v", rr, err)
+	}
+	if len(rr.Health.VDevs) != 1 || rr.Health.VDevs[0].State != "healthy" {
+		t.Fatalf("health payload: %+v", rr.Health)
+	}
+	if _, err := client.Health("ghost"); CodeOf(err) != CodeNotFound {
+		t.Fatalf("health of unknown vdev: %v", err)
+	}
+
+	// The REPL dialect shares the same surface.
+	cli := NewCLI(c, "op")
+	out, err := cli.Exec("health")
+	if err != nil || !strings.Contains(out, "l2: healthy") {
+		t.Fatalf("health line: %q, %v", out, err)
+	}
+	out, err = cli.Exec("reset l2")
+	if err != nil || !strings.Contains(out, "health reset") {
+		t.Fatalf("reset line: %q, %v", out, err)
+	}
+	if _, err := cli.Exec("reset ghost"); CodeOf(err) != CodeNotFound {
+		t.Fatalf("reset unknown: %v", err)
+	}
+
+	// The dedicated endpoint serves monitors without the query grammar.
+	resp, err := http.Get(client.Base + "/v1/health")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/v1/health status %d", resp.StatusCode)
+	}
+}
+
+func TestCtlCloseUnblocksEventPolls(t *testing.T) {
+	c := newPersonaCtl(t)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		// No context deadline: only Close can release this poll.
+		c.Events(context.Background(), 0)
+	}()
+	time.Sleep(10 * time.Millisecond)
+	c.Close()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("Close did not unblock the long poll")
+	}
+}

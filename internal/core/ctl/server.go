@@ -8,20 +8,24 @@ import (
 	"time"
 )
 
-// The HTTP surface, stdlib-only JSON over four routes:
+// The HTTP surface, stdlib-only JSON over five routes:
 //
-//	POST /v1/write   {"owner": "...", "ops": [Op...]}        -> WriteResponse
-//	GET  /v1/read    ?kind=vdevs|snapshots|stats&vdev=&owner= -> ReadResult
+//	POST /v1/write   {"owner": "...", "ops": [Op...]}         -> WriteResponse
+//	GET  /v1/read    ?kind=vdevs|snapshots|stats|health&vdev=&owner= -> ReadResult
 //	GET  /v1/stats                                            -> {"vdevs": [VDevStats...]}
+//	GET  /v1/health  [?vdev=]                                 -> ReadResponse (health only)
 //	GET  /v1/events  ?since=N [&wait=seconds]                 -> EventsResponse (long poll)
 //
 // Every write is a WriteBatch — one op is a batch of one — so remote writes
 // get the same atomicity as local ones.
 
-// WriteRequest is the body of POST /v1/write.
+// WriteRequest is the body of POST /v1/write. A non-empty RequestID makes
+// the write idempotent: a retry carrying the same ID replays the original
+// outcome instead of applying the ops again.
 type WriteRequest struct {
-	Owner string `json:"owner"`
-	Ops   []Op   `json:"ops"`
+	Owner     string `json:"owner"`
+	RequestID string `json:"request_id,omitempty"`
+	Ops       []Op   `json:"ops"`
 }
 
 // WriteResponse carries per-op results, or the structured error that rolled
@@ -74,6 +78,7 @@ func NewServeMux(c *Ctl) *http.ServeMux {
 	mux.HandleFunc("/v1/write", c.handleWrite)
 	mux.HandleFunc("/v1/read", c.handleRead)
 	mux.HandleFunc("/v1/stats", c.handleStats)
+	mux.HandleFunc("/v1/health", c.handleHealth)
 	mux.HandleFunc("/v1/events", c.handleEvents)
 	return mux
 }
@@ -112,7 +117,7 @@ func (c *Ctl) handleWrite(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, httpStatus(e.Code), WriteResponse{Error: e})
 		return
 	}
-	results, err := c.WriteBatch(req.Owner, req.Ops)
+	results, err := c.WriteBatchID(req.Owner, req.RequestID, req.Ops)
 	if err != nil {
 		ce := asError(err)
 		writeJSON(w, httpStatus(ce.Code), WriteResponse{Error: ce})
@@ -124,6 +129,20 @@ func (c *Ctl) handleWrite(w http.ResponseWriter, r *http.Request) {
 func (c *Ctl) handleRead(w http.ResponseWriter, r *http.Request) {
 	q := &Query{Kind: r.URL.Query().Get("kind"), VDev: r.URL.Query().Get("vdev")}
 	res, err := c.Read(r.URL.Query().Get("owner"), q)
+	if err != nil {
+		ce := wrap(err, -1)
+		writeJSON(w, httpStatus(ce.Code), ReadResponse{Error: ce})
+		return
+	}
+	writeJSON(w, http.StatusOK, ReadResponse{Result: res})
+}
+
+// handleHealth is the dedicated health route: the same payload as
+// /v1/read?kind=health, as its own endpoint so monitors need no query
+// grammar. Hitting it advances the breaker state machine.
+func (c *Ctl) handleHealth(w http.ResponseWriter, r *http.Request) {
+	q := &Query{Kind: "health", VDev: r.URL.Query().Get("vdev")}
+	res, err := c.Read("", q)
 	if err != nil {
 		ce := wrap(err, -1)
 		writeJSON(w, httpStatus(ce.Code), ReadResponse{Error: ce})

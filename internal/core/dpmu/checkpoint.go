@@ -21,6 +21,7 @@ type Checkpoint struct {
 	snapshots   map[string][]Assignment
 	active      string
 	assignPEs   []pentry
+	linkSpecs   []linkSpec
 	sw          *sim.SwitchDump
 }
 
@@ -71,6 +72,7 @@ func (d *DPMU) Checkpoint() *Checkpoint {
 		snapshots:   make(map[string][]Assignment, len(d.snapshots)),
 		active:      d.active,
 		assignPEs:   copyPentries(d.assignPEs),
+		linkSpecs:   append([]linkSpec(nil), d.linkSpecs...),
 		sw:          d.SW.Dump(),
 	}
 	for name, v := range d.vdevs {
@@ -96,5 +98,9 @@ func (d *DPMU) Rollback(cp *Checkpoint) {
 	d.snapshots = cp.snapshots
 	d.active = cp.active
 	d.assignPEs = cp.assignPEs
+	d.linkSpecs = cp.linkSpecs
 	d.SW.RestoreDump(cp.sw)
+	// The vdev set (and its PIDs) may have changed since the checkpoint;
+	// reconcile the circuit-breaker records with the restored state.
+	d.resyncHealth()
 }

@@ -15,6 +15,7 @@ import (
 	"hyper4/internal/bitfield"
 	"hyper4/internal/core/hp4c"
 	"hyper4/internal/core/persona"
+	"hyper4/internal/p4/ast"
 	"hyper4/internal/sim"
 	"hyper4/internal/sim/runtime"
 )
@@ -37,7 +38,13 @@ type DPMU struct {
 	nextSession int
 	snapshots   map[string][]Assignment
 	active      string
-	assignPEs   []pentry // installed t_assign entries
+	assignPEs   []pentry   // installed t_assign entries
+	linkSpecs   []linkSpec // logical virtual-link topology (bypass.go)
+
+	// health is the per-vdev circuit-breaker state (health.go). It carries
+	// its own leaf mutex because the fault hook feeding it runs on the
+	// packet path, where taking d.mu would deadlock.
+	health healthTracker
 }
 
 // VDev is one loaded virtual device: a compiled program bound to a program
@@ -92,14 +99,24 @@ func New(sw *sim.Switch, p *persona.Persona) (*DPMU, error) {
 	if err := runtime.New(sw).ExecAll(p.BaseCommands); err != nil {
 		return nil, fmt.Errorf("dpmu: persona base entries: %w", err)
 	}
-	return &DPMU{
+	d := &DPMU{
 		SW:          sw,
 		cfg:         p.Config,
 		vdevs:       map[string]*VDev{},
 		nextPID:     0,
 		nextMatchID: 0,
 		snapshots:   map[string][]Assignment{},
-	}, nil
+	}
+	// Fault containment: attribute packet faults to vdevs via the persona's
+	// per-packet program ID and feed them into the circuit breakers.
+	d.health.init()
+	if err := sw.SetAttributionField(ast.FieldRef{
+		Instance: persona.InstMeta, Field: persona.FieldProgram, Index: ast.IndexNone,
+	}); err != nil {
+		return nil, fmt.Errorf("dpmu: fault attribution: %w", err)
+	}
+	sw.SetFaultHook(d.onFault)
+	return d, nil
 }
 
 // Config returns the persona configuration the DPMU manages.
@@ -162,6 +179,7 @@ func (d *DPMU) Load(name string, comp *hp4c.Compiled, owner string, quota int) (
 		return nil, err
 	}
 	d.vdevs[name] = v
+	d.registerHealth(name, v.PID)
 	return v, nil
 }
 
@@ -184,6 +202,8 @@ func (d *DPMU) Unload(owner, name string) error {
 	d.removeRows(v.links)
 	d.removeRows(v.static)
 	delete(d.vdevs, name)
+	d.dropLinkSpecsFrom(name)
+	d.unregisterHealth(name)
 	return nil
 }
 

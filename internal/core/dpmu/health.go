@@ -1,0 +1,474 @@
+package dpmu
+
+// Per-vdev fault containment: the DPMU subscribes to the persona switch's
+// packet faults (sim.SetFaultHook), attributes each fault to the virtual
+// device whose program ID the packet carried, and runs a circuit breaker per
+// device. Too many faults inside a sliding window trip the breaker: the
+// device is quarantined — its passes dropped lock-free by the sim layer, or
+// its position in a composed chain bypassed, per policy — until a half-open
+// probe phase lets a bounded number of packets through; if they complete
+// cleanly the device is restored automatically.
+//
+// Locking: onFault runs on the packet path while the switch's control-plane
+// read lock is held, so it must never acquire d.mu (management ops hold d.mu
+// while waiting for the switch write lock — a writer waiting on an RWMutex
+// blocks new readers, so hook → d.mu would deadlock). The tracker therefore
+// has its own leaf mutex; everything the hook touches (the pid map, fault
+// windows, the sim quarantine table) is reachable under that mutex alone.
+// Time-based transitions (quarantined → probing → healthy) and bypass
+// rewiring need d.mu and happen in SyncHealth, called from every health
+// query and management surface. Lock order: d.mu before health.mu, never the
+// reverse.
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"hyper4/internal/sim"
+)
+
+// HealthState is a virtual device's breaker state.
+type HealthState string
+
+const (
+	// Healthy: no faults inside the current window.
+	Healthy HealthState = "healthy"
+	// Degraded: faulting, but below the trip threshold.
+	Degraded HealthState = "degraded"
+	// Quarantined: breaker tripped; the device's passes are contained.
+	Quarantined HealthState = "quarantined"
+	// Probing: half-open; a bounded number of probe passes are let through.
+	Probing HealthState = "probing"
+)
+
+// QuarantinePolicy selects what containment does to a quarantined device's
+// traffic.
+type QuarantinePolicy string
+
+const (
+	// PolicyDrop drops every pass attributed to the quarantined device.
+	PolicyDrop QuarantinePolicy = "drop"
+	// PolicyBypass additionally rewires virtual links around the device
+	// (single-successor chains only), so a composed chain keeps forwarding
+	// while the faulty middle hop is out. Traffic entering the device from
+	// physical port assignments still drops.
+	PolicyBypass QuarantinePolicy = "bypass"
+)
+
+// HealthConfig tunes the per-vdev circuit breaker.
+type HealthConfig struct {
+	Window       time.Duration    // sliding fault-rate window
+	TripFaults   int              // faults within Window that trip the breaker
+	OpenFor      time.Duration    // quarantine time before half-open probing
+	ProbePackets int              // clean probe passes required to close
+	Policy       QuarantinePolicy // what quarantine does to traffic
+}
+
+// DefaultHealthConfig returns the breaker defaults.
+func DefaultHealthConfig() HealthConfig {
+	return HealthConfig{
+		Window:       10 * time.Second,
+		TripFaults:   5,
+		OpenFor:      5 * time.Second,
+		ProbePackets: 10,
+		Policy:       PolicyDrop,
+	}
+}
+
+// sanitize fills zero fields with defaults so a partially specified config
+// can't divide by zero or trip instantly.
+func (c HealthConfig) sanitize() HealthConfig {
+	def := DefaultHealthConfig()
+	if c.Window <= 0 {
+		c.Window = def.Window
+	}
+	if c.TripFaults <= 0 {
+		c.TripFaults = def.TripFaults
+	}
+	if c.OpenFor <= 0 {
+		c.OpenFor = def.OpenFor
+	}
+	if c.ProbePackets <= 0 {
+		c.ProbePackets = def.ProbePackets
+	}
+	if c.Policy != PolicyBypass {
+		c.Policy = PolicyDrop
+	}
+	return c
+}
+
+// VDevHealth is one device's health, as exposed on /v1/health and the
+// hyper4_vdev_health gauge.
+type VDevHealth struct {
+	VDev         string      `json:"vdev"`
+	PID          int         `json:"pid"`
+	State        HealthState `json:"state"`
+	Faults       int64       `json:"faults"`       // lifetime attributed faults
+	Trips        int64       `json:"trips"`        // lifetime breaker trips
+	WindowFaults int         `json:"windowFaults"` // faults inside the current window
+	LastKind     string      `json:"lastFaultKind,omitempty"`
+	LastFault    string      `json:"lastFault,omitempty"`
+	LastFaultAt  time.Time   `json:"lastFaultAt,omitempty"`
+	ProbesLeft   int64       `json:"probesLeft,omitempty"` // remaining half-open budget
+	Bypassed     bool        `json:"bypassed,omitempty"`   // links rewired around the device
+}
+
+// HealthSnapshot is the full health report.
+type HealthSnapshot struct {
+	VDevs        []VDevHealth `json:"vdevs"`
+	Unattributed int64        `json:"unattributed"` // faults with no owning vdev
+}
+
+// vdevHealth is the tracker's mutable per-device record.
+type vdevHealth struct {
+	name string
+	pid  uint64
+
+	state  HealthState
+	window []time.Time // attributed fault times inside the sliding window
+
+	faults   int64
+	trips    int64
+	lastKind sim.FaultKind
+	lastMsg  string
+	lastAt   time.Time
+
+	trippedAt   time.Time
+	probeStart  time.Time
+	probeBudget int64
+	probeFresh  bool // probe budget not yet pushed into the sim quarantine table
+	bypassed    bool
+}
+
+func (v *vdevHealth) pruneWindow(now time.Time, window time.Duration) {
+	cut := now.Add(-window)
+	i := 0
+	for i < len(v.window) && !v.window[i].After(cut) {
+		i++
+	}
+	if i > 0 {
+		v.window = append(v.window[:0], v.window[i:]...)
+	}
+}
+
+func (v *vdevHealth) trip(now time.Time) {
+	v.state = Quarantined
+	v.trips++
+	v.trippedAt = now
+	v.window = v.window[:0]
+}
+
+// healthTracker is the DPMU's breaker state, guarded by its own leaf mutex
+// (see the package comment above for why it cannot share d.mu).
+type healthTracker struct {
+	mu     sync.Mutex
+	cfg    HealthConfig
+	now    func() time.Time
+	byName map[string]*vdevHealth
+	byPID  map[uint64]*vdevHealth
+
+	unattributed int64
+	notify       func(vdev string, state HealthState)
+}
+
+func (h *healthTracker) init() {
+	h.cfg = DefaultHealthConfig()
+	h.now = time.Now
+	h.byName = map[string]*vdevHealth{}
+	h.byPID = map[uint64]*vdevHealth{}
+}
+
+// sortedLocked returns the records in stable name order.
+func (h *healthTracker) sortedLocked() []*vdevHealth {
+	out := make([]*vdevHealth, 0, len(h.byName))
+	for _, v := range h.byName {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].name < out[j].name })
+	return out
+}
+
+// rebuildQuarantineLocked pushes the breaker states into the sim layer's
+// lock-free quarantine table. Probing devices keep their partially consumed
+// budgets unless the budget was just (re)issued.
+func (h *healthTracker) rebuildQuarantineLocked(sw *sim.Switch) {
+	budgets := map[uint64]int64{}
+	for _, v := range h.byName {
+		switch v.state {
+		case Quarantined:
+			budgets[v.pid] = 0
+		case Probing:
+			b := v.probeBudget
+			if !v.probeFresh {
+				if rem, ok := sw.QuarantineRemaining(v.pid); ok {
+					b = max(rem, 0)
+				}
+			}
+			budgets[v.pid] = b
+			v.probeFresh = false
+		}
+	}
+	sw.SetQuarantine(budgets)
+}
+
+// SetHealthConfig replaces the breaker configuration (zero fields take
+// defaults). Existing breaker state is kept.
+func (d *DPMU) SetHealthConfig(cfg HealthConfig) {
+	d.health.mu.Lock()
+	d.health.cfg = cfg.sanitize()
+	d.health.mu.Unlock()
+}
+
+// HealthConfigured returns the active breaker configuration.
+func (d *DPMU) HealthConfigured() HealthConfig {
+	d.health.mu.Lock()
+	defer d.health.mu.Unlock()
+	return d.health.cfg
+}
+
+// SetHealthClock overrides the tracker's time source (tests).
+func (d *DPMU) SetHealthClock(now func() time.Time) {
+	d.health.mu.Lock()
+	d.health.now = now
+	d.health.mu.Unlock()
+}
+
+// SetHealthNotify installs a callback fired on every breaker transition
+// (degraded/quarantined/probing/healthy). It may be invoked from the packet
+// path and must not call back into the DPMU or the switch control plane.
+func (d *DPMU) SetHealthNotify(fn func(vdev string, state HealthState)) {
+	d.health.mu.Lock()
+	d.health.notify = fn
+	d.health.mu.Unlock()
+}
+
+// registerHealth / unregisterHealth track vdev lifecycle (called with d.mu
+// held from Load/Unload/rollback).
+func (d *DPMU) registerHealth(name string, pid int) {
+	h := &d.health
+	h.mu.Lock()
+	v := &vdevHealth{name: name, pid: uint64(pid), state: Healthy}
+	h.byName[name] = v
+	h.byPID[v.pid] = v
+	h.mu.Unlock()
+}
+
+func (d *DPMU) unregisterHealth(name string) {
+	h := &d.health
+	h.mu.Lock()
+	if v, ok := h.byName[name]; ok {
+		delete(h.byName, name)
+		delete(h.byPID, v.pid)
+		h.rebuildQuarantineLocked(d.SW)
+	}
+	h.mu.Unlock()
+}
+
+// resyncHealth reconciles the tracker with the live vdev set after a
+// rollback: records for vanished devices are dropped, new devices start
+// healthy, surviving devices keep their breaker state. Bypass flags reset so
+// the next SyncHealth re-enforces rewiring against the restored rows.
+func (d *DPMU) resyncHealth() {
+	h := &d.health
+	h.mu.Lock()
+	fresh := make(map[string]*vdevHealth, len(d.vdevs))
+	freshPID := make(map[uint64]*vdevHealth, len(d.vdevs))
+	for name, dev := range d.vdevs {
+		pid := uint64(dev.PID)
+		v := h.byName[name]
+		if v == nil || v.pid != pid {
+			v = &vdevHealth{name: name, pid: pid, state: Healthy}
+		}
+		v.bypassed = false
+		fresh[name] = v
+		freshPID[pid] = v
+	}
+	h.byName = fresh
+	h.byPID = freshPID
+	h.rebuildQuarantineLocked(d.SW)
+	h.mu.Unlock()
+}
+
+// onFault is the sim fault hook. It runs on the packet path under the
+// switch's read lock: leaf mutex only, no d.mu (see package comment).
+func (d *DPMU) onFault(f *sim.PacketFault) {
+	h := &d.health
+	h.mu.Lock()
+	v := h.byPID[f.Attr]
+	if v == nil {
+		h.unattributed++
+		h.mu.Unlock()
+		return
+	}
+	now := h.now()
+	v.faults++
+	v.lastKind, v.lastMsg, v.lastAt = f.Kind, f.Msg, now
+	var transition HealthState
+	switch v.state {
+	case Quarantined:
+		// Already contained; nothing more to do.
+	case Probing:
+		// A fault during half-open probing re-trips immediately.
+		v.trip(now)
+		h.rebuildQuarantineLocked(d.SW)
+		transition = Quarantined
+	default:
+		v.pruneWindow(now, h.cfg.Window)
+		v.window = append(v.window, now)
+		if len(v.window) >= h.cfg.TripFaults {
+			v.trip(now)
+			h.rebuildQuarantineLocked(d.SW)
+			transition = Quarantined
+		} else if v.state != Degraded {
+			v.state = Degraded
+			transition = Degraded
+		}
+	}
+	notify := h.notify
+	name := v.name
+	h.mu.Unlock()
+	if transition != "" && notify != nil {
+		notify(name, transition)
+	}
+}
+
+// SyncHealth advances time-based breaker transitions: degraded devices whose
+// windows emptied become healthy, quarantined devices past OpenFor enter
+// half-open probing, probing devices that consumed their whole budget
+// cleanly are restored. Bypass rewiring is enforced/undone here (it needs
+// d.mu). Every health query calls this, so the state machine advances
+// whenever anyone looks.
+func (d *DPMU) SyncHealth() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.syncHealthLocked()
+}
+
+func (d *DPMU) syncHealthLocked() {
+	h := &d.health
+	h.mu.Lock()
+	now := h.now()
+	type event struct {
+		name  string
+		state HealthState
+	}
+	var events []event
+	rebuild := false
+	for _, v := range h.sortedLocked() {
+		switch v.state {
+		case Degraded:
+			v.pruneWindow(now, h.cfg.Window)
+			if len(v.window) == 0 {
+				v.state = Healthy
+				events = append(events, event{v.name, Healthy})
+			}
+		case Quarantined:
+			if h.cfg.Policy == PolicyBypass && !v.bypassed {
+				v.bypassed = d.enforceBypassLocked(v.name)
+			}
+			if now.Sub(v.trippedAt) >= h.cfg.OpenFor {
+				v.state = Probing
+				v.probeStart = now
+				v.probeBudget = int64(h.cfg.ProbePackets)
+				v.probeFresh = true
+				if v.bypassed {
+					// Probes must reach the device: restore its links for
+					// the half-open phase.
+					d.undoBypassLocked(v.name)
+					v.bypassed = false
+				}
+				rebuild = true
+				events = append(events, event{v.name, Probing})
+			}
+		case Probing:
+			// A fault during probing re-trips in onFault; here we only
+			// check for a cleanly consumed budget.
+			rem, ok := d.SW.QuarantineRemaining(v.pid)
+			if ok && rem <= 0 && v.lastAt.Before(v.probeStart) {
+				v.state = Healthy
+				v.window = v.window[:0]
+				rebuild = true
+				events = append(events, event{v.name, Healthy})
+			}
+		}
+	}
+	if rebuild {
+		h.rebuildQuarantineLocked(d.SW)
+	}
+	notify := h.notify
+	h.mu.Unlock()
+	if notify != nil {
+		for _, e := range events {
+			notify(e.name, e.state)
+		}
+	}
+}
+
+// Health advances the breaker state machine and returns the health report.
+func (d *DPMU) Health() HealthSnapshot {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.syncHealthLocked()
+	h := &d.health
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	snap := HealthSnapshot{Unattributed: h.unattributed}
+	for _, v := range h.sortedLocked() {
+		vh := VDevHealth{
+			VDev:         v.name,
+			PID:          int(v.pid),
+			State:        v.state,
+			Faults:       v.faults,
+			Trips:        v.trips,
+			WindowFaults: len(v.window),
+			LastKind:     string(v.lastKind),
+			LastFault:    v.lastMsg,
+			LastFaultAt:  v.lastAt,
+			Bypassed:     v.bypassed,
+		}
+		if v.state == Probing {
+			if rem, ok := d.SW.QuarantineRemaining(v.pid); ok {
+				vh.ProbesLeft = max(rem, 0)
+			} else {
+				vh.ProbesLeft = v.probeBudget
+			}
+		}
+		snap.VDevs = append(snap.VDevs, vh)
+	}
+	return snap
+}
+
+// ResetHealth is the explicit admin reset: the owner (or the operator of an
+// unowned device) forces the device back to healthy, undoing quarantine and
+// bypass. Trip and fault totals are kept — reset clears containment, not
+// history.
+func (d *DPMU) ResetHealth(owner, vdev string) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if _, err := d.auth(owner, vdev); err != nil {
+		return err
+	}
+	h := &d.health
+	h.mu.Lock()
+	v, ok := h.byName[vdev]
+	if !ok {
+		h.mu.Unlock()
+		return fmt.Errorf("dpmu: no health record for %q: %w", vdev, ErrNotFound)
+	}
+	if v.bypassed {
+		d.undoBypassLocked(vdev)
+		v.bypassed = false
+	}
+	v.state = Healthy
+	v.window = v.window[:0]
+	v.probeFresh = false
+	h.rebuildQuarantineLocked(d.SW)
+	notify := h.notify
+	h.mu.Unlock()
+	if notify != nil {
+		notify(vdev, Healthy)
+	}
+	return nil
+}

@@ -1,0 +1,297 @@
+package dpmu
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"time"
+
+	"hyper4/internal/chaos"
+	"hyper4/internal/pkt"
+)
+
+// fakeClock drives the health tracker's time deterministically.
+type fakeClock struct{ t time.Time }
+
+func newFakeClock() *fakeClock { return &fakeClock{t: time.Unix(1_000_000, 0)} }
+
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+
+// testHealthConfig is a tight breaker for unit tests.
+func testHealthConfig(policy QuarantinePolicy) HealthConfig {
+	return HealthConfig{
+		Window:       time.Second,
+		TripFaults:   3,
+		OpenFor:      100 * time.Millisecond,
+		ProbePackets: 2,
+		Policy:       policy,
+	}
+}
+
+func l2Frame() []byte {
+	return pkt.Pad(pkt.Serialize(&pkt.Ethernet{Dst: mac2, Src: mac1, EtherType: 0x0800}, pkt.Payload("hello!")))
+}
+
+// stateOf fetches one device's health from a snapshot.
+func stateOf(t *testing.T, snap HealthSnapshot, vdev string) VDevHealth {
+	t.Helper()
+	for _, v := range snap.VDevs {
+		if v.VDev == vdev {
+			return v
+		}
+	}
+	t.Fatalf("no health record for %q in %+v", vdev, snap)
+	return VDevHealth{}
+}
+
+func TestBreakerTripQuarantineAndRecover(t *testing.T) {
+	d := newPersonaDPMU(t)
+	clock := newFakeClock()
+	d.SetHealthClock(clock.now)
+	d.SetHealthConfig(testHealthConfig(PolicyDrop))
+	loadL2(t, d, "l2", "alice")
+
+	if got := stateOf(t, d.Health(), "l2"); got.State != Healthy || got.PID != 1 {
+		t.Fatalf("initial health = %+v", got)
+	}
+
+	// Inject a panic into every action attributed to the device (PID 1).
+	d.SW.SetInjector(chaos.New(chaos.Spec{Seed: 1, Attr: 1, PanicEvery: 1}))
+	frame := l2Frame()
+	for i := 0; i < 2; i++ {
+		if _, _, err := d.SW.Process(frame, 1); err == nil {
+			t.Fatalf("packet %d should fault", i)
+		}
+	}
+	if got := stateOf(t, d.Health(), "l2"); got.State != Degraded || got.WindowFaults != 2 {
+		t.Fatalf("after 2 faults: %+v", got)
+	}
+	if _, _, err := d.SW.Process(frame, 1); err == nil {
+		t.Fatal("third packet should fault")
+	}
+	got := stateOf(t, d.Health(), "l2")
+	if got.State != Quarantined || got.Trips != 1 || got.Faults != 3 {
+		t.Fatalf("after trip: %+v", got)
+	}
+	if got.LastKind != "panic" {
+		t.Fatalf("last fault kind = %q", got.LastKind)
+	}
+
+	// Quarantined: packets are dropped silently — and never reach the
+	// injector, so no further faults accrue.
+	out, _, err := d.SW.Process(frame, 1)
+	if err != nil || len(out) != 0 {
+		t.Fatalf("quarantined: out=%v err=%v", out, err)
+	}
+	if got := d.SW.Metrics().Faults.QuarantineDrops; got == 0 {
+		t.Fatal("no quarantine drops counted")
+	}
+
+	// The defect "clears" (injector removed); after OpenFor the breaker goes
+	// half-open and two clean probes restore the device.
+	d.SW.SetInjector(nil)
+	clock.advance(150 * time.Millisecond)
+	if got := stateOf(t, d.Health(), "l2"); got.State != Probing || got.ProbesLeft != 2 {
+		t.Fatalf("after open interval: %+v", got)
+	}
+	for i := 0; i < 2; i++ {
+		out, _, err := d.SW.Process(frame, 1)
+		if err != nil || len(out) != 1 || out[0].Port != 2 {
+			t.Fatalf("probe %d: out=%v err=%v", i, out, err)
+		}
+	}
+	if got := stateOf(t, d.Health(), "l2"); got.State != Healthy {
+		t.Fatalf("after clean probes: %+v", got)
+	}
+	// Fully restored: traffic forwards, byte-identical.
+	out, _, err = d.SW.Process(frame, 1)
+	if err != nil || len(out) != 1 || !bytes.Equal(out[0].Data, frame) {
+		t.Fatalf("restored: out=%v err=%v", out, err)
+	}
+}
+
+func TestFaultDuringProbingRetrips(t *testing.T) {
+	d := newPersonaDPMU(t)
+	clock := newFakeClock()
+	d.SetHealthClock(clock.now)
+	d.SetHealthConfig(testHealthConfig(PolicyDrop))
+	loadL2(t, d, "l2", "alice")
+
+	d.SW.SetInjector(chaos.New(chaos.Spec{Seed: 1, Attr: 1, PanicEvery: 1}))
+	frame := l2Frame()
+	for i := 0; i < 3; i++ {
+		_, _, _ = d.SW.Process(frame, 1)
+	}
+	if got := stateOf(t, d.Health(), "l2"); got.State != Quarantined {
+		t.Fatalf("not tripped: %+v", got)
+	}
+	clock.advance(150 * time.Millisecond)
+	if got := stateOf(t, d.Health(), "l2"); got.State != Probing {
+		t.Fatalf("not probing: %+v", got)
+	}
+	// The defect persists: the first probe faults and re-trips immediately.
+	if _, _, err := d.SW.Process(frame, 1); err == nil {
+		t.Fatal("probe should fault")
+	}
+	if got := stateOf(t, d.Health(), "l2"); got.State != Quarantined || got.Trips != 2 {
+		t.Fatalf("after faulty probe: %+v", got)
+	}
+}
+
+func TestDegradedDecaysToHealthy(t *testing.T) {
+	d := newPersonaDPMU(t)
+	clock := newFakeClock()
+	d.SetHealthClock(clock.now)
+	d.SetHealthConfig(testHealthConfig(PolicyDrop))
+	loadL2(t, d, "l2", "alice")
+
+	d.SW.SetInjector(chaos.New(chaos.Spec{Seed: 1, Attr: 1, PanicEvery: 1, PanicFirst: 1}))
+	if _, _, err := d.SW.Process(l2Frame(), 1); err == nil {
+		t.Fatal("packet should fault")
+	}
+	if got := stateOf(t, d.Health(), "l2"); got.State != Degraded {
+		t.Fatalf("after 1 fault: %+v", got)
+	}
+	clock.advance(2 * time.Second) // window empties
+	if got := stateOf(t, d.Health(), "l2"); got.State != Healthy || got.Faults != 1 {
+		t.Fatalf("after window decay: %+v", got)
+	}
+}
+
+// tcp5201 is traffic the composition's firewall blocks.
+func tcp5201() []byte {
+	return pkt.Pad(pkt.Serialize(
+		&pkt.Ethernet{Dst: mac2, Src: mac1, EtherType: pkt.EtherTypeIPv4},
+		&pkt.IPv4{TTL: 64, Protocol: pkt.IPProtoTCP, Src: ip1, Dst: ip2},
+		&pkt.TCP{SrcPort: 40000, DstPort: 5201},
+	))
+}
+
+func ping() []byte {
+	return pkt.Pad(pkt.Serialize(
+		&pkt.Ethernet{Dst: mac2, Src: mac1, EtherType: pkt.EtherTypeIPv4},
+		&pkt.IPv4{TTL: 64, Protocol: pkt.IPProtoICMP, Src: ip1, Dst: ip2},
+		&pkt.ICMP{Type: pkt.ICMPEchoRequest, ID: 1, Seq: 1},
+	))
+}
+
+func TestBypassPolicyRewiresChain(t *testing.T) {
+	d := newPersonaDPMU(t)
+	clock := newFakeClock()
+	d.SetHealthClock(clock.now)
+	d.SetHealthConfig(testHealthConfig(PolicyBypass))
+	loadComposition(t, d) // arp(1) → fw(2) → r(3)
+
+	// Sanity: the firewall blocks TCP 5201, pings route.
+	if out, _, err := d.SW.Process(tcp5201(), 1); err != nil || len(out) != 0 {
+		t.Fatalf("blocked flow pre-fault: out=%v err=%v", out, err)
+	}
+	if out, _, err := d.SW.Process(ping(), 1); err != nil || len(out) != 1 || out[0].Port != 2 {
+		t.Fatalf("ping pre-fault: out=%v err=%v", out, err)
+	}
+
+	// Trip the firewall.
+	d.SW.SetInjector(chaos.New(chaos.Spec{Seed: 1, Attr: 2, PanicEvery: 1, PanicFirst: 3}))
+	for i := 0; i < 3; i++ {
+		if _, _, err := d.SW.Process(ping(), 1); err == nil {
+			t.Fatalf("packet %d should fault in fw", i)
+		}
+	}
+	got := stateOf(t, d.Health(), "fw")
+	if got.State != Quarantined || !got.Bypassed {
+		t.Fatalf("fw after trip: %+v", got)
+	}
+
+	// The chain keeps forwarding around the dead firewall: pings still
+	// route, and — the price of bypass — blocked traffic passes too.
+	out, _, err := d.SW.Process(ping(), 1)
+	if err != nil || len(out) != 1 || out[0].Port != 2 {
+		t.Fatalf("ping under bypass: out=%v err=%v", out, err)
+	}
+	out, _, err = d.SW.Process(tcp5201(), 1)
+	if err != nil || len(out) != 1 {
+		t.Fatalf("bypassed flow: out=%v err=%v", out, err)
+	}
+
+	// Half-open: the links are restored so probes traverse the firewall
+	// again; the injector is exhausted (PanicFirst), so probes run clean.
+	clock.advance(150 * time.Millisecond)
+	if got := stateOf(t, d.Health(), "fw"); got.State != Probing || got.Bypassed {
+		t.Fatalf("fw probing: %+v", got)
+	}
+	// Each composed ping traverses the firewall in more than one pipeline
+	// pass, so a single ping may use up the whole probe budget; sync health
+	// between packets so a drained budget promotes before the next probe.
+	for i := 0; i < 5 && stateOf(t, d.Health(), "fw").State == Probing; i++ {
+		if out, _, err := d.SW.Process(ping(), 1); err != nil || len(out) != 1 {
+			t.Fatalf("probe ping %d: out=%v err=%v", i, out, err)
+		}
+	}
+	if got := stateOf(t, d.Health(), "fw"); got.State != Healthy {
+		t.Fatalf("fw after probes: %+v", got)
+	}
+	// Enforcement is back.
+	if out, _, err := d.SW.Process(tcp5201(), 1); err != nil || len(out) != 0 {
+		t.Fatalf("blocked flow post-recovery: out=%v err=%v", out, err)
+	}
+}
+
+func TestResetHealthAuthAndEffect(t *testing.T) {
+	d := newPersonaDPMU(t)
+	clock := newFakeClock()
+	d.SetHealthClock(clock.now)
+	d.SetHealthConfig(testHealthConfig(PolicyDrop))
+	loadL2(t, d, "l2", "alice")
+
+	d.SW.SetInjector(chaos.New(chaos.Spec{Seed: 1, Attr: 1, PanicEvery: 1, PanicFirst: 3}))
+	frame := l2Frame()
+	for i := 0; i < 3; i++ {
+		_, _, _ = d.SW.Process(frame, 1)
+	}
+	if got := stateOf(t, d.Health(), "l2"); got.State != Quarantined {
+		t.Fatalf("not tripped: %+v", got)
+	}
+
+	if err := d.ResetHealth("mallory", "l2"); !errors.Is(err, ErrPermission) {
+		t.Fatalf("foreign reset: %v", err)
+	}
+	if err := d.ResetHealth("alice", "l2"); err != nil {
+		t.Fatal(err)
+	}
+	got := stateOf(t, d.Health(), "l2")
+	if got.State != Healthy || got.Trips != 1 {
+		t.Fatalf("after reset: %+v", got)
+	}
+	if out, _, err := d.SW.Process(frame, 1); err != nil || len(out) != 1 {
+		t.Fatalf("traffic after reset: out=%v err=%v", out, err)
+	}
+
+	if err := d.ResetHealth("alice", "ghost"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("reset of unknown vdev: %v", err)
+	}
+}
+
+func TestRollbackResyncsHealth(t *testing.T) {
+	d := newPersonaDPMU(t)
+	clock := newFakeClock()
+	d.SetHealthClock(clock.now)
+	d.SetHealthConfig(testHealthConfig(PolicyDrop))
+	loadL2(t, d, "l2", "alice")
+
+	cp := d.Checkpoint()
+	if err := d.Unload("alice", "l2"); err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Health().VDevs) != 0 {
+		t.Fatal("health record should vanish with the vdev")
+	}
+	d.Rollback(cp)
+	got := stateOf(t, d.Health(), "l2")
+	if got.State != Healthy || got.PID != 1 {
+		t.Fatalf("after rollback: %+v", got)
+	}
+	if out, _, err := d.SW.Process(l2Frame(), 1); err != nil || len(out) != 1 {
+		t.Fatalf("traffic after rollback: out=%v err=%v", out, err)
+	}
+}

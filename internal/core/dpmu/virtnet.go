@@ -95,6 +95,8 @@ func (d *DPMU) MapVPort(owner, vdev string, vport, physPort int) error {
 		return err
 	}
 	v.vnet[vport] = v.links[len(v.links)-1]
+	// The port now routes to a physical port; it no longer feeds a device.
+	d.dropLinkSpec(vdev, vport)
 	return nil
 }
 
@@ -118,21 +120,31 @@ func (d *DPMU) linkVPorts(owner, fromDev string, fromPort int, toDev string, toP
 	if !ok {
 		return fmt.Errorf("dpmu: no virtual device %q: %w", toDev, ErrNotFound)
 	}
-	params := []sim.MatchParam{
+	d.unmapVPort(from, fromPort)
+	if err := d.addRow(&from.links, persona.TblVirtnet, persona.ActVirtFwd,
+		linkMatch(from, fromPort), linkArgs(to, toPort), 0); err != nil {
+		return err
+	}
+	from.vnet[fromPort] = from.links[len(from.links)-1]
+	d.setLinkSpec(linkSpec{fromDev: fromDev, fromPort: fromPort, toDev: toDev, toPort: toPort})
+	return nil
+}
+
+// linkMatch builds the t_virtnet key for a device's virtual egress port.
+func linkMatch(from *VDev, fromPort int) []sim.MatchParam {
+	return []sim.MatchParam{
 		sim.ExactUint(persona.ProgramWidth, uint64(from.PID)),
 		sim.ExactUint(persona.VPortWidth, uint64(fromPort)),
 	}
-	args := []bitfield.Value{
+}
+
+// linkArgs builds the a_virt_fwd args targeting a device's virtual ingress.
+func linkArgs(to *VDev, toPort int) []bitfield.Value {
+	return []bitfield.Value{
 		bitfield.FromUint(persona.ProgramWidth, uint64(to.PID)),
 		bitfield.FromUint(persona.VPortWidth, uint64(toPort)),
 		bitfield.FromUint(9, 0), // harmless egress port on the way to recirculation
 	}
-	d.unmapVPort(from, fromPort)
-	if err := d.addRow(&from.links, persona.TblVirtnet, persona.ActVirtFwd, params, args, 0); err != nil {
-		return err
-	}
-	from.vnet[fromPort] = from.links[len(from.links)-1]
-	return nil
 }
 
 // --- snapshots (§3.2) ---

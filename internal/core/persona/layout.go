@@ -213,6 +213,10 @@ const (
 
 	FLResubmit = "fl_resubmit"
 	FLRecirc   = "fl_recirc"
+
+	// FieldProgram is the InstMeta field carrying the per-packet program ID
+	// — the attribution value the DPMU's fault containment keys on.
+	FieldProgram = "program"
 )
 
 // Stage table names.

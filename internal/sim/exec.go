@@ -68,9 +68,14 @@ func (sw *Switch) applyTable(s *ast.Stmt, ps *packetState, tr *Trace) error {
 	if err != nil {
 		return err
 	}
+	if err := sw.quarCheck(ps); err != nil {
+		return err
+	}
 	sw.stats.tableApplies.Add(1)
-	entry, err := t.lookup(ps)
-	if err != nil {
+	var entry *Entry
+	if inj := sw.injector; inj != nil && inj.ForceMiss(sw.attrOf(ps), s.Table) {
+		// Injected lookup miss: skip the lookup, run the default action.
+	} else if entry, err = t.lookup(ps); err != nil {
 		return fmt.Errorf("sim: table %s: %w", s.Table, err)
 	}
 	tr.recordApply(s.Table, t, entry, ps.inEgress)
@@ -127,6 +132,11 @@ func (sw *Switch) runAction(name string, args []bitfield.Value, ps *packetState,
 	}
 	if i, ok := sw.metrics.actionIndex[name]; ok {
 		sw.metrics.actionCounts[i].Add(1)
+	}
+	if inj := sw.injector; inj != nil {
+		// May panic to simulate a defect in the action body; Process
+		// recovers it into a FaultPanic.
+		inj.Action(sw.attrOf(ps), name)
 	}
 	if len(args) != len(act.Params) {
 		return fmt.Errorf("action %s wants %d args, got %d", name, len(act.Params), len(args))

@@ -1,0 +1,230 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+
+	"hyper4/internal/p4/ast"
+)
+
+// This file is the switch's fault-containment layer. Process never lets a
+// data-plane packet kill the switch: panics raised anywhere in parse /
+// pipeline / deparse are recovered and converted — like every other
+// per-packet failure — into a *PacketFault carrying a fault kind and the
+// attribution value (the persona's per-packet program ID) of the virtual
+// device that owned the packet when it failed. A hypervisor layered above
+// (the DPMU) subscribes to faults via SetFaultHook and can quarantine a
+// misbehaving attribution value through SetQuarantine, which the pipeline
+// enforces lock-free on the packet path.
+
+// FaultKind classifies a per-packet failure.
+type FaultKind string
+
+const (
+	// FaultPanic is a recovered panic inside parse/pipeline/deparse.
+	FaultPanic FaultKind = "panic"
+	// FaultPassBound is a packet that exceeded the pipeline-pass budget
+	// (resubmit/recirculate/clone loop).
+	FaultPassBound FaultKind = "pass_bound"
+	// FaultParse is a parser failure (bad select target, stack overflow, ...).
+	FaultParse FaultKind = "parse_error"
+	// FaultPipeline is a match-action runtime failure in ingress or egress.
+	FaultPipeline FaultKind = "pipeline_error"
+	// FaultDeparse is a deparser/checksum failure.
+	FaultDeparse FaultKind = "deparse_error"
+)
+
+// FaultKinds lists every fault kind, in stable exposition order.
+func FaultKinds() []FaultKind {
+	return []FaultKind{FaultPanic, FaultPassBound, FaultParse, FaultPipeline, FaultDeparse}
+}
+
+// PacketFault is the structured error Process returns when a packet fails.
+// The packet is dropped; the switch stays up.
+type PacketFault struct {
+	Kind FaultKind
+	Port int    // physical ingress port of the failing pass
+	Attr uint64 // attribution value (program ID) at failure time; 0 = unattributed
+	Msg  string
+
+	err error // underlying stage error, when the fault wraps one
+}
+
+func (f *PacketFault) Error() string { return f.Msg }
+
+// Unwrap exposes the underlying stage error for errors.Is/As chains.
+func (f *PacketFault) Unwrap() error { return f.err }
+
+// Injector is the fault-injection hook interface (implemented by
+// internal/chaos). The zero configuration is a nil Injector: the packet path
+// then pays one nil check per table apply and per action, nothing else.
+// Implementations must be safe for concurrent use.
+type Injector interface {
+	// Action is called before every action body runs; it may panic to
+	// simulate a defect inside the action (recovered by Process).
+	Action(attr uint64, action string)
+	// ForceMiss reports whether this table application should skip lookup
+	// and behave as a miss.
+	ForceMiss(attr uint64, table string) bool
+	// PassBound returns an override for the pipeline-pass budget
+	// (0 keeps MaxPasses).
+	PassBound() int
+	// Delay is called once per Process call and may sleep to inject latency.
+	Delay()
+}
+
+// attribution locates the metadata field whose value identifies the virtual
+// device a packet currently belongs to (the persona's [hp4].program field).
+type attribution struct {
+	enabled bool
+	slot    int
+	off     int
+	width   int
+}
+
+// SetAttributionField configures fault attribution to read the given
+// metadata field. The DPMU points this at the persona's program-ID field so
+// faults and quarantine decisions are per-vdev.
+func (sw *Switch) SetAttributionField(ref ast.FieldRef) error {
+	loc, err := sw.lay.fieldLoc(ref)
+	if err != nil {
+		return err
+	}
+	if loc.ii.metaSlot < 0 {
+		return fmt.Errorf("sim: attribution field %s.%s is not metadata", ref.Instance, ref.Field)
+	}
+	sw.mu.Lock()
+	sw.attrib = attribution{enabled: true, slot: loc.ii.metaSlot, off: loc.off, width: loc.width}
+	sw.mu.Unlock()
+	return nil
+}
+
+// attrOf reads the attribution value from a packet state (0 when attribution
+// is not configured or not yet assigned this pass).
+func (sw *Switch) attrOf(ps *packetState) uint64 {
+	if !sw.attrib.enabled {
+		return 0
+	}
+	return ps.meta[sw.attrib.slot].UintAt(sw.attrib.off, sw.attrib.width)
+}
+
+// SetInjector installs (or, with nil, removes) a fault injector.
+func (sw *Switch) SetInjector(inj Injector) {
+	sw.mu.Lock()
+	sw.injector = inj
+	sw.mu.Unlock()
+}
+
+// SetFaultHook installs a callback invoked once per PacketFault, after the
+// fault is counted. The hook runs on the packet path while the switch's
+// control-plane read lock is held: it must be fast and must NOT call any
+// Switch control-plane mutator (TableAdd, SetQuarantine is safe — it is
+// lock-free — but table mutations would deadlock).
+func (sw *Switch) SetFaultHook(hook func(*PacketFault)) {
+	sw.mu.Lock()
+	sw.faultHook = hook
+	sw.mu.Unlock()
+}
+
+// fault counts a packet fault and notifies the hook; returns f for
+// convenience at return sites.
+func (sw *Switch) fault(f *PacketFault) *PacketFault {
+	sw.metrics.recordFault(f.Kind)
+	if h := sw.faultHook; h != nil {
+		h(f)
+	}
+	return f
+}
+
+// --- quarantine ---
+
+// quarEntry is one quarantined attribution value. budget is the remaining
+// number of half-open probe passes allowed through; at or below zero every
+// pass attributed to the value is dropped.
+type quarEntry struct {
+	budget atomic.Int64
+}
+
+// quarTable is the active quarantine set, swapped atomically as a whole so
+// the packet path never takes a lock to consult it.
+type quarTable struct {
+	m map[uint64]*quarEntry
+}
+
+// errQuarantined aborts the current pass when its attribution value is
+// quarantined. It is a control-flow sentinel, not a fault: the packet is
+// dropped silently (counted as a quarantine drop).
+var errQuarantined = errors.New("sim: vdev quarantined")
+
+// SetQuarantine replaces the quarantine set. Keys are attribution values;
+// each value is the probe budget (0 = drop everything, N > 0 = let N passes
+// through half-open). A nil or empty map clears all quarantines. Safe to
+// call concurrently with Process (lock-free swap); replacing the set resets
+// any partially consumed probe budgets, so callers that care read
+// QuarantineRemaining first.
+func (sw *Switch) SetQuarantine(budgets map[uint64]int64) {
+	if len(budgets) == 0 {
+		sw.quar.Store(nil)
+		return
+	}
+	qt := &quarTable{m: make(map[uint64]*quarEntry, len(budgets))}
+	for attr, budget := range budgets {
+		e := &quarEntry{}
+		e.budget.Store(budget)
+		qt.m[attr] = e
+	}
+	sw.quar.Store(qt)
+}
+
+// QuarantineRemaining returns the remaining probe budget for an attribution
+// value, and whether the value is quarantined at all. A consumed budget
+// reads as negative or zero.
+func (sw *Switch) QuarantineRemaining(attr uint64) (int64, bool) {
+	qt := sw.quar.Load()
+	if qt == nil {
+		return 0, false
+	}
+	e, ok := qt.m[attr]
+	if !ok {
+		return 0, false
+	}
+	return e.budget.Load(), true
+}
+
+// Pass-level quarantine verdict cache values (packetState.quarVerdict).
+const (
+	quarUnchecked = int8(0)
+	quarAllowed   = int8(1)
+)
+
+// quarCheck enforces the quarantine set at a table-apply boundary. The
+// verdict is cached per pass once the packet is attributed, so the steady
+// cost is one atomic pointer load per table apply; a probe budget is
+// consumed at most once per pass.
+func (sw *Switch) quarCheck(ps *packetState) error {
+	qt := sw.quar.Load()
+	if qt == nil {
+		return nil
+	}
+	if ps.quarVerdict == quarAllowed {
+		return nil
+	}
+	attr := sw.attrOf(ps)
+	if attr == 0 {
+		// Not yet attributed (persona's assignment table has not run);
+		// keep checking until it is.
+		return nil
+	}
+	e, ok := qt.m[attr]
+	if !ok {
+		ps.quarVerdict = quarAllowed
+		return nil
+	}
+	if e.budget.Add(-1) >= 0 {
+		// Half-open probe: let this pass through.
+		ps.quarVerdict = quarAllowed
+		return nil
+	}
+	return errQuarantined
+}

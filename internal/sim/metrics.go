@@ -47,6 +47,31 @@ type switchMetrics struct {
 	latCounts [latencyBuckets]atomic.Int64
 	latSumNs  atomic.Int64
 	latCount  atomic.Int64
+
+	// Fault containment counters (fault.go): packets failed by kind, plus
+	// passes dropped by quarantine enforcement.
+	faultPanic     atomic.Int64
+	faultPassBound atomic.Int64
+	faultParse     atomic.Int64
+	faultPipeline  atomic.Int64
+	faultDeparse   atomic.Int64
+	quarDrops      atomic.Int64
+}
+
+// recordFault counts one packet fault by kind.
+func (m *switchMetrics) recordFault(kind FaultKind) {
+	switch kind {
+	case FaultPanic:
+		m.faultPanic.Add(1)
+	case FaultPassBound:
+		m.faultPassBound.Add(1)
+	case FaultParse:
+		m.faultParse.Add(1)
+	case FaultDeparse:
+		m.faultDeparse.Add(1)
+	default:
+		m.faultPipeline.Add(1)
+	}
 }
 
 func (m *switchMetrics) init(actionNames []string) {
@@ -95,6 +120,34 @@ type TableCounters struct {
 	Misses   int64 // lookups that matched nothing
 	Defaults int64 // misses on which a configured default action ran
 	Entries  int   // currently installed entries
+}
+
+// FaultCounters aggregates the fault-containment counters: packets failed by
+// fault kind plus pipeline passes dropped by quarantine enforcement.
+type FaultCounters struct {
+	Panic           int64
+	PassBound       int64
+	Parse           int64
+	Pipeline        int64
+	Deparse         int64
+	QuarantineDrops int64
+}
+
+// ByKind returns the per-kind fault counts keyed by FaultKind string (the
+// exposition shape for Prometheus labels).
+func (f FaultCounters) ByKind() map[FaultKind]int64 {
+	return map[FaultKind]int64{
+		FaultPanic:     f.Panic,
+		FaultPassBound: f.PassBound,
+		FaultParse:     f.Parse,
+		FaultPipeline:  f.Pipeline,
+		FaultDeparse:   f.Deparse,
+	}
+}
+
+// Total is the lifetime packet-fault count across kinds.
+func (f FaultCounters) Total() int64 {
+	return f.Panic + f.PassBound + f.Parse + f.Pipeline + f.Deparse
 }
 
 // PassCounters splits pipeline passes by bmv2 instance type.
@@ -181,6 +234,7 @@ type MetricsSnapshot struct {
 	Tables  map[string]TableCounters
 	Actions map[string]int64 // action name -> invocation count
 	Passes  PassCounters
+	Faults  FaultCounters
 	Latency LatencyHistogram
 }
 
@@ -200,6 +254,14 @@ func (sw *Switch) Metrics() MetricsSnapshot {
 			Recirculate: sw.metrics.passRecirculate.Load(),
 			CloneI2E:    sw.metrics.passCloneI2E.Load(),
 			CloneE2E:    sw.metrics.passCloneE2E.Load(),
+		},
+		Faults: FaultCounters{
+			Panic:           sw.metrics.faultPanic.Load(),
+			PassBound:       sw.metrics.faultPassBound.Load(),
+			Parse:           sw.metrics.faultParse.Load(),
+			Pipeline:        sw.metrics.faultPipeline.Load(),
+			Deparse:         sw.metrics.faultDeparse.Load(),
+			QuarantineDrops: sw.metrics.quarDrops.Load(),
 		},
 	}
 	for name, t := range sw.tables {

@@ -19,6 +19,7 @@
 package sim
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -61,6 +62,14 @@ type Switch struct {
 	stats   stats
 	metrics switchMetrics
 	pool    sync.Pool
+
+	// Fault containment (fault.go). attrib/injector/faultHook are written
+	// under mu's write side and read under the read side Process holds; the
+	// quarantine table is swapped atomically so enforcement never locks.
+	attrib    attribution
+	injector  Injector
+	faultHook func(*PacketFault)
+	quar      atomic.Pointer[quarTable]
 }
 
 // Stats aggregates switch-lifetime counters.
@@ -194,18 +203,33 @@ func (sw *Switch) Process(data []byte, port int) ([]Output, *Trace, error) {
 }
 
 // process is Process without the latency measurement wrapped around it.
+// Every per-packet failure — including recovered panics — surfaces as a
+// *PacketFault; the switch itself never dies on data-plane input.
 func (sw *Switch) process(data []byte, port int) ([]Output, *Trace, error) {
 	sw.stats.packetsIn.Add(1)
 	sw.mu.RLock()
 	defer sw.mu.RUnlock()
+	maxPasses := MaxPasses
+	if inj := sw.injector; inj != nil {
+		inj.Delay()
+		if b := inj.PassBound(); b > 0 && b < maxPasses {
+			maxPasses = b
+		}
+	}
 	tr := &Trace{}
 	var queueArr [2]pass
 	queue := append(queueArr[:0], pass{data: data, port: port, instanceType: instNormal})
 	var outputs []Output
+	// lastAttr remembers the most recent attribution value observed across
+	// passes, so a pass-bound fault is pinned on the vdev driving the loop.
+	var lastAttr uint64
 	for len(queue) > 0 {
-		if tr.Passes >= MaxPasses {
+		if tr.Passes >= maxPasses {
 			sw.releaseQueued(queue)
-			return nil, nil, fmt.Errorf("sim: packet exceeded %d pipeline passes", MaxPasses)
+			return nil, nil, sw.fault(&PacketFault{
+				Kind: FaultPassBound, Port: port, Attr: lastAttr,
+				Msg: fmt.Sprintf("sim: packet exceeded %d pipeline passes", maxPasses),
+			})
 		}
 		tr.Passes++
 		p := queue[0]
@@ -216,9 +240,15 @@ func (sw *Switch) process(data []byte, port int) ([]Output, *Trace, error) {
 		} else {
 			sw.metrics.recordPass(p.instanceType)
 		}
-		emitted, next, err := sw.runPass(p, tr)
+		emitted, next, attr, err := sw.runPassContained(p, tr)
+		if attr != 0 {
+			lastAttr = attr
+		}
 		if err != nil {
 			sw.releaseQueued(queue)
+			if f, ok := err.(*PacketFault); ok {
+				return nil, nil, sw.fault(f)
+			}
 			return nil, nil, err
 		}
 		outputs = append(outputs, emitted...)
@@ -232,6 +262,28 @@ func (sw *Switch) process(data []byte, port int) ([]Output, *Trace, error) {
 	return outputs, tr, nil
 }
 
+// runPassContained executes one pass with panic recovery: a panic anywhere
+// in parse/pipeline/deparse becomes a FaultPanic. The panicking packet state
+// is abandoned rather than repooled (it may be mid-mutation), as are any
+// clone states staged for follow-on passes; both are reclaimed by GC and the
+// pool re-allocates on demand.
+func (sw *Switch) runPassContained(p pass, tr *Trace) (outputs []Output, next []pass, attr uint64, err error) {
+	var cur *packetState
+	defer func() {
+		if r := recover(); r != nil {
+			if cur != nil {
+				attr = sw.attrOf(cur)
+			}
+			outputs, next = nil, nil
+			err = &PacketFault{
+				Kind: FaultPanic, Port: p.port, Attr: attr,
+				Msg: fmt.Sprintf("sim: recovered panic in pipeline: %v", r),
+			}
+		}
+	}()
+	return sw.runPass(p, tr, &cur)
+}
+
 // releaseQueued returns the states of abandoned clone passes to the pool.
 func (sw *Switch) releaseQueued(queue []pass) {
 	for _, p := range queue {
@@ -241,30 +293,60 @@ func (sw *Switch) releaseQueued(queue []pass) {
 	}
 }
 
-// runPass executes one pipeline pass and returns emitted packets plus any
-// follow-on passes (resubmits, recirculations, clones). The pass's packet
-// state is returned to the pool before runPass returns; follow-on clone
-// passes carry their own freshly cloned states.
-func (sw *Switch) runPass(p pass, tr *Trace) ([]Output, []pass, error) {
+// failPass reads the attribution value, repools the state, and wraps a stage
+// error into a PacketFault of the given kind. The attribution must be read
+// before the state returns to the pool (repooled states are reused
+// concurrently).
+func (sw *Switch) failPass(ps *packetState, kind FaultKind, port int, err error) (uint64, *PacketFault) {
+	attr := sw.attrOf(ps)
+	sw.putState(ps)
+	return attr, &PacketFault{Kind: kind, Port: port, Attr: attr, Msg: err.Error(), err: err}
+}
+
+// dropQuarantined repools the state of a pass aborted by quarantine
+// enforcement and counts the drop. Not a fault: quarantine drops are the
+// containment working as intended.
+func (sw *Switch) dropQuarantined(ps *packetState) uint64 {
+	attr := sw.attrOf(ps)
+	sw.metrics.quarDrops.Add(1)
+	sw.putState(ps)
+	return attr
+}
+
+// runPass executes one pipeline pass and returns emitted packets, follow-on
+// passes (resubmits, recirculations, clones), and the attribution value
+// observed for the pass. The pass's packet state is returned to the pool
+// before runPass returns; follow-on clone passes carry their own freshly
+// cloned states. *cur tracks the live state so the panic recovery in
+// runPassContained can attribute a fault raised mid-pass.
+func (sw *Switch) runPass(p pass, tr *Trace, cur **packetState) ([]Output, []pass, uint64, error) {
 	var ps *packetState
 	var followOn []pass
 
 	if p.egressOnly {
 		ps = p.state
+		*cur = ps
 		ps.setStdMeta(hlir.FieldEgressPort, uint64(p.egressPort))
 		ps.setStdMeta(hlir.FieldEgressSpec, uint64(p.egressPort))
 	} else {
 		ps = sw.getState(p.data, p.port)
+		*cur = ps
 		ps.setStdMeta(hlir.FieldInstanceType, p.instanceType)
-		ps.restorePreserved(p.preserved)
+		if err := ps.restorePreserved(p.preserved); err != nil {
+			attr, f := sw.failPass(ps, FaultPipeline, p.port, err)
+			return nil, nil, attr, f
+		}
 		if err := sw.parse(ps, tr); err != nil {
-			sw.putState(ps)
-			return nil, nil, err
+			attr, f := sw.failPass(ps, FaultParse, p.port, err)
+			return nil, nil, attr, f
 		}
 		if ing, ok := sw.prog.Controls[ast.ControlIngress]; ok {
 			if err := sw.runStmts(ing.Body, ps, tr); err != nil {
-				sw.putState(ps)
-				return nil, nil, err
+				if errors.Is(err, errQuarantined) {
+					return nil, nil, sw.dropQuarantined(ps), nil
+				}
+				attr, f := sw.failPass(ps, FaultPipeline, p.port, err)
+				return nil, nil, attr, f
 			}
 		}
 		// End of ingress: resubmit wins over forwarding.
@@ -272,11 +354,12 @@ func (sw *Switch) runPass(p pass, tr *Trace) ([]Output, []pass, error) {
 			sw.stats.resubmits.Add(1)
 			tr.Resubmits++
 			preserved, err := ps.capturePreserved(ps.resubmitList)
+			attr := sw.attrOf(ps)
 			sw.putState(ps)
 			if err != nil {
-				return nil, nil, err
+				return nil, nil, attr, &PacketFault{Kind: FaultPipeline, Port: p.port, Attr: attr, Msg: err.Error(), err: err}
 			}
-			return nil, []pass{{data: p.data, port: p.port, preserved: preserved, instanceType: instResubmit}}, nil
+			return nil, []pass{{data: p.data, port: p.port, preserved: preserved, instanceType: instResubmit}}, attr, nil
 		}
 		if ps.cloneI2ERaised {
 			sw.stats.clones.Add(1)
@@ -294,8 +377,9 @@ func (sw *Switch) runPass(p pass, tr *Trace) ([]Output, []pass, error) {
 		}
 		spec := ps.stdMetaUint(hlir.FieldEgressSpec)
 		if spec == hlir.DropSpec {
+			attr := sw.attrOf(ps)
 			sw.putState(ps)
-			return nil, followOn, nil
+			return nil, followOn, attr, nil
 		}
 		ps.setStdMeta(hlir.FieldEgressPort, spec)
 	}
@@ -304,8 +388,12 @@ func (sw *Switch) runPass(p pass, tr *Trace) ([]Output, []pass, error) {
 	ps.inEgress = true
 	if eg, ok := sw.prog.Controls[ast.ControlEgress]; ok {
 		if err := sw.runStmts(eg.Body, ps, tr); err != nil {
-			sw.putState(ps)
-			return nil, nil, err
+			sw.releaseQueued(followOn)
+			if errors.Is(err, errQuarantined) {
+				return nil, nil, sw.dropQuarantined(ps), nil
+			}
+			attr, f := sw.failPass(ps, FaultPipeline, p.port, err)
+			return nil, nil, attr, f
 		}
 	}
 	if ps.cloneE2ERaised {
@@ -319,25 +407,29 @@ func (sw *Switch) runPass(p pass, tr *Trace) ([]Output, []pass, error) {
 	}
 	outBytes, err := sw.deparse(ps)
 	if err != nil {
-		sw.putState(ps)
-		return nil, nil, err
+		sw.releaseQueued(followOn)
+		attr, f := sw.failPass(ps, FaultDeparse, p.port, err)
+		return nil, nil, attr, f
 	}
 	if ps.recircRaised {
 		sw.stats.recirculates.Add(1)
 		tr.Recirculates++
 		preserved, err := ps.capturePreserved(ps.recircList)
 		port := int(ps.stdMetaUint(hlir.FieldIngressPort))
+		attr := sw.attrOf(ps)
 		sw.putState(ps)
 		if err != nil {
-			return nil, nil, err
+			sw.releaseQueued(followOn)
+			return nil, nil, attr, &PacketFault{Kind: FaultPipeline, Port: p.port, Attr: attr, Msg: err.Error(), err: err}
 		}
-		return nil, append(followOn, pass{data: outBytes, port: port, preserved: preserved, instanceType: instRecirculate}), nil
+		return nil, append(followOn, pass{data: outBytes, port: port, preserved: preserved, instanceType: instRecirculate}), attr, nil
 	}
 	dropped := ps.dropped
 	port := int(ps.stdMetaUint(hlir.FieldEgressPort))
+	attr := sw.attrOf(ps)
 	sw.putState(ps)
 	if dropped {
-		return nil, followOn, nil
+		return nil, followOn, attr, nil
 	}
-	return []Output{{Port: port, Data: outBytes}}, followOn, nil
+	return []Output{{Port: port, Data: outBytes}}, followOn, attr, nil
 }

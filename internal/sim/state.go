@@ -50,6 +50,7 @@ type packetState struct {
 
 	shortExtract bool // parser ran past the end of the packet (zero-filled)
 	inEgress     bool // executing the egress control
+	quarVerdict  int8 // per-pass quarantine verdict cache (fault.go)
 
 	// Reusable scratch, retained across pooled uses.
 	keyBuf  []byte           // exact/LPM lookup key bytes
@@ -102,6 +103,7 @@ func (sw *Switch) getState(data []byte, port int) *packetState {
 	ps.truncateTo = 0
 	ps.shortExtract = false
 	ps.inEgress = false
+	ps.quarVerdict = quarUnchecked
 	ps.setStdMeta(hlir.FieldIngressPort, uint64(port))
 	ps.setStdMeta(hlir.FieldPacketLength, uint64(len(data)))
 	// Deviation from the P4_14 zero-init rule: egress_spec starts at the
@@ -233,29 +235,34 @@ func (ps *packetState) fieldWidth(ref ast.FieldRef) (int, error) {
 	return loc.width, nil
 }
 
-func (ps *packetState) stdMeta(field string) bitfield.Value {
+// stdLoc resolves a standard-metadata field name. Every caller passes an
+// hlir.Field* constant and hlir.Resolve always synthesizes the full
+// standard_metadata instance, so a miss is a true invariant violation, not a
+// state user input can reach — the panic stays (and is contained by the
+// per-packet recovery in any case). User-named fields go through
+// layout.fieldLoc, which returns structured errors.
+func (ps *packetState) stdLoc(field string) fieldLoc {
 	loc, ok := ps.sw.lay.stdLocs[field]
 	if !ok {
-		panic(fmt.Sprintf("sim: unknown standard metadata field %q", field))
+		panic(fmt.Sprintf("sim: invariant violation: unknown standard metadata field %q", field))
 	}
+	return loc
+}
+
+func (ps *packetState) stdMeta(field string) bitfield.Value {
+	loc := ps.stdLoc(field)
 	return ps.meta[ps.sw.lay.stdSlot].Slice(loc.off, loc.width)
 }
 
 // stdMetaUint reads a standard metadata field as an integer without
 // allocating.
 func (ps *packetState) stdMetaUint(field string) uint64 {
-	loc, ok := ps.sw.lay.stdLocs[field]
-	if !ok {
-		panic(fmt.Sprintf("sim: unknown standard metadata field %q", field))
-	}
+	loc := ps.stdLoc(field)
 	return ps.meta[ps.sw.lay.stdSlot].UintAt(loc.off, loc.width)
 }
 
 func (ps *packetState) setStdMeta(field string, val uint64) {
-	loc, ok := ps.sw.lay.stdLocs[field]
-	if !ok {
-		panic(fmt.Sprintf("sim: unknown standard metadata field %q", field))
-	}
+	loc := ps.stdLoc(field)
 	ps.meta[ps.sw.lay.stdSlot].InsertUint(loc.off, loc.width, val)
 }
 
@@ -295,16 +302,19 @@ func (ps *packetState) capturePreserved(listName string) (map[ast.FieldRef]bitfi
 }
 
 // restorePreserved writes captured metadata values into a fresh pass state.
-func (ps *packetState) restorePreserved(fields map[ast.FieldRef]bitfield.Value) {
+// Field lists come from user programs, so a write failure is a structured
+// per-packet error (surfaced as a pipeline fault), not a panic.
+func (ps *packetState) restorePreserved(fields map[ast.FieldRef]bitfield.Value) error {
 	for ref, val := range fields {
 		// Only metadata can survive a pass boundary; header fields are
 		// re-extracted from the wire bytes.
 		if ii, ok := ps.sw.lay.insts[ref.Instance]; ok && ii.metaSlot >= 0 {
 			if err := ps.setField(ref, val); err != nil {
-				panic(err)
+				return fmt.Errorf("sim: restoring preserved field %s.%s: %w", ref.Instance, ref.Field, err)
 			}
 		}
 	}
+	return nil
 }
 
 // cloneForEgress deep-copies the packet state for clone_i2e / clone_e2e into
@@ -326,6 +336,7 @@ func (ps *packetState) cloneForEgress() *packetState {
 	out.truncateTo = ps.truncateTo
 	out.shortExtract = ps.shortExtract
 	out.inEgress = false
+	out.quarVerdict = quarUnchecked
 	out.clearPassFlags()
 	return out
 }
