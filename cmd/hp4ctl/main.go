@@ -145,8 +145,11 @@ func runBatch(client *ctl.Client, lines []string) {
 }
 
 // follow tails the event stream, printing one line per event. A broken
-// connection reconnects with capped exponential backoff — the cursor is kept,
-// so no buffered events are missed across a switch restart.
+// connection reconnects with capped exponential backoff, keeping the cursor
+// so no buffered events are missed. If the switch restarted (its event seq
+// restarts at 0), the server spots the stale cursor and hands back a rewound
+// one, so the follower picks up the new instance's events instead of
+// waiting for its seq to outgrow the old cursor.
 func follow(client *ctl.Client) {
 	var since int64
 	failures := 0

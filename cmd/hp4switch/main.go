@@ -82,6 +82,12 @@ func main() {
 	healthPolicy := flag.String("health-policy", "drop", "quarantine policy: drop | bypass")
 	flag.Parse()
 
+	quarPolicy, policyErr := dpmu.ParseQuarantinePolicy(*healthPolicy)
+	if policyErr != nil {
+		fmt.Fprintln(os.Stderr, "hp4switch: -health-policy:", policyErr)
+		os.Exit(2)
+	}
+
 	var prog *hlir.Program
 	var pers *persona.Persona
 	var err error
@@ -132,7 +138,7 @@ func main() {
 			TripFaults:   *healthTrip,
 			OpenFor:      *healthOpen,
 			ProbePackets: *healthProbes,
-			Policy:       dpmu.QuarantinePolicy(*healthPolicy),
+			Policy:       quarPolicy,
 		})
 		cp = ctl.New(d)
 		mgmt = ctl.NewCLI(cp, "operator")

@@ -3,6 +3,7 @@ package ctl
 import (
 	"bytes"
 	"crypto/rand"
+	"encoding/binary"
 	"encoding/hex"
 	"encoding/json"
 	"fmt"
@@ -60,13 +61,16 @@ func (c *Client) client(extraWait time.Duration) *http.Client {
 	return &cl
 }
 
-// newRequestID mints a random write-idempotency token.
+// newRequestID mints a random write-idempotency token. Dedup tokens need
+// uniqueness, not secrecy, so if crypto/rand fails the non-crypto generator
+// fills in — an empty ID would silently disable dedup while transport
+// retries stay on, reintroducing the duplicate apply the ID exists to
+// prevent.
 func newRequestID() string {
 	var b [16]byte
 	if _, err := rand.Read(b[:]); err != nil {
-		// crypto/rand failing is effectively fatal elsewhere; degrade to
-		// no dedup rather than crash the control plane.
-		return ""
+		binary.LittleEndian.PutUint64(b[:8], mrand.Uint64())
+		binary.LittleEndian.PutUint64(b[8:], mrand.Uint64())
 	}
 	return hex.EncodeToString(b[:])
 }
@@ -217,8 +221,12 @@ func (c *Client) Stats() (*StatsResponse, error) {
 
 // Events long-polls for events after since, returning the events (possibly
 // none, on timeout) and the next cursor. waitSecs bounds the server-side
-// wait (0 = server default). Events does not retry: followers own their
-// reconnect policy, and a blind retry here would double the poll latency.
+// wait (0 = server default). If the switch restarted since the cursor was
+// minted, the server detects the seq regression and returns a rewound
+// cursor (0), so a follower that keeps passing back Next replays the new
+// instance's buffer instead of waiting forever on a stale cursor. Events
+// does not retry: followers own their reconnect policy, and a blind retry
+// here would double the poll latency.
 func (c *Client) Events(since int64, waitSecs int) ([]Event, int64, error) {
 	vals := url.Values{"since": {fmt.Sprint(since)}}
 	wait := maxWait

@@ -62,10 +62,13 @@ func (h *hub) close() {
 	h.mu.Unlock()
 }
 
-// waitSince returns every event with Seq > since, blocking until one exists,
-// the context ends, or the hub closes (the latter two return the long-poll
-// timeout shape: an empty slice).
-func (h *hub) waitSince(ctx context.Context, since int64) []Event {
+// waitSince returns every event with Seq > since plus the hub's head seq,
+// blocking until an event exists, the context ends, or the hub closes (the
+// latter two return the long-poll timeout shape: an empty slice). A since
+// ahead of the head — a cursor minted by a previous incarnation of the
+// server, whose seq restarted at 0 — returns immediately rather than parking
+// the caller behind events that will never come.
+func (h *hub) waitSince(ctx context.Context, since int64) ([]Event, int64) {
 	for {
 		h.mu.Lock()
 		if h.seq > since {
@@ -75,19 +78,24 @@ func (h *hub) waitSince(ctx context.Context, since int64) []Event {
 					out = append(out, e)
 				}
 			}
+			head := h.seq
 			h.mu.Unlock()
-			return out
+			return out, head
 		}
-		if h.closed {
+		if h.closed || h.seq < since {
+			head := h.seq
 			h.mu.Unlock()
-			return nil
+			return nil, head
 		}
 		wake := h.wake
 		h.mu.Unlock()
 		select {
 		case <-wake:
 		case <-ctx.Done():
-			return nil
+			h.mu.Lock()
+			head := h.seq
+			h.mu.Unlock()
+			return nil, head
 		}
 	}
 }
@@ -107,8 +115,10 @@ func (c *Ctl) publishOp(op *Op, res Result) {
 	}
 }
 
-// Events returns every event with Seq > since, blocking until at least one
-// exists or ctx ends. Seq 0 starts from the beginning of the buffer.
-func (c *Ctl) Events(ctx context.Context, since int64) []Event {
+// Events returns every event with Seq > since and the current head seq,
+// blocking until at least one event exists or ctx ends. Seq 0 starts from
+// the beginning of the buffer. A head below since tells the caller its
+// cursor predates this server instance.
+func (c *Ctl) Events(ctx context.Context, since int64) ([]Event, int64) {
 	return c.events.waitSince(ctx, since)
 }

@@ -64,9 +64,15 @@ type tableEntry struct {
 
 // EventsResponse is the body of GET /v1/events. Next is the cursor to pass
 // as ?since= on the next poll (unchanged when the poll timed out empty).
+// Head is the seq of the newest event this server instance has published; a
+// Head below the ?since= the client sent means the server restarted (seq
+// restarts at 0) and the cursor is from the previous incarnation — Next is
+// then reset to 0 so the follower replays the new instance's buffer instead
+// of silently waiting for the new seq to catch up with the stale cursor.
 type EventsResponse struct {
 	Events []Event `json:"events"`
 	Next   int64   `json:"next"`
+	Head   int64   `json:"head"`
 }
 
 // maxWait bounds the /v1/events long poll.
@@ -179,12 +185,18 @@ func (c *Ctl) handleEvents(w http.ResponseWriter, r *http.Request) {
 	}
 	ctx, cancel := context.WithTimeout(r.Context(), wait)
 	defer cancel()
-	events := c.Events(ctx, since)
+	events, head := c.Events(ctx, since)
 	next := since
+	if head < next {
+		// Cursor from a previous server incarnation: rewind to the start of
+		// this instance's buffer so its events replay (waitSince returned
+		// immediately, so the client learns without burning a full poll).
+		next = 0
+	}
 	for _, e := range events {
 		if e.Seq > next {
 			next = e.Seq
 		}
 	}
-	writeJSON(w, http.StatusOK, EventsResponse{Events: events, Next: next})
+	writeJSON(w, http.StatusOK, EventsResponse{Events: events, Next: next, Head: head})
 }

@@ -143,6 +143,54 @@ func TestServerEvents(t *testing.T) {
 	}
 }
 
+// TestServerEventsRestartRewindsCursor simulates a follower whose cursor
+// outlives the switch: a fresh server instance (event seq restarted at 0)
+// must detect the regression and rewind the cursor immediately, rather than
+// parking the follower until the new seq outgrows the stale one.
+func TestServerEventsRestartRewindsCursor(t *testing.T) {
+	_, old := serveCtl(t)
+	for _, op := range []Op{
+		{Kind: OpLoadVDev, VDev: "l2", Function: "l2_switch"},
+		{Kind: OpUnload, VDev: "l2"},
+		{Kind: OpLoadVDev, VDev: "l2", Function: "l2_switch"},
+	} {
+		if _, err := old.Write([]Op{op}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_, stale, err := old.Events(0, 1)
+	if err != nil || stale != 3 {
+		t.Fatalf("priming cursor: %d %v", stale, err)
+	}
+
+	// "Restart": a brand-new control plane whose event seq starts over.
+	_, fresh := serveCtl(t)
+	if _, err := fresh.Write([]Op{{Kind: OpLoadVDev, VDev: "l2", Function: "l2_switch"}}); err != nil {
+		t.Fatal(err)
+	}
+
+	// The stale cursor is ahead of everything the new instance has ever
+	// published: the poll must come back right away (not sit out the full
+	// wait) with a rewound cursor.
+	start := time.Now()
+	events, next, err := fresh.Events(stale, 10)
+	if err != nil || len(events) != 0 {
+		t.Fatalf("stale poll: %+v %v", events, err)
+	}
+	if next != 0 {
+		t.Fatalf("stale cursor not rewound: next=%d", next)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("stale poll parked for %v", elapsed)
+	}
+
+	// Following the rewound cursor replays the new instance's buffer.
+	events, next, err = fresh.Events(next, 1)
+	if err != nil || len(events) != 1 || events[0].Kind != "load" || next != events[0].Seq {
+		t.Fatalf("replay after rewind: %+v next=%d err=%v", events, next, err)
+	}
+}
+
 // TestLocalRemoteParity runs the same script through the local CLI and
 // through the HTTP client on two fresh switches; the resulting forwarding
 // behavior and dumps must be byte-identical.

@@ -14,11 +14,17 @@ package dpmu
 // while waiting for the switch write lock — a writer waiting on an RWMutex
 // blocks new readers, so hook → d.mu would deadlock). The tracker therefore
 // has its own leaf mutex; everything the hook touches (the pid map, fault
-// windows, the sim quarantine table) is reachable under that mutex alone.
-// Time-based transitions (quarantined → probing → healthy) and bypass
-// rewiring need d.mu and happen in SyncHealth, called from every health
-// query and management surface. Lock order: d.mu before health.mu, never the
-// reverse.
+// windows, the sim quarantine table — the latter lock-free atomics) is
+// reachable under that mutex alone. Time-based transitions (quarantined →
+// probing → healthy) and bypass rewiring need d.mu and happen in SyncHealth,
+// called from every health query and management surface. Lock order: d.mu
+// before health.mu, never the reverse — and, for the same reason the hook
+// cannot take d.mu, the switch write lock must never be requested while
+// health.mu is held: a faulting packet holds the switch read lock and blocks
+// on health.mu in onFault, while a pending switch writer blocks waiting for
+// that reader to drain. Bypass rewiring therefore collects its decisions
+// under health.mu, releases it, and performs the table writes under d.mu
+// alone (see syncHealthLocked / ResetHealth).
 
 import (
 	"fmt"
@@ -77,8 +83,22 @@ func DefaultHealthConfig() HealthConfig {
 	}
 }
 
+// ParseQuarantinePolicy validates an operator-supplied policy string.
+// Anything but the exact "drop"/"bypass" spellings is an error, so a typo
+// can't silently run the switch under the wrong containment policy.
+func ParseQuarantinePolicy(s string) (QuarantinePolicy, error) {
+	switch p := QuarantinePolicy(s); p {
+	case PolicyDrop, PolicyBypass:
+		return p, nil
+	}
+	return "", fmt.Errorf("dpmu: unknown quarantine policy %q (want %q or %q)", s, PolicyDrop, PolicyBypass)
+}
+
 // sanitize fills zero fields with defaults so a partially specified config
-// can't divide by zero or trip instantly.
+// can't divide by zero or trip instantly. Only the empty policy is coerced
+// (to the default, drop) — operator-facing strings are validated up front by
+// ParseQuarantinePolicy; an unknown value that slips in programmatically
+// behaves as drop at runtime (only PolicyBypass enables rewiring).
 func (c HealthConfig) sanitize() HealthConfig {
 	def := DefaultHealthConfig()
 	if c.Window <= 0 {
@@ -93,8 +113,8 @@ func (c HealthConfig) sanitize() HealthConfig {
 	if c.ProbePackets <= 0 {
 		c.ProbePackets = def.ProbePackets
 	}
-	if c.Policy != PolicyBypass {
-		c.Policy = PolicyDrop
+	if c.Policy == "" {
+		c.Policy = def.Policy
 	}
 	return c
 }
@@ -355,6 +375,12 @@ func (d *DPMU) syncHealthLocked() {
 		state HealthState
 	}
 	var events []event
+	// Bypass rewiring writes switch tables, which blocks on the switch write
+	// lock; a faulting packet holds the switch read lock while blocked on
+	// health.mu in onFault. Collect the decisions here and rewire only after
+	// health.mu is released (d.mu, which we hold, serializes the rewiring
+	// and pins every breaker state transition meanwhile).
+	var enforce, undo []string
 	rebuild := false
 	for _, v := range h.sortedLocked() {
 		switch v.state {
@@ -365,9 +391,6 @@ func (d *DPMU) syncHealthLocked() {
 				events = append(events, event{v.name, Healthy})
 			}
 		case Quarantined:
-			if h.cfg.Policy == PolicyBypass && !v.bypassed {
-				v.bypassed = d.enforceBypassLocked(v.name)
-			}
 			if now.Sub(v.trippedAt) >= h.cfg.OpenFor {
 				v.state = Probing
 				v.probeStart = now
@@ -376,11 +399,13 @@ func (d *DPMU) syncHealthLocked() {
 				if v.bypassed {
 					// Probes must reach the device: restore its links for
 					// the half-open phase.
-					d.undoBypassLocked(v.name)
+					undo = append(undo, v.name)
 					v.bypassed = false
 				}
 				rebuild = true
 				events = append(events, event{v.name, Probing})
+			} else if h.cfg.Policy == PolicyBypass && !v.bypassed {
+				enforce = append(enforce, v.name)
 			}
 		case Probing:
 			// A fault during probing re-trips in onFault; here we only
@@ -399,6 +424,31 @@ func (d *DPMU) syncHealthLocked() {
 	}
 	notify := h.notify
 	h.mu.Unlock()
+
+	for _, name := range undo {
+		d.undoBypassLocked(name)
+	}
+	if len(enforce) > 0 {
+		bypassed := enforce[:0]
+		for _, name := range enforce {
+			if d.enforceBypassLocked(name) {
+				bypassed = append(bypassed, name)
+			}
+		}
+		if len(bypassed) > 0 {
+			h.mu.Lock()
+			for _, name := range bypassed {
+				// d.mu held throughout keeps the state Quarantined (onFault
+				// never leaves Quarantined; every other transition needs
+				// d.mu), so the record is still the one we decided on.
+				if v := h.byName[name]; v != nil && v.state == Quarantined {
+					v.bypassed = true
+				}
+			}
+			h.mu.Unlock()
+		}
+	}
+
 	if notify != nil {
 		for _, e := range events {
 			notify(e.name, e.state)
@@ -457,16 +507,19 @@ func (d *DPMU) ResetHealth(owner, vdev string) error {
 		h.mu.Unlock()
 		return fmt.Errorf("dpmu: no health record for %q: %w", vdev, ErrNotFound)
 	}
-	if v.bypassed {
-		d.undoBypassLocked(vdev)
-		v.bypassed = false
-	}
+	wasBypassed := v.bypassed
+	v.bypassed = false
 	v.state = Healthy
 	v.window = v.window[:0]
 	v.probeFresh = false
 	h.rebuildQuarantineLocked(d.SW)
 	notify := h.notify
 	h.mu.Unlock()
+	// Same rule as syncHealthLocked: the link rewiring blocks on the switch
+	// write lock and must not run with health.mu held.
+	if wasBypassed {
+		d.undoBypassLocked(vdev)
+	}
 	if notify != nil {
 		notify(vdev, Healthy)
 	}

@@ -237,6 +237,125 @@ func TestBypassPolicyRewiresChain(t *testing.T) {
 	}
 }
 
+// launchDelayedFaultingPacket arms an injector that makes every packet dawdle
+// inside the switch read lock before faulting in arp's pass (attr 1) — and
+// hence calling the fault hook, which takes health.mu — then sends one ping
+// on a background goroutine and gives it time to enter its delay. It returns
+// a channel carrying the packet's error. The caller then performs a bypass
+// rewire: the table write blocks on the switch write lock until the packet
+// drains, and the packet's fault hook needs health.mu — so any code that
+// rewires while holding health.mu deadlocks here deterministically.
+func launchDelayedFaultingPacket(t *testing.T, d *DPMU) <-chan error {
+	t.Helper()
+	d.SW.SetInjector(chaos.New(chaos.Spec{
+		Seed: 1, Attr: 1, PanicEvery: 1,
+		DelayEvery: 1, Delay: 200 * time.Millisecond,
+	}))
+	done := make(chan error, 1)
+	go func() {
+		_, _, err := d.SW.Process(ping(), 1)
+		done <- err
+	}()
+	time.Sleep(100 * time.Millisecond) // packet is now parked inside its delay
+	return done
+}
+
+// TestHealthSyncBypassConcurrentFaultNoDeadlock pins a faulting packet inside
+// the switch read lock while a health sync enforces bypass for a quarantined
+// device. Enforcing under health.mu deadlocked: the rewire's table write
+// waits for the packet to drain, the packet's fault hook waits for health.mu.
+func TestHealthSyncBypassConcurrentFaultNoDeadlock(t *testing.T) {
+	d := newPersonaDPMU(t)
+	d.SetHealthConfig(HealthConfig{
+		Window:       time.Second,
+		TripFaults:   2,
+		OpenFor:      time.Hour, // stay quarantined: no probing transition
+		ProbePackets: 1,
+		Policy:       PolicyBypass,
+	})
+	loadComposition(t, d) // arp(1) → fw(2) → r(3)
+
+	// Trip the firewall WITHOUT a health query in between, so the first
+	// bypass enforcement happens in the sync below, under contention.
+	d.SW.SetInjector(chaos.New(chaos.Spec{Seed: 1, Attr: 2, PanicEvery: 1}))
+	for i := 0; i < 2; i++ {
+		if _, _, err := d.SW.Process(ping(), 1); err == nil {
+			t.Fatalf("packet %d should fault in fw", i)
+		}
+	}
+
+	packet := launchDelayedFaultingPacket(t, d)
+	health := make(chan HealthSnapshot, 1)
+	go func() { health <- d.Health() }()
+	select {
+	case snap := <-health:
+		if got := stateOf(t, snap, "fw"); got.State != Quarantined || !got.Bypassed {
+			t.Fatalf("fw after sync: %+v", got)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("deadlock: health sync enforcing bypass never returned")
+	}
+	if err := <-packet; err == nil {
+		t.Fatal("in-flight packet should have faulted")
+	}
+}
+
+// TestResetHealthConcurrentFaultNoDeadlock is the undo-side twin: ResetHealth
+// restores a bypassed device's links while a faulting packet is in flight.
+func TestResetHealthConcurrentFaultNoDeadlock(t *testing.T) {
+	d := newPersonaDPMU(t)
+	d.SetHealthConfig(HealthConfig{
+		Window:       time.Second,
+		TripFaults:   2,
+		OpenFor:      time.Hour,
+		ProbePackets: 1,
+		Policy:       PolicyBypass,
+	})
+	loadComposition(t, d)
+
+	d.SW.SetInjector(chaos.New(chaos.Spec{Seed: 1, Attr: 2, PanicEvery: 1}))
+	for i := 0; i < 2; i++ {
+		if _, _, err := d.SW.Process(ping(), 1); err == nil {
+			t.Fatalf("packet %d should fault in fw", i)
+		}
+	}
+	if got := stateOf(t, d.Health(), "fw"); got.State != Quarantined || !got.Bypassed {
+		t.Fatalf("fw not bypassed: %+v", got)
+	}
+
+	packet := launchDelayedFaultingPacket(t, d)
+	reset := make(chan error, 1)
+	go func() { reset <- d.ResetHealth("op", "fw") }()
+	select {
+	case err := <-reset:
+		if err != nil {
+			t.Fatalf("reset: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("deadlock: ResetHealth undoing bypass never returned")
+	}
+	if err := <-packet; err == nil {
+		t.Fatal("in-flight packet should have faulted")
+	}
+	if got := stateOf(t, d.Health(), "fw"); got.State != Healthy || got.Bypassed {
+		t.Fatalf("fw after reset: %+v", got)
+	}
+}
+
+func TestParseQuarantinePolicy(t *testing.T) {
+	for _, s := range []string{"drop", "bypass"} {
+		p, err := ParseQuarantinePolicy(s)
+		if err != nil || string(p) != s {
+			t.Errorf("ParseQuarantinePolicy(%q) = %q, %v", s, p, err)
+		}
+	}
+	for _, s := range []string{"", "Bypass", "DROP", "none"} {
+		if p, err := ParseQuarantinePolicy(s); err == nil {
+			t.Errorf("ParseQuarantinePolicy(%q) = %q, want error", s, p)
+		}
+	}
+}
+
 func TestResetHealthAuthAndEffect(t *testing.T) {
 	d := newPersonaDPMU(t)
 	clock := newFakeClock()
