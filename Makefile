@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race lookup-race chaos-race chaos-smoke fuzz-smoke metrics-smoke api-smoke bench-smoke throughput ci
+.PHONY: all build vet test race lookup-race chaos-race chaos-smoke fuzz-smoke metrics-smoke api-smoke bench-smoke throughput analyze lint-smoke ci
 
 all: ci
 
@@ -92,10 +92,25 @@ api-smoke:
 bench-smoke:
 	$(GO) test -run xxx -bench Throughput -benchtime 100x .
 
+# Repo-invariant analyzers (internal/analysis): the dpmu lock hierarchy and
+# the sim hot-path allocation rules, enforced over the whole module.
+analyze:
+	$(GO) run ./cmd/hp4analyze ./...
+
+# Data-plane verifier smoke: every artifact the repo ships must lint clean —
+# the four guest functions at the reference persona geometry, the sequential
+# composition at its wider pipeline, and the composition example script
+# replayed onto a live persona switch.
+lint-smoke:
+	$(GO) run ./cmd/hp4lint p4src/l2_switch.p4 p4src/firewall.p4 p4src/router.p4 p4src/arp_proxy.p4
+	$(GO) run ./cmd/hp4lint -stages 6 p4src/composed.p4
+	$(GO) run ./cmd/hp4lint -script examples/scripts/composition.txt
+	@echo lint smoke ok
+
 # Full serial-vs-parallel measurement; writes BENCH_throughput.json. The
 # -faults row measures the armed-but-idle fault-injection hooks, which must
 # sit within noise of the plain hp4 row.
 throughput:
 	$(GO) run ./cmd/hp4bench -parallel -faults
 
-ci: vet build race lookup-race chaos-race chaos-smoke fuzz-smoke metrics-smoke api-smoke bench-smoke throughput
+ci: vet build analyze race lookup-race chaos-race chaos-smoke fuzz-smoke lint-smoke metrics-smoke api-smoke bench-smoke throughput

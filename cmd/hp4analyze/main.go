@@ -1,0 +1,77 @@
+// Command hp4analyze runs the repository's invariant analyzers
+// (internal/analysis: lockorder, hotpath) over Go package patterns. It is
+// wired into `make ci` so the lock-hierarchy doctrine and the hot-path
+// allocation rules are enforced on every change, not just remembered.
+//
+// Usage:
+//
+//	hp4analyze ./...
+//	hp4analyze -run lockorder ./internal/core/dpmu
+//
+// Exit status: 0 clean, 1 findings, 2 usage or load failure.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"hyper4/internal/analysis"
+)
+
+func main() {
+	run := flag.String("run", "", "comma-separated analyzer names (default: all)")
+	list := flag.Bool("list", false, "list available analyzers and exit")
+	flag.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: hp4analyze [-run name,...] <package patterns>")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	all := []*analysis.Analyzer{analysis.Lockorder, analysis.Hotpath}
+	if *list {
+		for _, a := range all {
+			fmt.Printf("%-10s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+	if flag.NArg() == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	analyzers := all
+	if *run != "" {
+		byName := map[string]*analysis.Analyzer{}
+		for _, a := range all {
+			byName[a.Name] = a
+		}
+		analyzers = nil
+		for _, name := range strings.Split(*run, ",") {
+			a, ok := byName[strings.TrimSpace(name)]
+			if !ok {
+				fmt.Fprintf(os.Stderr, "hp4analyze: unknown analyzer %q\n", name)
+				os.Exit(2)
+			}
+			analyzers = append(analyzers, a)
+		}
+	}
+
+	pkgs, err := analysis.Load(flag.Args()...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hp4analyze:", err)
+		os.Exit(2)
+	}
+	diags, err := analysis.Run(pkgs, analyzers)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hp4analyze:", err)
+		os.Exit(2)
+	}
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		os.Exit(1)
+	}
+}

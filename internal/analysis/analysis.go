@@ -1,0 +1,138 @@
+// Package analysis is a small, dependency-free static-analysis framework
+// for this repository's own invariants — the shapes of bug the runtime
+// tests can only catch probabilistically (lock-order inversions that need
+// a precise interleaving, allocations on the per-packet path that only
+// show up as throughput loss).
+//
+// It deliberately mirrors the go/analysis vocabulary (Analyzer, Pass,
+// Diagnostic) so the passes could migrate to the real framework if the
+// x/tools dependency ever becomes available, but it is implemented
+// entirely on the standard library: packages are loaded via
+// `go list -deps -export -json` and type-checked from source against the
+// build cache's export data (see load.go).
+//
+// Suppression: a finding whose source line carries a trailing
+// `//hp4:allow <analyzer>` comment is dropped. Every suppression is a
+// documented, reviewed exception — the comment survives in the diff.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// An Analyzer is one named invariant checker.
+type Analyzer struct {
+	Name string // short lower-case identifier, used in //hp4:allow
+	Doc  string // one-paragraph description of the invariant
+	Run  func(*Pass) error
+}
+
+// A Diagnostic is one finding, positioned in the analyzed source.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s: %s", d.Pos, d.Analyzer, d.Message)
+}
+
+// A Pass is one (analyzer, package) pairing: the loaded syntax and type
+// information plus the reporting sink.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	// allow maps "<filename>:<line>" to the analyzer names suppressed on
+	// that line, built once per package from //hp4:allow comments.
+	allow map[string]map[string]bool
+
+	diags *[]Diagnostic
+}
+
+// Reportf records a finding at pos unless the line carries a matching
+// //hp4:allow suppression.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Fset.Position(pos)
+	key := fmt.Sprintf("%s:%d", position.Filename, position.Line)
+	if names, ok := p.allow[key]; ok && (names[p.Analyzer.Name] || names["all"]) {
+		return
+	}
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      position,
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// allowDirective is the suppression comment prefix.
+const allowDirective = "//hp4:allow "
+
+// buildAllow scans every comment in the package for suppression
+// directives. The directive suppresses findings reported on its own line,
+// so it is written as a trailing comment on the flagged statement.
+func buildAllow(fset *token.FileSet, files []*ast.File) map[string]map[string]bool {
+	allow := map[string]map[string]bool{}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				rest, ok := strings.CutPrefix(c.Text, allowDirective)
+				if !ok {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				key := fmt.Sprintf("%s:%d", pos.Filename, pos.Line)
+				if allow[key] == nil {
+					allow[key] = map[string]bool{}
+				}
+				for _, name := range strings.Fields(rest) {
+					allow[key][name] = true
+				}
+			}
+		}
+	}
+	return allow
+}
+
+// Run applies the analyzers to the loaded packages and returns all
+// findings sorted by position. Analyzer errors (not findings) abort.
+func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		allow := buildAllow(pkg.Fset, pkg.Files)
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer:  a,
+				Fset:      pkg.Fset,
+				Files:     pkg.Files,
+				Pkg:       pkg.Types,
+				TypesInfo: pkg.Info,
+				allow:     allow,
+				diags:     &diags,
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("%s on %s: %w", a.Name, pkg.ImportPath, err)
+			}
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return diags, nil
+}

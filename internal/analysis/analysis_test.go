@@ -1,0 +1,137 @@
+package analysis
+
+// The analyzer tests run the real loader over the testdata fixtures (go
+// list expands no testdata in ./... patterns, but explicit import paths
+// load fine) and over the production packages the analyzers guard, so
+// "HEAD is clean" is itself a pinned regression test.
+
+import (
+	"fmt"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+// wantsOf scans a loaded package for `// want: <substring>` comments and
+// returns them keyed by "<file>:<line>".
+func wantsOf(pkg *Package) map[string]string {
+	wants := map[string]string{}
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if _, rest, ok := strings.Cut(c.Text, "// want: "); ok {
+					pos := pkg.Fset.Position(c.Pos())
+					wants[fmt.Sprintf("%s:%d", pos.Filename, pos.Line)] = strings.TrimSpace(rest)
+				}
+			}
+		}
+	}
+	return wants
+}
+
+// checkFixture loads one fixture package, runs one analyzer, and matches
+// findings against the fixture's want comments exactly: every want must be
+// hit, every finding must be wanted.
+func checkFixture(t *testing.T, path string, a *Analyzer) {
+	t.Helper()
+	pkgs, err := Load(path)
+	if err != nil {
+		t.Fatalf("load %s: %v", path, err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("want 1 package, got %d", len(pkgs))
+	}
+	wants := wantsOf(pkgs[0])
+	if len(wants) == 0 {
+		t.Fatalf("fixture %s has no want comments", path)
+	}
+	diags, err := Run(pkgs, []*Analyzer{a})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	matched := map[string]bool{}
+	for _, d := range diags {
+		key := fmt.Sprintf("%s:%d", d.Pos.Filename, d.Pos.Line)
+		want, ok := wants[key]
+		if !ok {
+			t.Errorf("unexpected finding: %s", d)
+			continue
+		}
+		if !strings.Contains(d.Message, want) {
+			t.Errorf("finding at %s: got %q, want substring %q", key, d.Message, want)
+		}
+		matched[key] = true
+	}
+	for key, want := range wants {
+		if !matched[key] {
+			t.Errorf("missing finding at %s (want %q)", key, want)
+		}
+	}
+}
+
+// TestLockorderFixture: the analyzer must flag the PR-4 deadlock shape
+// (helper table-write under health.mu), the direct write, the hierarchy
+// inversion and the re-entry — and stay silent on the doctrine-conforming
+// functions.
+func TestLockorderFixture(t *testing.T) {
+	checkFixture(t, "hyper4/internal/analysis/testdata/lockfix", Lockorder)
+}
+
+// TestHotpathFixture: wall-clock reads, fmt and map allocation are flagged
+// in the root and the transitively hot helper; fmt.Errorf, the //hp4:allow
+// suppression and cold code are not.
+func TestHotpathFixture(t *testing.T) {
+	checkFixture(t, "hyper4/internal/analysis/testdata/hotfix", Hotpath)
+}
+
+// TestProductionPackagesClean pins the acceptance criterion: the shipped
+// dpmu and sim packages carry no lockorder or hotpath findings (beyond the
+// reviewed //hp4:allow sites, which the framework drops before reporting).
+func TestProductionPackagesClean(t *testing.T) {
+	pkgs, err := Load("hyper4/internal/core/dpmu", "hyper4/internal/sim")
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	diags, err := Run(pkgs, []*Analyzer{Lockorder, Hotpath})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	for _, d := range diags {
+		t.Errorf("production finding: %s", d)
+	}
+}
+
+// TestSuppressionScope: //hp4:allow only silences its own analyzer name
+// (or "all"), on its own line.
+func TestSuppressionScope(t *testing.T) {
+	pkgs, err := Load("hyper4/internal/analysis/testdata/hotfix")
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	pkg := pkgs[0]
+	allow := buildAllow(pkg.Fset, pkg.Files)
+	found := false
+	for key, names := range allow {
+		if names["hotpath"] {
+			found = true
+			if names["lockorder"] {
+				t.Errorf("%s: suppression leaked to another analyzer", key)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("fixture's hotpath suppression not indexed")
+	}
+}
+
+// TestDiagnosticString keeps the rendering stable for CI log grepping.
+func TestDiagnosticString(t *testing.T) {
+	d := Diagnostic{
+		Pos:      token.Position{Filename: "x.go", Line: 3, Column: 2},
+		Analyzer: "lockorder",
+		Message:  "boom",
+	}
+	if got := d.String(); got != "x.go:3:2: lockorder: boom" {
+		t.Fatalf("rendering drifted: %q", got)
+	}
+}

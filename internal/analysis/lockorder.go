@@ -1,0 +1,265 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+)
+
+// Lockorder enforces the DPMU's lock hierarchy doctrine (the package
+// comment of internal/core/dpmu/health.go): the switch lock and the DPMU
+// mutex sit above the health tracker's leaf mutex, so while health.mu is
+// held code must not
+//
+//   - call a sim.Switch method (a table write needs the switch write lock,
+//     and a faulting packet holds the switch read lock while blocking on
+//     health.mu — the PR-4 bypass-rewire deadlock), except the lock-free
+//     quarantine accessors, or
+//   - acquire the DPMU mutex (management ops take d.mu before health.mu;
+//     the reverse order inverts the hierarchy), or
+//   - re-acquire health.mu.
+//
+// The check is transitive over same-package calls: a helper that performs
+// a forbidden operation poisons every caller that invokes it under
+// health.mu. Types are matched by name (healthTracker, Switch, DPMU) so
+// the regression fixture can reproduce the shape outside the dpmu package.
+var Lockorder = &Analyzer{
+	Name: "lockorder",
+	Doc:  "flag switch calls and DPMU lock acquisition while the health leaf mutex is held",
+	Run:  runLockorder,
+}
+
+// switchAllowlist are the sim.Switch methods designed to be called under
+// health.mu: lock-free atomics on the quarantine table.
+var switchAllowlist = map[string]bool{
+	"QuarantineRemaining": true,
+	"SetQuarantine":       true,
+}
+
+// lockOp is one forbidden operation, with the position it occurs at and a
+// human description.
+type lockOp struct {
+	pos  ast.Node
+	desc string
+}
+
+// funcFacts is the per-function summary pass 1 computes.
+type funcFacts struct {
+	decl *ast.FuncDecl
+	name string
+	// ops anywhere in the body, regardless of local lock state — what a
+	// caller executes if it invokes this function under health.mu.
+	ops []lockOp
+	// same-package callees anywhere in the body.
+	calls []*types.Func
+	// ops performed while this function itself holds health.mu.
+	heldOps []lockOp
+	// same-package calls made while health.mu is held.
+	heldCalls []heldCall
+}
+
+type heldCall struct {
+	pos    ast.Node
+	callee *types.Func
+}
+
+func runLockorder(pass *Pass) error {
+	facts := map[*types.Func]*funcFacts{}
+	var order []*types.Func
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			obj, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			facts[obj] = collectLockFacts(pass, fd)
+			order = append(order, obj)
+		}
+	}
+
+	// Fixpoint: poisoned(f) holds a representative forbidden op reachable
+	// from f (its own or via same-package calls), or nil.
+	poisoned := map[*types.Func]*lockOp{}
+	chain := map[*types.Func]string{}
+	for changed := true; changed; {
+		changed = false
+		for _, f := range order {
+			if poisoned[f] != nil {
+				continue
+			}
+			ff := facts[f]
+			if len(ff.ops) > 0 {
+				poisoned[f] = &ff.ops[0]
+				chain[f] = ff.name
+				changed = true
+				continue
+			}
+			for _, callee := range ff.calls {
+				if op := poisoned[callee]; op != nil {
+					poisoned[f] = op
+					chain[f] = ff.name + " -> " + chain[callee]
+					changed = true
+					break
+				}
+			}
+		}
+	}
+
+	for _, f := range order {
+		ff := facts[f]
+		for _, op := range ff.heldOps {
+			pass.Reportf(op.pos.Pos(), "%s while health.mu is held (in %s)", op.desc, ff.name)
+		}
+		for _, hc := range ff.heldCalls {
+			if op := poisoned[hc.callee]; op != nil {
+				pass.Reportf(hc.pos.Pos(), "call under health.mu reaches %s (via %s)", op.desc, chain[hc.callee])
+			}
+		}
+	}
+	return nil
+}
+
+// collectLockFacts walks one function body in source order, tracking
+// whether health.mu is held. The linear approximation is deliberate: the
+// doctrine's critical sections are straight-line lock...unlock spans (or
+// defer-unlocked whole functions), and a conditional lock would itself be
+// a doctrine violation worth noticing by other means.
+func collectLockFacts(pass *Pass, fd *ast.FuncDecl) *funcFacts {
+	ff := &funcFacts{decl: fd, name: fd.Name.Name}
+	if fd.Recv != nil {
+		if t := recvTypeName(pass, fd); t != "" {
+			ff.name = t + "." + fd.Name.Name
+		}
+	}
+
+	// Unlock calls syntactically under a defer keep the lock held until
+	// function exit, so they must not clear the walker's held state.
+	deferred := map[*ast.CallExpr]bool{}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if d, ok := n.(*ast.DeferStmt); ok {
+			deferred[d.Call] = true
+		}
+		return true
+	})
+
+	held := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		switch {
+		case isMuCall(pass, call, "healthTracker", "Lock"):
+			if held {
+				ff.heldOps = append(ff.heldOps, lockOp{call, "health.mu re-entry"})
+			}
+			if !deferred[call] {
+				held = true
+			}
+			// A health lock anywhere poisons callers already holding it.
+			ff.ops = append(ff.ops, lockOp{call, "health.mu acquisition"})
+		case isMuCall(pass, call, "healthTracker", "Unlock"):
+			if !deferred[call] {
+				held = false
+			}
+		case isMuCall(pass, call, "DPMU", "Lock"), isMuCall(pass, call, "DPMU", "RLock"):
+			ff.ops = append(ff.ops, lockOp{call, "DPMU mutex acquisition"})
+			if held {
+				ff.heldOps = append(ff.heldOps, lockOp{call, "DPMU mutex acquisition"})
+			}
+		default:
+			if m := switchMethod(pass, call); m != "" && !switchAllowlist[m] {
+				op := lockOp{call, fmt.Sprintf("sim.Switch.%s call", m)}
+				ff.ops = append(ff.ops, op)
+				if held {
+					ff.heldOps = append(ff.heldOps, op)
+				}
+			} else if callee := samePackageCallee(pass, call); callee != nil {
+				ff.calls = append(ff.calls, callee)
+				if held {
+					ff.heldCalls = append(ff.heldCalls, heldCall{call, callee})
+				}
+			}
+		}
+		return true
+	})
+	return ff
+}
+
+// isMuCall reports whether call is `<expr>.mu.Lock()` (or the given
+// method) where <expr>'s type is a named type with the given name.
+func isMuCall(pass *Pass, call *ast.CallExpr, typeName, method string) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != method {
+		return false
+	}
+	mu, ok := sel.X.(*ast.SelectorExpr)
+	if !ok || mu.Sel.Name != "mu" {
+		return false
+	}
+	return namedTypeName(pass.TypesInfo.Types[mu.X].Type) == typeName
+}
+
+// switchMethod returns the method name when call is a method call on a
+// type named Switch, else "".
+func switchMethod(pass *Pass, call *ast.CallExpr) string {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	s, ok := pass.TypesInfo.Selections[sel]
+	if !ok || s.Kind() != types.MethodVal {
+		return ""
+	}
+	if namedTypeName(s.Recv()) != "Switch" {
+		return ""
+	}
+	return sel.Sel.Name
+}
+
+// samePackageCallee resolves a direct call to a function or method defined
+// in the package under analysis.
+func samePackageCallee(pass *Pass, call *ast.CallExpr) *types.Func {
+	var obj types.Object
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		obj = pass.TypesInfo.Uses[fun]
+	case *ast.SelectorExpr:
+		obj = pass.TypesInfo.Uses[fun.Sel]
+	}
+	f, ok := obj.(*types.Func)
+	if !ok || f.Pkg() != pass.Pkg {
+		return nil
+	}
+	return f
+}
+
+// namedTypeName returns the name of the (possibly pointered) named type,
+// or "".
+func namedTypeName(t types.Type) string {
+	if t == nil {
+		return ""
+	}
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if n, ok := t.(*types.Named); ok {
+		return n.Obj().Name()
+	}
+	return ""
+}
+
+// recvTypeName names a method's receiver type for diagnostics.
+func recvTypeName(pass *Pass, fd *ast.FuncDecl) string {
+	if len(fd.Recv.List) == 0 {
+		return ""
+	}
+	return namedTypeName(pass.TypesInfo.Types[fd.Recv.List[0].Type].Type)
+}

@@ -1,0 +1,94 @@
+// Package lockfix is the lockorder analyzer's regression fixture. It
+// reproduces, outside the real dpmu package, the lock shapes the analyzer
+// exists to catch — most importantly the PR-4 bypass-rewire deadlock: a
+// switch table write performed by a helper while the health leaf mutex is
+// held. Lines expecting a finding carry a trailing want-comment naming a
+// substring of the expected message.
+package lockfix
+
+import "sync"
+
+// Switch stands in for sim.Switch: TableAdd needs the (simulated) switch
+// write lock, the quarantine accessors are lock-free.
+type Switch struct{ entries int }
+
+func (s *Switch) TableAdd(table, action string) { s.entries++ }
+
+func (s *Switch) SetQuarantine(budgets map[uint64]int64) {}
+
+func (s *Switch) QuarantineRemaining(pid uint64) (int64, bool) { return 0, false }
+
+// healthTracker stands in for the dpmu breaker state: a leaf mutex.
+type healthTracker struct {
+	mu       sync.Mutex
+	bypassed bool
+}
+
+// DPMU stands in for the real DPMU: coarse mutex above the health leaf.
+type DPMU struct {
+	mu     sync.RWMutex
+	SW     *Switch
+	health healthTracker
+}
+
+// enforceBypassLocked is the old PR-4 helper shape: it writes through the
+// switch, which is only safe when no health lock is held.
+func (d *DPMU) enforceBypassLocked() {
+	d.SW.TableAdd("t_virtnet", "a_bypass")
+}
+
+// onFault reproduces the deadlock: the helper runs under health.mu while a
+// faulting packet would hold the switch read lock and block on health.mu.
+func (d *DPMU) onFault() {
+	d.health.mu.Lock()
+	d.health.bypassed = true
+	d.enforceBypassLocked() // want: reaches sim.Switch.TableAdd
+	d.health.mu.Unlock()
+}
+
+// directWrite performs the write inline under a deferred unlock.
+func (d *DPMU) directWrite() {
+	d.health.mu.Lock()
+	defer d.health.mu.Unlock()
+	d.SW.TableAdd("t_virtnet", "a_bypass") // want: sim.Switch.TableAdd call while health.mu is held
+}
+
+// inversion acquires the DPMU mutex above the leaf — the hierarchy reversed.
+func (d *DPMU) inversion() {
+	d.health.mu.Lock()
+	d.mu.Lock() // want: DPMU mutex acquisition while health.mu is held
+	d.mu.Unlock()
+	d.health.mu.Unlock()
+}
+
+// reenter takes the leaf mutex twice.
+func (d *DPMU) reenter() {
+	d.health.mu.Lock()
+	d.health.mu.Lock() // want: health.mu re-entry
+	d.health.mu.Unlock()
+	d.health.mu.Unlock()
+}
+
+// clean is the doctrine followed: lock-free quarantine calls under the
+// leaf, the table write only after release. No findings expected.
+func (d *DPMU) clean() {
+	d.health.mu.Lock()
+	d.SW.SetQuarantine(map[uint64]int64{1: 0})
+	if _, ok := d.SW.QuarantineRemaining(1); ok {
+		d.health.bypassed = false
+	}
+	d.health.mu.Unlock()
+	d.SW.TableAdd("t_virtnet", "a_bypass")
+}
+
+// syncShape mirrors syncHealthLocked: decide under the leaf, write after.
+func (d *DPMU) syncShape() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.health.mu.Lock()
+	rewire := d.health.bypassed
+	d.health.mu.Unlock()
+	if rewire {
+		d.enforceBypassLocked()
+	}
+}

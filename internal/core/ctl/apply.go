@@ -97,6 +97,9 @@ func (c *Ctl) applyOp(owner string, op *Op) (Result, error) {
 		}
 		return Result{Msg: fmt.Sprintf("health reset for %s", op.VDev)}, nil
 
+	case OpVerify:
+		return c.applyVerify(op)
+
 	case OpSetDefault:
 		args := op.ArgVals
 		if !op.Parsed {

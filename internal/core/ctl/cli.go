@@ -78,6 +78,15 @@ func FormatRead(q *Query, res *ReadResult) string {
 			fmt.Fprintf(&b, "\ntable %s: hits=%d misses=%d entries=%d", ts.Table, ts.Hits, ts.Misses, ts.Entries)
 		}
 		return b.String()
+	case "lint":
+		if len(res.Findings) == 0 {
+			return "lint: clean"
+		}
+		lines := make([]string, len(res.Findings))
+		for i, f := range res.Findings {
+			lines[i] = f.String()
+		}
+		return strings.Join(lines, "\n")
 	case "health":
 		h := res.Health
 		var b strings.Builder

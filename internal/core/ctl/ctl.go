@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"hyper4/internal/core/dpmu"
+	"hyper4/internal/core/verify"
 )
 
 // Ctl is the control plane over one DPMU. All mutating paths — REPL lines,
@@ -174,8 +175,8 @@ func validateOp(op *Op) error {
 		if op.VDev == "" {
 			return invalidf("health_reset wants a device name")
 		}
-	case OpClearAssignments, OpMeterTick:
-		// No payload.
+	case OpClearAssignments, OpMeterTick, OpVerify:
+		// No payload (verify's VDev scope is optional).
 	default:
 		return invalidf("unknown op kind %q", op.Kind)
 	}
@@ -189,6 +190,10 @@ type ReadResult struct {
 	Active    string               `json:"active,omitempty"`
 	Stats     *dpmu.VDevStats      `json:"stats,omitempty"`
 	Health    *dpmu.HealthSnapshot `json:"health,omitempty"`
+	Findings  []verify.Finding     `json:"findings,omitempty"`
+	// Linted marks a lint result so "clean" (no findings) renders
+	// distinguishably from a non-lint result.
+	Linted bool `json:"linted,omitempty"`
 }
 
 // Read answers one read-only query as owner. Per-device stats apply the same
@@ -220,6 +225,12 @@ func (c *Ctl) Read(owner string, q *Query) (*ReadResult, error) {
 			return nil, wrap(fmt.Errorf("no health record for %q: %w", q.VDev, dpmu.ErrNotFound), -1)
 		}
 		return &ReadResult{Health: &snap}, nil
+	case "lint":
+		// The read-only face of the verifier: the same findings the verify
+		// op gates on, never failing, so operators can inspect a live
+		// switch without risking a rollback.
+		findings := filterFindings(verify.Check(c.D.VerifySource()), q.VDev)
+		return &ReadResult{Findings: findings, Linted: true}, nil
 	}
 	return nil, wrap(invalidf("unknown query kind %q", q.Kind), -1)
 }

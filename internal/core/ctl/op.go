@@ -25,6 +25,11 @@ const (
 	OpTableDelete      OpKind = "table_delete"
 	OpSetDefault       OpKind = "set_default"
 	OpHealthReset      OpKind = "health_reset"
+	// OpVerify runs the static verifier over the current state; error
+	// findings fail the op (and roll its batch back), making it a dry-run
+	// admission gate when appended to a batch. VDev optionally scopes the
+	// findings.
+	OpVerify OpKind = "verify"
 )
 
 // Target is one virtual multicast destination.
@@ -104,6 +109,6 @@ type Result struct {
 // Query is one read-only request — the read half of the API, kept separate
 // from Op so WriteBatch stays all-mutating.
 type Query struct {
-	Kind string `json:"kind"` // "vdevs", "stats", "snapshots", "health"
+	Kind string `json:"kind"` // "vdevs", "stats", "snapshots", "health", "lint"
 	VDev string `json:"vdev,omitempty"`
 }

@@ -25,6 +25,7 @@ import (
 //	snapshot_save <name> <port:vdev:vingress>...
 //	snapshot_activate <name>
 //	reset <vdev>
+//	verify [vdev]
 //
 // Virtual table operations (translated, §3.1):
 //
@@ -39,6 +40,7 @@ import (
 //	snapshots
 //	stats <vdev>
 //	health [vdev]
+//	lint [vdev]
 //
 // Match tokens use the emulated program's own field widths and kinds, in the
 // same syntax as internal/sim/runtime; they are parsed against the program
@@ -199,6 +201,26 @@ func ParseLine(line string) (*Op, *Query, error) {
 			return nil, nil, invalidf("reset wants <vdev>")
 		}
 		return &Op{Kind: OpHealthReset, VDev: args[0]}, nil, nil
+
+	case "verify":
+		if len(args) > 1 {
+			return nil, nil, invalidf("verify wants at most one <vdev>")
+		}
+		op := &Op{Kind: OpVerify}
+		if len(args) == 1 {
+			op.VDev = args[0]
+		}
+		return op, nil, nil
+
+	case "lint":
+		if len(args) > 1 {
+			return nil, nil, invalidf("lint wants at most one <vdev>")
+		}
+		q := &Query{Kind: "lint"}
+		if len(args) == 1 {
+			q.VDev = args[0]
+		}
+		return nil, q, nil
 
 	case "vdevs":
 		return nil, &Query{Kind: "vdevs"}, nil

@@ -32,6 +32,10 @@ func FuzzParseLine(f *testing.F) {
 		"snapshot_save day 1:l2:1 any:fw:2",
 		"snapshot_activate day",
 		"reset l2",
+		"verify",
+		"verify l2",
+		"lint",
+		"lint l2",
 		"vdevs",
 		"snapshots",
 		"stats l2",

@@ -14,6 +14,7 @@ import (
 //	GET  /v1/read    ?kind=vdevs|snapshots|stats|health&vdev=&owner= -> ReadResult
 //	GET  /v1/stats                                            -> {"vdevs": [VDevStats...]}
 //	GET  /v1/health  [?vdev=]                                 -> ReadResponse (health only)
+//	GET  /v1/lint    [?vdev=]                                 -> ReadResponse (verifier findings)
 //	GET  /v1/events  ?since=N [&wait=seconds]                 -> EventsResponse (long poll)
 //
 // Every write is a WriteBatch — one op is a batch of one — so remote writes
@@ -85,6 +86,7 @@ func NewServeMux(c *Ctl) *http.ServeMux {
 	mux.HandleFunc("/v1/read", c.handleRead)
 	mux.HandleFunc("/v1/stats", c.handleStats)
 	mux.HandleFunc("/v1/health", c.handleHealth)
+	mux.HandleFunc("/v1/lint", c.handleLint)
 	mux.HandleFunc("/v1/events", c.handleEvents)
 	return mux
 }
@@ -148,6 +150,19 @@ func (c *Ctl) handleRead(w http.ResponseWriter, r *http.Request) {
 // grammar. Hitting it advances the breaker state machine.
 func (c *Ctl) handleHealth(w http.ResponseWriter, r *http.Request) {
 	q := &Query{Kind: "health", VDev: r.URL.Query().Get("vdev")}
+	res, err := c.Read("", q)
+	if err != nil {
+		ce := wrap(err, -1)
+		writeJSON(w, httpStatus(ce.Code), ReadResponse{Error: ce})
+		return
+	}
+	writeJSON(w, http.StatusOK, ReadResponse{Result: res})
+}
+
+// handleLint is the dedicated verifier route: the same payload as
+// /v1/read?kind=lint, as its own endpoint so CI gates can curl it directly.
+func (c *Ctl) handleLint(w http.ResponseWriter, r *http.Request) {
+	q := &Query{Kind: "lint", VDev: r.URL.Query().Get("vdev")}
 	res, err := c.Read("", q)
 	if err != nil {
 		ce := wrap(err, -1)

@@ -1,0 +1,114 @@
+package ctl
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+// TestVerifyOpClean: on a healthy switch the verify op succeeds and says so.
+func TestVerifyOpClean(t *testing.T) {
+	c := configuredCtl(t, 0)
+	res, err := c.Apply("op", &Op{Kind: OpVerify})
+	if err != nil {
+		t.Fatalf("verify on clean state: %v", err)
+	}
+	if !strings.HasPrefix(res.Msg, "verify:") {
+		t.Fatalf("unexpected message %q", res.Msg)
+	}
+}
+
+// TestVerifyOpGatesBatch is the dry-run admission flow: a batch that wires a
+// virtual-network cycle and ends in `verify` must fail as a unit, rolling
+// the links back — the switch never serves the bad topology.
+func TestVerifyOpGatesBatch(t *testing.T) {
+	c := newPersonaCtl(t)
+	mustBatch(t, c, "op", []Op{
+		{Kind: OpLoadVDev, VDev: "a", Function: "l2_switch"},
+		{Kind: OpLoadVDev, VDev: "b", Function: "l2_switch"},
+	})
+
+	_, err := c.WriteBatch("op", []Op{
+		{Kind: OpLink, VDev: "a", VPort: 10, ToVDev: "b", ToVPort: 1},
+		{Kind: OpLink, VDev: "b", VPort: 10, ToVDev: "a", ToVPort: 1},
+		{Kind: OpVerify},
+	})
+	if err == nil {
+		t.Fatal("verify accepted a virtual-network cycle")
+	}
+	var ce *Error
+	if !errors.As(err, &ce) || ce.Code != CodeAborted {
+		t.Fatalf("want ABORTED, got %v", err)
+	}
+	if !strings.Contains(ce.Msg, "vnet-cycle") {
+		t.Fatalf("error should carry the finding code: %q", ce.Msg)
+	}
+
+	// Rollback must have removed the links: a lint of the restored state is
+	// clean, and a rebuilt acyclic topology passes the same gate.
+	res, err := c.Read("op", &Query{Kind: "lint"})
+	if err != nil {
+		t.Fatalf("lint after rollback: %v", err)
+	}
+	if len(res.Findings) != 0 {
+		t.Fatalf("links survived rollback: %v", res.Findings)
+	}
+	mustBatch(t, c, "op", []Op{
+		{Kind: OpLink, VDev: "a", VPort: 10, ToVDev: "b", ToVPort: 1},
+		{Kind: OpVerify},
+	})
+}
+
+// TestVerifyOpScope: a scoped `verify <vdev>` only reports that device's
+// findings (globals like topology cycles always count).
+func TestVerifyOpScope(t *testing.T) {
+	c := newPersonaCtl(t)
+	mustBatch(t, c, "op", []Op{
+		{Kind: OpLoadVDev, VDev: "fw", Function: "firewall"},
+		{Kind: OpLoadVDev, VDev: "l2", Function: "l2_switch"},
+	})
+	// Plant a shadowed entry on fw: catch-all at priority 1, then an
+	// unreachable specific entry at priority 2.
+	mustBatch(t, c, "op", []Op{
+		{Kind: OpTableAdd, VDev: "fw", Table: "tcp_filter", Action: "_drop", Match: []string{"0&&&0", "0&&&0"}, Args: []string{"1"}},
+		{Kind: OpTableAdd, VDev: "fw", Table: "tcp_filter", Action: "_drop", Match: []string{"0&&&0", "5201&&&0xffff"}, Args: []string{"2"}},
+	})
+	if _, err := c.Apply("op", &Op{Kind: OpVerify, VDev: "l2"}); err != nil {
+		t.Fatalf("verify scoped to the clean device: %v", err)
+	}
+	if _, err := c.Apply("op", &Op{Kind: OpVerify, VDev: "fw"}); err == nil {
+		t.Fatal("verify scoped to the defective device passed")
+	}
+	// Unscoped lint sees the finding without failing.
+	res, err := c.Read("op", &Query{Kind: "lint"})
+	if err != nil {
+		t.Fatalf("lint: %v", err)
+	}
+	if len(res.Findings) == 0 {
+		t.Fatal("lint missed the shadowed entry")
+	}
+}
+
+// TestParseVerifyLint pins the dialect words down (beyond the fuzz seeds):
+// verify is an op, lint is a query, both with optional device scope.
+func TestParseVerifyLint(t *testing.T) {
+	op, q, err := ParseLine("verify")
+	if err != nil || op == nil || q != nil || op.Kind != OpVerify || op.VDev != "" {
+		t.Fatalf("verify: %+v %+v %v", op, q, err)
+	}
+	op, q, err = ParseLine("verify l2")
+	if err != nil || op == nil || op.Kind != OpVerify || op.VDev != "l2" {
+		t.Fatalf("verify l2: %+v %+v %v", op, q, err)
+	}
+	op, q, err = ParseLine("lint")
+	if err != nil || q == nil || op != nil || q.Kind != "lint" || q.VDev != "" {
+		t.Fatalf("lint: %+v %+v %v", op, q, err)
+	}
+	op, q, err = ParseLine("lint l2")
+	if err != nil || q == nil || q.Kind != "lint" || q.VDev != "l2" {
+		t.Fatalf("lint l2: %+v %+v %v", op, q, err)
+	}
+	if _, _, err := ParseLine("verify a b"); err == nil {
+		t.Fatal("verify with two args should be rejected")
+	}
+}

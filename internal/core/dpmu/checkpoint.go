@@ -47,7 +47,9 @@ func copyVDev(v *VDev) *VDev {
 		vnet:       make(map[int]pentry, len(v.vnet)),
 	}
 	for h, e := range v.entries {
-		c.entries[h] = &ventry{table: e.table, rows: copyPentries(e.rows)}
+		// spec's slices are immutable after install, so a shallow copy is a
+		// faithful checkpoint.
+		c.entries[h] = &ventry{table: e.table, rows: copyPentries(e.rows), spec: e.spec}
 	}
 	for t, rows := range v.defaults {
 		c.defaults[t] = copyPentries(rows)

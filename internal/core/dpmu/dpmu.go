@@ -15,6 +15,7 @@ import (
 	"hyper4/internal/bitfield"
 	"hyper4/internal/core/hp4c"
 	"hyper4/internal/core/persona"
+	"hyper4/internal/core/verify"
 	"hyper4/internal/p4/ast"
 	"hyper4/internal/sim"
 	"hyper4/internal/sim/runtime"
@@ -69,10 +70,15 @@ type VDev struct {
 // EntryCount returns the number of installed virtual entries.
 func (v *VDev) EntryCount() int { return len(v.entries) }
 
-// ventry is one virtual entry and the persona rows realizing it.
+// ventry is one virtual entry and the persona rows realizing it. spec
+// retains the entry as the caller installed it — control-plane memory only —
+// so the static verifier (internal/core/verify) can re-analyze a device's
+// entry set at the virtual level (shadowing, reachability) without
+// reverse-translating persona rows.
 type ventry struct {
 	table string
 	rows  []pentry
+	spec  EntrySpec
 }
 
 // pentry identifies one persona row. match marks the a_set_match stage-table
@@ -159,6 +165,12 @@ func (d *DPMU) Load(name string, comp *hp4c.Compiled, owner string, quota int) (
 	}
 	if comp.Cfg != d.cfg {
 		return nil, fmt.Errorf("dpmu: program compiled for persona config %+v, switch runs %+v: %w", comp.Cfg, d.cfg, ErrInvalid)
+	}
+	// Load-time verification: hp4c.Compile refuses to emit inconsistent
+	// artifacts, but a Compiled can also arrive deserialized or hand-built;
+	// admit only artifacts the static verifier clears.
+	if fs := verify.Program(comp); verify.HasErrors(fs) {
+		return nil, fmt.Errorf("dpmu: program %s fails verification (%d findings), first: %s: %w", comp.Name, len(fs), fs[0], ErrInvalid)
 	}
 	d.nextPID++
 	v := &VDev{

@@ -210,7 +210,7 @@ func (d *DPMU) TableAdd(owner, vdev string, spec EntrySpec) (int, error) {
 	if err != nil {
 		return 0, err
 	}
-	e := &ventry{table: spec.Table}
+	e := &ventry{table: spec.Table, spec: spec}
 	if err := d.installSpec(v, tbl, ca, spec, &e.rows); err != nil {
 		return 0, err
 	}
@@ -262,6 +262,7 @@ func (d *DPMU) TableModify(owner, vdev string, handle int, spec EntrySpec) error
 	}
 	d.removeRows(e.rows)
 	e.rows = fresh
+	e.spec = spec
 	return nil
 }
 

@@ -1,0 +1,73 @@
+package dpmu
+
+import (
+	"sort"
+
+	"hyper4/internal/core/verify"
+)
+
+// VerifySource exports the DPMU's control-plane state as a verification
+// snapshot for internal/core/verify: every loaded device with its virtual
+// entries (from the retained EntrySpecs) and the full set of persona rows
+// its bookkeeping tracks, the logical virtual-link topology, and a raw
+// switch dump for the tenant-isolation cross-check. The snapshot is
+// self-contained — slices are fresh, payloads immutable — so the verifier
+// runs without any DPMU lock held.
+func (d *DPMU) VerifySource() *verify.Source {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	src := &verify.Source{Cfg: d.cfg, Dump: d.SW.Dump()}
+	for _, name := range d.vdevNames() {
+		v := d.vdevs[name]
+		dev := verify.Device{Name: v.Name, PID: v.PID, Comp: v.Comp}
+		addRows := func(rows []pentry) {
+			for _, r := range rows {
+				dev.Rows = append(dev.Rows, verify.Row{Table: r.table, Handle: r.handle})
+			}
+		}
+		handles := make([]int, 0, len(v.entries))
+		for h := range v.entries {
+			handles = append(handles, h)
+		}
+		sort.Ints(handles)
+		for _, h := range handles {
+			e := v.entries[h]
+			dev.Entries = append(dev.Entries, verify.Entry{
+				Handle:   h,
+				Table:    e.spec.Table,
+				Action:   e.spec.Action,
+				Params:   e.spec.Params,
+				Args:     e.spec.Args,
+				Priority: e.spec.Priority,
+			})
+			addRows(e.rows)
+		}
+		addRows(v.static)
+		tables := make([]string, 0, len(v.defaults))
+		for t := range v.defaults {
+			tables = append(tables, t)
+		}
+		sort.Strings(tables)
+		for _, t := range tables {
+			addRows(v.defaults[t])
+		}
+		addRows(v.links)
+		// vnet rows replace entries in v.links over time; the row set is a
+		// set, so re-adding the live ones is harmless and covers rows that
+		// were replaced in place.
+		ports := make([]int, 0, len(v.vnet))
+		for p := range v.vnet {
+			ports = append(ports, p)
+		}
+		sort.Ints(ports)
+		for _, p := range ports {
+			row := v.vnet[p]
+			dev.Rows = append(dev.Rows, verify.Row{Table: row.table, Handle: row.handle})
+		}
+		src.Devices = append(src.Devices, dev)
+	}
+	for _, l := range d.linkSpecs {
+		src.Links = append(src.Links, verify.Link{FromDev: l.fromDev, FromPort: l.fromPort, ToDev: l.toDev, ToPort: l.toPort})
+	}
+	return src
+}

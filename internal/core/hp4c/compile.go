@@ -50,6 +50,14 @@ func Compile(prog *hlir.Program, cfg persona.Config) (*Compiled, error) {
 	if err := c.checksum(); err != nil {
 		return nil, fmt.Errorf("hp4c %s: %w", prog.AST.Name, err)
 	}
+	// Persona-compatibility gate: the artifact must only reference persona
+	// tables/actions the configured persona declares, with matching
+	// arities. Catching compiler/persona drift here turns an install-time
+	// rejection deep inside a management script into a compile failure
+	// with structured diagnostics.
+	if diags := Validate(c.out); len(diags) > 0 {
+		return nil, &DiagError{Program: prog.AST.Name, Diags: diags}
+	}
 	return c.out, nil
 }
 

@@ -1,0 +1,113 @@
+package hp4c
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"hyper4/internal/core/persona"
+	"hyper4/internal/functions"
+)
+
+// compiledL2 compiles the l2 switch for in-memory mutation.
+func compiledL2(t *testing.T) *Compiled {
+	t.Helper()
+	prog, err := functions.Load(functions.L2Switch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := Compile(prog, persona.Reference)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// TestValidateCleanFunctions: everything the compiler emits for the
+// shipped functions passes its own persona-declaration check — the gate at
+// the end of Compile enforces this, so the test pins the gate's premise.
+func TestValidateCleanFunctions(t *testing.T) {
+	for _, name := range functions.Names() {
+		prog, err := functions.Load(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		comp, err := Compile(prog, persona.Reference)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if diags := Validate(comp); len(diags) != 0 {
+			t.Errorf("%s: want clean, got %v", name, diags)
+		}
+	}
+}
+
+// plantBogusOpcode rewrites one dispatched action's first primitive to an
+// opcode no persona prep action maps to.
+func plantBogusOpcode(t *testing.T, comp *Compiled) {
+	t.Helper()
+	for _, slot := range comp.SlotList {
+		for name := range slot.Next {
+			ca := comp.Actions[name]
+			if ca == nil || len(ca.Prims) == 0 {
+				continue
+			}
+			ca.Prims[0].Op = 9999
+			return
+		}
+	}
+	t.Fatal("no dispatched action with primitives to mutate")
+}
+
+// TestValidateUndeclaredAction: an artifact driving a persona action the
+// configuration does not declare produces a structured diagnostic carrying
+// program, entry and a stable finding code.
+func TestValidateUndeclaredAction(t *testing.T) {
+	comp := compiledL2(t)
+	plantBogusOpcode(t, comp)
+	diags := Validate(comp)
+	if len(diags) == 0 {
+		t.Fatal("mutated artifact validated clean")
+	}
+	d := diags[0]
+	if d.Program != comp.Name || d.Code != "undeclared-action" || d.Entry == "" {
+		t.Fatalf("diagnostic shape: %+v", d)
+	}
+	if !strings.Contains(d.String(), "9999") {
+		t.Fatalf("diagnostic does not name the opcode: %s", d)
+	}
+}
+
+// TestValidateSmallerPersona: re-reading an artifact against a persona too
+// small for it (fewer stages than the compile used) reports the missing
+// stage tables — the drift Validate exists to catch.
+func TestValidateSmallerPersona(t *testing.T) {
+	comp := compiledL2(t)
+	small := persona.Reference
+	small.Stages = 1
+	comp.Cfg = small
+	found := false
+	for _, d := range Validate(comp) {
+		if d.Code == "undeclared-table" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("undersized persona validated clean")
+	}
+}
+
+// TestDiagErrorIsError: the compile gate's error unwraps to the
+// diagnostics so callers can branch on them.
+func TestDiagErrorIsError(t *testing.T) {
+	comp := compiledL2(t)
+	plantBogusOpcode(t, comp)
+	err := error(&DiagError{Program: comp.Name, Diags: Validate(comp)})
+	var de *DiagError
+	if !errors.As(err, &de) || len(de.Diags) == 0 {
+		t.Fatalf("DiagError round-trip: %v", err)
+	}
+	if !strings.Contains(err.Error(), comp.Name) {
+		t.Fatalf("error text omits program: %v", err)
+	}
+}

@@ -1,0 +1,136 @@
+package verify
+
+import (
+	"fmt"
+
+	"hyper4/internal/core/hp4c"
+	"hyper4/internal/core/persona"
+)
+
+// Program checks a compiled entry program for internal consistency and
+// persona-configuration fit, independent of any installed entries:
+//
+//   - the parse requirement must fit the persona's byte grid,
+//   - every slot successor must resolve to a real slot (a dangling
+//     successor strands traffic in a stage that matches nothing),
+//   - every action a slot dispatches on must be compiled,
+//   - every compiled primitive must bind a constant or a real parameter,
+//   - the artifact must reference only persona tables/actions the
+//     configured persona declares (hp4c.Validate).
+//
+// hp4c.Compile runs these itself and refuses to emit a failing artifact, so
+// on a healthy toolchain Program returns nil; it earns its keep on mutated,
+// hand-built, or version-skewed artifacts (and as the DPMU's load gate).
+func Program(comp *hp4c.Compiled) []Finding {
+	if comp == nil {
+		return []Finding{{Code: CodeUndeclaredTable, Severity: SevError, Detail: "no compiled program"}}
+	}
+	var out []Finding
+	cfg := comp.Cfg
+
+	if comp.MaxBytes > cfg.ParseMax {
+		out = append(out, Finding{
+			Code: CodeParseBytes, Severity: SevError,
+			Detail: fmt.Sprintf("program parses %d bytes, persona extracts at most %d", comp.MaxBytes, cfg.ParseMax),
+		})
+	}
+	for i, pe := range comp.ParseEntries {
+		if !pe.More {
+			continue
+		}
+		if r, ok := cfg.RoundBytes(pe.NumBytes); !ok || r != pe.NumBytes {
+			out = append(out, Finding{
+				Code: CodeParseBytes, Severity: SevError,
+				Detail: fmt.Sprintf("parse entry %d requests %d bytes, off the persona's %d-byte grid (max %d)", i, pe.NumBytes, cfg.ParseStep, cfg.ParseMax),
+			})
+		}
+	}
+
+	// Slot successors: collect the live (kind, ID) set, then check every
+	// edge. Kind == persona.NTDone is the compiler's terminal successor
+	// (stage emulation ends there).
+	type slotKey struct{ kind, id int }
+	live := map[slotKey]bool{}
+	for _, s := range comp.SlotList {
+		live[slotKey{s.Kind, s.ID}] = true
+	}
+	resolve := func(s hp4c.Succ) bool {
+		if s.Kind == persona.NTDone {
+			return true
+		}
+		return live[slotKey{s.Kind, s.ID}]
+	}
+	for _, s := range comp.SlotList {
+		if s.Stage > cfg.Stages {
+			out = append(out, Finding{
+				Code: CodePersona, Severity: SevError, Table: s.Table,
+				Detail: fmt.Sprintf("slot %d placed at stage %d, persona has %d stages", s.ID, s.Stage, cfg.Stages),
+			})
+		}
+		if !resolve(s.Miss) {
+			out = append(out, Finding{
+				Code: CodeUnreachable, Severity: SevError, Table: s.Table,
+				Detail: fmt.Sprintf("slot %d miss successor (kind %d, slot %d) matches no compiled slot", s.ID, s.Miss.Kind, s.Miss.ID),
+			})
+		}
+		for action, next := range s.Next {
+			if _, ok := comp.Actions[action]; !ok {
+				out = append(out, Finding{
+					Code: CodeUndeclaredAction, Severity: SevError, Table: s.Table,
+					Detail: fmt.Sprintf("slot %d dispatches on action %q, which the program does not compile", s.ID, action),
+				})
+			}
+			if !resolve(next) {
+				out = append(out, Finding{
+					Code: CodeUnreachable, Severity: SevError, Table: s.Table,
+					Detail: fmt.Sprintf("slot %d successor for action %q (kind %d, slot %d) matches no compiled slot", s.ID, action, next.Kind, next.ID),
+				})
+			}
+		}
+		if s.MissAction != "" {
+			if _, ok := comp.Actions[s.MissAction]; !ok {
+				out = append(out, Finding{
+					Code: CodeUndeclaredAction, Severity: SevError, Table: s.Table,
+					Detail: fmt.Sprintf("slot %d default action %q is not compiled", s.ID, s.MissAction),
+				})
+			}
+		}
+	}
+
+	for name, ca := range comp.Actions {
+		if len(ca.Prims) > cfg.Primitives {
+			out = append(out, Finding{
+				Code: CodeArity, Severity: SevError,
+				Detail: fmt.Sprintf("action %s compiles to %d primitives, persona executes at most %d per stage", name, len(ca.Prims), cfg.Primitives),
+			})
+		}
+		for i, p := range ca.Prims {
+			// Only const-operand opcodes bind a constant or a parameter;
+			// field copies and operand-less prims carry ArgIndex −1.
+			needsOperand := false
+			switch p.Op {
+			case persona.OpModVPortConst, persona.OpModEDConst, persona.OpModMetaConst, persona.OpAddEDConst, persona.OpAddMetaConst:
+				needsOperand = true
+			}
+			bad := p.ArgIndex >= len(ca.Params) ||
+				(needsOperand && p.Const == nil && p.ArgIndex < 0)
+			if bad {
+				out = append(out, Finding{
+					Code: CodeArity, Severity: SevError,
+					Detail: fmt.Sprintf("action %s primitive %d binds parameter %d, action has %d", name, i, p.ArgIndex, len(ca.Params)),
+				})
+			}
+		}
+	}
+
+	// Persona-declaration fit: the compiled rows must target tables and
+	// actions the configured persona actually generates.
+	for _, d := range hp4c.Validate(comp) {
+		out = append(out, Finding{
+			Code: CodePersona, Severity: SevError, Table: d.Entry,
+			Detail: d.Msg,
+		})
+	}
+	sortFindings(out)
+	return out
+}

@@ -196,9 +196,9 @@ const (
 // Process runs one packet through the switch and returns all emitted packets
 // and a trace of the work performed. It is safe for concurrent use.
 func (sw *Switch) Process(data []byte, port int) ([]Output, *Trace, error) {
-	start := time.Now()
+	start := time.Now() //hp4:allow hotpath (the latency histogram is the one sanctioned clock read)
 	outputs, tr, err := sw.process(data, port)
-	sw.metrics.recordLatency(time.Since(start))
+	sw.metrics.recordLatency(time.Since(start)) //hp4:allow hotpath (see above)
 	return outputs, tr, err
 }
 
@@ -228,7 +228,7 @@ func (sw *Switch) process(data []byte, port int) ([]Output, *Trace, error) {
 			sw.releaseQueued(queue)
 			return nil, nil, sw.fault(&PacketFault{
 				Kind: FaultPassBound, Port: port, Attr: lastAttr,
-				Msg: fmt.Sprintf("sim: packet exceeded %d pipeline passes", maxPasses),
+				Msg: fmt.Sprintf("sim: packet exceeded %d pipeline passes", maxPasses), //hp4:allow hotpath (fault path)
 			})
 		}
 		tr.Passes++
@@ -277,7 +277,7 @@ func (sw *Switch) runPassContained(p pass, tr *Trace) (outputs []Output, next []
 			outputs, next = nil, nil
 			err = &PacketFault{
 				Kind: FaultPanic, Port: p.port, Attr: attr,
-				Msg: fmt.Sprintf("sim: recovered panic in pipeline: %v", r),
+				Msg: fmt.Sprintf("sim: recovered panic in pipeline: %v", r), //hp4:allow hotpath (panic recovery path)
 			}
 		}
 	}()

@@ -244,7 +244,7 @@ func (ps *packetState) fieldWidth(ref ast.FieldRef) (int, error) {
 func (ps *packetState) stdLoc(field string) fieldLoc {
 	loc, ok := ps.sw.lay.stdLocs[field]
 	if !ok {
-		panic(fmt.Sprintf("sim: invariant violation: unknown standard metadata field %q", field))
+		panic(fmt.Sprintf("sim: invariant violation: unknown standard metadata field %q", field)) //hp4:allow hotpath (invariant panic)
 	}
 	return loc
 }
@@ -269,10 +269,10 @@ func (ps *packetState) setStdMeta(field string, val uint64) {
 // capturePreserved snapshots the metadata fields named by a field list, for
 // resubmit/recirculate/clone semantics. An empty list name preserves nothing.
 func (ps *packetState) capturePreserved(listName string) (map[ast.FieldRef]bitfield.Value, error) {
-	out := map[ast.FieldRef]bitfield.Value{}
 	if listName == "" {
-		return out, nil
+		return nil, nil
 	}
+	out := map[ast.FieldRef]bitfield.Value{} //hp4:allow hotpath (only reached for resubmit/recirculate/clone)
 	var add func(name string) error
 	add = func(name string) error {
 		fl, ok := ps.sw.prog.FieldLists[name]
