@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race lookup-race chaos-race chaos-smoke fuzz-smoke metrics-smoke api-smoke bench-smoke throughput analyze lint-smoke ci
+.PHONY: all build vet test race lookup-race fuse-diff chaos-race chaos-smoke fuzz-smoke metrics-smoke api-smoke bench-smoke throughput analyze lint-smoke ci
 
 all: ci
 
@@ -20,6 +20,13 @@ race:
 # the race detector (it hammers lookup concurrently-exercised structures).
 lookup-race:
 	$(GO) test -race -run TestLookupDifferential ./internal/sim/
+
+# The fused-fast-path differential harness, explicitly under the race
+# detector: fused vs interpreted runs must agree on every output byte, every
+# entry hit and vdev counter, and plan invalidation must stay safe while
+# racing live traffic (DESIGN.md §13).
+fuse-diff:
+	$(GO) test -race -run 'TestFused' ./internal/core/dpmu/
 
 # The end-to-end fault-containment scenario, explicitly under the race
 # detector (concurrent traffic, probes, and management ops on one switch).
@@ -113,4 +120,4 @@ lint-smoke:
 throughput:
 	$(GO) run ./cmd/hp4bench -parallel -faults
 
-ci: vet build analyze race lookup-race chaos-race chaos-smoke fuzz-smoke lint-smoke metrics-smoke api-smoke bench-smoke throughput
+ci: vet build analyze race lookup-race fuse-diff chaos-race chaos-smoke fuzz-smoke lint-smoke metrics-smoke api-smoke bench-smoke throughput

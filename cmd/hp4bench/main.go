@@ -28,6 +28,7 @@ func main() {
 	throughputPkts := flag.Int("throughput-pkts", 4096, "packets per throughput measurement")
 	throughputJSON := flag.String("throughput-json", "BENCH_throughput.json", "write throughput results to this JSON file (empty = stdout only)")
 	faults := flag.Bool("faults", false, "add an hp4-hooks throughput row (armed-but-idle fault injector) and assert it sits within noise of plain hp4")
+	modes := flag.String("modes", "", "comma-separated throughput mode filter (native,hp4,hp4-fused,hp4-ctl,hp4-hooks); empty = all")
 	flag.Parse()
 
 	experiments := []struct {
@@ -53,7 +54,7 @@ func main() {
 		}},
 	}
 	if *parallel || *only == "throughput" {
-		if err := throughput(*throughputPkts, *throughputJSON, *faults); err != nil {
+		if err := throughput(*throughputPkts, *throughputJSON, *faults, *modes); err != nil {
 			fmt.Fprintf(os.Stderr, "hp4bench throughput: %v\n", err)
 			os.Exit(1)
 		}

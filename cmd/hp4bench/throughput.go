@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"strings"
 	"time"
 
 	"hyper4/internal/bench"
@@ -13,30 +14,89 @@ import (
 
 // printRow prints one throughput measurement line.
 func printRow(res bench.ThroughputResult) {
-	fmt.Printf("%-12s %-8s %14.0f %14.0f %8.2fx %12.1f %9v %9v %9v %9v\n",
+	fmt.Printf("%-12s %-9s %14.0f %14.0f %8.2fx %12.1f %9v %9v %9v %9v\n",
 		res.Function, res.Mode, res.SerialPPS, res.BatchPPS, res.Speedup, res.SerialAlloc,
 		time.Duration(res.P50Ns), time.Duration(res.P90Ns),
 		time.Duration(res.P99Ns), time.Duration(res.P999Ns))
 }
 
+// modeFilter parses the -modes flag into a predicate over mode labels.
+// Empty selects everything.
+func modeFilter(modes string) (func(bench.Mode) bool, error) {
+	if modes == "" {
+		return func(bench.Mode) bool { return true }, nil
+	}
+	known := map[string]bool{}
+	for _, m := range []bench.Mode{bench.Native, bench.HyPer4, bench.HyPer4Fused, bench.HyPer4Ctl, bench.HyPer4Hooks} {
+		known[m.String()] = true
+	}
+	want := map[string]bool{}
+	for _, tok := range strings.Split(modes, ",") {
+		tok = strings.TrimSpace(tok)
+		if !known[tok] {
+			return nil, fmt.Errorf("unknown mode %q in -modes (known: native, hp4, hp4-fused, hp4-ctl, hp4-hooks)", tok)
+		}
+		want[tok] = true
+	}
+	return func(m bench.Mode) bool { return want[m.String()] }, nil
+}
+
+// previousAllocs loads the allocs-per-packet column of an earlier run's JSON
+// file, keyed by function/mode, so the new run can report deltas. A missing
+// or unreadable file simply yields no baseline.
+func previousAllocs(jsonPath string) map[string]float64 {
+	data, err := os.ReadFile(jsonPath)
+	if err != nil {
+		return nil
+	}
+	var prev []bench.ThroughputResult
+	if err := json.Unmarshal(data, &prev); err != nil {
+		return nil
+	}
+	out := make(map[string]float64, len(prev))
+	for _, r := range prev {
+		out[r.Function+"/"+r.Mode] = r.SerialAlloc
+	}
+	return out
+}
+
 // throughput runs the serial-vs-parallel packet throughput experiment and
 // optionally writes the measurements to a JSON file. With faults, an extra
-// hp4-hooks row measures the armed-but-idle fault-injection hooks.
-func throughput(pkts int, jsonPath string, faults bool) error {
+// hp4-hooks row measures the armed-but-idle fault-injection hooks. modes
+// optionally restricts which rows run ("native,hp4-fused").
+func throughput(pkts int, jsonPath string, faults bool, modes string) error {
+	sel, err := modeFilter(modes)
+	if err != nil {
+		return err
+	}
+	prevAllocs := previousAllocs(jsonPath)
+
 	fmt.Printf("Throughput: serial Process vs ProcessBatch (%d packets, GOMAXPROCS=%d)\n",
 		pkts, runtime.GOMAXPROCS(0))
-	fmt.Printf("%-12s %-8s %14s %14s %9s %12s %9s %9s %9s %9s\n",
+	fmt.Printf("%-12s %-9s %14s %14s %9s %12s %9s %9s %9s %9s\n",
 		"program", "mode", "serial pkt/s", "batch pkt/s", "speedup", "allocs/pkt",
 		"p50", "p90", "p99", "p99.9")
 	var results []bench.ThroughputResult
+	byKey := map[string]bench.ThroughputResult{}
+	record := func(res bench.ThroughputResult) {
+		results = append(results, res)
+		byKey[res.Function+"/"+res.Mode] = res
+		printRow(res)
+		if prev, ok := prevAllocs[res.Function+"/"+res.Mode]; ok {
+			fmt.Fprintf(os.Stderr, "allocs/pkt %s/%s: %.1f -> %.1f (%+.1f)\n",
+				res.Function, res.Mode, prev, res.SerialAlloc, res.SerialAlloc-prev)
+		}
+	}
 	for _, fn := range bench.ThroughputFunctions() {
-		for _, mode := range []bench.Mode{bench.Native, bench.HyPer4} {
+		for _, mode := range []bench.Mode{bench.Native, bench.HyPer4, bench.HyPer4Fused} {
+			if !sel(mode) {
+				continue
+			}
 			res, err := bench.Throughput(fn, mode, pkts)
 			if err != nil {
 				return err
 			}
-			results = append(results, res)
-			printRow(res)
+			record(res)
 		}
 	}
 	// One extra row: the l2_switch emulation configured through the typed
@@ -44,40 +104,62 @@ func throughput(pkts int, jsonPath string, faults bool) error {
 	// calls. The management path must not change the data path, so its
 	// serial cost has to sit within noise of the plain hp4 row; the bound
 	// is generous because single-CPU CI runners jitter heavily.
-	ctlRow, err := bench.Throughput(functions.L2Switch, bench.HyPer4Ctl, pkts)
-	if err != nil {
-		return err
+	if sel(bench.HyPer4Ctl) {
+		res, err := bench.Throughput(functions.L2Switch, bench.HyPer4Ctl, pkts)
+		if err != nil {
+			return err
+		}
+		record(res)
 	}
-	results = append(results, ctlRow)
-	printRow(ctlRow)
 	// With -faults, one more row: the same emulation with a fault injector
 	// armed but injecting nothing, measuring the hooks themselves. The
 	// default (no injector) costs a single nil check, and even the armed
 	// hooks must sit within noise of the plain hp4 row.
-	var hooksRow bench.ThroughputResult
-	if faults {
-		if hooksRow, err = bench.Throughput(functions.L2Switch, bench.HyPer4Hooks, pkts); err != nil {
+	if faults && sel(bench.HyPer4Hooks) {
+		res, err := bench.Throughput(functions.L2Switch, bench.HyPer4Hooks, pkts)
+		if err != nil {
 			return err
 		}
-		results = append(results, hooksRow)
-		printRow(hooksRow)
+		record(res)
 	}
-	for _, res := range results {
-		if res.Function == functions.L2Switch && res.Mode == "hp4" {
-			ratio := ctlRow.SerialNsOp / res.SerialNsOp
+
+	// Cross-row assertions, each active only when both of its rows ran.
+	if hp4, ok := byKey[functions.L2Switch+"/hp4"]; ok {
+		if ctlRow, ok := byKey[functions.L2Switch+"/hp4-ctl"]; ok {
+			ratio := ctlRow.SerialNsOp / hp4.SerialNsOp
 			if ratio > 2.5 || ratio < 0.4 {
 				return fmt.Errorf("ctl-configured l2_switch serial cost %.0f ns/pkt vs %.0f ns/pkt plain hp4 (ratio %.2f, want within [0.4, 2.5])",
-					ctlRow.SerialNsOp, res.SerialNsOp, ratio)
+					ctlRow.SerialNsOp, hp4.SerialNsOp, ratio)
 			}
 			fmt.Printf("ctl-configured l2_switch within noise of hp4 baseline (ratio %.2f)\n", ratio)
-			if faults {
-				ratio := hooksRow.SerialNsOp / res.SerialNsOp
-				if ratio > 2.5 || ratio < 0.4 {
-					return fmt.Errorf("fault-hook l2_switch serial cost %.0f ns/pkt vs %.0f ns/pkt plain hp4 (ratio %.2f, want within [0.4, 2.5])",
-						hooksRow.SerialNsOp, res.SerialNsOp, ratio)
-				}
-				fmt.Printf("armed fault hooks within noise of hp4 baseline (ratio %.2f)\n", ratio)
+		}
+		if hooksRow, ok := byKey[functions.L2Switch+"/hp4-hooks"]; ok {
+			ratio := hooksRow.SerialNsOp / hp4.SerialNsOp
+			if ratio > 2.5 || ratio < 0.4 {
+				return fmt.Errorf("fault-hook l2_switch serial cost %.0f ns/pkt vs %.0f ns/pkt plain hp4 (ratio %.2f, want within [0.4, 2.5])",
+					hooksRow.SerialNsOp, hp4.SerialNsOp, ratio)
 			}
+			fmt.Printf("armed fault hooks within noise of hp4 baseline (ratio %.2f)\n", ratio)
+		}
+	}
+	// The fused fast path is the emulation-tax killer (DESIGN.md §13): its
+	// serial cost must land within 5x native, and its steady state must not
+	// allocate per match-action stage like the interpreter does.
+	for _, fn := range bench.ThroughputFunctions() {
+		fused, ok := byKey[fn+"/hp4-fused"]
+		if !ok {
+			continue
+		}
+		if native, ok := byKey[fn+"/native"]; ok {
+			ratio := fused.SerialNsOp / native.SerialNsOp
+			if ratio > 5.0 {
+				return fmt.Errorf("fused %s serial cost %.0f ns/pkt vs %.0f ns/pkt native (ratio %.2f, want <= 5x)",
+					fn, fused.SerialNsOp, native.SerialNsOp, ratio)
+			}
+			fmt.Printf("fused %s at %.2fx native serial cost (interpreted hp4 target: 5x)\n", fn, ratio)
+		}
+		if fn == functions.L2Switch && fused.SerialAlloc >= 50 {
+			return fmt.Errorf("fused l2_switch allocates %.1f/pkt, want < 50", fused.SerialAlloc)
 		}
 	}
 	if runtime.GOMAXPROCS(0) == 1 {

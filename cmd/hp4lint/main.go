@@ -15,10 +15,14 @@
 // findings (undeclared actions, bad arities, dangling parse states, parse
 // windows beyond the persona's budget). Script mode additionally sees the
 // installed entries and topology, so shadowed entries, virtual-network
-// cycles, pass-bound overruns and tenancy violations surface too.
+// cycles, pass-bound overruns and tenancy violations surface too — plus the
+// fuser's "unfusable" report: informational findings naming the constructs
+// (virtual links, multicast, checksum shapes) that keep each vdev off the
+// fused fast path (DESIGN.md §13).
 //
-// Exit status: 0 when no findings, 1 when any finding was reported (even
-// warnings — the operator asked for a lint), 2 on usage or input errors.
+// Exit status: 0 when no warning-or-worse finding was reported
+// (informational findings, like unfusable, don't fail the lint), 1 when any
+// warning or error was, 2 on usage or input errors.
 package main
 
 import (
@@ -143,8 +147,10 @@ func run(argv []string, out, errOut *os.File) int {
 			fmt.Fprintln(out, f.String())
 		}
 	}
-	if len(findings) > 0 {
-		return 1
+	for _, f := range findings {
+		if f.Severity != verify.SevInfo {
+			return 1
+		}
 	}
 	return 0
 }
@@ -183,5 +189,8 @@ func lintScript(path string, cfg persona.Config) ([]verify.Finding, error) {
 	if err := cli.ExecAll(string(src)); err != nil {
 		return nil, fmt.Errorf("%s: %w", path, err)
 	}
-	return verify.Check(d.VerifySource()), nil
+	// The fuse report rides along with the state findings: it explains, per
+	// vdev, which constructs would keep the configuration off the fused
+	// fast path.
+	return append(verify.Check(d.VerifySource()), d.FuseReport()...), nil
 }

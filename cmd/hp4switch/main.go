@@ -80,6 +80,7 @@ func main() {
 	healthOpen := flag.Duration("health-open", 5*time.Second, "circuit breaker: quarantine time before half-open probing")
 	healthProbes := flag.Int("health-probes", 10, "circuit breaker: clean probe passes required to restore")
 	healthPolicy := flag.String("health-policy", "drop", "quarantine policy: drop | bypass")
+	fuse := flag.Bool("fuse", false, "enable the fused fast path: compile per-vdev dispatch plans and bypass the interpreted persona walk (persona mode)")
 	flag.Parse()
 
 	quarPolicy, policyErr := dpmu.ParseQuarantinePolicy(*healthPolicy)
@@ -140,6 +141,10 @@ func main() {
 			ProbePackets: *healthProbes,
 			Policy:       quarPolicy,
 		})
+		if *fuse {
+			d.SetFusion(true)
+			fmt.Println("fused fast path enabled (query with: fuse)")
+		}
 		cp = ctl.New(d)
 		mgmt = ctl.NewCLI(cp, "operator")
 		fmt.Println("persona loaded; DPMU management commands available")

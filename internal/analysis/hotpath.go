@@ -111,7 +111,16 @@ func isHotpathRoot(pass *Pass, fd *ast.FuncDecl) bool {
 			}
 		}
 	}
-	if fd.Recv == nil || recvTypeName(pass, fd) != "Switch" {
+	if fd.Recv == nil {
+		return false
+	}
+	// Any RunFast method is a sim.FastHandler implementation: it runs once
+	// per packet under the switch's read lock, so it is a root whether or
+	// not its author remembered the //hp4:hotpath directive.
+	if fd.Name.Name == "RunFast" {
+		return true
+	}
+	if recvTypeName(pass, fd) != "Switch" {
 		return false
 	}
 	return fd.Name.Name == "Process" || fd.Name.Name == "runPassContained"

@@ -33,6 +33,10 @@ const (
 	// hooks themselves, which must sit within noise of plain HyPer4 (a nil
 	// injector — the default — costs a single pointer check).
 	HyPer4Hooks
+	// HyPer4Fused is HyPer4 emulation with the DPMU's fused fast path
+	// enabled (DESIGN.md §13): per-vdev compiled dispatch plans replace the
+	// interpreted persona walk for fusable traffic.
+	HyPer4Fused
 )
 
 // String names the mode for labels and sub-benchmarks.
@@ -44,6 +48,8 @@ func (m Mode) String() string {
 		return "hp4-ctl"
 	case HyPer4Hooks:
 		return "hp4-hooks"
+	case HyPer4Fused:
+		return "hp4-fused"
 	}
 	return "hp4"
 }
@@ -74,6 +80,15 @@ func compiled(fn string) (*hp4c.Compiled, error) {
 	}
 	compileCache[fn] = c
 	return c, nil
+}
+
+// fuseIf turns the DPMU's fused fast path on when the mode asks for it.
+// Builders call it after their full population so the initial compile sees
+// the final table state.
+func fuseIf(mode Mode, d *dpmu.DPMU) {
+	if mode == HyPer4Fused {
+		d.SetFusion(true)
+	}
 }
 
 // newPersonaSwitch builds a persona switch with a DPMU.
@@ -148,6 +163,7 @@ func l2Switch(name string, mode Mode, hosts []hostEntry) (*sim.Switch, error) {
 			return nil, err
 		}
 	}
+	fuseIf(mode, d)
 	return sw, nil
 }
 
@@ -195,6 +211,7 @@ func firewallSwitch(name string, mode Mode) (*sim.Switch, error) {
 			return nil, err
 		}
 	}
+	fuseIf(mode, d)
 	return sw, nil
 }
 
@@ -308,6 +325,7 @@ func composedSwitch(name string, mode Mode) (*sim.Switch, error) {
 	if err := d.LinkVPorts(owner, functions.Firewall, 10, functions.Router, 1); err != nil {
 		return nil, err
 	}
+	fuseIf(mode, d)
 	return sw, nil
 }
 

@@ -67,6 +67,7 @@ func arpSwitch(name string, mode Mode) (*sim.Switch, error) {
 			return nil, err
 		}
 	}
+	fuseIf(mode, d)
 	return sw, nil
 }
 
@@ -141,6 +142,7 @@ func routerSwitch(name string, mode Mode) (*sim.Switch, error) {
 			return nil, err
 		}
 	}
+	fuseIf(mode, d)
 	return sw, nil
 }
 

@@ -56,6 +56,7 @@ func Throughput(fn string, mode Mode, minPackets int) (ThroughputResult, error) 
 		return ThroughputResult{}, err
 	}
 
+	runtime.GC() // start the timed phases from a collected heap
 	var m0, m1 runtime.MemStats
 	runtime.ReadMemStats(&m0)
 	lat0 := sw.Metrics().Latency
@@ -72,6 +73,10 @@ func Throughput(fn string, mode Mode, minPackets int) (ThroughputResult, error) 
 	// to the serial loop via a snapshot delta.
 	lat := sw.Metrics().Latency.Sub(lat0)
 
+	// Collect the serial loop's garbage before timing the batched phase:
+	// without this, the batched run pays the serial loop's deferred GC debt,
+	// which shows up as a phantom sub-1x "speedup" at low worker counts.
+	runtime.GC()
 	start = time.Now()
 	if _, err := sw.ProcessBatch(inputs); err != nil {
 		return ThroughputResult{}, err

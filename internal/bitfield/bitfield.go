@@ -303,6 +303,23 @@ func (v *Value) SetBytes(data []byte) {
 // resize semantics.
 func (v *Value) SetFrom(o Value) { v.SetBytes(o.b) }
 
+// SetPrefixBytes zeroes v and copies data into its leading bytes (bit offset
+// 0 onward), without allocating — the left-aligned counterpart of SetBytes,
+// used to load packet prefixes into wide extracted-data fields. v's width
+// must be byte-aligned and at least 8*len(data).
+func (v *Value) SetPrefixBytes(data []byte) {
+	if v.padBits() != 0 {
+		panic("bitfield: SetPrefixBytes on non-byte-aligned width")
+	}
+	if len(data) > len(v.b) {
+		panic(fmt.Sprintf("bitfield: SetPrefixBytes %d bytes into width %d", len(data), v.width))
+	}
+	n := copy(v.b, data)
+	for i := n; i < len(v.b); i++ {
+		v.b[i] = 0
+	}
+}
+
 // SetUint overwrites v in place from an unsigned integer.
 func (v *Value) SetUint(x uint64) {
 	for i := len(v.b) - 1; i >= 0; i-- {

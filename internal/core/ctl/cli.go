@@ -87,6 +87,25 @@ func FormatRead(q *Query, res *ReadResult) string {
 			lines[i] = f.String()
 		}
 		return strings.Join(lines, "\n")
+	case "fuse":
+		f := res.Fuse
+		var b strings.Builder
+		state := "off"
+		if f.Enabled {
+			state = "on"
+		}
+		fmt.Fprintf(&b, "fusion %s: plans=%d builds=%d gen=%d fast_hits=%d", state, f.Plans, f.Builds, f.Generation, f.FastHits)
+		for _, v := range f.VDevs {
+			verdict := "interpreted"
+			if v.Fused {
+				verdict = "fused"
+			}
+			fmt.Fprintf(&b, "\n%s (pid %d): %s", v.Name, v.PID, verdict)
+		}
+		for _, fd := range f.Findings {
+			fmt.Fprintf(&b, "\n%s", fd.String())
+		}
+		return b.String()
 	case "health":
 		h := res.Health
 		var b strings.Builder

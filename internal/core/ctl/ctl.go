@@ -191,6 +191,7 @@ type ReadResult struct {
 	Stats     *dpmu.VDevStats      `json:"stats,omitempty"`
 	Health    *dpmu.HealthSnapshot `json:"health,omitempty"`
 	Findings  []verify.Finding     `json:"findings,omitempty"`
+	Fuse      *dpmu.FusionStatus   `json:"fuse,omitempty"`
 	// Linted marks a lint result so "clean" (no findings) renders
 	// distinguishably from a non-lint result.
 	Linted bool `json:"linted,omitempty"`
@@ -228,9 +229,15 @@ func (c *Ctl) Read(owner string, q *Query) (*ReadResult, error) {
 	case "lint":
 		// The read-only face of the verifier: the same findings the verify
 		// op gates on, never failing, so operators can inspect a live
-		// switch without risking a rollback.
+		// switch without risking a rollback. The fuse report rides along:
+		// its informational findings explain which constructs keep a vdev
+		// off the fused fast path.
 		findings := filterFindings(verify.Check(c.D.VerifySource()), q.VDev)
+		findings = append(findings, filterFindings(c.D.FuseReport(), q.VDev)...)
 		return &ReadResult{Findings: findings, Linted: true}, nil
+	case "fuse":
+		st := c.D.FusionStatus()
+		return &ReadResult{Fuse: &st}, nil
 	}
 	return nil, wrap(invalidf("unknown query kind %q", q.Kind), -1)
 }

@@ -41,6 +41,7 @@ import (
 //	stats <vdev>
 //	health [vdev]
 //	lint [vdev]
+//	fuse
 //
 // Match tokens use the emulated program's own field widths and kinds, in the
 // same syntax as internal/sim/runtime; they are parsed against the program
@@ -221,6 +222,12 @@ func ParseLine(line string) (*Op, *Query, error) {
 			q.VDev = args[0]
 		}
 		return nil, q, nil
+
+	case "fuse":
+		if len(args) != 0 {
+			return nil, nil, invalidf("fuse takes no arguments")
+		}
+		return nil, &Query{Kind: "fuse"}, nil
 
 	case "vdevs":
 		return nil, &Query{Kind: "vdevs"}, nil

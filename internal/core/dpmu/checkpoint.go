@@ -92,6 +92,7 @@ func (d *DPMU) Checkpoint() *Checkpoint {
 func (d *DPMU) Rollback(cp *Checkpoint) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
+	defer d.rebuildFusionLocked()
 	d.vdevs = cp.vdevs
 	d.nextPID = cp.nextPID
 	d.nextMatchID = cp.nextMatchID

@@ -19,7 +19,7 @@ import (
 func TestDifferential(t *testing.T) {
 	for _, fn := range functions.Names() {
 		t.Run(fn, func(t *testing.T) {
-			native, emulated := differentialPair(t, fn)
+			native, ed := differentialPair(t, fn)
 			rng := rand.New(rand.NewSource(4242))
 			for i := 0; i < 200; i++ {
 				frame := randomFrame(rng)
@@ -28,7 +28,7 @@ func TestDifferential(t *testing.T) {
 				if err != nil {
 					t.Fatalf("packet %d native: %v", i, err)
 				}
-				eOut, _, err := emulated.Process(frame, port)
+				eOut, _, err := ed.SW.Process(frame, port)
 				if err != nil {
 					t.Fatalf("packet %d emulated: %v", i, err)
 				}
@@ -41,9 +41,9 @@ func TestDifferential(t *testing.T) {
 	}
 }
 
-// differentialPair builds a native and an emulated switch for one function
-// with the same table population.
-func differentialPair(t *testing.T, fn string) (*sim.Switch, *sim.Switch) {
+// differentialPair builds a native switch and an emulated DPMU for one
+// function with the same table population.
+func differentialPair(t *testing.T, fn string) (*sim.Switch, *DPMU) {
 	t.Helper()
 	native, err := functions.NewSwitch("native", fn)
 	if err != nil {
@@ -147,7 +147,7 @@ func differentialPair(t *testing.T, fn string) (*sim.Switch, *sim.Switch) {
 			t.Fatal(err)
 		}
 	}
-	return native, d.SW
+	return native, d
 }
 
 // randomFrame builds a random-but-plausible Ethernet frame: addresses drawn

@@ -13,6 +13,7 @@ import (
 	"sync"
 
 	"hyper4/internal/bitfield"
+	"hyper4/internal/core/fuse"
 	"hyper4/internal/core/hp4c"
 	"hyper4/internal/core/persona"
 	"hyper4/internal/core/verify"
@@ -46,6 +47,14 @@ type DPMU struct {
 	// its own leaf mutex because the fault hook feeding it runs on the
 	// packet path, where taking d.mu would deadlock.
 	health healthTracker
+
+	// Fused fast-path cache lifecycle (fusion.go). Guarded by mu.
+	fusion       bool
+	fusionEngine *fuse.Engine
+	fusionGen    uint64 // switch generation the engine was built against
+	fusionBuilt  bool
+	fusionBuilds uint64
+	fuseFindings []verify.Finding
 }
 
 // VDev is one loaded virtual device: a compiled program bound to a program
@@ -160,6 +169,7 @@ func (d *DPMU) VDev(name string) (*VDev, error) {
 func (d *DPMU) Load(name string, comp *hp4c.Compiled, owner string, quota int) (*VDev, error) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
+	defer d.rebuildFusionLocked()
 	if _, dup := d.vdevs[name]; dup {
 		return nil, fmt.Errorf("dpmu: virtual device %q already loaded: %w", name, ErrExists)
 	}
@@ -201,6 +211,7 @@ func (d *DPMU) Load(name string, comp *hp4c.Compiled, owner string, quota int) (
 func (d *DPMU) Unload(owner, name string) error {
 	d.mu.Lock()
 	defer d.mu.Unlock()
+	defer d.rebuildFusionLocked()
 	v, err := d.auth(owner, name)
 	if err != nil {
 		return err

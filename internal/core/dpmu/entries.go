@@ -199,6 +199,7 @@ func (d *DPMU) installSpec(v *VDev, tbl *ast.Table, ca *hp4c.CompiledAction, spe
 func (d *DPMU) TableAdd(owner, vdev string, spec EntrySpec) (int, error) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
+	defer d.rebuildFusionLocked()
 	v, err := d.auth(owner, vdev)
 	if err != nil {
 		return 0, err
@@ -223,6 +224,7 @@ func (d *DPMU) TableAdd(owner, vdev string, spec EntrySpec) (int, error) {
 func (d *DPMU) TableDelete(owner, vdev, table string, handle int) error {
 	d.mu.Lock()
 	defer d.mu.Unlock()
+	defer d.rebuildFusionLocked()
 	v, err := d.auth(owner, vdev)
 	if err != nil {
 		return err
@@ -244,6 +246,7 @@ func (d *DPMU) TableDelete(owner, vdev, table string, handle int) error {
 func (d *DPMU) TableModify(owner, vdev string, handle int, spec EntrySpec) error {
 	d.mu.Lock()
 	defer d.mu.Unlock()
+	defer d.rebuildFusionLocked()
 	v, err := d.auth(owner, vdev)
 	if err != nil {
 		return err
@@ -271,6 +274,7 @@ func (d *DPMU) TableModify(owner, vdev string, handle int, spec EntrySpec) error
 func (d *DPMU) SetDefault(owner, vdev, table, action string, args []bitfield.Value) error {
 	d.mu.Lock()
 	defer d.mu.Unlock()
+	defer d.rebuildFusionLocked()
 	v, err := d.auth(owner, vdev)
 	if err != nil {
 		return err

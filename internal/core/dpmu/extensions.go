@@ -24,6 +24,7 @@ type VPortRef struct {
 func (d *DPMU) MulticastGroup(owner, vdev string, vport int, targets []VPortRef) error {
 	d.mu.Lock()
 	defer d.mu.Unlock()
+	defer d.rebuildFusionLocked()
 	from, err := d.auth(owner, vdev)
 	if err != nil {
 		return err

@@ -1,0 +1,478 @@
+package dpmu
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"hyper4/internal/bitfield"
+	"hyper4/internal/chaos"
+	"hyper4/internal/core/persona"
+	"hyper4/internal/core/verify"
+	"hyper4/internal/functions"
+	"hyper4/internal/pkt"
+	"hyper4/internal/sim"
+)
+
+// TestFusedDifferential is the fused fast path's fidelity harness: two
+// identically populated emulated switches — one interpreted, one fused —
+// process the same randomized corpus, and must agree on every output byte,
+// every pass count, every per-entry hit counter, and the per-vdev traffic
+// counters. The fused twin must also demonstrably take the fast path
+// (FastHits > 0), so a handler that silently declines everything can't
+// pass vacuously.
+func TestFusedDifferential(t *testing.T) {
+	for _, fn := range functions.Names() {
+		t.Run(fn, func(t *testing.T) {
+			_, dI := differentialPair(t, fn)
+			_, dF := differentialPair(t, fn)
+			dF.SetFusion(true)
+
+			rng := rand.New(rand.NewSource(777))
+			for i := 0; i < 300; i++ {
+				frame := randomFrame(rng)
+				if rng.Intn(8) == 0 && len(frame) > 1 {
+					// Truncated frames exercise short-extract zero fill.
+					frame = frame[:1+rng.Intn(len(frame)-1)]
+				}
+				port := 1 + rng.Intn(3) // port 3 has no egress mapping
+				iOut, iTr, err := dI.SW.Process(frame, port)
+				if err != nil {
+					t.Fatalf("packet %d interpreted: %v", i, err)
+				}
+				fOut, fTr, err := dF.SW.Process(frame, port)
+				if err != nil {
+					t.Fatalf("packet %d fused: %v", i, err)
+				}
+				if !sameOutputs(iOut, fOut) {
+					t.Fatalf("packet %d (port %d) diverged:\ninterpreted: %s\nfused:       %s\nframe: %x",
+						i, port, renderOutputs(iOut), renderOutputs(fOut), frame)
+				}
+				if iTr.Passes != fTr.Passes || iTr.Resubmits != fTr.Resubmits {
+					t.Fatalf("packet %d pass accounting diverged: interpreted passes=%d resubmits=%d, fused passes=%d resubmits=%d",
+						i, iTr.Passes, iTr.Resubmits, fTr.Passes, fTr.Resubmits)
+				}
+			}
+
+			if hits := dF.FusionStatus().FastHits; hits == 0 {
+				t.Fatal("fused switch never took the fast path; differential was vacuous")
+			} else {
+				t.Logf("fast path handled %d packets", hits)
+			}
+
+			// Hit conservation: both switches ran the same operation
+			// sequence, so handles correspond; every installed entry must
+			// have identical hit counts.
+			compareEntryHits(t, dI.SW, dF.SW)
+
+			// Stats and per-vdev counters conserve too.
+			si, sf := dI.SW.Stats(), dF.SW.Stats()
+			if si.PacketsIn != sf.PacketsIn || si.PacketsOut != sf.PacketsOut ||
+				si.PacketsDropped != sf.PacketsDropped || si.Resubmits != sf.Resubmits {
+				t.Errorf("stats diverged: interpreted %+v, fused %+v", si, sf)
+			}
+			ip, ib, err := dI.SW.CounterRead(persona.CounterVDev, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			fp, fb, err := dF.SW.CounterRead(persona.CounterVDev, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ip != fp || ib != fb {
+				t.Errorf("vdev counter diverged: interpreted (%d pkts, %d bytes), fused (%d pkts, %d bytes)", ip, ib, fp, fb)
+			}
+		})
+	}
+}
+
+// compareEntryHits walks every table of both switches and requires each
+// entry's hit counter to match, handle by handle.
+func compareEntryHits(t *testing.T, a, b *sim.Switch) {
+	t.Helper()
+	for _, name := range a.TableNames() {
+		ae, err := a.TableEntriesOrdered(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		be, err := b.TableEntriesOrdered(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(ae) != len(be) {
+			t.Fatalf("table %s: %d vs %d entries", name, len(ae), len(be))
+		}
+		hits := map[int]int64{}
+		for _, e := range ae {
+			hits[e.Handle] = e.Hits()
+		}
+		for _, e := range be {
+			if want, ok := hits[e.Handle]; !ok || want != e.Hits() {
+				t.Errorf("table %s handle %d: interpreted %d hits, fused %d hits", name, e.Handle, want, e.Hits())
+			}
+		}
+	}
+}
+
+// TestFusedCompositionFallback runs the chained arp→fw→router composition
+// with fusion on. Virtual links are unfusable, so packets crossing them
+// must fall back to the interpreter — transparently — and the fuse report
+// must say why.
+func TestFusedCompositionFallback(t *testing.T) {
+	dI := newPersonaDPMU(t)
+	loadComposition(t, dI)
+	dF := newPersonaDPMU(t)
+	loadComposition(t, dF)
+	dF.SetFusion(true)
+
+	for i, frame := range [][]byte{ping(), tcp5201(), l2Frame()} {
+		iOut, _, err := dI.SW.Process(frame, 1)
+		if err != nil {
+			t.Fatalf("frame %d interpreted: %v", i, err)
+		}
+		fOut, _, err := dF.SW.Process(frame, 1)
+		if err != nil {
+			t.Fatalf("frame %d fused: %v", i, err)
+		}
+		if !sameOutputs(iOut, fOut) {
+			t.Fatalf("frame %d diverged: interpreted %s, fused %s", i, renderOutputs(iOut), renderOutputs(fOut))
+		}
+	}
+	compareEntryHits(t, dI.SW, dF.SW)
+
+	report := dF.FuseReport()
+	var sawUnfusable bool
+	for _, f := range report {
+		if f.Code == verify.CodeUnfusable && f.Severity == verify.SevInfo {
+			sawUnfusable = true
+		}
+	}
+	if !sawUnfusable {
+		t.Fatalf("composition with virtual links produced no %s findings: %+v", verify.CodeUnfusable, report)
+	}
+}
+
+// TestFusedRollbackRestoresPlan checks the checkpoint/rollback invalidation
+// edge: a batch that mutates tables recompiles the plan, and rolling the
+// batch back recompiles it again against the restored state — the fast path
+// must serve pre-batch behavior afterwards, not the rolled-back entries.
+func TestFusedRollbackRestoresPlan(t *testing.T) {
+	d := newPersonaDPMU(t)
+	loadL2(t, d, "l2", "alice")
+	d.SetFusion(true)
+
+	frame := l2Frame() // mac1 → mac2, forwards out port 2
+	mustForward := func(step string, wantPort int) {
+		t.Helper()
+		out, _, err := d.SW.Process(frame, 1)
+		if err != nil {
+			t.Fatalf("%s: %v", step, err)
+		}
+		if len(out) != 1 || out[0].Port != wantPort {
+			t.Fatalf("%s: outputs %s, want port %d", step, renderOutputs(out), wantPort)
+		}
+	}
+	mustForward("pre-checkpoint", 2)
+	genBefore := d.FusionStatus().Generation
+
+	cp := d.Checkpoint()
+	// The batch: repoint mac2 to port 1 with a second dmac entry. The l2
+	// program's dmac table is exact-match, so the new row must replace the
+	// old one; find and delete the original through the virtual handles.
+	v, err := d.VDev("l2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dmacHandle int
+	var dmacParams []sim.MatchParam
+	for h, e := range v.entries {
+		if e.table == "dmac" && e.spec.Action == "forward" && e.spec.Args[0].Uint64() == 2 {
+			dmacHandle, dmacParams = h, e.spec.Params
+		}
+	}
+	if dmacParams == nil {
+		t.Fatal("no dmac forward-to-2 entry found")
+	}
+	if err := d.TableDelete("alice", "l2", "dmac", dmacHandle); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.TableAdd("alice", "l2", EntrySpec{
+		Table:  "dmac",
+		Action: "forward",
+		Params: dmacParams,
+		Args:   sim.Args(9, 1),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	mustForward("mid-batch (fused plan must track the write)", 1)
+
+	d.Rollback(cp)
+	mustForward("post-rollback (fused plan must serve restored state)", 2)
+
+	st := d.FusionStatus()
+	if st.Generation <= genBefore {
+		t.Errorf("generation did not advance across batch+rollback: %d -> %d", genBefore, st.Generation)
+	}
+	if st.FastHits == 0 {
+		t.Error("fast path idle after rollback; plan was not rebuilt")
+	}
+}
+
+// TestFusedUnloadFreesPlan checks that unloading a vdev removes its plan
+// and port bindings while other vdevs keep their fast path.
+func TestFusedUnloadFreesPlan(t *testing.T) {
+	d := newPersonaDPMU(t)
+	loadL2(t, d, "l2", "alice")
+
+	// A second L2 vdev on ports 3/4.
+	if _, err := d.Load("l2b", compileFn(t, functions.L2Switch), "bob", 0); err != nil {
+		t.Fatal(err)
+	}
+	c := functions.NewL2ControllerFunc(d.Installer("bob", "l2b"))
+	if err := c.AddHost(mac1, 3); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AddHost(mac2, 4); err != nil {
+		t.Fatal(err)
+	}
+	for _, port := range []int{3, 4} {
+		if err := d.AssignPort("bob", Assignment{PhysPort: port, VDev: "l2b", VIngress: port}); err != nil {
+			t.Fatal(err)
+		}
+		if err := d.MapVPort("bob", "l2b", port, port); err != nil {
+			t.Fatal(err)
+		}
+	}
+	d.SetFusion(true)
+	if st := d.FusionStatus(); st.Plans != 2 {
+		t.Fatalf("plans = %d, want 2 (%+v)", st.Plans, st)
+	}
+
+	frame := l2Frame()
+	out, _, err := d.SW.Process(frame, 3)
+	if err != nil || len(out) != 1 || out[0].Port != 4 {
+		t.Fatalf("l2b pre-unload: out=%s err=%v", renderOutputs(out), err)
+	}
+
+	if err := d.Unload("bob", "l2b"); err != nil {
+		t.Fatal(err)
+	}
+	st := d.FusionStatus()
+	if st.Plans != 1 {
+		t.Fatalf("plans after unload = %d, want 1 (%+v)", st.Plans, st)
+	}
+	hitsBefore := st.FastHits
+
+	// Port 3 traffic now has no assignment: the packet must not be served
+	// by a stale plan.
+	out, _, err = d.SW.Process(frame, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 0 {
+		t.Fatalf("unloaded vdev still forwarding: %s", renderOutputs(out))
+	}
+	// The surviving vdev keeps its fast path.
+	out, _, err = d.SW.Process(frame, 1)
+	if err != nil || len(out) != 1 || out[0].Port != 2 {
+		t.Fatalf("l2 post-unload: out=%s err=%v", renderOutputs(out), err)
+	}
+	if got := d.FusionStatus().FastHits; got <= hitsBefore {
+		t.Errorf("surviving vdev not on fast path: hits %d -> %d", hitsBefore, got)
+	}
+}
+
+// TestFusedQuarantineHandoff checks the containment interaction: a
+// quarantined vdev's packets must leave the fast path (the interpreter
+// owns quarantine accounting), and recovery puts them back on it.
+func TestFusedQuarantineHandoff(t *testing.T) {
+	d := newPersonaDPMU(t)
+	clock := newFakeClock()
+	d.SetHealthClock(clock.now)
+	d.SetHealthConfig(testHealthConfig(PolicyDrop))
+	loadL2(t, d, "l2", "alice")
+	d.SetFusion(true)
+
+	frame := l2Frame()
+	if out, _, err := d.SW.Process(frame, 1); err != nil || len(out) != 1 {
+		t.Fatalf("pre-fault: out=%v err=%v", out, err)
+	}
+	if d.FusionStatus().FastHits == 0 {
+		t.Fatal("healthy vdev not on fast path")
+	}
+
+	// Trip the breaker. While an injector is armed the switch bypasses the
+	// fast path entirely, so the faults land in the interpreter.
+	d.SW.SetInjector(chaos.New(chaos.Spec{Seed: 1, Attr: 1, PanicEvery: 1, PanicFirst: 3}))
+	for i := 0; i < 3; i++ {
+		if _, _, err := d.SW.Process(frame, 1); err == nil {
+			t.Fatalf("packet %d should fault", i)
+		}
+	}
+	d.SW.SetInjector(nil)
+	if got := stateOf(t, d.Health(), "l2"); got.State != Quarantined {
+		t.Fatalf("after trip: %+v", got)
+	}
+
+	// Quarantined: dropped by containment, not served by the plan.
+	hits := d.FusionStatus().FastHits
+	if out, _, err := d.SW.Process(frame, 1); err != nil || len(out) != 0 {
+		t.Fatalf("quarantined packet: out=%v err=%v", out, err)
+	}
+	if got := d.FusionStatus().FastHits; got != hits {
+		t.Fatalf("fast path served a quarantined vdev: hits %d -> %d", hits, got)
+	}
+
+	// Recover: probes run interpreted; once healthy the fast path resumes.
+	clock.advance(150 * time.Millisecond)
+	for i := 0; i < 5 && stateOf(t, d.Health(), "l2").State == Probing; i++ {
+		if out, _, err := d.SW.Process(frame, 1); err != nil || len(out) != 1 {
+			t.Fatalf("probe %d: out=%v err=%v", i, out, err)
+		}
+	}
+	if got := stateOf(t, d.Health(), "l2"); got.State != Healthy {
+		t.Fatalf("after probes: %+v", got)
+	}
+	hits = d.FusionStatus().FastHits
+	if out, _, err := d.SW.Process(frame, 1); err != nil || len(out) != 1 {
+		t.Fatalf("post-recovery: out=%v err=%v", out, err)
+	}
+	if got := d.FusionStatus().FastHits; got <= hits {
+		t.Errorf("fast path did not resume after recovery: hits %d -> %d", hits, got)
+	}
+}
+
+// TestFusedBypassRewireInvalidates replays the health-driven bypass rewire
+// scenario with fusion on: the rewire rewrites virtnet rows, so every plan
+// built before it must be invalidated, and forwarding must match the
+// interpreted semantics at each stage.
+func TestFusedBypassRewireInvalidates(t *testing.T) {
+	d := newPersonaDPMU(t)
+	clock := newFakeClock()
+	d.SetHealthClock(clock.now)
+	d.SetHealthConfig(testHealthConfig(PolicyBypass))
+	loadComposition(t, d) // arp(1) → fw(2) → r(3)
+	d.SetFusion(true)
+
+	if out, _, err := d.SW.Process(tcp5201(), 1); err != nil || len(out) != 0 {
+		t.Fatalf("blocked flow pre-fault: out=%v err=%v", out, err)
+	}
+	if out, _, err := d.SW.Process(ping(), 1); err != nil || len(out) != 1 || out[0].Port != 2 {
+		t.Fatalf("ping pre-fault: out=%v err=%v", out, err)
+	}
+	genBefore := d.FusionStatus().Generation
+
+	// Trip the firewall; the bypass policy rewires the chain around it.
+	d.SW.SetInjector(chaos.New(chaos.Spec{Seed: 1, Attr: 2, PanicEvery: 1, PanicFirst: 3}))
+	for i := 0; i < 3; i++ {
+		if _, _, err := d.SW.Process(ping(), 1); err == nil {
+			t.Fatalf("packet %d should fault in fw", i)
+		}
+	}
+	d.SW.SetInjector(nil)
+	if got := stateOf(t, d.Health(), "fw"); got.State != Quarantined || !got.Bypassed {
+		t.Fatalf("fw after trip: %+v", got)
+	}
+	if gen := d.FusionStatus().Generation; gen <= genBefore {
+		t.Fatalf("bypass rewire did not invalidate plans: generation %d -> %d", genBefore, gen)
+	}
+
+	// Chain forwards around the dead firewall, enforcement suspended.
+	if out, _, err := d.SW.Process(ping(), 1); err != nil || len(out) != 1 || out[0].Port != 2 {
+		t.Fatalf("ping under bypass: out=%v err=%v", out, err)
+	}
+	if out, _, err := d.SW.Process(tcp5201(), 1); err != nil || len(out) != 1 {
+		t.Fatalf("bypassed flow: out=%v err=%v", out, err)
+	}
+
+	// Recovery restores the chain and enforcement.
+	clock.advance(150 * time.Millisecond)
+	for i := 0; i < 5 && stateOf(t, d.Health(), "fw").State == Probing; i++ {
+		if out, _, err := d.SW.Process(ping(), 1); err != nil || len(out) != 1 {
+			t.Fatalf("probe ping %d: out=%v err=%v", i, out, err)
+		}
+	}
+	if got := stateOf(t, d.Health(), "fw"); got.State != Healthy {
+		t.Fatalf("fw after probes: %+v", got)
+	}
+	if out, _, err := d.SW.Process(tcp5201(), 1); err != nil || len(out) != 0 {
+		t.Fatalf("blocked flow post-recovery: out=%v err=%v", out, err)
+	}
+}
+
+// TestFusedInvalidationUnderTraffic hammers the switch with packets while
+// the control plane mutates tables, checkpoints, rolls back, and toggles
+// fusion. Run under -race (the fuse-diff make target), this is the
+// plan-lifetime safety net: no packet may fault, and the final state must
+// still forward correctly on the fast path.
+func TestFusedInvalidationUnderTraffic(t *testing.T) {
+	d := newPersonaDPMU(t)
+	loadL2(t, d, "l2", "alice")
+	d.SetFusion(true)
+
+	stop := make(chan struct{})
+	errs := make(chan error, 4)
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(g)))
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				frame := randomFrame(rng)
+				if _, _, err := d.SW.Process(frame, 1+rng.Intn(2)); err != nil {
+					errs <- fmt.Errorf("traffic goroutine %d: %w", g, err)
+					return
+				}
+			}
+		}(g)
+	}
+
+	churnMAC := pkt.MustMAC("02:00:00:00:00:99")
+	spec := EntrySpec{
+		Table:  "dmac",
+		Action: "forward",
+		Params: []sim.MatchParam{sim.Exact(bitfield.FromBytes(48, churnMAC[:]))},
+		Args:   sim.Args(9, 2),
+	}
+	for i := 0; i < 40; i++ {
+		cp := d.Checkpoint()
+		h, err := d.TableAdd("alice", "l2", spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i%2 == 0 {
+			if err := d.TableDelete("alice", "l2", "dmac", h); err != nil {
+				t.Fatal(err)
+			}
+		} else {
+			d.Rollback(cp)
+		}
+		if i%10 == 5 {
+			d.SetFusion(false)
+			d.SetFusion(true)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	select {
+	case err := <-errs:
+		t.Fatal(err)
+	default:
+	}
+
+	hits := d.FusionStatus().FastHits
+	if out, _, err := d.SW.Process(l2Frame(), 1); err != nil || len(out) != 1 || out[0].Port != 2 {
+		t.Fatalf("post-churn forward: out=%v err=%v", out, err)
+	}
+	if got := d.FusionStatus().FastHits; got <= hits {
+		t.Error("fast path dead after churn")
+	}
+}

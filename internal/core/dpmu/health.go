@@ -454,6 +454,10 @@ func (d *DPMU) syncHealthLocked() {
 			notify(e.name, e.state)
 		}
 	}
+	// Bypass rewiring rewrote virtnet rows; recompile the fused plans so a
+	// bypassed vdev's stale plan can't keep serving its old links. A no-op
+	// when no rewiring happened (the switch generation is unchanged).
+	d.rebuildFusionLocked()
 }
 
 // Health advances the breaker state machine and returns the health report.
@@ -497,6 +501,7 @@ func (d *DPMU) Health() HealthSnapshot {
 func (d *DPMU) ResetHealth(owner, vdev string) error {
 	d.mu.Lock()
 	defer d.mu.Unlock()
+	defer d.rebuildFusionLocked()
 	if _, err := d.auth(owner, vdev); err != nil {
 		return err
 	}

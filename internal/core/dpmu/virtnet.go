@@ -16,6 +16,7 @@ import (
 func (d *DPMU) AssignPort(owner string, a Assignment) error {
 	d.mu.Lock()
 	defer d.mu.Unlock()
+	defer d.rebuildFusionLocked()
 	return d.assignPort(owner, a)
 }
 
@@ -50,6 +51,7 @@ func (d *DPMU) assignPort(owner string, a Assignment) error {
 func (d *DPMU) ClearAssignments() {
 	d.mu.Lock()
 	defer d.mu.Unlock()
+	defer d.rebuildFusionLocked()
 	d.clearAssignments()
 }
 
@@ -81,6 +83,7 @@ func (d *DPMU) unmapVPort(v *VDev, vport int) {
 func (d *DPMU) MapVPort(owner, vdev string, vport, physPort int) error {
 	d.mu.Lock()
 	defer d.mu.Unlock()
+	defer d.rebuildFusionLocked()
 	v, err := d.auth(owner, vdev)
 	if err != nil {
 		return err
@@ -108,6 +111,7 @@ func (d *DPMU) MapVPort(owner, vdev string, vport, physPort int) error {
 func (d *DPMU) LinkVPorts(owner, fromDev string, fromPort int, toDev string, toPort int) error {
 	d.mu.Lock()
 	defer d.mu.Unlock()
+	defer d.rebuildFusionLocked()
 	return d.linkVPorts(owner, fromDev, fromPort, toDev, toPort)
 }
 
@@ -172,6 +176,7 @@ func (d *DPMU) SaveSnapshot(name string, assignments []Assignment) error {
 func (d *DPMU) ActivateSnapshot(name string) error {
 	d.mu.Lock()
 	defer d.mu.Unlock()
+	defer d.rebuildFusionLocked()
 	snap, ok := d.snapshots[name]
 	if !ok {
 		return fmt.Errorf("dpmu: no snapshot %q: %w", name, ErrNotFound)

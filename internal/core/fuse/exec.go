@@ -1,0 +1,340 @@
+package fuse
+
+import (
+	"hyper4/internal/bitfield"
+	"hyper4/internal/core/persona"
+	"hyper4/internal/sim"
+)
+
+// execState is the pooled per-packet scratch: the extracted-data and
+// emulated-metadata wide fields, a staging buffer for overlapping copies,
+// and the entry-hit journal the commit phase replays. Nothing here escapes
+// the packet, so steady state allocates only the output buffer.
+type execState struct {
+	ext  bitfield.Value
+	meta bitfield.Value
+	tmp  bitfield.Value
+
+	// Hit journal. norms holds the t_norm hit of each pass (its length is
+	// the pass count); post holds the remaining hits grouped per pass by
+	// postEnd, so the commit phase can truncate at a red meter verdict
+	// exactly where the interpreter's policing guard would have.
+	norms   []*sim.Entry
+	post    []*sim.Entry
+	postEnd []int
+}
+
+func newExecState(ew int) *execState {
+	return &execState{
+		ext:  bitfield.New(ew),
+		meta: bitfield.New(persona.MetaWidth),
+		tmp:  bitfield.New(ew),
+	}
+}
+
+// RunFast implements sim.FastHandler: it either fully processes the packet
+// through the fused plan (recording exactly the hits, meter executions and
+// counter bumps the interpreter would) or declines, leaving no trace.
+//
+//hp4:hotpath
+func (eng *Engine) RunFast(sw *sim.Switch, data []byte, port int) (sim.FastResult, bool) {
+	if sw.Generation() != eng.gen {
+		return sim.FastResult{}, false
+	}
+	if port < 0 || port >= len(eng.ports) {
+		return sim.FastResult{}, false
+	}
+	pb := &eng.ports[port]
+	if pb.plan == nil {
+		return sim.FastResult{}, false
+	}
+	// Quarantined, probing, and bypassed vdevs all sit in the quarantine
+	// table; their packets need the interpreter's containment accounting.
+	if _, contained := sw.QuarantineRemaining(uint64(pb.plan.pid)); contained {
+		return sim.FastResult{}, false
+	}
+	st := eng.pool.Get().(*execState)
+	res, ok := eng.run(pb.plan, pb, st, sw, data)
+	eng.pool.Put(st)
+	if ok {
+		eng.hits.Add(1)
+	}
+	return res, ok
+}
+
+// run is the pure phase: it simulates every pass of the packet against the
+// plan without touching shared state, journaling the entry hits each pass
+// would record. Only when the packet's fate is fully decided does commit
+// apply the journal. Declining at any point before commit is therefore
+// free of side effects.
+func (eng *Engine) run(p *plan, pb *portBind, st *execState, sw *sim.Switch, data []byte) (sim.FastResult, bool) {
+	st.norms = st.norms[:0]
+	st.post = st.post[:0]
+	st.postEnd = st.postEnd[:0]
+
+	// Parse loop: each iteration is one pipeline pass. numBytes carries the
+	// a_parse_more request across the (virtual) resubmission.
+	numBytes := 0
+	state := uint64(0)
+	var fin *parseRow
+	parsed, consumed := 0, 0
+	for {
+		if len(st.norms) >= sim.MaxPasses {
+			// The interpreter faults at the pass bound; let it.
+			return sim.FastResult{}, false
+		}
+		n := p.defaultBytes
+		if numBytes > 0 {
+			if _, supported := p.normBy[numBytes]; supported {
+				n = numBytes
+			}
+		}
+		ne := p.normBy[n]
+		if ne == nil {
+			return sim.FastResult{}, false
+		}
+		st.norms = append(st.norms, ne)
+		take := len(data)
+		if take > n {
+			take = n
+		}
+		st.ext.SetPrefixBytes(data[:take])
+		var row *parseRow
+		for i := range p.parse {
+			r := &p.parse[i]
+			if r.state == state && st.ext.MatchTernary(r.val, r.mask) {
+				row = r
+				break
+			}
+		}
+		if row == nil {
+			// Parse miss: no stage walk, t_virtnet applied with vport=0.
+			st.post = append(st.post, p.vdrop0)
+			st.postEnd = append(st.postEnd, len(st.post))
+			return eng.commit(p, pb, st, sw, len(data), nil)
+		}
+		st.post = append(st.post, row.entry)
+		if row.more {
+			// a_parse_more resubmits; this pass still traverses t_virtnet
+			// with vport=0 before the resubmission takes effect.
+			st.post = append(st.post, p.vdrop0)
+			st.postEnd = append(st.postEnd, len(st.post))
+			numBytes = row.numBytes
+			state = row.nextState
+			continue
+		}
+		fin = row
+		parsed, consumed = n, take
+		break
+	}
+
+	// Stage walk on the final pass.
+	st.meta.Zero()
+	ving := pb.vingress
+	vport := uint64(0)
+	dropped := false
+	kind, id := fin.kind, fin.id
+	curStage := 0
+	for kind != persona.NTDone {
+		fs := p.slots[slotKey(kind, uint64(id))]
+		// A successor at or before the current stage can never be applied:
+		// the interpreter's remaining stage tables don't hold its rows.
+		if fs == nil || fs.stage <= curStage {
+			break
+		}
+		curStage = fs.stage
+		r := fs.lookup(st, ving, vport)
+		if r == nil {
+			break
+		}
+		st.post = append(st.post, r.hits...)
+		for i := range r.ops {
+			op := &r.ops[i]
+			switch op.kind {
+			case mopNop:
+			case mopDrop:
+				dropped = true
+				vport = persona.VPortDrop
+			case mopVPortConst:
+				vport = op.cval & (1<<persona.VPortWidth - 1)
+			case mopVPortVIngress:
+				vport = ving
+			case mopSet:
+				st.setConst(op)
+			case mopCopy:
+				st.copyField(op)
+			case mopAdd:
+				dst := st.dst(op.dstMeta)
+				x := dst.UintAt(op.dstOff, op.dstW) + op.cval
+				dst.InsertUint(op.dstOff, op.dstW, x)
+			}
+		}
+		kind, id = r.nextKind, r.nextID
+	}
+
+	// Virtual networking + egress.
+	var outs []sim.Output
+	if !dropped {
+		vr := p.vnet[vport]
+		if vr != nil {
+			st.post = append(st.post, vr.entry)
+			switch vr.kind {
+			case vnetDrop:
+			case vnetPhys:
+				if fin.csum {
+					if p.csumBad {
+						return sim.FastResult{}, false
+					}
+					if p.csum != nil {
+						st.fixCsum(p.csum)
+						st.post = append(st.post, p.csum.entry)
+					}
+				}
+				re, wb := p.resizeBy[parsed], p.wbBy[parsed]
+				if re == nil || wb == nil {
+					return sim.FastResult{}, false
+				}
+				st.post = append(st.post, re, wb)
+				buf := make([]byte, 0, parsed+len(data)-consumed)
+				buf = st.ext.AppendSliceTo(buf, 0, parsed*8)
+				buf = append(buf, data[consumed:]...)
+				outs = []sim.Output{{Port: vr.port, Data: buf}}
+			default:
+				// Virtual link or multicast: recirculation and cloning stay
+				// interpreted.
+				return sim.FastResult{}, false
+			}
+		}
+		// A vnet miss applies the table default (a_vdrop, no entry hit).
+	}
+	st.postEnd = append(st.postEnd, len(st.post))
+	return eng.commit(p, pb, st, sw, len(data), outs)
+}
+
+// commit replays the hit journal pass by pass, interleaved with the
+// policing meter exactly as the interpreter's ingress order runs it:
+// t_norm (and, on the first pass, t_assign) hit first, then a_police's
+// meter + counter, then — only if the verdict isn't red — the rest of the
+// pass. A red verdict truncates the packet at that pass: earlier passes'
+// effects stand, later ones never happened.
+func (eng *Engine) commit(p *plan, pb *portBind, st *execState, sw *sim.Switch, pktLen int, outs []sim.Output) (sim.FastResult, bool) {
+	passes := len(st.norms)
+	for i := 0; i < passes; i++ {
+		st.norms[i].RecordHit()
+		if i == 0 {
+			pb.assign.RecordHit()
+		}
+		color, err := sw.FastMeterExecute(persona.MeterIngress, p.pid, pktLen)
+		_ = sw.FastCounterInc(persona.CounterVDev, p.pid, pktLen)
+		if err == nil && color == 2 {
+			return sim.FastResult{Resubmits: i}, true
+		}
+		lo := 0
+		if i > 0 {
+			lo = st.postEnd[i-1]
+		}
+		for _, e := range st.post[lo:st.postEnd[i]] {
+			e.RecordHit()
+		}
+	}
+	return sim.FastResult{Outputs: outs, Resubmits: passes - 1}, true
+}
+
+// lookup scans the slot's rows in match precedence order and returns the
+// first match — by construction the same row the interpreter's lookup
+// would pick.
+func (fs *fusedSlot) lookup(st *execState, ving, vport uint64) *frow {
+	switch fs.kind {
+	case matchED:
+		for _, r := range fs.rows {
+			if st.ext.MatchTernary(r.val, r.mask) {
+				return r
+			}
+		}
+	case matchMeta:
+		for _, r := range fs.rows {
+			if st.meta.MatchTernary(r.val, r.mask) {
+				return r
+			}
+		}
+	case matchStd:
+		for _, r := range fs.rows {
+			if ving&r.vinMask == r.vinVal && vport&r.vpMask == r.vpVal {
+				return r
+			}
+		}
+	case matchNone:
+		if len(fs.rows) > 0 {
+			return fs.rows[0]
+		}
+	}
+	return nil
+}
+
+func (st *execState) dst(meta bool) *bitfield.Value {
+	if meta {
+		return &st.meta
+	}
+	return &st.ext
+}
+
+// zeroRange clears [off, off+w) in 64-bit chunks without allocating.
+func zeroRange(v *bitfield.Value, off, w int) {
+	for w > 0 {
+		n := w
+		if n > 64 {
+			n = 64
+		}
+		v.InsertUint(off, n, 0)
+		off += n
+		w -= n
+	}
+}
+
+// setConst writes zext(cval) into dst[off, off+w).
+func (st *execState) setConst(op *microOp) {
+	dst := st.dst(op.dstMeta)
+	if op.dstW <= 64 {
+		dst.InsertUint(op.dstOff, op.dstW, op.cval)
+		return
+	}
+	zeroRange(dst, op.dstOff, op.dstW-64)
+	dst.InsertUint(op.dstOff+op.dstW-64, 64, op.cval)
+}
+
+// copyField writes zext/truncate of src[srcOff, srcOff+srcW) into
+// dst[dstOff, dstOff+dstW), staging wide copies through tmp so an
+// overlapping ed←ed move cannot corrupt itself.
+func (st *execState) copyField(op *microOp) {
+	if op.dstW <= 64 && op.srcW <= 64 {
+		x := st.dst(op.srcMeta).UintAt(op.srcOff, op.srcW)
+		st.dst(op.dstMeta).InsertUint(op.dstOff, op.dstW, x)
+		return
+	}
+	st.dst(op.srcMeta).SliceInto(&st.tmp, op.srcOff, op.srcW)
+	dst := st.dst(op.dstMeta)
+	if op.dstW <= op.srcW {
+		dst.InsertBits(op.dstOff, st.tmp, op.srcW-op.dstW, op.dstW)
+		return
+	}
+	zeroRange(dst, op.dstOff, op.dstW-op.srcW)
+	dst.InsertBits(op.dstOff+op.dstW-op.srcW, st.tmp, 0, op.srcW)
+}
+
+// fixCsum recomputes the IPv4 header checksum over ten 16-bit words,
+// mirroring a_ipv4_csum: zero the checksum word, sum, fold three times,
+// complement, write back.
+func (st *execState) fixCsum(c *csumPlan) {
+	base := c.hoffBits
+	var sum uint64
+	for k := 0; k < 10; k++ {
+		if k == 5 {
+			continue // the checksum word itself, zeroed before summing
+		}
+		sum += st.ext.UintAt(base+16*k, 16)
+	}
+	for i := 0; i < 3; i++ {
+		sum = (sum & 0xffff) + (sum >> 16)
+	}
+	st.ext.InsertUint(base+80, 16, ^sum&0xffff)
+}

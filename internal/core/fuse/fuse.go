@@ -1,0 +1,790 @@
+// Package fuse compiles a loaded virtual device's installed persona entries
+// into a per-vdev dispatch plan that internal/sim's fast-path hook executes
+// without interpreting the persona program (DESIGN.md §13).
+//
+// The persona pays an emulation tax on every packet: a resubmitting parse
+// loop, a table lookup per stage×primitive, and wide-bitfield action bodies
+// executed one interpreted primitive at a time. All of that is statically
+// determined by the installed entries, so the fuser flattens it once per
+// control-plane write: parse decisions become a precomputed row scan, each
+// virtual table's multi-row persona encoding becomes one fused keyed lookup,
+// and each compound action becomes a pre-decoded micro-op sequence run
+// against pooled scratch bitfields with no per-pass allocation.
+//
+// Correctness is anchored on conservation: the fused walk records exactly
+// the entry hits, meter executions, and counter bumps the interpreted
+// pipeline would have produced, and any construct the plan cannot prove
+// equivalent (virtual links, multicast, quarantine probing, stale
+// generations) declines the packet to the interpreter untouched. The
+// differential harness (dpmu's TestFused* suite, `make fuse-diff`)
+// enforces byte-identical behavior.
+package fuse
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"hyper4/internal/bitfield"
+	"hyper4/internal/core/persona"
+	"hyper4/internal/core/verify"
+	"hyper4/internal/p4/ast"
+	"hyper4/internal/sim"
+)
+
+// MaxPorts is the physical ingress port space (9-bit, matching t_assign).
+const MaxPorts = 512
+
+// meterInstances mirrors the persona's MeterIngress/CounterVDev instance
+// count; a PID at or past it would fault in the interpreter's policing
+// action, so such a vdev is never fused.
+const meterInstances = 256
+
+// VDev names one loaded virtual device the builder should try to fuse.
+type VDev struct {
+	Name string
+	PID  int
+}
+
+// Engine is a compiled set of per-vdev plans plus the physical-port
+// dispatch derived from t_assign. It implements sim.FastHandler. An engine
+// is immutable after Build; staleness is detected by comparing the
+// switch generation it was built against (see RunFast).
+type Engine struct {
+	gen   uint64
+	ew    int
+	plans map[int]*plan
+	ports []portBind
+	pool  sync.Pool
+
+	// hits counts packets fully handled by this engine (since Build);
+	// declined packets don't count. Operator-visible via the ctl fuse read.
+	hits atomic.Uint64
+}
+
+// Hits reports how many packets this engine fully processed since it was
+// built.
+func (eng *Engine) Hits() uint64 { return eng.hits.Load() }
+
+// portBind is the fused t_assign row for one physical ingress port.
+type portBind struct {
+	plan     *plan
+	vingress uint64
+	assign   *sim.Entry
+}
+
+// plan is one vdev's fused dispatch state.
+type plan struct {
+	pid          int
+	name         string
+	defaultBytes int
+	// Persona-static rows shared across plans (keyed by byte count).
+	normBy   map[int]*sim.Entry
+	resizeBy map[int]*sim.Entry
+	wbBy     map[int]*sim.Entry
+	parse    []parseRow
+	vdrop0   *sim.Entry // the (pid, vport=0) drop row, hit on parse misses and parse-more passes
+	slots    map[uint32]*fusedSlot
+	vnet     map[uint64]*vnetRow
+	csum     *csumPlan
+	csumBad  bool // a csum row exists but could not be decoded: decline packets that set the csum flag
+}
+
+// parseRow is one decoded t_parse_ctrl entry for this vdev, in match
+// precedence order.
+type parseRow struct {
+	state     uint64
+	val, mask bitfield.Value
+	entry     *sim.Entry
+	more      bool
+	numBytes  int // a_parse_more: bytes to request on the resubmit pass
+	nextState uint64
+	kind, id  int // a_parse_done: first stage slot
+	csum      bool
+}
+
+// Fused match kinds (collapsed from the persona's six stage-table kinds:
+// exact rows are ternary rows with an all-ones mask by install time).
+const (
+	matchED = iota
+	matchMeta
+	matchStd
+	matchNone
+)
+
+// fusedSlot is one virtual table: the rows of its persona stage table that
+// belong to this vdev and slot, in match precedence order.
+type fusedSlot struct {
+	stage int // the persona stage the slot's rows are installed in
+	kind  int
+	rows  []*frow
+}
+
+// frow is one decoded virtual entry: its match key, the micro-op sequence
+// of its pre-bound action, its successor, and every persona entry the
+// interpreter would have hit applying it (set_match + per-primitive
+// prep/exec rows).
+type frow struct {
+	val, mask                      bitfield.Value // matchED / matchMeta
+	vinVal, vinMask, vpVal, vpMask uint64         // matchStd
+	ops                            []microOp
+	nextKind, nextID               int
+	hits                           []*sim.Entry
+}
+
+// vnet row kinds.
+const (
+	vnetDrop = iota
+	vnetPhys
+	vnetVirt  // virtual link: stays interpreted
+	vnetMcast // multicast start: stays interpreted
+)
+
+type vnetRow struct {
+	entry *sim.Entry
+	kind  int
+	port  int // vnetPhys
+}
+
+// csumPlan is the decoded per-vdev a_ipv4_csum row: the bit offset of the
+// IPv4 header within the extracted-data field.
+type csumPlan struct {
+	entry    *sim.Entry
+	hoffBits int
+}
+
+// Micro-op kinds.
+const (
+	mopNop = iota
+	mopDrop
+	mopVPortConst
+	mopVPortVIngress
+	mopSet  // dst[off,w) = zext(cval)
+	mopCopy // dst[off,w) = zext/trunc of src[off,w)
+	mopAdd  // dst[off,w) += cval mod 2^w (w <= 64 enforced at build)
+)
+
+// microOp is one pre-decoded primitive execution.
+type microOp struct {
+	kind             int
+	dstMeta, srcMeta bool
+	dstOff, dstW     int
+	srcOff, srcW     int
+	cval             uint64
+}
+
+// shared holds the persona-static and cross-vdev tables decoded once per
+// Build.
+type shared struct {
+	normBy, resizeBy, wbBy map[int]*sim.Entry
+	assign                 []*sim.Entry
+	parse                  []*sim.Entry
+	virtnet                []*sim.Entry
+	csum                   []*sim.Entry
+	stageRows              []map[int][]*sim.Entry // 1-based stage → kind code → rows
+	preps                  map[uint64]*sim.Entry  // prepKey(stage, prim, pid, mid)
+	execs                  map[uint64]*sim.Entry  // execKey(stage, prim, opcode)
+}
+
+func prepKey(stage, prim int, pid, mid uint64) uint64 {
+	return uint64(stage)<<56 | uint64(prim)<<48 | pid<<32 | mid
+}
+
+func execKey(stage, prim int, code uint64) uint64 {
+	return uint64(stage)<<24 | uint64(prim)<<16 | code
+}
+
+func slotKey(kind int, id uint64) uint32 { return uint32(kind)<<16 | uint32(id&0xffff) }
+
+func unfusable(vdev, table string, handle int, format string, args ...any) verify.Finding {
+	return verify.Finding{
+		Code:     verify.CodeUnfusable,
+		Severity: verify.SevInfo,
+		VDev:     vdev,
+		Table:    table,
+		Handle:   handle,
+		Detail:   fmt.Sprintf(format, args...),
+	}
+}
+
+// Build compiles fused plans for the given vdevs against the switch's
+// current table state. It returns the engine (nil when nothing could be
+// fused) and informational findings explaining, per vdev, what blocks
+// fusion or which constructs stay interpreted. Build only reads — it must
+// be called from the control plane (the DPMU holds its own lock), never
+// from the data path.
+func Build(sw *sim.Switch, cfg persona.Config, vdevs []VDev) (*Engine, []verify.Finding) {
+	var findings []verify.Finding
+	if cfg.FixedParser {
+		findings = append(findings, unfusable("", "", 0,
+			"fixed-parser persona: the fast path only fuses the programmable byte-stack parser"))
+		return nil, findings
+	}
+	ew := cfg.ExtractedWidth()
+	eng := &Engine{
+		gen:   sw.Generation(),
+		ew:    ew,
+		plans: map[int]*plan{},
+		ports: make([]portBind, MaxPorts),
+	}
+	eng.pool.New = func() any { return newExecState(ew) }
+	sh, err := loadShared(sw, cfg)
+	if err != nil {
+		findings = append(findings, unfusable("", "", 0, "persona introspection failed: %v", err))
+		return nil, findings
+	}
+	for _, vd := range vdevs {
+		p, fs := buildPlan(cfg, sh, vd)
+		findings = append(findings, fs...)
+		if p != nil {
+			eng.plans[vd.PID] = p
+		}
+	}
+	// Fuse t_assign into a direct port dispatch: for each physical port,
+	// the first assign row in precedence order that matches it.
+	for port := 0; port < MaxPorts; port++ {
+		for _, e := range sh.assign {
+			if e.Action != persona.ActSetProgram || len(e.Params) != 1 || len(e.Args) != 2 {
+				continue
+			}
+			val, mask, ok := ternaryUint(e.Params[0])
+			if !ok || uint64(port)&mask != val {
+				continue
+			}
+			pid := int(e.Args[0].Uint64())
+			eng.ports[port] = portBind{
+				plan:     eng.plans[pid],
+				vingress: e.Args[1].Uint64(),
+				assign:   e,
+			}
+			break
+		}
+	}
+	if len(eng.plans) == 0 {
+		return nil, findings
+	}
+	return eng, findings
+}
+
+// Plans reports how many vdevs the engine fused.
+func (eng *Engine) Plans() int { return len(eng.plans) }
+
+// Fused reports whether the given PID has a fused plan.
+func (eng *Engine) Fused(pid int) bool { return eng.plans[pid] != nil }
+
+// BuiltAgainst returns the switch generation the engine was compiled from.
+func (eng *Engine) BuiltAgainst() uint64 { return eng.gen }
+
+func loadShared(sw *sim.Switch, cfg persona.Config) (*shared, error) {
+	sh := &shared{
+		normBy:   map[int]*sim.Entry{},
+		resizeBy: map[int]*sim.Entry{},
+		wbBy:     map[int]*sim.Entry{},
+		preps:    map[uint64]*sim.Entry{},
+		execs:    map[uint64]*sim.Entry{},
+	}
+	byCount := func(table string, nameFor func(int) string, into map[int]*sim.Entry) error {
+		rows, err := sw.TableEntriesOrdered(table)
+		if err != nil {
+			return err
+		}
+		for _, e := range rows {
+			if len(e.Params) != 1 {
+				continue
+			}
+			n := int(e.Params[0].Value.Uint64())
+			if e.Action == nameFor(n) {
+				into[n] = e
+			}
+		}
+		return nil
+	}
+	if err := byCount(persona.TblNorm, persona.NormAction, sh.normBy); err != nil {
+		return nil, err
+	}
+	if err := byCount(persona.TblResize, persona.ResizeAction, sh.resizeBy); err != nil {
+		return nil, err
+	}
+	if err := byCount(persona.TblWriteback, persona.WritebackAction, sh.wbBy); err != nil {
+		return nil, err
+	}
+	var err error
+	if sh.assign, err = sw.TableEntriesOrdered(persona.TblAssign); err != nil {
+		return nil, err
+	}
+	if sh.parse, err = sw.TableEntriesOrdered(persona.TblParseCtrl); err != nil {
+		return nil, err
+	}
+	if sh.virtnet, err = sw.TableEntriesOrdered(persona.TblVirtnet); err != nil {
+		return nil, err
+	}
+	if sh.csum, err = sw.TableEntriesOrdered(persona.TblCsum); err != nil {
+		return nil, err
+	}
+	sh.stageRows = make([]map[int][]*sim.Entry, cfg.Stages+1)
+	for i := 1; i <= cfg.Stages; i++ {
+		sh.stageRows[i] = map[int][]*sim.Entry{}
+		for _, k := range persona.StageKinds {
+			rows, err := sw.TableEntriesOrdered(persona.StageTable(i, k.Name))
+			if err != nil {
+				return nil, err
+			}
+			sh.stageRows[i][k.Code] = rows
+		}
+		for prim := 1; prim <= cfg.Primitives; prim++ {
+			preps, err := sw.TableEntriesOrdered(persona.PrimTable(i, prim, "prep"))
+			if err != nil {
+				return nil, err
+			}
+			for _, e := range preps {
+				if len(e.Params) != 2 {
+					continue
+				}
+				pid := e.Params[0].Value.Uint64()
+				mid := e.Params[1].Value.Uint64()
+				k := prepKey(i, prim, pid, mid)
+				if _, dup := sh.preps[k]; !dup {
+					sh.preps[k] = e
+				}
+			}
+			execs, err := sw.TableEntriesOrdered(persona.PrimTable(i, prim, "exec"))
+			if err != nil {
+				return nil, err
+			}
+			for _, e := range execs {
+				if len(e.Params) != 1 {
+					continue
+				}
+				code := e.Params[0].Value.Uint64()
+				if e.Action == execName(code) {
+					sh.execs[execKey(i, prim, code)] = e
+				}
+			}
+		}
+	}
+	return sh, nil
+}
+
+func execName(code uint64) string {
+	for _, op := range persona.Opcodes {
+		if uint64(op.Code) == code {
+			return "a_exec_" + op.Name
+		}
+	}
+	return ""
+}
+
+// buildPlan fuses one vdev. A nil plan means the vdev stays fully
+// interpreted; the findings say why. A non-nil plan may still carry
+// per-construct runtime fallbacks (virtual links, multicast), reported as
+// findings too.
+func buildPlan(cfg persona.Config, sh *shared, vd VDev) (*plan, []verify.Finding) {
+	var findings []verify.Finding
+	fail := func(table string, handle int, format string, args ...any) (*plan, []verify.Finding) {
+		return nil, append(findings, unfusable(vd.Name, table, handle, format, args...))
+	}
+	if vd.PID <= 0 || vd.PID >= meterInstances {
+		return fail("", 0, "pid %d outside the policing meter instance range", vd.PID)
+	}
+	ew := cfg.ExtractedWidth()
+	pid := uint64(vd.PID)
+	p := &plan{
+		pid:          vd.PID,
+		name:         vd.Name,
+		defaultBytes: cfg.ParseDefault,
+		normBy:       sh.normBy,
+		resizeBy:     sh.resizeBy,
+		wbBy:         sh.wbBy,
+		slots:        map[uint32]*fusedSlot{},
+		vnet:         map[uint64]*vnetRow{},
+	}
+
+	for _, e := range sh.parse {
+		if len(e.Params) != 3 || e.Params[0].Value.Uint64() != pid {
+			continue
+		}
+		val, mask, ok := ternaryValue(e.Params[2], ew)
+		if !ok {
+			return fail(persona.TblParseCtrl, e.Handle, "parse row match is not an %d-bit exact/ternary key", ew)
+		}
+		pr := parseRow{state: e.Params[1].Value.Uint64(), val: val, mask: mask, entry: e}
+		switch e.Action {
+		case persona.ActParseMore:
+			if len(e.Args) != 2 {
+				return fail(persona.TblParseCtrl, e.Handle, "a_parse_more arity")
+			}
+			pr.more = true
+			pr.numBytes = int(e.Args[0].Uint64())
+			pr.nextState = e.Args[1].Uint64()
+		case persona.ActParseDone:
+			if len(e.Args) != 3 {
+				return fail(persona.TblParseCtrl, e.Handle, "a_parse_done arity")
+			}
+			pr.kind = int(e.Args[0].Uint64())
+			pr.id = int(e.Args[1].Uint64())
+			pr.csum = e.Args[2].Uint64() == 1
+		default:
+			return fail(persona.TblParseCtrl, e.Handle, "unexpected parse action %q", e.Action)
+		}
+		p.parse = append(p.parse, pr)
+	}
+
+	for _, e := range sh.virtnet {
+		if len(e.Params) != 2 || e.Params[0].Value.Uint64() != pid {
+			continue
+		}
+		vp := e.Params[1].Value.Uint64()
+		vr := &vnetRow{entry: e}
+		switch e.Action {
+		case persona.ActVDrop:
+			vr.kind = vnetDrop
+		case persona.ActPhysFwd:
+			if len(e.Args) != 1 {
+				return fail(persona.TblVirtnet, e.Handle, "a_phys_fwd arity")
+			}
+			vr.kind = vnetPhys
+			vr.port = int(e.Args[0].Uint64())
+		case persona.ActVirtFwd:
+			vr.kind = vnetVirt
+			findings = append(findings, unfusable(vd.Name, persona.TblVirtnet, e.Handle,
+				"vport %d routes to a virtual link; packets taking it stay interpreted (recirculation)", vp))
+		case persona.ActMcastStart:
+			vr.kind = vnetMcast
+			findings = append(findings, unfusable(vd.Name, persona.TblVirtnet, e.Handle,
+				"vport %d starts a multicast sequence; packets taking it stay interpreted (cloning)", vp))
+		default:
+			return fail(persona.TblVirtnet, e.Handle, "unexpected virtnet action %q", e.Action)
+		}
+		if _, dup := p.vnet[vp]; !dup {
+			p.vnet[vp] = vr
+		}
+		if vp == 0 && vr.kind == vnetDrop && p.vdrop0 == nil {
+			p.vdrop0 = e
+		}
+	}
+	if p.vdrop0 == nil {
+		return fail(persona.TblVirtnet, 0, "no (pid, vport=0) drop row: vdev not fully assigned")
+	}
+
+	for _, e := range sh.csum {
+		if len(e.Params) != 1 || e.Params[0].Value.Uint64() != pid {
+			continue
+		}
+		cp, err := decodeCsum(e, ew)
+		if err != nil {
+			p.csumBad = true
+			findings = append(findings, unfusable(vd.Name, persona.TblCsum, e.Handle,
+				"checksum row stays interpreted: %v", err))
+			continue
+		}
+		if p.csum == nil && !p.csumBad {
+			p.csum = cp
+		}
+	}
+
+	for i := 1; i <= cfg.Stages; i++ {
+		for kind, rows := range sh.stageRows[i] {
+			for _, e := range rows {
+				if len(e.Params) < 2 || e.Params[0].Value.Uint64() != pid {
+					continue
+				}
+				id := e.Params[1].Value.Uint64()
+				key := slotKey(kind, id)
+				fs := p.slots[key]
+				if fs == nil {
+					fs = &fusedSlot{stage: i, kind: fusedKind(kind)}
+					p.slots[key] = fs
+				} else if fs.stage != i {
+					return fail(persona.StageTable(i, persona.KindName(kind)), e.Handle,
+						"slot %d installed in stages %d and %d", id, fs.stage, i)
+				}
+				fr, err := decodeStageRow(cfg, sh, e, kind, i, pid, ew)
+				if err != nil {
+					return fail(persona.StageTable(i, persona.KindName(kind)), e.Handle, "%v", err)
+				}
+				fs.rows = append(fs.rows, fr)
+			}
+		}
+	}
+	return p, findings
+}
+
+func fusedKind(code int) int {
+	switch code {
+	case persona.NTEDExact, persona.NTEDTernary:
+		return matchED
+	case persona.NTMetaExact, persona.NTMetaTernary:
+		return matchMeta
+	case persona.NTStdMeta:
+		return matchStd
+	default:
+		return matchNone
+	}
+}
+
+// decodeStageRow inverts one installed a_set_match row back into a fused
+// row: match key, successor, and per-primitive micro-ops with the prep and
+// exec entries the interpreter would hit.
+func decodeStageRow(cfg persona.Config, sh *shared, e *sim.Entry, kind, stage int, pid uint64, ew int) (*frow, error) {
+	if e.Action != persona.ActSetMatch {
+		return nil, fmt.Errorf("unexpected stage action %q", e.Action)
+	}
+	if len(e.Args) != 4 {
+		return nil, fmt.Errorf("a_set_match arity %d", len(e.Args))
+	}
+	fr := &frow{
+		nextKind: int(e.Args[2].Uint64()),
+		nextID:   int(e.Args[3].Uint64()),
+		hits:     []*sim.Entry{e},
+	}
+	var ok bool
+	switch kind {
+	case persona.NTEDExact, persona.NTEDTernary:
+		if len(e.Params) != 3 {
+			return nil, fmt.Errorf("ed row arity")
+		}
+		if fr.val, fr.mask, ok = ternaryValue(e.Params[2], ew); !ok {
+			return nil, fmt.Errorf("ed match key is not a %d-bit exact/ternary", ew)
+		}
+	case persona.NTMetaExact, persona.NTMetaTernary:
+		if len(e.Params) != 3 {
+			return nil, fmt.Errorf("meta row arity")
+		}
+		if fr.val, fr.mask, ok = ternaryValue(e.Params[2], persona.MetaWidth); !ok {
+			return nil, fmt.Errorf("meta match key is not a %d-bit exact/ternary", persona.MetaWidth)
+		}
+	case persona.NTStdMeta:
+		if len(e.Params) != 4 {
+			return nil, fmt.Errorf("stdmeta row arity")
+		}
+		if fr.vinVal, fr.vinMask, ok = ternaryUint(e.Params[2]); !ok {
+			return nil, fmt.Errorf("stdmeta vingress key kind")
+		}
+		if fr.vpVal, fr.vpMask, ok = ternaryUint(e.Params[3]); !ok {
+			return nil, fmt.Errorf("stdmeta vport key kind")
+		}
+	case persona.NTMatchless:
+		if len(e.Params) != 2 {
+			return nil, fmt.Errorf("matchless row arity")
+		}
+	default:
+		return nil, fmt.Errorf("unknown stage kind %d", kind)
+	}
+	mid := e.Args[0].Uint64()
+	nprims := int(e.Args[1].Uint64())
+	if nprims > cfg.Primitives {
+		return nil, fmt.Errorf("row wants %d primitives, persona has %d", nprims, cfg.Primitives)
+	}
+	for prim := 1; prim <= nprims; prim++ {
+		prep := sh.preps[prepKey(stage, prim, pid, mid)]
+		if prep == nil {
+			return nil, fmt.Errorf("missing prep row for match_id %d primitive %d", mid, prim)
+		}
+		code, mop, err := decodePrep(prep, ew)
+		if err != nil {
+			return nil, fmt.Errorf("prep %q: %w", prep.Action, err)
+		}
+		exec := sh.execs[execKey(stage, prim, code)]
+		if exec == nil {
+			return nil, fmt.Errorf("missing exec row for opcode %d", code)
+		}
+		fr.hits = append(fr.hits, prep, exec)
+		fr.ops = append(fr.ops, mop)
+	}
+	return fr, nil
+}
+
+// decodePrep inverts one installed a_prep_* row into a micro-op, verifying
+// every derived shift against the encoding hp4c's prepFor produced. Any
+// mismatch means the row wasn't produced by the compiler we understand, so
+// the vdev stays interpreted rather than risking divergence.
+func decodePrep(e *sim.Entry, ew int) (uint64, microOp, error) {
+	var code int
+	found := false
+	for _, op := range persona.Opcodes {
+		if e.Action == "a_prep_"+op.Name {
+			code = op.Code
+			found = true
+			break
+		}
+	}
+	if !found {
+		return 0, microOp{}, fmt.Errorf("unknown prep action")
+	}
+	arity := func(n int) error {
+		if len(e.Args) != n {
+			return fmt.Errorf("arity %d, want %d", len(e.Args), n)
+		}
+		return nil
+	}
+	mop := microOp{}
+	switch code {
+	case persona.OpNoOp:
+		mop.kind = mopNop
+		return uint64(code), mop, arity(0)
+	case persona.OpDrop:
+		mop.kind = mopDrop
+		return uint64(code), mop, arity(0)
+	case persona.OpModVPortVIngress:
+		mop.kind = mopVPortVIngress
+		return uint64(code), mop, arity(0)
+	case persona.OpModVPortConst:
+		if err := arity(1); err != nil {
+			return 0, mop, err
+		}
+		mop.kind = mopVPortConst
+		mop.cval = e.Args[0].Uint64()
+		return uint64(code), mop, nil
+	}
+
+	dstMeta := code == persona.OpModMetaConst || code == persona.OpModMetaED ||
+		code == persona.OpModMetaMeta || code == persona.OpAddMetaConst
+	srcMeta := code == persona.OpModEDMeta || code == persona.OpModMetaMeta
+	dstTotal, srcTotal := ew, ew
+	if dstMeta {
+		dstTotal = persona.MetaWidth
+	}
+	if srcMeta {
+		srcTotal = persona.MetaWidth
+	}
+	if len(e.Args) < 2 {
+		return 0, mop, fmt.Errorf("missing dmask/dshift")
+	}
+	off, w, err := decodeDstMask(e.Args[0], e.Args[1].Uint64(), dstTotal, ew)
+	if err != nil {
+		return 0, mop, err
+	}
+	mop.dstMeta, mop.srcMeta = dstMeta, srcMeta
+	mop.dstOff, mop.dstW = off, w
+
+	switch code {
+	case persona.OpModEDConst, persona.OpModMetaConst:
+		if err := arity(3); err != nil {
+			return 0, mop, err
+		}
+		mop.kind = mopSet
+		mop.cval = e.Args[2].Uint64()
+	case persona.OpModEDED, persona.OpModEDMeta, persona.OpModMetaED, persona.OpModMetaMeta:
+		if err := arity(4); err != nil {
+			return 0, mop, err
+		}
+		mop.kind = mopCopy
+		mop.srcOff = int(e.Args[2].Uint64()) - ew + srcTotal
+		mop.srcW = ew - int(e.Args[3].Uint64())
+		if mop.srcOff < 0 || mop.srcW <= 0 || mop.srcOff+mop.srcW > srcTotal {
+			return 0, mop, fmt.Errorf("source slice [%d,%d) outside %d-bit field", mop.srcOff, mop.srcOff+mop.srcW, srcTotal)
+		}
+	case persona.OpAddEDConst, persona.OpAddMetaConst:
+		if err := arity(5); err != nil {
+			return 0, mop, err
+		}
+		if w > 64 {
+			return 0, mop, fmt.Errorf("add over %d-bit destination exceeds the 64-bit fused adder", w)
+		}
+		if int(e.Args[2].Uint64()) != ew-dstTotal+off || int(e.Args[3].Uint64()) != ew-w {
+			return 0, mop, fmt.Errorf("add shift encoding mismatch")
+		}
+		mop.kind = mopAdd
+		mop.cval = e.Args[4].Uint64()
+	default:
+		return 0, mop, fmt.Errorf("opcode %d not fusable", code)
+	}
+	return uint64(code), mop, nil
+}
+
+// decodeDstMask inverts prepFor's destination encoding: dmask is
+// MaskRange(dstTotal, off, w) resized (right-aligned) to ew, dshift is
+// dstTotal-off-w. It recovers (off, w) and verifies both encodings agree
+// and the mask is one contiguous run.
+func decodeDstMask(dmask bitfield.Value, dshift uint64, dstTotal, ew int) (int, int, error) {
+	if dmask.Width() != ew {
+		return 0, 0, fmt.Errorf("dmask width %d, want %d", dmask.Width(), ew)
+	}
+	w := dmask.PopCount()
+	if w == 0 {
+		return 0, 0, fmt.Errorf("empty dmask")
+	}
+	f := -1
+	b := dmask.Bytes()
+	for i, by := range b {
+		if by != 0 {
+			for j := 0; j < 8; j++ {
+				if by&(0x80>>j) != 0 {
+					f = i*8 + j
+					break
+				}
+			}
+			break
+		}
+	}
+	off := f - (ew - dstTotal)
+	if off < 0 || off+w > dstTotal {
+		return 0, 0, fmt.Errorf("dmask run [%d,%d) outside %d-bit field", off, off+w, dstTotal)
+	}
+	if !dmask.Equal(bitfield.MaskRange(dstTotal, off, w).Resize(ew)) {
+		return 0, 0, fmt.Errorf("dmask is not one contiguous run")
+	}
+	if int(dshift) != dstTotal-off-w {
+		return 0, 0, fmt.Errorf("dshift %d disagrees with dmask run [%d,%d)", dshift, off, off+w)
+	}
+	return off, w, nil
+}
+
+// decodeCsum inverts an a_ipv4_csum row into the header's bit offset,
+// verifying all three argument encodings agree.
+func decodeCsum(e *sim.Entry, ew int) (*csumPlan, error) {
+	if e.Action != "a_ipv4_csum" {
+		return nil, fmt.Errorf("unexpected csum action %q", e.Action)
+	}
+	if len(e.Args) != 3 {
+		return nil, fmt.Errorf("a_ipv4_csum arity %d", len(e.Args))
+	}
+	shift0 := int(e.Args[1].Uint64())
+	hoffBits := ew - 16 - shift0
+	if hoffBits < 0 || hoffBits%8 != 0 || hoffBits+160 > ew {
+		return nil, fmt.Errorf("header offset %d bits out of range", hoffBits)
+	}
+	if int(e.Args[2].Uint64()) != ew-(hoffBits+80)-16 {
+		return nil, fmt.Errorf("cshift disagrees with shift0")
+	}
+	want := bitfield.MaskRange(ew, hoffBits+80, 16).Not()
+	if e.Args[0].Width() != ew || !e.Args[0].Equal(want) {
+		return nil, fmt.Errorf("ncmask disagrees with shift0")
+	}
+	return &csumPlan{entry: e, hoffBits: hoffBits}, nil
+}
+
+// ternaryValue normalizes an exact or ternary match param of the given
+// width into a premasked (value, mask) pair.
+func ternaryValue(p sim.MatchParam, width int) (val, mask bitfield.Value, ok bool) {
+	if p.Value.Width() != width {
+		return val, mask, false
+	}
+	switch p.Kind {
+	case ast.MatchExact:
+		return p.Value, bitfield.Ones(width), true
+	case ast.MatchTernary:
+		if p.Mask.Width() != width {
+			return val, mask, false
+		}
+		return p.Value.And(p.Mask), p.Mask, true
+	}
+	return val, mask, false
+}
+
+// ternaryUint is ternaryValue for narrow (<=64 bit) keys.
+func ternaryUint(p sim.MatchParam) (val, mask uint64, ok bool) {
+	w := p.Value.Width()
+	if w > 64 {
+		return 0, 0, false
+	}
+	all := uint64(1)<<uint(w) - 1
+	switch p.Kind {
+	case ast.MatchExact:
+		return p.Value.Uint64(), all, true
+	case ast.MatchTernary:
+		m := p.Mask.Uint64()
+		return p.Value.Uint64() & m, m, true
+	}
+	return 0, 0, false
+}

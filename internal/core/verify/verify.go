@@ -32,6 +32,10 @@ type Severity string
 const (
 	SevError Severity = "error"
 	SevWarn  Severity = "warn"
+	// SevInfo findings are purely informational — they never gate admission
+	// and never fail lint runs; they explain operational state (e.g. why a
+	// vdev is on the interpreted slow path).
+	SevInfo Severity = "info"
 )
 
 // Finding codes, stable across releases: scripts and tests branch on these,
@@ -68,6 +72,10 @@ const (
 	// CodePersona: the compiled artifact references a persona table/action
 	// shape the persona configuration doesn't declare (hp4c.Validate).
 	CodePersona = "persona-decl"
+	// CodeUnfusable: informational — a vdev (or one of its constructs) is
+	// not served by the fused fast path and stays interpreted; the detail
+	// says which construct blocks fusion and why.
+	CodeUnfusable = "unfusable"
 )
 
 // Finding is one verification result.

@@ -98,6 +98,9 @@ func (sw *Switch) Dump() *SwitchDump {
 func (sw *Switch) RestoreDump(d *SwitchDump) {
 	sw.mu.Lock()
 	defer sw.mu.Unlock()
+	// A restore replaces table contents wholesale; any compiled fast-path
+	// plan built against the pre-restore state must stop matching.
+	sw.bumpGen()
 	for name, t := range sw.tables {
 		td := d.Tables[name] // zero value restores an empty table
 		t.entries = make([]*Entry, 0, len(td.Entries))

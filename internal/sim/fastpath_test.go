@@ -3,6 +3,7 @@ package sim
 import (
 	"bytes"
 	"fmt"
+	"runtime"
 	"sync"
 	"testing"
 
@@ -224,6 +225,61 @@ func TestProcessBatchMatchesSerial(t *testing.T) {
 		if got[i].Trace.Applies != want[i].Trace.Applies || got[i].Trace.Hits != want[i].Trace.Hits {
 			t.Errorf("packet %d trace: %+v vs serial %+v", i, got[i].Trace, want[i].Trace)
 		}
+	}
+}
+
+// TestProcessBatchSerialFallback pins the workers==1 degenerate cases: with
+// GOMAXPROCS=1 (or a single-packet batch) ProcessBatch must take the serial
+// loop rather than paying worker-goroutine setup, and still produce results
+// identical to serial Process calls.
+func TestProcessBatchSerialFallback(t *testing.T) {
+	sw := load(t, l2Src)
+	mac := pkt.MustMAC("00:00:00:00:00:02")
+	if _, err := sw.TableAdd("dmac", "forward",
+		[]MatchParam{Exact(bitfield.FromBytes(48, mac[:]))}, Args(9, 3), 0); err != nil {
+		t.Fatal(err)
+	}
+	frame := ethFrame("00:00:00:00:00:02", "00:00:00:00:00:01", 0x1234, "hi")
+
+	check := func(inputs []Input) {
+		t.Helper()
+		results, err := sw.ProcessBatch(inputs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, r := range results {
+			if len(r.Outputs) != 1 || r.Outputs[0].Port != 3 {
+				t.Fatalf("packet %d: outputs %+v", i, r.Outputs)
+			}
+		}
+	}
+	// Single-packet batch: workers clamps to len(pkts)=1.
+	check([]Input{{Data: frame, Port: 1}})
+
+	// GOMAXPROCS=1: the whole batch runs on the serial loop. The baseline
+	// goroutine count must be unchanged afterwards (no leaked workers), and
+	// per-packet allocation must match plain serial Process — worker setup
+	// (WaitGroup, closures, atomic cursor) would show up here.
+	prev := runtime.GOMAXPROCS(1)
+	defer runtime.GOMAXPROCS(prev)
+	inputs := make([]Input, 16)
+	for i := range inputs {
+		inputs[i] = Input{Data: frame, Port: 1}
+	}
+	check(inputs)
+	serial := testing.AllocsPerRun(50, func() {
+		if _, _, err := sw.Process(frame, 1); err != nil {
+			t.Fatal(err)
+		}
+	})
+	batched := testing.AllocsPerRun(50, func() {
+		if _, err := sw.ProcessBatch(inputs); err != nil {
+			t.Fatal(err)
+		}
+	})
+	perPkt := (batched - 1) / float64(len(inputs)) // minus the results slice
+	if perPkt > serial+1 {
+		t.Errorf("workers==1 ProcessBatch allocates %.1f/pkt vs %.1f serial; fallback not serial", perPkt, serial)
 	}
 }
 

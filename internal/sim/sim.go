@@ -70,6 +70,12 @@ type Switch struct {
 	injector  Injector
 	faultHook func(*PacketFault)
 	quar      atomic.Pointer[quarTable]
+
+	// Fused fast path (fastpath.go). fast is the installed handler, loaded
+	// once per packet; gen counts control-plane mutations so compiled plans
+	// can detect staleness without any extra synchronization.
+	fast atomic.Pointer[fastBox]
+	gen  atomic.Uint64
 }
 
 // Stats aggregates switch-lifetime counters.
@@ -169,6 +175,7 @@ func (sw *Switch) Stats() Stats {
 func (sw *Switch) SetMirror(session, port int) {
 	sw.mu.Lock()
 	sw.mirrors[session] = port
+	sw.bumpGen()
 	sw.mu.Unlock()
 }
 
@@ -215,6 +222,21 @@ func (sw *Switch) process(data []byte, port int) ([]Output, *Trace, error) {
 		if b := inj.PassBound(); b > 0 && b < maxPasses {
 			maxPasses = b
 		}
+	} else if res, ok := sw.runFast(data, port); ok {
+		// The fused fast path fully handled the packet. Keep the pass-type
+		// and lifetime counters conserved with the interpreted path: one
+		// normal pass plus one resubmit pass per parse resubmission.
+		sw.metrics.recordPass(instNormal)
+		for i := 0; i < res.Resubmits; i++ {
+			sw.metrics.recordPass(instResubmit)
+		}
+		sw.stats.resubmits.Add(int64(res.Resubmits))
+		sw.stats.packetsOut.Add(int64(len(res.Outputs)))
+		if len(res.Outputs) == 0 {
+			sw.stats.packetsDropped.Add(1)
+		}
+		tr := &Trace{Passes: 1 + res.Resubmits, Resubmits: res.Resubmits, Outputs: res.Outputs}
+		return res.Outputs, tr, nil
 	}
 	tr := &Trace{}
 	var queueArr [2]pass

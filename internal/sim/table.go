@@ -373,6 +373,7 @@ func (sw *Switch) TableAdd(tableName, action string, params []MatchParam, args [
 		t.exactIndex[exactKey] = e
 	}
 	t.lpmAdd(e)
+	sw.bumpGen()
 	return e.Handle, nil
 }
 
@@ -471,6 +472,7 @@ func (sw *Switch) TableSetDefault(tableName, action string, args []bitfield.Valu
 	}
 	t.defaultAction = action
 	t.defaultArgs = args
+	sw.bumpGen()
 	return nil
 }
 
@@ -489,6 +491,7 @@ func (sw *Switch) TableDelete(tableName string, handle int) error {
 				delete(t.exactIndex, exactKeyStringParams(e.Params))
 			}
 			t.rebuildLPM()
+			sw.bumpGen()
 			return nil
 		}
 	}
@@ -522,6 +525,7 @@ func (sw *Switch) TableModify(tableName string, handle int, action string, args 
 		if e.Handle == handle {
 			e.Action = action
 			e.Args = args
+			sw.bumpGen()
 			return nil
 		}
 	}
@@ -539,6 +543,7 @@ func (sw *Switch) TableClear(tableName string) error {
 	t.entries = nil
 	t.exactIndex = map[string]*Entry{}
 	t.rebuildLPM()
+	sw.bumpGen()
 	return nil
 }
 
