@@ -143,23 +143,29 @@ func throughput(pkts int, jsonPath string, faults bool, modes string) error {
 		}
 	}
 	// The fused fast path is the emulation-tax killer (DESIGN.md §13): its
-	// serial cost must land within 5x native, and its steady state must not
+	// serial cost must land within 5x native for single functions and
+	// within 8x for the composed chain (the native baseline there is one
+	// pipeline doing the work of three), and its steady state must not
 	// allocate per match-action stage like the interpreter does.
 	for _, fn := range bench.ThroughputFunctions() {
 		fused, ok := byKey[fn+"/hp4-fused"]
 		if !ok {
 			continue
 		}
+		budget := 5.0
+		if fn == functions.Composed {
+			budget = 8.0
+		}
 		if native, ok := byKey[fn+"/native"]; ok {
 			ratio := fused.SerialNsOp / native.SerialNsOp
-			if ratio > 5.0 {
-				return fmt.Errorf("fused %s serial cost %.0f ns/pkt vs %.0f ns/pkt native (ratio %.2f, want <= 5x)",
-					fn, fused.SerialNsOp, native.SerialNsOp, ratio)
+			if ratio > budget {
+				return fmt.Errorf("fused %s serial cost %.0f ns/pkt vs %.0f ns/pkt native (ratio %.2f, want <= %.0fx)",
+					fn, fused.SerialNsOp, native.SerialNsOp, ratio, budget)
 			}
-			fmt.Printf("fused %s at %.2fx native serial cost (interpreted hp4 target: 5x)\n", fn, ratio)
+			fmt.Printf("fused %s at %.2fx native serial cost (budget: %.0fx)\n", fn, ratio, budget)
 		}
-		if fn == functions.L2Switch && fused.SerialAlloc >= 50 {
-			return fmt.Errorf("fused l2_switch allocates %.1f/pkt, want < 50", fused.SerialAlloc)
+		if (fn == functions.L2Switch || fn == functions.Composed) && fused.SerialAlloc >= 50 {
+			return fmt.Errorf("fused %s allocates %.1f/pkt, want < 50", fn, fused.SerialAlloc)
 		}
 	}
 	if runtime.GOMAXPROCS(0) == 1 {

@@ -169,6 +169,8 @@ func FunctionSwitch(fn string, mode Mode) (*sim.Switch, error) {
 		return arpSwitch("s", mode)
 	case functions.Router:
 		return routerSwitch("s", mode)
+	case functions.Composed:
+		return composedSwitch("s", mode)
 	}
 	return nil, fmt.Errorf("bench: unknown function %q", fn)
 }
@@ -204,6 +206,10 @@ func WorkloadPackets(fn string) [][]byte {
 		return [][]byte{udp, tcp}
 	case functions.ARPProxy:
 		return [][]byte{arpProxied, arpOther}
+	case functions.Composed:
+		// The full chain: switched by the ARP proxy, passed by the
+		// firewall, routed — two virtual-link crossings per packet.
+		return [][]byte{tcp, udp}
 	}
 	return nil
 }

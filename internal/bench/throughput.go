@@ -27,9 +27,12 @@ type ThroughputResult struct {
 	P999Ns      int64   `json:"serial_p999_ns"`
 }
 
-// ThroughputFunctions are the workloads the throughput experiment sweeps.
+// ThroughputFunctions are the workloads the throughput experiment sweeps:
+// two single functions and the Example 1 C composed chain, whose emulated
+// packets cross two virtual links (and whose fused plans chain across
+// them).
 func ThroughputFunctions() []string {
-	return []string{functions.L2Switch, functions.Firewall}
+	return []string{functions.L2Switch, functions.Firewall, functions.Composed}
 }
 
 // Throughput measures serial Process and batched ProcessBatch throughput for

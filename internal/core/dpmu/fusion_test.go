@@ -116,41 +116,451 @@ func compareEntryHits(t *testing.T, a, b *sim.Switch) {
 	}
 }
 
-// TestFusedCompositionFallback runs the chained arp→fw→router composition
-// with fusion on. Virtual links are unfusable, so packets crossing them
-// must fall back to the interpreter — transparently — and the fuse report
-// must say why.
-func TestFusedCompositionFallback(t *testing.T) {
+// TestFusedComposedDifferential runs the chained arp→fw→router composition
+// through twin switches, one interpreted and one fused. Cross-plan chaining
+// means the fused twin must walk the whole virtual chain in one fast-path
+// call: every output byte, every pass-type count (resubmits AND
+// recirculations), every entry hit, and every per-vdev counter must match
+// the interpreter, and the fast path must demonstrably fire.
+func TestFusedComposedDifferential(t *testing.T) {
 	dI := newPersonaDPMU(t)
 	loadComposition(t, dI)
 	dF := newPersonaDPMU(t)
 	loadComposition(t, dF)
 	dF.SetFusion(true)
 
-	for i, frame := range [][]byte{ping(), tcp5201(), l2Frame()} {
-		iOut, _, err := dI.SW.Process(frame, 1)
+	frames := [][]byte{ping(), tcp5201(), l2Frame()}
+	rng := rand.New(rand.NewSource(4242))
+	for i := 0; i < 200; i++ {
+		frames = append(frames, randomFrame(rng))
+	}
+	for i, frame := range frames {
+		port := 1 + i%2
+		iOut, iTr, err := dI.SW.Process(frame, port)
 		if err != nil {
 			t.Fatalf("frame %d interpreted: %v", i, err)
 		}
-		fOut, _, err := dF.SW.Process(frame, 1)
+		fOut, fTr, err := dF.SW.Process(frame, port)
 		if err != nil {
 			t.Fatalf("frame %d fused: %v", i, err)
 		}
 		if !sameOutputs(iOut, fOut) {
-			t.Fatalf("frame %d diverged: interpreted %s, fused %s", i, renderOutputs(iOut), renderOutputs(fOut))
+			t.Fatalf("frame %d (port %d) diverged:\ninterpreted: %s\nfused:       %s\nframe: %x",
+				i, port, renderOutputs(iOut), renderOutputs(fOut), frame)
 		}
+		if iTr.Passes != fTr.Passes || iTr.Resubmits != fTr.Resubmits ||
+			iTr.Recirculates != fTr.Recirculates || iTr.ClonesE2E != fTr.ClonesE2E {
+			t.Fatalf("frame %d pass accounting diverged:\ninterpreted passes=%d resubmits=%d recircs=%d clones=%d\nfused       passes=%d resubmits=%d recircs=%d clones=%d",
+				i, iTr.Passes, iTr.Resubmits, iTr.Recirculates, iTr.ClonesE2E,
+				fTr.Passes, fTr.Resubmits, fTr.Recirculates, fTr.ClonesE2E)
+		}
+	}
+
+	if hits := dF.FusionStatus().FastHits; hits == 0 {
+		t.Fatal("composed chain never took the fast path; differential was vacuous")
+	} else {
+		t.Logf("fast path handled %d composed packets", hits)
 	}
 	compareEntryHits(t, dI.SW, dF.SW)
 
-	report := dF.FuseReport()
-	var sawUnfusable bool
-	for _, f := range report {
-		if f.Code == verify.CodeUnfusable && f.Severity == verify.SevInfo {
-			sawUnfusable = true
+	si, sf := dI.SW.Stats(), dF.SW.Stats()
+	if si.PacketsIn != sf.PacketsIn || si.PacketsOut != sf.PacketsOut ||
+		si.PacketsDropped != sf.PacketsDropped || si.Resubmits != sf.Resubmits ||
+		si.Recirculates != sf.Recirculates {
+		t.Errorf("stats diverged: interpreted %+v, fused %+v", si, sf)
+	}
+	for pid := 1; pid <= 3; pid++ {
+		ip, ib, err := dI.SW.CounterRead(persona.CounterVDev, pid)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fp, fb, err := dF.SW.CounterRead(persona.CounterVDev, pid)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ip != fp || ib != fb {
+			t.Errorf("vdev %d counter diverged: interpreted (%d pkts, %d bytes), fused (%d pkts, %d bytes)",
+				pid, ip, ib, fp, fb)
 		}
 	}
-	if !sawUnfusable {
-		t.Fatalf("composition with virtual links produced no %s findings: %+v", verify.CodeUnfusable, report)
+
+	// Virtual links are no longer a fallback: the fuse report must not
+	// blame them, and every vdev in the chain must hold a plan.
+	for _, f := range dF.FuseReport() {
+		if f.Code == verify.CodeUnfusable {
+			t.Errorf("composed chain still reports %s: %+v", verify.CodeUnfusable, f)
+		}
+	}
+	if st := dF.FusionStatus(); st.Plans != 3 {
+		t.Errorf("plans = %d, want 3 (%+v)", st.Plans, st)
+	}
+}
+
+// loadMulticastPair wires an L2 source whose virtual port 10 fans out to
+// two target L2 switches delivering on physical ports 5 and 6 — the §4.6
+// multicast scenario.
+func loadMulticastPair(t *testing.T, d *DPMU) {
+	t.Helper()
+	const owner = "op"
+	comp := compileFn(t, functions.L2Switch)
+	for _, name := range []string{"src", "tgt_a", "tgt_b"} {
+		if _, err := d.Load(name, comp, owner, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	src := functions.NewL2ControllerFunc(d.Installer(owner, "src"))
+	if err := src.AddHost(mac2, 10); err != nil {
+		t.Fatal(err)
+	}
+	ca := functions.NewL2ControllerFunc(d.Installer(owner, "tgt_a"))
+	if err := ca.AddHost(mac2, 5); err != nil {
+		t.Fatal(err)
+	}
+	cb := functions.NewL2ControllerFunc(d.Installer(owner, "tgt_b"))
+	if err := cb.AddHost(mac2, 6); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.AssignPort(owner, Assignment{PhysPort: 1, VDev: "src", VIngress: 1}); err != nil {
+		t.Fatal(err)
+	}
+	for _, tgt := range []string{"tgt_a", "tgt_b"} {
+		for _, port := range []int{5, 6} {
+			if err := d.MapVPort(owner, tgt, port, port); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := d.MulticastGroup(owner, "src", 10, []VPortRef{
+		{VDev: "tgt_a", VIngress: 1},
+		{VDev: "tgt_b", VIngress: 1},
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFusedMulticastDifferential checks the fused multicast fan-out against
+// the interpreter: one packet in, one copy per target out, with clone and
+// recirculation accounting, entry hits, and per-vdev counters conserved.
+func TestFusedMulticastDifferential(t *testing.T) {
+	dI := newPersonaDPMU(t)
+	loadMulticastPair(t, dI)
+	dF := newPersonaDPMU(t)
+	loadMulticastPair(t, dF)
+	dF.SetFusion(true)
+
+	frames := [][]byte{
+		pkt.Pad(pkt.Serialize(&pkt.Ethernet{Dst: mac2, Src: mac1, EtherType: 0x0800}, pkt.Payload("mc"))),
+		l2Frame(),
+	}
+	rng := rand.New(rand.NewSource(99))
+	for i := 0; i < 100; i++ {
+		frames = append(frames, randomFrame(rng))
+	}
+	for i, frame := range frames {
+		iOut, iTr, err := dI.SW.Process(frame, 1)
+		if err != nil {
+			t.Fatalf("frame %d interpreted: %v", i, err)
+		}
+		fOut, fTr, err := dF.SW.Process(frame, 1)
+		if err != nil {
+			t.Fatalf("frame %d fused: %v", i, err)
+		}
+		if !sameOutputs(iOut, fOut) {
+			t.Fatalf("frame %d diverged:\ninterpreted: %s\nfused:       %s",
+				i, renderOutputs(iOut), renderOutputs(fOut))
+		}
+		if iTr.Passes != fTr.Passes || iTr.Recirculates != fTr.Recirculates || iTr.ClonesE2E != fTr.ClonesE2E {
+			t.Fatalf("frame %d pass accounting diverged: interpreted passes=%d recircs=%d clones=%d, fused passes=%d recircs=%d clones=%d",
+				i, iTr.Passes, iTr.Recirculates, iTr.ClonesE2E, fTr.Passes, fTr.Recirculates, fTr.ClonesE2E)
+		}
+	}
+
+	// The known-good fan-out frame must take the fast path and deliver to
+	// both targets.
+	hits := dF.FusionStatus().FastHits
+	if hits == 0 {
+		t.Fatal("multicast never took the fast path; differential was vacuous")
+	}
+	if _, _, err := dI.SW.Process(frames[0], 1); err != nil {
+		t.Fatal(err)
+	}
+	out, tr, err := dF.SW.Process(frames[0], 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ports := map[int]bool{}
+	for _, o := range out {
+		ports[o.Port] = true
+	}
+	if len(out) != 2 || !ports[5] || !ports[6] {
+		t.Fatalf("fused fan-out: %s, want ports 5 and 6", renderOutputs(out))
+	}
+	if tr.ClonesE2E != 1 || tr.Recirculates != 2 {
+		t.Errorf("fused fan-out: clones=%d recircs=%d, want 1 and 2", tr.ClonesE2E, tr.Recirculates)
+	}
+	if got := dF.FusionStatus().FastHits; got <= hits {
+		t.Error("fan-out frame fell off the fast path")
+	}
+	compareEntryHits(t, dI.SW, dF.SW)
+
+	si, sf := dI.SW.Stats(), dF.SW.Stats()
+	if si.PacketsOut != sf.PacketsOut || si.Clones != sf.Clones || si.Recirculates != sf.Recirculates {
+		t.Errorf("stats diverged: interpreted %+v, fused %+v", si, sf)
+	}
+}
+
+// TestFusedPolicingDifferential checks the red-meter truncation path in the
+// fused commit phase: with a vdev rate-limited, the fused and interpreted
+// twins must agree packet by packet on delivery, drops, and meter-driven
+// hit suppression — the red verdict lands mid-commit, after the journal is
+// built.
+func TestFusedPolicingDifferential(t *testing.T) {
+	dI := newPersonaDPMU(t)
+	loadL2(t, dI, "l2", "op")
+	dF := newPersonaDPMU(t)
+	loadL2(t, dF, "l2", "op")
+	dF.SetFusion(true)
+	for _, d := range []*DPMU{dI, dF} {
+		if err := d.SetRateLimit("op", "l2", 3, 3); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	frame := l2Frame()
+	for i := 0; i < 10; i++ {
+		iOut, _, err := dI.SW.Process(frame, 1)
+		if err != nil {
+			t.Fatalf("packet %d interpreted: %v", i, err)
+		}
+		fOut, _, err := dF.SW.Process(frame, 1)
+		if err != nil {
+			t.Fatalf("packet %d fused: %v", i, err)
+		}
+		if !sameOutputs(iOut, fOut) {
+			t.Fatalf("packet %d diverged under policing: interpreted %s, fused %s",
+				i, renderOutputs(iOut), renderOutputs(fOut))
+		}
+		want := 1
+		if i >= 3 {
+			want = 0 // over budget: the meter goes red and the pass is cut short
+		}
+		if len(fOut) != want {
+			t.Fatalf("packet %d: %d outputs, want %d", i, len(fOut), want)
+		}
+	}
+	if dF.FusionStatus().FastHits == 0 {
+		t.Fatal("policed vdev never took the fast path")
+	}
+	compareEntryHits(t, dI.SW, dF.SW)
+}
+
+// TestFusedNormMissDeclines pins the t_norm fallback semantics: the
+// persona parser lands in a requested parse state only when its t_norm row
+// exists — a supported byte count whose row was deleted MISSES t_norm in
+// the interpreter. A plan built against that state must decline such
+// packets rather than silently normalize at the default width.
+func TestFusedNormMissDeclines(t *testing.T) {
+	_, dI := differentialPair(t, functions.Firewall)
+	_, dF := differentialPair(t, functions.Firewall)
+	dF.SetFusion(true)
+
+	frame := tcpFrame(80) // multi-pass parse: ether → ipv4 → tcp
+	if _, _, err := dF.SW.Process(frame, 1); err != nil {
+		t.Fatal(err)
+	}
+	if dF.FusionStatus().FastHits == 0 {
+		t.Fatal("firewall not on fast path before the t_norm surgery")
+	}
+	if _, _, err := dI.SW.Process(frame, 1); err != nil {
+		t.Fatal(err)
+	}
+
+	// Delete every t_norm row except the default byte count's, on both
+	// switches, then rebuild the fused plans against the mutilated table.
+	for _, sw := range []*sim.Switch{dI.SW, dF.SW} {
+		rows, err := sw.TableEntriesOrdered(persona.TblNorm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, e := range rows {
+			if len(e.Params) == 1 && int(e.Params[0].Value.Uint64()) != persona.Reference.ParseDefault {
+				if err := sw.TableDelete(persona.TblNorm, e.Handle); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+	}
+	dF.SetFusion(false)
+	dF.SetFusion(true)
+
+	hits := dF.FusionStatus().FastHits
+	rng := rand.New(rand.NewSource(31))
+	frames := [][]byte{frame}
+	for i := 0; i < 50; i++ {
+		frames = append(frames, randomFrame(rng))
+	}
+	for i, f := range frames {
+		iOut, iTr, err := dI.SW.Process(f, 1)
+		if err != nil {
+			t.Fatalf("frame %d interpreted: %v", i, err)
+		}
+		fOut, fTr, err := dF.SW.Process(f, 1)
+		if err != nil {
+			t.Fatalf("frame %d fused: %v", i, err)
+		}
+		if !sameOutputs(iOut, fOut) {
+			t.Fatalf("frame %d diverged after t_norm deletion:\ninterpreted: %s\nfused:       %s\nframe: %x",
+				i, renderOutputs(iOut), renderOutputs(fOut), f)
+		}
+		if iTr.Passes != fTr.Passes {
+			t.Fatalf("frame %d passes diverged: interpreted %d, fused %d", i, iTr.Passes, fTr.Passes)
+		}
+	}
+	compareEntryHits(t, dI.SW, dF.SW)
+	// The deep-parse frame must have declined (its requested byte count
+	// has no t_norm row), so the fast path only served the shallow frames.
+	if got := dF.FusionStatus().FastHits; got == hits {
+		t.Log("no frame took the fast path after t_norm surgery (all parsed deep)")
+	}
+}
+
+// TestFusedChainDepthRefusal builds a two-device virtual-link cycle. The
+// interpreter bounds such loops with the pass limit and faults the packet;
+// the fused engine must refuse the plans at build time (a fused walk cannot
+// fault mid-flight) and report why, while the interpreted fault semantics
+// stay exactly as without fusion.
+func TestFusedChainDepthRefusal(t *testing.T) {
+	build := func(t *testing.T, d *DPMU) {
+		const owner = "op"
+		comp := compileFn(t, functions.L2Switch)
+		for _, name := range []string{"a", "b"} {
+			if _, err := d.Load(name, comp, owner, 0); err != nil {
+				t.Fatal(err)
+			}
+			c := functions.NewL2ControllerFunc(d.Installer(owner, name))
+			if err := c.AddHost(mac2, 10); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := d.AssignPort(owner, Assignment{PhysPort: 1, VDev: "a", VIngress: 1}); err != nil {
+			t.Fatal(err)
+		}
+		if err := d.LinkVPorts(owner, "a", 10, "b", 1); err != nil {
+			t.Fatal(err)
+		}
+		if err := d.LinkVPorts(owner, "b", 10, "a", 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	dI := newPersonaDPMU(t)
+	build(t, dI)
+	dF := newPersonaDPMU(t)
+	build(t, dF)
+	dF.SetFusion(true)
+
+	// Both plans sit on the cycle, so both are refused.
+	if st := dF.FusionStatus(); st.Plans != 0 {
+		t.Fatalf("cyclic chain still fused: %d plans (%+v)", st.Plans, st)
+	}
+	var sawDepth bool
+	for _, f := range dF.FuseReport() {
+		if f.Code == verify.CodeFuseChainDepth {
+			sawDepth = true
+			if f.Severity != verify.SevInfo {
+				t.Errorf("%s severity = %v, want info", f.Code, f.Severity)
+			}
+		}
+	}
+	if !sawDepth {
+		t.Fatalf("cyclic chain produced no %s finding: %+v", verify.CodeFuseChainDepth, dF.FuseReport())
+	}
+
+	// The looping packet faults identically on both switches: fusion must
+	// not change the containment story.
+	frame := l2Frame()
+	_, _, errI := dI.SW.Process(frame, 1)
+	_, _, errF := dF.SW.Process(frame, 1)
+	if errI == nil || errF == nil {
+		t.Fatalf("looping packet should fault on both: interpreted=%v fused=%v", errI, errF)
+	}
+	if dF.FusionStatus().FastHits != 0 {
+		t.Error("fast path served a packet on a refused chain")
+	}
+}
+
+// TestFusedChainMemberUnload checks the invalidation edge where a plan in
+// the middle of a fused chain disappears: the survivors must rebuild, and
+// packets that would cross the dangling link must fall back to the
+// interpreter instead of being served by a stale target.
+func TestFusedChainMemberUnload(t *testing.T) {
+	d := newPersonaDPMU(t)
+	loadComposition(t, d) // arp(1) → fw(2) → r(3)
+	d.SetFusion(true)
+
+	if out, _, err := d.SW.Process(ping(), 1); err != nil || len(out) != 1 || out[0].Port != 2 {
+		t.Fatalf("pre-unload ping: out=%v err=%v", out, err)
+	}
+	if d.FusionStatus().FastHits == 0 {
+		t.Fatal("composed chain not on fast path before unload")
+	}
+	genBefore := d.FusionStatus().Generation
+
+	if err := d.Unload("op", "fw"); err != nil {
+		t.Fatal(err)
+	}
+	st := d.FusionStatus()
+	if st.Generation <= genBefore {
+		t.Fatalf("unloading a chain member did not invalidate: generation %d -> %d", genBefore, st.Generation)
+	}
+	if st.Plans != 2 {
+		t.Fatalf("plans after unload = %d, want 2 (%+v)", st.Plans, st)
+	}
+
+	// The arp→fw link now dangles (fw's tables are gone). The packet must
+	// not fault and must not be forwarded by a stale firewall plan.
+	hits := st.FastHits
+	out, _, err := d.SW.Process(ping(), 1)
+	if err != nil {
+		t.Fatalf("post-unload ping: %v", err)
+	}
+	if len(out) != 0 {
+		t.Fatalf("packet crossed an unloaded chain member: %s", renderOutputs(out))
+	}
+	if got := d.FusionStatus().FastHits; got != hits {
+		t.Errorf("fast path served a walk across an unloaded plan: hits %d -> %d", hits, got)
+	}
+}
+
+// TestFusedMidChainMutation checks that a table write in the middle of a
+// fused chain invalidates the whole linked plan: the next packet must see
+// the new firewall rule, through the fast path.
+func TestFusedMidChainMutation(t *testing.T) {
+	d := newPersonaDPMU(t)
+	loadComposition(t, d)
+	d.SetFusion(true)
+
+	if out, _, err := d.SW.Process(tcpFrame(9999), 1); err != nil || len(out) != 1 {
+		t.Fatalf("pre-mutation tcp/9999: out=%v err=%v", out, err)
+	}
+	genBefore := d.FusionStatus().Generation
+
+	fc := functions.NewFirewallControllerFunc(d.Installer("op", "fw"))
+	if err := fc.BlockTCPDstPort(9999); err != nil {
+		t.Fatal(err)
+	}
+	if gen := d.FusionStatus().Generation; gen <= genBefore {
+		t.Fatalf("mid-chain table write did not invalidate: generation %d -> %d", genBefore, gen)
+	}
+
+	hits := d.FusionStatus().FastHits
+	if out, _, err := d.SW.Process(tcpFrame(9999), 1); err != nil || len(out) != 0 {
+		t.Fatalf("post-mutation tcp/9999 should drop: out=%v err=%v", out, err)
+	}
+	if out, _, err := d.SW.Process(ping(), 1); err != nil || len(out) != 1 || out[0].Port != 2 {
+		t.Fatalf("post-mutation ping: out=%v err=%v", out, err)
+	}
+	if got := d.FusionStatus().FastHits; got <= hits {
+		t.Error("rebuilt chain not on fast path after mid-chain mutation")
 	}
 }
 

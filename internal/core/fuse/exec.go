@@ -6,22 +6,59 @@ import (
 	"hyper4/internal/sim"
 )
 
+// Segment instance kinds, mirroring the interpreter's pass types for
+// metrics and stats conservation.
+const (
+	segNormal = iota
+	segResubmit
+	segRecirc
+	segClone
+)
+
+// segment is one journaled pipeline pass. The run phase builds a tree of
+// segments shaped exactly like the interpreter's pass graph — parser passes
+// chain through child[0] (resubmission), a final pass's child[0] is its
+// egress-to-egress clone and child[1] its recirculation into the next
+// plan — and the commit phase replays it in the interpreter's BFS order so
+// meter executions, entry hits, and emitted outputs interleave identically.
+type segment struct {
+	pid     int  // owning vdev: meter/counter index for parser passes
+	inst    int  // segNormal/segResubmit/segRecirc/segClone
+	parser  bool // parser passes hit t_norm and run the policing meter
+	dataLen int  // this pass's packet byte count (the meter/counter amount)
+	norm    *sim.Entry
+	assign  *sim.Entry // t_assign hit, root pass only
+	lo, hi  int        // post-police hit range into execState.jr
+	outPort int
+	outData []byte // non-nil: this pass emits an output (unless policed red)
+	child   [2]int // follow-on segments in queue-push order, -1 when absent
+}
+
+// walkJob is one pending walk: a packet entering a plan, either from a
+// physical port (the root) or recirculated across a virtual link.
+type walkJob struct {
+	p      *plan
+	ving   uint64
+	data   []byte
+	inst   int        // instance kind of the walk's first pass
+	assign *sim.Entry // root walk only
+	parent int        // segment whose child[slot] this walk's first pass becomes
+	slot   int
+}
+
 // execState is the pooled per-packet scratch: the extracted-data and
 // emulated-metadata wide fields, a staging buffer for overlapping copies,
-// and the entry-hit journal the commit phase replays. Nothing here escapes
-// the packet, so steady state allocates only the output buffer.
+// and the segment/journal/job storage the run phase fills and the commit
+// phase replays. Only output buffers escape the packet.
 type execState struct {
 	ext  bitfield.Value
 	meta bitfield.Value
 	tmp  bitfield.Value
 
-	// Hit journal. norms holds the t_norm hit of each pass (its length is
-	// the pass count); post holds the remaining hits grouped per pass by
-	// postEnd, so the commit phase can truncate at a red meter verdict
-	// exactly where the interpreter's policing guard would have.
-	norms   []*sim.Entry
-	post    []*sim.Entry
-	postEnd []int
+	segs  []segment
+	jr    []*sim.Entry // hit journal; segments hold [lo,hi) ranges into it
+	jobs  []walkJob
+	queue []int // commit-phase BFS queue
 }
 
 func newExecState(ew int) *execState {
@@ -32,12 +69,31 @@ func newExecState(ew int) *execState {
 	}
 }
 
+// release drops every pointer the packet accumulated — journaled *sim.Entry
+// hits, segment entries, output and job buffers — so pooled state cannot
+// retain deleted entries or packet data across packets.
+func (st *execState) release() {
+	for i := range st.jr {
+		st.jr[i] = nil
+	}
+	st.jr = st.jr[:0]
+	for i := range st.segs {
+		st.segs[i] = segment{}
+	}
+	st.segs = st.segs[:0]
+	for i := range st.jobs {
+		st.jobs[i] = walkJob{}
+	}
+	st.jobs = st.jobs[:0]
+	st.queue = st.queue[:0]
+}
+
 // RunFast implements sim.FastHandler: it either fully processes the packet
-// through the fused plan (recording exactly the hits, meter executions and
+// through the fused plans (recording exactly the hits, meter executions and
 // counter bumps the interpreter would) or declines, leaving no trace.
 //
 //hp4:hotpath
-func (eng *Engine) RunFast(sw *sim.Switch, data []byte, port int) (sim.FastResult, bool) {
+func (eng *Engine) RunFast(sw *sim.Switch, data []byte, port int) (res sim.FastResult, ok bool) {
 	if sw.Generation() != eng.gen {
 		return sim.FastResult{}, false
 	}
@@ -50,27 +106,54 @@ func (eng *Engine) RunFast(sw *sim.Switch, data []byte, port int) (sim.FastResul
 	}
 	// Quarantined, probing, and bypassed vdevs all sit in the quarantine
 	// table; their packets need the interpreter's containment accounting.
-	if _, contained := sw.QuarantineRemaining(uint64(pb.plan.pid)); contained {
-		return sim.FastResult{}, false
+	// The whole reachable chain is checked: a fused walk may cross into any
+	// of these plans.
+	for _, pid := range pb.plan.chain {
+		if _, contained := sw.QuarantineRemaining(uint64(pid)); contained {
+			return sim.FastResult{}, false
+		}
 	}
 	st := eng.pool.Get().(*execState)
-	res, ok := eng.run(pb.plan, pb, st, sw, data)
-	eng.pool.Put(st)
+	// Deferred so a panic inside run (swallowed as a decline by sim.runFast)
+	// cannot leak the scratch state, and so pooled state never retains
+	// journal pointers.
+	defer func() {
+		st.release()
+		eng.pool.Put(st)
+	}()
+	res, ok = eng.run(pb, st, sw, data)
 	if ok {
 		eng.hits.Add(1)
 	}
 	return res, ok
 }
 
-// run is the pure phase: it simulates every pass of the packet against the
-// plan without touching shared state, journaling the entry hits each pass
-// would record. Only when the packet's fate is fully decided does commit
-// apply the journal. Declining at any point before commit is therefore
-// free of side effects.
-func (eng *Engine) run(p *plan, pb *portBind, st *execState, sw *sim.Switch, data []byte) (sim.FastResult, bool) {
-	st.norms = st.norms[:0]
-	st.post = st.post[:0]
-	st.postEnd = st.postEnd[:0]
+// run is the pure phase: it simulates every pass of the packet — including
+// walks chained across virtual links and multicast clone expansions —
+// without touching shared state, journaling the entry hits each pass would
+// record. Only when the packet's whole fate is decided does commit apply
+// the journal, so declining at any point before commit is free of side
+// effects.
+func (eng *Engine) run(pb *portBind, st *execState, sw *sim.Switch, data []byte) (sim.FastResult, bool) {
+	st.jobs = append(st.jobs, walkJob{
+		p: pb.plan, ving: pb.vingress, data: data,
+		inst: segNormal, assign: pb.assign, parent: -1,
+	})
+	for j := 0; j < len(st.jobs); j++ {
+		job := st.jobs[j] // copy: walk may append and reallocate st.jobs
+		if !eng.walk(st, job) {
+			return sim.FastResult{}, false
+		}
+	}
+	return eng.commit(st, sw)
+}
+
+// walk simulates one plan traversal: the parse loop, the stage walk, and
+// the virtual-network dispatch. Crossing a virtual link enqueues a new walk
+// against the target plan; a multicast route additionally synthesizes the
+// clone-pass segments. Returns false to decline the whole packet.
+func (eng *Engine) walk(st *execState, job walkJob) bool {
+	p := job.p
 
 	// Parse loop: each iteration is one pipeline pass. numBytes carries the
 	// a_parse_more request across the (virtual) resubmission.
@@ -78,27 +161,47 @@ func (eng *Engine) run(p *plan, pb *portBind, st *execState, sw *sim.Switch, dat
 	state := uint64(0)
 	var fin *parseRow
 	parsed, consumed := 0, 0
+	inst := job.inst
+	prev, finIdx := -1, -1
 	for {
-		if len(st.norms) >= sim.MaxPasses {
+		if len(st.segs) >= sim.MaxPasses {
 			// The interpreter faults at the pass bound; let it.
-			return sim.FastResult{}, false
+			return false
 		}
-		n := p.defaultBytes
-		if numBytes > 0 {
-			if _, supported := p.normBy[numBytes]; supported {
-				n = numBytes
+		idx := len(st.segs)
+		st.segs = append(st.segs, segment{
+			pid: p.pid, inst: inst, parser: true, dataLen: len(job.data),
+			lo: len(st.jr), child: [2]int{-1, -1},
+		})
+		if prev < 0 {
+			st.segs[idx].assign = job.assign
+			if job.parent >= 0 {
+				st.segs[job.parent].child[job.slot] = idx
 			}
+		} else {
+			st.segs[prev].child[0] = idx
+		}
+		inst = segResubmit
+
+		// The parser lands in the requested state only when the byte count
+		// is one it supports; anything else falls into the default state.
+		// A supported count whose t_norm row is missing would MISS in the
+		// interpreter (t_norm reads hp4.parsed exact) — decline rather than
+		// silently normalize at the default width.
+		n := p.defaultBytes
+		if numBytes > 0 && p.counts[numBytes] {
+			n = numBytes
 		}
 		ne := p.normBy[n]
 		if ne == nil {
-			return sim.FastResult{}, false
+			return false
 		}
-		st.norms = append(st.norms, ne)
-		take := len(data)
+		st.segs[idx].norm = ne
+		take := len(job.data)
 		if take > n {
 			take = n
 		}
-		st.ext.SetPrefixBytes(data[:take])
+		st.ext.SetPrefixBytes(job.data[:take])
 		var row *parseRow
 		for i := range p.parse {
 			r := &p.parse[i]
@@ -109,28 +212,30 @@ func (eng *Engine) run(p *plan, pb *portBind, st *execState, sw *sim.Switch, dat
 		}
 		if row == nil {
 			// Parse miss: no stage walk, t_virtnet applied with vport=0.
-			st.post = append(st.post, p.vdrop0)
-			st.postEnd = append(st.postEnd, len(st.post))
-			return eng.commit(p, pb, st, sw, len(data), nil)
+			st.jr = append(st.jr, p.vdrop0)
+			st.segs[idx].hi = len(st.jr)
+			return true
 		}
-		st.post = append(st.post, row.entry)
+		st.jr = append(st.jr, row.entry)
 		if row.more {
 			// a_parse_more resubmits; this pass still traverses t_virtnet
 			// with vport=0 before the resubmission takes effect.
-			st.post = append(st.post, p.vdrop0)
-			st.postEnd = append(st.postEnd, len(st.post))
+			st.jr = append(st.jr, p.vdrop0)
+			st.segs[idx].hi = len(st.jr)
 			numBytes = row.numBytes
 			state = row.nextState
+			prev = idx
 			continue
 		}
 		fin = row
 		parsed, consumed = n, take
+		finIdx = idx
 		break
 	}
 
 	// Stage walk on the final pass.
 	st.meta.Zero()
-	ving := pb.vingress
+	ving := job.ving
 	vport := uint64(0)
 	dropped := false
 	kind, id := fin.kind, fin.id
@@ -147,7 +252,7 @@ func (eng *Engine) run(p *plan, pb *portBind, st *execState, sw *sim.Switch, dat
 		if r == nil {
 			break
 		}
-		st.post = append(st.post, r.hits...)
+		st.jr = append(st.jr, r.hits...)
 		for i := range r.ops {
 			op := &r.ops[i]
 			switch op.kind {
@@ -172,72 +277,172 @@ func (eng *Engine) run(p *plan, pb *portBind, st *execState, sw *sim.Switch, dat
 		kind, id = r.nextKind, r.nextID
 	}
 
-	// Virtual networking + egress.
-	var outs []sim.Output
-	if !dropped {
-		vr := p.vnet[vport]
-		if vr != nil {
-			st.post = append(st.post, vr.entry)
-			switch vr.kind {
-			case vnetDrop:
-			case vnetPhys:
-				if fin.csum {
-					if p.csumBad {
-						return sim.FastResult{}, false
-					}
-					if p.csum != nil {
-						st.fixCsum(p.csum)
-						st.post = append(st.post, p.csum.entry)
-					}
-				}
-				re, wb := p.resizeBy[parsed], p.wbBy[parsed]
-				if re == nil || wb == nil {
-					return sim.FastResult{}, false
-				}
-				st.post = append(st.post, re, wb)
-				buf := make([]byte, 0, parsed+len(data)-consumed)
-				buf = st.ext.AppendSliceTo(buf, 0, parsed*8)
-				buf = append(buf, data[consumed:]...)
-				outs = []sim.Output{{Port: vr.port, Data: buf}}
-			default:
-				// Virtual link or multicast: recirculation and cloning stay
-				// interpreted.
-				return sim.FastResult{}, false
+	// Virtual networking + egress. A vnet miss applies the table default
+	// (a_vdrop, no entry hit).
+	if dropped {
+		st.segs[finIdx].hi = len(st.jr)
+		return true
+	}
+	vr := p.vnet[vport]
+	if vr == nil {
+		st.segs[finIdx].hi = len(st.jr)
+		return true
+	}
+	st.jr = append(st.jr, vr.entry)
+	switch vr.kind {
+	case vnetDrop:
+		st.segs[finIdx].hi = len(st.jr)
+		return true
+	case vnetPhys:
+		buf, ok := eng.egress(st, p, fin, job.data, parsed, consumed)
+		if !ok {
+			return false
+		}
+		st.segs[finIdx].outPort = vr.port
+		st.segs[finIdx].outData = buf
+		st.segs[finIdx].hi = len(st.jr)
+		return true
+	case vnetVirt:
+		// Cross-plan call: the packet traverses egress (checksum, resize,
+		// writeback), then recirculates into the target plan with the
+		// deparsed bytes and a fresh parse loop — the link-time analysis
+		// already bounded the chain. An unresolved target (vdev not fused)
+		// declines before any side effect.
+		if vr.target == nil {
+			return false
+		}
+		buf, ok := eng.egress(st, p, fin, job.data, parsed, consumed)
+		if !ok {
+			return false
+		}
+		st.segs[finIdx].hi = len(st.jr)
+		st.jobs = append(st.jobs, walkJob{
+			p: vr.target, ving: vr.nextVIn, data: buf,
+			inst: segRecirc, parent: finIdx, slot: 1,
+		})
+		return true
+	case vnetMcast:
+		// Multicast fan-out: the original pass hits the orig row and
+		// recirculates into the first target; each egress-to-egress clone
+		// re-runs egress on identical bytes (checksum recompute is
+		// idempotent), hits its step row, and recirculates into its own
+		// target. One chained walk per leaf.
+		if vr.bad || vr.target == nil {
+			return false
+		}
+		for i := range vr.steps {
+			if vr.steps[i].target == nil {
+				return false
 			}
 		}
-		// A vnet miss applies the table default (a_vdrop, no entry hit).
+		buf, ok := eng.egress(st, p, fin, job.data, parsed, consumed)
+		if !ok {
+			return false
+		}
+		st.jr = append(st.jr, vr.orig)
+		st.segs[finIdx].hi = len(st.jr)
+		st.jobs = append(st.jobs, walkJob{
+			p: vr.target, ving: vr.nextVIn, data: buf,
+			inst: segRecirc, parent: finIdx, slot: 1,
+		})
+		prevSeg := finIdx
+		for i := range vr.steps {
+			stp := &vr.steps[i]
+			if len(st.segs) >= sim.MaxPasses {
+				return false
+			}
+			cidx := len(st.segs)
+			st.segs = append(st.segs, segment{
+				pid: p.pid, inst: segClone,
+				lo: len(st.jr), child: [2]int{-1, -1},
+			})
+			st.segs[prevSeg].child[0] = cidx
+			if fin.csum && p.csum != nil {
+				st.jr = append(st.jr, p.csum.entry)
+			}
+			st.jr = append(st.jr, p.resizeBy[parsed], p.wbBy[parsed], stp.entry)
+			st.segs[cidx].hi = len(st.jr)
+			st.jobs = append(st.jobs, walkJob{
+				p: stp.target, ving: stp.vin, data: buf,
+				inst: segRecirc, parent: cidx, slot: 1,
+			})
+			prevSeg = cidx
+		}
+		return true
 	}
-	st.postEnd = append(st.postEnd, len(st.post))
-	return eng.commit(p, pb, st, sw, len(data), outs)
+	return false
 }
 
-// commit replays the hit journal pass by pass, interleaved with the
-// policing meter exactly as the interpreter's ingress order runs it:
-// t_norm (and, on the first pass, t_assign) hit first, then a_police's
-// meter + counter, then — only if the verdict isn't red — the rest of the
-// pass. A red verdict truncates the packet at that pass: earlier passes'
-// effects stand, later ones never happened.
-func (eng *Engine) commit(p *plan, pb *portBind, st *execState, sw *sim.Switch, pktLen int, outs []sim.Output) (sim.FastResult, bool) {
-	passes := len(st.norms)
-	for i := 0; i < passes; i++ {
-		st.norms[i].RecordHit()
-		if i == 0 {
-			pb.assign.RecordHit()
+// egress journals the egress-side hits of a walk's final pass — checksum
+// (when the parse row armed it), resize, writeback — and returns the
+// deparsed bytes, declining when a required row is missing or the checksum
+// row is undecodable.
+func (eng *Engine) egress(st *execState, p *plan, fin *parseRow, data []byte, parsed, consumed int) ([]byte, bool) {
+	if fin.csum {
+		if p.csumBad {
+			return nil, false
 		}
-		color, err := sw.FastMeterExecute(persona.MeterIngress, p.pid, pktLen)
-		_ = sw.FastCounterInc(persona.CounterVDev, p.pid, pktLen)
-		if err == nil && color == 2 {
-			return sim.FastResult{Resubmits: i}, true
-		}
-		lo := 0
-		if i > 0 {
-			lo = st.postEnd[i-1]
-		}
-		for _, e := range st.post[lo:st.postEnd[i]] {
-			e.RecordHit()
+		if p.csum != nil {
+			st.fixCsum(p.csum)
+			st.jr = append(st.jr, p.csum.entry)
 		}
 	}
-	return sim.FastResult{Outputs: outs, Resubmits: passes - 1}, true
+	re, wb := p.resizeBy[parsed], p.wbBy[parsed]
+	if re == nil || wb == nil {
+		return nil, false
+	}
+	st.jr = append(st.jr, re, wb)
+	buf := make([]byte, 0, parsed+len(data)-consumed)
+	buf = st.ext.AppendSliceTo(buf, 0, parsed*8)
+	buf = append(buf, data[consumed:]...)
+	return buf, true
+}
+
+// commit replays the segment tree in the interpreter's BFS pass order,
+// interleaved with the policing meter exactly as the interpreted ingress
+// runs it: t_norm (and, on the root pass, t_assign) hit first, then
+// a_police's meter + counter, then — only if the verdict isn't red — the
+// rest of the pass. A red verdict prunes that pass's entry hits, output,
+// and every follow-on pass, exactly where the interpreter's policing guard
+// would have; sibling passes already queued continue unaffected.
+func (eng *Engine) commit(st *execState, sw *sim.Switch) (sim.FastResult, bool) {
+	var res sim.FastResult
+	st.queue = append(st.queue[:0], 0)
+	for head := 0; head < len(st.queue); head++ {
+		s := &st.segs[st.queue[head]]
+		switch s.inst {
+		case segResubmit:
+			res.Resubmits++
+		case segRecirc:
+			res.Recirculates++
+		case segClone:
+			res.Clones++
+		}
+		if s.parser {
+			s.norm.RecordHit()
+			if s.assign != nil {
+				s.assign.RecordHit()
+			}
+			color, err := sw.FastMeterExecute(persona.MeterIngress, s.pid, s.dataLen)
+			_ = sw.FastCounterInc(persona.CounterVDev, s.pid, s.dataLen)
+			if err == nil && color == 2 {
+				continue
+			}
+		}
+		for _, e := range st.jr[s.lo:s.hi] {
+			e.RecordHit()
+		}
+		if s.outData != nil {
+			res.Outputs = append(res.Outputs, sim.Output{Port: s.outPort, Data: s.outData})
+		}
+		if s.child[0] >= 0 {
+			st.queue = append(st.queue, s.child[0])
+		}
+		if s.child[1] >= 0 {
+			st.queue = append(st.queue, s.child[1])
+		}
+	}
+	return res, true
 }
 
 // lookup scans the slot's rows in match precedence order and returns the

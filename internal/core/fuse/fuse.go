@@ -11,17 +11,26 @@
 // and each compound action becomes a pre-decoded micro-op sequence run
 // against pooled scratch bitfields with no per-pass allocation.
 //
+// Plans link across vdevs: a walk that reaches an a_virt_fwd route jumps
+// straight into the target vdev's plan (a fresh parse loop and stage walk
+// on the deparsed bytes, exactly as the interpreter's recirculation would),
+// and an a_mcast_start route expands into its precomputed clone sequence,
+// one chained walk per leaf. Chain depth is bounded at build time against
+// sim.MaxPasses — a chain the interpreter would fault on refuses to fuse,
+// so the fault still fires.
+//
 // Correctness is anchored on conservation: the fused walk records exactly
 // the entry hits, meter executions, and counter bumps the interpreted
 // pipeline would have produced, and any construct the plan cannot prove
-// equivalent (virtual links, multicast, quarantine probing, stale
-// generations) declines the packet to the interpreter untouched. The
+// equivalent (undecodable rows, unfused chain members, quarantine probing,
+// stale generations) declines the packet to the interpreter untouched. The
 // differential harness (dpmu's TestFused* suite, `make fuse-diff`)
 // enforces byte-identical behavior.
 package fuse
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 	"sync/atomic"
 
@@ -78,6 +87,7 @@ type plan struct {
 	pid          int
 	name         string
 	defaultBytes int
+	counts       map[int]bool // the persona parser's supported byte counts
 	// Persona-static rows shared across plans (keyed by byte count).
 	normBy   map[int]*sim.Entry
 	resizeBy map[int]*sim.Entry
@@ -88,6 +98,11 @@ type plan struct {
 	vnet     map[uint64]*vnetRow
 	csum     *csumPlan
 	csumBad  bool // a csum row exists but could not be decoded: decline packets that set the csum flag
+	// chain is the set of PIDs a packet entering this plan can visit
+	// (including this one), across virtual links and multicast steps.
+	// RunFast declines when any member is quarantined: containment
+	// accounting belongs to the interpreter.
+	chain []int
 }
 
 // parseRow is one decoded t_parse_ctrl entry for this vdev, in match
@@ -136,14 +151,35 @@ type frow struct {
 const (
 	vnetDrop = iota
 	vnetPhys
-	vnetVirt  // virtual link: stays interpreted
-	vnetMcast // multicast start: stays interpreted
+	vnetVirt  // virtual link: the walk chains into the target vdev's plan
+	vnetMcast // multicast start: the walk expands the precomputed clone sequence
 )
 
 type vnetRow struct {
 	entry *sim.Entry
 	kind  int
 	port  int // vnetPhys
+
+	// vnetVirt and vnetMcast: the decoded first target. For multicast this
+	// is the device the original (recirculated) copy enters; steps carries
+	// the remaining targets in clone order. A route whose target plan is
+	// unresolved at link time (target vdev not fused) or whose sequence
+	// could not be decoded (bad=true) declines at runtime.
+	nextPID int
+	nextVIn uint64
+	target  *plan
+	bad     bool
+	orig    *sim.Entry  // vnetMcast: the t_mcast_orig a_mcast_clone row the original pass hits
+	steps   []mcastStep // vnetMcast: targets 1..N-1, one per egress-to-egress clone
+}
+
+// mcastStep is one decoded t_mcast_clone row: the clone that hits it
+// recirculates into (pid, vin) after re-arming the next clone (if any).
+type mcastStep struct {
+	pid    int
+	vin    uint64
+	entry  *sim.Entry
+	target *plan // linked after all plans are built
 }
 
 // csumPlan is the decoded per-vdev a_ipv4_csum row: the bit offset of the
@@ -181,9 +217,12 @@ type shared struct {
 	parse                  []*sim.Entry
 	virtnet                []*sim.Entry
 	csum                   []*sim.Entry
+	mcastOrig              map[uint64]*sim.Entry  // t_mcast_orig rows by sequence
+	mcastClone             map[uint64]*sim.Entry  // t_mcast_clone rows by sequence
 	stageRows              []map[int][]*sim.Entry // 1-based stage → kind code → rows
 	preps                  map[uint64]*sim.Entry  // prepKey(stage, prim, pid, mid)
 	execs                  map[uint64]*sim.Entry  // execKey(stage, prim, opcode)
+	sessionOK              func(int) bool         // mirror-session existence (clone spawn condition)
 }
 
 func prepKey(stage, prim int, pid, mid uint64) uint64 {
@@ -233,6 +272,10 @@ func Build(sw *sim.Switch, cfg persona.Config, vdevs []VDev) (*Engine, []verify.
 		findings = append(findings, unfusable("", "", 0, "persona introspection failed: %v", err))
 		return nil, findings
 	}
+	sh.sessionOK = func(session int) bool {
+		_, ok := sw.MirrorPort(session)
+		return ok
+	}
 	for _, vd := range vdevs {
 		p, fs := buildPlan(cfg, sh, vd)
 		findings = append(findings, fs...)
@@ -240,6 +283,10 @@ func Build(sw *sim.Switch, cfg persona.Config, vdevs []VDev) (*Engine, []verify.
 			eng.plans[vd.PID] = p
 		}
 	}
+	// Resolve cross-plan routes and bound every chain's worst-case pass
+	// count against the interpreter's budget; plans that would exceed it
+	// (or sit on a link cycle) are refused here, before port binding.
+	findings = append(findings, linkPlans(eng, sim.MaxPasses)...)
 	// Fuse t_assign into a direct port dispatch: for each physical port,
 	// the first assign row in precedence order that matches it.
 	for port := 0; port < MaxPorts; port++ {
@@ -321,6 +368,29 @@ func loadShared(sw *sim.Switch, cfg persona.Config) (*shared, error) {
 	if sh.csum, err = sw.TableEntriesOrdered(persona.TblCsum); err != nil {
 		return nil, err
 	}
+	bySeq := func(table string) (map[uint64]*sim.Entry, error) {
+		rows, err := sw.TableEntriesOrdered(table)
+		if err != nil {
+			return nil, err
+		}
+		out := make(map[uint64]*sim.Entry, len(rows))
+		for _, e := range rows {
+			if len(e.Params) != 1 {
+				continue
+			}
+			seq := e.Params[0].Value.Uint64()
+			if _, dup := out[seq]; !dup { // first row wins, like exact lookup
+				out[seq] = e
+			}
+		}
+		return out, nil
+	}
+	if sh.mcastOrig, err = bySeq(persona.TblMcastOrig); err != nil {
+		return nil, err
+	}
+	if sh.mcastClone, err = bySeq(persona.TblMcastClone); err != nil {
+		return nil, err
+	}
 	sh.stageRows = make([]map[int][]*sim.Entry, cfg.Stages+1)
 	for i := 1; i <= cfg.Stages; i++ {
 		sh.stageRows[i] = map[int][]*sim.Entry{}
@@ -392,11 +462,15 @@ func buildPlan(cfg persona.Config, sh *shared, vd VDev) (*plan, []verify.Finding
 		pid:          vd.PID,
 		name:         vd.Name,
 		defaultBytes: cfg.ParseDefault,
+		counts:       map[int]bool{},
 		normBy:       sh.normBy,
 		resizeBy:     sh.resizeBy,
 		wbBy:         sh.wbBy,
 		slots:        map[uint32]*fusedSlot{},
 		vnet:         map[uint64]*vnetRow{},
+	}
+	for _, n := range cfg.ByteCounts() {
+		p.counts[n] = true
 	}
 
 	for _, e := range sh.parse {
@@ -445,13 +519,27 @@ func buildPlan(cfg persona.Config, sh *shared, vd VDev) (*plan, []verify.Finding
 			vr.kind = vnetPhys
 			vr.port = int(e.Args[0].Uint64())
 		case persona.ActVirtFwd:
+			if len(e.Args) != 3 {
+				return fail(persona.TblVirtnet, e.Handle, "a_virt_fwd arity")
+			}
 			vr.kind = vnetVirt
-			findings = append(findings, unfusable(vd.Name, persona.TblVirtnet, e.Handle,
-				"vport %d routes to a virtual link; packets taking it stay interpreted (recirculation)", vp))
+			vr.nextPID = int(e.Args[0].Uint64())
+			vr.nextVIn = e.Args[1].Uint64()
 		case persona.ActMcastStart:
+			if len(e.Args) != 4 {
+				return fail(persona.TblVirtnet, e.Handle, "a_mcast_start arity")
+			}
 			vr.kind = vnetMcast
-			findings = append(findings, unfusable(vd.Name, persona.TblVirtnet, e.Handle,
-				"vport %d starts a multicast sequence; packets taking it stay interpreted (cloning)", vp))
+			vr.nextPID = int(e.Args[0].Uint64())
+			vr.nextVIn = e.Args[1].Uint64()
+			orig, steps, err := decodeMcast(sh, e.Args[2].Uint64())
+			if err != nil {
+				vr.bad = true
+				findings = append(findings, unfusable(vd.Name, persona.TblVirtnet, e.Handle,
+					"vport %d multicast sequence stays interpreted: %v", vp, err))
+			} else {
+				vr.orig, vr.steps = orig, steps
+			}
 		default:
 			return fail(persona.TblVirtnet, e.Handle, "unexpected virtnet action %q", e.Action)
 		}
@@ -507,6 +595,235 @@ func buildPlan(cfg persona.Config, sh *shared, vd VDev) (*plan, []verify.Finding
 		}
 	}
 	return p, findings
+}
+
+// decodeMcast expands an a_mcast_start row's clone sequence by walking the
+// t_mcast_orig and t_mcast_clone rows the interpreter's egress would hit:
+// the original pass hits the orig row (raising clone 1), clone k hits the
+// step row keyed by its inherited sequence (raising clone k+1 until the
+// last step). Every clone session must have a mirror mapping — without one
+// the interpreter counts the clone but never spawns it, a shape the fused
+// expansion does not model.
+func decodeMcast(sh *shared, seq uint64) (*sim.Entry, []mcastStep, error) {
+	orig := sh.mcastOrig[seq]
+	if orig == nil || orig.Action != persona.ActMcastClone || len(orig.Args) != 1 {
+		return nil, nil, fmt.Errorf("no decodable %s row for sequence %d", persona.ActMcastClone, seq)
+	}
+	if !sh.sessionOK(int(orig.Args[0].Uint64())) {
+		return nil, nil, fmt.Errorf("clone session %d has no mirror mapping", orig.Args[0].Uint64())
+	}
+	var steps []mcastStep
+	seen := map[uint64]bool{seq: true}
+	cur := seq
+	for {
+		e := sh.mcastClone[cur]
+		if e == nil {
+			return nil, nil, fmt.Errorf("no step row for sequence %d", cur)
+		}
+		switch e.Action {
+		case persona.ActMcastStep:
+			if len(e.Args) != 4 {
+				return nil, nil, fmt.Errorf("%s arity %d", persona.ActMcastStep, len(e.Args))
+			}
+			if !sh.sessionOK(int(e.Args[3].Uint64())) {
+				return nil, nil, fmt.Errorf("clone session %d has no mirror mapping", e.Args[3].Uint64())
+			}
+			steps = append(steps, mcastStep{pid: int(e.Args[0].Uint64()), vin: e.Args[1].Uint64(), entry: e})
+			next := e.Args[2].Uint64()
+			if seen[next] {
+				return nil, nil, fmt.Errorf("multicast sequence cycles at %d", next)
+			}
+			seen[next] = true
+			cur = next
+		case persona.ActMcastLast:
+			if len(e.Args) != 2 {
+				return nil, nil, fmt.Errorf("%s arity %d", persona.ActMcastLast, len(e.Args))
+			}
+			steps = append(steps, mcastStep{pid: int(e.Args[0].Uint64()), vin: e.Args[1].Uint64(), entry: e})
+			return orig, steps, nil
+		default:
+			return nil, nil, fmt.Errorf("unexpected step action %q", e.Action)
+		}
+	}
+}
+
+// costUnbounded marks a plan on a virtual-link cycle: its worst-case pass
+// count has no static bound (the interpreter's pass-bound fault is what
+// stops such packets).
+const costUnbounded = int(^uint(0) >> 1)
+
+// linkPlans resolves every cross-plan route against the built plan set,
+// bounds each plan's worst-case total pass count (parse resubmissions plus
+// chained walks plus multicast clones) against the interpreter's budget,
+// and precomputes the reachable-PID chain used for quarantine checks. Plans
+// whose bound is exceeded — or which sit on a link cycle — are refused with
+// an informational chain-depth finding: their packets stay interpreted, so
+// the interpreter's pass-bound fault fires exactly as without fusion.
+func linkPlans(eng *Engine, maxPasses int) []verify.Finding {
+	for _, p := range eng.plans {
+		for _, vr := range p.vnet {
+			switch vr.kind {
+			case vnetVirt:
+				vr.target = eng.plans[vr.nextPID]
+			case vnetMcast:
+				if vr.bad {
+					continue
+				}
+				vr.target = eng.plans[vr.nextPID]
+				for i := range vr.steps {
+					vr.steps[i].target = eng.plans[vr.steps[i].pid]
+				}
+			}
+		}
+	}
+
+	// Worst-case total passes, memoized over the link graph. An in-progress
+	// revisit is a cycle: the cost saturates. Unresolved targets contribute
+	// nothing — their packets decline at runtime before any side effect.
+	const (
+		unvisited = 0
+		visiting  = 1
+		done      = 2
+	)
+	memo := map[*plan]int{}
+	state := map[*plan]int{}
+	// add saturates just past the bound so finite-but-too-deep chains stay
+	// distinguishable from cycles.
+	add := func(a, b int) int {
+		if a == costUnbounded || b == costUnbounded {
+			return costUnbounded
+		}
+		if s := a + b; s <= maxPasses+1 {
+			return s
+		}
+		return maxPasses + 1
+	}
+	var cost func(p *plan) int
+	cost = func(p *plan) int {
+		switch state[p] {
+		case visiting:
+			return costUnbounded
+		case done:
+			return memo[p]
+		}
+		state[p] = visiting
+		c := walkPasses(p)
+		extra := 0
+		for _, vr := range p.vnet {
+			rc := 0
+			switch {
+			case vr.kind == vnetVirt && vr.target != nil:
+				rc = cost(vr.target)
+			case vr.kind == vnetMcast && !vr.bad && vr.target != nil:
+				rc = add(len(vr.steps), cost(vr.target)) // one pass per clone
+				for i := range vr.steps {
+					if t := vr.steps[i].target; t != nil {
+						rc = add(rc, cost(t))
+					}
+				}
+			}
+			if rc > extra {
+				extra = rc
+			}
+		}
+		state[p] = done
+		memo[p] = add(c, extra)
+		return memo[p]
+	}
+
+	var findings []verify.Finding
+	pids := make([]int, 0, len(eng.plans))
+	for pid := range eng.plans {
+		pids = append(pids, pid)
+	}
+	sort.Ints(pids)
+	for _, pid := range pids {
+		p := eng.plans[pid]
+		c := cost(p)
+		if c <= maxPasses {
+			continue
+		}
+		if c == costUnbounded {
+			findings = append(findings, verify.Finding{
+				Code: verify.CodeFuseChainDepth, Severity: verify.SevInfo, VDev: p.name,
+				Detail: fmt.Sprintf("virtual links reachable from %s form a cycle; packets stay interpreted so the %d-pass bound faults them exactly as without fusion", p.name, maxPasses),
+			})
+		} else {
+			findings = append(findings, verify.Finding{
+				Code: verify.CodeFuseChainDepth, Severity: verify.SevInfo, VDev: p.name,
+				Detail: fmt.Sprintf("worst-case chain needs at least %d pipeline passes, pass bound is %d; packets stay interpreted", c, maxPasses),
+			})
+		}
+		delete(eng.plans, pid)
+	}
+	// Clear links into refused plans. Cost is monotone along links, so any
+	// plan that could reach a refused plan was refused too — this is a
+	// belt-and-suspenders pass that also covers future non-monotone edits.
+	for _, p := range eng.plans {
+		for _, vr := range p.vnet {
+			if vr.target != nil && eng.plans[vr.target.pid] != vr.target {
+				vr.target = nil
+			}
+			for i := range vr.steps {
+				if t := vr.steps[i].target; t != nil && eng.plans[t.pid] != t {
+					vr.steps[i].target = nil
+				}
+			}
+		}
+	}
+	// Reachable-PID chains for the quarantine check.
+	for _, p := range eng.plans {
+		seen := map[int]bool{}
+		var visit func(q *plan)
+		visit = func(q *plan) {
+			if q == nil || seen[q.pid] {
+				return
+			}
+			seen[q.pid] = true
+			p.chain = append(p.chain, q.pid)
+			for _, vr := range q.vnet {
+				visit(vr.target)
+				for i := range vr.steps {
+					visit(vr.steps[i].target)
+				}
+			}
+		}
+		p.chain = p.chain[:0]
+		visit(p)
+		sort.Ints(p.chain)
+	}
+	return findings
+}
+
+// walkPasses bounds the pipeline passes of one walk through the plan: the
+// first pass plus the deepest chain of a_parse_more resubmissions from
+// parse state 0, mirroring verify's parseDepth (seen-guarded against state
+// cycles; the runtime segment cap still protects adversarial inputs).
+func walkPasses(p *plan) int {
+	more := map[uint64][]uint64{}
+	for i := range p.parse {
+		r := &p.parse[i]
+		if r.more {
+			more[r.state] = append(more[r.state], r.nextState)
+		}
+	}
+	seen := map[uint64]bool{}
+	var deepest func(state uint64) int
+	deepest = func(state uint64) int {
+		if seen[state] {
+			return 0
+		}
+		seen[state] = true
+		best := 0
+		for _, next := range more[state] {
+			if d := 1 + deepest(next); d > best {
+				best = d
+			}
+		}
+		seen[state] = false
+		return best
+	}
+	return 1 + deepest(0)
 }
 
 func fusedKind(code int) int {

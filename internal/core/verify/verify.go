@@ -76,6 +76,13 @@ const (
 	// not served by the fused fast path and stays interpreted; the detail
 	// says which construct blocks fusion and why.
 	CodeUnfusable = "unfusable"
+	// CodeFuseChainDepth: informational — a vdev's fused plan was refused
+	// at build time because the worst-case pass count of its chained plans
+	// (parse resubmissions, link recirculations, multicast clones) would
+	// exceed the pipeline pass bound, or its virtual links form a cycle.
+	// Such packets stay interpreted so the interpreter's pass-bound fault
+	// fires exactly as without fusion.
+	CodeFuseChainDepth = "fuse-chain-depth"
 )
 
 // Finding is one verification result.

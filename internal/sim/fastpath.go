@@ -17,12 +17,16 @@ import (
 
 // FastResult is a fast-path handler's account of one fully processed
 // packet. Outputs carries the emitted packets (empty means dropped);
-// Resubmits is the number of resubmission passes the packet incurred
+// Resubmits, Recirculates and Clones are the number of resubmission,
+// recirculation and egress-to-egress clone passes the packet incurred
 // beyond its first pass, so the switch can keep its pass-type metrics
-// conserved with the interpreted path.
+// conserved with the interpreted path even when the handler walks a
+// composed chain or expands a multicast fan-out.
 type FastResult struct {
-	Outputs   []Output
-	Resubmits int
+	Outputs      []Output
+	Resubmits    int
+	Recirculates int
+	Clones       int
 }
 
 // FastHandler processes packets without the interpreted pipeline. RunFast
@@ -99,6 +103,16 @@ func (sw *Switch) FastCounterInc(name string, idx, packetBytes int) error {
 // a fast-path handler, exactly as execute_meter would.
 func (sw *Switch) FastMeterExecute(name string, idx, packetBytes int) (int, error) {
 	return sw.meterExecute(name, idx, packetBytes)
+}
+
+// MirrorPort reports the egress port a clone session maps to, and whether
+// the session is configured at all. SetMirror bumps the write generation,
+// so a plan compiled against the current mirror table is staleness-safe.
+func (sw *Switch) MirrorPort(session int) (int, bool) {
+	sw.mu.RLock()
+	defer sw.mu.RUnlock()
+	p, ok := sw.mirrors[session]
+	return p, ok
 }
 
 // RecordHit bumps the entry's hit counter. Fast-path handlers call this in

@@ -225,17 +225,37 @@ func (sw *Switch) process(data []byte, port int) ([]Output, *Trace, error) {
 	} else if res, ok := sw.runFast(data, port); ok {
 		// The fused fast path fully handled the packet. Keep the pass-type
 		// and lifetime counters conserved with the interpreted path: one
-		// normal pass plus one resubmit pass per parse resubmission.
+		// normal pass, one resubmit pass per parse resubmission, one
+		// recirculate pass per crossed virtual link, and one egress-to-egress
+		// clone pass per multicast step.
 		sw.metrics.recordPass(instNormal)
 		for i := 0; i < res.Resubmits; i++ {
 			sw.metrics.recordPass(instResubmit)
 		}
+		for i := 0; i < res.Recirculates; i++ {
+			sw.metrics.recordPass(instRecirculate)
+		}
+		for i := 0; i < res.Clones; i++ {
+			sw.metrics.recordPass(instCloneE2E)
+		}
 		sw.stats.resubmits.Add(int64(res.Resubmits))
+		if res.Recirculates > 0 {
+			sw.stats.recirculates.Add(int64(res.Recirculates))
+		}
+		if res.Clones > 0 {
+			sw.stats.clones.Add(int64(res.Clones))
+		}
 		sw.stats.packetsOut.Add(int64(len(res.Outputs)))
 		if len(res.Outputs) == 0 {
 			sw.stats.packetsDropped.Add(1)
 		}
-		tr := &Trace{Passes: 1 + res.Resubmits, Resubmits: res.Resubmits, Outputs: res.Outputs}
+		tr := &Trace{
+			Passes:       1 + res.Resubmits + res.Recirculates + res.Clones,
+			Resubmits:    res.Resubmits,
+			Recirculates: res.Recirculates,
+			ClonesE2E:    res.Clones,
+			Outputs:      res.Outputs,
+		}
 		return res.Outputs, tr, nil
 	}
 	tr := &Trace{}
