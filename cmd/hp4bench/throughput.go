@@ -168,6 +168,33 @@ func throughput(pkts int, jsonPath string, faults bool, modes string) error {
 			return fmt.Errorf("fused %s allocates %.1f/pkt, want < 50", fn, fused.SerialAlloc)
 		}
 	}
+	// Serving-traffic rows: the fused l2_switch measured end-to-end through
+	// the packet I/O runtime (RX loop, per-worker rings, worker sweeps, TX
+	// loop) over in-process transports, at one worker and at full fan-out.
+	// On a single-CPU runner both land on one core, so the pair is a scaling
+	// probe for real hardware rather than an assertion here.
+	if sel(bench.HyPer4Fused) {
+		nWorkers := runtime.GOMAXPROCS(0)
+		if nWorkers < 2 {
+			nWorkers = 2
+		}
+		w1, err := bench.RuntimeThroughput(functions.L2Switch, bench.HyPer4Fused, 1, pkts)
+		if err != nil {
+			return err
+		}
+		w1.Speedup = 1
+		record(w1)
+		wn, err := bench.RuntimeThroughput(functions.L2Switch, bench.HyPer4Fused, nWorkers, pkts)
+		if err != nil {
+			return err
+		}
+		if w1.SerialPPS > 0 {
+			wn.Speedup = wn.SerialPPS / w1.SerialPPS
+		}
+		record(wn)
+		fmt.Printf("io runtime end-to-end: %.0f pkt/s at 1 worker, %.0f pkt/s at %d workers\n",
+			w1.SerialPPS, wn.SerialPPS, nWorkers)
+	}
 	if runtime.GOMAXPROCS(0) == 1 {
 		fmt.Println("note: single-CPU runner; batched speedup requires multiple cores")
 	}

@@ -8,6 +8,14 @@
 //	hp4switch -persona [-commands file.txt] [-api-addr 127.0.0.1:9191]
 //	hp4switch foo.p4
 //
+// The switch serves real wire traffic through the packet I/O runtime
+// (internal/runtime): attach a transport to a physical port with the
+// "port attach <port> <spec>" control command (spec e.g. "udp:0.0.0.0:9000"
+// or "udp:0.0.0.0:9000/10.0.0.2:9001"), or seed one at startup with
+// -listen port=spec (repeatable). Frames arriving on attached transports are
+// sharded onto per-worker rings — by vdev program ID in persona mode — and
+// forwarded out the egress port's transport.
+//
 // The interactive prompt accepts every command of internal/sim/runtime plus:
 //
 //	packet <port> <hex bytes>   inject a packet; outputs are printed
@@ -48,6 +56,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	goruntime "runtime"
 	"strconv"
 	"strings"
 	"sync"
@@ -64,6 +73,7 @@ import (
 	"hyper4/internal/p4/hlir"
 	"hyper4/internal/p4/parser"
 	"hyper4/internal/pkt"
+	pktio "hyper4/internal/runtime"
 	"hyper4/internal/sim"
 	"hyper4/internal/sim/runtime"
 )
@@ -81,6 +91,25 @@ func main() {
 	healthProbes := flag.Int("health-probes", 10, "circuit breaker: clean probe passes required to restore")
 	healthPolicy := flag.String("health-policy", "drop", "quarantine policy: drop | bypass")
 	fuse := flag.Bool("fuse", false, "enable the fused fast path: compile per-vdev dispatch plans and bypass the interpreted persona walk (persona mode)")
+	// -listen seeds the I/O runtime with transports at startup; everything
+	// it does is also reachable at runtime via "port attach".
+	type listenSeed struct {
+		port int
+		spec string
+	}
+	var listenSeeds []listenSeed
+	flag.Func("listen", "attach a wire transport at startup, port=spec (e.g. 1=udp:0.0.0.0:9000; repeatable)", func(s string) error {
+		portStr, spec, ok := strings.Cut(s, "=")
+		if !ok {
+			return fmt.Errorf("want port=spec, got %q", s)
+		}
+		p, err := strconv.Atoi(portStr)
+		if err != nil || p < 0 {
+			return fmt.Errorf("bad port %q", portStr)
+		}
+		listenSeeds = append(listenSeeds, listenSeed{port: p, spec: spec})
+		return nil
+	})
 	flag.Parse()
 
 	quarPolicy, policyErr := dpmu.ParseQuarantinePolicy(*healthPolicy)
@@ -149,6 +178,41 @@ func main() {
 		mgmt = ctl.NewCLI(cp, "operator")
 		fmt.Println("persona loaded; DPMU management commands available")
 	}
+
+	// The packet I/O runtime: dedicated RX/TX loops per attached transport,
+	// frames sharded onto per-worker rings. In persona mode the shard key is
+	// the ingress port's assigned vdev program ID, so one device's traffic
+	// (and its breaker/health accounting) stays on one worker.
+	ioCfg := pktio.Config{Workers: goruntime.GOMAXPROCS(0)}
+	if d != nil {
+		dd := d
+		ioCfg.ShardKey = func(port int) int {
+			if pid := dd.PIDForPort(port); pid >= 0 {
+				return pid
+			}
+			return port
+		}
+	}
+	iort := pktio.New(sw, ioCfg)
+	iort.Start()
+	if cp != nil {
+		cp.IO = iort
+	}
+	for _, seed := range listenSeeds {
+		// Route through the control plane when there is one, so seeds are
+		// evented and listed identically to runtime attaches.
+		var seedErr error
+		if mgmt != nil {
+			_, seedErr = mgmt.Exec(fmt.Sprintf("port attach %d %s", seed.port, seed.spec))
+		} else {
+			seedErr = iort.AttachSpec(seed.port, seed.spec)
+		}
+		if seedErr != nil {
+			fmt.Fprintln(os.Stderr, "hp4switch: -listen:", seedErr)
+			os.Exit(ctl.CodeOf(seedErr).ExitCode())
+		}
+		fmt.Printf("port %d listening (%s)\n", seed.port, seed.spec)
+	}
 	if *chaosSpec != "" {
 		spec, err := chaos.ParseSpec(*chaosSpec)
 		if err != nil {
@@ -190,7 +254,7 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("metrics on http://%s/metrics (pprof under /debug/pprof/)\n", ln.Addr())
-		metricsSrv = &http.Server{Handler: newMetricsMux(sw, d)}
+		metricsSrv = &http.Server{Handler: newMetricsMux(sw, d, iort)}
 		go func() {
 			if err := metricsSrv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
 				fmt.Fprintln(os.Stderr, "hp4switch: metrics:", err)
@@ -219,6 +283,9 @@ func main() {
 			_ = metricsSrv.Shutdown(ctx)
 		}
 		cmdMu.Lock() // wait for the in-flight command, then never release
+		// Drain the data plane last: ingestion stops, workers finish the
+		// ring backlog, queued egress flushes, transports close.
+		iort.Close()
 		os.Exit(0)
 	}()
 
@@ -253,7 +320,7 @@ func main() {
 				return
 			}
 			cmdMu.Lock()
-			handle(sw, rt, mgmt, line)
+			handle(sw, rt, mgmt, iort, line)
 			cmdMu.Unlock()
 		}
 		fmt.Print("hp4> ")
@@ -266,9 +333,25 @@ func main() {
 	}
 }
 
-func handle(sw *sim.Switch, rt *runtime.Runtime, mgmt *ctl.CLI, line string) {
+func handle(sw *sim.Switch, rt *runtime.Runtime, mgmt *ctl.CLI, iort *pktio.Runtime, line string) {
 	fields := strings.Fields(line)
 	switch fields[0] {
+	case "port":
+		// In persona mode port ops flow through the management CLI below
+		// (evented, batched, remotable); outside it the same grammar applies
+		// directly to the I/O runtime.
+		if mgmt == nil {
+			out, err := portExec(iort, line)
+			if err != nil {
+				fmt.Println("error:", err)
+				return
+			}
+			if out != "" {
+				fmt.Println(out)
+			}
+			return
+		}
+		fallthrough
 	case "packet", "trace":
 		if len(fields) < 3 {
 			fmt.Println("usage: packet <port> <hexbytes>")
@@ -380,4 +463,29 @@ func handle(sw *sim.Switch, rt *runtime.Runtime, mgmt *ctl.CLI, line string) {
 			fmt.Println(out)
 		}
 	}
+}
+
+// portExec applies a port command straight to the I/O runtime, for switches
+// running without a control plane. Same grammar, same one-parse-path: the
+// line goes through ctl.ParseLine and only port ops are accepted here.
+func portExec(iort *pktio.Runtime, line string) (string, error) {
+	op, q, err := ctl.ParseLine(line)
+	if err != nil {
+		return "", err
+	}
+	switch {
+	case op != nil && op.Kind == ctl.OpPortAttach:
+		if err := iort.AttachSpec(op.PhysPort, op.Spec); err != nil {
+			return "", err
+		}
+		return fmt.Sprintf("port %d attached (%s)", op.PhysPort, op.Spec), nil
+	case op != nil && op.Kind == ctl.OpPortDetach:
+		if err := iort.Detach(op.PhysPort); err != nil {
+			return "", err
+		}
+		return fmt.Sprintf("port %d detached", op.PhysPort), nil
+	case q != nil && q.Kind == "ports":
+		return ctl.FormatRead(q, &ctl.ReadResult{Ports: iort.Ports()}), nil
+	}
+	return "", fmt.Errorf("not a port command: %q", line)
 }

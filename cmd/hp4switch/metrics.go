@@ -9,6 +9,7 @@ import (
 	"strings"
 
 	"hyper4/internal/core/dpmu"
+	pktio "hyper4/internal/runtime"
 	"hyper4/internal/sim"
 )
 
@@ -29,14 +30,23 @@ import (
 //	hyper4_vdev_table_{hits,misses}_total{vdev="...",table="..."} (persona mode)
 //	hyper4_vdev_health{vdev="..."} (0 healthy, 1 degraded, 2 probing, 3 quarantined)
 //	hyper4_vdev_health_trips_total / hyper4_vdev_faults_total{vdev="..."} (persona mode)
+//	hyper4_rx_frames_total / hyper4_tx_frames_total{port="..."} (I/O runtime)
+//	hyper4_ring_depth{port="...",worker="...",dir="rx"|"tx"}
+//	hyper4_ring_drops_total{port="...",dir="rx"|"tx"}
+//	hyper4_tx_errors_total{port="..."}
+//	hyper4_io_processed_total / hyper4_io_proc_errors_total / hyper4_unrouted_frames_total
 
 // newMetricsMux builds the HTTP handler for -metrics-addr. d is nil outside
-// persona mode.
-func newMetricsMux(sw *sim.Switch, d *dpmu.DPMU) *http.ServeMux {
+// persona mode; iort is nil when the process runs without a packet I/O
+// runtime (tests scraping writeMetrics directly).
+func newMetricsMux(sw *sim.Switch, d *dpmu.DPMU, iort *pktio.Runtime) *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		writeMetrics(w, sw, d)
+		if iort != nil {
+			writeIOMetrics(w, iort.Metrics())
+		}
 	})
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -176,6 +186,40 @@ func writeMetrics(w io.Writer, sw *sim.Switch, d *dpmu.DPMU) {
 		fmt.Fprintf(w, "hyper4_vdev_faults_total{vdev=%q} %d\n", escapeLabel(v.VDev), v.Faults)
 	}
 	counter("hyper4_unattributed_faults_total", "Packet faults with no owning virtual device.", health.Unattributed)
+}
+
+// writeIOMetrics renders the packet I/O runtime families: per-port frame
+// and drop counters, per-ring occupancy, and the global processing counters.
+func writeIOMetrics(w io.Writer, m pktio.Metrics) {
+	fmt.Fprintf(w, "# HELP hyper4_rx_frames_total Frames received on a port's transport.\n# TYPE hyper4_rx_frames_total counter\n")
+	for _, p := range m.Ports {
+		fmt.Fprintf(w, "hyper4_rx_frames_total{port=\"%d\"} %d\n", p.Port, p.RxFrames)
+	}
+	fmt.Fprintf(w, "# HELP hyper4_tx_frames_total Frames transmitted out a port's transport.\n# TYPE hyper4_tx_frames_total counter\n")
+	for _, p := range m.Ports {
+		fmt.Fprintf(w, "hyper4_tx_frames_total{port=\"%d\"} %d\n", p.Port, p.TxFrames)
+	}
+	fmt.Fprintf(w, "# HELP hyper4_ring_depth Current occupancy of a port-worker ring.\n# TYPE hyper4_ring_depth gauge\n")
+	for _, p := range m.Ports {
+		for wkr, depth := range p.RxDepth {
+			fmt.Fprintf(w, "hyper4_ring_depth{port=\"%d\",worker=\"%d\",dir=\"rx\"} %d\n", p.Port, wkr, depth)
+		}
+		for wkr, depth := range p.TxDepth {
+			fmt.Fprintf(w, "hyper4_ring_depth{port=\"%d\",worker=\"%d\",dir=\"tx\"} %d\n", p.Port, wkr, depth)
+		}
+	}
+	fmt.Fprintf(w, "# HELP hyper4_ring_drops_total Frames dropped because a ring was full.\n# TYPE hyper4_ring_drops_total counter\n")
+	for _, p := range m.Ports {
+		fmt.Fprintf(w, "hyper4_ring_drops_total{port=\"%d\",dir=\"rx\"} %d\n", p.Port, p.RxDrops)
+		fmt.Fprintf(w, "hyper4_ring_drops_total{port=\"%d\",dir=\"tx\"} %d\n", p.Port, p.TxDrops)
+	}
+	fmt.Fprintf(w, "# HELP hyper4_tx_errors_total Transport send failures.\n# TYPE hyper4_tx_errors_total counter\n")
+	for _, p := range m.Ports {
+		fmt.Fprintf(w, "hyper4_tx_errors_total{port=\"%d\"} %d\n", p.Port, p.TxErrors)
+	}
+	fmt.Fprintf(w, "# HELP hyper4_io_processed_total Frames the runtime handed to the switch.\n# TYPE hyper4_io_processed_total counter\nhyper4_io_processed_total %d\n", m.Processed)
+	fmt.Fprintf(w, "# HELP hyper4_io_proc_errors_total Frames the switch failed on.\n# TYPE hyper4_io_proc_errors_total counter\nhyper4_io_proc_errors_total %d\n", m.ProcErrs)
+	fmt.Fprintf(w, "# HELP hyper4_unrouted_frames_total Frames forwarded to a port with no transport attached.\n# TYPE hyper4_unrouted_frames_total counter\nhyper4_unrouted_frames_total %d\n", m.Unrouted)
 }
 
 // healthValue encodes a breaker state for the hyper4_vdev_health gauge,

@@ -100,6 +100,24 @@ func (c *Ctl) applyOp(owner string, op *Op) (Result, error) {
 	case OpVerify:
 		return c.applyVerify(op)
 
+	case OpPortAttach:
+		if c.IO == nil {
+			return Result{}, invalidf("this switch has no packet I/O runtime")
+		}
+		if err := c.IO.AttachSpec(op.PhysPort, op.Spec); err != nil {
+			return Result{}, err
+		}
+		return Result{Msg: fmt.Sprintf("port %d attached (%s)", op.PhysPort, op.Spec)}, nil
+
+	case OpPortDetach:
+		if c.IO == nil {
+			return Result{}, invalidf("this switch has no packet I/O runtime")
+		}
+		if err := c.IO.Detach(op.PhysPort); err != nil {
+			return Result{}, err
+		}
+		return Result{Msg: fmt.Sprintf("port %d detached", op.PhysPort)}, nil
+
 	case OpSetDefault:
 		args := op.ArgVals
 		if !op.Parsed {

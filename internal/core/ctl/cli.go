@@ -106,6 +106,16 @@ func FormatRead(q *Query, res *ReadResult) string {
 			fmt.Fprintf(&b, "\n%s", fd.String())
 		}
 		return b.String()
+	case "ports":
+		if len(res.Ports) == 0 {
+			return "no ports attached"
+		}
+		lines := make([]string, len(res.Ports))
+		for i, p := range res.Ports {
+			lines[i] = fmt.Sprintf("port %d: %s rx=%d tx=%d rx_drops=%d tx_drops=%d",
+				p.Port, p.Spec, p.RxFrames, p.TxFrames, p.RxDrops, p.TxDrops)
+		}
+		return strings.Join(lines, "\n")
 	case "health":
 		h := res.Health
 		var b strings.Builder

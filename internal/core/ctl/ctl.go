@@ -7,7 +7,18 @@ import (
 
 	"hyper4/internal/core/dpmu"
 	"hyper4/internal/core/verify"
+	pktio "hyper4/internal/runtime"
 )
+
+// PortIO is the packet I/O runtime surface the control plane manages:
+// attach a transport to a physical port, detach it, list what is attached.
+// *runtime.Runtime satisfies it; a Ctl with a nil IO (tests, bench rigs that
+// feed the switch directly) rejects port ops as invalid.
+type PortIO interface {
+	AttachSpec(port int, spec string) error
+	Detach(port int) error
+	Ports() []pktio.PortInfo
+}
 
 // Ctl is the control plane over one DPMU. All mutating paths — REPL lines,
 // hp4ctl requests, in-process controllers — go through Apply or WriteBatch,
@@ -15,6 +26,10 @@ import (
 // behave identically everywhere.
 type Ctl struct {
 	D *dpmu.DPMU
+
+	// IO is the packet I/O runtime port ops act on; nil when the switch has
+	// no I/O runtime. Set once at wiring time, before the Ctl serves traffic.
+	IO PortIO
 
 	// wmu serializes writes: a batch's checkpoint-apply-rollback span must
 	// not interleave with another writer (readers are unaffected — the DPMU
@@ -118,12 +133,24 @@ func (c *Ctl) writeBatchLocked(owner string, ops []Op) ([]Result, error) {
 		}
 	}
 	cp := c.D.Checkpoint()
+	// Transports live outside the DPMU checkpoint, so port attaches are
+	// compensated rather than rolled back: a failing batch detaches the
+	// ports it attached. A detach consumed by a failing batch is NOT
+	// restored (the transport is gone); batches mixing detaches with
+	// fallible ops should order the detach last.
+	var attached []int
 	results := make([]Result, len(ops))
 	for i := range ops {
 		res, err := c.applyOp(owner, &ops[i])
 		if err != nil {
 			c.D.Rollback(cp)
+			for _, p := range attached {
+				_ = c.IO.Detach(p)
+			}
 			return nil, wrap(err, i)
+		}
+		if ops[i].Kind == OpPortAttach {
+			attached = append(attached, ops[i].PhysPort)
 		}
 		results[i] = res
 	}
@@ -175,6 +202,14 @@ func validateOp(op *Op) error {
 		if op.VDev == "" {
 			return invalidf("health_reset wants a device name")
 		}
+	case OpPortAttach:
+		if op.PhysPort < 0 || op.Spec == "" {
+			return invalidf("port_attach wants a port number and a transport spec")
+		}
+	case OpPortDetach:
+		if op.PhysPort < 0 {
+			return invalidf("port_detach wants a port number")
+		}
 	case OpClearAssignments, OpMeterTick, OpVerify:
 		// No payload (verify's VDev scope is optional).
 	default:
@@ -192,6 +227,7 @@ type ReadResult struct {
 	Health    *dpmu.HealthSnapshot `json:"health,omitempty"`
 	Findings  []verify.Finding     `json:"findings,omitempty"`
 	Fuse      *dpmu.FusionStatus   `json:"fuse,omitempty"`
+	Ports     []pktio.PortInfo     `json:"ports,omitempty"`
 	// Linted marks a lint result so "clean" (no findings) renders
 	// distinguishably from a non-lint result.
 	Linted bool `json:"linted,omitempty"`
@@ -238,6 +274,11 @@ func (c *Ctl) Read(owner string, q *Query) (*ReadResult, error) {
 	case "fuse":
 		st := c.D.FusionStatus()
 		return &ReadResult{Fuse: &st}, nil
+	case "ports":
+		if c.IO == nil {
+			return &ReadResult{}, nil
+		}
+		return &ReadResult{Ports: c.IO.Ports()}, nil
 	}
 	return nil, wrap(invalidf("unknown query kind %q", q.Kind), -1)
 }

@@ -13,6 +13,7 @@ import (
 	"fmt"
 
 	"hyper4/internal/core/dpmu"
+	pktio "hyper4/internal/runtime"
 )
 
 // Code classifies a control-plane failure, mirroring the gRPC/P4Runtime
@@ -96,6 +97,15 @@ func CodeOf(err error) Code {
 		return CodeAlreadyExists
 	case errors.Is(err, dpmu.ErrInvalid), errors.Is(err, ErrUnknown):
 		return CodeInvalidArgument
+	// Packet I/O runtime sentinels (port ops).
+	case errors.Is(err, pktio.ErrPortBusy):
+		return CodeAlreadyExists
+	case errors.Is(err, pktio.ErrNoPort):
+		return CodeNotFound
+	case errors.Is(err, pktio.ErrBadSpec):
+		return CodeInvalidArgument
+	case errors.Is(err, pktio.ErrClosed):
+		return CodeAborted
 	}
 	return CodeInternal
 }

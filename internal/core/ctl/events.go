@@ -11,7 +11,7 @@ import (
 // without gaps.
 type Event struct {
 	Seq  int64  `json:"seq"`
-	Kind string `json:"kind"` // "load", "unload", "snapshot_activate", "health", "health_reset"
+	Kind string `json:"kind"` // "load", "unload", "snapshot_activate", "health", "health_reset", "port_attach", "port_detach"
 	VDev string `json:"vdev,omitempty"`
 	Name string `json:"name,omitempty"` // snapshot name
 	Msg  string `json:"msg,omitempty"`  // for "health": the new breaker state
@@ -112,6 +112,10 @@ func (c *Ctl) publishOp(op *Op, res Result) {
 		c.events.publish(Event{Kind: "snapshot_activate", Name: op.Name})
 	case OpHealthReset:
 		c.events.publish(Event{Kind: "health_reset", VDev: op.VDev})
+	case OpPortAttach:
+		c.events.publish(Event{Kind: "port_attach", Name: op.Spec, Msg: res.Msg})
+	case OpPortDetach:
+		c.events.publish(Event{Kind: "port_detach", Msg: res.Msg})
 	}
 }
 

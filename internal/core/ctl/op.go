@@ -25,6 +25,13 @@ const (
 	OpTableDelete      OpKind = "table_delete"
 	OpSetDefault       OpKind = "set_default"
 	OpHealthReset      OpKind = "health_reset"
+	// OpPortAttach / OpPortDetach manage the packet I/O runtime's physical
+	// ports: attach binds a transport (built from a textual spec like
+	// "udp:0.0.0.0:9000") to a port, detach drains and closes it. Unlike
+	// table state, transports live outside the DPMU checkpoint; WriteBatch
+	// compensates by detaching ports a failed batch attached.
+	OpPortAttach OpKind = "port_attach"
+	OpPortDetach OpKind = "port_detach"
 	// OpVerify runs the static verifier over the current state; error
 	// findings fail the op (and roll its batch back), making it a dry-run
 	// admission gate when appended to a batch. VDev optionally scopes the
@@ -75,6 +82,9 @@ type Op struct {
 	Name        string       `json:"name,omitempty"`
 	Assignments []Assignment `json:"assignments,omitempty"`
 
+	// port_attach (PhysPort carries the port number for port ops)
+	Spec string `json:"spec,omitempty"`
+
 	// rate_limit
 	YellowAt uint64 `json:"yellow_at,omitempty"`
 	RedAt    uint64 `json:"red_at,omitempty"`
@@ -109,6 +119,6 @@ type Result struct {
 // Query is one read-only request — the read half of the API, kept separate
 // from Op so WriteBatch stays all-mutating.
 type Query struct {
-	Kind string `json:"kind"` // "vdevs", "stats", "snapshots", "health", "lint", "fuse"
+	Kind string `json:"kind"` // "vdevs", "stats", "snapshots", "health", "lint", "fuse", "ports"
 	VDev string `json:"vdev,omitempty"`
 }

@@ -26,6 +26,8 @@ import (
 //	snapshot_activate <name>
 //	reset <vdev>
 //	verify [vdev]
+//	port attach <port> <transport-spec>
+//	port detach <port>
 //
 // Virtual table operations (translated, §3.1):
 //
@@ -42,6 +44,7 @@ import (
 //	health [vdev]
 //	lint [vdev]
 //	fuse
+//	port list
 //
 // Match tokens use the emulated program's own field widths and kinds, in the
 // same syntax as internal/sim/runtime; they are parsed against the program
@@ -202,6 +205,37 @@ func ParseLine(line string) (*Op, *Query, error) {
 			return nil, nil, invalidf("reset wants <vdev>")
 		}
 		return &Op{Kind: OpHealthReset, VDev: args[0]}, nil, nil
+
+	case "port":
+		if len(args) == 0 {
+			return nil, nil, invalidf("port wants attach|detach|list")
+		}
+		switch args[0] {
+		case "attach":
+			if len(args) != 3 {
+				return nil, nil, invalidf("port attach wants <port> <transport-spec>")
+			}
+			p, err := strconv.Atoi(args[1])
+			if err != nil {
+				return nil, nil, invalidf("bad port %q", args[1])
+			}
+			return &Op{Kind: OpPortAttach, PhysPort: p, Spec: args[2]}, nil, nil
+		case "detach":
+			if len(args) != 2 {
+				return nil, nil, invalidf("port detach wants <port>")
+			}
+			p, err := strconv.Atoi(args[1])
+			if err != nil {
+				return nil, nil, invalidf("bad port %q", args[1])
+			}
+			return &Op{Kind: OpPortDetach, PhysPort: p}, nil, nil
+		case "list":
+			if len(args) != 1 {
+				return nil, nil, invalidf("port list takes no arguments")
+			}
+			return nil, &Query{Kind: "ports"}, nil
+		}
+		return nil, nil, invalidf("port wants attach|detach|list, got %q", args[0])
 
 	case "verify":
 		if len(args) > 1 {

@@ -47,6 +47,13 @@ func FuzzParseLine(f *testing.F) {
 		"l2 table_modify dmac 3 forward 00:00:00:00:00:02 => 4",
 		"l2 table_set_default dmac broadcast",
 		"l2 table_set_default dmac forward 2",
+		"port attach 1 udp:127.0.0.1:9000",
+		"port attach 1 udp:0.0.0.0:9000/10.0.0.2:9001",
+		"port attach x udp:0.0.0.0:9000",
+		"port detach 1",
+		"port list",
+		"port",
+		"port frobnicate 1",
 		"l2 table_bogus x y",
 		"register_read r 0",
 		"mirroring_add 1 1",

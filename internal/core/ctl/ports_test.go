@@ -1,0 +1,148 @@
+package ctl
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	pktio "hyper4/internal/runtime"
+)
+
+// newIOCtl is newPersonaCtl plus a live packet I/O runtime driven by the
+// persona switch, the wiring hp4switch performs.
+func newIOCtl(t *testing.T) (*Ctl, *pktio.Runtime) {
+	t.Helper()
+	c := newPersonaCtl(t)
+	rt := pktio.New(c.D.SW, pktio.Config{Workers: 1})
+	rt.Start()
+	t.Cleanup(rt.Close)
+	c.IO = rt
+	return c, rt
+}
+
+func TestPortOpsParse(t *testing.T) {
+	op, _, err := ParseLine("port attach 3 udp:127.0.0.1:9000")
+	if err != nil || op == nil || op.Kind != OpPortAttach || op.PhysPort != 3 || op.Spec != "udp:127.0.0.1:9000" {
+		t.Fatalf("attach parse: %+v, %v", op, err)
+	}
+	op, _, err = ParseLine("port detach 3")
+	if err != nil || op == nil || op.Kind != OpPortDetach || op.PhysPort != 3 {
+		t.Fatalf("detach parse: %+v, %v", op, err)
+	}
+	_, q, err := ParseLine("port list")
+	if err != nil || q == nil || q.Kind != "ports" {
+		t.Fatalf("list parse: %+v, %v", q, err)
+	}
+	for _, bad := range []string{"port", "port attach 1", "port attach x udp:a:1", "port detach", "port list extra", "port frobnicate"} {
+		if _, _, err := ParseLine(bad); err == nil {
+			t.Errorf("%q parsed without error", bad)
+		} else if CodeOf(err) != CodeInvalidArgument {
+			t.Errorf("%q: code %v", bad, CodeOf(err))
+		}
+	}
+}
+
+func TestPortLifecycleThroughCLI(t *testing.T) {
+	c, _ := newIOCtl(t)
+	cli := NewCLI(c, "op")
+
+	out, err := cli.Exec("port attach 1 udp:127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "port 1 attached") {
+		t.Fatalf("attach output: %q", out)
+	}
+	out, err = cli.Exec("port list")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "port 1: udp:127.0.0.1:0 rx=0 tx=0") {
+		t.Fatalf("list output: %q", out)
+	}
+
+	// Structured error codes: double attach, detach of the wrong port.
+	_, err = cli.Exec("port attach 1 udp:127.0.0.1:0")
+	if CodeOf(err) != CodeAlreadyExists {
+		t.Fatalf("double attach: %v (code %v)", err, CodeOf(err))
+	}
+	_, err = cli.Exec("port detach 9")
+	if CodeOf(err) != CodeNotFound {
+		t.Fatalf("detach missing: %v (code %v)", err, CodeOf(err))
+	}
+	_, err = cli.Exec("port attach 2 carrier-pigeon:roof")
+	if CodeOf(err) != CodeInvalidArgument {
+		t.Fatalf("bad spec: %v (code %v)", err, CodeOf(err))
+	}
+
+	if _, err := cli.Exec("port detach 1"); err != nil {
+		t.Fatal(err)
+	}
+	out, _ = cli.Exec("port list")
+	if out != "no ports attached" {
+		t.Fatalf("list after detach: %q", out)
+	}
+}
+
+func TestPortOpsWithoutRuntimeRejected(t *testing.T) {
+	c := newPersonaCtl(t) // no IO wired
+	cli := NewCLI(c, "op")
+	_, err := cli.Exec("port attach 1 udp:127.0.0.1:0")
+	if CodeOf(err) != CodeInvalidArgument {
+		t.Fatalf("attach with nil IO: %v (code %v)", err, CodeOf(err))
+	}
+	out, err := cli.Exec("port list")
+	if err != nil || out != "no ports attached" {
+		t.Fatalf("list with nil IO: %q, %v", out, err)
+	}
+}
+
+// TestBatchRollbackDetachesPorts verifies the compensation path: a failing
+// batch must not leave the ports it attached behind, or a retry of the
+// corrected batch would hit ALREADY_EXISTS.
+func TestBatchRollbackDetachesPorts(t *testing.T) {
+	c, rt := newIOCtl(t)
+	_, err := c.WriteBatch("op", []Op{
+		{Kind: OpPortAttach, PhysPort: 1, Spec: "udp:127.0.0.1:0"},
+		{Kind: OpLoadVDev, VDev: "ghost", Function: "no_such_function"},
+	})
+	if err == nil {
+		t.Fatal("batch with bad load succeeded")
+	}
+	if n := len(rt.Ports()); n != 0 {
+		t.Fatalf("%d ports still attached after rolled-back batch", n)
+	}
+	// The corrected batch succeeds on retry.
+	if _, err := c.WriteBatch("op", []Op{
+		{Kind: OpPortAttach, PhysPort: 1, Spec: "udp:127.0.0.1:0"},
+		{Kind: OpLoadVDev, VDev: "l2", Function: "l2_switch"},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if n := len(rt.Ports()); n != 1 {
+		t.Fatalf("ports after corrected batch = %d", n)
+	}
+}
+
+func TestPortEventsPublished(t *testing.T) {
+	c, _ := newIOCtl(t)
+	cli := NewCLI(c, "op")
+	if _, err := cli.Exec("port attach 1 udp:127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cli.Exec("port detach 1"); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	evs, _ := c.events.waitSince(ctx, 0)
+	var kinds []string
+	for _, e := range evs {
+		kinds = append(kinds, e.Kind)
+	}
+	joined := strings.Join(kinds, ",")
+	if !strings.Contains(joined, "port_attach") || !strings.Contains(joined, "port_detach") {
+		t.Fatalf("events: %v", kinds)
+	}
+}

@@ -21,6 +21,7 @@ type Checkpoint struct {
 	snapshots   map[string][]Assignment
 	active      string
 	assignPEs   []pentry
+	assigns     []Assignment
 	linkSpecs   []linkSpec
 	sw          *sim.SwitchDump
 }
@@ -74,6 +75,7 @@ func (d *DPMU) Checkpoint() *Checkpoint {
 		snapshots:   make(map[string][]Assignment, len(d.snapshots)),
 		active:      d.active,
 		assignPEs:   copyPentries(d.assignPEs),
+		assigns:     append([]Assignment(nil), d.assigns...),
 		linkSpecs:   append([]linkSpec(nil), d.linkSpecs...),
 		sw:          d.SW.Dump(),
 	}
@@ -101,6 +103,7 @@ func (d *DPMU) Rollback(cp *Checkpoint) {
 	d.snapshots = cp.snapshots
 	d.active = cp.active
 	d.assignPEs = cp.assignPEs
+	d.assigns = cp.assigns
 	d.linkSpecs = cp.linkSpecs
 	d.SW.RestoreDump(cp.sw)
 	// The vdev set (and its PIDs) may have changed since the checkpoint;

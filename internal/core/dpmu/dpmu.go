@@ -40,8 +40,9 @@ type DPMU struct {
 	nextSession int
 	snapshots   map[string][]Assignment
 	active      string
-	assignPEs   []pentry   // installed t_assign entries
-	linkSpecs   []linkSpec // logical virtual-link topology (bypass.go)
+	assignPEs   []pentry     // installed t_assign entries
+	assigns     []Assignment // the assignments behind assignPEs, same order
+	linkSpecs   []linkSpec   // logical virtual-link topology (bypass.go)
 
 	// health is the per-vdev circuit-breaker state (health.go). It carries
 	// its own leaf mutex because the fault hook feeding it runs on the

@@ -43,7 +43,34 @@ func (d *DPMU) assignPort(owner string, a Assignment) error {
 		return fmt.Errorf("dpmu: assign: %w", err)
 	}
 	d.assignPEs = append(d.assignPEs, pentry{table: persona.TblAssign, handle: h})
+	d.assigns = append(d.assigns, a)
 	return nil
+}
+
+// PIDForPort resolves the program ID traffic on a physical ingress port is
+// steered to, mirroring t_assign's priority order: a port-specific
+// assignment beats the "any port" wildcard; within a tier the newest
+// assignment wins, matching replace-by-reinstall usage. -1 means no
+// assignment covers the port. The packet I/O runtime uses this as its shard
+// key so every frame of one virtual device lands on one worker.
+func (d *DPMU) PIDForPort(port int) int {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	wildcard := -1
+	for i := len(d.assigns) - 1; i >= 0; i-- {
+		a := d.assigns[i]
+		v, ok := d.vdevs[a.VDev]
+		if !ok {
+			continue
+		}
+		if a.PhysPort == port {
+			return v.PID
+		}
+		if a.PhysPort == -1 && wildcard == -1 {
+			wildcard = v.PID
+		}
+	}
+	return wildcard
 }
 
 // ClearAssignments removes every port-to-device assignment (used when
@@ -58,6 +85,7 @@ func (d *DPMU) ClearAssignments() {
 func (d *DPMU) clearAssignments() {
 	d.removeRows(d.assignPEs)
 	d.assignPEs = nil
+	d.assigns = nil
 }
 
 // unmapVPort removes any existing virtnet routing row for a virtual egress

@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 
 	"hyper4/internal/pkt"
+	pktio "hyper4/internal/runtime"
 )
 
 // Host is an end station with a minimal protocol stack: it answers ARP
@@ -19,7 +20,8 @@ type Host struct {
 	net      *Network
 	attached *SwitchNode
 	port     int
-	in       chan frame
+	// tr is the host's end of the channel link to its switch — the host NIC.
+	tr *pktio.ChanTransport
 
 	// Receive-side accounting.
 	RxFrames  atomic.Int64
@@ -44,7 +46,6 @@ func (n *Network) AddHost(name string, mac pkt.MAC, ip pkt.IP4) *Host {
 		MAC:       mac,
 		IP:        ip,
 		net:       n,
-		in:        make(chan frame, linkBuf),
 		echoReply: make(chan uint16, linkBuf),
 		arpReply:  make(chan pkt.MAC, 4),
 	}
@@ -52,24 +53,15 @@ func (n *Network) AddHost(name string, mac pkt.MAC, ip pkt.IP4) *Host {
 	return h
 }
 
-func (h *Host) name() string { return h.Name }
-
-func (h *Host) deliver(f frame) bool {
-	select {
-	case h.in <- f:
-		return true
-	case <-h.net.stop:
-		return false
-	}
-}
-
 // Send transmits a frame from the host into the network, padded to the
-// Ethernet minimum as a real NIC would.
+// Ethernet minimum as a real NIC would. It blocks while the link buffer is
+// full (the NIC queue backpressures the application) and fails once the
+// network has stopped.
 func (h *Host) Send(data []byte) error {
-	if h.attached == nil {
+	if h.tr == nil {
 		return fmt.Errorf("netsim: host %s not attached", h.Name)
 	}
-	if !h.attached.deliver(frame{data: pkt.Pad(data), port: h.port}) {
+	if err := h.tr.Send(pktio.Frame{Data: pkt.Pad(data)}); err != nil {
 		return fmt.Errorf("netsim: network stopped")
 	}
 	return nil
@@ -88,13 +80,12 @@ func (h *Host) Expect(want int64) <-chan struct{} {
 
 func (h *Host) run() {
 	defer h.net.wg.Done()
+	var f pktio.Frame
 	for {
-		select {
-		case <-h.net.stop:
+		if err := h.tr.Recv(&f); err != nil {
 			return
-		case f := <-h.in:
-			h.handle(f.data)
 		}
+		h.handle(f.Data)
 	}
 }
 

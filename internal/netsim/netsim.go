@@ -1,8 +1,17 @@
 // Package netsim is the network substrate for the paper's end-to-end
 // measurements (§6.4): switches running internal/sim programs, hosts with a
 // small protocol stack (ARP, ICMP echo, TCP/UDP byte sinks), and links as
-// buffered channels. It replaces the paper's Mininet environment; the
-// traffic generators in traffic.go replace iperf3 and ping -f.
+// in-process channel transports. It replaces the paper's Mininet
+// environment; the traffic generators in traffic.go replace iperf3 and
+// ping -f.
+//
+// Every switch runs the packet I/O runtime from internal/runtime: each link
+// endpoint is a pktio.ChanTransport attached to a switch port, ingestion and
+// egress go through the runtime's RX/TX loops and per-worker rings, and the
+// bespoke goroutine-per-node frame plumbing this package used to carry is
+// gone. Links are lossless (a full ring backpressures the sender, modeling
+// a reliable veth), so the only frame loss inside the fabric is egress to an
+// unconnected port — counted, and reported by Stop.
 package netsim
 
 import (
@@ -11,31 +20,28 @@ import (
 	"sync/atomic"
 	"time"
 
+	pktio "hyper4/internal/runtime"
 	"hyper4/internal/sim"
 )
 
 // linkBuf is the per-link frame buffer (a stand-in for NIC/switch queues).
 const linkBuf = 512
 
-// frame is one packet in flight.
-type frame struct {
-	data []byte
-	port int // ingress port at the receiving node
-}
-
-// node is anything that can accept a frame on a port.
-type node interface {
-	deliver(f frame) bool
-	name() string
-}
-
 // Network is a topology of switches and hosts.
 type Network struct {
 	switches map[string]*SwitchNode
 	hosts    map[string]*Host
+	links    []*pktio.ChanTransport // one endpoint per link, for teardown
 	started  bool
 	stop     chan struct{}
-	wg       sync.WaitGroup
+	stopOnce sync.Once
+	drops    int64
+	wg       sync.WaitGroup // host goroutines; switches are runtime-managed
+
+	// Workers is the per-switch worker count, read when a switch is added.
+	// The default 1 keeps each switch a single forwarding loop, which is
+	// what the paper's single-core bmv2 baseline models.
+	Workers int
 
 	// SwitchOverhead is a fixed per-packet cost added at every switch,
 	// modeling the environment the paper measured in (bmv2 behind Mininet
@@ -53,42 +59,45 @@ func New() *Network {
 	}
 }
 
-// SwitchNode wraps a switch in the topology.
+// SwitchNode wraps a switch in the topology: the sim.Switch pipeline plus
+// the I/O runtime that feeds it.
 type SwitchNode struct {
 	Name string
 	SW   *sim.Switch
+	// RT is the packet I/O runtime carrying this switch's traffic; its
+	// Metrics expose per-port ring depths and drop counters.
+	RT *pktio.Runtime
 
-	in    chan frame
-	peers map[int]node // port → attached node
-	// peerPort maps local port → ingress port at the peer (switch links).
-	peerPort map[int]int
-	net      *Network
+	net *Network
 
 	// ProcErrs counts packets the switch failed on (pipeline errors).
 	ProcErrs atomic.Int64
 }
 
-func (s *SwitchNode) name() string { return s.Name }
-
-func (s *SwitchNode) deliver(f frame) bool {
-	select {
-	case s.in <- f:
-		return true
-	case <-s.net.stop:
-		return false
+// Process implements pktio.Processor: the per-packet switch overhead model
+// in front of the real pipeline, with pipeline errors counted.
+func (sn *SwitchNode) Process(data []byte, port int) ([]sim.Output, *sim.Trace, error) {
+	if d := sn.net.SwitchOverhead; d > 0 {
+		// Busy-wait: time.Sleep overshoots by an order of magnitude at
+		// microsecond scales, which would distort the calibration.
+		for start := time.Now(); time.Since(start) < d; {
+		}
 	}
+	outs, tr, err := sn.SW.Process(data, port)
+	if err != nil {
+		sn.ProcErrs.Add(1)
+	}
+	return outs, tr, err
 }
 
 // AddSwitch attaches a switch to the network.
 func (n *Network) AddSwitch(name string, sw *sim.Switch) *SwitchNode {
-	sn := &SwitchNode{
-		Name:     name,
-		SW:       sw,
-		in:       make(chan frame, linkBuf),
-		peers:    map[int]node{},
-		peerPort: map[int]int{},
-		net:      n,
-	}
+	sn := &SwitchNode{Name: name, SW: sw, net: n}
+	sn.RT = pktio.New(sn, pktio.Config{
+		Workers:  n.Workers,
+		RingSize: linkBuf,
+		Lossless: true,
+	})
 	n.switches[name] = sn
 	return sn
 }
@@ -99,7 +108,7 @@ func (n *Network) Switch(name string) *SwitchNode { return n.switches[name] }
 // Host returns a host by name.
 func (n *Network) Host(name string) *Host { return n.hosts[name] }
 
-// Connect attaches a host to a switch port.
+// Connect attaches a host to a switch port over a fresh channel link.
 func (n *Network) Connect(swName string, port int, hostName string) error {
 	sn, ok := n.switches[swName]
 	if !ok {
@@ -109,20 +118,22 @@ func (n *Network) Connect(swName string, port int, hostName string) error {
 	if !ok {
 		return fmt.Errorf("netsim: no host %q", hostName)
 	}
-	if _, busy := sn.peers[port]; busy {
-		return fmt.Errorf("netsim: %s port %d already connected", swName, port)
-	}
-	if h.attached != nil {
+	if h.tr != nil {
 		return fmt.Errorf("netsim: host %q already attached", hostName)
 	}
-	sn.peers[port] = h
-	sn.peerPort[port] = 0
+	swEnd, hostEnd := pktio.NewChanPair(linkBuf)
+	if err := sn.RT.Attach(port, swEnd); err != nil {
+		swEnd.Close()
+		return fmt.Errorf("netsim: %s port %d: %w", swName, port, err)
+	}
+	h.tr = hostEnd
 	h.attached = sn
 	h.port = port
+	n.links = append(n.links, swEnd)
 	return nil
 }
 
-// ConnectSwitches links two switch ports.
+// ConnectSwitches links two switch ports over a fresh channel link.
 func (n *Network) ConnectSwitches(aName string, aPort int, bName string, bPort int) error {
 	a, ok := n.switches[aName]
 	if !ok {
@@ -132,73 +143,63 @@ func (n *Network) ConnectSwitches(aName string, aPort int, bName string, bPort i
 	if !ok {
 		return fmt.Errorf("netsim: no switch %q", bName)
 	}
-	if _, busy := a.peers[aPort]; busy {
-		return fmt.Errorf("netsim: %s port %d already connected", aName, aPort)
+	aEnd, bEnd := pktio.NewChanPair(linkBuf)
+	if err := a.RT.Attach(aPort, aEnd); err != nil {
+		aEnd.Close()
+		return fmt.Errorf("netsim: %s port %d: %w", aName, aPort, err)
 	}
-	if _, busy := b.peers[bPort]; busy {
-		return fmt.Errorf("netsim: %s port %d already connected", bName, bPort)
+	if err := b.RT.Attach(bPort, bEnd); err != nil {
+		_ = a.RT.Detach(aPort)
+		return fmt.Errorf("netsim: %s port %d: %w", bName, bPort, err)
 	}
-	a.peers[aPort] = b
-	a.peerPort[aPort] = bPort
-	b.peers[bPort] = a
-	b.peerPort[bPort] = aPort
+	n.links = append(n.links, aEnd)
 	return nil
 }
 
-// Start launches switch and host goroutines.
+// Start launches the switch runtimes and host goroutines.
 func (n *Network) Start() {
 	if n.started {
 		return
 	}
 	n.started = true
 	for _, sn := range n.switches {
-		n.wg.Add(1)
-		go sn.run()
+		sn.RT.Start()
 	}
 	for _, h := range n.hosts {
+		if h.tr == nil {
+			continue // never connected; nothing to receive
+		}
 		n.wg.Add(1)
 		go h.run()
 	}
 }
 
-// Stop terminates the network and waits for its goroutines.
-func (n *Network) Stop() {
-	select {
-	case <-n.stop:
-		return // already stopped
-	default:
-	}
-	close(n.stop)
-	n.wg.Wait()
-}
-
-func (sn *SwitchNode) run() {
-	defer sn.net.wg.Done()
-	for {
-		select {
-		case <-sn.net.stop:
-			return
-		case f := <-sn.in:
-			if d := sn.net.SwitchOverhead; d > 0 {
-				// Busy-wait: time.Sleep overshoots by an order of magnitude
-				// at microsecond scales, which would distort the calibration.
-				for start := time.Now(); time.Since(start) < d; {
-				}
-			}
-			outs, _, err := sn.SW.Process(f.data, f.port)
-			if err != nil {
-				sn.ProcErrs.Add(1)
-				continue
-			}
-			for _, o := range outs {
-				peer, ok := sn.peers[o.Port]
-				if !ok {
-					continue // unconnected port: frame falls on the floor
-				}
-				if !peer.deliver(frame{data: o.Data, port: sn.peerPort[o.Port]}) {
-					return
-				}
+// Stop terminates the network, waits for its goroutines, and returns the
+// total number of frames the fabric dropped: ring overflow (none in normal
+// lossless operation), frames torn down mid-flight at Stop, and — the
+// common case — frames a program emitted toward a port with nothing
+// connected, which previous versions of this package dropped silently.
+// Idempotent; repeated calls return the same count.
+func (n *Network) Stop() int64 {
+	n.stopOnce.Do(func() {
+		close(n.stop)
+		// Close every link first: hosts blocked in Send/Recv and switch RX
+		// loops all unblock with ErrClosed, from either end.
+		for _, l := range n.links {
+			l.Close()
+		}
+		for _, h := range n.hosts {
+			if h.tr != nil {
+				h.tr.Close()
 			}
 		}
-	}
+		n.wg.Wait()
+		var drops int64
+		for _, sn := range n.switches {
+			sn.RT.Close()
+			drops += int64(sn.RT.Metrics().Drops())
+		}
+		n.drops = drops
+	})
+	return n.drops
 }

@@ -196,6 +196,46 @@ func TestStopIsIdempotent(t *testing.T) {
 	n.Stop()
 }
 
+// TestUnconnectedPortDropsSurfaced steers frames at a port with nothing
+// attached and verifies the loss is counted instead of silently vanishing:
+// visible live in the switch runtime's metrics and summed by Stop.
+func TestUnconnectedPortDropsSurfaced(t *testing.T) {
+	n := l2Net(t)
+	// Point an extra dmac entry at port 9, which has no link.
+	ghost := pkt.MustMAC("00:00:00:00:00:99")
+	if _, err := n.Switch("s1").SW.TableAdd("dmac", "forward",
+		[]sim.MatchParam{sim.Exact(bitfield.FromBytes(48, ghost[:]))}, sim.Args(9, 9), 0); err != nil {
+		t.Fatal(err)
+	}
+	n.Start()
+	const lost = 7
+	for i := 0; i < lost; i++ {
+		f := pkt.Serialize(
+			&pkt.Ethernet{Dst: ghost, Src: mac1, EtherType: pkt.EtherTypeIPv4},
+			&pkt.IPv4{TTL: 64, Protocol: pkt.IPProtoUDP, Src: ip1, Dst: ip2},
+			&pkt.UDP{SrcPort: 1000, DstPort: 2000},
+			pkt.Payload([]byte("to nowhere")),
+		)
+		if err := n.Host("h1").Send(f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sn := n.Switch("s1")
+	deadline := time.Now().Add(5 * time.Second)
+	for sn.RT.Metrics().Unrouted < lost {
+		if time.Now().After(deadline) {
+			t.Fatalf("unrouted = %d, want %d", sn.RT.Metrics().Unrouted, lost)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if drops := n.Stop(); drops < lost {
+		t.Fatalf("Stop() = %d dropped frames, want >= %d", drops, lost)
+	}
+	if again := n.Stop(); again < lost {
+		t.Fatalf("second Stop() = %d, want same count", again)
+	}
+}
+
 func TestPingTimeoutOnBlackhole(t *testing.T) {
 	t.Skip("timeout path takes 30s; covered by code inspection")
 	_ = time.Second

@@ -1,0 +1,108 @@
+package runtime
+
+// PortMetrics is one attached port's counters and ring occupancy snapshot.
+type PortMetrics struct {
+	Port     int
+	Spec     string
+	RxFrames uint64
+	TxFrames uint64
+	RxDrops  uint64
+	TxDrops  uint64
+	TxErrors uint64
+	// RxDepth[w]/TxDepth[w] are the racy current occupancy of the rings
+	// between this port and worker w.
+	RxDepth []int
+	TxDepth []int
+}
+
+// Metrics is a point-in-time snapshot of the runtime, readable at any time
+// including after Close (counters survive; depths read zero once drained).
+type Metrics struct {
+	Workers   int
+	RingSize  int
+	Processed uint64
+	ProcErrs  uint64
+	Unrouted  uint64
+	Ports     []PortMetrics
+}
+
+// Drops is the total frame loss the runtime itself caused: ring-full drops
+// on both directions plus frames routed to a port with no transport.
+func (m Metrics) Drops() uint64 {
+	total := m.Unrouted
+	for _, p := range m.Ports {
+		total += p.RxDrops + p.TxDrops
+	}
+	return total
+}
+
+// Metrics snapshots every port (active and draining) plus global counters.
+func (rt *Runtime) Metrics() Metrics {
+	pm := rt.ports.Load()
+	m := Metrics{
+		Workers:   rt.cfg.Workers,
+		RingSize:  ringCap(rt.cfg.RingSize),
+		Processed: rt.processed.Load(),
+		ProcErrs:  rt.procErrs.Load(),
+		Unrouted:  rt.unrouted.Load(),
+	}
+	for _, p := range append(append([]*port{}, pm.list...), pm.draining...) {
+		m.Ports = append(m.Ports, snapshotPort(p))
+	}
+	return m
+}
+
+// ringCap is the real (power-of-two rounded) ring capacity.
+func ringCap(configured int) int {
+	n := 1
+	for n < configured {
+		n <<= 1
+	}
+	return n
+}
+
+func snapshotPort(p *port) PortMetrics {
+	pm := PortMetrics{
+		Port:     p.num,
+		Spec:     p.spec,
+		RxFrames: p.rxFrames.Load(),
+		TxFrames: p.txFrames.Load(),
+		RxDrops:  p.rxDrops.Load(),
+		TxDrops:  p.txDrops.Load(),
+		TxErrors: p.txErrors.Load(),
+		RxDepth:  make([]int, len(p.rx)),
+		TxDepth:  make([]int, len(p.tx)),
+	}
+	for w := range p.rx {
+		pm.RxDepth[w] = p.rx[w].depth()
+		pm.TxDepth[w] = p.tx[w].depth()
+	}
+	return pm
+}
+
+// PortInfo is the control-plane view of one attached port ("port list").
+type PortInfo struct {
+	Port     int
+	Spec     string
+	RxFrames uint64
+	TxFrames uint64
+	RxDrops  uint64
+	TxDrops  uint64
+}
+
+// Ports lists attached ports in port-number order.
+func (rt *Runtime) Ports() []PortInfo {
+	pm := rt.ports.Load()
+	out := make([]PortInfo, 0, len(pm.list))
+	for _, p := range pm.list {
+		out = append(out, PortInfo{
+			Port:     p.num,
+			Spec:     p.spec,
+			RxFrames: p.rxFrames.Load(),
+			TxFrames: p.txFrames.Load(),
+			RxDrops:  p.rxDrops.Load(),
+			TxDrops:  p.txDrops.Load(),
+		})
+	}
+	return out
+}

@@ -1,0 +1,7 @@
+//go:build !race
+
+package runtime
+
+// raceEnabled reports whether the race detector is compiled in; see
+// race_on.go.
+const raceEnabled = false

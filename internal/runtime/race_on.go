@@ -1,0 +1,8 @@
+//go:build race
+
+package runtime
+
+// raceEnabled lets tests scale their workload down under the race detector,
+// which slows execution 5-20x; the soak test trades packet count for keeping
+// `make race` within CI budget while still exercising the same paths.
+const raceEnabled = true

@@ -1,0 +1,112 @@
+package runtime
+
+import (
+	"fmt"
+	"net"
+	"strings"
+	"sync/atomic"
+	"time"
+)
+
+// maxFrame bounds one received datagram; Ethernet frames with generous
+// headroom fit, and anything larger is not a frame this switch models.
+const maxFrame = 2048
+
+// UDPTransport carries raw frames as UDP datagrams, one frame per datagram:
+// the wire face of a switch port. It listens on a local address; egress goes
+// to a fixed peer when the spec names one, otherwise to the source of the
+// most recently received datagram (reply mode, convenient for test clients).
+type UDPTransport struct {
+	conn *net.UDPConn
+	peer atomic.Pointer[net.UDPAddr]
+	// learn is set in reply mode: each Recv re-learns the peer.
+	learn      bool
+	closed     atomic.Bool
+	recvClosed atomic.Bool
+}
+
+// newUDPTransport parses "<listen>" or "<listen>/<peer>" (after the "udp:"
+// scheme has been cut) and binds the listening socket.
+func newUDPTransport(rest string) (*UDPTransport, error) {
+	listenSpec, peerSpec, hasPeer := strings.Cut(rest, "/")
+	laddr, err := net.ResolveUDPAddr("udp", listenSpec)
+	if err != nil {
+		return nil, fmt.Errorf("%w: listen %q: %v", ErrBadSpec, listenSpec, err)
+	}
+	var paddr *net.UDPAddr
+	if hasPeer {
+		if paddr, err = net.ResolveUDPAddr("udp", peerSpec); err != nil {
+			return nil, fmt.Errorf("%w: peer %q: %v", ErrBadSpec, peerSpec, err)
+		}
+	}
+	conn, err := net.ListenUDP("udp", laddr)
+	if err != nil {
+		return nil, fmt.Errorf("runtime: udp listen %s: %w", listenSpec, err)
+	}
+	// A sustained-load burst must land in the socket buffer, not the floor;
+	// the kernel clamps to its limit, so failure here is advisory.
+	_ = conn.SetReadBuffer(4 << 20)
+	_ = conn.SetWriteBuffer(4 << 20)
+	t := &UDPTransport{conn: conn, learn: !hasPeer}
+	if paddr != nil {
+		t.peer.Store(paddr)
+	}
+	return t, nil
+}
+
+// LocalAddr returns the bound listen address (useful with port 0 in tests).
+func (t *UDPTransport) LocalAddr() net.Addr { return t.conn.LocalAddr() }
+
+// Recv blocks for the next datagram.
+func (t *UDPTransport) Recv(f *Frame) error {
+	buf := make([]byte, maxFrame)
+	for {
+		n, addr, err := t.conn.ReadFromUDP(buf)
+		if err != nil {
+			if t.closed.Load() || t.recvClosed.Load() {
+				return ErrClosed
+			}
+			if ne, ok := err.(net.Error); ok && ne.Timeout() {
+				continue // stale deadline from a prior CloseRecv race
+			}
+			return fmt.Errorf("runtime: udp recv: %w", err)
+		}
+		if t.learn {
+			t.peer.Store(addr)
+		}
+		f.Data = buf[:n]
+		return nil
+	}
+}
+
+// Send writes one frame to the peer as a single datagram. Without a peer
+// (reply mode before any ingress) the frame cannot be addressed and the
+// caller counts it as a TX drop.
+func (t *UDPTransport) Send(f Frame) error {
+	if t.closed.Load() {
+		return ErrClosed
+	}
+	peer := t.peer.Load()
+	if peer == nil {
+		return ErrNoPeer
+	}
+	_, err := t.conn.WriteToUDP(f.Data, peer)
+	if err != nil && t.closed.Load() {
+		return ErrClosed
+	}
+	return err
+}
+
+// CloseRecv stops ingestion: the pending ReadFromUDP is kicked loose via a
+// read deadline in the past, while Send keeps working so queued egress can
+// drain.
+func (t *UDPTransport) CloseRecv() error {
+	t.recvClosed.Store(true)
+	return t.conn.SetReadDeadline(time.Unix(1, 0))
+}
+
+// Close releases the socket.
+func (t *UDPTransport) Close() error {
+	t.closed.Store(true)
+	return t.conn.Close()
+}

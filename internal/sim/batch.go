@@ -40,9 +40,7 @@ func (sw *Switch) ProcessBatch(pkts []Input) ([]Result, error) {
 		workers = len(pkts)
 	}
 	if workers <= 1 {
-		for i := range pkts {
-			results[i].Outputs, results[i].Trace, results[i].Err = sw.Process(pkts[i].Data, pkts[i].Port)
-		}
+		_ = sw.ProcessSeq(pkts, results)
 		return results, firstError(results)
 	}
 	var next atomic.Int64
@@ -62,6 +60,19 @@ func (sw *Switch) ProcessBatch(pkts []Input) ([]Result, error) {
 	}
 	wg.Wait()
 	return results, firstError(results)
+}
+
+// ProcessSeq processes pkts serially on the calling goroutine, writing into
+// the caller-provided results slice (which must be at least len(pkts) long).
+// It is the allocation-free batch entry point the packet I/O runtime's
+// workers use: each worker drains a burst from its rings and hands it over
+// in one call, reusing the same results backing across bursts. Per-packet
+// errors land in results; the return is the first of them, if any.
+func (sw *Switch) ProcessSeq(pkts []Input, results []Result) error {
+	for i := range pkts {
+		results[i].Outputs, results[i].Trace, results[i].Err = sw.Process(pkts[i].Data, pkts[i].Port)
+	}
+	return firstError(results[:len(pkts)])
 }
 
 func firstError(results []Result) error {
