@@ -337,21 +337,23 @@ func handle(sw *sim.Switch, rt *runtime.Runtime, mgmt *ctl.CLI, iort *pktio.Runt
 	fields := strings.Fields(line)
 	switch fields[0] {
 	case "port":
-		// In persona mode port ops flow through the management CLI below
-		// (evented, batched, remotable); outside it the same grammar applies
-		// directly to the I/O runtime.
-		if mgmt == nil {
-			out, err := portExec(iort, line)
-			if err != nil {
-				fmt.Println("error:", err)
-				return
-			}
-			if out != "" {
-				fmt.Println(out)
-			}
+		// One grammar both ways: in persona mode port ops flow through the
+		// management CLI (evented, batched, remotable); outside it the same
+		// grammar applies directly to the I/O runtime.
+		var out string
+		var err error
+		if mgmt != nil {
+			out, err = mgmt.Exec(line)
+		} else {
+			out, err = portExec(iort, line)
+		}
+		if err != nil {
+			fmt.Println("error:", err)
 			return
 		}
-		fallthrough
+		if out != "" {
+			fmt.Println(out)
+		}
 	case "packet", "trace":
 		if len(fields) < 3 {
 			fmt.Println("usage: packet <port> <hexbytes>")

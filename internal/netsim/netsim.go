@@ -176,9 +176,12 @@ func (n *Network) Start() {
 
 // Stop terminates the network, waits for its goroutines, and returns the
 // total number of frames the fabric dropped: ring overflow (none in normal
-// lossless operation), frames torn down mid-flight at Stop, and — the
-// common case — frames a program emitted toward a port with nothing
-// connected, which previous versions of this package dropped silently.
+// lossless operation), frames torn down mid-flight at Stop — egress that
+// failed Send once its link closed, plus frames still buffered inside the
+// links when everything stopped — and, the common case, frames a program
+// emitted toward a port with nothing connected, which previous versions of
+// this package dropped silently. Frames a host's stack had accepted but not
+// yet acted on are the one loss left uncounted (the host "received" them).
 // Idempotent; repeated calls return the same count.
 func (n *Network) Stop() int64 {
 	n.stopOnce.Do(func() {
@@ -197,7 +200,18 @@ func (n *Network) Stop() int64 {
 		var drops int64
 		for _, sn := range n.switches {
 			sn.RT.Close()
-			drops += int64(sn.RT.Metrics().Drops())
+			m := sn.RT.Metrics()
+			drops += int64(m.Drops())
+			// Queued egress that hit the already-closed link failed Send and
+			// was counted as a TX error — teardown loss here.
+			for _, p := range m.Ports {
+				drops += int64(p.TxErrors)
+			}
+		}
+		// Frames that made it into a link buffer but were never received by
+		// the far side before everything stopped.
+		for _, l := range n.links {
+			drops += int64(l.Buffered())
 		}
 		n.drops = drops
 	})

@@ -23,7 +23,10 @@ type Metrics struct {
 	Processed uint64
 	ProcErrs  uint64
 	Unrouted  uint64
-	Ports     []PortMetrics
+	// DrainTimeouts counts detaches whose ingress backlog could not be
+	// drained within the deadline; the abandoned frames are in RxDrops.
+	DrainTimeouts uint64
+	Ports         []PortMetrics
 }
 
 // Drops is the total frame loss the runtime itself caused: ring-full drops
@@ -40,11 +43,12 @@ func (m Metrics) Drops() uint64 {
 func (rt *Runtime) Metrics() Metrics {
 	pm := rt.ports.Load()
 	m := Metrics{
-		Workers:   rt.cfg.Workers,
-		RingSize:  ringCap(rt.cfg.RingSize),
-		Processed: rt.processed.Load(),
-		ProcErrs:  rt.procErrs.Load(),
-		Unrouted:  rt.unrouted.Load(),
+		Workers:       rt.cfg.Workers,
+		RingSize:      ringCap(rt.cfg.RingSize),
+		Processed:     rt.processed.Load(),
+		ProcErrs:      rt.procErrs.Load(),
+		Unrouted:      rt.unrouted.Load(),
+		DrainTimeouts: rt.drainTimeouts.Load(),
 	}
 	for _, p := range append(append([]*port{}, pm.list...), pm.draining...) {
 		m.Ports = append(m.Ports, snapshotPort(p))

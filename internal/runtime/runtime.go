@@ -1,6 +1,7 @@
 package runtime
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
@@ -63,15 +64,30 @@ type port struct {
 
 	txNotify chan struct{}
 	txStop   chan struct{}
-	rxStop   atomic.Bool
-	rxDone   chan struct{}
-	txDone   chan struct{}
+	// txStopOnce guards close(txStop): Detach and a SIGINT-driven Close can
+	// tear the same port down concurrently (Detach moves it to draining and
+	// releases the lock before closing txStop; Close snapshots active and
+	// draining ports alike).
+	txStopOnce sync.Once
+	rxStop     atomic.Bool
+	rxDone     chan struct{}
+	txDone     chan struct{}
 
 	rxFrames atomic.Uint64
 	txFrames atomic.Uint64
 	rxDrops  atomic.Uint64
 	txDrops  atomic.Uint64
 	txErrors atomic.Uint64
+}
+
+// stopTx signals the port's TX loop to flush its backlog and exit. Safe to
+// call from Detach and Close concurrently.
+func (p *port) stopTx() {
+	p.txStopOnce.Do(func() { close(p.txStop) })
+	select {
+	case p.txNotify <- struct{}{}:
+	default:
+	}
 }
 
 // portMap is the copy-on-write port table workers and routing read with one
@@ -103,9 +119,10 @@ type Runtime struct {
 	wake     []chan struct{}
 	workerWg sync.WaitGroup
 
-	processed atomic.Uint64
-	procErrs  atomic.Uint64
-	unrouted  atomic.Uint64
+	processed     atomic.Uint64
+	procErrs      atomic.Uint64
+	unrouted      atomic.Uint64
+	drainTimeouts atomic.Uint64
 }
 
 // New builds a runtime over a processor. Start launches the workers; ports
@@ -223,11 +240,7 @@ func (rt *Runtime) Detach(portNum int) error {
 	rt.stopRecv(p)
 	<-p.rxDone
 	rt.drainPortRx(p, started)
-	close(p.txStop)
-	select {
-	case p.txNotify <- struct{}{}:
-	default:
-	}
+	p.stopTx()
 	<-p.txDone
 	p.tr.Close()
 
@@ -240,6 +253,13 @@ func (rt *Runtime) Detach(portNum int) error {
 // drainPortRx waits until a detached port's ingress rings are empty. With
 // workers running they do the draining; before Start the detacher flushes
 // the rings itself (no competing consumer exists yet).
+//
+// If workers make no progress within the deadline (wedged in the processor),
+// the backlog is abandoned: whatever is left is counted as rx drops so the
+// loss stays attributed, and DrainTimeouts records that it happened. The
+// detacher must not pop the rings itself — workers are their sole consumer —
+// so it counts depths instead; a worker racing the count can only forward a
+// frame that was also counted dropped (overcount), never lose one silently.
 func (rt *Runtime) drainPortRx(p *port, started bool) {
 	if !started {
 		var f Frame
@@ -260,7 +280,16 @@ func (rt *Runtime) drainPortRx(p *port, started bool) {
 				break
 			}
 		}
-		if empty || time.Now().After(deadline) {
+		if empty {
+			return
+		}
+		if time.Now().After(deadline) {
+			var left uint64
+			for w := range p.rx {
+				left += uint64(p.rx[w].depth())
+			}
+			p.rxDrops.Add(left)
+			rt.drainTimeouts.Add(1)
 			return
 		}
 		rt.wakeAll()
@@ -306,11 +335,7 @@ func (rt *Runtime) Close() {
 		rt.workerWg.Wait()
 	}
 	for _, p := range all {
-		close(p.txStop)
-		select {
-		case p.txNotify <- struct{}{}:
-		default:
-		}
+		p.stopTx()
 	}
 	for _, p := range all {
 		<-p.txDone
@@ -346,9 +371,14 @@ func (rt *Runtime) rxLoop(p *port) {
 			if p.rxStop.Load() || err == ErrClosed {
 				return
 			}
+			p.rxDrops.Add(1)
+			if errors.Is(err, ErrFrameTooBig) {
+				// Oversized frame: counted and discarded, but a flood of
+				// them must not throttle the port.
+				continue
+			}
 			// Transient receive error: drop and keep listening, without
 			// spinning hot on a persistent one.
-			p.rxDrops.Add(1)
 			time.Sleep(time.Millisecond)
 			continue
 		}

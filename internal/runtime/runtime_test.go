@@ -281,6 +281,69 @@ func TestCloseIdempotentAndMetricsSurvive(t *testing.T) {
 	}
 }
 
+// TestCloseRacesDetach reproduces the SIGINT-vs-port_detach race: Detach
+// moves the port to draining and releases the runtime lock before closing
+// txStop, so a concurrent Close sees the port in its snapshot too. Both
+// tearing it down must not double-close (panic) — stopTx's sync.Once.
+func TestCloseRacesDetach(t *testing.T) {
+	for i := 0; i < 50; i++ {
+		rt := New(&echoProc{}, Config{Workers: 2, Lossless: true})
+		rt.Start()
+		near, far := NewChanPair(8)
+		if err := rt.Attach(1, far); err != nil {
+			t.Fatal(err)
+		}
+		near.Send(Frame{Data: []byte{1}})
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			_ = rt.Detach(1) // ErrClosed is fine when Close wins the lock
+		}()
+		rt.Close()
+		<-done
+	}
+}
+
+// TestUDPOversizedDatagramDropped sends a datagram over maxFrame and
+// verifies it is counted as an rx drop, not forwarded truncated.
+func TestUDPOversizedDatagramDropped(t *testing.T) {
+	rt := New(&echoProc{}, Config{Workers: 1})
+	rt.Start()
+	defer rt.Close()
+	if err := rt.AttachSpec(1, "udp:127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	addr := rt.ports.Load().active[1].tr.(*UDPTransport).LocalAddr().String()
+	client, err := NewTransport("udp:127.0.0.1:0/" + addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+
+	if err := client.Send(Frame{Data: make([]byte, maxFrame+100)}); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, func() bool {
+		m := rt.Metrics()
+		return len(m.Ports) == 1 && m.Ports[0].RxDrops == 1
+	}, "oversized-frame rx drop")
+
+	// The port still works, and the giant never reached the processor.
+	if err := client.Send(Frame{Data: []byte("ping")}); err != nil {
+		t.Fatal(err)
+	}
+	var f Frame
+	if err := client.Recv(&f); err != nil {
+		t.Fatal(err)
+	}
+	if string(f.Data) != "ping" {
+		t.Fatalf("echoed %q", f.Data)
+	}
+	if m := rt.Metrics(); m.Processed != 1 || m.Ports[0].RxFrames != 1 {
+		t.Fatalf("processed=%d rxFrames=%d, want 1/1", m.Processed, m.Ports[0].RxFrames)
+	}
+}
+
 func waitFor(t *testing.T, cond func() bool, what string) {
 	t.Helper()
 	deadline := time.Now().Add(5 * time.Second)

@@ -60,6 +60,9 @@ var (
 	// ErrNoPeer reports a Send on a transport that has not yet learned a
 	// destination.
 	ErrNoPeer = errors.New("runtime: no peer address")
+	// ErrFrameTooBig reports an ingress frame over the transport's size
+	// limit; the runtime counts it as an rx drop and keeps receiving.
+	ErrFrameTooBig = errors.New("runtime: frame exceeds size limit")
 )
 
 // NewTransport builds a transport from a one-token textual spec — the form
@@ -152,6 +155,13 @@ func (c *ChanTransport) Send(f Frame) error {
 	case <-c.closed:
 		return ErrClosed
 	}
+}
+
+// Buffered reports how many frames sit in the link's channel buffers, both
+// directions. Meaningful once the link and both consumers have stopped —
+// netsim's teardown accounting, counting frames torn down in flight.
+func (c *ChanTransport) Buffered() int {
+	return len(c.rx) + len(c.tx)
 }
 
 // CloseRecv stops this endpoint's receive side only.

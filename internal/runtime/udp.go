@@ -57,9 +57,12 @@ func newUDPTransport(rest string) (*UDPTransport, error) {
 // LocalAddr returns the bound listen address (useful with port 0 in tests).
 func (t *UDPTransport) LocalAddr() net.Addr { return t.conn.LocalAddr() }
 
-// Recv blocks for the next datagram.
+// Recv blocks for the next datagram. A datagram over maxFrame returns
+// ErrFrameTooBig instead of being silently truncated — ReadFromUDP reports
+// no error when the buffer is too small, so the extra byte of headroom is
+// what detects the overflow.
 func (t *UDPTransport) Recv(f *Frame) error {
-	buf := make([]byte, maxFrame)
+	buf := make([]byte, maxFrame+1)
 	for {
 		n, addr, err := t.conn.ReadFromUDP(buf)
 		if err != nil {
@@ -70,6 +73,9 @@ func (t *UDPTransport) Recv(f *Frame) error {
 				continue // stale deadline from a prior CloseRecv race
 			}
 			return fmt.Errorf("runtime: udp recv: %w", err)
+		}
+		if n > maxFrame {
+			return fmt.Errorf("%w: udp datagram over %d bytes", ErrFrameTooBig, maxFrame)
 		}
 		if t.learn {
 			t.peer.Store(addr)
