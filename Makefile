@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race lookup-race fuse-diff chaos-race chaos-smoke fuzz-smoke metrics-smoke api-smoke io-smoke bench-smoke throughput analyze lint-smoke ci
+.PHONY: all build vet test race lookup-race fuse-diff chaos-race chaos-smoke fuzz-smoke metrics-smoke api-smoke io-smoke crash-smoke chaos-io-race bench-smoke throughput analyze lint-smoke ci
 
 all: ci
 
@@ -118,6 +118,50 @@ io-smoke:
 	grep -q '^hyper4_io_processed_total 1' /tmp/hp4io-ci.metrics
 	@echo io smoke ok
 
+# Crash smoke: boot the persona switch with a control-plane journal, wire it
+# up remotely (the whole config as ONE acked batch), prove it forwards real
+# wire traffic, then SIGKILL it mid-flight. A restart on the same journal
+# directory must replay the batch, re-bind both UDP ports, and forward again
+# — and its control-state dump must be byte-identical to a twin switch that
+# was configured identically but never crashed.
+crash-smoke:
+	$(GO) build -o /tmp/hp4switch-ci ./cmd/hp4switch
+	$(GO) build -o /tmp/hp4ctl-ci ./cmd/hp4ctl
+	$(GO) build -o /tmp/hp4io-ci ./cmd/hp4io
+	rm -rf /tmp/hp4crash-ci.journal && mkdir -p /tmp/hp4crash-ci.journal
+	printf 'load l2 l2_switch\nassign 1 l2 1\nmap l2 2 2\nl2 table_add smac _nop 00:00:00:00:00:01\nl2 table_add dmac forward 00:00:00:00:00:02 => 2\nport attach 1 udp:127.0.0.1:19801\nport attach 2 udp:127.0.0.1:19803/127.0.0.1:19804\n' > /tmp/hp4crash-ci.cmds
+	sleep 60 | /tmp/hp4switch-ci -persona -journal /tmp/hp4crash-ci.journal -api-addr 127.0.0.1:19791 > /tmp/hp4crash-ci.out1 2>&1 & \
+	KPID=$$!; sleep 1; \
+	/tmp/hp4ctl-ci -addr http://127.0.0.1:19791 -batch -f /tmp/hp4crash-ci.cmds; \
+	/tmp/hp4io-ci recv -listen 127.0.0.1:19804 -n 1 -timeout 5s > /tmp/hp4crash-ci.recv1 & \
+	sleep 1; \
+	/tmp/hp4io-ci send -to 127.0.0.1:19801 -hex "0000000000020000000000010800$$(printf '0%.0s' $$(seq 1 100))"; \
+	sleep 1; kill -9 $$KPID
+	grep -q '^0000000000020000000000010800' /tmp/hp4crash-ci.recv1
+	{ sleep 6; echo quit; } | /tmp/hp4switch-ci -persona -journal /tmp/hp4crash-ci.journal -api-addr 127.0.0.1:19791 > /tmp/hp4crash-ci.out2 2>&1 & \
+	sleep 1; \
+	/tmp/hp4ctl-ci -addr http://127.0.0.1:19791 dump > /tmp/hp4crash-ci.dump-recovered; \
+	/tmp/hp4io-ci recv -listen 127.0.0.1:19804 -n 1 -timeout 4s > /tmp/hp4crash-ci.recv2 & \
+	sleep 1; \
+	/tmp/hp4io-ci send -to 127.0.0.1:19801 -hex "0000000000020000000000010800$$(printf '0%.0s' $$(seq 1 100))"; \
+	wait
+	grep -q 'replayed 1 batches' /tmp/hp4crash-ci.out2
+	grep -q '^0000000000020000000000010800' /tmp/hp4crash-ci.recv2
+	{ sleep 4; echo quit; } | /tmp/hp4switch-ci -persona -api-addr 127.0.0.1:19791 > /tmp/hp4crash-ci.out3 2>&1 & \
+	sleep 1; \
+	/tmp/hp4ctl-ci -addr http://127.0.0.1:19791 -batch -f /tmp/hp4crash-ci.cmds; \
+	/tmp/hp4ctl-ci -addr http://127.0.0.1:19791 dump > /tmp/hp4crash-ci.dump-twin; \
+	wait
+	diff /tmp/hp4crash-ci.dump-recovered /tmp/hp4crash-ci.dump-twin
+	@echo crash smoke ok
+
+# Transport fault injection and the port breakers, explicitly under the race
+# detector: seeded chaos schedules must stay exact (same seed, same faults;
+# caps exact under concurrency) and breaker walks deterministic while racing
+# live RX/TX loops.
+chaos-io-race:
+	$(GO) test -race ./internal/chaos/ ./internal/runtime/
+
 # Quick benchmark smoke: does the throughput benchmark run at all?
 bench-smoke:
 	$(GO) test -run xxx -bench Throughput -benchtime 100x .
@@ -143,4 +187,4 @@ lint-smoke:
 throughput:
 	$(GO) run ./cmd/hp4bench -parallel -faults
 
-ci: vet build analyze race lookup-race fuse-diff chaos-race chaos-smoke fuzz-smoke lint-smoke metrics-smoke api-smoke io-smoke bench-smoke throughput
+ci: vet build analyze race lookup-race fuse-diff chaos-race chaos-smoke fuzz-smoke lint-smoke metrics-smoke api-smoke io-smoke crash-smoke chaos-io-race bench-smoke throughput

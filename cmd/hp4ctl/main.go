@@ -11,6 +11,8 @@
 //	hp4ctl -addr ... -batch -f script.txt     # whole script as ONE atomic batch
 //	hp4ctl -addr ... stats l2
 //	hp4ctl -addr ... health                   # circuit-breaker health report
+//	hp4ctl -addr ... port health              # per-port breaker report
+//	hp4ctl -addr ... dump                     # deterministic control-state dump
 //	hp4ctl -addr ... reset l2                 # clear a device's quarantine
 //	hp4ctl -addr ... -events                  # follow management events
 //
@@ -167,6 +169,9 @@ func follow(client *ctl.Client) {
 			line := fmt.Sprintf("%d %s", e.Seq, e.Kind)
 			if e.VDev != "" {
 				line += " " + e.VDev
+			}
+			if strings.HasPrefix(e.Kind, "port_") {
+				line += fmt.Sprintf(" port=%d", e.Port)
 			}
 			if e.Name != "" {
 				line += " " + e.Name

@@ -10,11 +10,13 @@
 //	hp4io send -to 127.0.0.1:9000 -hex ... -n 100           repeated
 //	hp4io recv -listen 127.0.0.1:9001 [-n 1] [-timeout 5s]  print frames
 //
-// recv exits 0 once it has printed -n frames, or 1 on timeout.
+// recv exits 0 once it has printed -n frames; on a missed deadline it
+// reports how many frames arrived and exits 1 (-timeout 0 waits forever).
 package main
 
 import (
 	"encoding/hex"
+	"errors"
 	"flag"
 	"fmt"
 	"net"
@@ -75,7 +77,7 @@ func recv(args []string) {
 	fs := flag.NewFlagSet("recv", flag.ExitOnError)
 	listen := fs.String("listen", "", "listen address (host:port)")
 	n := fs.Int("n", 1, "frames to receive before exiting")
-	timeout := fs.Duration("timeout", 5*time.Second, "overall receive deadline")
+	timeout := fs.Duration("timeout", 5*time.Second, "overall receive deadline (0 = wait forever)")
 	_ = fs.Parse(args)
 	if *listen == "" {
 		usage()
@@ -89,12 +91,22 @@ func recv(args []string) {
 		fatal("listen:", err)
 	}
 	defer conn.Close()
-	_ = conn.SetReadDeadline(time.Now().Add(*timeout))
+	if *timeout > 0 {
+		_ = conn.SetReadDeadline(time.Now().Add(*timeout))
+	}
 	buf := make([]byte, 65535)
 	for got := 0; got < *n; got++ {
 		sz, _, err := conn.ReadFromUDP(buf)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "hp4io: received %d of %d frames: %v\n", got, *n, err)
+			// A missed deadline is the expected failure shape in scripts
+			// (make io-smoke, crash-smoke): say what was awaited, not just
+			// the raw "i/o timeout".
+			var nerr net.Error
+			if errors.As(err, &nerr) && nerr.Timeout() {
+				fmt.Fprintf(os.Stderr, "hp4io: timed out after %v: received %d of %d frame(s)\n", *timeout, got, *n)
+			} else {
+				fmt.Fprintf(os.Stderr, "hp4io: received %d of %d frame(s): %v\n", got, *n, err)
+			}
 			os.Exit(1)
 		}
 		fmt.Printf("%x\n", buf[:sz])

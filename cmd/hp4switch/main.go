@@ -85,6 +85,8 @@ func main() {
 	metricsAddr := flag.String("metrics-addr", "", "serve Prometheus metrics and pprof on this address (e.g. 127.0.0.1:9090)")
 	apiAddr := flag.String("api-addr", "", "serve the management API on this address (persona mode, e.g. 127.0.0.1:9191)")
 	chaosSpec := flag.String("chaos", "", "deterministic fault injection spec, e.g. \"seed=1,attr=2,panic_every=4\" (see internal/chaos)")
+	chaosIOSpec := flag.String("chaos-io", "", "deterministic transport fault injection spec, e.g. \"seed=1,io_port=2,recv_err_every=4\" (see internal/chaos)")
+	journalDir := flag.String("journal", "", "journal applied control-plane batches to this directory and recover from it at boot (persona mode)")
 	healthWindow := flag.Duration("health-window", 10*time.Second, "circuit breaker: sliding fault window (persona mode)")
 	healthTrip := flag.Int("health-trip", 5, "circuit breaker: faults within the window that trip quarantine")
 	healthOpen := flag.Duration("health-open", 5*time.Second, "circuit breaker: quarantine time before half-open probing")
@@ -193,12 +195,68 @@ func main() {
 			return port
 		}
 	}
+	if *chaosIOSpec != "" {
+		spec, err := chaos.ParseSpec(*chaosIOSpec)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "hp4switch: -chaos-io:", err)
+			os.Exit(2)
+		}
+		inj := chaos.New(spec)
+		// Every spec-built transport — startup seeds, runtime attaches, and
+		// breaker auto-reattaches alike — comes back chaos-wrapped.
+		ioCfg.TransportFactory = func(port int, spec string) (pktio.Transport, error) {
+			tr, err := pktio.NewTransport(spec)
+			if err != nil {
+				return nil, err
+			}
+			return inj.WrapTransport(port, tr), nil
+		}
+		fmt.Printf("transport chaos armed: %s\n", *chaosIOSpec)
+	}
 	iort := pktio.New(sw, ioCfg)
 	iort.Start()
 	if cp != nil {
 		cp.IO = iort
+		// Bridge port-breaker transitions onto the management event stream.
+		ccp := cp
+		iort.SetHealthNotify(func(ph pktio.PortHealth) {
+			ccp.PublishPortHealth(ph.Port, ph.Spec, string(ph.State))
+		})
+	}
+	var jrnl *ctl.Journal
+	if *journalDir != "" {
+		if cp == nil {
+			fmt.Fprintln(os.Stderr, "hp4switch: -journal requires -persona")
+			os.Exit(2)
+		}
+		j, jerr := ctl.OpenJournal(*journalDir, ctl.DefaultSnapshotEvery)
+		if jerr != nil {
+			fmt.Fprintln(os.Stderr, "hp4switch: -journal:", jerr)
+			os.Exit(1)
+		}
+		summary, jerr := cp.AttachJournal(j)
+		if jerr != nil {
+			fmt.Fprintln(os.Stderr, "hp4switch: -journal: recovery:", jerr)
+			os.Exit(1)
+		}
+		jrnl = j
+		fmt.Printf("journal at %s: snapshot seq %d, replayed %d batches, %d ports reattached\n",
+			*journalDir, summary.SnapshotSeq, summary.Replayed, summary.PortsAttached)
+		if summary.Truncated {
+			fmt.Println("journal: truncated a torn (unacknowledged) trailing record")
+		}
+		for _, w := range summary.Warnings {
+			fmt.Fprintln(os.Stderr, "hp4switch: journal recovery:", w)
+		}
+		defer j.Close()
 	}
 	for _, seed := range listenSeeds {
+		if jrnl != nil && portAttachedWithSpec(iort, seed.port, seed.spec) {
+			// Journal recovery already restored this port; the seed is the
+			// same wiring restated, not a conflict.
+			fmt.Printf("port %d listening (%s, restored from journal)\n", seed.port, seed.spec)
+			continue
+		}
 		// Route through the control plane when there is one, so seeds are
 		// evented and listed identically to runtime attaches.
 		var seedErr error
@@ -286,6 +344,11 @@ func main() {
 		// Drain the data plane last: ingestion stops, workers finish the
 		// ring backlog, queued egress flushes, transports close.
 		iort.Close()
+		if jrnl != nil {
+			// Acked batches are already fsync'd; this just releases the wal
+			// handle so the exit is indistinguishable from a clean close.
+			_ = jrnl.Close()
+		}
 		os.Exit(0)
 	}()
 
@@ -465,6 +528,18 @@ func handle(sw *sim.Switch, rt *runtime.Runtime, mgmt *ctl.CLI, iort *pktio.Runt
 			fmt.Println(out)
 		}
 	}
+}
+
+// portAttachedWithSpec reports whether the port is already attached with
+// exactly this spec (journal recovery restores ports before -listen seeds
+// run; an identical seed is then a restatement, not a conflict).
+func portAttachedWithSpec(iort *pktio.Runtime, port int, spec string) bool {
+	for _, p := range iort.Ports() {
+		if p.Port == port && p.Spec == spec {
+			return true
+		}
+	}
+	return false
 }
 
 // portExec applies a port command straight to the I/O runtime, for switches

@@ -35,6 +35,9 @@ import (
 //	hyper4_ring_drops_total{port="...",dir="rx"|"tx"}
 //	hyper4_tx_errors_total{port="..."}
 //	hyper4_io_processed_total / hyper4_io_proc_errors_total / hyper4_unrouted_frames_total
+//	hyper4_port_health{port="..."} (0 healthy, 1 degraded, 2 probing, 3 quarantined)
+//	hyper4_port_health_trips_total / hyper4_port_reattach_total{port="..."}
+//	hyper4_port_io_errors_total{port="...",kind="recv"|"send"|"stall"}
 
 // newMetricsMux builds the HTTP handler for -metrics-addr. d is nil outside
 // persona mode; iort is nil when the process runs without a packet I/O
@@ -46,6 +49,9 @@ func newMetricsMux(sw *sim.Switch, d *dpmu.DPMU, iort *pktio.Runtime) *http.Serv
 		writeMetrics(w, sw, d)
 		if iort != nil {
 			writeIOMetrics(w, iort.Metrics())
+			// Scraping port health also advances the port breakers, exactly
+			// like the vdev-health families above.
+			writePortHealthMetrics(w, iort.PortHealth())
 		}
 	})
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
@@ -220,6 +226,43 @@ func writeIOMetrics(w io.Writer, m pktio.Metrics) {
 	fmt.Fprintf(w, "# HELP hyper4_io_processed_total Frames the runtime handed to the switch.\n# TYPE hyper4_io_processed_total counter\nhyper4_io_processed_total %d\n", m.Processed)
 	fmt.Fprintf(w, "# HELP hyper4_io_proc_errors_total Frames the switch failed on.\n# TYPE hyper4_io_proc_errors_total counter\nhyper4_io_proc_errors_total %d\n", m.ProcErrs)
 	fmt.Fprintf(w, "# HELP hyper4_unrouted_frames_total Frames forwarded to a port with no transport attached.\n# TYPE hyper4_unrouted_frames_total counter\nhyper4_unrouted_frames_total %d\n", m.Unrouted)
+}
+
+// writePortHealthMetrics renders the per-port breaker families. Quarantined
+// ports stay listed even while their transport is detached — that is the
+// alertable state.
+func writePortHealthMetrics(w io.Writer, phs []pktio.PortHealth) {
+	fmt.Fprintf(w, "# HELP hyper4_port_health Port circuit-breaker state (0 healthy, 1 degraded, 2 probing, 3 quarantined).\n# TYPE hyper4_port_health gauge\n")
+	for _, p := range phs {
+		fmt.Fprintf(w, "hyper4_port_health{port=\"%d\"} %d\n", p.Port, portHealthValue(p.State))
+	}
+	fmt.Fprintf(w, "# HELP hyper4_port_health_trips_total Port circuit-breaker trips.\n# TYPE hyper4_port_health_trips_total counter\n")
+	for _, p := range phs {
+		fmt.Fprintf(w, "hyper4_port_health_trips_total{port=\"%d\"} %d\n", p.Port, p.Trips)
+	}
+	fmt.Fprintf(w, "# HELP hyper4_port_reattach_total Successful automatic transport reattaches after quarantine.\n# TYPE hyper4_port_reattach_total counter\n")
+	for _, p := range phs {
+		fmt.Fprintf(w, "hyper4_port_reattach_total{port=\"%d\"} %d\n", p.Port, p.Reattaches)
+	}
+	fmt.Fprintf(w, "# HELP hyper4_port_io_errors_total Transport faults charged to a port's breaker window, by kind.\n# TYPE hyper4_port_io_errors_total counter\n")
+	for _, p := range phs {
+		fmt.Fprintf(w, "hyper4_port_io_errors_total{port=\"%d\",kind=\"recv\"} %d\n", p.Port, p.RecvErrors)
+		fmt.Fprintf(w, "hyper4_port_io_errors_total{port=\"%d\",kind=\"send\"} %d\n", p.Port, p.SendErrors)
+		fmt.Fprintf(w, "hyper4_port_io_errors_total{port=\"%d\",kind=\"stall\"} %d\n", p.Port, p.Stalls)
+	}
+}
+
+// portHealthValue mirrors healthValue for the port breaker states.
+func portHealthValue(s pktio.HealthState) int {
+	switch s {
+	case pktio.PortDegraded:
+		return 1
+	case pktio.PortProbing:
+		return 2
+	case pktio.PortQuarantined:
+		return 3
+	}
+	return 0
 }
 
 // healthValue encodes a breaker state for the hyper4_vdev_health gauge,

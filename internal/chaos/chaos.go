@@ -39,17 +39,39 @@ type Spec struct {
 
 	DelayEvery int           // sleep on ~every Nth Process call
 	Delay      time.Duration // how long to sleep
+
+	// Transport-level fault classes, consumed by TransportInjector (io.go)
+	// wrapped around a runtime.Transport. IOPort restricts injection to one
+	// switch port, mirroring Attr's tenant filter (0 = any port; port 0
+	// itself cannot be singled out).
+	IOPort       int           // target port for I/O faults (0 = any)
+	RecvErrEvery int           // fail ~every Nth Recv with an injected error
+	RecvErrFirst int           // cap on total injected recv errors (0 = unlimited)
+	SendErrEvery int           // fail ~every Nth Send with an injected error
+	SendErrFirst int           // cap on total injected send errors (0 = unlimited)
+	DropEvery    int           // silently swallow ~every Nth frame (both directions)
+	DupEvery     int           // duplicate ~every Nth received frame
+	StallEvery   int           // stall ~every Nth Recv for StallFor
+	StallFor     time.Duration // how long a stall holds the RX path
 }
 
 // Enabled reports whether the spec injects anything at all.
 func (s Spec) Enabled() bool {
-	return s.PanicEvery > 0 || s.MissEvery > 0 || s.PassBound > 0 || s.DelayEvery > 0
+	return s.PanicEvery > 0 || s.MissEvery > 0 || s.PassBound > 0 || s.DelayEvery > 0 || s.IOEnabled()
+}
+
+// IOEnabled reports whether any transport-level fault class is configured.
+func (s Spec) IOEnabled() bool {
+	return s.RecvErrEvery > 0 || s.SendErrEvery > 0 || s.DropEvery > 0 ||
+		s.DupEvery > 0 || s.StallEvery > 0
 }
 
 // ParseSpec parses the flag syntax "key=value,key=value". Keys: seed, attr,
 // panic_every, panic_first, panic_action, miss_every, miss_table,
-// pass_bound, delay_every, delay (a Go duration). An empty string yields the
-// zero (inject-nothing) spec.
+// pass_bound, delay_every, delay (a Go duration); transport fault classes:
+// io_port, recv_err_every, recv_err_first, send_err_every, send_err_first,
+// io_drop_every, io_dup_every, stall_every, stall_for (a Go duration). An
+// empty string yields the zero (inject-nothing) spec.
 func ParseSpec(text string) (Spec, error) {
 	var s Spec
 	if strings.TrimSpace(text) == "" {
@@ -82,6 +104,24 @@ func ParseSpec(text string) (Spec, error) {
 			s.DelayEvery, err = strconv.Atoi(val)
 		case "delay":
 			s.Delay, err = time.ParseDuration(val)
+		case "io_port":
+			s.IOPort, err = strconv.Atoi(val)
+		case "recv_err_every":
+			s.RecvErrEvery, err = strconv.Atoi(val)
+		case "recv_err_first":
+			s.RecvErrFirst, err = strconv.Atoi(val)
+		case "send_err_every":
+			s.SendErrEvery, err = strconv.Atoi(val)
+		case "send_err_first":
+			s.SendErrFirst, err = strconv.Atoi(val)
+		case "io_drop_every":
+			s.DropEvery, err = strconv.Atoi(val)
+		case "io_dup_every":
+			s.DupEvery, err = strconv.Atoi(val)
+		case "stall_every":
+			s.StallEvery, err = strconv.Atoi(val)
+		case "stall_for":
+			s.StallFor, err = time.ParseDuration(val)
 		default:
 			return Spec{}, fmt.Errorf("chaos: unknown spec key %q", key)
 		}
@@ -97,6 +137,12 @@ type Stats struct {
 	Panics int64 // panics injected
 	Misses int64 // lookups forced to miss
 	Delays int64 // sleeps injected
+
+	RecvErrs int64 // receive errors injected
+	SendErrs int64 // send errors injected
+	Drops    int64 // frames silently swallowed
+	Dups     int64 // frames duplicated
+	Stalls   int64 // RX stalls injected
 }
 
 // Injector is a deterministic sim.Injector. Safe for concurrent use: all
@@ -108,9 +154,23 @@ type Injector struct {
 	missCalls   atomic.Uint64 // matching ForceMiss calls seen
 	delayCalls  atomic.Uint64 // Delay calls seen
 
+	// Transport schedule counters, shared across every wrapped transport
+	// (io.go) so fault counts stay exact switch-wide.
+	recvCalls  atomic.Uint64
+	sendCalls  atomic.Uint64
+	dropCalls  atomic.Uint64
+	dupCalls   atomic.Uint64
+	stallCalls atomic.Uint64
+
 	panics atomic.Int64
 	misses atomic.Int64
 	delays atomic.Int64
+
+	recvErrs atomic.Int64
+	sendErrs atomic.Int64
+	drops    atomic.Int64
+	dups     atomic.Int64
+	stalls   atomic.Int64
 }
 
 // New builds an injector for the spec.
@@ -122,9 +182,14 @@ func (in *Injector) Spec() Spec { return in.spec }
 // Stats snapshots the injected-fault counters.
 func (in *Injector) Stats() Stats {
 	return Stats{
-		Panics: in.panics.Load(),
-		Misses: in.misses.Load(),
-		Delays: in.delays.Load(),
+		Panics:   in.panics.Load(),
+		Misses:   in.misses.Load(),
+		Delays:   in.delays.Load(),
+		RecvErrs: in.recvErrs.Load(),
+		SendErrs: in.sendErrs.Load(),
+		Drops:    in.drops.Load(),
+		Dups:     in.dups.Load(),
+		Stalls:   in.stalls.Load(),
 	}
 }
 

@@ -1,0 +1,286 @@
+package chaos
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	pktio "hyper4/internal/runtime"
+)
+
+// memTransport is an unbounded in-memory transport: Recv hands out a
+// monotonically numbered frame, Send counts. seq is int (not byte) so long
+// tests don't wrap.
+type memTransport struct {
+	mu    sync.Mutex
+	seq   int
+	sends int
+}
+
+func (m *memTransport) Recv(f *pktio.Frame) error {
+	m.mu.Lock()
+	m.seq++
+	f.Data = []byte{byte(m.seq), byte(m.seq >> 8), byte(m.seq >> 16)}
+	m.mu.Unlock()
+	return nil
+}
+
+func (m *memTransport) Send(pktio.Frame) error {
+	m.mu.Lock()
+	m.sends++
+	m.mu.Unlock()
+	return nil
+}
+
+func (m *memTransport) Close() error { return nil }
+
+func (m *memTransport) counts() (int, int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.seq, m.sends
+}
+
+// rcTransport adds the two-phase shutdown hook.
+type rcTransport struct {
+	memTransport
+	recvClosed bool
+}
+
+func (r *rcTransport) CloseRecv() error { r.recvClosed = true; return nil }
+
+// errSchedule runs n Recvs through a fresh injector with the given seed and
+// returns the call indices where injected errors fired.
+func errSchedule(t *testing.T, seed int64, n int) []int {
+	t.Helper()
+	inj := New(Spec{Seed: seed, RecvErrEvery: 3})
+	tr := inj.WrapTransport(1, &memTransport{})
+	var hits []int
+	var f pktio.Frame
+	for i := 0; i < n; i++ {
+		if err := tr.Recv(&f); err != nil {
+			if !strings.Contains(err.Error(), "chaos: injected") {
+				t.Fatalf("unexpected real error: %v", err)
+			}
+			hits = append(hits, i)
+		}
+	}
+	return hits
+}
+
+// TestTransportInjectorDeterministicSchedule: the same seed replays the same
+// fault positions; a different seed gives a different schedule.
+func TestTransportInjectorDeterministicSchedule(t *testing.T) {
+	a := errSchedule(t, 42, 200)
+	b := errSchedule(t, 42, 200)
+	if len(a) == 0 {
+		t.Fatal("recv_err_every=3 injected nothing in 200 calls")
+	}
+	if len(a) != len(b) {
+		t.Fatalf("same seed, different counts: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed, different schedule at %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+	c := errSchedule(t, 43, 200)
+	same := len(a) == len(c)
+	if same {
+		for i := range a {
+			if a[i] != c[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical 200-call schedules")
+	}
+}
+
+// TestTransportInjectorExactErrorCountsConcurrent: the *First caps are exact
+// even with many transports hammering one shared injector — this is the
+// property that makes chaos runs reproducible pass/fail under -race.
+func TestTransportInjectorExactErrorCountsConcurrent(t *testing.T) {
+	inj := New(Spec{Seed: 9, RecvErrEvery: 2, RecvErrFirst: 5, SendErrEvery: 2, SendErrFirst: 3})
+	const workers, calls = 8, 500
+	var recvErrs, sendErrs [workers]int
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		tr := inj.WrapTransport(w+1, &memTransport{})
+		wg.Add(1)
+		go func(w int, tr pktio.Transport) {
+			defer wg.Done()
+			var f pktio.Frame
+			for i := 0; i < calls; i++ {
+				if err := tr.Recv(&f); err != nil {
+					recvErrs[w]++
+				}
+				if err := tr.Send(pktio.Frame{Data: []byte{1}}); err != nil {
+					sendErrs[w]++
+				}
+			}
+		}(w, tr)
+	}
+	wg.Wait()
+	var gotRecv, gotSend int
+	for w := 0; w < workers; w++ {
+		gotRecv += recvErrs[w]
+		gotSend += sendErrs[w]
+	}
+	if gotRecv != 5 || gotSend != 3 {
+		t.Fatalf("observed errors recv=%d send=%d, want exactly 5 and 3", gotRecv, gotSend)
+	}
+	st := inj.Stats()
+	if st.RecvErrs != 5 || st.SendErrs != 3 {
+		t.Fatalf("stats recv=%d send=%d, want exactly 5 and 3", st.RecvErrs, st.SendErrs)
+	}
+}
+
+// TestTransportInjectorDuplicatesFrames: dup_every=1 doubles every frame —
+// each wire frame arrives, then arrives again.
+func TestTransportInjectorDuplicatesFrames(t *testing.T) {
+	inj := New(Spec{Seed: 1, DupEvery: 1})
+	inner := &memTransport{}
+	tr := inj.WrapTransport(1, inner)
+	var f pktio.Frame
+	var got []byte
+	for i := 0; i < 10; i++ {
+		if err := tr.Recv(&f); err != nil {
+			t.Fatal(err)
+		}
+		got = append(got, f.Data[0])
+	}
+	want := []byte{1, 1, 2, 2, 3, 3, 4, 4, 5, 5}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("dup stream = %v, want %v", got, want)
+		}
+	}
+	if st := inj.Stats(); st.Dups != 5 {
+		t.Fatalf("Dups = %d, want 5", st.Dups)
+	}
+}
+
+// TestTransportInjectorDropsSends: drop_every=1 swallows every send — the
+// caller sees success, the wire sees nothing.
+func TestTransportInjectorDropsSends(t *testing.T) {
+	inj := New(Spec{Seed: 1, DropEvery: 1})
+	inner := &memTransport{}
+	tr := inj.WrapTransport(1, inner)
+	for i := 0; i < 10; i++ {
+		if err := tr.Send(pktio.Frame{Data: []byte{1}}); err != nil {
+			t.Fatalf("dropped send surfaced an error: %v", err)
+		}
+	}
+	if _, sends := inner.counts(); sends != 0 {
+		t.Fatalf("%d sends reached the wire, want 0", sends)
+	}
+	if st := inj.Stats(); st.Drops != 10 {
+		t.Fatalf("Drops = %d, want 10", st.Drops)
+	}
+}
+
+// TestTransportInjectorRecvDropAccounting: a dropped receive is swallowed
+// and the next wire frame awaited, so delivered + dropped = pulled.
+// (drop_every must be ≥2 on the RX side — 1 would swallow forever.)
+func TestTransportInjectorRecvDropAccounting(t *testing.T) {
+	inj := New(Spec{Seed: 7, DropEvery: 3})
+	inner := &memTransport{}
+	tr := inj.WrapTransport(1, inner)
+	var f pktio.Frame
+	const delivered = 100
+	for i := 0; i < delivered; i++ {
+		if err := tr.Recv(&f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := inj.Stats()
+	if st.Drops == 0 {
+		t.Fatal("drop_every=3 dropped nothing across 100 deliveries")
+	}
+	pulled, _ := inner.counts()
+	if int64(pulled) != delivered+st.Drops {
+		t.Fatalf("pulled %d from wire, want delivered(%d) + dropped(%d)", pulled, delivered, st.Drops)
+	}
+}
+
+// TestTransportInjectorStalls: stall_every=1 holds every Recv for StallFor
+// and counts it.
+func TestTransportInjectorStalls(t *testing.T) {
+	inj := New(Spec{Seed: 1, StallEvery: 1, StallFor: time.Microsecond})
+	tr := inj.WrapTransport(1, &memTransport{})
+	var f pktio.Frame
+	for i := 0; i < 5; i++ {
+		if err := tr.Recv(&f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st := inj.Stats(); st.Stalls != 5 {
+		t.Fatalf("Stalls = %d, want 5", st.Stalls)
+	}
+}
+
+// TestWrapTransportPortFilter: io_port narrows the blast radius to one port;
+// everyone else gets the identity transport back.
+func TestWrapTransportPortFilter(t *testing.T) {
+	inj := New(Spec{Seed: 1, IOPort: 5, RecvErrEvery: 2})
+	inner := &memTransport{}
+	if got := inj.WrapTransport(4, inner); got != pktio.Transport(inner) {
+		t.Fatal("non-target port was wrapped")
+	}
+	if got := inj.WrapTransport(5, inner); got == pktio.Transport(inner) {
+		t.Fatal("target port was not wrapped")
+	}
+	quiet := New(Spec{Seed: 1}) // no I/O fault classes at all
+	if got := quiet.WrapTransport(5, inner); got != pktio.Transport(inner) {
+		t.Fatal("spec without I/O faults still wrapped the transport")
+	}
+}
+
+// TestWrapTransportPreservesRecvCloser: the wrapper is a RecvCloser exactly
+// when the inner transport is — the runtime's two-phase drain depends on the
+// type assertion.
+func TestWrapTransportPreservesRecvCloser(t *testing.T) {
+	inj := New(Spec{Seed: 1, RecvErrEvery: 2})
+	plain := inj.WrapTransport(1, &memTransport{})
+	if _, ok := plain.(pktio.RecvCloser); ok {
+		t.Fatal("wrapper claims RecvCloser over a plain inner transport")
+	}
+	inner := &rcTransport{}
+	wrapped := inj.WrapTransport(1, inner)
+	rc, ok := wrapped.(pktio.RecvCloser)
+	if !ok {
+		t.Fatal("wrapper lost the inner transport's RecvCloser")
+	}
+	if err := rc.CloseRecv(); err != nil {
+		t.Fatal(err)
+	}
+	if !inner.recvClosed {
+		t.Fatal("CloseRecv did not reach the inner transport")
+	}
+}
+
+// TestParseSpecIOKeys: the I/O fault keys round-trip through ParseSpec.
+func TestParseSpecIOKeys(t *testing.T) {
+	s, err := ParseSpec("seed=9,io_port=2,recv_err_every=4,recv_err_first=5," +
+		"send_err_every=6,send_err_first=7,io_drop_every=8,io_dup_every=9," +
+		"stall_every=10,stall_for=15ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Spec{Seed: 9, IOPort: 2, RecvErrEvery: 4, RecvErrFirst: 5,
+		SendErrEvery: 6, SendErrFirst: 7, DropEvery: 8, DupEvery: 9,
+		StallEvery: 10, StallFor: 15 * time.Millisecond}
+	if s != want {
+		t.Fatalf("ParseSpec = %+v, want %+v", s, want)
+	}
+	if !s.IOEnabled() || !s.Enabled() {
+		t.Fatal("spec with I/O fault classes reports disabled")
+	}
+	var zero Spec
+	if zero.IOEnabled() {
+		t.Fatal("zero spec reports I/O enabled")
+	}
+}

@@ -3,6 +3,9 @@ package ctl
 import (
 	"fmt"
 	"strings"
+	"time"
+
+	pktio "hyper4/internal/runtime"
 )
 
 // CLI is the textual management interface — the command path of Figure 2(c):
@@ -140,7 +143,43 @@ func FormatRead(q *Query, res *ReadResult) string {
 			}
 			fmt.Fprintf(&b, "unattributed faults: %d", h.Unattributed)
 		}
+		for _, p := range res.PortHealth {
+			if b.Len() > 0 {
+				b.WriteByte('\n')
+			}
+			b.WriteString(formatPortHealth(p))
+		}
 		return b.String()
+	case "port_health":
+		if len(res.PortHealth) == 0 {
+			return "no ports attached"
+		}
+		lines := make([]string, len(res.PortHealth))
+		for i, p := range res.PortHealth {
+			lines[i] = formatPortHealth(p)
+		}
+		return strings.Join(lines, "\n")
+	case "dump":
+		return res.Dump
 	}
 	return ""
+}
+
+// formatPortHealth renders one port breaker line.
+func formatPortHealth(p pktio.PortHealth) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "port %d: %s %s errors=%d trips=%d", p.Port, p.Spec, p.State, p.WindowErrors, p.Trips)
+	if p.Detached {
+		b.WriteString(" detached")
+	}
+	if p.Reattaches > 0 {
+		fmt.Fprintf(&b, " reattaches=%d", p.Reattaches)
+	}
+	if p.RetryIn > 0 {
+		fmt.Fprintf(&b, " retry_in=%s", p.RetryIn.Round(time.Millisecond))
+	}
+	if p.LastError != "" {
+		fmt.Fprintf(&b, " last=%q", p.LastError)
+	}
+	return b.String()
 }

@@ -18,6 +18,10 @@ type PortIO interface {
 	AttachSpec(port int, spec string) error
 	Detach(port int) error
 	Ports() []pktio.PortInfo
+	// PortHealth reports the per-port breaker state (runtime/health.go);
+	// querying it also advances time-based breaker transitions, mirroring
+	// how the vdev health query drives the DPMU breakers.
+	PortHealth() []pktio.PortHealth
 }
 
 // Ctl is the control plane over one DPMU. All mutating paths — REPL lines,
@@ -42,6 +46,10 @@ type Ctl struct {
 	// ops twice. The ring keeps the last dedupWindow outcomes.
 	dedup     map[string]*writeOutcome
 	dedupRing []string
+
+	// journal, when non-nil, makes every applied batch durable before its
+	// ack (journal.go). Wired by AttachJournal during boot. Guarded by wmu.
+	journal *Journal
 
 	events *hub
 }
@@ -74,10 +82,19 @@ func (c *Ctl) Close() { c.events.close() }
 
 // Apply validates and applies one op as owner. Single ops need no
 // checkpoint: every DPMU operation already cleans up its own partial rows on
-// failure, so the op is atomic by itself.
+// failure, so the op is atomic by itself. With a journal attached the op
+// routes through the batch path instead, so it is journaled (and rolled
+// back if the journal append fails) exactly like a one-op WriteBatch.
 func (c *Ctl) Apply(owner string, op *Op) (Result, error) {
 	c.wmu.Lock()
 	defer c.wmu.Unlock()
+	if c.journal != nil {
+		results, err := c.writeBatchLocked(owner, "", []Op{*op})
+		if err != nil {
+			return Result{}, err
+		}
+		return results[0], nil
+	}
 	res, err := c.applyOp(owner, op)
 	if err != nil {
 		return Result{}, wrap(err, -1)
@@ -110,7 +127,7 @@ func (c *Ctl) WriteBatchID(owner, requestID string, ops []Op) ([]Result, error) 
 			return prev.results, nil
 		}
 	}
-	results, err := c.writeBatchLocked(owner, ops)
+	results, err := c.writeBatchLocked(owner, requestID, ops)
 	if requestID != "" {
 		out := &writeOutcome{results: results}
 		if err != nil {
@@ -126,10 +143,15 @@ func (c *Ctl) WriteBatchID(owner, requestID string, ops []Op) ([]Result, error) 
 	return results, err
 }
 
-func (c *Ctl) writeBatchLocked(owner string, ops []Op) ([]Result, error) {
+func (c *Ctl) writeBatchLocked(owner, requestID string, ops []Op) ([]Result, error) {
 	for i := range ops {
 		if err := validateOp(&ops[i]); err != nil {
 			return nil, wrap(err, i)
+		}
+		if c.journal != nil && ops[i].Parsed {
+			// A pre-parsed op's match/arg values don't serialize (they are
+			// in-process forms); journaling one would replay wrongly.
+			return nil, wrap(invalidf("pre-parsed ops cannot be journaled; send textual match/args"), i)
 		}
 	}
 	cp := c.D.Checkpoint()
@@ -153,6 +175,18 @@ func (c *Ctl) writeBatchLocked(owner string, ops []Op) ([]Result, error) {
 			attached = append(attached, ops[i].PhysPort)
 		}
 		results[i] = res
+	}
+	// Durability before ack: the batch journals (append + fsync) after it
+	// applied and before the caller sees success. A journal failure undoes
+	// the batch — an ack must never outrun the log.
+	if c.journal != nil {
+		if jerr := c.journalAppliedLocked(owner, requestID, ops); jerr != nil {
+			c.D.Rollback(cp)
+			for _, p := range attached {
+				_ = c.IO.Detach(p)
+			}
+			return nil, &Error{Code: CodeInternal, Op: -1, Msg: jerr.Error()}
+		}
 	}
 	for i := range ops {
 		c.publishOp(&ops[i], results[i])
@@ -228,6 +262,13 @@ type ReadResult struct {
 	Findings  []verify.Finding     `json:"findings,omitempty"`
 	Fuse      *dpmu.FusionStatus   `json:"fuse,omitempty"`
 	Ports     []pktio.PortInfo     `json:"ports,omitempty"`
+	// PortHealth carries the per-port breaker snapshots for the
+	// "port_health" query (and rides along on "health" when I/O is wired).
+	PortHealth []pktio.PortHealth `json:"port_health,omitempty"`
+	// Dump is the deterministic control-plane state dump (hits zeroed): the
+	// crash-recovery parity artifact. Identical control histories produce
+	// byte-identical dumps regardless of traffic carried.
+	Dump string `json:"dump,omitempty"`
 	// Linted marks a lint result so "clean" (no findings) renders
 	// distinguishably from a non-lint result.
 	Linted bool `json:"linted,omitempty"`
@@ -261,7 +302,22 @@ func (c *Ctl) Read(owner string, q *Query) (*ReadResult, error) {
 			}
 			return nil, wrap(fmt.Errorf("no health record for %q: %w", q.VDev, dpmu.ErrNotFound), -1)
 		}
-		return &ReadResult{Health: &snap}, nil
+		out := &ReadResult{Health: &snap}
+		if c.IO != nil {
+			out.PortHealth = c.IO.PortHealth()
+		}
+		return out, nil
+	case "port_health":
+		if c.IO == nil {
+			return &ReadResult{}, nil
+		}
+		return &ReadResult{PortHealth: c.IO.PortHealth()}, nil
+	case "dump":
+		d, err := c.D.DumpControl()
+		if err != nil {
+			return nil, wrap(err, -1)
+		}
+		return &ReadResult{Dump: d}, nil
 	case "lint":
 		// The read-only face of the verifier: the same findings the verify
 		// op gates on, never failing, so operators can inspect a live

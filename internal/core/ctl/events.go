@@ -11,10 +11,11 @@ import (
 // without gaps.
 type Event struct {
 	Seq  int64  `json:"seq"`
-	Kind string `json:"kind"` // "load", "unload", "snapshot_activate", "health", "health_reset", "port_attach", "port_detach"
+	Kind string `json:"kind"` // "load", "unload", "snapshot_activate", "health", "health_reset", "port_attach", "port_detach", "port_health"
 	VDev string `json:"vdev,omitempty"`
-	Name string `json:"name,omitempty"` // snapshot name
-	Msg  string `json:"msg,omitempty"`  // for "health": the new breaker state
+	Name string `json:"name,omitempty"` // snapshot name; transport spec for port events
+	Msg  string `json:"msg,omitempty"`  // for "health"/"port_health": the new breaker state
+	Port int    `json:"port,omitempty"` // for port events: the physical port
 }
 
 // eventBuffer bounds the replay window; a client further behind than this
@@ -113,10 +114,18 @@ func (c *Ctl) publishOp(op *Op, res Result) {
 	case OpHealthReset:
 		c.events.publish(Event{Kind: "health_reset", VDev: op.VDev})
 	case OpPortAttach:
-		c.events.publish(Event{Kind: "port_attach", Name: op.Spec, Msg: res.Msg})
+		c.events.publish(Event{Kind: "port_attach", Name: op.Spec, Msg: res.Msg, Port: op.PhysPort})
 	case OpPortDetach:
-		c.events.publish(Event{Kind: "port_detach", Msg: res.Msg})
+		c.events.publish(Event{Kind: "port_detach", Msg: res.Msg, Port: op.PhysPort})
 	}
+}
+
+// PublishPortHealth surfaces a port-breaker transition on the event stream.
+// The I/O runtime has no reference to the Ctl, so the switch binary bridges
+// them at wiring time: rt.SetHealthNotify(func(ph) {
+// ctl.PublishPortHealth(ph.Port, ph.Spec, string(ph.State)) }).
+func (c *Ctl) PublishPortHealth(port int, spec, state string) {
+	c.events.publish(Event{Kind: "port_health", Port: port, Name: spec, Msg: state})
 }
 
 // Events returns every event with Seq > since and the current head seq,

@@ -1,0 +1,231 @@
+package ctl
+
+import (
+	"bytes"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// journalScript is the canonical journaled workload: a loaded device,
+// populated tables, virtual wiring, and a traffic assignment — every op
+// class the journal must reconstruct.
+const journalScript = `
+load l2 l2_switch
+l2 table_add smac _nop 00:00:00:00:00:01 =>
+l2 table_add dmac forward 00:00:00:00:00:01 => 1
+l2 table_add dmac forward 00:00:00:00:00:02 => 2
+map l2 1 1
+map l2 2 2
+assign 1 l2 1
+`
+
+// journaledCtl builds a persona control plane journaling into dir.
+func journaledCtl(t *testing.T, dir string, every int) (*Ctl, RecoverySummary) {
+	t.Helper()
+	c := newPersonaCtl(t)
+	j, err := OpenJournal(dir, every)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum, err := c.AttachJournal(j)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, sum
+}
+
+func mustDump(t *testing.T, c *Ctl) string {
+	t.Helper()
+	d, err := c.D.DumpControl()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+// TestJournalFraming covers the record codec: round trip, torn header, torn
+// payload, corrupted CRC, and a clean EOF at a frame boundary.
+func TestJournalFraming(t *testing.T) {
+	var buf bytes.Buffer
+	payloads := [][]byte{[]byte(`{"seq":1}`), []byte(`{"seq":2,"ops":[]}`)}
+	for _, p := range payloads {
+		if err := writeFrame(&buf, p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	whole := append([]byte(nil), buf.Bytes()...)
+
+	r := bytes.NewReader(whole)
+	for i, want := range payloads {
+		got, err := readFrame(r)
+		if err != nil || !bytes.Equal(got, want) {
+			t.Fatalf("frame %d: %q, %v", i, got, err)
+		}
+	}
+	if _, err := readFrame(r); err != io.EOF {
+		t.Fatalf("clean boundary: %v, want io.EOF", err)
+	}
+
+	// Every mid-frame cut is torn, not EOF.
+	for cut := 1; cut < len(whole); cut++ {
+		if cut == 8+len(payloads[0]) {
+			continue // that's the clean boundary between the two frames
+		}
+		r := bytes.NewReader(whole[:cut])
+		var err error
+		for err == nil {
+			_, err = readFrame(r)
+		}
+		if err != errTorn {
+			t.Fatalf("cut at %d: %v, want errTorn", cut, err)
+		}
+	}
+
+	// A flipped payload bit breaks the CRC.
+	corrupt := append([]byte(nil), whole...)
+	corrupt[10] ^= 0x01
+	if _, err := readFrame(bytes.NewReader(corrupt)); err != errTorn {
+		t.Fatalf("corrupted CRC: %v, want errTorn", err)
+	}
+}
+
+// TestJournalKillRecoverDifferential is the crash-consistency acceptance
+// test: run a workload under live traffic, die mid-append (a torn record on
+// the log tail), recover, and compare against a twin that never crashed —
+// the control-state dumps must be byte-identical.
+func TestJournalKillRecoverDifferential(t *testing.T) {
+	dir := t.TempDir()
+	victim, sum := journaledCtl(t, dir, 1000) // no rotation: pure log replay
+	if sum.SnapshotSeq != 0 || sum.Replayed != 0 {
+		t.Fatalf("fresh journal recovered state: %+v", sum)
+	}
+	if err := NewCLI(victim, "op").ExecAll(journalScript); err != nil {
+		t.Fatal(err)
+	}
+	// Live traffic before the crash: recovery parity must not depend on hit
+	// counters (DumpControl zeroes them).
+	for i := 0; i < 7; i++ {
+		if _, _, err := victim.D.SW.Process(tcpFrame(80), 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// SIGKILL mid-append: the process dies with a partial frame on the log.
+	// The victim Ctl is simply abandoned — nothing flushes, nothing closes.
+	f, err := os.OpenFile(filepath.Join(dir, walName), os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte{0xde, 0xad, 0xbe}); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	recovered, sum := journaledCtl(t, dir, 1000)
+	if !sum.Truncated {
+		t.Fatal("torn final record not truncated")
+	}
+	if sum.Replayed == 0 || len(sum.Warnings) != 0 {
+		t.Fatalf("recovery: %+v", sum)
+	}
+
+	twin := newPersonaCtl(t)
+	if err := NewCLI(twin, "op").ExecAll(journalScript); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := mustDump(t, recovered), mustDump(t, twin); got != want {
+		t.Fatalf("recovered state diverges from the never-crashed twin:\n--- recovered ---\n%s\n--- twin ---\n%s", got, want)
+	}
+
+	// The recovered instance keeps journaling: a post-recovery write lands
+	// after the truncated tail and survives a second recovery.
+	if _, err := NewCLI(recovered, "op").Exec("load fw firewall"); err != nil {
+		t.Fatal(err)
+	}
+	again, sum := journaledCtl(t, dir, 1000)
+	if sum.Truncated {
+		t.Fatalf("second recovery saw a torn record: %+v", sum)
+	}
+	if out, err := NewCLI(again, "op").Exec("vdevs"); err != nil || out != "fw l2" {
+		t.Fatalf("vdevs after second recovery = %q, %v", out, err)
+	}
+}
+
+// TestJournalRetryAfterCrashAppliesOnce: a client retrying an acked batch
+// after the switch crashed must hit the journaled dedup outcome, not apply
+// the ops again.
+func TestJournalRetryAfterCrashAppliesOnce(t *testing.T) {
+	dir := t.TempDir()
+	victim, _ := journaledCtl(t, dir, 1000)
+	ops := []Op{{Kind: OpLoadVDev, VDev: "l2", Function: "l2_switch"}}
+	if _, err := victim.WriteBatchID("op", "req-1", ops); err != nil {
+		t.Fatal(err)
+	}
+	// Crash (abandon) and recover.
+	recovered, sum := journaledCtl(t, dir, 1000)
+	if sum.Replayed != 1 {
+		t.Fatalf("replayed %d batches, want 1", sum.Replayed)
+	}
+	// The retry succeeds by replaying the remembered outcome — a real
+	// re-apply would fail ALREADY_EXISTS because l2 is already loaded.
+	results, err := recovered.WriteBatchID("op", "req-1", ops)
+	if err != nil {
+		t.Fatalf("retried batch after recovery: %v", err)
+	}
+	if len(results) != 1 {
+		t.Fatalf("replayed outcome has %d results, want 1", len(results))
+	}
+	if out, _ := NewCLI(recovered, "op").Exec("vdevs"); out != "l2" {
+		t.Fatalf("vdevs = %q, want exactly one l2", out)
+	}
+}
+
+// TestJournalSnapshotRotation: with snapshotEvery=2 a 7-op workload rotates
+// into a snapshot plus a short tail, and recovery = snapshot restore + tail
+// replay, byte-identical to the twin.
+func TestJournalSnapshotRotation(t *testing.T) {
+	dir := t.TempDir()
+	victim, _ := journaledCtl(t, dir, 2)
+	if err := NewCLI(victim, "op").ExecAll(journalScript); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, snapName)); err != nil {
+		t.Fatalf("no snapshot after rotation: %v", err)
+	}
+
+	recovered, sum := journaledCtl(t, dir, 2)
+	if sum.SnapshotSeq != 6 {
+		t.Fatalf("SnapshotSeq = %d, want 6 (7 ops, rotation every 2)", sum.SnapshotSeq)
+	}
+	if sum.Replayed != 1 {
+		t.Fatalf("Replayed = %d, want 1 (the tail past the snapshot)", sum.Replayed)
+	}
+	twin := newPersonaCtl(t)
+	if err := NewCLI(twin, "op").ExecAll(journalScript); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := mustDump(t, recovered), mustDump(t, twin); got != want {
+		t.Fatalf("snapshot+tail recovery diverges:\n--- recovered ---\n%s\n--- twin ---\n%s", got, want)
+	}
+}
+
+// TestJournalRejectsParsedOps: in-process pre-parsed ops carry values that
+// don't serialize; a journaled control plane must refuse them up front
+// rather than journal a record that would replay wrongly.
+func TestJournalRejectsParsedOps(t *testing.T) {
+	dir := t.TempDir()
+	c, _ := journaledCtl(t, dir, 1000)
+	if _, err := NewCLI(c, "op").Exec("load l2 l2_switch"); err != nil {
+		t.Fatal(err)
+	}
+	_, err := c.WriteBatch("op", []Op{{Kind: OpTableAdd, VDev: "l2", Table: "smac", Action: "_nop", Parsed: true}})
+	if err == nil {
+		t.Fatal("journaled ctl accepted a pre-parsed op")
+	}
+	if CodeOf(err) != CodeInvalidArgument || !strings.Contains(err.Error(), "journal") {
+		t.Fatalf("wrong rejection: %v", err)
+	}
+}

@@ -44,7 +44,9 @@ import (
 //	health [vdev]
 //	lint [vdev]
 //	fuse
+//	dump
 //	port list
+//	port health
 //
 // Match tokens use the emulated program's own field widths and kinds, in the
 // same syntax as internal/sim/runtime; they are parsed against the program
@@ -234,8 +236,13 @@ func ParseLine(line string) (*Op, *Query, error) {
 				return nil, nil, invalidf("port list takes no arguments")
 			}
 			return nil, &Query{Kind: "ports"}, nil
+		case "health":
+			if len(args) != 1 {
+				return nil, nil, invalidf("port health takes no arguments")
+			}
+			return nil, &Query{Kind: "port_health"}, nil
 		}
-		return nil, nil, invalidf("port wants attach|detach|list, got %q", args[0])
+		return nil, nil, invalidf("port wants attach|detach|list|health, got %q", args[0])
 
 	case "verify":
 		if len(args) > 1 {
@@ -256,6 +263,12 @@ func ParseLine(line string) (*Op, *Query, error) {
 			q.VDev = args[0]
 		}
 		return nil, q, nil
+
+	case "dump":
+		if len(args) != 0 {
+			return nil, nil, invalidf("dump takes no arguments")
+		}
+		return nil, &Query{Kind: "dump"}, nil
 
 	case "fuse":
 		if len(args) != 0 {

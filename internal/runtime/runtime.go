@@ -44,6 +44,15 @@ type Config struct {
 	// device lands on one worker and its breaker/health/metrics state stays
 	// worker-local.
 	ShardKey func(port int) int
+	// Health tunes the per-port circuit breakers (health.go). Zero fields
+	// take defaults.
+	Health HealthConfig
+	// TransportFactory builds transports from textual specs for AttachSpec
+	// and for quarantine auto-reattach (so reattached transports come back
+	// through the same wrapping). Defaults to NewTransport; hp4switch points
+	// it at a chaos.TransportInjector under -chaos-io, tests at scripted
+	// fakes. The port number is passed for per-port fault filters.
+	TransportFactory func(port int, spec string) (Transport, error)
 }
 
 // burst is how many frames a worker or TX loop moves per ring visit before
@@ -123,6 +132,8 @@ type Runtime struct {
 	procErrs      atomic.Uint64
 	unrouted      atomic.Uint64
 	drainTimeouts atomic.Uint64
+
+	health ioHealth
 }
 
 // New builds a runtime over a processor. Start launches the workers; ports
@@ -137,7 +148,14 @@ func New(proc Processor, cfg Config) *Runtime {
 	if cfg.ShardKey == nil {
 		cfg.ShardKey = func(port int) int { return port }
 	}
+	if cfg.TransportFactory == nil {
+		cfg.TransportFactory = func(_ int, spec string) (Transport, error) { return NewTransport(spec) }
+	}
+	cfg.Health = cfg.Health.sanitize()
 	rt := &Runtime{cfg: cfg, proc: proc, stop: make(chan struct{})}
+	rt.health.cfg = cfg.Health
+	rt.health.now = time.Now
+	rt.health.recs = map[int]*portHealthRec{}
 	rt.batch, _ = proc.(BatchProcessor)
 	rt.wake = make([]chan struct{}, cfg.Workers)
 	for i := range rt.wake {
@@ -162,16 +180,35 @@ func (rt *Runtime) Start() {
 	for w := 0; w < rt.cfg.Workers; w++ {
 		go rt.worker(w)
 	}
+	if rt.cfg.Health.SyncEvery > 0 {
+		go rt.healthSyncer(rt.cfg.Health.SyncEvery)
+	}
 }
 
+// newTransport builds a transport from a spec through the configured
+// factory.
+func (rt *Runtime) newTransport(portNum int, spec string) (Transport, error) {
+	return rt.cfg.TransportFactory(portNum, spec)
+}
+
+// attach origins: an operator attach resets the port's breaker (manual
+// override); a health-driven reattach leaves the record to tryReattach,
+// which moves it to probing.
+const (
+	attachWire = iota // operator, spec-built (reattachable)
+	attachChan        // operator, programmatic transport (never auto-dropped)
+	attachReattach
+)
+
 // AttachSpec parses a transport spec and attaches it to a port — the
-// control plane's "port attach" op.
+// control plane's "port attach" op. Attaching over a quarantine-parked port
+// is a manual override: it resets the breaker.
 func (rt *Runtime) AttachSpec(portNum int, spec string) error {
-	tr, err := NewTransport(spec)
+	tr, err := rt.newTransport(portNum, spec)
 	if err != nil {
 		return err
 	}
-	if err := rt.attach(portNum, spec, tr); err != nil {
+	if err := rt.attach(portNum, spec, tr, attachWire); err != nil {
 		tr.Close()
 		return err
 	}
@@ -181,10 +218,10 @@ func (rt *Runtime) AttachSpec(portNum int, spec string) error {
 // Attach binds an already-built transport (e.g. a ChanTransport endpoint)
 // to a port and starts its RX/TX loops.
 func (rt *Runtime) Attach(portNum int, tr Transport) error {
-	return rt.attach(portNum, "chan", tr)
+	return rt.attach(portNum, "chan", tr, attachChan)
 }
 
-func (rt *Runtime) attach(portNum int, spec string, tr Transport) error {
+func (rt *Runtime) attach(portNum int, spec string, tr Transport, origin int) error {
 	rt.mu.Lock()
 	defer rt.mu.Unlock()
 	if rt.closed {
@@ -210,6 +247,9 @@ func (rt *Runtime) attach(portNum int, spec string, tr Transport) error {
 		p.tx[w] = newRing(rt.cfg.RingSize)
 	}
 	rt.ports.Store(pm.withAttached(p))
+	if origin != attachReattach {
+		rt.health.onAttach(portNum, spec, origin == attachWire)
+	}
 	go rt.rxLoop(p)
 	go rt.txLoop(p)
 	return nil
@@ -219,7 +259,22 @@ func (rt *Runtime) attach(portNum int, spec string, tr Transport) error {
 // backlog is still processed, its egress backlog still transmitted), closes
 // the transport, and removes the port. Safe under live traffic; frames
 // routed to the port during the drain window count as unrouted drops.
+// Detaching a quarantine-parked port (already off the active list) cancels
+// its pending auto-reattach.
 func (rt *Runtime) Detach(portNum int) error {
+	if err := rt.detachPort(portNum); err != nil {
+		if errors.Is(err, ErrNoPort) && rt.health.forgetParked(portNum) {
+			return nil
+		}
+		return err
+	}
+	rt.health.forget(portNum)
+	return nil
+}
+
+// detachPort is the drain-ordered teardown machinery shared by operator
+// Detach and quarantine enforcement; it does not touch breaker records.
+func (rt *Runtime) detachPort(portNum int) error {
 	rt.mu.Lock()
 	if rt.closed {
 		rt.mu.Unlock()
@@ -366,6 +421,7 @@ func (rt *Runtime) shardOf(portNum int) int {
 func (rt *Runtime) rxLoop(p *port) {
 	defer close(p.rxDone)
 	var f Frame
+	var errDelay time.Duration
 	for {
 		if err := p.tr.Recv(&f); err != nil {
 			if p.rxStop.Load() || err == ErrClosed {
@@ -377,11 +433,23 @@ func (rt *Runtime) rxLoop(p *port) {
 				// them must not throttle the port.
 				continue
 			}
-			// Transient receive error: drop and keep listening, without
-			// spinning hot on a persistent one.
-			time.Sleep(time.Millisecond)
+			rt.health.noteError(p.num, errKindRecv, err)
+			// Transient receive error: drop and keep listening, with a
+			// per-port backoff that doubles while errors persist so a
+			// permanently failing socket cannot burn a core, and resets on
+			// the first successful receive.
+			if errDelay == 0 {
+				errDelay = rt.cfg.Health.RecvErrBase
+			} else if errDelay < rt.cfg.Health.RecvErrMax {
+				errDelay *= 2
+				if errDelay > rt.cfg.Health.RecvErrMax {
+					errDelay = rt.cfg.Health.RecvErrMax
+				}
+			}
+			time.Sleep(errDelay)
 			continue
 		}
+		errDelay = 0
 		f.Port = p.num
 		p.rxFrames.Add(1)
 		w := rt.shardOf(p.num)
@@ -529,6 +597,11 @@ func (rt *Runtime) txLoop(p *port) {
 				worked = true
 				if err := p.tr.Send(f); err != nil {
 					p.txErrors.Add(1)
+					// ErrNoPeer (reply mode before any ingress) is an
+					// addressing gap, not a wire fault; closed is teardown.
+					if err != ErrClosed && !errors.Is(err, ErrNoPeer) {
+						rt.health.noteError(p.num, errKindSend, err)
+					}
 					continue
 				}
 				p.txFrames.Add(1)
