@@ -180,7 +180,7 @@ func (c *Ctl) writeBatchLocked(owner, requestID string, ops []Op) ([]Result, err
 	// applied and before the caller sees success. A journal failure undoes
 	// the batch — an ack must never outrun the log.
 	if c.journal != nil {
-		if jerr := c.journalAppliedLocked(owner, requestID, ops); jerr != nil {
+		if jerr := c.journalAppliedLocked(owner, requestID, ops, results); jerr != nil {
 			c.D.Rollback(cp)
 			for _, p := range attached {
 				_ = c.IO.Detach(p)

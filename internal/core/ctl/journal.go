@@ -63,10 +63,16 @@ const (
 type Journal struct {
 	dir           string
 	wal           *os.File
+	walSize       int64  // bytes of complete frames in the log
 	seq           uint64 // last sequence appended (snapshot or record)
 	snapSeq       uint64 // sequence the on-disk snapshot covers
 	recsSinceSnap int
 	snapshotEvery int
+	// failed, once set, fail-stops the journal: a partial append could not
+	// be removed from the log, so the "a torn frame is always the final
+	// record" invariant recovery relies on cannot be guaranteed for further
+	// appends. Every subsequent append (and hence every ack) is refused.
+	failed error
 }
 
 // journalRecord is one applied batch.
@@ -173,14 +179,27 @@ func readFrame(r io.Reader) ([]byte, error) {
 // --- append path ---
 
 // appendBatch journals one applied batch and fsyncs before returning; the
-// caller acks the client only on nil. Called under c.wmu.
+// caller acks the client only on nil. A failed append is undone: the log is
+// truncated back to the last complete frame, so a torn frame can only ever
+// be the final record — later acked batches never land beyond torn bytes,
+// which recovery's truncate-at-first-tear would silently discard. Called
+// under c.wmu.
 func (j *Journal) appendBatch(owner, requestID string, ops []Op) error {
+	if j.failed != nil {
+		return j.failed
+	}
 	if j.wal == nil {
 		f, err := os.OpenFile(filepath.Join(j.dir, walName), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 		if err != nil {
 			return fmt.Errorf("journal: open log: %w", err)
 		}
+		st, err := f.Stat()
+		if err != nil {
+			f.Close()
+			return fmt.Errorf("journal: stat log: %w", err)
+		}
 		j.wal = f
+		j.walSize = st.Size()
 	}
 	j.seq++
 	payload, err := json.Marshal(journalRecord{Seq: j.seq, Owner: owner, RequestID: requestID, Ops: ops})
@@ -189,13 +208,30 @@ func (j *Journal) appendBatch(owner, requestID string, ops []Op) error {
 		return fmt.Errorf("journal: encode: %w", err)
 	}
 	if err := writeFrame(j.wal, payload); err != nil {
+		j.seq--
+		j.undoAppend()
 		return fmt.Errorf("journal: append: %w", err)
 	}
 	if err := j.wal.Sync(); err != nil {
+		j.seq--
+		j.undoAppend()
 		return fmt.Errorf("journal: fsync: %w", err)
 	}
+	j.walSize += int64(8 + len(payload))
 	j.recsSinceSnap++
 	return nil
+}
+
+// undoAppend removes whatever a failed append left on the log, truncating
+// back to the last complete frame (j.walSize). If the truncate itself fails
+// the torn bytes cannot be removed and the journal goes fail-stop — better
+// to refuse all further writes than to ack batches recovery would discard.
+func (j *Journal) undoAppend() {
+	if err := j.wal.Truncate(j.walSize); err != nil {
+		j.failed = fmt.Errorf("journal: fail-stop: partial append could not be removed from the log: %v", err)
+		return
+	}
+	_ = j.wal.Sync()
 }
 
 // snapshot writes snap.bin atomically (tmp + rename + dir fsync) and
@@ -234,6 +270,7 @@ func (j *Journal) snapshot(snap journalSnapshot) error {
 	if err := os.Truncate(filepath.Join(j.dir, walName), 0); err != nil && !os.IsNotExist(err) {
 		return fmt.Errorf("journal: truncate log: %w", err)
 	}
+	j.walSize = 0
 	j.snapSeq = snap.Seq
 	j.recsSinceSnap = 0
 	return nil
@@ -405,8 +442,11 @@ func (c *Ctl) rememberOutcome(id string, out *writeOutcome) {
 // then rotate if due. An append failure is returned to the caller (which
 // rolls the batch back — the ack must never outrun the journal); a rotation
 // failure only warns, since the appended record already preserves the
-// batch.
-func (c *Ctl) journalAppliedLocked(owner, requestID string, ops []Op) error {
+// batch. results is the in-flight batch's outcome: it is not in the dedup
+// ring yet (WriteBatchID stores it only after the batch returns), so a
+// rotation triggered by this very batch must fold it into the snapshot
+// explicitly or the client's post-crash retry would re-apply the batch.
+func (c *Ctl) journalAppliedLocked(owner, requestID string, ops []Op, results []Result) error {
 	j := c.journal
 	if err := j.appendBatch(owner, requestID, ops); err != nil {
 		return err
@@ -420,16 +460,32 @@ func (c *Ctl) journalAppliedLocked(owner, requestID string, ops []Op) error {
 	}
 	snap := journalSnapshot{Seq: j.seq, State: state}
 	if c.IO != nil {
+		seen := map[int]bool{}
 		for _, p := range c.IO.Ports() {
 			if p.Spec == "chan" {
 				continue // programmatic transports cannot be rebuilt from a spec
 			}
+			seen[p.Port] = true
 			snap.Ports = append(snap.Ports, journalPort{Port: p.Port, Spec: p.Spec})
+		}
+		// Quarantine-parked wire ports are detached — absent from the
+		// active list — but their attach was acked and auto-reattach is
+		// pending, so the snapshot must remember them too: rotation
+		// truncates their attach record out of the WAL.
+		for _, ph := range c.IO.PortHealth() {
+			if ph.Wire && ph.Detached && !seen[ph.Port] {
+				snap.Ports = append(snap.Ports, journalPort{Port: ph.Port, Spec: ph.Spec})
+			}
 		}
 	}
 	for _, id := range c.dedupRing {
 		out := c.dedup[id]
 		snap.Dedup = append(snap.Dedup, journalDedup{ID: id, Results: out.results, Err: out.err})
+	}
+	if requestID != "" {
+		// The batch that triggered this rotation applied cleanly; remember
+		// its outcome alongside the ring's.
+		snap.Dedup = append(snap.Dedup, journalDedup{ID: requestID, Results: results})
 	}
 	_ = j.snapshot(snap) // failure tolerated: the log still has everything
 	return nil

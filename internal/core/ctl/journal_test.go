@@ -7,6 +7,8 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	pktio "hyper4/internal/runtime"
 )
 
 // journalScript is the canonical journaled workload: a loaded device,
@@ -209,6 +211,169 @@ func TestJournalSnapshotRotation(t *testing.T) {
 	}
 	if got, want := mustDump(t, recovered), mustDump(t, twin); got != want {
 		t.Fatalf("snapshot+tail recovery diverges:\n--- recovered ---\n%s\n--- twin ---\n%s", got, want)
+	}
+}
+
+// TestJournalRotationRemembersInFlightRequestID: a rotation triggered by a
+// batch runs inside writeBatchLocked, before WriteBatchID stores that
+// batch's outcome in the dedup ring — but the rotation truncates the WAL
+// record carrying the batch's request ID, so the snapshot itself must fold
+// the in-flight outcome in. Otherwise a crash right after the rotation
+// makes the client's retry re-apply an already-applied batch.
+func TestJournalRotationRemembersInFlightRequestID(t *testing.T) {
+	dir := t.TempDir()
+	victim, _ := journaledCtl(t, dir, 1) // every batch rotates
+	ops := []Op{{Kind: OpLoadVDev, VDev: "l2", Function: "l2_switch"}}
+	if _, err := victim.WriteBatchID("op", "req-1", ops); err != nil {
+		t.Fatal(err)
+	}
+	// Crash (abandon) and recover: the snapshot covers the only batch, the
+	// WAL holds nothing.
+	recovered, sum := journaledCtl(t, dir, 1)
+	if sum.SnapshotSeq != 1 {
+		t.Fatalf("SnapshotSeq = %d, want 1 (rotation on the only batch)", sum.SnapshotSeq)
+	}
+	// The retry must replay the snapshotted outcome — a real re-apply would
+	// fail ALREADY_EXISTS because l2 is already loaded.
+	results, err := recovered.WriteBatchID("op", "req-1", ops)
+	if err != nil {
+		t.Fatalf("retry after crash re-applied the batch: %v", err)
+	}
+	if len(results) != 1 {
+		t.Fatalf("replayed outcome has %d results, want 1", len(results))
+	}
+	if out, _ := NewCLI(recovered, "op").Exec("vdevs"); out != "l2" {
+		t.Fatalf("vdevs = %q, want exactly one l2", out)
+	}
+}
+
+// TestJournalAppendFailureLeavesCleanTail: a failed append must not leave
+// its partial frame mid-WAL — later acked batches would land beyond it and
+// recovery's truncate-at-first-tear would silently discard them. The undo
+// path truncates the log back to the last complete frame.
+func TestJournalAppendFailureLeavesCleanTail(t *testing.T) {
+	dir := t.TempDir()
+	c, _ := journaledCtl(t, dir, 1000)
+	cli := NewCLI(c, "op")
+	if _, err := cli.Exec("load l2 l2_switch"); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate what a mid-frame append failure (transient ENOSPC, say)
+	// leaves on the log, then run the undo appendBatch runs on failure.
+	j := c.journal
+	if _, err := j.wal.Write([]byte{0xde, 0xad, 0xbe}); err != nil {
+		t.Fatal(err)
+	}
+	j.undoAppend()
+	if j.failed != nil {
+		t.Fatalf("undo on a healthy file fail-stopped the journal: %v", j.failed)
+	}
+	// The next acked batch lands after a clean tail; recovery loses nothing
+	// and sees no tear.
+	if _, err := cli.Exec("load fw firewall"); err != nil {
+		t.Fatal(err)
+	}
+	recovered, sum := journaledCtl(t, dir, 1000)
+	if sum.Truncated {
+		t.Fatal("recovery saw a torn record after a cleanly undone append")
+	}
+	if sum.Replayed != 2 {
+		t.Fatalf("Replayed = %d, want 2 (both acked batches)", sum.Replayed)
+	}
+	if out, _ := NewCLI(recovered, "op").Exec("vdevs"); out != "fw l2" {
+		t.Fatalf("vdevs = %q, want both acked loads", out)
+	}
+}
+
+// TestJournalFailStopWhenUndoImpossible: if a failed append's torn bytes
+// cannot be removed (the truncate fails too), the journal must refuse all
+// further writes — acking batches it cannot durably order behind the tear
+// would hand recovery a log it silently truncates.
+func TestJournalFailStopWhenUndoImpossible(t *testing.T) {
+	dir := t.TempDir()
+	c, _ := journaledCtl(t, dir, 1000)
+	cli := NewCLI(c, "op")
+	if _, err := cli.Exec("load l2 l2_switch"); err != nil {
+		t.Fatal(err)
+	}
+	// Yank the disk out from under the WAL handle: the append's write and
+	// the undo's truncate both fail.
+	c.journal.wal.Close()
+	if _, err := cli.Exec("load fw firewall"); err == nil {
+		t.Fatal("acked a batch the journal could not append")
+	}
+	if c.journal.failed == nil {
+		t.Fatal("journal did not fail-stop after an unremovable partial append")
+	}
+	// The failed batch rolled back, and the journal stays failed.
+	if out, _ := cli.Exec("vdevs"); out != "l2" {
+		t.Fatalf("rolled-back batch visible: vdevs = %q", out)
+	}
+	if _, err := cli.Exec("load fw firewall"); err == nil {
+		t.Fatal("fail-stopped journal acked a batch")
+	}
+}
+
+// TestJournalSnapshotIncludesParkedPorts: a wire port parked by quarantine
+// is absent from the active port list, but its attach was acked and an
+// auto-reattach is pending. A rotation while it is parked truncates its
+// attach record out of the WAL, so the snapshot must carry the parked spec
+// — otherwise a crash loses the port forever.
+func TestJournalSnapshotIncludesParkedPorts(t *testing.T) {
+	dir := t.TempDir()
+	bi, client := newBreakerInstance(t)
+	j, err := OpenJournal(dir, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := bi.c.AttachJournal(j); err != nil {
+		t.Fatal(err)
+	}
+
+	// Batch 1: attach the flaky wire, then let the breaker park it. The
+	// fake clock is frozen, so no reattach attempt fires.
+	if _, err := client.Write([]Op{{Kind: OpPortAttach, PhysPort: 7, Spec: "fake:wan"}}); err != nil {
+		t.Fatal(err)
+	}
+	waitForCond(t, func() bool {
+		phs := bi.rt.PortHealth()
+		return len(phs) == 1 && phs[0].State == pktio.PortQuarantined && phs[0].Detached
+	}, "breaker to park the wire port")
+	if n := len(bi.rt.Ports()); n != 0 {
+		t.Fatalf("parked port still on the active list (%d ports)", n)
+	}
+
+	// Batch 2 triggers the rotation while the port is parked.
+	if _, err := client.Write([]Op{{Kind: OpLoadVDev, VDev: "l2", Function: "l2_switch"}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, snapName)); err != nil {
+		t.Fatalf("no snapshot after rotation: %v", err)
+	}
+
+	// Crash (abandon) and recover into a fresh instance: the parked port's
+	// attach must come back from the snapshot.
+	bi2, _ := newBreakerInstance(t)
+	j2, err := OpenJournal(dir, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum, err := bi2.c.AttachJournal(j2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.SnapshotSeq != 2 || len(sum.Warnings) != 0 {
+		t.Fatalf("recovery: %+v", sum)
+	}
+	if sum.PortsAttached != 1 {
+		t.Fatalf("PortsAttached = %d, want the parked port back", sum.PortsAttached)
+	}
+	ports := bi2.rt.Ports()
+	if len(ports) != 1 || ports[0].Port != 7 || ports[0].Spec != "fake:wan" {
+		t.Fatalf("recovered ports: %+v", ports)
+	}
+	if out, _ := NewCLI(bi2.c, "op").Exec("vdevs"); out != "l2" {
+		t.Fatalf("vdevs = %q, want l2", out)
 	}
 }
 
