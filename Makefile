@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race lookup-race fuse-diff chaos-race chaos-smoke fuzz-smoke metrics-smoke api-smoke io-smoke crash-smoke chaos-io-race bench-smoke throughput analyze lint-smoke ci
+.PHONY: all build vet test race lookup-race fuse-diff chaos-race chaos-smoke fuzz-smoke metrics-smoke api-smoke io-smoke crash-smoke chaos-io-race bench-smoke throughput analyze lint-smoke prove-smoke ci
 
 all: ci
 
@@ -181,10 +181,26 @@ lint-smoke:
 	$(GO) run ./cmd/hp4lint -script examples/scripts/composition.txt
 	@echo lint smoke ok
 
+# Equivalence-prover smoke (DESIGN.md §16): every builtin and every shipped
+# guest .p4 must prove native = persona under a synthesized entry set, and a
+# deliberately planted LPM-priority translation bug must fail the lint (exit
+# 1, not a crash) with a replay-confirmed concrete counterexample — the
+# prover never cries wolf, so the planted finding must carry a witness packet
+# both concrete machines disagree on.
+prove-smoke:
+	$(GO) run ./cmd/hp4lint -prove -builtin l2_switch
+	$(GO) run ./cmd/hp4lint -prove -builtin firewall
+	$(GO) run ./cmd/hp4lint -prove -builtin router
+	$(GO) run ./cmd/hp4lint -prove -builtin arp_proxy
+	$(GO) run ./cmd/hp4lint -prove p4src/l2_switch.p4 p4src/firewall.p4 p4src/router.p4 p4src/arp_proxy.p4
+	$(GO) run ./cmd/hp4lint -prove -prove-skew -builtin router > /tmp/hp4prove-ci.out 2>&1; test $$? -eq 1
+	grep -q 'confirmed by replay' /tmp/hp4prove-ci.out
+	@echo prove smoke ok
+
 # Full serial-vs-parallel measurement; writes BENCH_throughput.json. The
 # -faults row measures the armed-but-idle fault-injection hooks, which must
 # sit within noise of the plain hp4 row.
 throughput:
 	$(GO) run ./cmd/hp4bench -parallel -faults
 
-ci: vet build analyze race lookup-race fuse-diff chaos-race chaos-smoke fuzz-smoke lint-smoke metrics-smoke api-smoke io-smoke crash-smoke chaos-io-race bench-smoke throughput
+ci: vet build analyze race lookup-race fuse-diff chaos-race chaos-smoke fuzz-smoke lint-smoke prove-smoke metrics-smoke api-smoke io-smoke crash-smoke chaos-io-race bench-smoke throughput

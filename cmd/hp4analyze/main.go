@@ -1,7 +1,10 @@
 // Command hp4analyze runs the repository's invariant analyzers
-// (internal/analysis: lockorder, hotpath) over Go package patterns. It is
-// wired into `make ci` so the lock-hierarchy doctrine and the hot-path
-// allocation rules are enforced on every change, not just remembered.
+// (internal/analysis: lockorder, hotpath, atomics) over Go package
+// patterns. It is wired into `make ci` so the lock-hierarchy doctrines,
+// the hot-path allocation rules and the atomic-access discipline are
+// enforced on every change, not just remembered. A package that fails to
+// load (including a broken build-tagged file) aborts the run with exit 2 —
+// analyzers must never silently pass on code they did not see.
 //
 // Usage:
 //
@@ -29,7 +32,7 @@ func main() {
 	}
 	flag.Parse()
 
-	all := []*analysis.Analyzer{analysis.Lockorder, analysis.Hotpath}
+	all := []*analysis.Analyzer{analysis.Lockorder, analysis.Hotpath, analysis.Atomics}
 	if *list {
 		for _, a := range all {
 			fmt.Printf("%-10s %s\n", a.Name, a.Doc)

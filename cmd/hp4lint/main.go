@@ -37,6 +37,7 @@ import (
 	"hyper4/internal/core/hp4c"
 	"hyper4/internal/core/persona"
 	"hyper4/internal/core/verify"
+	"hyper4/internal/core/verify/prove"
 	"hyper4/internal/functions"
 	"hyper4/internal/p4/hlir"
 	"hyper4/internal/p4/parser"
@@ -54,6 +55,9 @@ func run(argv []string, out, errOut *os.File) int {
 	prims := fs.Int("primitives", persona.Reference.Primitives, "persona primitives per action")
 	builtin := fs.String("builtin", "", "verify a built-in function: "+strings.Join(functions.Names(), ", "))
 	script := fs.String("script", "", "replay a management script and verify the resulting switch state")
+	doProve := fs.Bool("prove", false, "symbolically prove native = persona for each program under a synthesized entry set")
+	proveSkew := fs.Bool("prove-skew", false, "plant an LPM-priority translation bug before proving (prover self-test; implies a finding)")
+	proveSeed := fs.Int64("prove-seed", 7, "seed for the synthesized entry set -prove installs")
 	jsonOut := fs.Bool("json", false, "emit findings as JSON")
 	fs.Usage = func() {
 		fmt.Fprintln(errOut, "usage: hp4lint [-json] [-builtin <fn>] [-script cmds.txt] [foo.p4 ...]")
@@ -119,6 +123,14 @@ func run(argv []string, out, errOut *os.File) int {
 			f.VDev = t.label
 			findings = append(findings, f)
 		}
+		if *doProve {
+			fs, err := proveTarget(t.label, comp, cfg, *proveSeed, *proveSkew)
+			if err != nil {
+				fmt.Fprintf(errOut, "hp4lint: %s: prove: %v\n", t.label, err)
+				return 2
+			}
+			findings = append(findings, fs...)
+		}
 	}
 
 	if *script != "" {
@@ -163,6 +175,54 @@ func run(argv []string, out, errOut *os.File) int {
 // useful on programs the strict compiler refuses.
 func compileLenient(prog *hlir.Program, cfg persona.Config) (*hp4c.Compiled, error) {
 	return hp4c.Compile(prog, cfg)
+}
+
+// proveTarget runs the symbolic equivalence prover for one compiled program:
+// it loads the program into a fresh in-process persona DPMU, installs a
+// synthesized entry set plus the identity port window the prover's replay
+// harness expects, and proves native = persona over the whole modeled packet
+// space. skew plants the LPM-priority translation bug first, so the planted
+// run of `make prove-smoke` demonstrates a replay-confirmed counterexample.
+func proveTarget(label string, comp *hp4c.Compiled, cfg persona.Config, seed int64, skew bool) ([]verify.Finding, error) {
+	pers, err := persona.Generate(cfg)
+	if err != nil {
+		return nil, err
+	}
+	sw, err := sim.New("prove", pers.Program)
+	if err != nil {
+		return nil, err
+	}
+	d, err := dpmu.New(sw, pers)
+	if err != nil {
+		return nil, err
+	}
+	const owner = "hp4lint"
+	if _, err := d.Load(label, comp, owner, 0); err != nil {
+		return nil, err
+	}
+	d.SetTranslationSkew(skew)
+	for _, r := range prove.Synthesize(comp.Prog, seed) {
+		// Rows the DPMU rejects are simply absent on both sides.
+		_, _ = d.TableAdd(owner, label, dpmu.EntrySpec{
+			Table: r.Table, Action: r.Action, Params: r.Params, Args: r.Args, Priority: r.Priority,
+		})
+	}
+	d.SetTranslationSkew(false)
+	for p := 8; p < 16; p++ {
+		if err := d.AssignPort(owner, dpmu.Assignment{PhysPort: p, VDev: label, VIngress: p}); err != nil {
+			return nil, err
+		}
+	}
+	for vp := 1; vp < 16; vp++ {
+		if err := d.MapVPort(owner, label, vp, vp); err != nil {
+			return nil, err
+		}
+	}
+	res, err := d.Prove(owner, label, prove.Options{})
+	if err != nil {
+		return nil, err
+	}
+	return res.Findings, nil
 }
 
 // lintScript replays a management script against a fresh in-process persona

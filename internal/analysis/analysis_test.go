@@ -77,6 +77,19 @@ func TestLockorderFixture(t *testing.T) {
 	checkFixture(t, "hyper4/internal/analysis/testdata/lockfix", Lockorder)
 }
 
+// TestLockorderRuntimeFixture: the runtime doctrine — enforcement calls,
+// transport teardown and the runtime mutex are all flagged under the port
+// health leaf; the collect-then-act shape is not.
+func TestLockorderRuntimeFixture(t *testing.T) {
+	checkFixture(t, "hyper4/internal/analysis/testdata/runtimefix", Lockorder)
+}
+
+// TestLockorderCtlFixture: the ctl doctrine — journal I/O and the write
+// mutex are flagged under the event hub leaf; journal-then-publish is not.
+func TestLockorderCtlFixture(t *testing.T) {
+	checkFixture(t, "hyper4/internal/analysis/testdata/ctlfix", Lockorder)
+}
+
 // TestHotpathFixture: wall-clock reads, fmt and map allocation are flagged
 // in the root and the transitively hot helper; fmt.Errorf, the //hp4:allow
 // suppression and cold code are not.
@@ -84,15 +97,37 @@ func TestHotpathFixture(t *testing.T) {
 	checkFixture(t, "hyper4/internal/analysis/testdata/hotfix", Hotpath)
 }
 
+// TestAtomicsFixture: plain reads/writes of a field bumped via sync/atomic
+// are flagged; the atomic sites, the typed-atomic field and the reviewed
+// suppression are not.
+func TestAtomicsFixture(t *testing.T) {
+	checkFixture(t, "hyper4/internal/analysis/testdata/atomfix", Atomics)
+}
+
+// TestLoadBrokenPackageFails pins the loader's fatal-on-error behavior: a
+// target that does not compile must abort Load (so hp4analyze exits
+// non-zero) instead of being silently skipped.
+func TestLoadBrokenPackageFails(t *testing.T) {
+	_, err := Load("hyper4/internal/analysis/testdata/brokenfix")
+	if err == nil {
+		t.Fatal("Load succeeded on a package that does not compile")
+	}
+	if !strings.Contains(err.Error(), "brokenfix") {
+		t.Fatalf("error does not name the broken package: %v", err)
+	}
+}
+
 // TestProductionPackagesClean pins the acceptance criterion: the shipped
-// dpmu and sim packages carry no lockorder or hotpath findings (beyond the
-// reviewed //hp4:allow sites, which the framework drops before reporting).
+// dpmu, sim, runtime and ctl packages carry no lockorder, hotpath or
+// atomics findings (beyond the reviewed //hp4:allow sites, which the
+// framework drops before reporting).
 func TestProductionPackagesClean(t *testing.T) {
-	pkgs, err := Load("hyper4/internal/core/dpmu", "hyper4/internal/sim")
+	pkgs, err := Load("hyper4/internal/core/dpmu", "hyper4/internal/sim",
+		"hyper4/internal/runtime", "hyper4/internal/core/ctl")
 	if err != nil {
 		t.Fatalf("load: %v", err)
 	}
-	diags, err := Run(pkgs, []*Analyzer{Lockorder, Hotpath})
+	diags, err := Run(pkgs, []*Analyzer{Lockorder, Hotpath, Atomics})
 	if err != nil {
 		t.Fatalf("run: %v", err)
 	}

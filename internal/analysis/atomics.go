@@ -1,0 +1,95 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Atomics polices mixed atomic/plain access: a struct field whose address
+// is passed to a sync/atomic function anywhere in the package (the legacy
+// `atomic.AddUint64(&s.n, 1)` style) must never be read or written plainly
+// elsewhere — the plain access races with the atomic one, and the race
+// detector only catches it when the schedule cooperates. The production
+// tree's hot counters (ring cursors, sim.gen, the fastBox pointer, breaker
+// totals) have all migrated to the typed atomic.Uint64/Pointer forms, which
+// the type system makes unmixable; this analyzer keeps any future legacy
+// site honest. Reviewed exceptions carry `//hp4:allow atomics`.
+var Atomics = &Analyzer{
+	Name: "atomics",
+	Doc:  "flag plain reads/writes of fields that are accessed via sync/atomic elsewhere in the package",
+	Run:  runAtomics,
+}
+
+func runAtomics(pass *Pass) error {
+	// Pass 1: every field whose address is a direct &x.f argument to a
+	// sync/atomic call is an atomic field; remember one call site per field
+	// for the diagnostic, and exempt those selector nodes from pass 2.
+	atomicAt := map[*types.Var]token.Position{}
+	exempt := map[*ast.SelectorExpr]bool{}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if pkg, _ := stdlibCallee(pass, call); pkg != "sync/atomic" {
+				return true
+			}
+			for _, arg := range call.Args {
+				un, ok := arg.(*ast.UnaryExpr)
+				if !ok || un.Op != token.AND {
+					continue
+				}
+				sel, ok := un.X.(*ast.SelectorExpr)
+				if !ok {
+					continue
+				}
+				if f := selectedField(pass, sel); f != nil {
+					if _, seen := atomicAt[f]; !seen {
+						atomicAt[f] = pass.Fset.Position(call.Pos())
+					}
+					exempt[sel] = true
+				}
+			}
+			return true
+		})
+	}
+	if len(atomicAt) == 0 {
+		return nil
+	}
+
+	// Pass 2: any other selector resolving to an atomic field is a plain
+	// access — read or write, both race with the atomic side.
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok || exempt[sel] {
+				return true
+			}
+			f := selectedField(pass, sel)
+			if f == nil {
+				return true
+			}
+			at, ok := atomicAt[f]
+			if !ok {
+				return true
+			}
+			pass.Reportf(sel.Pos(), "non-atomic access to field %s, accessed via sync/atomic at %s:%d",
+				f.Name(), at.Filename, at.Line)
+			return true
+		})
+	}
+	return nil
+}
+
+// selectedField resolves a selector expression to the struct field it
+// names, or nil when it is not a field selection.
+func selectedField(pass *Pass, sel *ast.SelectorExpr) *types.Var {
+	s, ok := pass.TypesInfo.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal {
+		return nil
+	}
+	f, _ := s.Obj().(*types.Var)
+	return f
+}

@@ -33,6 +33,14 @@ type listedPkg struct {
 	GoFiles    []string
 	DepOnly    bool
 	Standard   bool
+	Incomplete bool
+	Error      *listedErr
+	DepsErrors []*listedErr
+}
+
+// listedErr is go list's JSON error shape.
+type listedErr struct {
+	Err string
 }
 
 // Load builds and type-checks the packages matching the patterns. Target
@@ -44,7 +52,7 @@ type listedPkg struct {
 // NeedSyntax|NeedTypes mode.
 func Load(patterns ...string) ([]*Package, error) {
 	args := append([]string{"list", "-e", "-deps", "-export",
-		"-json=ImportPath,Dir,Export,GoFiles,DepOnly,Standard"}, patterns...)
+		"-json=ImportPath,Dir,Export,GoFiles,DepOnly,Standard,Incomplete,Error,DepsErrors"}, patterns...)
 	cmd := exec.Command("go", args...)
 	var stderr bytes.Buffer
 	cmd.Stderr = &stderr
@@ -67,8 +75,23 @@ func Load(patterns ...string) ([]*Package, error) {
 			exports[p.ImportPath] = p.Export
 		}
 		if !p.DepOnly && !p.Standard {
+			// `go list -e` reports broken packages in the JSON instead of
+			// failing; a target that did not build must abort the load, or
+			// the analyzers silently pass on code they never saw.
+			if p.Error != nil {
+				return nil, fmt.Errorf("load %s: %s", p.ImportPath, p.Error.Err)
+			}
+			if len(p.DepsErrors) > 0 {
+				return nil, fmt.Errorf("load %s: dependency error: %s", p.ImportPath, p.DepsErrors[0].Err)
+			}
+			if p.Incomplete {
+				return nil, fmt.Errorf("load %s: package did not build (incomplete)", p.ImportPath)
+			}
 			targets = append(targets, p)
 		}
+	}
+	if len(targets) == 0 {
+		return nil, fmt.Errorf("go list %v matched no loadable packages", patterns)
 	}
 
 	// The gc importer reads dependency export data through this lookup;

@@ -6,34 +6,98 @@ import (
 	"go/types"
 )
 
-// Lockorder enforces the DPMU's lock hierarchy doctrine (the package
-// comment of internal/core/dpmu/health.go): the switch lock and the DPMU
-// mutex sit above the health tracker's leaf mutex, so while health.mu is
-// held code must not
+// Lockorder enforces the repository's leaf-mutex doctrines. Each concurrent
+// subsystem with a breaker/broadcast leaf mutex documents a hierarchy, and
+// this analyzer checks the same shape in all of them: while the leaf is
+// held, code must not call back up into the subsystem it sits under.
 //
-//   - call a sim.Switch method (a table write needs the switch write lock,
+// Doctrines (each is vacuous in packages that lack its type names, so one
+// analyzer covers dpmu, runtime and ctl without package-specific wiring):
+//
+//   - dpmu (internal/core/dpmu/health.go): while healthTracker.mu is held,
+//     no sim.Switch method calls (a table write needs the switch write lock,
 //     and a faulting packet holds the switch read lock while blocking on
-//     health.mu — the PR-4 bypass-rewire deadlock), except the lock-free
-//     quarantine accessors, or
-//   - acquire the DPMU mutex (management ops take d.mu before health.mu;
-//     the reverse order inverts the hierarchy), or
-//   - re-acquire health.mu.
+//     health.mu — the PR-4 bypass-rewire deadlock) except the lock-free
+//     quarantine accessors, no DPMU mutex acquisition, no re-entry.
 //
-// The check is transitive over same-package calls: a helper that performs
-// a forbidden operation poisons every caller that invokes it under
-// health.mu. Types are matched by name (healthTracker, Switch, DPMU) so
-// the regression fixture can reproduce the shape outside the dpmu package.
+//   - runtime (internal/runtime/health.go): while ioHealth.mu is held, no
+//     Runtime method calls (enforcement needs rt.mu and joins RX/TX
+//     goroutines that may themselves be blocked in noteError — the same
+//     ABBA shape at the I/O layer), no Transport.Close (blocks on socket
+//     teardown), no Runtime mutex acquisition, no re-entry.
+//
+//   - ctl (internal/core/ctl): while the event hub's mu is held, no Journal
+//     method calls (appendBatch/snapshot fsync to disk; a slow disk must
+//     never stall every event long-poller), no Ctl.wmu acquisition (writes
+//     publish events, so wmu sits above hub.mu), no re-entry.
+//
+// The check is transitive over same-package calls: a helper that performs a
+// forbidden operation poisons every caller that invokes it under the leaf.
+// Types are matched by name (healthTracker, Switch, DPMU, ioHealth,
+// Runtime, Transport, hub, Journal, Ctl) so the regression fixtures can
+// reproduce each shape outside the real packages.
 var Lockorder = &Analyzer{
 	Name: "lockorder",
-	Doc:  "flag switch calls and DPMU lock acquisition while the health leaf mutex is held",
+	Doc:  "flag subsystem calls and lock acquisitions while a leaf mutex (dpmu health, runtime port health, ctl event hub) is held",
 	Run:  runLockorder,
 }
 
-// switchAllowlist are the sim.Switch methods designed to be called under
-// health.mu: lock-free atomics on the quarantine table.
-var switchAllowlist = map[string]bool{
-	"QuarantineRemaining": true,
-	"SetQuarantine":       true,
+// muRef names one mutex: a field on a named type.
+type muRef struct {
+	typeName string // named type owning the mutex field
+	field    string // the mutex field's name
+	label    string // display name in diagnostics, e.g. "health.mu"
+}
+
+// recvRule forbids method calls on one named receiver type while the leaf
+// is held. With only set, just those methods are forbidden; otherwise every
+// method is, minus the allow set.
+type recvRule struct {
+	typeName string
+	label    string // display prefix, e.g. "sim.Switch"
+	allow    map[string]bool
+	only     map[string]bool
+}
+
+func (r recvRule) forbids(method string) bool {
+	if r.only != nil {
+		return r.only[method]
+	}
+	return !r.allow[method]
+}
+
+// lockDoctrine is one leaf-mutex hierarchy.
+type lockDoctrine struct {
+	leaf  muRef
+	upper []muRef // mutexes that must not be acquired under the leaf
+	recvs []recvRule
+}
+
+var lockDoctrines = []lockDoctrine{
+	{
+		leaf:  muRef{"healthTracker", "mu", "health.mu"},
+		upper: []muRef{{"DPMU", "mu", "DPMU mutex"}},
+		recvs: []recvRule{{
+			typeName: "Switch",
+			label:    "sim.Switch",
+			// Lock-free atomics on the quarantine table, designed to be
+			// called under health.mu.
+			allow: map[string]bool{"QuarantineRemaining": true, "SetQuarantine": true},
+		}},
+	},
+	{
+		leaf:  muRef{"ioHealth", "mu", "ioHealth.mu"},
+		upper: []muRef{{"Runtime", "mu", "Runtime mutex"}},
+		recvs: []recvRule{
+			{typeName: "Runtime", label: "Runtime"},
+			{typeName: "Transport", label: "Transport", only: map[string]bool{"Close": true}},
+		},
+	},
+	{
+		leaf:  muRef{"hub", "mu", "hub.mu"},
+		upper: []muRef{{"Ctl", "wmu", "Ctl.wmu"}},
+		recvs: []recvRule{{typeName: "Journal", label: "Journal"}},
+	},
 }
 
 // lockOp is one forbidden operation, with the position it occurs at and a
@@ -43,18 +107,18 @@ type lockOp struct {
 	desc string
 }
 
-// funcFacts is the per-function summary pass 1 computes.
+// funcFacts is the per-function summary pass 1 computes for one doctrine.
 type funcFacts struct {
 	decl *ast.FuncDecl
 	name string
 	// ops anywhere in the body, regardless of local lock state — what a
-	// caller executes if it invokes this function under health.mu.
+	// caller executes if it invokes this function under the leaf.
 	ops []lockOp
 	// same-package callees anywhere in the body.
 	calls []*types.Func
-	// ops performed while this function itself holds health.mu.
+	// ops performed while this function itself holds the leaf.
 	heldOps []lockOp
-	// same-package calls made while health.mu is held.
+	// same-package calls made while the leaf is held.
 	heldCalls []heldCall
 }
 
@@ -64,6 +128,13 @@ type heldCall struct {
 }
 
 func runLockorder(pass *Pass) error {
+	for _, doc := range lockDoctrines {
+		runLockDoctrine(pass, doc)
+	}
+	return nil
+}
+
+func runLockDoctrine(pass *Pass, doc lockDoctrine) {
 	facts := map[*types.Func]*funcFacts{}
 	var order []*types.Func
 	for _, file := range pass.Files {
@@ -76,7 +147,7 @@ func runLockorder(pass *Pass) error {
 			if !ok {
 				continue
 			}
-			facts[obj] = collectLockFacts(pass, fd)
+			facts[obj] = collectLockFacts(pass, fd, doc)
 			order = append(order, obj)
 		}
 	}
@@ -112,23 +183,23 @@ func runLockorder(pass *Pass) error {
 	for _, f := range order {
 		ff := facts[f]
 		for _, op := range ff.heldOps {
-			pass.Reportf(op.pos.Pos(), "%s while health.mu is held (in %s)", op.desc, ff.name)
+			pass.Reportf(op.pos.Pos(), "%s while %s is held (in %s)", op.desc, doc.leaf.label, ff.name)
 		}
 		for _, hc := range ff.heldCalls {
 			if op := poisoned[hc.callee]; op != nil {
-				pass.Reportf(hc.pos.Pos(), "call under health.mu reaches %s (via %s)", op.desc, chain[hc.callee])
+				pass.Reportf(hc.pos.Pos(), "call under %s reaches %s (via %s)", doc.leaf.label, op.desc, chain[hc.callee])
 			}
 		}
 	}
-	return nil
 }
 
 // collectLockFacts walks one function body in source order, tracking
-// whether health.mu is held. The linear approximation is deliberate: the
-// doctrine's critical sections are straight-line lock...unlock spans (or
-// defer-unlocked whole functions), and a conditional lock would itself be
-// a doctrine violation worth noticing by other means.
-func collectLockFacts(pass *Pass, fd *ast.FuncDecl) *funcFacts {
+// whether the doctrine's leaf mutex is held. The linear approximation is
+// deliberate: the doctrines' critical sections are straight-line
+// lock...unlock spans (or defer-unlocked whole functions), and a
+// conditional lock would itself be a doctrine violation worth noticing by
+// other means.
+func collectLockFacts(pass *Pass, fd *ast.FuncDecl, doc lockDoctrine) *funcFacts {
 	ff := &funcFacts{decl: fd, name: fd.Name.Name}
 	if fd.Recv != nil {
 		if t := recvTypeName(pass, fd); t != "" {
@@ -153,27 +224,29 @@ func collectLockFacts(pass *Pass, fd *ast.FuncDecl) *funcFacts {
 			return true
 		}
 		switch {
-		case isMuCall(pass, call, "healthTracker", "Lock"):
+		case isMuCall(pass, call, doc.leaf, "Lock"):
 			if held {
-				ff.heldOps = append(ff.heldOps, lockOp{call, "health.mu re-entry"})
+				ff.heldOps = append(ff.heldOps, lockOp{call, doc.leaf.label + " re-entry"})
 			}
 			if !deferred[call] {
 				held = true
 			}
-			// A health lock anywhere poisons callers already holding it.
-			ff.ops = append(ff.ops, lockOp{call, "health.mu acquisition"})
-		case isMuCall(pass, call, "healthTracker", "Unlock"):
+			// A leaf lock anywhere poisons callers already holding it.
+			ff.ops = append(ff.ops, lockOp{call, doc.leaf.label + " acquisition"})
+		case isMuCall(pass, call, doc.leaf, "Unlock"):
 			if !deferred[call] {
 				held = false
 			}
-		case isMuCall(pass, call, "DPMU", "Lock"), isMuCall(pass, call, "DPMU", "RLock"):
-			ff.ops = append(ff.ops, lockOp{call, "DPMU mutex acquisition"})
+		case isUpperMuCall(pass, call, doc.upper) != nil:
+			ref := isUpperMuCall(pass, call, doc.upper)
+			op := lockOp{call, ref.label + " acquisition"}
+			ff.ops = append(ff.ops, op)
 			if held {
-				ff.heldOps = append(ff.heldOps, lockOp{call, "DPMU mutex acquisition"})
+				ff.heldOps = append(ff.heldOps, op)
 			}
 		default:
-			if m := switchMethod(pass, call); m != "" && !switchAllowlist[m] {
-				op := lockOp{call, fmt.Sprintf("sim.Switch.%s call", m)}
+			if rule, m := forbiddenRecvMethod(pass, call, doc.recvs); rule != nil {
+				op := lockOp{call, fmt.Sprintf("%s.%s call", rule.label, m)}
 				ff.ops = append(ff.ops, op)
 				if held {
 					ff.heldOps = append(ff.heldOps, op)
@@ -190,35 +263,48 @@ func collectLockFacts(pass *Pass, fd *ast.FuncDecl) *funcFacts {
 	return ff
 }
 
-// isMuCall reports whether call is `<expr>.mu.Lock()` (or the given
-// method) where <expr>'s type is a named type with the given name.
-func isMuCall(pass *Pass, call *ast.CallExpr, typeName, method string) bool {
+// isMuCall reports whether call is `<expr>.<field>.<method>()` where
+// <expr>'s type is a named type with the reference's name.
+func isMuCall(pass *Pass, call *ast.CallExpr, ref muRef, method string) bool {
 	sel, ok := call.Fun.(*ast.SelectorExpr)
 	if !ok || sel.Sel.Name != method {
 		return false
 	}
 	mu, ok := sel.X.(*ast.SelectorExpr)
-	if !ok || mu.Sel.Name != "mu" {
+	if !ok || mu.Sel.Name != ref.field {
 		return false
 	}
-	return namedTypeName(pass.TypesInfo.Types[mu.X].Type) == typeName
+	return namedTypeName(pass.TypesInfo.Types[mu.X].Type) == ref.typeName
 }
 
-// switchMethod returns the method name when call is a method call on a
-// type named Switch, else "".
-func switchMethod(pass *Pass, call *ast.CallExpr) string {
+// isUpperMuCall matches Lock/RLock on any of the doctrine's upper mutexes.
+func isUpperMuCall(pass *Pass, call *ast.CallExpr, upper []muRef) *muRef {
+	for i := range upper {
+		if isMuCall(pass, call, upper[i], "Lock") || isMuCall(pass, call, upper[i], "RLock") {
+			return &upper[i]
+		}
+	}
+	return nil
+}
+
+// forbiddenRecvMethod returns the matching rule and method name when call
+// is a forbidden method call on one of the doctrine's receiver types.
+func forbiddenRecvMethod(pass *Pass, call *ast.CallExpr, recvs []recvRule) (*recvRule, string) {
 	sel, ok := call.Fun.(*ast.SelectorExpr)
 	if !ok {
-		return ""
+		return nil, ""
 	}
 	s, ok := pass.TypesInfo.Selections[sel]
 	if !ok || s.Kind() != types.MethodVal {
-		return ""
+		return nil, ""
 	}
-	if namedTypeName(s.Recv()) != "Switch" {
-		return ""
+	recv := namedTypeName(s.Recv())
+	for i := range recvs {
+		if recvs[i].typeName == recv && recvs[i].forbids(sel.Sel.Name) {
+			return &recvs[i], sel.Sel.Name
+		}
 	}
-	return sel.Sel.Name
+	return nil, ""
 }
 
 // samePackageCallee resolves a direct call to a function or method defined

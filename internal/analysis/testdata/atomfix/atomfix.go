@@ -1,0 +1,49 @@
+// Package atomfix is the atomics analyzer's regression fixture: a counter
+// bumped through sync/atomic on the hot path and then read plainly on the
+// stats path — the planted race the analyzer exists to catch. Lines
+// expecting a finding carry a trailing want-comment naming a substring of
+// the expected message.
+package atomfix
+
+import "sync/atomic"
+
+type counter struct {
+	n     uint64
+	drops uint64
+	// gen uses the typed atomic form: the type system already forbids
+	// plain access, so the analyzer has nothing to add.
+	gen atomic.Uint64
+}
+
+// bump is the hot-path side: both fields are atomic here.
+func (c *counter) bump() {
+	atomic.AddUint64(&c.n, 1)
+	atomic.AddUint64(&c.drops, 1)
+}
+
+// read is the correct consumer.
+func (c *counter) read() uint64 {
+	return atomic.LoadUint64(&c.n)
+}
+
+// racyRead is the planted bug: a plain load racing with bump.
+func (c *counter) racyRead() uint64 {
+	return c.n // want: non-atomic access to field n
+}
+
+// racyReset is the write-side variant.
+func (c *counter) racyReset() {
+	c.n = 0 // want: non-atomic access to field n
+}
+
+// reviewedSnapshot is a documented exception: called only after the
+// goroutines quiesce, so the plain read is safe and suppressed.
+func (c *counter) reviewedSnapshot() uint64 {
+	return c.drops //hp4:allow atomics
+}
+
+// typed exercises the safe form end to end.
+func (c *counter) typed() uint64 {
+	c.gen.Add(1)
+	return c.gen.Load()
+}

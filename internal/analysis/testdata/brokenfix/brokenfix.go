@@ -1,0 +1,9 @@
+// Package brokenfix deliberately fails to compile: it pins the loader's
+// fatal-on-error behavior (a broken target must abort Load with an error,
+// not be silently skipped). The go tool ignores testdata directories, so
+// the repo's own build stays green.
+package brokenfix
+
+func broken() int {
+	return undefinedIdentifier
+}

@@ -1,0 +1,89 @@
+// Package ctlfix is the lockorder analyzer's regression fixture for the
+// ctl doctrine: the event hub's mutex is a broadcast leaf, so journal I/O
+// (fsync on append, snapshot rotation) and the write mutex must never run
+// under it — a slow disk would stall every long-polling event client.
+// Lines expecting a finding carry a trailing want-comment naming a
+// substring of the expected message.
+package ctlfix
+
+import "sync"
+
+// Journal stands in for ctl.Journal: every method fsyncs.
+type Journal struct{ frames int }
+
+func (j *Journal) appendBatch(owner string, ops []string) error {
+	j.frames++
+	return nil
+}
+
+func (j *Journal) snapshot() error { return nil }
+
+// hub stands in for the ctl event hub: a broadcast leaf mutex.
+type hub struct {
+	mu     sync.Mutex
+	events []string
+}
+
+// Ctl stands in for the real Ctl: wmu serializes writes, above the hub.
+type Ctl struct {
+	wmu     sync.Mutex
+	events  *hub
+	journal *Journal
+}
+
+// journalLocked is the helper shape: durable I/O that is only safe outside
+// the hub lock.
+func (c *Ctl) journalLocked(owner string, ops []string) {
+	c.journal.appendBatch(owner, ops)
+}
+
+// publishDurable journals while holding the hub lock: every event waiter
+// now stalls behind the fsync.
+func (c *Ctl) publishDurable(owner string, ops []string) {
+	c.events.mu.Lock()
+	c.events.events = append(c.events.events, owner)
+	c.journalLocked(owner, ops) // want: reaches Journal.appendBatch
+	c.events.mu.Unlock()
+}
+
+// directAppend performs the journal write inline under a deferred unlock.
+func (c *Ctl) directAppend(owner string) {
+	c.events.mu.Lock()
+	defer c.events.mu.Unlock()
+	c.journal.appendBatch(owner, nil) // want: Journal.appendBatch call while hub.mu is held
+}
+
+// rotateUnderHub snapshots while publishing.
+func (c *Ctl) rotateUnderHub() {
+	c.events.mu.Lock()
+	c.journal.snapshot() // want: Journal.snapshot call while hub.mu is held
+	c.events.mu.Unlock()
+}
+
+// inversion acquires the write mutex above the hub leaf — writes publish
+// events, so the correct order is wmu then hub.mu.
+func (c *Ctl) inversion() {
+	c.events.mu.Lock()
+	c.wmu.Lock() // want: Ctl.wmu acquisition while hub.mu is held
+	c.wmu.Unlock()
+	c.events.mu.Unlock()
+}
+
+// reenter takes the hub leaf twice.
+func (c *Ctl) reenter() {
+	c.events.mu.Lock()
+	c.events.mu.Lock() // want: hub.mu re-entry
+	c.events.mu.Unlock()
+	c.events.mu.Unlock()
+}
+
+// writeShape is the doctrine followed: journal under wmu, publish after,
+// hub lock only inside the publish. No findings expected.
+func (c *Ctl) writeShape(owner string, ops []string) {
+	c.wmu.Lock()
+	c.journal.appendBatch(owner, ops)
+	c.wmu.Unlock()
+	c.events.mu.Lock()
+	c.events.events = append(c.events.events, owner)
+	c.events.mu.Unlock()
+}

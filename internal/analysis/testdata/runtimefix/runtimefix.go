@@ -1,0 +1,100 @@
+// Package runtimefix is the lockorder analyzer's regression fixture for the
+// internal/runtime doctrine. It reproduces, outside the real runtime
+// package, the I/O-layer ABBA shape: enforcement (detach/reattach/close)
+// performed while the port-health leaf mutex is held, when the RX/TX
+// goroutines being joined may themselves be blocked in noteError on that
+// same mutex. Lines expecting a finding carry a trailing want-comment
+// naming a substring of the expected message.
+package runtimefix
+
+import "sync"
+
+// Transport stands in for runtime.Transport: Close blocks on socket
+// teardown and must never run under the health leaf.
+type Transport interface {
+	Recv([]byte) (int, error)
+	Close() error
+}
+
+// ioHealth stands in for the runtime's port breaker tracker: a leaf mutex.
+type ioHealth struct {
+	mu       sync.Mutex
+	detached map[int]bool
+}
+
+// Runtime stands in for the real runtime: coarse mutex above the leaf.
+type Runtime struct {
+	mu     sync.Mutex
+	health ioHealth
+	ports  map[int]Transport
+}
+
+// Detach needs rt.mu and joins the port's goroutines — forbidden under the
+// health leaf.
+func (rt *Runtime) Detach(portNum int) error {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	delete(rt.ports, portNum)
+	return nil
+}
+
+// enforceLocked is the helper shape: a breaker method that calls back into
+// the runtime, only safe when no leaf is held.
+func (h *ioHealth) enforceLocked(rt *Runtime, portNum int) {
+	rt.Detach(portNum)
+}
+
+// onTrip reproduces the deadlock: enforcement runs under the leaf while an
+// RX goroutine would block in noteError on the same mutex.
+func (rt *Runtime) onTrip(portNum int) {
+	rt.health.mu.Lock()
+	rt.health.detached[portNum] = true
+	rt.health.enforceLocked(rt, portNum) // want: reaches Runtime.Detach
+	rt.health.mu.Unlock()
+}
+
+// directDetach performs the enforcement inline under a deferred unlock.
+func (rt *Runtime) directDetach(portNum int) {
+	rt.health.mu.Lock()
+	defer rt.health.mu.Unlock()
+	rt.Detach(portNum) // want: Runtime.Detach call while ioHealth.mu is held
+}
+
+// closeUnderLeaf tears down the transport while holding the leaf.
+func (rt *Runtime) closeUnderLeaf(tr Transport) {
+	rt.health.mu.Lock()
+	tr.Close() // want: Transport.Close call while ioHealth.mu is held
+	rt.health.mu.Unlock()
+}
+
+// inversion acquires the runtime mutex above the leaf — hierarchy reversed.
+func (rt *Runtime) inversion() {
+	rt.health.mu.Lock()
+	rt.mu.Lock() // want: Runtime mutex acquisition while ioHealth.mu is held
+	rt.mu.Unlock()
+	rt.health.mu.Unlock()
+}
+
+// reenter takes the leaf mutex twice.
+func (rt *Runtime) reenter() {
+	rt.health.mu.Lock()
+	rt.health.mu.Lock() // want: ioHealth.mu re-entry
+	rt.health.mu.Unlock()
+	rt.health.mu.Unlock()
+}
+
+// syncShape mirrors SyncPortHealth: collect decisions under the leaf,
+// release it, act afterwards. No findings expected.
+func (rt *Runtime) syncShape() {
+	var toDetach []int
+	rt.health.mu.Lock()
+	for p, gone := range rt.health.detached {
+		if gone {
+			toDetach = append(toDetach, p)
+		}
+	}
+	rt.health.mu.Unlock()
+	for _, p := range toDetach {
+		rt.Detach(p)
+	}
+}

@@ -90,6 +90,17 @@ func FormatRead(q *Query, res *ReadResult) string {
 			lines[i] = f.String()
 		}
 		return strings.Join(lines, "\n")
+	case "prove":
+		var b strings.Builder
+		if res.Prove != nil && res.Prove.Proven {
+			fmt.Fprintf(&b, "prove: equivalent (%d regions)", res.Prove.Regions)
+		} else if res.Prove != nil {
+			fmt.Fprintf(&b, "prove: NOT proven (%d regions)", res.Prove.Regions)
+		}
+		for _, f := range res.Findings {
+			b.WriteString("\n" + f.String())
+		}
+		return b.String()
 	case "fuse":
 		f := res.Fuse
 		var b strings.Builder

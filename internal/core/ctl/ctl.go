@@ -7,6 +7,7 @@ import (
 
 	"hyper4/internal/core/dpmu"
 	"hyper4/internal/core/verify"
+	"hyper4/internal/core/verify/prove"
 	pktio "hyper4/internal/runtime"
 )
 
@@ -272,6 +273,17 @@ type ReadResult struct {
 	// Linted marks a lint result so "clean" (no findings) renders
 	// distinguishably from a non-lint result.
 	Linted bool `json:"linted,omitempty"`
+	// Prove carries the symbolic equivalence prover's verdict for the
+	// "prove" query; Findings holds its counterexamples and warnings.
+	Prove *ProveSummary `json:"prove,omitempty"`
+}
+
+// ProveSummary is the prover's verdict: whether native = persona held over
+// every compared region, and how many regions the proof covered (zero means
+// the proof was vacuous).
+type ProveSummary struct {
+	Proven  bool `json:"proven"`
+	Regions int  `json:"regions"`
 }
 
 // Read answers one read-only query as owner. Per-device stats apply the same
@@ -327,6 +339,21 @@ func (c *Ctl) Read(owner string, q *Query) (*ReadResult, error) {
 		findings := filterFindings(verify.Check(c.D.VerifySource()), q.VDev)
 		findings = append(findings, filterFindings(c.D.FuseReport(), q.VDev)...)
 		return &ReadResult{Findings: findings, Linted: true}, nil
+	case "prove":
+		// The symbolic equivalence prover (DESIGN.md §16): partition the
+		// modeled packet space into disjoint regions and compare the native
+		// program's effect with the persona emulation region by region.
+		// Divergence findings carry concrete counterexamples; when the
+		// identity replay harness is wired, witnesses traverse the live
+		// switch before a finding reaches error severity.
+		res, err := c.D.Prove(owner, q.VDev, prove.Options{})
+		if err != nil {
+			return nil, wrap(err, -1)
+		}
+		return &ReadResult{
+			Findings: res.Findings,
+			Prove:    &ProveSummary{Proven: res.Proven, Regions: res.Regions},
+		}, nil
 	case "fuse":
 		st := c.D.FusionStatus()
 		return &ReadResult{Fuse: &st}, nil

@@ -119,6 +119,6 @@ type Result struct {
 // Query is one read-only request — the read half of the API, kept separate
 // from Op so WriteBatch stays all-mutating.
 type Query struct {
-	Kind string `json:"kind"` // "vdevs", "stats", "snapshots", "health", "lint", "fuse", "ports"
+	Kind string `json:"kind"` // "vdevs", "stats", "snapshots", "health", "lint", "prove", "fuse", "ports"
 	VDev string `json:"vdev,omitempty"`
 }

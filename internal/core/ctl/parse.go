@@ -43,6 +43,7 @@ import (
 //	stats <vdev>
 //	health [vdev]
 //	lint [vdev]
+//	prove <vdev>
 //	fuse
 //	dump
 //	port list
@@ -263,6 +264,12 @@ func ParseLine(line string) (*Op, *Query, error) {
 			q.VDev = args[0]
 		}
 		return nil, q, nil
+
+	case "prove":
+		if len(args) != 1 {
+			return nil, nil, invalidf("prove wants exactly one <vdev>")
+		}
+		return nil, &Query{Kind: "prove", VDev: args[0]}, nil
 
 	case "dump":
 		if len(args) != 0 {

@@ -11,7 +11,7 @@ import (
 // The HTTP surface, stdlib-only JSON over five routes:
 //
 //	POST /v1/write   {"owner": "...", "ops": [Op...]}         -> WriteResponse
-//	GET  /v1/read    ?kind=vdevs|snapshots|stats|health|lint|fuse|ports|port_health|dump&vdev=&owner= -> ReadResult
+//	GET  /v1/read    ?kind=vdevs|snapshots|stats|health|lint|prove|fuse|ports|port_health|dump&vdev=&owner= -> ReadResult
 //	GET  /v1/stats                                            -> {"vdevs": [VDevStats...]}
 //	GET  /v1/health  [?vdev=]                                 -> ReadResponse (health only)
 //	GET  /v1/lint    [?vdev=]                                 -> ReadResponse (verifier findings)

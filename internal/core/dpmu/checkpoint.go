@@ -44,6 +44,7 @@ func copyVDev(v *VDev) *VDev {
 		nextHandle: v.nextHandle,
 		static:     copyPentries(v.static),
 		defaults:   make(map[string][]pentry, len(v.defaults)),
+		defSpecs:   make(map[string]EntrySpec, len(v.defSpecs)),
 		links:      copyPentries(v.links),
 		vnet:       make(map[int]pentry, len(v.vnet)),
 	}
@@ -54,6 +55,9 @@ func copyVDev(v *VDev) *VDev {
 	}
 	for t, rows := range v.defaults {
 		c.defaults[t] = copyPentries(rows)
+	}
+	for t, spec := range v.defSpecs {
+		c.defSpecs[t] = spec
 	}
 	for p, row := range v.vnet {
 		c.vnet[p] = row

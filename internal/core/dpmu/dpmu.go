@@ -44,6 +44,12 @@ type DPMU struct {
 	assigns     []Assignment // the assignments behind assignPEs, same order
 	linkSpecs   []linkSpec   // logical virtual-link topology (bypass.go)
 
+	// skewLPM, when set, drops the LPM prefix-length priority offset during
+	// entry translation. It exists only to plant a realistic compiler-class
+	// divergence for the equivalence prover's self-tests (prove-smoke):
+	// overlapping prefixes then win in installation order, not longest-first.
+	skewLPM bool
+
 	// health is the per-vdev circuit-breaker state (health.go). It carries
 	// its own leaf mutex because the fault hook feeding it runs on the
 	// packet path, where taking d.mu would deadlock.
@@ -73,8 +79,12 @@ type VDev struct {
 	nextHandle int
 	static     []pentry            // parse/virtnet/csum rows
 	defaults   map[string][]pentry // per-table catch-all rows
-	links      []pentry            // virtual network rows
-	vnet       map[int]pentry      // t_virtnet routing row per virtual egress port
+	// defSpecs retains each default as the caller set it (action + args),
+	// control-plane memory like ventry.spec: the equivalence prover rebuilds
+	// a native twin of the device from specs alone.
+	defSpecs map[string]EntrySpec
+	links    []pentry       // virtual network rows
+	vnet     map[int]pentry // t_virtnet routing row per virtual egress port
 }
 
 // EntryCount returns the number of installed virtual entries.
@@ -192,6 +202,7 @@ func (d *DPMU) Load(name string, comp *hp4c.Compiled, owner string, quota int) (
 		Quota:    quota,
 		entries:  map[int]*ventry{},
 		defaults: map[string][]pentry{},
+		defSpecs: map[string]EntrySpec{},
 		vnet:     map[int]pentry{},
 	}
 	if err := d.installStatic(v); err != nil {

@@ -293,6 +293,7 @@ func (d *DPMU) SetDefault(owner, vdev, table, action string, args []bitfield.Val
 	if old, ok := v.defaults[table]; ok {
 		d.removeRows(old)
 		delete(v.defaults, table)
+		delete(v.defSpecs, table)
 	}
 	var rows []pentry
 	for _, slot := range slots {
@@ -307,6 +308,7 @@ func (d *DPMU) SetDefault(owner, vdev, table, action string, args []bitfield.Val
 		}
 	}
 	v.defaults[table] = rows
+	v.defSpecs[table] = EntrySpec{Table: table, Action: action, Args: args}
 	return nil
 }
 
@@ -436,7 +438,9 @@ func (d *DPMU) matchFor(v *VDev, slot *hp4c.Slot, tbl *ast.Table, params []sim.M
 				}
 				value.Insert(off, p.Value.And(m).Resize(w))
 				mask.Insert(off, m)
-				extraPrio += w - p.PrefixLen
+				if !d.skewLPM {
+					extraPrio += w - p.PrefixLen
+				}
 			default:
 				return nil, 0, fmt.Errorf("dpmu: match kind %s not translatable: %w", p.Kind, ErrInvalid)
 			}

@@ -232,17 +232,18 @@ type ventryJSON struct {
 }
 
 type vdevJSON struct {
-	Name       string                  `json:"name"`
-	PID        int                     `json:"pid"`
-	Owner      string                  `json:"owner,omitempty"`
-	Function   string                  `json:"function"`
-	Quota      int                     `json:"quota,omitempty"`
-	NextHandle int                     `json:"next_handle"`
-	Entries    []ventryJSON            `json:"entries,omitempty"`
-	Static     []pentryJSON            `json:"static,omitempty"`
-	Defaults   map[string][]pentryJSON `json:"defaults,omitempty"`
-	Links      []pentryJSON            `json:"links,omitempty"`
-	VNet       map[int]pentryJSON      `json:"vnet,omitempty"`
+	Name       string                   `json:"name"`
+	PID        int                      `json:"pid"`
+	Owner      string                   `json:"owner,omitempty"`
+	Function   string                   `json:"function"`
+	Quota      int                      `json:"quota,omitempty"`
+	NextHandle int                      `json:"next_handle"`
+	Entries    []ventryJSON             `json:"entries,omitempty"`
+	Static     []pentryJSON             `json:"static,omitempty"`
+	Defaults   map[string][]pentryJSON  `json:"defaults,omitempty"`
+	DefSpecs   map[string]entrySpecJSON `json:"def_specs,omitempty"`
+	Links      []pentryJSON             `json:"links,omitempty"`
+	VNet       map[int]pentryJSON       `json:"vnet,omitempty"`
 }
 
 type linkSpecJSON struct {
@@ -334,6 +335,16 @@ func (d *DPMU) buildState() stateJSON {
 				vj.Defaults[t] = toPentriesJSON(rows)
 			}
 		}
+		if len(v.defSpecs) > 0 {
+			vj.DefSpecs = make(map[string]entrySpecJSON, len(v.defSpecs))
+			for t, spec := range v.defSpecs {
+				vj.DefSpecs[t] = entrySpecJSON{
+					Table:  spec.Table,
+					Action: spec.Action,
+					Args:   toValuesJSON(spec.Args),
+				}
+			}
+		}
 		if len(v.vnet) > 0 {
 			vj.VNet = make(map[int]pentryJSON, len(v.vnet))
 			for p, row := range v.vnet {
@@ -413,11 +424,15 @@ func (d *DPMU) RestoreState(data []byte, compile CompileFunc) error {
 			nextHandle: vj.NextHandle,
 			static:     fromPentriesJSON(vj.Static),
 			defaults:   make(map[string][]pentry, len(vj.Defaults)),
+			defSpecs:   make(map[string]EntrySpec, len(vj.DefSpecs)),
 			links:      fromPentriesJSON(vj.Links),
 			vnet:       make(map[int]pentry, len(vj.VNet)),
 		}
 		for t, rows := range vj.Defaults {
 			v.defaults[t] = fromPentriesJSON(rows)
+		}
+		for t, sj := range vj.DefSpecs {
+			v.defSpecs[t] = EntrySpec{Table: sj.Table, Action: sj.Action, Args: fromValuesJSON(sj.Args)}
 		}
 		for p, row := range vj.VNet {
 			v.vnet[p] = pentry{table: row.Table, handle: row.Handle, match: row.Match}

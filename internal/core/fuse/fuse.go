@@ -103,6 +103,22 @@ type plan struct {
 	// RunFast declines when any member is quarantined: containment
 	// accounting belongs to the interpreter.
 	chain []int
+	// retained records, per persona table, the handles of every live row
+	// this plan decoded. Prove mode rebuilds the vdev's symbolic machine
+	// from exactly these rows and requires it equivalent to the machine
+	// built from the full live tables — a plan that silently skipped a row
+	// diverges.
+	retained map[string]map[int]bool
+}
+
+// retain records that a live row was absorbed into the plan.
+func (p *plan) retain(table string, handle int) {
+	m := p.retained[table]
+	if m == nil {
+		m = map[int]bool{}
+		p.retained[table] = m
+	}
+	m[handle] = true
 }
 
 // parseRow is one decoded t_parse_ctrl entry for this vdev, in match
@@ -310,6 +326,11 @@ func Build(sw *sim.Switch, cfg persona.Config, vdevs []VDev) (*Engine, []verify.
 	if len(eng.plans) == 0 {
 		return nil, findings
 	}
+	// Debug/CI plan validation: prove each plan's retained rows induce the
+	// same packet relation as the full live tables (prove.go).
+	if proveMode.Load() {
+		findings = append(findings, provePlans(sw, cfg, eng)...)
+	}
 	return eng, findings
 }
 
@@ -468,6 +489,7 @@ func buildPlan(cfg persona.Config, sh *shared, vd VDev) (*plan, []verify.Finding
 		wbBy:         sh.wbBy,
 		slots:        map[uint32]*fusedSlot{},
 		vnet:         map[uint64]*vnetRow{},
+		retained:     map[string]map[int]bool{},
 	}
 	for _, n := range cfg.ByteCounts() {
 		p.counts[n] = true
@@ -501,6 +523,7 @@ func buildPlan(cfg persona.Config, sh *shared, vd VDev) (*plan, []verify.Finding
 			return fail(persona.TblParseCtrl, e.Handle, "unexpected parse action %q", e.Action)
 		}
 		p.parse = append(p.parse, pr)
+		p.retain(persona.TblParseCtrl, e.Handle)
 	}
 
 	for _, e := range sh.virtnet {
@@ -558,6 +581,7 @@ func buildPlan(cfg persona.Config, sh *shared, vd VDev) (*plan, []verify.Finding
 		if len(e.Params) != 1 || e.Params[0].Value.Uint64() != pid {
 			continue
 		}
+		p.retain(persona.TblCsum, e.Handle)
 		cp, err := decodeCsum(e, ew)
 		if err != nil {
 			p.csumBad = true
@@ -586,10 +610,11 @@ func buildPlan(cfg persona.Config, sh *shared, vd VDev) (*plan, []verify.Finding
 					return fail(persona.StageTable(i, persona.KindName(kind)), e.Handle,
 						"slot %d installed in stages %d and %d", id, fs.stage, i)
 				}
-				fr, err := decodeStageRow(cfg, sh, e, kind, i, pid, ew)
+				fr, err := decodeStageRow(cfg, sh, e, kind, i, pid, ew, p.retain)
 				if err != nil {
 					return fail(persona.StageTable(i, persona.KindName(kind)), e.Handle, "%v", err)
 				}
+				p.retain(persona.StageTable(i, persona.KindName(kind)), e.Handle)
 				fs.rows = append(fs.rows, fr)
 			}
 		}
@@ -842,7 +867,7 @@ func fusedKind(code int) int {
 // decodeStageRow inverts one installed a_set_match row back into a fused
 // row: match key, successor, and per-primitive micro-ops with the prep and
 // exec entries the interpreter would hit.
-func decodeStageRow(cfg persona.Config, sh *shared, e *sim.Entry, kind, stage int, pid uint64, ew int) (*frow, error) {
+func decodeStageRow(cfg persona.Config, sh *shared, e *sim.Entry, kind, stage int, pid uint64, ew int, retain func(table string, handle int)) (*frow, error) {
 	if e.Action != persona.ActSetMatch {
 		return nil, fmt.Errorf("unexpected stage action %q", e.Action)
 	}
@@ -905,6 +930,7 @@ func decodeStageRow(cfg persona.Config, sh *shared, e *sim.Entry, kind, stage in
 		if exec == nil {
 			return nil, fmt.Errorf("missing exec row for opcode %d", code)
 		}
+		retain(persona.PrimTable(stage, prim, "prep"), prep.Handle)
 		fr.hits = append(fr.hits, prep, exec)
 		fr.ops = append(fr.ops, mop)
 	}

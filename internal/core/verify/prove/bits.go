@@ -1,0 +1,227 @@
+package prove
+
+import (
+	"fmt"
+	"math/big"
+
+	"hyper4/internal/bitfield"
+)
+
+// Symbolic bit kinds. Effects are vectors of these, MSB first, mirroring the
+// bitfield package's bit-0-is-MSB convention.
+const (
+	b0   = iota // constant 0
+	b1          // constant 1
+	bIn         // input bit (idx = input-vector index)
+	bOp         // bit idx of the canonical operation named by key
+	bTop        // unknown (key names the reason)
+)
+
+// bitVal is one symbolic bit of an effect summary.
+type bitVal struct {
+	k   uint8
+	idx int
+	key string
+}
+
+// sameBit reports whether two symbolic bits provably carry the same value.
+// Unknown bits never compare equal; the caller treats them as inconclusive.
+func sameBit(a, c bitVal) bool {
+	if a.k != c.k {
+		return false
+	}
+	switch a.k {
+	case b0, b1:
+		return true
+	case bIn:
+		return a.idx == c.idx
+	case bOp:
+		return a.key == c.key && a.idx == c.idx
+	}
+	return false
+}
+
+// inBits builds w input bits starting at input-vector index off.
+func inBits(off, w int) []bitVal {
+	out := make([]bitVal, w)
+	for i := range out {
+		out[i] = bitVal{k: bIn, idx: off + i}
+	}
+	return out
+}
+
+// constBits lowers a bitfield value (resized to w) into constant bits.
+func constBits(v bitfield.Value, w int) []bitVal {
+	return bigBits(v.Big(), w)
+}
+
+// bigBits lowers the low w bits of x (MSB first).
+func bigBits(x *big.Int, w int) []bitVal {
+	out := make([]bitVal, w)
+	for i := 0; i < w; i++ {
+		// out[i] is bit w-1-i of x (bit 0 of out is the MSB).
+		if x.Bit(w-1-i) == 1 {
+			out[i] = bitVal{k: b1}
+		} else {
+			out[i] = bitVal{k: b0}
+		}
+	}
+	return out
+}
+
+// topBits builds w unknown bits tagged with a reason.
+func topBits(w int, reason string) []bitVal {
+	out := make([]bitVal, w)
+	for i := range out {
+		out[i] = bitVal{k: bTop, key: reason}
+	}
+	return out
+}
+
+// opBits builds the w bits of the canonical operation named by key.
+func opBits(w int, key string) []bitVal {
+	out := make([]bitVal, w)
+	for i := range out {
+		out[i] = bitVal{k: bOp, idx: i, key: key}
+	}
+	return out
+}
+
+// resizeBits low-aligns src to width w (truncate high bits / zero-extend),
+// matching bitfield.Resize and the persona's masked-write semantics.
+func resizeBits(src []bitVal, w int) []bitVal {
+	if len(src) == w {
+		return src
+	}
+	if len(src) > w {
+		return src[len(src)-w:]
+	}
+	out := make([]bitVal, w)
+	for i := 0; i < w-len(src); i++ {
+		out[i] = bitVal{k: b0}
+	}
+	copy(out[w-len(src):], src)
+	return out
+}
+
+// writeBits overwrites dst[off:off+len(src)] with src, copying dst first so
+// sibling worlds sharing the slice are unaffected.
+func writeBits(dst []bitVal, off int, src []bitVal) []bitVal {
+	out := make([]bitVal, len(dst))
+	copy(out, dst)
+	copy(out[off:off+len(src)], src)
+	return out
+}
+
+// bitsConst folds an all-constant bit vector to its value.
+func bitsConst(bits []bitVal) (*big.Int, bool) {
+	out := new(big.Int)
+	for i, b := range bits {
+		switch b.k {
+		case b1:
+			out.SetBit(out, len(bits)-1-i, 1)
+		case b0:
+		default:
+			return nil, false
+		}
+	}
+	return out, true
+}
+
+// baseKey names a bit vector that is a clean term: a contiguous input-bit
+// run, a uniform operation, or a constant. Used to canonicalize arithmetic
+// so the native and persona frontends derive identical operation keys.
+func baseKey(bits []bitVal) (string, bool) {
+	if len(bits) == 0 {
+		return "", false
+	}
+	if v, ok := bitsConst(bits); ok {
+		return "k:" + v.Text(16), true
+	}
+	switch bits[0].k {
+	case bIn:
+		start := bits[0].idx
+		for i, b := range bits {
+			if b.k != bIn || b.idx != start+i {
+				return "", false
+			}
+		}
+		return fmt.Sprintf("in[%d:%d]", start, len(bits)), true
+	case bOp:
+		key := bits[0].key
+		for i, b := range bits {
+			if b.k != bOp || b.key != key || b.idx != i {
+				return "", false
+			}
+		}
+		return "(" + key + ")", true
+	}
+	return "", false
+}
+
+// addBits models (cur + c) mod 2^w. Constant bases fold; symbolic bases
+// become a canonical add term; anything else degrades to unknown bits with
+// the given reason.
+func addBits(cur []bitVal, c *big.Int, reason string) []bitVal {
+	w := len(cur)
+	mod := new(big.Int).Lsh(big.NewInt(1), uint(w))
+	cc := new(big.Int).Mod(c, mod)
+	if cc.Sign() == 0 {
+		return cur
+	}
+	if v, ok := bitsConst(cur); ok {
+		sum := new(big.Int).Add(v, cc)
+		sum.Mod(sum, mod)
+		return bigBits(sum, w)
+	}
+	if key, ok := baseKey(cur); ok {
+		return opBits(w, fmt.Sprintf("add(%s+%s)%%2^%d", key, cc.Text(16), w))
+	}
+	return topBits(w, reason)
+}
+
+// csumKey is the canonical term for the IPv4 checksum fix-up recomputed over
+// the header whose checksum field sits at the given packet bit offset. Both
+// frontends derive the key from the field position alone: the checksum's
+// inputs are packet bits that are compared in their own right, so position
+// identity is what equivalence needs.
+func csumKey(pktBitOff int) string {
+	return fmt.Sprintf("csum16@%d", pktBitOff)
+}
+
+// matchBits conjoins "bits == want under mask" onto a region. It returns
+// ok=false when the match is statically impossible, top=true when an unknown
+// bit blocks the split. cube is the conjunction for the satisfiable case.
+func matchBits(bits []bitVal, want, mask bitfield.Value) (cube Cube, ok, top bool) {
+	cube = trueCube()
+	w := len(bits)
+	for i := 0; i < w; i++ {
+		if mask.Bit(i) == 0 {
+			continue
+		}
+		want1 := want.Bit(i) == 1
+		switch bits[i].k {
+		case b0:
+			if want1 {
+				return Cube{}, false, false
+			}
+		case b1:
+			if !want1 {
+				return Cube{}, false, false
+			}
+		case bIn:
+			var b uint
+			if want1 {
+				b = 1
+			}
+			var fits bool
+			cube, fits = cube.fix(bits[i].idx, b)
+			if !fits {
+				return Cube{}, false, false
+			}
+		default:
+			return Cube{}, false, true
+		}
+	}
+	return cube, true, false
+}

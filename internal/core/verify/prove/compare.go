@@ -1,0 +1,291 @@
+package prove
+
+import (
+	"encoding/hex"
+	"fmt"
+	"sort"
+
+	"hyper4/internal/core/verify"
+	"hyper4/internal/sim"
+)
+
+// Replay runs a concrete packet through one side and returns its outputs.
+type Replay func(frame []byte, port int) ([]sim.Output, error)
+
+// Options configures a comparison run.
+type Options struct {
+	// VDev attributes findings to a virtual device.
+	VDev string
+	// ReplayNative / ReplayPersona replay a witness packet concretely.
+	// With both set, a divergence is only reported at error severity when
+	// the replay reproduces it — the prover never cries wolf. Without
+	// them, divergences degrade to warnings.
+	ReplayNative  Replay
+	ReplayPersona Replay
+	// MaxFindings caps reported findings (0 = 16).
+	MaxFindings int
+	// WitnessBudget bounds the per-region witness search in nodes
+	// (0 = 50000).
+	WitnessBudget int
+	// Restrict, when non-nil, limits the proof to the given subset of the
+	// input space (e.g. IdentityPortRegion). Leaf pairs outside it are
+	// skipped.
+	Restrict *Region
+}
+
+// Result is the outcome of one equivalence proof.
+type Result struct {
+	Findings []verify.Finding
+	// Regions counts intersected leaf pairs that were actually compared.
+	Regions int
+	// Proven reports full equivalence: every region compared equal and
+	// nothing was inconclusive.
+	Proven bool
+}
+
+// Compare proves (or refutes) equivalence of two leaf partitions built over
+// the same input space.
+func Compare(native, emul *Machine, opts Options) (*Result, error) {
+	if native.NBits != emul.NBits || native.L != emul.L {
+		return nil, fmt.Errorf("prove: machines model different input spaces (%d vs %d bits)", native.NBits, emul.NBits)
+	}
+	maxF := opts.MaxFindings
+	if maxF == 0 {
+		maxF = 16
+	}
+	budget := opts.WitnessBudget
+	if budget == 0 {
+		budget = 50000
+	}
+	res := &Result{Proven: true}
+	addFinding := func(f verify.Finding) {
+		if len(res.Findings) < maxF {
+			f.VDev = opts.VDev
+			res.Findings = append(res.Findings, f)
+		}
+	}
+	for _, reason := range append(native.Inconcl, emul.Inconcl...) {
+		res.Proven = false
+		addFinding(verify.Finding{
+			Code: verify.CodeProveInconclusive, Severity: verify.SevWarn,
+			Detail: reason,
+		})
+	}
+	L := native.L
+	prefer := preferPort(L)
+	for _, a := range native.Leaves {
+		for _, c := range emul.Leaves {
+			r, ok := a.Region.and(c.Region)
+			if !ok {
+				continue
+			}
+			if opts.Restrict != nil {
+				if r, ok = r.and(*opts.Restrict); !ok {
+					continue
+				}
+			}
+			res.Regions++
+			if len(a.Inconcl) > 0 || len(c.Inconcl) > 0 {
+				bgt := budget
+				if _, found, decided := r.witness(native.NBits, prefer, &bgt); found || !decided {
+					res.Proven = false
+					addFinding(verify.Finding{
+						Code: verify.CodeProveInconclusive, Severity: verify.SevWarn,
+						Detail: fmt.Sprintf("region not proven (native: %s | persona: %s): %s",
+							orDash(a.Trail), orDash(c.Trail), joinTrail(append(append([]string{}, a.Inconcl...), c.Inconcl...))),
+					})
+				}
+				continue
+			}
+			if a.Dropped && c.Dropped {
+				continue
+			}
+			diverged, forced := diffEffects(a, c)
+			if !diverged {
+				continue
+			}
+			f, proven := witnessAndConfirm(r, forced, a, c, native.NBits, L, prefer, budget, opts)
+			if f != nil {
+				addFinding(*f)
+			}
+			if !proven {
+				res.Proven = false
+			}
+		}
+	}
+	return res, nil
+}
+
+func orDash(s string) string {
+	if s == "" {
+		return "-"
+	}
+	return s
+}
+
+// diffEffects compares two effect summaries bit by bit. It returns whether
+// they diverge and, when possible, forcing cubes that pin the divergence to
+// a concrete disagreeing bit (so the witness provably separates the sides).
+func diffEffects(a, c Leaf) (diverged bool, forced [][]Cube) {
+	if a.Dropped != c.Dropped {
+		return true, nil
+	}
+	diff := func(x, y []bitVal) {
+		n := len(x)
+		if len(y) != n {
+			diverged = true
+			return
+		}
+		for i := 0; i < n; i++ {
+			if sameBit(x[i], y[i]) {
+				continue
+			}
+			diverged = true
+			if cs := forceBit(x[i], y[i]); cs != nil {
+				forced = append(forced, cs...)
+			}
+		}
+	}
+	diff(a.Route, c.Route)
+	diff(a.Pkt, c.Pkt)
+	return diverged, forced
+}
+
+// forceBit builds cube sets under which two provably-different bit values
+// take different concrete values. Each inner slice is one alternative (all
+// cubes of the alternative are conjoined). nil means the difference cannot
+// be forced through input bits (operation terms or unknowns).
+func forceBit(x, y bitVal) [][]Cube {
+	constOf := func(b bitVal) (uint, bool) {
+		switch b.k {
+		case b0:
+			return 0, true
+		case b1:
+			return 1, true
+		}
+		return 0, false
+	}
+	fix := func(idx int, v uint) Cube {
+		cube, _ := trueCube().fix(idx, v)
+		return cube
+	}
+	xv, xc := constOf(x)
+	yv, yc := constOf(y)
+	switch {
+	case xc && yc:
+		if xv != yv {
+			return [][]Cube{{}} // divergent everywhere, no forcing needed
+		}
+		return nil
+	case xc && y.k == bIn:
+		return [][]Cube{{fix(y.idx, 1-xv)}}
+	case yc && x.k == bIn:
+		return [][]Cube{{fix(x.idx, 1-yv)}}
+	case x.k == bIn && y.k == bIn && x.idx != y.idx:
+		return [][]Cube{
+			{fix(x.idx, 0), fix(y.idx, 1)},
+			{fix(x.idx, 1), fix(y.idx, 0)},
+		}
+	}
+	return nil
+}
+
+// witnessAndConfirm searches the divergent region for a concrete packet and
+// replays it through both sides. Returns the finding to report (nil for a
+// provably empty region) and whether the region still counts as proven.
+func witnessAndConfirm(r Region, forced [][]Cube, a, c Leaf, nbits, L int, prefer func(int) uint, budget int, opts Options) (*verify.Finding, bool) {
+	attempts := make([]Region, 0, len(forced)+1)
+	for _, alt := range forced {
+		fr := r
+		ok := true
+		for _, cube := range alt {
+			fr, ok = fr.constrain(cube)
+			if !ok {
+				break
+			}
+		}
+		if ok {
+			attempts = append(attempts, fr)
+		}
+	}
+	attempts = append(attempts, r)
+
+	undecided := false
+	for _, att := range attempts {
+		bgt := budget
+		assign, found, decided := att.witness(nbits, prefer, &bgt)
+		if !decided {
+			undecided = true
+			continue
+		}
+		if !found {
+			continue
+		}
+		frame, port := witnessFrame(assign, L)
+		detail := fmt.Sprintf("native and persona disagree on packet %s port %d (native: %s | persona: %s)",
+			hex.EncodeToString(frame), port, orDash(a.Trail), orDash(c.Trail))
+		if opts.ReplayNative == nil || opts.ReplayPersona == nil {
+			return &verify.Finding{
+				Code: verify.CodeProveDiverge, Severity: verify.SevWarn,
+				Detail: detail + "; unconfirmed: no replay harness",
+			}, false
+		}
+		nOut, nErr := opts.ReplayNative(frame, port)
+		pOut, pErr := opts.ReplayPersona(frame, port)
+		if nErr != nil || pErr != nil {
+			return &verify.Finding{
+				Code: verify.CodeProveInconclusive, Severity: verify.SevWarn,
+				Detail: fmt.Sprintf("witness replay failed (native: %v, persona: %v): %s", nErr, pErr, detail),
+			}, false
+		}
+		if !sameOutputs(nOut, pOut) {
+			return &verify.Finding{
+				Code: verify.CodeProveDiverge, Severity: verify.SevError,
+				Detail: detail + fmt.Sprintf("; confirmed by replay: native %s vs persona %s", fmtOutputs(nOut), fmtOutputs(pOut)),
+			}, false
+		}
+		// The replay agrees: the symbolic summaries differ but the concrete
+		// machines do not (at least on this witness) — model imprecision,
+		// not a proven divergence, but the region is no longer proven equal.
+		return &verify.Finding{
+			Code: verify.CodeProveInconclusive, Severity: verify.SevWarn,
+			Detail: "summaries diverge but replay agrees on the witness; " + detail,
+		}, false
+	}
+	if undecided {
+		return &verify.Finding{
+			Code: verify.CodeProveInconclusive, Severity: verify.SevWarn,
+			Detail: fmt.Sprintf("witness search budget exhausted (native: %s | persona: %s)", orDash(a.Trail), orDash(c.Trail)),
+		}, false
+	}
+	return nil, true // every attempt proved the region empty
+}
+
+func sameOutputs(a, b []sim.Output) bool {
+	ka, kb := outputKeys(a), outputKeys(b)
+	if len(ka) != len(kb) {
+		return false
+	}
+	for i := range ka {
+		if ka[i] != kb[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func outputKeys(outs []sim.Output) []string {
+	keys := make([]string, len(outs))
+	for i, o := range outs {
+		keys[i] = fmt.Sprintf("%d:%s", o.Port, hex.EncodeToString(o.Data))
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func fmtOutputs(outs []sim.Output) string {
+	if len(outs) == 0 {
+		return "drop"
+	}
+	return joinTrail(outputKeys(outs))
+}

@@ -1,0 +1,1005 @@
+package prove
+
+import (
+	"fmt"
+	"math/big"
+
+	"hyper4/internal/bitfield"
+	"hyper4/internal/p4/ast"
+	"hyper4/internal/p4/hlir"
+)
+
+// nworld is one in-flight symbolic world of the native walk: a region of the
+// input space plus the full machine state along that path. Worlds are values;
+// every mutation goes through a copy-on-write helper so sibling worlds stay
+// untouched.
+type nworld struct {
+	region   Region
+	inst     map[string][]bitVal // instance name -> full-width symbolic bits
+	valid    map[string]bool     // header validity (metadata always readable)
+	consumed int                 // packet bytes consumed by the parser
+	latest   string              // most recently extracted instance
+	dropped  bool                // the drop primitive ran (sticky)
+	done     bool                // world finalized mid-walk (dropped/inconclusive)
+	trail    []string
+	inconcl  []string
+}
+
+func (w nworld) setInst(name string, bits []bitVal) nworld {
+	m := make(map[string][]bitVal, len(w.inst)+1)
+	for k, v := range w.inst {
+		m[k] = v
+	}
+	m[name] = bits
+	w.inst = m
+	return w
+}
+
+func (w nworld) setValid(name string, v bool) nworld {
+	m := make(map[string]bool, len(w.valid)+1)
+	for k, b := range w.valid {
+		m[k] = b
+	}
+	m[name] = v
+	w.valid = m
+	return w
+}
+
+func (w nworld) note(s string) nworld {
+	t := make([]string, len(w.trail), len(w.trail)+1)
+	copy(t, w.trail)
+	w.trail = append(t, s)
+	return w
+}
+
+func (w nworld) vague(reason string) nworld {
+	t := make([]string, len(w.inconcl), len(w.inconcl)+1)
+	copy(t, w.inconcl)
+	w.inconcl = append(t, reason)
+	return w
+}
+
+// nativeBuilder walks the HLIR program plus live native table state into a
+// leaf partition.
+type nativeBuilder struct {
+	prog *hlir.Program
+	src  TableSource
+	L    int
+	m    *Machine
+	errs []error
+}
+
+// BuildNative models the native program over L-byte packets. The table state
+// comes from src (normally the live *sim.Switch).
+func BuildNative(prog *hlir.Program, src TableSource, L int) (*Machine, error) {
+	b := &nativeBuilder{
+		prog: prog,
+		src:  src,
+		L:    L,
+		m:    &Machine{Name: "native", L: L, NBits: L*8 + 9},
+	}
+	w := nworld{
+		region: fullRegion(),
+		inst:   map[string][]bitVal{},
+		valid:  map[string]bool{},
+	}
+	// Mirror the simulator's fresh-state init: everything zero except
+	// ingress_port (the symbolic port), packet_length (constant L) and
+	// egress_spec (the drop value).
+	std := make([]bitVal, prog.Instances[hlir.StandardMetadata].Width())
+	w = w.setInst(hlir.StandardMetadata, std)
+	w = b.writeStd(w, hlir.FieldIngressPort, portInBits(b.L))
+	w = b.writeStd(w, hlir.FieldPacketLength, bigBits(big.NewInt(int64(b.L)), 32))
+	w = b.writeStd(w, hlir.FieldEgressSpec, bigBits(big.NewInt(hlir.DropSpec), 9))
+
+	worlds := b.parse(w, "start", 0)
+	if ing, ok := prog.Controls[ast.ControlIngress]; ok {
+		worlds = b.runStmts(worlds, ing.Body)
+	}
+	worlds = b.gate(worlds)
+	if eg, ok := prog.Controls[ast.ControlEgress]; ok {
+		worlds = b.runStmts(worlds, eg.Body)
+	}
+	for _, w := range worlds {
+		b.finalize(w)
+	}
+	if len(b.errs) > 0 {
+		return nil, b.errs[0]
+	}
+	return b.m, nil
+}
+
+func (b *nativeBuilder) fail(err error) { b.errs = append(b.errs, err) }
+
+// halt finalizes a world the model cannot follow further.
+func (b *nativeBuilder) halt(w nworld, reason string) {
+	w = w.vague(reason)
+	b.m.Leaves = append(b.m.Leaves, Leaf{
+		Region:  w.region,
+		Trail:   joinTrail(w.trail),
+		Inconcl: w.inconcl,
+	})
+}
+
+func (b *nativeBuilder) dropLeaf(w nworld) {
+	b.m.Leaves = append(b.m.Leaves, Leaf{
+		Region:  w.region,
+		Dropped: true,
+		Trail:   joinTrail(w.trail),
+		Inconcl: w.inconcl,
+	})
+}
+
+// ---- field access ----
+
+func (b *nativeBuilder) fieldBits(w nworld, ref ast.FieldRef) ([]bitVal, bool) {
+	if ref.Index != ast.IndexNone {
+		return nil, false
+	}
+	inst := b.prog.Instances[ref.Instance]
+	if inst == nil {
+		return nil, false
+	}
+	off, ok := inst.Type.FieldOffset(ref.Field)
+	if !ok {
+		return nil, false
+	}
+	fd := inst.Type.Field(ref.Field)
+	bits, have := w.inst[ref.Instance]
+	if !have {
+		// Never extracted: the simulator's pooled state zeroes buffers per
+		// packet, so reads of absent instances are deterministic zeros.
+		bits = make([]bitVal, inst.Width())
+	}
+	return bits[off : off+fd.Width], true
+}
+
+func (b *nativeBuilder) writeField(w nworld, ref ast.FieldRef, src []bitVal) (nworld, bool) {
+	if ref.Index != ast.IndexNone {
+		return w, false
+	}
+	inst := b.prog.Instances[ref.Instance]
+	if inst == nil {
+		return w, false
+	}
+	off, ok := inst.Type.FieldOffset(ref.Field)
+	if !ok {
+		return w, false
+	}
+	fd := inst.Type.Field(ref.Field)
+	bits, have := w.inst[ref.Instance]
+	if !have {
+		bits = make([]bitVal, inst.Width())
+	}
+	return w.setInst(ref.Instance, writeBits(bits, off, resizeBits(src, fd.Width))), true
+}
+
+func stdRef(field string) ast.FieldRef {
+	return ast.FieldRef{Instance: hlir.StandardMetadata, Index: ast.IndexNone, Field: field}
+}
+
+func (b *nativeBuilder) writeStd(w nworld, field string, src []bitVal) nworld {
+	w, _ = b.writeField(w, stdRef(field), src)
+	return w
+}
+
+// ---- parser ----
+
+func (b *nativeBuilder) parse(w nworld, state string, depth int) []nworld {
+	if depth > 64 {
+		b.halt(w, "parse graph deeper than 64 states")
+		return nil
+	}
+	st := b.prog.States[state]
+	if st == nil {
+		b.halt(w, fmt.Sprintf("unknown parser state %q", state))
+		return nil
+	}
+	for _, ps := range st.Statements {
+		if ps.Extract != nil {
+			if ps.Extract.Index != ast.IndexNone {
+				b.halt(w, "header stacks are outside the symbolic model")
+				return nil
+			}
+			inst := b.prog.Instances[ps.Extract.Instance]
+			if inst == nil || inst.Width()%8 != 0 {
+				b.halt(w, fmt.Sprintf("cannot extract %q", ps.Extract.Instance))
+				return nil
+			}
+			nb := inst.Width() / 8
+			if w.consumed+nb > b.L {
+				b.halt(w, fmt.Sprintf("extraction of %s overruns the %d-byte model", inst.Decl.Name, b.L))
+				return nil
+			}
+			w = w.setInst(inst.Decl.Name, inBits(w.consumed*8, inst.Width()))
+			w = w.setValid(inst.Decl.Name, true)
+			w.latest = inst.Decl.Name
+			w.consumed += nb
+			continue
+		}
+		// set_metadata(field, value)
+		fd := b.prog.Instances[ps.SetField.Instance]
+		if fd == nil {
+			b.halt(w, "set_metadata on unknown instance")
+			return nil
+		}
+		decl := fd.Type.Field(ps.SetField.Field)
+		if decl == nil {
+			b.halt(w, "set_metadata on unknown field")
+			return nil
+		}
+		src, ok := b.evalExpr(w, ps.SetValue, nil, decl.Width)
+		if !ok {
+			b.halt(w, "set_metadata value outside the symbolic model")
+			return nil
+		}
+		w, _ = b.writeField(w, ps.SetField, src)
+	}
+	switch st.Return.Kind {
+	case ast.ReturnDirect:
+		if st.Return.State == ast.StateIngress {
+			return []nworld{w}
+		}
+		return b.parse(w, st.Return.State, depth+1)
+	case ast.ReturnSelect:
+		return b.parseSelect(w, st, depth)
+	}
+	b.halt(w, "unknown parser return")
+	return nil
+}
+
+func (b *nativeBuilder) parseSelect(w nworld, st *ast.ParserState, depth int) []nworld {
+	keys := make([][]bitVal, len(st.Return.SelectKeys))
+	for i, k := range st.Return.SelectKeys {
+		switch {
+		case k.IsCurrent:
+			keys[i] = inBits(w.consumed*8+k.CurrentOffset, k.CurrentWidth)
+		case k.Latest != "":
+			if w.latest == "" {
+				b.halt(w, "select latest.* before any extraction")
+				return nil
+			}
+			bits, ok := b.fieldBits(w, ast.FieldRef{Instance: w.latest, Index: ast.IndexNone, Field: k.Latest})
+			if !ok {
+				b.halt(w, "select latest.* field not found")
+				return nil
+			}
+			keys[i] = bits
+		case k.Field != nil:
+			bits, ok := b.fieldBits(w, *k.Field)
+			if !ok {
+				b.halt(w, "select key field not found")
+				return nil
+			}
+			keys[i] = bits
+		default:
+			b.halt(w, "empty select key")
+			return nil
+		}
+	}
+	var out []nworld
+	var negs []Cube
+	for _, c := range st.Return.Cases {
+		target := c.State
+		goState := func(ww nworld) {
+			if target == ast.StateIngress {
+				out = append(out, ww)
+			} else {
+				out = append(out, b.parse(ww, target, depth+1)...)
+			}
+		}
+		if c.Default {
+			ww := w
+			ww.region = w.region
+			for _, n := range negs {
+				ww.region = ww.region.subtract(n)
+			}
+			goState(ww)
+			return out
+		}
+		cube := trueCube()
+		possible := true
+		for ki, bits := range keys {
+			var mask *big.Int
+			if ki < len(c.Masks) {
+				mask = c.Masks[ki]
+			}
+			kc, ok, top := matchBig(bits, c.Values[ki], mask)
+			if top {
+				b.halt(w, fmt.Sprintf("select in state %s keys on unmodelable bits", st.Name))
+				return out
+			}
+			if !ok {
+				possible = false
+				break
+			}
+			cube, ok = cube.and(kc)
+			if !ok {
+				possible = false
+				break
+			}
+		}
+		if !possible {
+			continue
+		}
+		ww := w
+		var fits bool
+		ww.region, fits = w.region.constrain(cube)
+		if fits {
+			for _, n := range negs {
+				ww.region = ww.region.subtract(n)
+			}
+			goState(ww.note(fmt.Sprintf("select %s", st.Name)))
+		}
+		negs = append(negs, cube)
+	}
+	// No default case and nothing matched: the simulator raises a parser
+	// error, which drops the packet.
+	ww := w
+	for _, n := range negs {
+		ww.region = ww.region.subtract(n)
+	}
+	b.dropLeaf(ww.note(fmt.Sprintf("select %s fell through", st.Name)))
+	return out
+}
+
+// matchBig is matchBits over big.Int want/mask (mask nil = exact over the
+// full width). Bit i of bits (MSB first) corresponds to want bit w-1-i.
+func matchBig(bits []bitVal, want, mask *big.Int) (Cube, bool, bool) {
+	w := len(bits)
+	cube := trueCube()
+	for i := 0; i < w; i++ {
+		if mask != nil && mask.Bit(w-1-i) == 0 {
+			continue
+		}
+		want1 := want.Bit(w-1-i) == 1
+		switch bits[i].k {
+		case b0:
+			if want1 {
+				return Cube{}, false, false
+			}
+		case b1:
+			if !want1 {
+				return Cube{}, false, false
+			}
+		case bIn:
+			var v uint
+			if want1 {
+				v = 1
+			}
+			var fits bool
+			cube, fits = cube.fix(bits[i].idx, v)
+			if !fits {
+				return Cube{}, false, false
+			}
+		default:
+			return Cube{}, false, true
+		}
+	}
+	// Want bits above the key width must be zero for a match to be possible.
+	if want.BitLen() > w && mask == nil {
+		return Cube{}, false, false
+	}
+	return cube, true, false
+}
+
+// ---- control flow ----
+
+func (b *nativeBuilder) runStmts(ws []nworld, stmts []ast.Stmt) []nworld {
+	for _, s := range stmts {
+		var next []nworld
+		for _, w := range ws {
+			if w.done {
+				next = append(next, w)
+				continue
+			}
+			next = append(next, b.runStmt(w, s)...)
+		}
+		ws = next
+	}
+	return ws
+}
+
+func (b *nativeBuilder) runStmt(w nworld, s ast.Stmt) []nworld {
+	switch s.Kind {
+	case ast.StmtApply:
+		return b.applyTable(w, s)
+	case ast.StmtIf:
+		t, f := b.condSplit(w, &s.Cond)
+		out := b.runStmts(t, s.Then)
+		return append(out, b.runStmts(f, s.Else)...)
+	case ast.StmtCall:
+		if c, ok := b.prog.Controls[s.Control]; ok {
+			return b.runStmts([]nworld{w}, c.Body)
+		}
+		b.halt(w, fmt.Sprintf("call of unknown control %q", s.Control))
+		return nil
+	}
+	b.halt(w, "unknown statement kind")
+	return nil
+}
+
+// condSplit partitions a world by a boolean condition. Worlds the model
+// cannot split are finalized as inconclusive and appear in neither side.
+func (b *nativeBuilder) condSplit(w nworld, c *ast.BoolExpr) (t, f []nworld) {
+	switch c.Kind {
+	case ast.BoolValid:
+		if c.Valid.Index != ast.IndexNone {
+			b.halt(w, "valid() on a stack element")
+			return nil, nil
+		}
+		if w.valid[c.Valid.Instance] {
+			return []nworld{w}, nil
+		}
+		return nil, []nworld{w}
+	case ast.BoolNot:
+		t, f = b.condSplit(w, c.A)
+		return f, t
+	case ast.BoolAnd:
+		ta, fa := b.condSplit(w, c.A)
+		f = fa
+		for _, wa := range ta {
+			tb, fb := b.condSplit(wa, c.B)
+			t = append(t, tb...)
+			f = append(f, fb...)
+		}
+		return t, f
+	case ast.BoolOr:
+		ta, fa := b.condSplit(w, c.A)
+		t = ta
+		for _, wa := range fa {
+			tb, fb := b.condSplit(wa, c.B)
+			t = append(t, tb...)
+			f = append(f, fb...)
+		}
+		return t, f
+	case ast.BoolCmp:
+		return b.cmpSplit(w, c)
+	}
+	b.halt(w, "unknown condition kind")
+	return nil, nil
+}
+
+func (b *nativeBuilder) cmpSplit(w nworld, c *ast.BoolExpr) (t, f []nworld) {
+	lw := b.exprWidth(*c.Left)
+	rw := b.exprWidth(*c.Right)
+	width := lw
+	if rw > width {
+		width = rw
+	}
+	if width == 0 {
+		width = 64
+	}
+	l, okl := b.evalExpr(w, *c.Left, nil, width)
+	r, okr := b.evalExpr(w, *c.Right, nil, width)
+	if !okl || !okr {
+		b.halt(w, "comparison operand outside the symbolic model")
+		return nil, nil
+	}
+	lc, lConst := bitsConst(l)
+	rc, rConst := bitsConst(r)
+	if lConst && rConst {
+		res := compareBig(lc, rc, c.Op)
+		if res {
+			return []nworld{w}, nil
+		}
+		return nil, []nworld{w}
+	}
+	if c.Op != ast.OpEq && c.Op != ast.OpNe {
+		b.halt(w, fmt.Sprintf("ordered comparison %q on symbolic operands", c.Op))
+		return nil, nil
+	}
+	// Normalize to symbolic == constant.
+	sym, konst := l, rc
+	if lConst {
+		sym, konst = r, lc
+	} else if !rConst {
+		b.halt(w, "comparison between two symbolic operands")
+		return nil, nil
+	}
+	cube, ok, top := matchBig(sym, konst, nil)
+	if top {
+		b.halt(w, "comparison on unmodelable bits")
+		return nil, nil
+	}
+	var eqW, neW []nworld
+	if !ok {
+		neW = []nworld{w}
+	} else {
+		we := w
+		var fits bool
+		we.region, fits = w.region.constrain(cube)
+		if fits {
+			eqW = []nworld{we}
+		}
+		wn := w
+		wn.region = w.region.subtract(cube)
+		neW = []nworld{wn}
+	}
+	if c.Op == ast.OpEq {
+		return eqW, neW
+	}
+	return neW, eqW
+}
+
+func compareBig(a, bb *big.Int, op ast.CmpOp) bool {
+	cmp := a.Cmp(bb)
+	switch op {
+	case ast.OpEq:
+		return cmp == 0
+	case ast.OpNe:
+		return cmp != 0
+	case ast.OpLt:
+		return cmp < 0
+	case ast.OpLe:
+		return cmp <= 0
+	case ast.OpGt:
+		return cmp > 0
+	case ast.OpGe:
+		return cmp >= 0
+	}
+	return false
+}
+
+func (b *nativeBuilder) exprWidth(e ast.Expr) int {
+	if e.Kind == ast.ExprField {
+		inst := b.prog.Instances[e.Field.Instance]
+		if inst != nil {
+			if fd := inst.Type.Field(e.Field.Field); fd != nil {
+				return fd.Width
+			}
+		}
+	}
+	return 0
+}
+
+// ---- tables ----
+
+func (b *nativeBuilder) applyTable(w nworld, s ast.Stmt) []nworld {
+	decl := b.prog.Tables[s.Table]
+	if decl == nil {
+		b.halt(w, fmt.Sprintf("apply of unknown table %q", s.Table))
+		return nil
+	}
+	entries, err := b.src.TableEntriesOrdered(s.Table)
+	if err != nil {
+		b.fail(fmt.Errorf("native table %s: %w", s.Table, err))
+		return nil
+	}
+	// Evaluate the match key once per world.
+	keyBits := make([][]bitVal, len(decl.Reads))
+	for i, r := range decl.Reads {
+		if r.Field != nil {
+			bits, ok := b.fieldBits(w, *r.Field)
+			if !ok {
+				b.halt(w, fmt.Sprintf("table %s reads unresolvable field", s.Table))
+				return nil
+			}
+			keyBits[i] = bits
+		}
+	}
+	type branch struct {
+		w      nworld
+		action string
+		args   []bitValFrameArg
+		hit    bool
+	}
+	var branches []branch
+	var negs []Cube
+	for _, e := range entries {
+		cube := trueCube()
+		possible := true
+		blocked := false
+		for i, r := range decl.Reads {
+			if i >= len(e.Params) {
+				possible = false
+				break
+			}
+			p := e.Params[i]
+			if r.Match == ast.MatchValid || r.Header != nil {
+				hv := false
+				if r.Header != nil {
+					hv = w.valid[r.Header.Instance]
+				} else if r.Field != nil {
+					hv = w.valid[r.Field.Instance]
+				}
+				if hv != p.ValidWant {
+					possible = false
+					break
+				}
+				continue
+			}
+			wd := len(keyBits[i])
+			var want, mask *big.Int
+			switch p.Kind {
+			case ast.MatchExact:
+				want = p.Value.Big()
+			case ast.MatchTernary:
+				want = new(big.Int).And(p.Value.Big(), p.Mask.Big())
+				mask = p.Mask.Big()
+			case ast.MatchLPM:
+				want = p.Value.Big()
+				mask = new(big.Int)
+				for j := 0; j < p.PrefixLen && j < wd; j++ {
+					mask.SetBit(mask, wd-1-j, 1)
+				}
+				want = new(big.Int).And(want, mask)
+			default:
+				b.halt(w, fmt.Sprintf("table %s uses %s matching", s.Table, p.Kind))
+				return nil
+			}
+			kc, ok, top := matchBig(keyBits[i], want, mask)
+			if top {
+				blocked = true
+				break
+			}
+			if !ok {
+				possible = false
+				break
+			}
+			cube, ok = cube.and(kc)
+			if !ok {
+				possible = false
+				break
+			}
+		}
+		if blocked {
+			b.halt(w, fmt.Sprintf("table %s keys on unmodelable bits", s.Table))
+			return nil
+		}
+		if !possible {
+			continue
+		}
+		we := w
+		var fits bool
+		we.region, fits = w.region.constrain(cube)
+		if fits {
+			for _, n := range negs {
+				we.region = we.region.subtract(n)
+			}
+			we = we.note(fmt.Sprintf("%s hit #%d->%s", s.Table, e.Handle, e.Action))
+			branches = append(branches, branch{w: we, action: e.Action, args: frameArgs(e.Args), hit: true})
+		}
+		negs = append(negs, cube)
+	}
+	defAct, defArgs, err := b.src.TableDefault(s.Table)
+	if err != nil {
+		b.fail(fmt.Errorf("native table %s default: %w", s.Table, err))
+		return nil
+	}
+	wd := w
+	for _, n := range negs {
+		wd.region = wd.region.subtract(n)
+	}
+	wd = wd.note(fmt.Sprintf("%s miss->%s", s.Table, defAct))
+	branches = append(branches, branch{w: wd, action: defAct, args: frameArgs(defArgs), hit: false})
+
+	var out []nworld
+	for _, br := range branches {
+		ws := []nworld{b.runAction(br.w, br.action, br.args)}
+		for _, c := range s.ApplyCases {
+			run := false
+			switch {
+			case c.Hit:
+				run = br.hit
+			case c.Miss:
+				run = !br.hit
+			default:
+				run = c.Action == br.action
+			}
+			if run {
+				ws = b.runStmts(ws, c.Body)
+			}
+		}
+		out = append(out, ws...)
+	}
+	return out
+}
+
+// bitValFrameArg is one action argument lowered to symbolic bits at its own
+// declared width.
+type bitValFrameArg []bitVal
+
+func frameArgs(args []bitfield.Value) []bitValFrameArg {
+	out := make([]bitValFrameArg, len(args))
+	for i, a := range args {
+		out[i] = constBits(a, a.Width())
+	}
+	return out
+}
+
+// ---- actions and primitives ----
+
+func (b *nativeBuilder) runAction(w nworld, name string, args []bitValFrameArg) nworld {
+	if name == "" || w.done {
+		return w
+	}
+	act := b.prog.Actions[name]
+	if act == nil {
+		b.halt(w, fmt.Sprintf("unknown action %q", name))
+		w.done = true
+		return w
+	}
+	frame := map[string][]bitVal{}
+	for i, p := range act.Params {
+		if i < len(args) {
+			frame[p] = args[i]
+		}
+	}
+	for _, call := range act.Body {
+		w = b.applyPrim(w, call, frame)
+		if w.done {
+			return w
+		}
+	}
+	return w
+}
+
+func (b *nativeBuilder) applyPrim(w nworld, call ast.PrimitiveCall, frame map[string][]bitVal) nworld {
+	unsupported := func(reason string) nworld {
+		b.halt(w, reason)
+		w.done = true
+		return w
+	}
+	switch call.Name {
+	case "no_op":
+		return w
+	case "drop":
+		w.dropped = true
+		w = b.writeStd(w, hlir.FieldEgressSpec, bigBits(big.NewInt(hlir.DropSpec), 9))
+		// A set dropped flag is sticky in the simulator: the packet is
+		// discarded at end of pipeline no matter what runs afterwards, so
+		// the world can finalize here.
+		b.dropLeaf(w.note("drop"))
+		w.done = true
+		return w
+	case "modify_field":
+		if len(call.Args) < 2 || call.Args[0].Kind != ast.ExprField {
+			return unsupported("modify_field with non-field destination")
+		}
+		dst := call.Args[0].Field
+		dw := b.refWidth(dst)
+		if dw == 0 {
+			return unsupported("modify_field destination not found")
+		}
+		src, ok := b.evalExpr(w, call.Args[1], frame, dw)
+		if !ok {
+			return unsupported("modify_field source outside the symbolic model")
+		}
+		if len(call.Args) == 3 {
+			mbits, ok := b.evalExpr(w, call.Args[2], frame, dw)
+			if !ok {
+				return unsupported("modify_field mask outside the symbolic model")
+			}
+			mc, isConst := bitsConst(mbits)
+			if !isConst {
+				return unsupported("modify_field with symbolic mask")
+			}
+			old, _ := b.fieldBits(w, dst)
+			merged := make([]bitVal, dw)
+			for i := 0; i < dw; i++ {
+				if mc.Bit(dw-1-i) == 1 {
+					merged[i] = src[i]
+				} else {
+					merged[i] = old[i]
+				}
+			}
+			src = merged
+		}
+		w, ok = b.writeField(w, dst, src)
+		if !ok {
+			return unsupported("modify_field write failed")
+		}
+		return w
+	case "add_to_field", "subtract_from_field":
+		if len(call.Args) != 2 || call.Args[0].Kind != ast.ExprField {
+			return unsupported(call.Name + " with non-field destination")
+		}
+		dst := call.Args[0].Field
+		dw := b.refWidth(dst)
+		if dw == 0 {
+			return unsupported(call.Name + " destination not found")
+		}
+		src, ok := b.evalExpr(w, call.Args[1], frame, dw)
+		if !ok {
+			return unsupported(call.Name + " addend outside the symbolic model")
+		}
+		c, isConst := bitsConst(src)
+		if !isConst {
+			return unsupported(call.Name + " with symbolic addend")
+		}
+		if call.Name == "subtract_from_field" {
+			// Canonicalize subtraction as addition of the two's complement,
+			// matching the persona's prep-row encoding.
+			mod := new(big.Int).Lsh(big.NewInt(1), uint(dw))
+			c = new(big.Int).Mod(new(big.Int).Sub(mod, c), mod)
+		}
+		cur, _ := b.fieldBits(w, dst)
+		w, _ = b.writeField(w, dst, addBits(cur, c, call.Name+" on non-canonical base"))
+		return w
+	}
+	return unsupported(fmt.Sprintf("primitive %q outside the symbolic model", call.Name))
+}
+
+func (b *nativeBuilder) refWidth(ref ast.FieldRef) int {
+	inst := b.prog.Instances[ref.Instance]
+	if inst == nil {
+		return 0
+	}
+	fd := inst.Type.Field(ref.Field)
+	if fd == nil {
+		return 0
+	}
+	return fd.Width
+}
+
+// evalExpr lowers an expression to symbolic bits at the given width, false
+// when the expression kind is outside the model.
+func (b *nativeBuilder) evalExpr(w nworld, e ast.Expr, frame map[string][]bitVal, width int) ([]bitVal, bool) {
+	switch e.Kind {
+	case ast.ExprConst:
+		return bigBits(e.Const, width), true
+	case ast.ExprField:
+		bits, ok := b.fieldBits(w, e.Field)
+		if !ok {
+			return nil, false
+		}
+		return resizeBits(bits, width), true
+	case ast.ExprParam:
+		bits, ok := frame[e.Param]
+		if !ok {
+			return nil, false
+		}
+		return resizeBits(bits, width), true
+	}
+	return nil, false
+}
+
+// ---- end of pipeline ----
+
+// gate models the end-of-ingress drop gate: egress_spec == DropSpec drops,
+// anything else becomes the egress port.
+func (b *nativeBuilder) gate(ws []nworld) []nworld {
+	var out []nworld
+	for _, w := range ws {
+		if w.done {
+			continue
+		}
+		spec, _ := b.fieldBits(w, stdRef(hlir.FieldEgressSpec))
+		cube, ok, top := matchBig(spec, big.NewInt(hlir.DropSpec), nil)
+		if top {
+			b.halt(w, "egress_spec carries unmodelable bits at the drop gate")
+			continue
+		}
+		if ok {
+			wd := w
+			var fits bool
+			wd.region, fits = w.region.constrain(cube)
+			if fits {
+				b.dropLeaf(wd.note("egress_spec=drop"))
+			}
+			w.region = w.region.subtract(cube)
+		}
+		w = b.writeStd(w, hlir.FieldEgressPort, spec)
+		out = append(out, w)
+	}
+	return out
+}
+
+// calcCoversHeader reports whether the named field-list calculation's input
+// is the full header instance in declaration order, with the target field
+// itself optionally omitted. Both forms sum the same bits: the simulator
+// zeroes the target field before summing, which is also how the persona's
+// fixed checksum action masks the checksum word out of its sum.
+func (b *nativeBuilder) calcCoversHeader(calcName, instName, targetField string) bool {
+	calc := b.prog.Calcs[calcName]
+	if calc == nil {
+		return false
+	}
+	fl := b.prog.FieldLists[calc.Input]
+	inst := b.prog.Instances[instName]
+	if fl == nil || inst == nil {
+		return false
+	}
+	i := 0
+	for _, fd := range inst.Type.Fields {
+		if i < len(fl.Entries) {
+			en := fl.Entries[i]
+			if en.Field != nil && en.Field.Instance == instName && en.Field.Field == fd.Name {
+				i++
+				continue
+			}
+		}
+		if fd.Name != targetField {
+			return false
+		}
+	}
+	return i == len(fl.Entries)
+}
+
+// finalize turns a delivered world into a leaf: recompute update checksums,
+// lay out the wire image in deparse order, read the route.
+func (b *nativeBuilder) finalize(w nworld) {
+	if w.done {
+		return
+	}
+	if w.dropped {
+		b.dropLeaf(w)
+		return
+	}
+	// Deparse offsets: cumulative bit offset of each valid instance in
+	// HeaderOrder.
+	emitOff := map[string]int{}
+	off := 0
+	for _, name := range b.prog.HeaderOrder {
+		if !w.valid[name] {
+			continue
+		}
+		emitOff[name] = off
+		off += b.prog.Instances[name].Width()
+	}
+	if off%8 != 0 || off/8 != w.consumed {
+		b.halt(w, fmt.Sprintf("deparsed headers (%d bits) differ from parsed bytes (%d)", off, w.consumed))
+		return
+	}
+	// Update-calculated checksum fields, guarded on validity like the
+	// simulator's deparse pass.
+	for _, cf := range b.prog.AST.CalculatedFields {
+		if cf.Update == "" {
+			continue
+		}
+		guard := cf.Field.Instance
+		if cf.IfValid != nil {
+			guard = cf.IfValid.Instance
+		}
+		if !w.valid[guard] {
+			continue
+		}
+		base, inEmit := emitOff[cf.Field.Instance]
+		if !inEmit {
+			b.halt(w, "checksum destination header is not emitted")
+			return
+		}
+		inst := b.prog.Instances[cf.Field.Instance]
+		fo, _ := inst.Type.FieldOffset(cf.Field.Field)
+		fd := inst.Type.Field(cf.Field.Field)
+		if fd.Width != 16 {
+			b.halt(w, "non-16-bit calculated field")
+			return
+		}
+		// The canonical checksum term is identified by position alone, which
+		// is only sound when the calc input is exactly the enclosing header
+		// (the IPv4 shape): anything else must not share a term with the
+		// persona's fixed ten-word fix-up.
+		if fo != 80 || inst.Width() != 160 || !b.calcCoversHeader(cf.Update, cf.Field.Instance, cf.Field.Field) {
+			b.halt(w, "calculated field is not the IPv4 header-checksum shape")
+			return
+		}
+		var ok bool
+		w, ok = b.writeField(w, cf.Field, opBits(16, csumKey(base+fo)))
+		if !ok {
+			b.halt(w, "checksum field write failed")
+			return
+		}
+	}
+	pkt := make([]bitVal, 0, b.L*8)
+	for _, name := range b.prog.HeaderOrder {
+		if !w.valid[name] {
+			continue
+		}
+		bits := w.inst[name]
+		if bits == nil {
+			bits = make([]bitVal, b.prog.Instances[name].Width())
+		}
+		pkt = append(pkt, bits...)
+	}
+	pkt = append(pkt, inBits(w.consumed*8, (b.L-w.consumed)*8)...)
+	route, _ := b.fieldBits(w, stdRef(hlir.FieldEgressPort))
+	b.m.Leaves = append(b.m.Leaves, Leaf{
+		Region:  w.region,
+		Route:   resizeBits(route, routeWidth),
+		Pkt:     pkt,
+		Trail:   joinTrail(w.trail),
+		Inconcl: w.inconcl,
+	})
+}

@@ -1,0 +1,35 @@
+package prove
+
+import (
+	"hyper4/internal/core/persona"
+	"hyper4/internal/p4/hlir"
+)
+
+// ModelBytes picks the modeled packet length for a program whose parse
+// paths need at most maxBytes: the largest parse window the persona can
+// request for it, plus payload slack so every leaf carries payload bits.
+// Packets shorter than this are outside the model (the equivalence claim is
+// over fixed-length packets; see DESIGN.md §16).
+func ModelBytes(cfg persona.Config, maxBytes int) int {
+	l := cfg.ParseDefault
+	if r, ok := cfg.RoundBytes(maxBytes); ok && r > l {
+		l = r
+	}
+	return l + 8
+}
+
+// Equivalence builds both symbolic machines — the native program over its
+// live table state, and the persona decoded purely from its installed rows
+// for virtual device pid — and compares them over the whole L-byte input
+// space.
+func Equivalence(prog *hlir.Program, cfg persona.Config, nativeSrc, personaSrc TableSource, pid, L int, opts Options) (*Result, error) {
+	nm, err := BuildNative(prog, nativeSrc, L)
+	if err != nil {
+		return nil, err
+	}
+	pm, err := BuildPersona(cfg, personaSrc, pid, L)
+	if err != nil {
+		return nil, err
+	}
+	return Compare(nm, pm, opts)
+}

@@ -1,0 +1,158 @@
+package prove
+
+import "math/big"
+
+// Cube is a partial assignment of the symbolic input vector: for every bit i
+// with the mask bit set, input bit i must equal the value bit. An empty mask
+// is the whole space.
+type Cube struct {
+	val, mask *big.Int
+}
+
+func trueCube() Cube { return Cube{new(big.Int), new(big.Int)} }
+
+func (c Cube) clone() Cube {
+	return Cube{new(big.Int).Set(c.val), new(big.Int).Set(c.mask)}
+}
+
+// fix constrains input bit i to b, reporting false on contradiction.
+func (c Cube) fix(i int, b uint) (Cube, bool) {
+	if c.mask.Bit(i) == 1 {
+		return c, c.val.Bit(i) == b
+	}
+	out := c.clone()
+	out.mask.SetBit(out.mask, i, 1)
+	out.val.SetBit(out.val, i, b)
+	return out, true
+}
+
+// and conjoins two cubes, reporting false when they contradict.
+func (c Cube) and(o Cube) (Cube, bool) {
+	if !c.compatible(o) {
+		return Cube{}, false
+	}
+	return Cube{
+		new(big.Int).Or(c.val, o.val),
+		new(big.Int).Or(c.mask, o.mask),
+	}, true
+}
+
+// compatible reports whether the cubes agree on their shared fixed bits.
+func (c Cube) compatible(o Cube) bool {
+	t := new(big.Int).Xor(c.val, o.val)
+	t.And(t, c.mask)
+	t.And(t, o.mask)
+	return t.Sign() == 0
+}
+
+// covers reports whether every point of o lies in c (c's fixed bits are a
+// subset of o's, with agreeing values).
+func (c Cube) covers(o Cube) bool {
+	t := new(big.Int).AndNot(c.mask, o.mask)
+	if t.Sign() != 0 {
+		return false
+	}
+	return c.compatible(o)
+}
+
+// Region is a positive cube minus a union of negative cubes.
+type Region struct {
+	pos  Cube
+	negs []Cube
+}
+
+func fullRegion() Region { return Region{pos: trueCube()} }
+
+// and intersects two regions; false means the positive cubes already
+// contradict (definitely empty). A true result may still denote an empty set
+// once the negative cubes are accounted for — witness decides that.
+func (r Region) and(o Region) (Region, bool) {
+	pos, ok := r.pos.and(o.pos)
+	if !ok {
+		return Region{}, false
+	}
+	negs := make([]Cube, 0, len(r.negs)+len(o.negs))
+	negs = append(negs, r.negs...)
+	negs = append(negs, o.negs...)
+	return Region{pos: pos, negs: negs}, true
+}
+
+// constrain conjoins a cube onto the positive side.
+func (r Region) constrain(c Cube) (Region, bool) {
+	pos, ok := r.pos.and(c)
+	if !ok {
+		return Region{}, false
+	}
+	return Region{pos: pos, negs: r.negs}, true
+}
+
+// subtract adds a negative cube (the region loses the points matching c).
+func (r Region) subtract(c Cube) Region {
+	negs := make([]Cube, 0, len(r.negs)+1)
+	negs = append(negs, r.negs...)
+	negs = append(negs, c)
+	return Region{pos: r.pos, negs: negs}
+}
+
+// witness searches for a concrete assignment of nbits input bits inside the
+// region. prefer supplies the value for bits the region leaves free (the
+// caller uses it to steer toward replayable ingress ports). The third result
+// is false when the node budget ran out before the search was decided.
+func (r Region) witness(nbits int, prefer func(int) uint, budget *int) (*big.Int, bool, bool) {
+	return solveCubes(r.pos, r.negs, nbits, prefer, budget)
+}
+
+func solveCubes(pos Cube, negs []Cube, nbits int, prefer func(int) uint, budget *int) (*big.Int, bool, bool) {
+	*budget--
+	if *budget < 0 {
+		return nil, false, false
+	}
+	// Keep only negatives that can still exclude points of pos; a negative
+	// covering all of pos empties the region.
+	live := negs[:0:0]
+	for _, n := range negs {
+		if !n.compatible(pos) {
+			continue
+		}
+		if n.covers(pos) {
+			return nil, false, true
+		}
+		live = append(live, n)
+	}
+	if len(live) == 0 {
+		out := new(big.Int).And(pos.val, pos.mask)
+		for i := 0; i < nbits; i++ {
+			if pos.mask.Bit(i) == 0 && prefer(i) == 1 {
+				out.SetBit(out, i, 1)
+			}
+		}
+		return out, true, true
+	}
+	// Branch on a bit the first live negative fixes but pos leaves free.
+	n := live[0]
+	free := new(big.Int).AndNot(n.mask, pos.mask)
+	b := lowestSetBit(free)
+	avoid := 1 - n.val.Bit(b)
+	order := []uint{avoid, n.val.Bit(b)}
+	if prefer(b) != avoid {
+		order[0], order[1] = order[1], order[0]
+	}
+	for _, v := range order {
+		p2, ok := pos.fix(b, v)
+		if !ok {
+			continue
+		}
+		if out, found, decided := solveCubes(p2, live, nbits, prefer, budget); found || !decided {
+			return out, found, decided
+		}
+	}
+	return nil, false, true
+}
+
+func lowestSetBit(x *big.Int) int {
+	for i := 0; ; i++ {
+		if x.Bit(i) == 1 {
+			return i
+		}
+	}
+}

@@ -1,0 +1,118 @@
+package prove
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"hyper4/internal/bitfield"
+	"hyper4/internal/p4/ast"
+	"hyper4/internal/p4/hlir"
+	"hyper4/internal/sim"
+)
+
+// Row is one synthesized table entry, in native terms. Callers install it
+// into the native switch directly and translate it for the DPMU; prove
+// itself never installs anything.
+type Row struct {
+	Table    string
+	Action   string
+	Params   []sim.MatchParam
+	Args     []bitfield.Value
+	Priority int
+}
+
+// Synthesize builds a small deterministic entry program for prog: two to
+// four entries per declared table, random matches, action arguments drawn
+// from the 1..8 port range so synthesized routes stay deliverable under the
+// identity port mapping the prover's replay harness installs.
+func Synthesize(prog *hlir.Program, seed int64) []Row {
+	rng := rand.New(rand.NewSource(seed))
+	var out []Row
+	for _, name := range prog.TableOrder {
+		tbl := prog.Tables[name]
+		if len(tbl.Actions) == 0 {
+			continue
+		}
+		// The DPMU folds LPM prefix lengths into the persona's single
+		// additive priority, which preserves native precedence only when the
+		// caller priority is uniform across the table (the native order is
+		// lexicographic: priority first, then prefix length). Synthesized
+		// programs stay inside that envelope.
+		hasLPM := false
+		for _, r := range tbl.Reads {
+			if r.Match == ast.MatchLPM {
+				hasLPM = true
+			}
+		}
+		// The native simulator rejects duplicate match keys; keep each
+		// synthesized key unique so the program installs on both sides.
+		used := map[string]bool{}
+		n := 2 + rng.Intn(3)
+		for i := 0; i < n; i++ {
+			action := tbl.Actions[rng.Intn(len(tbl.Actions))]
+			act := prog.Actions[action]
+			if act == nil {
+				continue
+			}
+			params := make([]sim.MatchParam, len(tbl.Reads))
+			ok := true
+			for pi, r := range tbl.Reads {
+				if r.Match == ast.MatchValid || r.Header != nil {
+					params[pi] = sim.Valid(rng.Intn(2) == 1)
+					continue
+				}
+				w, err := prog.FieldWidth(*r.Field)
+				if err != nil {
+					ok = false
+					break
+				}
+				v := synthValue(rng, w)
+				switch r.Match {
+				case ast.MatchExact:
+					params[pi] = sim.Exact(v)
+				case ast.MatchTernary:
+					params[pi] = sim.Ternary(v, synthValue(rng, w))
+				case ast.MatchLPM:
+					params[pi] = sim.LPM(v, rng.Intn(w+1))
+				default:
+					ok = false
+				}
+			}
+			if !ok || used[paramsKey(params)] {
+				continue
+			}
+			used[paramsKey(params)] = true
+			args := make([]bitfield.Value, len(act.Params))
+			for ai := range args {
+				args[ai] = bitfield.FromUint(9, uint64(1+rng.Intn(8)))
+			}
+			prio := 1 + rng.Intn(8)
+			if hasLPM {
+				prio = 1
+			}
+			out = append(out, Row{
+				Table:    name,
+				Action:   action,
+				Params:   params,
+				Args:     args,
+				Priority: prio,
+			})
+		}
+	}
+	return out
+}
+
+func paramsKey(params []sim.MatchParam) string {
+	var b strings.Builder
+	for _, p := range params {
+		fmt.Fprintf(&b, "%s/%s/%s/%d/%t;", p.Kind, p.Value.Big().Text(16), p.Mask.Big().Text(16), p.PrefixLen, p.ValidWant)
+	}
+	return b.String()
+}
+
+func synthValue(rng *rand.Rand, width int) bitfield.Value {
+	b := make([]byte, (width+7)/8)
+	rng.Read(b)
+	return bitfield.FromBytes(width, b)
+}

@@ -76,6 +76,18 @@ const (
 	// not served by the fused fast path and stays interpreted; the detail
 	// says which construct blocks fusion and why.
 	CodeUnfusable = "unfusable"
+	// CodeProveDiverge: the symbolic equivalence prover found a region of
+	// the input space where the native program and its persona emulation
+	// disagree (route, drop fate, or final wire image). Error severity
+	// means the divergence was confirmed by replaying the witness packet
+	// through both concrete paths; warn severity means the witness replay
+	// could not confirm it (model imprecision or no replay harness).
+	CodeProveDiverge = "prove-diverge"
+	// CodeProveInconclusive: the prover could not decide a region — an
+	// unmodelable construct, a witness-search budget exhaustion, or a
+	// divergent summary whose replay agreed. The equivalence claim
+	// excludes these regions.
+	CodeProveInconclusive = "prove-inconclusive"
 	// CodeFuseChainDepth: informational — a vdev's fused plan was refused
 	// at build time because the worst-case pass count of its chained plans
 	// (parse resubmissions, link recirculations, multicast clones) would
